@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ablation: tape-boundary strategies (Section 3.4) in isolation.
+ *
+ * For each benchmark, macro-SIMDized cycles per element under
+ * strided-scalar boundaries only, + permutation-based accesses, and
+ * + SAGU — separating the two optimizations the paper stacks, plus a
+ * pack/unpack cost sweep showing the conclusions are robust to the
+ * cost-model calibration.
+ */
+#include "harness.h"
+
+using namespace macross;
+using namespace macross::bench;
+
+int
+main()
+{
+    machine::MachineDesc m = machine::coreI7();
+
+    vectorizer::SimdizeOptions strided;
+    strided.machine = m;
+    strided.enablePermutedTapes = false;
+
+    vectorizer::SimdizeOptions permuted = strided;
+    permuted.enablePermutedTapes = true;
+
+    vectorizer::SimdizeOptions saguOpts;
+    saguOpts.machine = machine::coreI7WithSagu();
+    saguOpts.enableSagu = true;
+
+    std::vector<std::pair<std::string, std::vector<double>>> rows;
+    for (const auto& b : benchmarks::standardSuite()) {
+        auto s = compileConfig(b.program, true, strided);
+        auto p = compileConfig(b.program, true, permuted);
+        auto g = compileConfig(b.program, true, saguOpts);
+        double cs = cyclesPerElement(s, m, HostVectorizer::None);
+        double cp = cyclesPerElement(p, m, HostVectorizer::None);
+        double cg = cyclesPerElement(g, saguOpts.machine,
+                                     HostVectorizer::None);
+        rows.push_back({b.name, {1.0, cs / cp, cs / cg}});
+    }
+    printTable("Ablation: boundary strategy speedup over "
+               "strided-scalar boundaries",
+               {"strided", "permuted", "sagu"}, rows);
+
+    // Pack/unpack cost sensitivity: sweep the lane insert/extract
+    // cost and report the average macro-SIMD speedup.
+    std::printf("\npack/unpack cost sweep (average macro-SIMD speedup "
+                "vs scalar):\n");
+    for (double cost : {1.0, 2.0, 4.0}) {
+        machine::MachineDesc swept = machine::coreI7();
+        swept.setCost(machine::OpClass::LaneInsert, cost);
+        swept.setCost(machine::OpClass::LaneExtract, cost);
+        vectorizer::SimdizeOptions o;
+        o.machine = swept;
+        double sum = 0;
+        int n = 0;
+        for (const auto& b : benchmarks::standardSuite()) {
+            auto scalar = compileConfig(b.program, false, o);
+            auto macro = compileConfig(b.program, true, o);
+            sum += cyclesPerElement(scalar, swept,
+                                    HostVectorizer::None) /
+                   cyclesPerElement(macro, swept,
+                                    HostVectorizer::None);
+            ++n;
+        }
+        std::printf("  insert/extract = %.1f cycles: %.2fx\n", cost,
+                    sum / n);
+    }
+    return 0;
+}

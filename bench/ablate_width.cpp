@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Ablation: SIMD width scaling (the paper's motivation cites widening
+ * SIMD units, e.g. Larrabee). Reports the average macro-SIMD speedup
+ * at 4/8/16 lanes; horizontal SIMDization needs branch counts equal
+ * to the width, so its contribution drops out at wider machines on
+ * 4-branch benchmarks — visible as sub-linear scaling.
+ */
+#include "harness.h"
+
+using namespace macross;
+using namespace macross::bench;
+
+int
+main()
+{
+    std::printf("\nSIMD width ablation: average macro-SIMD speedup vs "
+                "scalar\n");
+    for (const machine::MachineDesc& m :
+         {machine::coreI7(), machine::wide8(), machine::wide16()}) {
+        vectorizer::SimdizeOptions opts;
+        opts.machine = m;
+        double sum = 0;
+        int n = 0;
+        for (const auto& b : benchmarks::standardSuite()) {
+            auto scalar = compileConfig(b.program, false, opts);
+            auto macro = compileConfig(b.program, true, opts);
+            double s = cyclesPerElement(scalar, m,
+                                        HostVectorizer::None);
+            double v =
+                cyclesPerElement(macro, m, HostVectorizer::None);
+            sum += s / v;
+            ++n;
+        }
+        std::printf("  %-16s (%2d lanes): %.2fx\n", m.name.c_str(),
+                    m.simdWidth, sum / n);
+    }
+    return 0;
+}

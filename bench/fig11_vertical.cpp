@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 11 reproduction: percent improvement of vertical
+ * SIMDization over single-actor SIMDization alone.
+ *
+ * Paper shape: ~40% average; MatrixMultBlock the outlier (~114%);
+ * FilterBank/BeamFormer negligible (they are horizontal benchmarks);
+ * FMRadio/AudioBeam small (their vectorizable actors are isolated).
+ */
+#include "harness.h"
+
+using namespace macross;
+using namespace macross::bench;
+
+int
+main()
+{
+    machine::MachineDesc m = machine::coreI7();
+
+    // Two readings of the experiment: with plain strided-scalar
+    // boundaries (isolating the packing/unpacking the paper's
+    // Section 3.2 discusses) and with the permutation-based tape
+    // optimization also enabled (which already softens boundaries).
+    std::printf("\nFigure 11: %% improvement of vertical SIMDization "
+                "over single-actor SIMDization\n");
+    std::printf("%-18s%18s%18s\n", "benchmark", "strided-tapes",
+                "permuted-tapes");
+    double sum0 = 0, sum1 = 0;
+    int n = 0;
+    for (const auto& b : benchmarks::standardSuite()) {
+        double pct[2];
+        for (int perm = 0; perm < 2; ++perm) {
+            vectorizer::SimdizeOptions singleOnly;
+            singleOnly.machine = m;
+            singleOnly.enableVertical = false;
+            singleOnly.enablePermutedTapes = perm == 1;
+            vectorizer::SimdizeOptions withVertical = singleOnly;
+            withVertical.enableVertical = true;
+            auto base = compileConfig(b.program, true, singleOnly);
+            auto vert = compileConfig(b.program, true, withVertical);
+            double c0 =
+                cyclesPerElement(base, m, HostVectorizer::None);
+            double c1 =
+                cyclesPerElement(vert, m, HostVectorizer::None);
+            pct[perm] = (c0 / c1 - 1.0) * 100.0;
+        }
+        std::printf("%-18s%17.1f%%%17.1f%%\n", b.name.c_str(), pct[0],
+                    pct[1]);
+        sum0 += pct[0];
+        sum1 += pct[1];
+        ++n;
+    }
+    std::printf("%-18s%17.1f%%%17.1f%%   (paper: ~40%% average, "
+                "MatrixMultBlock ~114%%)\n",
+                "average", sum0 / n, sum1 / n);
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 12 reproduction: percent improvement from the SAGU on
+ * macro-SIMDized code.
+ *
+ * Paper shape: ~8.1% average; MatrixMult ~22% and DCT ~17% (boundary
+ * pack/unpack heavy); BeamFormer ~0 (horizontal tapes need no SAGU);
+ * MP3Decoder ~0 (compute dominates communication).
+ */
+#include "harness.h"
+
+using namespace macross;
+using namespace macross::bench;
+
+int
+main()
+{
+    machine::MachineDesc base = machine::coreI7();
+    machine::MachineDesc sagu = machine::coreI7WithSagu();
+
+    vectorizer::SimdizeOptions noSagu;
+    noSagu.machine = base;
+
+    vectorizer::SimdizeOptions withSagu;
+    withSagu.machine = sagu;
+    withSagu.enableSagu = true;
+
+    std::printf("\nFigure 12: %% improvement from the SAGU on "
+                "macro-SIMDized code\n");
+    std::printf("%-18s%14s\n", "benchmark", "improvement");
+    double sum = 0;
+    int n = 0;
+    for (const auto& b : benchmarks::standardSuite()) {
+        auto plain = compileConfig(b.program, true, noSagu);
+        auto opt = compileConfig(b.program, true, withSagu);
+        double c0 = cyclesPerElement(plain, base,
+                                     HostVectorizer::None);
+        double c1 = cyclesPerElement(opt, sagu, HostVectorizer::None);
+        double pct = (c0 / c1 - 1.0) * 100.0;
+        std::printf("%-18s%13.1f%%\n", b.name.c_str(), pct);
+        sum += pct;
+        ++n;
+    }
+    std::printf("%-18s%13.1f%%   (paper: ~8.1%% average, "
+                "MatrixMult ~22%%, DCT ~17%%)\n",
+                "average", sum / n);
+    return 0;
+}

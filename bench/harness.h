@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shared measurement harness for the figure-reproduction benches.
+ *
+ * Every number reported is steady-state modeled cycles per sink
+ * element, measured by running the program in the interpreter under a
+ * machine description; speedups are ratios against the scalar
+ * baseline, exactly how the paper normalizes its figures.
+ */
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "autovec/gcc_like.h"
+#include "autovec/icc_like.h"
+#include "benchmarks/suite.h"
+#include "interp/runner.h"
+#include "lowering/lowered.h"
+#include "vectorizer/pipeline.h"
+
+namespace macross::bench {
+
+/** Which traditional auto-vectorizer model to stack on a program. */
+enum class HostVectorizer {
+    None,
+    GccLike,
+    IccLike,
+};
+
+/** Steady-state cycles per sink element for one configuration. */
+inline double
+cyclesPerElement(const vectorizer::CompiledProgram& p,
+                 const machine::MachineDesc& m, HostVectorizer host,
+                 int iters = 12)
+{
+    machine::CostSink cost(m);
+    interp::Runner r(p.graph, p.schedule, &cost);
+    if (host != HostVectorizer::None) {
+        lowering::LoweredProgram lp =
+            lowering::lower(p.graph, p.schedule);
+        autovec::AutovecResult av =
+            host == HostVectorizer::GccLike
+                ? autovec::gccAutovectorize(lp, m)
+                : autovec::iccAutovectorize(lp, m);
+        for (auto& [id, cfg] : av.configs)
+            r.setActorConfig(id, cfg);
+    }
+    r.runInit();
+    std::size_t before = r.captured().size();
+    r.runSteady(iters);
+    std::size_t produced = r.captured().size() - before;
+    if (produced == 0)
+        return 0.0;
+    return cost.totalCycles() / static_cast<double>(produced);
+}
+
+/** Compile a program scalar or macro-SIMDized. */
+inline vectorizer::CompiledProgram
+compileConfig(const graph::StreamPtr& program, bool macro,
+              const vectorizer::SimdizeOptions& opts)
+{
+    if (!macro)
+        return vectorizer::compileScalar(program);
+    return vectorizer::macroSimdize(program, opts);
+}
+
+/** Print a header followed by aligned rows of named speedups. */
+inline void
+printTable(const std::string& title,
+           const std::vector<std::string>& columns,
+           const std::vector<std::pair<std::string,
+                                       std::vector<double>>>& rows)
+{
+    std::printf("\n%s\n", title.c_str());
+    std::printf("%-18s", "benchmark");
+    for (const auto& c : columns)
+        std::printf("%16s", c.c_str());
+    std::printf("\n");
+    std::vector<double> sums(columns.size(), 0.0);
+    for (const auto& [name, vals] : rows) {
+        std::printf("%-18s", name.c_str());
+        for (std::size_t i = 0; i < vals.size(); ++i) {
+            std::printf("%15.2fx", vals[i]);
+            sums[i] += vals[i];
+        }
+        std::printf("\n");
+    }
+    std::printf("%-18s", "geomean/avg");
+    for (std::size_t i = 0; i < sums.size(); ++i)
+        std::printf("%15.2fx", sums[i] / rows.size());
+    std::printf("\n");
+}
+
+} // namespace macross::bench

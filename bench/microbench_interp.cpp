@@ -1,0 +1,97 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the library's own hot paths:
+ * interpreter firing throughput, tape operations, and the transform
+ * passes themselves (compilation speed).
+ */
+#include <benchmark/benchmark.h>
+
+#include "benchmarks/suite.h"
+#include "interp/runner.h"
+#include "machine/permutation.h"
+#include "machine/sagu.h"
+#include "vectorizer/pipeline.h"
+
+using namespace macross;
+
+namespace {
+
+void
+BM_SteadyStateInterpretation(benchmark::State& state)
+{
+    auto compiled =
+        vectorizer::compileScalar(benchmarks::makeFmRadio());
+    interp::Runner r(compiled.graph, compiled.schedule);
+    r.enableCapture(false);
+    r.runInit();
+    for (auto _ : state)
+        r.runSteady(1);
+}
+BENCHMARK(BM_SteadyStateInterpretation);
+
+void
+BM_SimdizedInterpretation(benchmark::State& state)
+{
+    vectorizer::SimdizeOptions opts;
+    opts.forceSimdize = true;
+    auto compiled =
+        vectorizer::macroSimdize(benchmarks::makeFmRadio(), opts);
+    interp::Runner r(compiled.graph, compiled.schedule);
+    r.enableCapture(false);
+    r.runInit();
+    for (auto _ : state)
+        r.runSteady(1);
+}
+BENCHMARK(BM_SimdizedInterpretation);
+
+void
+BM_MacroSimdizePass(benchmark::State& state)
+{
+    vectorizer::SimdizeOptions opts;
+    opts.forceSimdize = true;
+    for (auto _ : state) {
+        auto compiled = vectorizer::macroSimdize(
+            benchmarks::makeRunningExample(), opts);
+        benchmark::DoNotOptimize(compiled.graph.actors.size());
+    }
+}
+BENCHMARK(BM_MacroSimdizePass);
+
+void
+BM_TapeThroughput(benchmark::State& state)
+{
+    interp::Tape t(ir::kFloat32);
+    interp::Value v = interp::Value::makeFloat(1.0f);
+    for (auto _ : state) {
+        for (int i = 0; i < 1024; ++i)
+            t.push(v);
+        for (int i = 0; i < 1024; ++i)
+            benchmark::DoNotOptimize(t.pop());
+    }
+    state.SetItemsProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_TapeThroughput);
+
+void
+BM_SaguWalk(benchmark::State& state)
+{
+    machine::SaguUnit unit(3, 4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(unit.next());
+}
+BENCHMARK(BM_SaguWalk);
+
+void
+BM_PermutationNetworkBuild(benchmark::State& state)
+{
+    for (auto _ : state) {
+        auto net = machine::deinterleaveNetwork(
+            static_cast<int>(state.range(0)));
+        benchmark::DoNotOptimize(net.steps.size());
+    }
+}
+BENCHMARK(BM_PermutationNetworkBuild)->Arg(4)->Arg(16)->Arg(64);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Code-generation demo: macro-SIMDize the DCT benchmark and emit the
+ * final C++ translation unit (the compiler's actual output artifact)
+ * to stdout or a file.
+ *
+ * Usage: codegen_demo [output.cpp]
+ */
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "benchmarks/suite.h"
+#include "codegen/emit_cpp.h"
+#include "vectorizer/pipeline.h"
+
+using namespace macross;
+
+int
+main(int argc, char** argv)
+{
+    vectorizer::SimdizeOptions opts;
+    opts.forceSimdize = true;
+    auto compiled =
+        vectorizer::macroSimdize(benchmarks::makeDct(), opts);
+    std::string src =
+        codegen::emitCpp(compiled.graph, compiled.schedule);
+
+    if (argc > 1) {
+        std::ofstream out(argv[1]);
+        out << src;
+        std::printf("wrote %zu bytes of generated C++ to %s\n",
+                    src.size(), argv[1]);
+        std::printf("compile it with: c++ -std=c++17 -O2 %s\n",
+                    argv[1]);
+    } else {
+        std::cout << src;
+    }
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * GCC-like auto-vectorizer model.
+ */
+#include "autovec/gcc_like.h"
+
+#include "autovec/loop_info.h"
+#include "ir/analysis.h"
+
+namespace macross::autovec {
+
+using ir::Stmt;
+using ir::StmtKind;
+using machine::OpClass;
+
+namespace {
+
+/** Collect pointers to every For statement, innermost visited too. */
+void
+collectLoops(const std::vector<ir::StmtPtr>& stmts,
+             std::vector<const Stmt*>& out)
+{
+    for (const auto& sp : stmts) {
+        if (sp->kind == StmtKind::For)
+            out.push_back(sp.get());
+        collectLoops(sp->body, out);
+        collectLoops(sp->elseBody, out);
+    }
+}
+
+} // namespace
+
+AutovecResult
+gccAutovectorize(const lowering::LoweredProgram& p,
+                 const machine::MachineDesc& m)
+{
+    AutovecResult r;
+    const int sw = m.simdWidth;
+    for (const auto& la : p.actors) {
+        if (la.def->vectorLanes > 1)
+            continue;  // Already intrinsics; nothing to do.
+        std::vector<const Stmt*> loops;
+        collectLoops(la.def->work, loops);
+        auto plans = std::make_shared<interp::Executor::LoopPlans>();
+        for (const Stmt* loop : loops) {
+            LoopAnalysis a = analyzeLoop(*loop);
+            if (!a.counted || a.trips < sw || !a.innermost)
+                continue;
+            if (a.hasTrig || a.hasExpLog || a.hasIntDiv)
+                continue;  // No vector libm / integer division.
+            if (a.hasCrossIterDep)
+                continue;
+            if (a.arrayAccess == AccessClass::Strided ||
+                a.arrayAccess == AccessClass::Gather) {
+                continue;  // Interleaved access unsupported.
+            }
+            if (a.hasPop || a.hasPush ||
+                a.peekAccess != AccessClass::None) {
+                // Tape accesses lower to circular-buffer reads with
+                // modulo address arithmetic; the GCC-4.3 tree
+                // vectorizer cannot prove them unit-stride and gives
+                // up (the paper's "unimpressive gains" case). Only
+                // loops over plain local/state arrays vectorize.
+                continue;
+            }
+            interp::LoopCostPlan plan;
+            plan.width = sw;
+            // Unaligned streaming accesses plus reduction epilogue
+            // amortized per vector group.
+            plan.extraPerGroup =
+                m.costOf(OpClass::UnalignedVector) +
+                (a.hasReduction ? m.costOf(OpClass::Shuffle) : 0.0);
+            (*plans)[loop] = plan;
+            r.loopsVectorized++;
+            r.log.push_back(la.def->name + ": inner loop vectorized (" +
+                            std::to_string(a.trips) + " trips)");
+        }
+        if (!plans->empty()) {
+            interp::ActorExecConfig cfg;
+            cfg.loopPlans = plans;
+            r.configs.emplace_back(la.actorId, std::move(cfg));
+        }
+    }
+    return r;
+}
+
+} // namespace macross::autovec

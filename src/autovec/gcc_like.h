@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Modeled GCC-4.3-era auto-vectorizer (the paper's Figure 10a
+ * baseline).
+ *
+ * Operates on the lowered program only. Vectorizes innermost counted
+ * loops that are straight-line, run over plain arrays with unit
+ * stride, with no vector-libm calls (sin/cos/exp/log reject the
+ * loop), no integer division, and no cross-iteration dependences
+ * other than simple reductions. Loops touching tapes are rejected:
+ * StreamIt's generated code reads tapes through circular buffers
+ * with modulo addressing, which this era of GCC could not prove
+ * unit-stride (the ICC model can, via stronger symbolic analysis).
+ * Decisions are returned as runner cost configurations; program
+ * semantics are untouched (the baseline stays bit-exact).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "interp/runner.h"
+#include "lowering/lowered.h"
+
+namespace macross::autovec {
+
+/** Decisions of one auto-vectorization run. */
+struct AutovecResult {
+    /** Indexed by actor id; install via Runner::setActorConfig. */
+    std::vector<std::pair<int, interp::ActorExecConfig>> configs;
+    std::vector<std::string> log;
+    int loopsVectorized = 0;
+    int actorsOuterVectorized = 0;
+};
+
+/** Run the GCC-like model over a lowered program. */
+AutovecResult gccAutovectorize(const lowering::LoweredProgram& p,
+                               const machine::MachineDesc& m);
+
+} // namespace macross::autovec

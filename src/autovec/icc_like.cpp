@@ -1,0 +1,121 @@
+/**
+ * @file
+ * ICC-like auto-vectorizer model.
+ */
+#include "autovec/icc_like.h"
+
+#include "autovec/loop_info.h"
+#include "ir/analysis.h"
+
+namespace macross::autovec {
+
+using ir::Stmt;
+using ir::StmtKind;
+using machine::OpClass;
+
+namespace {
+
+void
+collectLoops(const std::vector<ir::StmtPtr>& stmts,
+             std::vector<const Stmt*>& out)
+{
+    for (const auto& sp : stmts) {
+        if (sp->kind == StmtKind::For)
+            out.push_back(sp.get());
+        collectLoops(sp->body, out);
+        collectLoops(sp->elseBody, out);
+    }
+}
+
+bool
+bodyHasIf(const std::vector<ir::StmtPtr>& stmts)
+{
+    bool found = false;
+    ir::forEachStmt(stmts, [&](const Stmt& s) {
+        if (s.kind == StmtKind::If)
+            found = true;
+    });
+    return found;
+}
+
+} // namespace
+
+AutovecResult
+iccAutovectorize(const lowering::LoweredProgram& p,
+                 const machine::MachineDesc& m)
+{
+    AutovecResult r;
+    const int sw = m.simdWidth;
+    for (const auto& la : p.actors) {
+        if (la.def->vectorLanes > 1)
+            continue;
+
+        std::vector<const Stmt*> loops;
+        collectLoops(la.def->work, loops);
+        auto plans = std::make_shared<interp::Executor::LoopPlans>();
+        for (const Stmt* loop : loops) {
+            LoopAnalysis a = analyzeLoop(*loop);
+            if (!a.counted || a.trips < sw || !a.innermost)
+                continue;
+            if (a.hasCrossIterDep || a.hasIntDiv)
+                continue;
+            if (a.arrayAccess == AccessClass::Gather ||
+                a.peekAccess == AccessClass::Gather) {
+                continue;
+            }
+            interp::LoopCostPlan plan;
+            plan.width = sw;
+            plan.extraPerGroup =
+                m.costOf(OpClass::UnalignedVector) +
+                (a.hasReduction ? m.costOf(OpClass::Shuffle) : 0.0);
+            // Interleaved accesses: deinterleave with shuffles per
+            // strided element, per group (Nuzman-style support).
+            plan.extraPerGroup += a.stridedAccessesPerIter * sw *
+                                  0.5 * m.costOf(OpClass::Shuffle);
+            (*plans)[loop] = plan;
+            r.loopsVectorized++;
+            r.log.push_back(la.def->name +
+                            ": inner loop vectorized (SVML/interleave)");
+        }
+
+        interp::ActorExecConfig cfg;
+        if (!plans->empty()) {
+            cfg.loopPlans = plans;
+            r.configs.emplace_back(la.actorId, std::move(cfg));
+            continue;
+        }
+
+        // Outer-loop vectorization of the repetition loop: legal only
+        // for stateless straight-line bodies, and the tape accesses
+        // become strided gathers the compiler must pack/unpack —
+        // exactly the overhead MacroSS's graph-level view avoids only
+        // partially (it has the same pack cost but can fuse/schedule).
+        ir::TapeCounts tc = ir::countTapeAccesses(la.def->work);
+        bool eligible = !la.def->isStateful() &&
+                        !bodyHasIf(la.def->work) && la.reps >= sw &&
+                        tc.exact && !la.def->isPeeking();
+        if (eligible) {
+            cfg.outerVectorized = true;
+            cfg.outerWidth = sw;
+            double perPop = (sw - 1) * (m.costOf(OpClass::ScalarLoad) +
+                                        m.costOf(OpClass::AddrCalc)) +
+                            sw * m.costOf(OpClass::LaneInsert);
+            double perPush =
+                (sw - 1) * (m.costOf(OpClass::ScalarStore) +
+                            m.costOf(OpClass::AddrCalc)) +
+                sw * m.costOf(OpClass::LaneExtract);
+            double perPeek = (sw - 1) * (m.costOf(OpClass::ScalarLoad) +
+                                         m.costOf(OpClass::AddrCalc)) +
+                             sw * m.costOf(OpClass::LaneInsert);
+            cfg.outerExtraPerGroup = tc.pops * perPop +
+                                     tc.pushes * perPush +
+                                     tc.peeks * perPeek;
+            r.actorsOuterVectorized++;
+            r.log.push_back(la.def->name + ": outer loop vectorized");
+            r.configs.emplace_back(la.actorId, std::move(cfg));
+        }
+    }
+    return r;
+}
+
+} // namespace macross::autovec

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Modeled ICC-11-era auto-vectorizer (the paper's Figure 10b
+ * baseline): everything the GCC model does, plus vector math calls
+ * via SVML, strided (interleaved) accesses at insert/extract cost,
+ * and outer-loop vectorization of the actor's repetition loop when no
+ * inner loop vectorized — the strongest thing an intermediate-code
+ * compiler can do without the stream graph: it still cannot adjust
+ * repetition counts, fuse producers with consumers, or discover
+ * isomorphic task-parallel actors.
+ */
+#pragma once
+
+#include "autovec/gcc_like.h"
+
+namespace macross::autovec {
+
+/** Run the ICC-like model over a lowered program. */
+AutovecResult iccAutovectorize(const lowering::LoweredProgram& p,
+                               const machine::MachineDesc& m);
+
+} // namespace macross::autovec

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Loop analysis implementation.
+ */
+#include "autovec/loop_info.h"
+
+#include <unordered_set>
+
+#include "ir/analysis.h"
+#include "support/diagnostics.h"
+
+namespace macross::autovec {
+
+using ir::Expr;
+using ir::ExprKind;
+using ir::ExprPtr;
+using ir::Stmt;
+using ir::StmtKind;
+using ir::StmtPtr;
+
+std::optional<std::int64_t>
+affineCoeff(const ExprPtr& e, const ir::Var* iv)
+{
+    if (!e)
+        return std::nullopt;
+    switch (e->kind) {
+      case ExprKind::IntImm:
+        return 0;
+      case ExprKind::VarRef:
+        return e->var.get() == iv ? 1 : 0;
+      case ExprKind::Binary: {
+        auto a = affineCoeff(e->args[0], iv);
+        auto b = affineCoeff(e->args[1], iv);
+        if (!a || !b)
+            return std::nullopt;
+        switch (e->bop) {
+          case ir::BinaryOp::Add:
+            return *a + *b;
+          case ir::BinaryOp::Sub:
+            return *a - *b;
+          case ir::BinaryOp::Mul: {
+            // Affine only when at least one side is iv-free; the
+            // iv-free side must be a constant for a known stride.
+            if (*a == 0) {
+                auto c = ir::tryConstFold(e->args[0]);
+                if (!c)
+                    return *b == 0 ? std::optional<std::int64_t>(0)
+                                   : std::nullopt;
+                return *c * *b;
+            }
+            if (*b == 0) {
+                auto c = ir::tryConstFold(e->args[1]);
+                if (!c)
+                    return std::nullopt;
+                return *a * *c;
+            }
+            return std::nullopt;
+          }
+          default:
+            // Any other operator with iv involved is non-affine.
+            return (*a == 0 && *b == 0)
+                       ? std::optional<std::int64_t>(0)
+                       : std::nullopt;
+        }
+      }
+      default: {
+        // Other node kinds are affine only if they do not touch iv.
+        bool touches = false;
+        std::function<void(const ExprPtr&)> scan =
+            [&](const ExprPtr& x) {
+                if (!x)
+                    return;
+                if (x->kind == ExprKind::VarRef && x->var.get() == iv)
+                    touches = true;
+                for (const auto& a : x->args)
+                    scan(a);
+            };
+        scan(e);
+        return touches ? std::nullopt
+                       : std::optional<std::int64_t>(0);
+      }
+    }
+}
+
+namespace {
+
+/** Merge an access stride classification into the running class. */
+void
+mergeAccess(AccessClass& cls, std::optional<std::int64_t> coeff,
+            bool refs_variant, int& strided_count)
+{
+    AccessClass thisOne;
+    if (refs_variant || !coeff) {
+        thisOne = AccessClass::Gather;
+    } else if (*coeff == 0 || *coeff == 1) {
+        // Invariant subscripts are broadcast loads; unit stride is
+        // directly vectorizable.
+        thisOne = AccessClass::Unit;
+    } else {
+        thisOne = AccessClass::Strided;
+    }
+    if (thisOne != AccessClass::Unit)
+        ++strided_count;
+    if (static_cast<int>(thisOne) > static_cast<int>(cls))
+        cls = thisOne;
+}
+
+/** Does @p e reference any variable in @p vars? */
+bool
+refsAny(const ExprPtr& e,
+        const std::unordered_set<const ir::Var*>& vars)
+{
+    bool found = false;
+    std::function<void(const ExprPtr&)> scan = [&](const ExprPtr& x) {
+        if (!x)
+            return;
+        if ((x->kind == ExprKind::VarRef || x->kind == ExprKind::Load) &&
+            vars.count(x->var.get())) {
+            found = true;
+        }
+        for (const auto& a : x->args)
+            scan(a);
+    };
+    scan(e);
+    return found;
+}
+
+/** Is `dst = e` a reduction update (dst op= ...) over +,*,min,max? */
+bool
+isReductionUpdate(const ir::Var* dst, const ExprPtr& e)
+{
+    if (e->kind != ExprKind::Binary)
+        return false;
+    switch (e->bop) {
+      case ir::BinaryOp::Add:
+      case ir::BinaryOp::Mul:
+      case ir::BinaryOp::Min:
+      case ir::BinaryOp::Max:
+        break;
+      default:
+        return false;
+    }
+    auto isDstRef = [&](const ExprPtr& x) {
+        return x->kind == ExprKind::VarRef && x->var.get() == dst;
+    };
+    // dst on exactly one side; the other side must not read dst.
+    std::unordered_set<const ir::Var*> dstSet{dst};
+    if (isDstRef(e->args[0]))
+        return !refsAny(e->args[1], dstSet);
+    if (isDstRef(e->args[1]))
+        return !refsAny(e->args[0], dstSet);
+    return false;
+}
+
+} // namespace
+
+LoopAnalysis
+analyzeLoop(const Stmt& for_stmt)
+{
+    panicIf(for_stmt.kind != StmtKind::For, "analyzeLoop on non-loop");
+    LoopAnalysis la;
+
+    auto lo = ir::tryConstFold(for_stmt.a);
+    auto hi = ir::tryConstFold(for_stmt.b);
+    if (lo && hi) {
+        la.counted = true;
+        la.trips = std::max<std::int64_t>(0, *hi - *lo);
+    }
+
+    // Innermost + straight-line check.
+    la.innermost = true;
+    ir::forEachStmt(for_stmt.body, [&](const Stmt& s) {
+        if (s.kind == StmtKind::For || s.kind == StmtKind::If)
+            la.innermost = false;
+    });
+
+    const ir::Var* iv = for_stmt.var.get();
+
+    // Variables assigned inside the body (loop-variant scalars).
+    std::unordered_set<const ir::Var*> variant =
+        ir::writtenVars(for_stmt.body);
+    variant.erase(iv);  // iv handled via affine analysis.
+
+    // First/implicit pass: find reductions and carried dependences.
+    std::unordered_set<const ir::Var*> readBeforeWrite;
+    std::unordered_set<const ir::Var*> written;
+    ir::forEachStmt(for_stmt.body, [&](const Stmt& s) {
+        auto noteReads = [&](const ExprPtr& e) {
+            std::function<void(const ExprPtr&)> scan =
+                [&](const ExprPtr& x) {
+                    if (!x)
+                        return;
+                    if (x->kind == ExprKind::VarRef &&
+                        variant.count(x->var.get()) &&
+                        !written.count(x->var.get())) {
+                        readBeforeWrite.insert(x->var.get());
+                    }
+                    for (const auto& a : x->args)
+                        scan(a);
+                };
+            scan(e);
+        };
+        if (s.kind == StmtKind::Assign) {
+            if (variant.count(s.var.get()) &&
+                !written.count(s.var.get()) &&
+                isReductionUpdate(s.var.get(), s.a)) {
+                la.hasReduction = true;
+                written.insert(s.var.get());
+                return;
+            }
+        }
+        noteReads(s.a);
+        noteReads(s.b);
+        if (s.var && (s.kind == StmtKind::Assign ||
+                      s.kind == StmtKind::AssignLane)) {
+            written.insert(s.var.get());
+        }
+    });
+    // A loop-variant scalar read before it is written this iteration
+    // carries a value from the previous iteration.
+    la.hasCrossIterDep = !readBeforeWrite.empty();
+
+    // Access and operation classification.
+    ir::forEachStmt(for_stmt.body, [&](const Stmt& s) {
+        if (s.kind == StmtKind::Push)
+            la.hasPush = true;
+        if ((s.kind == StmtKind::Store ||
+             s.kind == StmtKind::StoreLane)) {
+            mergeAccess(la.arrayAccess, affineCoeff(s.b, iv),
+                        refsAny(s.b, variant),
+                        la.stridedAccessesPerIter);
+        }
+    });
+    ir::forEachExpr(for_stmt.body, [&](const Expr& e) {
+        switch (e.kind) {
+          case ExprKind::Pop:
+            la.hasPop = true;
+            break;
+          case ExprKind::Peek:
+            mergeAccess(la.peekAccess, affineCoeff(e.args[0], iv),
+                        refsAny(e.args[0], variant),
+                        la.stridedAccessesPerIter);
+            break;
+          case ExprKind::Load:
+            mergeAccess(la.arrayAccess, affineCoeff(e.args[0], iv),
+                        refsAny(e.args[0], variant),
+                        la.stridedAccessesPerIter);
+            break;
+          case ExprKind::Call:
+            if (e.callee == ir::Intrinsic::Sin ||
+                e.callee == ir::Intrinsic::Cos) {
+                la.hasTrig = true;
+            }
+            if (e.callee == ir::Intrinsic::Exp ||
+                e.callee == ir::Intrinsic::Log) {
+                la.hasExpLog = true;
+            }
+            if (e.callee == ir::Intrinsic::Sqrt)
+                la.hasSqrt = true;
+            break;
+          case ExprKind::Binary:
+            if (!e.args[0]->type.isFloat() &&
+                (e.bop == ir::BinaryOp::Div ||
+                 e.bop == ir::BinaryOp::Mod)) {
+                la.hasIntDiv = true;
+            }
+            break;
+          default:
+            break;
+        }
+    });
+
+    return la;
+}
+
+} // namespace macross::autovec

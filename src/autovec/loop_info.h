@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Loop analysis for the modeled traditional auto-vectorizers.
+ *
+ * Classifies an innermost counted loop the way a loop vectorizer
+ * would: trip count, memory access strides (array subscripts and peek
+ * offsets as affine functions of the induction variable; pop/push as
+ * unit-stride streaming accesses), reduction recognition, and
+ * cross-iteration scalar dependences.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "graph/filter.h"
+
+namespace macross::autovec {
+
+/** Stride classification of the loop's memory accesses. */
+enum class AccessClass {
+    None,     ///< No accesses of this kind.
+    Unit,     ///< All accesses contiguous across iterations.
+    Strided,  ///< Constant non-unit stride (needs interleaving).
+    Gather,   ///< Loop-variant non-affine subscripts.
+};
+
+/** Facts a loop vectorizer needs about one For statement. */
+struct LoopAnalysis {
+    bool counted = false;          ///< Constant trip count.
+    std::int64_t trips = 0;
+    bool innermost = false;        ///< No nested control flow.
+    AccessClass arrayAccess = AccessClass::None;
+    AccessClass peekAccess = AccessClass::None;
+    bool hasPop = false;
+    bool hasPush = false;
+    bool hasTrig = false;          ///< sin/cos (needs vector libm).
+    bool hasExpLog = false;
+    bool hasSqrt = false;
+    bool hasIntDiv = false;
+    bool hasReduction = false;     ///< acc = acc (+|*|min|max) expr.
+    bool hasCrossIterDep = false;  ///< Non-reduction carried scalar.
+    /** Dynamic strided/gathered element accesses per iteration. */
+    int stridedAccessesPerIter = 0;
+};
+
+/** Analyze one For statement (its body, non-recursively). */
+LoopAnalysis analyzeLoop(const ir::Stmt& for_stmt);
+
+/**
+ * Coefficient of @p iv when @p e is affine in it (other referenced
+ * variables are assumed loop-invariant by the caller); nullopt when
+ * @p e is not affine in @p iv.
+ */
+std::optional<std::int64_t> affineCoeff(const ir::ExprPtr& e,
+                                        const ir::Var* iv);
+
+} // namespace macross::autovec

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * AudioBeam: acoustic beamforming from microphone-array samples
+ * (StreamIt AudioBeam structure): stateful interleaver/delay actors
+ * alternate with stateless sum and filter actors.
+ *
+ * The alternation means no two adjacent actors are both SIMDizable,
+ * so vertical fusion never applies — the paper calls out AudioBeam
+ * (with FMRadio) as having isolated vectorizable actors; gains come
+ * from single-actor SIMDization alone.
+ */
+#include "benchmarks/common.h"
+#include "benchmarks/suite.h"
+
+namespace macross::benchmarks {
+
+using graph::FilterBuilder;
+using graph::FilterDefPtr;
+using namespace ir;
+
+namespace {
+
+/** Stateful fractional-delay alignment of 15 microphone channels. */
+FilterDefPtr
+alignChannels()
+{
+    FilterBuilder f("Align", kFloat32, kFloat32);
+    f.rates(15, 15, 15);
+    auto hist = f.state("hist", kFloat32, 15);
+    auto i = f.local("i", kInt32);
+    auto x = f.local("x", kFloat32);
+    f.init().forLoop(i, 0, 15, [&](BlockBuilder& b) {
+        b.store(hist, varRef(i), floatImm(0.0f));
+    });
+    f.work().forLoop(i, 0, 15, [&](BlockBuilder& b) {
+        b.assign(x, f.pop());
+        b.push(load(hist, varRef(i)));
+        b.store(hist, varRef(i), varRef(x));
+    });
+    return f.build();
+}
+
+/** Stateless weighted beam sum: 15 aligned channels -> 1 sample. */
+FilterDefPtr
+beamSum()
+{
+    FilterBuilder f("BeamSum15", kFloat32, kFloat32);
+    f.rates(15, 15, 1);
+    auto w = f.state("w", kFloat32, 15);
+    auto i = f.local("i", kInt32);
+    auto sum = f.local("sum", kFloat32);
+    // Steering weights: a raised-cosine taper across the array.
+    f.init().forLoop(i, 0, 15, [&](BlockBuilder& b) {
+        b.store(w, varRef(i),
+                floatImm(0.54f) -
+                    floatImm(0.46f) *
+                        call(Intrinsic::Cos,
+                             {toFloat(varRef(i)) *
+                              floatImm(2.0f * 3.14159265f / 14.0f)}));
+    });
+    f.work().assign(sum, floatImm(0.0f));
+    // Leaky cascade across channels (not a plain reduction, so
+    // loop vectorizers cannot reassociate it; SIMDizing across
+    // firings is untouched by the carried dependence).
+    f.work().forLoop(i, 0, 15, [&](BlockBuilder& b) {
+        b.assign(sum, varRef(sum) * floatImm(0.995f) +
+                          f.pop() * load(w, varRef(i)));
+    });
+    f.work().push(varRef(sum) * floatImm(1.0f / 15.0f));
+    return f.build();
+}
+
+/** Stateful DC-blocking post filter. */
+FilterDefPtr
+dcBlock()
+{
+    FilterBuilder f("DcBlock", kFloat32, kFloat32);
+    f.rates(1, 1, 1);
+    auto prevIn = f.state("prev_in", kFloat32);
+    auto prevOut = f.state("prev_out", kFloat32);
+    auto x = f.local("x", kFloat32);
+    auto y = f.local("y", kFloat32);
+    f.init().assign(prevIn, floatImm(0.0f));
+    f.init().assign(prevOut, floatImm(0.0f));
+    f.work().assign(x, f.pop());
+    f.work().assign(y, varRef(x) - varRef(prevIn) +
+                           floatImm(0.995f) * varRef(prevOut));
+    f.work().assign(prevIn, varRef(x));
+    f.work().assign(prevOut, varRef(y));
+    f.work().push(varRef(y));
+    return f.build();
+}
+
+/** Stateless output scaler with soft clipping. */
+FilterDefPtr
+softClip()
+{
+    FilterBuilder f("SoftClip", kFloat32, kFloat32);
+    f.rates(1, 1, 1);
+    auto x = f.local("x", kFloat32);
+    f.work().assign(x, f.pop() * floatImm(0.8f));
+    f.work().push(varRef(x) /
+                  (floatImm(1.0f) +
+                   call(Intrinsic::Abs, {varRef(x)})));
+    return f.build();
+}
+
+} // namespace
+
+graph::StreamPtr
+makeAudioBeam()
+{
+    using graph::filterStream;
+    return graph::pipeline({
+        filterStream(floatSource("MicArray", 15, 101)),
+        filterStream(alignChannels()),
+        filterStream(beamSum()),
+        filterStream(dcBlock()),
+        filterStream(softClip()),
+        filterStream(floatSink("Speaker", 1)),
+    });
+}
+
+} // namespace macross::benchmarks

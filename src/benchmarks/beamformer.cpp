@@ -1,0 +1,114 @@
+/**
+ * @file
+ * BeamFormer: phased-array beamforming (StreamIt benchmark
+ * structure): per-channel stateful delay + FIR front end feeding a
+ * per-beam stateful decimating filter and magnitude detector.
+ *
+ * The stateful actors inside both split-joins block single-actor and
+ * vertical SIMDization; virtually all of the paper's reported speedup
+ * for this benchmark comes from horizontal SIMDization, which this
+ * structure reproduces: both split-joins have four isomorphic
+ * branches (different steering constants) containing stateful
+ * actors.
+ */
+#include "benchmarks/common.h"
+#include "benchmarks/suite.h"
+
+namespace macross::benchmarks {
+
+using graph::FilterBuilder;
+using graph::FilterDefPtr;
+using namespace ir;
+
+namespace {
+
+/** Stateful per-channel delay line with a steering coefficient. */
+FilterDefPtr
+channelDelay(const std::string& name, int depth, float steer)
+{
+    FilterBuilder f(name, kFloat32, kFloat32);
+    f.rates(1, 1, 1);
+    auto line = f.state("line", kFloat32, 8);
+    auto idx = f.state("idx", kInt32);
+    auto i = f.local("i", kInt32);
+    f.init().assign(idx, intImm(0));
+    f.init().forLoop(i, 0, 8, [&](BlockBuilder& b) {
+        b.store(line, varRef(i), floatImm(0.0f));
+    });
+    f.work().push(load(line, varRef(idx)) * floatImm(steer));
+    f.work().store(line, varRef(idx), f.pop());
+    f.work().assign(idx, (varRef(idx) + intImm(1)) % intImm(depth));
+    return f.build();
+}
+
+/** Stateful decimating beam filter (keeps a running phase). */
+FilterDefPtr
+beamFir(const std::string& name, float weight)
+{
+    FilterBuilder f(name, kFloat32, kFloat32);
+    f.rates(2, 2, 1);
+    auto hist = f.state("hist", kFloat32);
+    auto a = f.local("a", kFloat32);
+    auto b2 = f.local("b", kFloat32);
+    f.init().assign(hist, floatImm(0.0f));
+    f.work().assign(a, f.pop());
+    f.work().assign(b2, f.pop());
+    f.work().push(varRef(hist) * floatImm(0.3f) +
+                  varRef(a) * floatImm(weight) +
+                  varRef(b2) * floatImm(1.0f - weight));
+    f.work().assign(hist, varRef(a));
+    return f.build();
+}
+
+/** Stateless magnitude detector: pop 2, push |a|+|b| scaled. */
+FilterDefPtr
+magnitude(const std::string& name, float scale)
+{
+    FilterBuilder f(name, kFloat32, kFloat32);
+    f.rates(2, 2, 1);
+    auto a = f.local("a", kFloat32);
+    auto b = f.local("b", kFloat32);
+    f.work().assign(a, f.pop());
+    f.work().assign(b, f.pop());
+    f.work().push(
+        call(Intrinsic::Sqrt,
+             {varRef(a) * varRef(a) + varRef(b) * varRef(b)}) *
+        floatImm(scale));
+    return f.build();
+}
+
+} // namespace
+
+graph::StreamPtr
+makeBeamFormer()
+{
+    using graph::filterStream;
+    std::vector<graph::StreamPtr> channels;
+    for (int i = 0; i < 4; ++i) {
+        channels.push_back(graph::pipeline({
+            filterStream(channelDelay("Delay" + std::to_string(i), 8,
+                                      0.9f + 0.02f * i)),
+            filterStream(gain("ChanGain" + std::to_string(i),
+                              1.0f + 0.1f * i)),
+        }));
+    }
+    std::vector<graph::StreamPtr> beams;
+    for (int i = 0; i < 4; ++i) {
+        beams.push_back(graph::pipeline({
+            filterStream(beamFir("BeamFir" + std::to_string(i),
+                                 0.4f + 0.05f * i)),
+            filterStream(magnitude("Mag" + std::to_string(i),
+                                   1.0f + 0.25f * i)),
+        }));
+    }
+    return graph::pipeline({
+        filterStream(floatSource("Antenna", 4, 23)),
+        graph::splitJoinRoundRobin({1, 1, 1, 1}, std::move(channels),
+                                   {1, 1, 1, 1}),
+        graph::splitJoinDuplicate(std::move(beams), {1, 1, 1, 1}),
+        filterStream(adder("BeamSum", 4)),
+        filterStream(floatSink("Detector", 1)),
+    });
+}
+
+} // namespace macross::benchmarks

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * BitonicSort: sorting network over groups of 8 int32 keys, one
+ * compare-exchange stage per actor (StreamIt BitonicSort structure).
+ * Six stateless stages with matched power-of-two rates fuse
+ * vertically; min/max map directly onto SIMD compare-select.
+ */
+#include "benchmarks/common.h"
+#include "benchmarks/suite.h"
+
+namespace macross::benchmarks {
+
+using graph::FilterBuilder;
+using graph::FilterDefPtr;
+using namespace ir;
+
+namespace {
+
+constexpr int kKeys = 8;
+
+/**
+ * One compare-exchange stage: @p pairs lists (lo, hi, ascending)
+ * index pairs over the group of 8.
+ */
+FilterDefPtr
+exchangeStage(const std::string& name,
+              const std::vector<std::array<int, 3>>& pairs)
+{
+    FilterBuilder f(name, kInt32, kInt32);
+    f.rates(kKeys, kKeys, kKeys);
+    auto x = f.local("x", kInt32, kKeys);
+    auto i = f.local("i", kInt32);
+    auto a = f.local("a", kInt32);
+    auto b2 = f.local("b", kInt32);
+    f.work().forLoop(i, 0, kKeys, [&](BlockBuilder& b) {
+        b.store(x, varRef(i), f.pop());
+    });
+    for (const auto& p : pairs) {
+        f.work().assign(a, load(x, intImm(p[0])));
+        f.work().assign(b2, load(x, intImm(p[1])));
+        if (p[2]) {
+            f.work().store(x, intImm(p[0]),
+                           binary(BinaryOp::Min, varRef(a), varRef(b2)));
+            f.work().store(x, intImm(p[1]),
+                           binary(BinaryOp::Max, varRef(a), varRef(b2)));
+        } else {
+            f.work().store(x, intImm(p[0]),
+                           binary(BinaryOp::Max, varRef(a), varRef(b2)));
+            f.work().store(x, intImm(p[1]),
+                           binary(BinaryOp::Min, varRef(a), varRef(b2)));
+        }
+    }
+    f.work().forLoop(i, 0, kKeys, [&](BlockBuilder& b) {
+        b.push(load(x, varRef(i)));
+    });
+    return f.build();
+}
+
+} // namespace
+
+graph::StreamPtr
+makeBitonicSort()
+{
+    using graph::filterStream;
+    // The classic 8-input bitonic network, stage by stage.
+    std::vector<std::vector<std::array<int, 3>>> stages = {
+        // Build 2-element bitonic sequences (alternating direction).
+        {{0, 1, 1}, {2, 3, 0}, {4, 5, 1}, {6, 7, 0}},
+        // Merge into 4-element sequences.
+        {{0, 2, 1}, {1, 3, 1}, {4, 6, 0}, {5, 7, 0}},
+        {{0, 1, 1}, {2, 3, 1}, {4, 5, 0}, {6, 7, 0}},
+        // Merge into one 8-element sorted sequence.
+        {{0, 4, 1}, {1, 5, 1}, {2, 6, 1}, {3, 7, 1}},
+        {{0, 2, 1}, {1, 3, 1}, {4, 6, 1}, {5, 7, 1}},
+        {{0, 1, 1}, {2, 3, 1}, {4, 5, 1}, {6, 7, 1}},
+    };
+    std::vector<graph::StreamPtr> chain;
+    chain.push_back(filterStream(intSource("Keys", kKeys, 71)));
+    for (std::size_t s = 0; s < stages.size(); ++s) {
+        chain.push_back(filterStream(exchangeStage(
+            "Stage" + std::to_string(s), stages[s])));
+    }
+    chain.push_back(filterStream(intSink("Sorted", kKeys)));
+    return graph::pipeline(std::move(chain));
+}
+
+} // namespace macross::benchmarks

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * ChannelVocoder: filterbank + per-channel envelope detection
+ * (StreamIt ChannelVocoder structure): a duplicate split into four
+ * [BandPass FIR -> RMS detector] channels. Both levels peek (sliding
+ * windows), which blocks vertical fusion inside the branches, and the
+ * channels are isomorphic up to cutoff constants — a pure horizontal
+ * SIMDization benchmark that stresses vector peeks.
+ */
+#include "benchmarks/common.h"
+#include "benchmarks/suite.h"
+
+namespace macross::benchmarks {
+
+using graph::FilterBuilder;
+using graph::FilterDefPtr;
+using namespace ir;
+
+namespace {
+
+/** Sliding-window RMS detector: peek 8, pop 1, push 1 (stateless). */
+FilterDefPtr
+rmsDetector(const std::string& name, float scale)
+{
+    FilterBuilder f(name, kFloat32, kFloat32);
+    f.rates(8, 1, 1);
+    auto i = f.local("i", kInt32);
+    auto acc = f.local("acc", kFloat32);
+    auto t = f.local("t", kFloat32);
+    f.work().assign(acc, floatImm(0.0f));
+    f.work().forLoop(i, 0, 8, [&](BlockBuilder& b) {
+        b.assign(acc, varRef(acc) + f.peek(varRef(i)) *
+                                        f.peek(varRef(i)));
+    });
+    f.work().push(call(Intrinsic::Sqrt,
+                       {varRef(acc) * floatImm(scale / 8.0f)}));
+    f.work().assign(t, f.pop());
+    return f.build();
+}
+
+} // namespace
+
+graph::StreamPtr
+makeChannelVocoder()
+{
+    using graph::filterStream;
+    std::vector<graph::StreamPtr> channels;
+    for (int i = 0; i < 4; ++i) {
+        const std::string n = std::to_string(i);
+        channels.push_back(graph::pipeline({
+            filterStream(firFilter("VocBand" + n, 48, 1,
+                                   0.04f + 0.06f * i)),
+            filterStream(rmsDetector("Rms" + n, 1.0f + 0.5f * i)),
+        }));
+    }
+    return graph::pipeline({
+        filterStream(floatSource("Voice", 4, 83)),
+        graph::splitJoinDuplicate(std::move(channels), {1, 1, 1, 1}),
+        filterStream(adder("VocSum", 4)),
+        filterStream(floatSink("VocOut", 1)),
+    });
+}
+
+} // namespace macross::benchmarks

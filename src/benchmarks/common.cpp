@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Shared benchmark actors.
+ */
+#include "benchmarks/common.h"
+
+namespace macross::benchmarks {
+
+using graph::FilterBuilder;
+using graph::FilterDefPtr;
+using namespace ir;  // builder factories and operator sugar
+
+FilterDefPtr
+floatSource(const std::string& name, int count, int seed)
+{
+    FilterBuilder f(name, kFloat32, kFloat32);
+    f.rates(0, 0, count);
+    auto s = f.state("seed", kInt32);
+    f.init().assign(s, intImm(seed));
+    auto i = f.local("i", kInt32);
+    auto x = f.local("x", kInt32);
+    f.work().forLoop(i, 0, count, [&](BlockBuilder& b) {
+        b.assign(x, varRef(s) * intImm(1103515245) + intImm(12345));
+        b.assign(s, varRef(x));
+        // Map to a small float in [0, 2): take 15 bits, scale.
+        b.push(toFloat(binary(BinaryOp::And,
+                              binary(BinaryOp::Shr, varRef(x),
+                                     intImm(16)),
+                              intImm(0x7fff))) *
+               floatImm(1.0f / 16384.0f));
+    });
+    return f.build();
+}
+
+FilterDefPtr
+intSource(const std::string& name, int count, int seed)
+{
+    FilterBuilder f(name, kInt32, kInt32);
+    f.rates(0, 0, count);
+    auto s = f.state("seed", kInt32);
+    f.init().assign(s, intImm(seed));
+    auto i = f.local("i", kInt32);
+    auto x = f.local("x", kInt32);
+    f.work().forLoop(i, 0, count, [&](BlockBuilder& b) {
+        b.assign(x, varRef(s) * intImm(1103515245) + intImm(12345));
+        b.assign(s, varRef(x));
+        b.push(binary(BinaryOp::And,
+                      binary(BinaryOp::Shr, varRef(x), intImm(16)),
+                      intImm(0xffff)));
+    });
+    return f.build();
+}
+
+FilterDefPtr
+floatSink(const std::string& name, int count)
+{
+    FilterBuilder f(name, kFloat32, kFloat32);
+    f.rates(count, count, 0);
+    auto acc = f.state("acc", kFloat32);
+    f.init().assign(acc, floatImm(0.0f));
+    auto i = f.local("i", kInt32);
+    f.work().forLoop(i, 0, count, [&](BlockBuilder& b) {
+        b.assign(acc, varRef(acc) + f.pop());
+    });
+    return f.build();
+}
+
+FilterDefPtr
+intSink(const std::string& name, int count)
+{
+    FilterBuilder f(name, kInt32, kInt32);
+    f.rates(count, count, 0);
+    auto acc = f.state("acc", kInt32);
+    f.init().assign(acc, intImm(0));
+    auto i = f.local("i", kInt32);
+    f.work().forLoop(i, 0, count, [&](BlockBuilder& b) {
+        b.assign(acc, varRef(acc) + f.pop());
+    });
+    return f.build();
+}
+
+FilterDefPtr
+firFilter(const std::string& name, int taps, int decimation,
+          float cutoff)
+{
+    FilterBuilder f(name, kFloat32, kFloat32);
+    f.rates(taps, decimation, 1);
+    auto coeff = f.state("coeff", kFloat32, taps);
+    auto i = f.local("i", kInt32);
+    // Windowed-sinc-flavored coefficients: cutoff only changes
+    // constants, keeping differently tuned filters isomorphic.
+    f.init().forLoop(i, 0, taps, [&](BlockBuilder& b) {
+        b.store(coeff, varRef(i),
+                call(Intrinsic::Sin,
+                     {floatImm(cutoff) * toFloat(varRef(i))}) *
+                        floatImm(1.0f / taps) +
+                    floatImm(cutoff * 0.01f));
+    });
+    auto sum = f.local("sum", kFloat32);
+    f.work().assign(sum, floatImm(0.0f));
+    f.work().forLoop(i, 0, taps, [&](BlockBuilder& b) {
+        b.assign(sum, varRef(sum) +
+                          f.peek(varRef(i)) * load(coeff, varRef(i)));
+    });
+    auto j = f.local("j", kInt32);
+    auto t = f.local("t", kFloat32);
+    f.work().forLoop(j, 0, decimation, [&](BlockBuilder& b) {
+        b.assign(t, f.pop());
+    });
+    f.work().push(varRef(sum));
+    return f.build();
+}
+
+FilterDefPtr
+gain(const std::string& name, float factor)
+{
+    FilterBuilder f(name, kFloat32, kFloat32);
+    f.rates(1, 1, 1);
+    f.work().push(f.pop() * floatImm(factor));
+    return f.build();
+}
+
+FilterDefPtr
+adder(const std::string& name, int n)
+{
+    FilterBuilder f(name, kFloat32, kFloat32);
+    f.rates(n, n, 1);
+    auto sum = f.local("sum", kFloat32);
+    auto i = f.local("i", kInt32);
+    f.work().assign(sum, floatImm(0.0f));
+    f.work().forLoop(i, 0, n, [&](BlockBuilder& b) {
+        b.assign(sum, varRef(sum) + f.pop());
+    });
+    f.work().push(varRef(sum));
+    return f.build();
+}
+
+FilterDefPtr
+identity(const std::string& name)
+{
+    FilterBuilder f(name, kFloat32, kFloat32);
+    f.rates(1, 1, 1);
+    f.work().push(f.pop());
+    return f.build();
+}
+
+} // namespace macross::benchmarks

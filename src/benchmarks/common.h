@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared building blocks for the benchmark programs: deterministic
+ * sources, accumulating sinks, and common DSP actors (FIR filters,
+ * gains, adders).
+ *
+ * Sources are stateful LCG generators so every compilation of the
+ * same program produces the same input stream (bit-exact output
+ * comparison across scalar/SIMDized variants relies on this).
+ */
+#pragma once
+
+#include "graph/stream.h"
+
+namespace macross::benchmarks {
+
+/** Stateful source pushing @p count deterministic floats per firing. */
+graph::FilterDefPtr floatSource(const std::string& name, int count,
+                                int seed = 1);
+
+/** Stateful source pushing @p count deterministic int32s per firing. */
+graph::FilterDefPtr intSource(const std::string& name, int count,
+                              int seed = 1);
+
+/** Stateful sink accumulating @p count floats per firing. */
+graph::FilterDefPtr floatSink(const std::string& name, int count);
+
+/** Stateful sink accumulating @p count int32s per firing. */
+graph::FilterDefPtr intSink(const std::string& name, int count);
+
+/**
+ * Stateless FIR low-pass filter: peek @p taps, pop @p decimation,
+ * push 1. Coefficients are computed in init from @p cutoff (a
+ * windowed sinc), so filters with different cutoffs are isomorphic
+ * up to constants.
+ */
+graph::FilterDefPtr firFilter(const std::string& name, int taps,
+                              int decimation, float cutoff);
+
+/** Stateless gain: pop 1, push 1, multiply by @p factor. */
+graph::FilterDefPtr gain(const std::string& name, float factor);
+
+/** Stateless adder: pop @p n, push their sum. */
+graph::FilterDefPtr adder(const std::string& name, int n);
+
+/** Stateless identity: pop 1, push 1 (splitter/joiner glue). */
+graph::FilterDefPtr identity(const std::string& name);
+
+} // namespace macross::benchmarks

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * DCT: 8x8 two-dimensional discrete cosine transform (StreamIt DCT
+ * structure): row-wise 1D DCT, transpose, column-wise 1D DCT.
+ *
+ * All rates are powers of two, so after SIMDization the tape
+ * boundaries use the permutation-based vector accesses of Figure 7;
+ * the SAGU still removes the shuffle networks entirely, which is how
+ * this benchmark gains from the unit (paper reports ~17%).
+ */
+#include "benchmarks/common.h"
+#include "benchmarks/suite.h"
+
+namespace macross::benchmarks {
+
+using graph::FilterBuilder;
+using graph::FilterDefPtr;
+using namespace ir;
+
+namespace {
+
+/** 1D 8-point DCT-II over each popped row (stateless). */
+FilterDefPtr
+dct1d(const std::string& name)
+{
+    FilterBuilder f(name, kFloat32, kFloat32);
+    f.rates(8, 8, 8);
+    auto x = f.local("x", kFloat32, 8);
+    auto cosTab = f.state("cos_tab", kFloat32, 64);
+    auto i = f.local("i", kInt32);
+    auto k = f.local("k", kInt32);
+    auto n = f.local("n", kInt32);
+    auto sum = f.local("sum", kFloat32);
+    // cos((2n+1) k pi / 16) table, built once.
+    f.init().forLoop(k, 0, 8, [&](BlockBuilder& b) {
+        b.forLoop(n, 0, 8, [&](BlockBuilder& b2) {
+            b2.store(cosTab, varRef(k) * intImm(8) + varRef(n),
+                     call(Intrinsic::Cos,
+                          {toFloat(binary(
+                               BinaryOp::Mul,
+                               varRef(k),
+                               intImm(2) * varRef(n) + intImm(1))) *
+                           floatImm(3.14159265f / 16.0f)}));
+        });
+    });
+    f.work().forLoop(i, 0, 8, [&](BlockBuilder& b) {
+        b.store(x, varRef(i), f.pop());
+    });
+    f.work().forLoop(k, 0, 8, [&](BlockBuilder& b) {
+        b.assign(sum, floatImm(0.0f));
+        b.forLoop(n, 0, 8, [&](BlockBuilder& b2) {
+            b2.assign(sum, varRef(sum) +
+                               load(x, varRef(n)) *
+                                   load(cosTab, varRef(k) * intImm(8) +
+                                                    varRef(n)));
+        });
+        b.push(varRef(sum) * floatImm(0.5f));
+    });
+    return f.build();
+}
+
+/** Transpose an 8x8 tile (stateless). */
+FilterDefPtr
+transpose8()
+{
+    FilterBuilder f("Transpose8", kFloat32, kFloat32);
+    f.rates(64, 64, 64);
+    auto buf = f.local("tile", kFloat32, 64);
+    auto i = f.local("i", kInt32);
+    auto r = f.local("r", kInt32);
+    auto c = f.local("c", kInt32);
+    f.work().forLoop(i, 0, 64, [&](BlockBuilder& b) {
+        b.store(buf, varRef(i), f.pop());
+    });
+    f.work().forLoop(c, 0, 8, [&](BlockBuilder& b) {
+        b.forLoop(r, 0, 8, [&](BlockBuilder& b2) {
+            b2.push(load(buf, varRef(r) * intImm(8) + varRef(c)));
+        });
+    });
+    return f.build();
+}
+
+} // namespace
+
+graph::StreamPtr
+makeDct()
+{
+    using graph::filterStream;
+    return graph::pipeline({
+        filterStream(floatSource("PixelSource", 64, 53)),
+        filterStream(dct1d("RowDCT")),
+        filterStream(transpose8()),
+        filterStream(dct1d("ColDCT")),
+        filterStream(floatSink("CoeffSink", 64)),
+    });
+}
+
+} // namespace macross::benchmarks

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * FFT: 16-point decimation-in-time FFT as a pipeline of a bit-reversal
+ * reorder stage followed by log2(16) butterfly stages (the coarse
+ * StreamIt FFT structure). Real/imaginary parts are interleaved on
+ * the tape (32 elements per transform).
+ *
+ * Every stage is stateless with matched power-of-two rates: the whole
+ * chain fuses vertically and the boundaries are permutable.
+ */
+#include "benchmarks/common.h"
+#include "benchmarks/suite.h"
+
+namespace macross::benchmarks {
+
+using graph::FilterBuilder;
+using graph::FilterDefPtr;
+using namespace ir;
+
+namespace {
+
+constexpr int kPoints = 16;
+
+/** Bit-reversal reorder of 16 complex samples (stateless). */
+FilterDefPtr
+bitReverse()
+{
+    FilterBuilder f("BitRev", kFloat32, kFloat32);
+    f.rates(2 * kPoints, 2 * kPoints, 2 * kPoints);
+    auto buf = f.local("buf", kFloat32, 2 * kPoints);
+    auto i = f.local("i", kInt32);
+    f.work().forLoop(i, 0, 2 * kPoints, [&](BlockBuilder& b) {
+        b.store(buf, varRef(i), f.pop());
+    });
+    for (int i2 = 0; i2 < kPoints; ++i2) {
+        int rev = ((i2 & 1) << 3) | ((i2 & 2) << 1) | ((i2 & 4) >> 1) |
+                  ((i2 & 8) >> 3);
+        f.work().push(load(buf, intImm(2 * rev)));
+        f.work().push(load(buf, intImm(2 * rev + 1)));
+    }
+    return f.build();
+}
+
+/** One radix-2 stage with span @p span (stateless; twiddles in init). */
+FilterDefPtr
+butterflyStage(int span)
+{
+    FilterBuilder f("Butterfly" + std::to_string(span), kFloat32,
+                    kFloat32);
+    f.rates(2 * kPoints, 2 * kPoints, 2 * kPoints);
+    auto re = f.local("re", kFloat32, kPoints);
+    auto im = f.local("im", kFloat32, kPoints);
+    auto wr = f.state("wr", kFloat32, kPoints);
+    auto wi = f.state("wi", kFloat32, kPoints);
+    auto i = f.local("i", kInt32);
+    auto tr = f.local("tr", kFloat32);
+    auto ti = f.local("ti", kFloat32);
+
+    // Twiddle factors for this stage: w[j] = exp(-i*pi*j/span).
+    f.init().forLoop(i, 0, kPoints, [&](BlockBuilder& b) {
+        auto angle =
+            toFloat(varRef(i) % intImm(span)) *
+            floatImm(-3.14159265f / static_cast<float>(span));
+        b.store(wr, varRef(i), call(Intrinsic::Cos, {angle}));
+        b.store(wi, varRef(i), call(Intrinsic::Sin, {angle}));
+    });
+
+    f.work().forLoop(i, 0, kPoints, [&](BlockBuilder& b) {
+        b.store(re, varRef(i), f.pop());
+        b.store(im, varRef(i), f.pop());
+    });
+    // Butterflies: for each group pair (i, i+span).
+    for (int base = 0; base < kPoints; base += 2 * span) {
+        for (int j = 0; j < span; ++j) {
+            int lo = base + j;
+            int hi = lo + span;
+            // t = w * x[hi]
+            f.work().assign(
+                tr, load(wr, intImm(lo)) * load(re, intImm(hi)) -
+                        load(wi, intImm(lo)) * load(im, intImm(hi)));
+            f.work().assign(
+                ti, load(wr, intImm(lo)) * load(im, intImm(hi)) +
+                        load(wi, intImm(lo)) * load(re, intImm(hi)));
+            // x[hi] = x[lo] - t; x[lo] += t.
+            f.work().store(re, intImm(hi),
+                           load(re, intImm(lo)) - varRef(tr));
+            f.work().store(im, intImm(hi),
+                           load(im, intImm(lo)) - varRef(ti));
+            f.work().store(re, intImm(lo),
+                           load(re, intImm(lo)) + varRef(tr));
+            f.work().store(im, intImm(lo),
+                           load(im, intImm(lo)) + varRef(ti));
+        }
+    }
+    f.work().forLoop(i, 0, kPoints, [&](BlockBuilder& b) {
+        b.push(load(re, varRef(i)));
+        b.push(load(im, varRef(i)));
+    });
+    return f.build();
+}
+
+} // namespace
+
+graph::StreamPtr
+makeFft()
+{
+    using graph::filterStream;
+    return graph::pipeline({
+        filterStream(floatSource("FFTSource", 2 * kPoints, 61)),
+        filterStream(bitReverse()),
+        filterStream(butterflyStage(1)),
+        filterStream(butterflyStage(2)),
+        filterStream(butterflyStage(4)),
+        filterStream(butterflyStage(8)),
+        filterStream(floatSink("FFTSink", 2 * kPoints)),
+    });
+}
+
+} // namespace macross::benchmarks

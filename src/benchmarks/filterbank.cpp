@@ -1,0 +1,68 @@
+/**
+ * @file
+ * FilterBank: multirate analysis/processing/synthesis bank (StreamIt
+ * benchmark structure): a duplicate split into four per-band
+ * pipelines of [BandPass FIR -> stateful per-band processor ->
+ * BandStop FIR], joined and summed.
+ *
+ * The stateful processor in the middle of every branch prevents the
+ * per-branch pipelines from collapsing (the paper points this out for
+ * FilterBank/BeamFormer); the four branches are level-wise isomorphic
+ * with different cutoff constants, so horizontal SIMDization covers
+ * all three levels, stateful one included.
+ */
+#include "benchmarks/common.h"
+#include "benchmarks/suite.h"
+
+namespace macross::benchmarks {
+
+using graph::FilterBuilder;
+using graph::FilterDefPtr;
+using namespace ir;
+
+namespace {
+
+/** Stateful per-band automatic gain control. */
+FilterDefPtr
+bandProcessor(const std::string& name, float target)
+{
+    FilterBuilder f(name, kFloat32, kFloat32);
+    f.rates(1, 1, 1);
+    auto env = f.state("env", kFloat32);
+    auto x = f.local("x", kFloat32);
+    f.init().assign(env, floatImm(1.0f));
+    f.work().assign(x, f.pop());
+    f.work().assign(env, varRef(env) * floatImm(0.95f) +
+                             call(Intrinsic::Abs, {varRef(x)}) *
+                                 floatImm(0.05f));
+    f.work().push(varRef(x) * floatImm(target) /
+                  (varRef(env) + floatImm(0.01f)));
+    return f.build();
+}
+
+} // namespace
+
+graph::StreamPtr
+makeFilterBank()
+{
+    using graph::filterStream;
+    std::vector<graph::StreamPtr> bandPipes;
+    for (int i = 0; i < 4; ++i) {
+        const std::string n = std::to_string(i);
+        bandPipes.push_back(graph::pipeline({
+            filterStream(firFilter("Analysis" + n, 32, 1,
+                                   0.08f + 0.05f * i)),
+            filterStream(bandProcessor("Agc" + n, 0.5f + 0.1f * i)),
+            filterStream(firFilter("Synthesis" + n, 32, 1,
+                                   0.06f + 0.05f * i)),
+        }));
+    }
+    return graph::pipeline({
+        filterStream(floatSource("BankIn", 4, 31)),
+        graph::splitJoinDuplicate(std::move(bandPipes), {1, 1, 1, 1}),
+        filterStream(adder("BankSum", 4)),
+        filterStream(floatSink("BankOut", 1)),
+    });
+}
+
+} // namespace macross::benchmarks

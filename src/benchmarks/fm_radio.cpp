@@ -1,0 +1,68 @@
+/**
+ * @file
+ * FMRadio: software FM demodulation with a multi-band equalizer
+ * (StreamIt benchmark suite structure).
+ *
+ *   source -> LowPass(decimating, peeky) -> Demodulator(peeky)
+ *          -> duplicate split -> 4 x BandPass(different cutoffs)
+ *          -> join -> Adder -> sink
+ *
+ * Every compute actor either peeks (sliding windows) or sits between
+ * peeking actors, so vertical fusion finds no pipelines — matching
+ * the paper's observation that FMRadio's vectorizable actors are
+ * isolated. The equalizer's four isomorphic band-pass filters are the
+ * horizontal-SIMDization target, and the decimating FIR's inner loop
+ * is exactly the unit-stride loop a traditional inner-loop
+ * vectorizer (the paper's ICC case) handles well.
+ */
+#include "benchmarks/common.h"
+#include "benchmarks/suite.h"
+
+namespace macross::benchmarks {
+
+using graph::FilterBuilder;
+using graph::FilterDefPtr;
+using namespace ir;
+
+namespace {
+
+/** FM demodulator: out = k * atan-approx(x[i] * x[i+1]). */
+FilterDefPtr
+demodulator()
+{
+    FilterBuilder f("Demod", kFloat32, kFloat32);
+    f.rates(2, 1, 1);
+    auto p = f.local("p", kFloat32);
+    auto t = f.local("t", kFloat32);
+    f.work().assign(p, f.peek(0) * f.peek(1));
+    // Cheap odd rational approximation of atan.
+    f.work().push(varRef(p) /
+                  (floatImm(1.0f) +
+                   floatImm(0.28f) * varRef(p) * varRef(p)));
+    f.work().assign(t, f.pop());
+    return f.build();
+}
+
+} // namespace
+
+graph::StreamPtr
+makeFmRadio()
+{
+    using graph::filterStream;
+    std::vector<graph::StreamPtr> bands;
+    for (int i = 0; i < 4; ++i) {
+        bands.push_back(filterStream(
+            firFilter("Band" + std::to_string(i), 64, 1,
+                      0.05f + 0.04f * static_cast<float>(i))));
+    }
+    return graph::pipeline({
+        filterStream(floatSource("RFSource", 16, 11)),
+        filterStream(firFilter("LowPass", 64, 4, 0.1f)),
+        filterStream(demodulator()),
+        graph::splitJoinDuplicate(std::move(bands), {1, 1, 1, 1}),
+        filterStream(adder("EqSum", 4)),
+        filterStream(floatSink("AudioOut", 1)),
+    });
+}
+
+} // namespace macross::benchmarks

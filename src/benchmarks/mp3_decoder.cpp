@@ -1,0 +1,121 @@
+/**
+ * @file
+ * MP3Decoder (subset): the compute-heavy back end of an MP3 decoder —
+ * dequantization (x^(4/3) via exp/log), antialias butterflies, and a
+ * cosine-bank IMDCT (StreamIt MP3Decoder structure).
+ *
+ * Computation per tape element is very high (trig/exp dominate), so
+ * boundary pack/unpack is a negligible fraction of runtime: the paper
+ * reports no SAGU benefit for MP3, which this ratio reproduces.
+ */
+#include "benchmarks/common.h"
+#include "benchmarks/suite.h"
+
+namespace macross::benchmarks {
+
+using graph::FilterBuilder;
+using graph::FilterDefPtr;
+using namespace ir;
+
+namespace {
+
+/** Dequantizer: |x|^(4/3) with sign, via exp/log. */
+FilterDefPtr
+dequantize()
+{
+    FilterBuilder f("Dequant", kFloat32, kFloat32);
+    f.rates(18, 18, 18);
+    auto i = f.local("i", kInt32);
+    auto x = f.local("x", kFloat32);
+    auto mag = f.local("mag", kFloat32);
+    f.work().forLoop(i, 0, 18, [&](BlockBuilder& b) {
+        b.assign(x, f.pop());
+        b.assign(mag, call(Intrinsic::Exp,
+                           {call(Intrinsic::Log,
+                                 {call(Intrinsic::Abs, {varRef(x)}) +
+                                  floatImm(1.0f)}) *
+                            floatImm(4.0f / 3.0f)}));
+        b.push(varRef(mag) * floatImm(0.5f));
+    });
+    return f.build();
+}
+
+/** Antialias butterflies across subband boundaries. */
+FilterDefPtr
+antialias()
+{
+    FilterBuilder f("Antialias", kFloat32, kFloat32);
+    f.rates(18, 18, 18);
+    auto buf = f.local("buf", kFloat32, 18);
+    auto i = f.local("i", kInt32);
+    auto a = f.local("a", kFloat32);
+    auto b2 = f.local("b", kFloat32);
+    f.work().forLoop(i, 0, 18, [&](BlockBuilder& b) {
+        b.store(buf, varRef(i), f.pop());
+    });
+    for (int k = 0; k < 8; ++k) {
+        float cs = 0.85f + 0.01f * k;
+        float ca = 0.5f - 0.03f * k;
+        f.work().assign(a, load(buf, intImm(8 - k)));
+        f.work().assign(b2, load(buf, intImm(9 + k)));
+        f.work().store(buf, intImm(8 - k),
+                       varRef(a) * floatImm(cs) -
+                           varRef(b2) * floatImm(ca));
+        f.work().store(buf, intImm(9 + k),
+                       varRef(b2) * floatImm(cs) +
+                           varRef(a) * floatImm(ca));
+    }
+    f.work().forLoop(i, 0, 18, [&](BlockBuilder& b) {
+        b.push(load(buf, varRef(i)));
+    });
+    return f.build();
+}
+
+/** IMDCT: 18 spectral lines -> 36 time samples (cosine bank). */
+FilterDefPtr
+imdct()
+{
+    FilterBuilder f("Imdct", kFloat32, kFloat32);
+    f.rates(18, 18, 36);
+    auto x = f.local("x", kFloat32, 18);
+    auto i = f.local("i", kInt32);
+    auto k = f.local("k", kInt32);
+    auto sum = f.local("sum", kFloat32);
+    f.work().forLoop(i, 0, 18, [&](BlockBuilder& b) {
+        b.store(x, varRef(i), f.pop());
+    });
+    f.work().forLoop(i, 0, 36, [&](BlockBuilder& b) {
+        b.assign(sum, floatImm(0.0f));
+        b.forLoop(k, 0, 18, [&](BlockBuilder& b2) {
+            b2.assign(
+                sum,
+                varRef(sum) +
+                    load(x, varRef(k)) *
+                        call(Intrinsic::Cos,
+                             {toFloat((intImm(2) * varRef(i) +
+                                       intImm(19)) *
+                                      (intImm(2) * varRef(k) +
+                                       intImm(1))) *
+                              floatImm(3.14159265f / 72.0f)}));
+        });
+        b.push(varRef(sum));
+    });
+    return f.build();
+}
+
+} // namespace
+
+graph::StreamPtr
+makeMp3Decoder()
+{
+    using graph::filterStream;
+    return graph::pipeline({
+        filterStream(floatSource("Granule", 18, 97)),
+        filterStream(dequantize()),
+        filterStream(antialias()),
+        filterStream(imdct()),
+        filterStream(floatSink("Pcm", 36)),
+    });
+}
+
+} // namespace macross::benchmarks

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Random program generator implementation.
+ */
+#include "benchmarks/random_graph.h"
+
+#include "benchmarks/common.h"
+#include "support/rng.h"
+
+namespace macross::benchmarks {
+
+using graph::FilterBuilder;
+using graph::FilterDefPtr;
+using namespace ir;
+
+namespace {
+
+/** Stateless pop-p/push-q arithmetic mapper. */
+FilterDefPtr
+randomMapper(const std::string& name, Rng& rng, int p, int q)
+{
+    FilterBuilder f(name, kFloat32, kFloat32);
+    f.rates(p, p, q);
+    auto buf = f.local("buf", kFloat32, p);
+    auto i = f.local("i", kInt32);
+    f.work().forLoop(i, 0, p, [&](BlockBuilder& b) {
+        b.store(buf, varRef(i), f.pop());
+    });
+    for (int j = 0; j < q; ++j) {
+        ExprPtr e = load(buf, intImm(j % p)) *
+                        floatImm(rng.floatIn(0.5f, 1.5f)) +
+                    floatImm(rng.floatIn(-1.0f, 1.0f));
+        if (rng.chance(0.3)) {
+            e = e + load(buf, intImm((j + 1) % p)) *
+                        floatImm(rng.floatIn(0.1f, 0.9f));
+        }
+        if (rng.chance(0.2))
+            e = call(Intrinsic::Abs, {std::move(e)});
+        if (rng.chance(0.15)) {
+            e = call(Intrinsic::Sqrt,
+                     {call(Intrinsic::Abs, {std::move(e)})});
+        }
+        f.work().push(std::move(e));
+    }
+    return f.build();
+}
+
+/** Stateful leaky accumulator, pop p / push p. */
+FilterDefPtr
+randomStateful(const std::string& name, Rng& rng, int p)
+{
+    FilterBuilder f(name, kFloat32, kFloat32);
+    f.rates(p, p, p);
+    auto acc = f.state("acc", kFloat32);
+    f.init().assign(acc, floatImm(rng.floatIn(0.0f, 1.0f)));
+    auto i = f.local("i", kInt32);
+    auto x = f.local("x", kFloat32);
+    float leak = rng.floatIn(0.5f, 0.95f);
+    f.work().forLoop(i, 0, p, [&](BlockBuilder& b) {
+        b.assign(x, f.pop());
+        b.assign(acc, varRef(acc) * floatImm(leak) +
+                          varRef(x) * floatImm(1.0f - leak));
+        b.push(varRef(x) + varRef(acc) * floatImm(0.25f));
+    });
+    return f.build();
+}
+
+/** Peeking windowed filter: peek w, pop p, push 1. */
+FilterDefPtr
+randomPeeker(const std::string& name, Rng& rng, int p, int w)
+{
+    FilterBuilder f(name, kFloat32, kFloat32);
+    f.rates(w, p, 1);
+    auto i = f.local("i", kInt32);
+    auto sum = f.local("sum", kFloat32);
+    auto t = f.local("t", kFloat32);
+    float c = rng.floatIn(0.1f, 0.5f);
+    f.work().assign(sum, floatImm(0.0f));
+    f.work().forLoop(i, 0, w, [&](BlockBuilder& b) {
+        b.assign(sum, varRef(sum) +
+                          f.peek(varRef(i)) * floatImm(c));
+    });
+    auto j = f.local("j", kInt32);
+    f.work().forLoop(j, 0, p, [&](BlockBuilder& b) {
+        b.assign(t, f.pop());
+    });
+    f.work().push(varRef(sum));
+    return f.build();
+}
+
+/** Stateless mapper with a data-dependent clamp (lane-serial if). */
+FilterDefPtr
+randomClamper(const std::string& name, Rng& rng, int p)
+{
+    FilterBuilder f(name, kFloat32, kFloat32);
+    f.rates(p, p, p);
+    auto x = f.local("x", kFloat32);
+    auto i = f.local("i", kInt32);
+    float hi = rng.floatIn(0.5f, 2.0f);
+    float lo = rng.floatIn(-2.0f, -0.5f);
+    f.work().forLoop(i, 0, p, [&](BlockBuilder& b) {
+        b.assign(x, f.pop());
+        b.ifElse(varRef(x) > floatImm(hi),
+                 [&](BlockBuilder& t) { t.assign(x, floatImm(hi)); },
+                 [&](BlockBuilder& e) {
+                     e.assign(x, varRef(x) * floatImm(0.75f) +
+                                     floatImm(lo * 0.1f));
+                 });
+        b.push(varRef(x));
+    });
+    return f.build();
+}
+
+/** Fixed-structure mapper so split-join branches stay isomorphic. */
+FilterDefPtr
+isoMapper(const std::string& name, Rng& rng)
+{
+    FilterBuilder f(name, kFloat32, kFloat32);
+    f.rates(1, 1, 1);
+    f.work().push(f.pop() * floatImm(rng.floatIn(0.5f, 1.5f)) +
+                  floatImm(rng.floatIn(-1.0f, 1.0f)));
+    return f.build();
+}
+
+} // namespace
+
+graph::StreamPtr
+randomProgram(std::uint64_t seed, const RandomGraphOptions& opts)
+{
+    Rng rng(seed);
+    std::vector<graph::StreamPtr> stages;
+    int sourcePush = static_cast<int>(rng.intIn(1, opts.maxRate));
+    stages.push_back(graph::filterStream(floatSource(
+        "src", sourcePush, static_cast<int>(rng.intIn(1, 1 << 20)))));
+
+    int n = static_cast<int>(rng.intIn(1, opts.maxPipelineLength));
+    bool usedSplitJoin = false;
+    for (int k = 0; k < n; ++k) {
+        const std::string name = "actor" + std::to_string(k);
+        if (opts.allowSplitJoin && !usedSplitJoin && rng.chance(0.3)) {
+            usedSplitJoin = true;
+            std::vector<graph::StreamPtr> branches;
+            bool dup = rng.chance(0.5);
+            bool stateful = opts.allowStateful && rng.chance(0.5);
+            for (int b = 0; b < opts.splitJoinLanes; ++b) {
+                const std::string bn = name + "_b" +
+                                       std::to_string(b);
+                branches.push_back(graph::filterStream(
+                    stateful ? randomStateful(bn, rng, 1)
+                             : isoMapper(bn, rng)));
+            }
+            std::vector<int> ones(opts.splitJoinLanes, 1);
+            stages.push_back(
+                dup ? graph::splitJoinDuplicate(std::move(branches),
+                                                ones)
+                    : graph::splitJoinRoundRobin(
+                          ones, std::move(branches), ones));
+            continue;
+        }
+        int p = static_cast<int>(rng.intIn(1, opts.maxRate));
+        if (opts.allowStateful && rng.chance(0.25)) {
+            stages.push_back(
+                graph::filterStream(randomStateful(name, rng, p)));
+        } else if (rng.chance(0.2)) {
+            stages.push_back(
+                graph::filterStream(randomClamper(name, rng, p)));
+        } else if (opts.allowPeeking && rng.chance(0.25)) {
+            int w = p + static_cast<int>(rng.intIn(1, 4));
+            stages.push_back(
+                graph::filterStream(randomPeeker(name, rng, p, w)));
+        } else {
+            int q = static_cast<int>(rng.intIn(1, opts.maxRate));
+            stages.push_back(
+                graph::filterStream(randomMapper(name, rng, p, q)));
+        }
+    }
+    stages.push_back(graph::filterStream(floatSink("snk", 1)));
+    return graph::pipeline(std::move(stages));
+}
+
+} // namespace macross::benchmarks

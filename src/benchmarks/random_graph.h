@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Random stream-program generator for property-based testing.
+ *
+ * Generates pipelines with random rates, random stateless/stateful
+ * actor bodies (arithmetic over pops, local arrays, inner loops,
+ * peeking windows), and optional isomorphic split-joins — the shapes
+ * every MacroSS transform must preserve bit-exactly.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "graph/stream.h"
+
+namespace macross::benchmarks {
+
+/** Tuning knobs for the generator. */
+struct RandomGraphOptions {
+    int maxPipelineLength = 6;
+    int maxRate = 5;
+    bool allowStateful = true;
+    bool allowPeeking = true;
+    bool allowSplitJoin = true;
+    int splitJoinLanes = 4;  ///< Branch count when one is generated.
+};
+
+/** Generate a random valid stream program from @p seed. */
+graph::StreamPtr randomProgram(std::uint64_t seed,
+                               const RandomGraphOptions& opts = {});
+
+} // namespace macross::benchmarks

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The paper's running example (Figure 2a): ten actors exercising all
+ * three SIMDization strategies at once.
+ *
+ *   A -> split(4,4,4,4) -> [B_i -> C_i] x4 -> join(1,1,1,1)
+ *     -> D -> E -> F -> G -> H
+ *
+ *  - B0..B3 are stateless and isomorphic up to one constant (Figure
+ *    6a); C0..C3 are stateful shift registers -> the split-join is
+ *    horizontally SIMDized.
+ *  - D (pop 2, push 2; Figure 3a) and E (pop 3, push 4) fuse
+ *    vertically into the paper's 3D_2E coarse actor.
+ *  - F is a stateful IIR-style accumulator, so it stays scalar, like
+ *    F in Figure 2b.
+ *  - G (peek 4, pop 2, push 8) is single-actor SIMDized.
+ *  - A (source) and H (sink) are stateful endpoints.
+ */
+#include "benchmarks/common.h"
+#include "benchmarks/suite.h"
+
+namespace macross::benchmarks {
+
+using graph::FilterBuilder;
+using graph::FilterDefPtr;
+using namespace ir;
+
+namespace {
+
+/** Figure 6a: pops 12, computes (a0*a1 + a2*a3) / c, pushes 3. */
+FilterDefPtr
+actorB(const std::string& name, float divisor)
+{
+    FilterBuilder f(name, kFloat32, kFloat32);
+    f.rates(12, 12, 3);
+    auto i = f.local("i", kInt32);
+    auto a0 = f.local("a0", kFloat32);
+    auto a1 = f.local("a1", kFloat32);
+    auto a2 = f.local("a2", kFloat32);
+    auto a3 = f.local("a3", kFloat32);
+    f.work().forLoop(i, 0, 3, [&](BlockBuilder& b) {
+        b.assign(a0, f.pop());
+        b.assign(a1, f.pop());
+        b.assign(a2, f.pop());
+        b.assign(a3, f.pop());
+        b.push((varRef(a0) * varRef(a1) + varRef(a2) * varRef(a3)) /
+               floatImm(divisor));
+    });
+    return f.build();
+}
+
+/** Figure 6a: stateful 31-deep shift register. */
+FilterDefPtr
+actorC(const std::string& name)
+{
+    FilterBuilder f(name, kFloat32, kFloat32);
+    f.rates(1, 1, 1);
+    auto state = f.state("state", kFloat32, 31);
+    auto ph = f.state("place_holder", kInt32);
+    auto i = f.local("i", kInt32);
+    f.init().assign(ph, intImm(0));
+    f.init().forLoop(i, 0, 31, [&](BlockBuilder& b) {
+        b.store(state, varRef(i), floatImm(0.0f));
+    });
+    f.work().push(load(state, varRef(ph)));
+    f.work().store(state, varRef(ph), f.pop());
+    f.work().assign(ph, (varRef(ph) + intImm(1)) % intImm(31));
+    return f.build();
+}
+
+/** Figure 3a actor D: pop 2, push 2, sqrt of sums. */
+FilterDefPtr
+actorD()
+{
+    FilterBuilder f("D", kFloat32, kFloat32);
+    f.rates(2, 2, 2);
+    auto coeff = f.state("coeff", kFloat32, 2);
+    f.init().store(coeff, intImm(0), floatImm(1.5f));
+    f.init().store(coeff, intImm(1), floatImm(0.5f));
+    auto i = f.local("i", kInt32);
+    auto t = f.local("t", kFloat32);
+    auto tmp = f.local("tmp", kFloat32, 2);
+    f.work().forLoop(i, 0, 2, [&](BlockBuilder& b) {
+        b.assign(t, f.pop());
+        b.store(tmp, varRef(i), varRef(t) * load(coeff, varRef(i)));
+    });
+    // abs() keeps the sqrt argument non-negative for any input.
+    f.work().push(call(Intrinsic::Sqrt,
+                       {call(Intrinsic::Abs,
+                             {load(tmp, intImm(0)) +
+                              load(tmp, intImm(1))})}));
+    f.work().push(call(Intrinsic::Sqrt,
+                       {call(Intrinsic::Abs,
+                             {load(tmp, intImm(0)) -
+                              load(tmp, intImm(1))})}));
+    return f.build();
+}
+
+/** Figure 3a actor E: pop 3, push 4, sin/cos mixing. */
+FilterDefPtr
+actorE()
+{
+    FilterBuilder f("E", kFloat32, kFloat32);
+    f.rates(3, 3, 4);
+    auto x0 = f.local("x0", kFloat32);
+    auto x1 = f.local("x1", kFloat32);
+    auto x2 = f.local("x2", kFloat32);
+    auto result = f.local("result", kFloat32, 4);
+    f.work().assign(x0, f.pop());
+    f.work().assign(x1, f.pop());
+    f.work().assign(x2, f.pop());
+    f.work().store(result, intImm(0),
+                   varRef(x1) * call(Intrinsic::Cos, {varRef(x0)}) +
+                       varRef(x2));
+    f.work().store(result, intImm(1),
+                   varRef(x0) * call(Intrinsic::Cos, {varRef(x1)}) +
+                       varRef(x2));
+    f.work().store(result, intImm(2),
+                   varRef(x1) * call(Intrinsic::Sin, {varRef(x0)}) +
+                       varRef(x2));
+    f.work().store(result, intImm(3),
+                   varRef(x0) * call(Intrinsic::Sin, {varRef(x1)}) +
+                       varRef(x2));
+    auto i = f.local("i", kInt32);
+    f.work().forLoop(i, 0, 4, [&](BlockBuilder& b) {
+        b.push(load(result, varRef(i)));
+    });
+    return f.build();
+}
+
+/** F: stateful leaky integrator over groups of 4 (stays scalar). */
+FilterDefPtr
+actorF()
+{
+    FilterBuilder f("F", kFloat32, kFloat32);
+    f.rates(4, 4, 1);
+    auto acc = f.state("acc", kFloat32);
+    f.init().assign(acc, floatImm(0.0f));
+    auto i = f.local("i", kInt32);
+    auto s = f.local("s", kFloat32);
+    f.work().assign(s, floatImm(0.0f));
+    f.work().forLoop(i, 0, 4, [&](BlockBuilder& b) {
+        b.assign(s, varRef(s) + f.pop());
+    });
+    f.work().assign(acc, varRef(acc) * floatImm(0.5f) +
+                             varRef(s) * floatImm(0.125f));
+    f.work().push(varRef(acc));
+    return f.build();
+}
+
+/** G: peek 4, pop 2, push 8 interpolator (single-actor SIMDized). */
+FilterDefPtr
+actorG()
+{
+    FilterBuilder f("G", kFloat32, kFloat32);
+    f.rates(4, 2, 8);
+    auto j = f.local("j", kInt32);
+    auto w = f.local("w", kFloat32);
+    auto t = f.local("t", kFloat32);
+    f.work().forLoop(j, 0, 4, [&](BlockBuilder& b) {
+        b.assign(w, f.peek(varRef(j)) * floatImm(0.25f));
+        b.push(varRef(w));
+        b.push(varRef(w) * floatImm(0.75f) + floatImm(0.1f));
+    });
+    f.work().assign(t, f.pop());
+    f.work().assign(t, f.pop());
+    return f.build();
+}
+
+} // namespace
+
+graph::StreamPtr
+makeRunningExample()
+{
+    using graph::filterStream;
+    std::vector<graph::StreamPtr> branches;
+    for (int i = 0; i < 4; ++i) {
+        branches.push_back(graph::pipeline({
+            filterStream(actorB("B" + std::to_string(i),
+                                5.0f + static_cast<float>(i))),
+            filterStream(actorC("C" + std::to_string(i))),
+        }));
+    }
+    return graph::pipeline({
+        filterStream(floatSource("A", 8, 7)),
+        graph::splitJoinRoundRobin({4, 4, 4, 4}, std::move(branches),
+                                   {1, 1, 1, 1}),
+        filterStream(actorD()),
+        filterStream(actorE()),
+        filterStream(actorF()),
+        filterStream(actorG()),
+        filterStream(floatSink("H", 8)),
+    });
+}
+
+} // namespace macross::benchmarks

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Benchmark registry.
+ */
+#include "benchmarks/suite.h"
+
+#include "support/diagnostics.h"
+
+namespace macross::benchmarks {
+
+std::vector<Benchmark>
+standardSuite()
+{
+    return {
+        {"BitonicSort", makeBitonicSort()},
+        {"ChannelVocoder", makeChannelVocoder()},
+        {"DCT", makeDct()},
+        {"FFT", makeFft()},
+        {"FilterBank", makeFilterBank()},
+        {"FMRadio", makeFmRadio()},
+        {"BeamFormer", makeBeamFormer()},
+        {"MatrixMult", makeMatrixMult()},
+        {"MatrixMultBlock", makeMatrixMultBlock()},
+        {"MP3Decoder", makeMp3Decoder()},
+        {"AudioBeam", makeAudioBeam()},
+        {"TDE", makeTde()},
+    };
+}
+
+graph::StreamPtr
+benchmarkByName(const std::string& name)
+{
+    if (name == "RunningExample")
+        return makeRunningExample();
+    for (auto& b : standardSuite()) {
+        if (b.name == name)
+            return b.program;
+    }
+    fatal("unknown benchmark '", name, "'");
+}
+
+} // namespace macross::benchmarks

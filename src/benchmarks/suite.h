@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The benchmark suite: re-derivations of the StreamIt benchmarks the
+ * paper evaluates (Section 5), plus the paper's Figure 2 running
+ * example. Each function builds the hierarchical stream program;
+ * DESIGN.md maps benchmarks to the experiments they appear in.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/stream.h"
+
+namespace macross::benchmarks {
+
+/** A named stream program. */
+struct Benchmark {
+    std::string name;
+    graph::StreamPtr program;
+};
+
+graph::StreamPtr makeRunningExample();  ///< Figure 2a of the paper.
+graph::StreamPtr makeFmRadio();
+graph::StreamPtr makeBeamFormer();
+graph::StreamPtr makeFilterBank();
+graph::StreamPtr makeMatrixMult();
+graph::StreamPtr makeMatrixMultBlock();
+graph::StreamPtr makeDct();
+graph::StreamPtr makeFft();
+graph::StreamPtr makeBitonicSort();
+graph::StreamPtr makeChannelVocoder();
+graph::StreamPtr makeMp3Decoder();
+graph::StreamPtr makeAudioBeam();
+graph::StreamPtr makeTde();
+
+/** The benchmarks evaluated in Figures 10-13 (paper order). */
+std::vector<Benchmark> standardSuite();
+
+/** Lookup by name; fatal on unknown names. */
+graph::StreamPtr benchmarkByName(const std::string& name);
+
+} // namespace macross::benchmarks

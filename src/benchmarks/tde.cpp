@@ -1,0 +1,110 @@
+/**
+ * @file
+ * TDE: time-delay equalization (GMTI radar front end, StreamIt TDE
+ * structure): FFT -> frequency-domain multiply by the equalizer
+ * response -> IFFT, all stateless with matched rates — a vertical
+ * fusion chain with non-trivial compute per stage.
+ */
+#include "benchmarks/common.h"
+#include "benchmarks/suite.h"
+
+namespace macross::benchmarks {
+
+using graph::FilterBuilder;
+using graph::FilterDefPtr;
+using namespace ir;
+
+namespace {
+
+constexpr int kBins = 8;  // Complex bins per block.
+
+/** Four-step complex DFT over 8 bins (stateless, table in init). */
+FilterDefPtr
+dft(const std::string& name, float sign)
+{
+    FilterBuilder f(name, kFloat32, kFloat32);
+    f.rates(2 * kBins, 2 * kBins, 2 * kBins);
+    auto re = f.local("re", kFloat32, kBins);
+    auto im = f.local("im", kFloat32, kBins);
+    auto cr = f.state("cr", kFloat32, kBins * kBins);
+    auto ci = f.state("ci", kFloat32, kBins * kBins);
+    auto i = f.local("i", kInt32);
+    auto k = f.local("k", kInt32);
+    auto sr = f.local("sr", kFloat32);
+    auto si = f.local("si", kFloat32);
+    f.init().forLoop(k, 0, kBins, [&](BlockBuilder& b) {
+        b.forLoop(i, 0, kBins, [&](BlockBuilder& b2) {
+            auto angle = toFloat(varRef(k) * varRef(i)) *
+                         floatImm(sign * 2.0f * 3.14159265f / kBins);
+            b2.store(cr, varRef(k) * intImm(kBins) + varRef(i),
+                     call(Intrinsic::Cos, {angle}));
+            b2.store(ci, varRef(k) * intImm(kBins) + varRef(i),
+                     call(Intrinsic::Sin, {angle}));
+        });
+    });
+    f.work().forLoop(i, 0, kBins, [&](BlockBuilder& b) {
+        b.store(re, varRef(i), f.pop());
+        b.store(im, varRef(i), f.pop());
+    });
+    f.work().forLoop(k, 0, kBins, [&](BlockBuilder& b) {
+        b.assign(sr, floatImm(0.0f));
+        b.assign(si, floatImm(0.0f));
+        b.forLoop(i, 0, kBins, [&](BlockBuilder& b2) {
+            auto wr = load(cr, varRef(k) * intImm(kBins) + varRef(i));
+            auto wi = load(ci, varRef(k) * intImm(kBins) + varRef(i));
+            b2.assign(sr, varRef(sr) + load(re, varRef(i)) * wr -
+                              load(im, varRef(i)) * wi);
+            b2.assign(si, varRef(si) + load(re, varRef(i)) * wi +
+                              load(im, varRef(i)) * wr);
+        });
+        b.push(varRef(sr) * floatImm(1.0f / kBins));
+        b.push(varRef(si) * floatImm(1.0f / kBins));
+    });
+    return f.build();
+}
+
+/** Frequency-domain complex multiply by a fixed response. */
+FilterDefPtr
+eqMultiply()
+{
+    FilterBuilder f("EqMul", kFloat32, kFloat32);
+    f.rates(2 * kBins, 2 * kBins, 2 * kBins);
+    auto hr = f.state("hr", kFloat32, kBins);
+    auto hi = f.state("hi", kFloat32, kBins);
+    auto k = f.local("k", kInt32);
+    auto xr = f.local("xr", kFloat32);
+    auto xi = f.local("xi", kFloat32);
+    f.init().forLoop(k, 0, kBins, [&](BlockBuilder& b) {
+        b.store(hr, varRef(k),
+                floatImm(1.0f) /
+                    (floatImm(1.0f) + toFloat(varRef(k)) *
+                                          floatImm(0.125f)));
+        b.store(hi, varRef(k), toFloat(varRef(k)) * floatImm(-0.05f));
+    });
+    f.work().forLoop(k, 0, kBins, [&](BlockBuilder& b) {
+        b.assign(xr, f.pop());
+        b.assign(xi, f.pop());
+        b.push(varRef(xr) * load(hr, varRef(k)) -
+               varRef(xi) * load(hi, varRef(k)));
+        b.push(varRef(xr) * load(hi, varRef(k)) +
+               varRef(xi) * load(hr, varRef(k)));
+    });
+    return f.build();
+}
+
+} // namespace
+
+graph::StreamPtr
+makeTde()
+{
+    using graph::filterStream;
+    return graph::pipeline({
+        filterStream(floatSource("Pulse", 2 * kBins, 113)),
+        filterStream(dft("Fft8", -1.0f)),
+        filterStream(eqMultiply()),
+        filterStream(dft("Ifft8", 1.0f)),
+        filterStream(floatSink("Equalized", 2 * kBins)),
+    });
+}
+
+} // namespace macross::benchmarks

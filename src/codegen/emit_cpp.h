@@ -1,0 +1,37 @@
+/**
+ * @file
+ * C++ code generation: the final Emit-Intermediate-Code phase of
+ * Algorithm 1.
+ *
+ * Emits one self-contained C++17 translation unit for a compiled
+ * (possibly SIMDized) program: a portable fixed-width vector type in
+ * place of target intrinsics (each of its operations corresponds 1:1
+ * to an SSE/AltiVec/NEON instruction, including extract_even/odd and
+ * unpack), tape FIFOs with the SAGU transposed addressing where
+ * annotated, one struct per actor, and a main() that runs the init
+ * phase plus N steady iterations and prints the first K sink outputs
+ * and a checksum. The emitted program must produce exactly the same
+ * output stream as the interpreter (enforced by an end-to-end test
+ * that compiles it with the host compiler).
+ */
+#pragma once
+
+#include <string>
+
+#include "graph/flat_graph.h"
+#include "schedule/steady_state.h"
+
+namespace macross::codegen {
+
+/** Code-generation options. */
+struct EmitOptions {
+    int steadyIterations = 4;  ///< Default for the emitted main().
+    int printFirst = 32;       ///< Sink elements echoed by main().
+};
+
+/** Emit the full translation unit. */
+std::string emitCpp(const graph::FlatGraph& g,
+                    const schedule::Schedule& s,
+                    const EmitOptions& opts = {});
+
+} // namespace macross::codegen

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Lexer implementation.
+ */
+#include "frontend/lexer.h"
+
+#include <cctype>
+
+#include "support/diagnostics.h"
+
+namespace macross::frontend {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+} // namespace
+
+std::vector<Token>
+tokenize(const std::string& source)
+{
+    std::vector<Token> out;
+    int line = 1, col = 1;
+    std::size_t i = 0;
+    const std::size_t n = source.size();
+
+    auto peekc = [&](std::size_t k = 0) -> char {
+        return i + k < n ? source[i + k] : '\0';
+    };
+    auto advance = [&]() {
+        if (source[i] == '\n') {
+            ++line;
+            col = 1;
+        } else {
+            ++col;
+        }
+        ++i;
+    };
+
+    while (i < n) {
+        char c = peekc();
+        // Whitespace.
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            advance();
+            continue;
+        }
+        // Comments.
+        if (c == '/' && peekc(1) == '/') {
+            while (i < n && peekc() != '\n')
+                advance();
+            continue;
+        }
+        if (c == '/' && peekc(1) == '*') {
+            int startLine = line;
+            advance();
+            advance();
+            while (i < n && !(peekc() == '*' && peekc(1) == '/'))
+                advance();
+            fatalIf(i >= n, "unterminated block comment starting at "
+                            "line ", startLine);
+            advance();
+            advance();
+            continue;
+        }
+
+        Token t;
+        t.line = line;
+        t.col = col;
+
+        // Identifiers / keywords.
+        if (isIdentStart(c)) {
+            std::string s;
+            while (i < n && isIdentChar(peekc())) {
+                s += peekc();
+                advance();
+            }
+            t.kind = Tok::Ident;
+            t.text = std::move(s);
+            out.push_back(std::move(t));
+            continue;
+        }
+
+        // Numbers: integer or float (digits, optional '.', exponent,
+        // optional trailing 'f').
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' &&
+             std::isdigit(static_cast<unsigned char>(peekc(1))))) {
+            std::string s;
+            bool isFloat = false;
+            while (i < n &&
+                   (std::isdigit(static_cast<unsigned char>(peekc())) ||
+                    peekc() == '.')) {
+                if (peekc() == '.')
+                    isFloat = true;
+                s += peekc();
+                advance();
+            }
+            if (peekc() == 'e' || peekc() == 'E') {
+                isFloat = true;
+                s += peekc();
+                advance();
+                if (peekc() == '+' || peekc() == '-') {
+                    s += peekc();
+                    advance();
+                }
+                while (i < n &&
+                       std::isdigit(
+                           static_cast<unsigned char>(peekc()))) {
+                    s += peekc();
+                    advance();
+                }
+            }
+            if (peekc() == 'f' || peekc() == 'F') {
+                isFloat = true;
+                advance();
+            }
+            t.text = s;
+            if (isFloat) {
+                t.kind = Tok::FloatLit;
+                t.fval = std::stof(s);
+            } else {
+                t.kind = Tok::IntLit;
+                t.ival = std::stoll(s);
+            }
+            out.push_back(std::move(t));
+            continue;
+        }
+
+        // Multi-char operators.
+        auto two = [&](const char* s) {
+            return c == s[0] && peekc(1) == s[1];
+        };
+        if (two("->")) {
+            t.kind = Tok::Arrow;
+            t.text = "->";
+            advance();
+            advance();
+            out.push_back(std::move(t));
+            continue;
+        }
+        if (two("++")) {
+            t.kind = Tok::PlusPlus;
+            t.text = "++";
+            advance();
+            advance();
+            out.push_back(std::move(t));
+            continue;
+        }
+        for (const char* op :
+             {"==", "!=", "<=", ">=", "<<", ">>", "&&", "||"}) {
+            if (two(op)) {
+                t.kind = Tok::Op2;
+                t.text = op;
+                advance();
+                advance();
+                out.push_back(std::move(t));
+                break;
+            }
+        }
+        if (!out.empty() && out.back().line == t.line &&
+            out.back().col == t.col) {
+            continue;  // consumed by the Op2 loop above
+        }
+
+        // Single-char punctuation.
+        static const std::string punct = "(){}[];,=+-*/%<>&|^!.";
+        if (punct.find(c) != std::string::npos) {
+            t.kind = Tok::Punct;
+            t.text = std::string(1, c);
+            advance();
+            out.push_back(std::move(t));
+            continue;
+        }
+
+        fatal("unexpected character '", std::string(1, c),
+              "' at line ", line, ", column ", col);
+    }
+
+    Token end;
+    end.kind = Tok::End;
+    end.line = line;
+    end.col = col;
+    out.push_back(end);
+    return out;
+}
+
+} // namespace macross::frontend

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Lexer for the MacroSS stream language — a StreamIt-flavored textual
+ * front end (filters with peek/pop/push rates, pipelines, split-joins).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace macross::frontend {
+
+/** Token categories. */
+enum class Tok {
+    Ident,
+    IntLit,
+    FloatLit,
+    Arrow,     // ->
+    PlusPlus,  // ++
+    Punct,     // single-char punctuation / operators
+    Op2,       // two-char operators: == != <= >= << >> && ||
+    End,
+};
+
+/** One token with source position for diagnostics. */
+struct Token {
+    Tok kind = Tok::End;
+    std::string text;
+    std::int64_t ival = 0;
+    float fval = 0.0f;
+    int line = 0;
+    int col = 0;
+};
+
+/**
+ * Tokenize @p source. `//` line comments and `/ * ... * /` block
+ * comments are skipped. Calls fatal() with line/column info on
+ * malformed input.
+ */
+std::vector<Token> tokenize(const std::string& source);
+
+} // namespace macross::frontend

@@ -1,0 +1,817 @@
+/**
+ * @file
+ * Recursive-descent parser + elaborator.
+ *
+ * Filter and pipeline declarations are recorded as token spans
+ * ("templates") on a first pass; instantiation re-walks the span with
+ * a constant environment binding the parameters, producing fresh
+ * FilterDefs / subgraphs per `add`.
+ */
+#include "frontend/parser.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "frontend/lexer.h"
+#include "ir/analysis.h"
+#include "support/diagnostics.h"
+
+namespace macross::frontend {
+
+using graph::FilterBuilder;
+using graph::StreamPtr;
+using ir::BlockBuilder;
+using ir::ExprPtr;
+using ir::VarPtr;
+
+namespace {
+
+/** A recorded declaration: parameters + body token span. */
+struct Template {
+    bool isFilter = false;
+    ir::Type inElem = ir::kFloat32;
+    ir::Type outElem = ir::kFloat32;
+    std::vector<std::pair<std::string, bool>> params;  // name, isFloat
+    std::size_t bodyStart = 0;  // index of '{'
+};
+
+/** Constant bindings for one instantiation. */
+using ConstEnv = std::unordered_map<std::string, ExprPtr>;
+
+class Parser {
+  public:
+    explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+    StreamPtr program();
+
+  private:
+    // --- token helpers ---
+    const Token& cur() const { return toks_[pos_]; }
+    const Token& next(int k = 1) const
+    {
+        std::size_t i = pos_ + k;
+        return i < toks_.size() ? toks_[i] : toks_.back();
+    }
+    void bump() { ++pos_; }
+
+    [[noreturn]] void err(const std::string& what) const
+    {
+        fatal("parse error at line ", cur().line, ", column ",
+              cur().col, ": ", what,
+              cur().kind == Tok::End
+                  ? " (at end of input)"
+                  : " (near '" + cur().text + "')");
+    }
+
+    bool isPunct(const char* s) const
+    {
+        return (cur().kind == Tok::Punct || cur().kind == Tok::Op2 ||
+                cur().kind == Tok::Arrow ||
+                cur().kind == Tok::PlusPlus) &&
+               cur().text == s;
+    }
+    bool isIdent(const char* s) const
+    {
+        return cur().kind == Tok::Ident && cur().text == s;
+    }
+    void expect(const char* s)
+    {
+        if (!isPunct(s))
+            err(std::string("expected '") + s + "'");
+        bump();
+    }
+    std::string expectIdent(const char* what)
+    {
+        if (cur().kind != Tok::Ident)
+            err(std::string("expected ") + what);
+        std::string s = cur().text;
+        bump();
+        return s;
+    }
+    bool eatIdent(const char* s)
+    {
+        if (isIdent(s)) {
+            bump();
+            return true;
+        }
+        return false;
+    }
+
+    /** Skip a balanced {...} starting at the current '{'. */
+    void skipBraces()
+    {
+        if (!isPunct("{"))
+            err("expected '{'");
+        int depth = 0;
+        do {
+            if (isPunct("{"))
+                ++depth;
+            if (isPunct("}"))
+                --depth;
+            if (cur().kind == Tok::End)
+                err("unterminated '{'");
+            bump();
+        } while (depth > 0);
+    }
+
+    // --- declarations ---
+    ir::Type parseElemType(bool* isVoid = nullptr);
+    void parseDecl();
+
+    // --- instantiation ---
+    StreamPtr instantiate(const std::string& name,
+                          const std::vector<ExprPtr>& args, int line);
+    graph::FilterDefPtr elaborateFilter(const std::string& name,
+                                        const Template& t,
+                                        const ConstEnv& env);
+    StreamPtr elaboratePipeline(const Template& t, const ConstEnv& env);
+    StreamPtr parseAddOperand(const ConstEnv& env);
+    StreamPtr parseSplitJoin(const ConstEnv& env);
+
+    // --- filter bodies ---
+    struct BodyCtx {
+        FilterBuilder* fb = nullptr;
+        const ConstEnv* consts = nullptr;
+        std::unordered_map<std::string, VarPtr> vars;
+    };
+    void parseStmts(BodyCtx& ctx, BlockBuilder& out);
+    void parseStmt(BodyCtx& ctx, BlockBuilder& out);
+    ExprPtr parseExpr(BodyCtx& ctx) { return parseBinary(ctx, 0); }
+    ExprPtr parseBinary(BodyCtx& ctx, int minPrec);
+    ExprPtr parseUnary(BodyCtx& ctx);
+    ExprPtr parsePrimary(BodyCtx& ctx);
+    std::int64_t constIntExpr(BodyCtx& ctx, const char* what);
+
+    std::vector<Token> toks_;
+    std::size_t pos_ = 0;
+    std::unordered_map<std::string, Template> templates_;
+    std::vector<std::string> pipelineOrder_;
+    int instantiationDepth_ = 0;
+};
+
+ir::Type
+Parser::parseElemType(bool* isVoid)
+{
+    if (isVoid)
+        *isVoid = false;
+    if (eatIdent("float"))
+        return ir::kFloat32;
+    if (eatIdent("int"))
+        return ir::kInt32;
+    if (eatIdent("void")) {
+        if (isVoid)
+            *isVoid = true;
+        return ir::kFloat32;
+    }
+    err("expected element type (int, float, or void)");
+}
+
+void
+Parser::parseDecl()
+{
+    Template t;
+    t.inElem = parseElemType();
+    expect("->");
+    t.outElem = parseElemType();
+
+    if (eatIdent("filter")) {
+        t.isFilter = true;
+    } else if (eatIdent("pipeline")) {
+        t.isFilter = false;
+    } else {
+        err("expected 'filter' or 'pipeline'");
+    }
+    std::string name = expectIdent("declaration name");
+    fatalIf(templates_.count(name), "duplicate declaration of '", name,
+            "'");
+
+    expect("(");
+    while (!isPunct(")")) {
+        bool isFloat = false;
+        if (eatIdent("float"))
+            isFloat = true;
+        else if (eatIdent("int"))
+            isFloat = false;
+        else
+            err("expected parameter type");
+        t.params.emplace_back(expectIdent("parameter name"), isFloat);
+        if (!isPunct(")"))
+            expect(",");
+    }
+    bump();  // ')'
+
+    t.bodyStart = pos_;
+    skipBraces();
+
+    if (!t.isFilter)
+        pipelineOrder_.push_back(name);
+    templates_.emplace(name, std::move(t));
+}
+
+StreamPtr
+Parser::program()
+{
+    while (cur().kind != Tok::End)
+        parseDecl();
+    fatalIf(pipelineOrder_.empty(),
+            "program declares no pipeline to run");
+    std::string entry = pipelineOrder_.back();
+    for (const auto& n : pipelineOrder_) {
+        if (n == "Main")
+            entry = n;
+    }
+    const Template& t = templates_.at(entry);
+    fatalIf(!t.params.empty(),
+            "entry pipeline '", entry, "' must take no parameters");
+    return elaboratePipeline(t, {});
+}
+
+StreamPtr
+Parser::instantiate(const std::string& name,
+                    const std::vector<ExprPtr>& args, int line)
+{
+    auto it = templates_.find(name);
+    fatalIf(it == templates_.end(), "line ", line,
+            ": unknown filter/pipeline '", name, "'");
+    const Template& t = it->second;
+    fatalIf(args.size() != t.params.size(), "line ", line, ": '", name,
+            "' takes ", t.params.size(), " arguments, got ",
+            args.size());
+    fatalIf(++instantiationDepth_ > 64,
+            "instantiation recursion too deep (cycle through '", name,
+            "'?)");
+
+    ConstEnv env;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        ExprPtr a = args[i];
+        if (t.params[i].second)
+            a = ir::toFloat(a);
+        else
+            fatalIf(!a->type.isInt(), "line ", line,
+                    ": argument ", i + 1, " of '", name,
+                    "' must be an int constant");
+        env.emplace(t.params[i].first, std::move(a));
+    }
+
+    StreamPtr out;
+    if (t.isFilter) {
+        out = graph::filterStream(elaborateFilter(name, t, env));
+    } else {
+        out = elaboratePipeline(t, env);
+    }
+    --instantiationDepth_;
+    return out;
+}
+
+graph::FilterDefPtr
+Parser::elaborateFilter(const std::string& name, const Template& t,
+                        const ConstEnv& env)
+{
+    std::size_t saved = pos_;
+    pos_ = t.bodyStart;
+    expect("{");
+
+    FilterBuilder fb(name, t.inElem, t.outElem);
+    BodyCtx ctx;
+    ctx.fb = &fb;
+    ctx.consts = &env;
+
+    bool sawWork = false;
+    while (!isPunct("}")) {
+        if (isIdent("int") || isIdent("float")) {
+            // State declaration (filter scope).
+            bool isFloat = cur().text == "float";
+            bump();
+            std::string vn = expectIdent("state variable name");
+            int arr = 0;
+            if (isPunct("[")) {
+                bump();
+                arr = static_cast<int>(
+                    constIntExpr(ctx, "state array size"));
+                expect("]");
+            }
+            fatalIf(ctx.vars.count(vn) || env.count(vn),
+                    "duplicate name '", vn, "' in filter ", name);
+            ctx.vars[vn] = fb.state(
+                vn, isFloat ? ir::kFloat32 : ir::kInt32, arr);
+            if (isPunct("=")) {
+                bump();
+                fb.init().assign(ctx.vars[vn], parseExpr(ctx));
+            }
+            expect(";");
+            continue;
+        }
+        if (eatIdent("init")) {
+            expect("{");
+            parseStmts(ctx, fb.init());
+            expect("}");
+            continue;
+        }
+        if (eatIdent("work")) {
+            int peek = 0, pop = 0, push = 0;
+            while (true) {
+                if (eatIdent("peek"))
+                    peek = static_cast<int>(
+                        constIntExpr(ctx, "peek rate"));
+                else if (eatIdent("pop"))
+                    pop = static_cast<int>(
+                        constIntExpr(ctx, "pop rate"));
+                else if (eatIdent("push"))
+                    push = static_cast<int>(
+                        constIntExpr(ctx, "push rate"));
+                else
+                    break;
+            }
+            fb.rates(peek, pop, push);
+            expect("{");
+            parseStmts(ctx, fb.work());
+            expect("}");
+            sawWork = true;
+            continue;
+        }
+        err("expected state declaration, 'init', or 'work' in filter");
+    }
+    bump();  // '}'
+    fatalIf(!sawWork, "filter '", name, "' has no work function");
+
+    graph::FilterDefPtr def = fb.build();
+    pos_ = saved;
+    return def;
+}
+
+StreamPtr
+Parser::elaboratePipeline(const Template& t, const ConstEnv& env)
+{
+    std::size_t saved = pos_;
+    pos_ = t.bodyStart;
+    expect("{");
+
+    std::vector<StreamPtr> stages;
+    while (!isPunct("}")) {
+        if (!eatIdent("add"))
+            err("expected 'add' in pipeline");
+        stages.push_back(parseAddOperand(env));
+    }
+    bump();  // '}'
+    fatalIf(stages.empty(), "pipeline has no stages");
+    pos_ = saved;
+    return stages.size() == 1 ? stages[0]
+                              : graph::pipeline(std::move(stages));
+}
+
+StreamPtr
+Parser::parseAddOperand(const ConstEnv& env)
+{
+    if (isIdent("splitjoin")) {
+        StreamPtr sj = parseSplitJoin(env);
+        if (isPunct(";"))
+            bump();  // optional trailing semicolon, StreamIt style
+        return sj;
+    }
+
+    int line = cur().line;
+    std::string name = expectIdent("filter or pipeline name");
+    std::vector<ExprPtr> args;
+    expect("(");
+    BodyCtx argCtx;  // arguments: constants + parent parameters only
+    argCtx.consts = &env;
+    while (!isPunct(")")) {
+        args.push_back(parseExpr(argCtx));
+        if (!isPunct(")"))
+            expect(",");
+    }
+    bump();  // ')'
+    expect(";");
+
+    // Arguments must fold to constants.
+    for (auto& a : args) {
+        if (a->kind == ir::ExprKind::IntImm ||
+            a->kind == ir::ExprKind::FloatImm) {
+            continue;
+        }
+        if (auto v = ir::tryConstFold(a)) {
+            a = ir::intImm(*v);
+            continue;
+        }
+        fatal("line ", line, ": arguments to '", name,
+              "' must be compile-time constants");
+    }
+    return instantiate(name, args, line);
+}
+
+StreamPtr
+Parser::parseSplitJoin(const ConstEnv& env)
+{
+    bump();  // 'splitjoin'
+    expect("{");
+    if (!eatIdent("split"))
+        err("splitjoin must start with 'split'");
+
+    graph::SplitterKind kind;
+    std::vector<int> splitWeights;
+    BodyCtx weightCtx;
+    weightCtx.consts = &env;
+    if (eatIdent("duplicate")) {
+        kind = graph::SplitterKind::Duplicate;
+    } else if (eatIdent("roundrobin")) {
+        kind = graph::SplitterKind::RoundRobin;
+        expect("(");
+        while (!isPunct(")")) {
+            splitWeights.push_back(static_cast<int>(
+                constIntExpr(weightCtx, "splitter weight")));
+            if (!isPunct(")"))
+                expect(",");
+        }
+        bump();
+    } else {
+        err("expected 'duplicate' or 'roundrobin'");
+    }
+    expect(";");
+
+    std::vector<StreamPtr> branches;
+    while (isIdent("add")) {
+        bump();
+        branches.push_back(parseAddOperand(env));
+    }
+
+    if (!eatIdent("join"))
+        err("splitjoin must end with 'join'");
+    if (!eatIdent("roundrobin"))
+        err("joiner must be 'roundrobin'");
+    std::vector<int> joinWeights;
+    expect("(");
+    while (!isPunct(")")) {
+        joinWeights.push_back(static_cast<int>(
+            constIntExpr(weightCtx, "joiner weight")));
+        if (!isPunct(")"))
+            expect(",");
+    }
+    bump();
+    expect(";");
+    expect("}");
+
+    if (kind == graph::SplitterKind::Duplicate)
+        return graph::splitJoinDuplicate(std::move(branches),
+                                         std::move(joinWeights));
+    return graph::splitJoinRoundRobin(std::move(splitWeights),
+                                      std::move(branches),
+                                      std::move(joinWeights));
+}
+
+// --- statements ---
+
+void
+Parser::parseStmts(BodyCtx& ctx, BlockBuilder& out)
+{
+    while (!isPunct("}"))
+        parseStmt(ctx, out);
+}
+
+void
+Parser::parseStmt(BodyCtx& ctx, BlockBuilder& out)
+{
+    // Local declaration.
+    if ((isIdent("int") || isIdent("float")) &&
+        next().kind == Tok::Ident) {
+        bool isFloat = cur().text == "float";
+        bump();
+        std::string vn = expectIdent("variable name");
+        int arr = 0;
+        if (isPunct("[")) {
+            bump();
+            arr = static_cast<int>(constIntExpr(ctx, "array size"));
+            expect("]");
+        }
+        fatalIf(ctx.vars.count(vn) ||
+                    (ctx.consts && ctx.consts->count(vn)),
+                "duplicate variable '", vn, "'");
+        VarPtr v = ctx.fb->local(
+            vn, isFloat ? ir::kFloat32 : ir::kInt32, arr);
+        ctx.vars[vn] = v;
+        if (isPunct("=")) {
+            bump();
+            out.assign(v, parseExpr(ctx));
+        }
+        expect(";");
+        return;
+    }
+
+    if (eatIdent("push")) {
+        expect("(");
+        ExprPtr v = parseExpr(ctx);
+        expect(")");
+        expect(";");
+        out.push(std::move(v));
+        return;
+    }
+
+    if (eatIdent("for")) {
+        expect("(");
+        VarPtr iv;
+        if (eatIdent("int")) {
+            std::string vn = expectIdent("loop variable");
+            iv = ctx.fb->local(vn, ir::kInt32);
+            ctx.vars[vn] = iv;
+        } else {
+            std::string vn = expectIdent("loop variable");
+            auto it = ctx.vars.find(vn);
+            if (it == ctx.vars.end())
+                err("unknown loop variable '" + vn + "'");
+            iv = it->second;
+        }
+        expect("=");
+        ExprPtr begin = parseExpr(ctx);
+        expect(";");
+        std::string vn2 = expectIdent("loop variable");
+        fatalIf(vn2 != iv->name, "loop condition must test '",
+                iv->name, "'");
+        expect("<");
+        ExprPtr end = parseExpr(ctx);
+        expect(";");
+        std::string vn3 = expectIdent("loop variable");
+        fatalIf(vn3 != iv->name, "loop increment must bump '",
+                iv->name, "'");
+        expect("++");
+        expect(")");
+        expect("{");
+        out.forLoop(iv, std::move(begin), std::move(end),
+                    [&](BlockBuilder& body) {
+                        parseStmts(ctx, body);
+                    });
+        expect("}");
+        return;
+    }
+
+    if (eatIdent("if")) {
+        expect("(");
+        ExprPtr cond = parseExpr(ctx);
+        expect(")");
+        expect("{");
+        // Both branches are parsed eagerly inside the builders.
+        std::vector<ir::StmtPtr> thenStmts;
+        {
+            BlockBuilder body;
+            parseStmts(ctx, body);
+            thenStmts = body.take();
+        }
+        expect("}");
+        std::vector<ir::StmtPtr> elseStmts;
+        if (eatIdent("else")) {
+            expect("{");
+            BlockBuilder body;
+            parseStmts(ctx, body);
+            elseStmts = body.take();
+            expect("}");
+        }
+        out.ifElse(
+            std::move(cond),
+            [&](BlockBuilder& b) { b.appendAll(thenStmts); },
+            elseStmts.empty()
+                ? BlockBuilder::Filler(nullptr)
+                : [&](BlockBuilder& b) { b.appendAll(elseStmts); });
+        return;
+    }
+
+    // Assignment: ident [ '[' e ']' ] '=' expr ';'
+    if (cur().kind == Tok::Ident) {
+        std::string vn = expectIdent("variable");
+        auto it = ctx.vars.find(vn);
+        if (it == ctx.vars.end())
+            err("unknown variable '" + vn + "'");
+        VarPtr v = it->second;
+        if (isPunct("[")) {
+            bump();
+            ExprPtr idx = parseExpr(ctx);
+            expect("]");
+            expect("=");
+            ExprPtr val = parseExpr(ctx);
+            expect(";");
+            out.store(v, std::move(idx), std::move(val));
+            return;
+        }
+        expect("=");
+        ExprPtr val = parseExpr(ctx);
+        expect(";");
+        out.assign(v, std::move(val));
+        return;
+    }
+
+    err("expected a statement");
+}
+
+// --- expressions ---
+
+namespace {
+
+int
+precedenceOf(const std::string& op)
+{
+    if (op == "||")
+        return 1;
+    if (op == "&&")
+        return 2;
+    if (op == "|")
+        return 3;
+    if (op == "^")
+        return 4;
+    if (op == "&")
+        return 5;
+    if (op == "==" || op == "!=")
+        return 6;
+    if (op == "<" || op == "<=" || op == ">" || op == ">=")
+        return 7;
+    if (op == "<<" || op == ">>")
+        return 8;
+    if (op == "+" || op == "-")
+        return 9;
+    if (op == "*" || op == "/" || op == "%")
+        return 10;
+    return -1;
+}
+
+ir::BinaryOp
+binopOf(const std::string& op)
+{
+    using ir::BinaryOp;
+    if (op == "+") return BinaryOp::Add;
+    if (op == "-") return BinaryOp::Sub;
+    if (op == "*") return BinaryOp::Mul;
+    if (op == "/") return BinaryOp::Div;
+    if (op == "%") return BinaryOp::Mod;
+    if (op == "<<") return BinaryOp::Shl;
+    if (op == ">>") return BinaryOp::Shr;
+    if (op == "&" || op == "&&") return BinaryOp::And;
+    if (op == "|" || op == "||") return BinaryOp::Or;
+    if (op == "^") return BinaryOp::Xor;
+    if (op == "==") return BinaryOp::Eq;
+    if (op == "!=") return BinaryOp::Ne;
+    if (op == "<") return BinaryOp::Lt;
+    if (op == "<=") return BinaryOp::Le;
+    if (op == ">") return BinaryOp::Gt;
+    if (op == ">=") return BinaryOp::Ge;
+    panic("no binop for ", op);
+}
+
+} // namespace
+
+ExprPtr
+Parser::parseBinary(BodyCtx& ctx, int minPrec)
+{
+    ExprPtr lhs = parseUnary(ctx);
+    while (true) {
+        if (cur().kind != Tok::Punct && cur().kind != Tok::Op2)
+            return lhs;
+        int prec = precedenceOf(cur().text);
+        if (prec < 0 || prec < minPrec)
+            return lhs;
+        std::string op = cur().text;
+        bump();
+        ExprPtr rhs = parseBinary(ctx, prec + 1);
+        lhs = ir::binary(binopOf(op), std::move(lhs), std::move(rhs));
+    }
+}
+
+ExprPtr
+Parser::parseUnary(BodyCtx& ctx)
+{
+    if (isPunct("-")) {
+        bump();
+        return -parseUnary(ctx);
+    }
+    if (isPunct("!")) {
+        bump();
+        return ir::unary(ir::UnaryOp::Not, parseUnary(ctx));
+    }
+    return parsePrimary(ctx);
+}
+
+ExprPtr
+Parser::parsePrimary(BodyCtx& ctx)
+{
+    if (cur().kind == Tok::IntLit) {
+        ExprPtr e = ir::intImm(cur().ival);
+        bump();
+        return e;
+    }
+    if (cur().kind == Tok::FloatLit) {
+        ExprPtr e = ir::floatImm(cur().fval);
+        bump();
+        return e;
+    }
+    if (isPunct("(")) {
+        bump();
+        ExprPtr e = parseExpr(ctx);
+        expect(")");
+        return e;
+    }
+    if (cur().kind != Tok::Ident)
+        err("expected an expression");
+
+    std::string name = expectIdent("expression");
+
+    // Calls: tape ops, intrinsics, conversions.
+    if (isPunct("(")) {
+        bump();
+        std::vector<ExprPtr> args;
+        while (!isPunct(")")) {
+            args.push_back(parseExpr(ctx));
+            if (!isPunct(")"))
+                expect(",");
+        }
+        bump();
+
+        auto one = [&](const char* what) -> ExprPtr {
+            if (args.size() != 1)
+                err(std::string(what) + " takes one argument");
+            return args[0];
+        };
+        if (name == "pop") {
+            if (!args.empty())
+                err("pop takes no arguments");
+            fatalIf(!ctx.fb, "tape access outside a filter body");
+            return ctx.fb->pop();
+        }
+        if (name == "peek") {
+            fatalIf(!ctx.fb, "tape access outside a filter body");
+            return ctx.fb->peek(one("peek"));
+        }
+        using ir::Intrinsic;
+        if (name == "sqrt")
+            return ir::call(Intrinsic::Sqrt, {one("sqrt")});
+        if (name == "sin")
+            return ir::call(Intrinsic::Sin, {one("sin")});
+        if (name == "cos")
+            return ir::call(Intrinsic::Cos, {one("cos")});
+        if (name == "exp")
+            return ir::call(Intrinsic::Exp, {one("exp")});
+        if (name == "log")
+            return ir::call(Intrinsic::Log, {one("log")});
+        if (name == "abs")
+            return ir::call(Intrinsic::Abs, {one("abs")});
+        if (name == "floor")
+            return ir::call(Intrinsic::Floor, {one("floor")});
+        if (name == "float")
+            return ir::toFloat(one("float()"));
+        if (name == "int")
+            return ir::toInt(one("int()"));
+        if (name == "min" || name == "max") {
+            if (args.size() != 2)
+                err(name + " takes two arguments");
+            return ir::binary(name == "min" ? ir::BinaryOp::Min
+                                            : ir::BinaryOp::Max,
+                              args[0], args[1]);
+        }
+        err("unknown function '" + name + "'");
+    }
+
+    // Parameter constant?
+    if (ctx.consts) {
+        auto it = ctx.consts->find(name);
+        if (it != ctx.consts->end())
+            return it->second;
+    }
+    // Variable (array element or scalar).
+    auto it = ctx.vars.find(name);
+    if (it == ctx.vars.end())
+        err("unknown name '" + name + "'");
+    if (isPunct("[")) {
+        bump();
+        ExprPtr idx = parseExpr(ctx);
+        expect("]");
+        return ir::load(it->second, std::move(idx));
+    }
+    return ir::varRef(it->second);
+}
+
+std::int64_t
+Parser::constIntExpr(BodyCtx& ctx, const char* what)
+{
+    int line = cur().line;
+    ExprPtr e = parseExpr(ctx);
+    auto v = ir::tryConstFold(e);
+    fatalIf(!v, "line ", line, ": ", what,
+            " must be a compile-time integer constant");
+    return *v;
+}
+
+} // namespace
+
+StreamPtr
+parseProgram(const std::string& source)
+{
+    Parser p(tokenize(source));
+    return p.program();
+}
+
+StreamPtr
+parseProgramFile(const std::string& path)
+{
+    std::ifstream in(path);
+    fatalIf(!in, "cannot open '", path, "'");
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return parseProgram(ss.str());
+}
+
+} // namespace macross::frontend

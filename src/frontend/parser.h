@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Parser + elaborator for the MacroSS stream language.
+ *
+ * The language is a StreamIt-flavored surface syntax for the graph and
+ * work-function IR this library compiles:
+ *
+ *     float->float filter Scale(float k) {
+ *         work pop 1 push 1 { push(pop() * k); }
+ *     }
+ *
+ *     float->float filter Average() {
+ *         float acc;                      // state (filter scope)
+ *         init { acc = 0.0; }
+ *         work peek 1 pop 1 push 1 {
+ *             acc = acc * 0.9 + pop() * 0.1;
+ *             push(acc);
+ *         }
+ *     }
+ *
+ *     void->void pipeline Main() {
+ *         add Source(8);
+ *         add splitjoin {
+ *             split roundrobin(1, 1, 1, 1);
+ *             add Scale(1.0); add Scale(2.0);
+ *             add Scale(3.0); add Scale(4.0);
+ *             join roundrobin(1, 1, 1, 1);
+ *         }
+ *         add Average();
+ *         add Sink(1);
+ *     }
+ *
+ * Filters and pipelines are templates: parameters are compile-time
+ * constants folded into the body at instantiation (so `Scale(1.0)` and
+ * `Scale(2.0)` are isomorphic actors with differing constants — the
+ * horizontal-SIMDization pattern). Statements support locals and local
+ * arrays, assignments, push, counted for loops, and if/else;
+ * expressions support arithmetic/comparison/bit operators, pop(),
+ * peek(k), and the intrinsics sqrt/sin/cos/exp/log/abs/floor/min/max
+ * plus float()/int() conversions.
+ *
+ * The program's entry point is the pipeline named Main (or the last
+ * pipeline declared, if no Main exists).
+ */
+#pragma once
+
+#include <string>
+
+#include "graph/stream.h"
+
+namespace macross::frontend {
+
+/**
+ * Parse and elaborate a stream-language program into the hierarchical
+ * graph representation. Calls fatal() with line/column diagnostics on
+ * syntax or semantic errors.
+ */
+graph::StreamPtr parseProgram(const std::string& source);
+
+/** Convenience: read @p path and parse its contents. */
+graph::StreamPtr parseProgramFile(const std::string& path);
+
+} // namespace macross::frontend

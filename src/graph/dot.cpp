@@ -1,0 +1,69 @@
+/**
+ * @file
+ * DOT exporter implementation.
+ */
+#include "graph/dot.h"
+
+#include <sstream>
+
+namespace macross::graph {
+
+std::string
+toDot(const FlatGraph& g, const schedule::Schedule& s)
+{
+    std::ostringstream os;
+    os << "digraph stream {\n";
+    os << "    rankdir=TB;\n";
+    os << "    node [fontname=\"monospace\", fontsize=10];\n";
+    for (const auto& a : g.actors) {
+        std::string shape = "box";
+        std::string color = "black";
+        std::string label = a.name;
+        switch (a.kind) {
+          case ActorKind::Filter: {
+            const auto& d = *a.def;
+            std::ostringstream lb;
+            lb << d.name << "\\npeek=" << d.peek << " pop=" << d.pop
+               << " push=" << d.push << "\\nrep=" << s.reps[a.id];
+            if (d.vectorLanes > 1) {
+                lb << " x" << d.vectorLanes;
+                color = "blue";
+            }
+            if (d.isStateful())
+                shape = "box3d";
+            label = lb.str();
+            break;
+          }
+          case ActorKind::Splitter:
+            shape = a.horizontal ? "invtriangle" : "triangle";
+            if (a.horizontal)
+                color = "blue";
+            label = (a.horizontal ? "HSplit " : "Split ") +
+                    std::string(a.splitKind == SplitterKind::Duplicate
+                                    ? "dup"
+                                    : "rr");
+            break;
+          case ActorKind::Joiner:
+            shape = a.horizontal ? "triangle" : "invtriangle";
+            if (a.horizontal)
+                color = "blue";
+            label = a.horizontal ? "HJoin" : "Join";
+            break;
+        }
+        os << "    a" << a.id << " [shape=" << shape << ", color="
+           << color << ", label=\"" << label << "\"];\n";
+    }
+    for (const auto& t : g.tapes) {
+        std::int64_t words =
+            s.reps[t.src] * g.actor(t.src).pushRate(t.srcPort);
+        os << "    a" << t.src << " -> a" << t.dst << " [label=\""
+           << words;
+        if (t.transpose.readSide || t.transpose.writeSide)
+            os << " (sagu)";
+        os << "\"];\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace macross::graph

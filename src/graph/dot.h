@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Graphviz export of flat stream graphs: actors as nodes annotated
+ * with rates, repetition counts, and vectorization state; tapes as
+ * edges annotated with per-steady-state traffic.
+ */
+#pragma once
+
+#include <string>
+
+#include "graph/flat_graph.h"
+#include "schedule/steady_state.h"
+
+namespace macross::graph {
+
+/** Render @p g (with schedule annotations) as a DOT digraph. */
+std::string toDot(const FlatGraph& g, const schedule::Schedule& s);
+
+} // namespace macross::graph

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * FilterDef / FilterBuilder implementation.
+ */
+#include "graph/filter.h"
+
+#include "ir/analysis.h"
+#include "support/diagnostics.h"
+
+namespace macross::graph {
+
+bool
+FilterDef::isStateful() const
+{
+    auto written = ir::writtenVars(work);
+    for (const auto& sv : stateVars) {
+        if (written.count(sv.get()))
+            return true;
+    }
+    return false;
+}
+
+FilterBuilder::FilterBuilder(std::string name, ir::Type in_elem,
+                             ir::Type out_elem)
+    : def_(std::make_shared<FilterDef>())
+{
+    def_->name = std::move(name);
+    def_->inElem = in_elem;
+    def_->outElem = out_elem;
+}
+
+FilterBuilder&
+FilterBuilder::rates(int peek, int pop, int push)
+{
+    def_->peek = peek;
+    def_->pop = pop;
+    def_->push = push;
+    return *this;
+}
+
+ir::VarPtr
+FilterBuilder::state(const std::string& name, ir::Type t, int array_size)
+{
+    auto v = std::make_shared<ir::Var>();
+    v->name = name;
+    v->type = t;
+    v->arraySize = array_size;
+    v->kind = ir::VarKind::State;
+    def_->stateVars.push_back(v);
+    return v;
+}
+
+ir::VarPtr
+FilterBuilder::local(const std::string& name, ir::Type t, int array_size)
+{
+    auto v = std::make_shared<ir::Var>();
+    v->name = name;
+    v->type = t;
+    v->arraySize = array_size;
+    v->kind = ir::VarKind::Local;
+    return v;
+}
+
+ir::ExprPtr
+FilterBuilder::pop() const
+{
+    return ir::popExpr(def_->inElem);
+}
+
+ir::ExprPtr
+FilterBuilder::peek(ir::ExprPtr offset) const
+{
+    return ir::peekExpr(def_->inElem, std::move(offset));
+}
+
+ir::ExprPtr
+FilterBuilder::peek(std::int64_t offset) const
+{
+    return peek(ir::intImm(offset));
+}
+
+FilterDefPtr
+FilterBuilder::build()
+{
+    panicIf(built_, "FilterBuilder::build() called twice");
+    built_ = true;
+    def_->init = init_.take();
+    def_->work = work_.take();
+    if (def_->peek < def_->pop)
+        def_->peek = def_->pop;
+    validateFilter(*def_);
+    return def_;
+}
+
+void
+validateFilter(const FilterDef& def)
+{
+    fatalIf(def.peek < def.pop, "filter ", def.name,
+            ": peek rate below pop rate");
+    fatalIf(ir::readsInputTape(def.init) ||
+            ir::writesOutputTape(def.init),
+            "filter ", def.name, ": init body accesses tapes");
+
+    ir::TapeCounts tc = ir::countTapeAccesses(def.work);
+    fatalIf(!tc.exact, "filter ", def.name,
+            ": tape access counts are not static (SDF requires "
+            "compile-time rates)");
+    fatalIf(tc.pops != def.pop, "filter ", def.name,
+            ": work body consumes ", tc.pops,
+            " elements but declares pop rate ", def.pop);
+    fatalIf(tc.pushes != def.push, "filter ", def.name,
+            ": work body produces ", tc.pushes,
+            " elements but declares push rate ", def.push);
+}
+
+} // namespace macross::graph

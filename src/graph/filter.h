@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Filter (actor) definitions: declared rates, state, and work/init
+ * bodies in the work-function IR.
+ *
+ * In StreamIt terms a filter is a single-input single-output actor
+ * whose work() runs once per firing, consuming `pop` elements (reading
+ * up to `peek` ahead) and producing `push` elements. The init body runs
+ * once before any firing and may only touch state variables.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/builder.h"
+
+namespace macross::graph {
+
+/**
+ * A complete actor definition.
+ *
+ * `vectorized` and `fusedFrom` record provenance for reporting: the
+ * SIMDization passes set them when they rewrite a definition.
+ */
+struct FilterDef {
+    std::string name;
+    ir::Type inElem = ir::kFloat32;   ///< Input tape element type.
+    ir::Type outElem = ir::kFloat32;  ///< Output tape element type.
+    int peek = 0;  ///< Max elements read ahead per firing (>= pop).
+    int pop = 0;   ///< Elements consumed per firing.
+    int push = 0;  ///< Elements produced per firing.
+
+    std::vector<ir::VarPtr> stateVars;
+    std::vector<ir::StmtPtr> init;
+    std::vector<ir::StmtPtr> work;
+
+    /** Set by SIMDization: lanes this body executes in parallel. */
+    int vectorLanes = 1;
+    /** Names of the original actors if this def is a vertical fusion. */
+    std::vector<std::string> fusedFrom;
+
+    /** True if any state variable is written by the work body. */
+    bool isStateful() const;
+
+    /** True if the actor peeks beyond what it pops. */
+    bool isPeeking() const { return peek > pop; }
+};
+
+using FilterDefPtr = std::shared_ptr<FilterDef>;
+
+/**
+ * Convenience builder for filter definitions.
+ *
+ * Validates on build(): work-body tape counts must equal the declared
+ * rates, init must not touch tapes, and peek must be >= pop.
+ */
+class FilterBuilder {
+  public:
+    FilterBuilder(std::string name, ir::Type in_elem, ir::Type out_elem);
+
+    /** Declare the peek/pop/push rates. */
+    FilterBuilder& rates(int peek, int pop, int push);
+
+    /** Declare a state variable (array if @p array_size > 0). */
+    ir::VarPtr state(const std::string& name, ir::Type t,
+                     int array_size = 0);
+
+    /** Create a local variable for use in bodies. */
+    ir::VarPtr local(const std::string& name, ir::Type t,
+                     int array_size = 0);
+
+    /** Builder for the init body. */
+    ir::BlockBuilder& init() { return init_; }
+    /** Builder for the work body. */
+    ir::BlockBuilder& work() { return work_; }
+
+    /** pop() expression typed with the input element type. */
+    ir::ExprPtr pop() const;
+    /** peek(offset) expression typed with the input element type. */
+    ir::ExprPtr peek(ir::ExprPtr offset) const;
+    /** peek(k) with a literal offset. */
+    ir::ExprPtr peek(std::int64_t offset) const;
+
+    /** Finalize and validate the definition. */
+    FilterDefPtr build();
+
+  private:
+    FilterDefPtr def_;
+    ir::BlockBuilder init_;
+    ir::BlockBuilder work_;
+    bool built_ = false;
+};
+
+/**
+ * Validate @p def: static rates match declared rates, init does not
+ * access tapes, peek >= pop. Calls fatal() on violations.
+ */
+void validateFilter(const FilterDef& def);
+
+} // namespace macross::graph

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * FlatGraph implementation.
+ */
+#include "graph/flat_graph.h"
+
+#include <numeric>
+#include <queue>
+
+#include "support/diagnostics.h"
+
+namespace macross::graph {
+
+namespace {
+
+std::int64_t
+weightSum(const std::vector<int>& w)
+{
+    return std::accumulate(w.begin(), w.end(), std::int64_t{0});
+}
+
+} // namespace
+
+std::int64_t
+Actor::popRate(int port) const
+{
+    switch (kind) {
+      case ActorKind::Filter:
+        panicIf(port != 0, "filter has a single input port");
+        return def->pop;
+      case ActorKind::Splitter:
+        panicIf(port != 0, "splitter has a single input port");
+        return splitKind == SplitterKind::Duplicate ? 1 : weightSum(weights);
+      case ActorKind::Joiner:
+        if (horizontal) {
+            // HJoiner reads all lanes' elements from one vector tape.
+            panicIf(port != 0, "HJoiner has a single input port");
+            return weightSum(weights);
+        }
+        return weights.at(port);
+    }
+    panic("unknown ActorKind");
+}
+
+std::int64_t
+Actor::pushRate(int port) const
+{
+    switch (kind) {
+      case ActorKind::Filter:
+        panicIf(port != 0, "filter has a single output port");
+        return def->push;
+      case ActorKind::Splitter:
+        if (horizontal) {
+            // HSplitter writes all lanes' elements to one vector tape
+            // (for Duplicate that is one splat vector per input element).
+            panicIf(port != 0, "HSplitter has a single output port");
+            return weightSum(weights);
+        }
+        return splitKind == SplitterKind::Duplicate ? 1
+                                                    : weights.at(port);
+      case ActorKind::Joiner:
+        panicIf(port != 0, "joiner has a single output port");
+        return weightSum(weights);
+    }
+    panic("unknown ActorKind");
+}
+
+std::int64_t
+Actor::peekRate(int port) const
+{
+    if (kind == ActorKind::Filter)
+        return def->peek;
+    return popRate(port);
+}
+
+int
+FlatGraph::addActor(Actor a)
+{
+    a.id = static_cast<int>(actors.size());
+    actors.push_back(std::move(a));
+    return actors.back().id;
+}
+
+int
+FlatGraph::addTape(int src, int dst, ir::Type elem)
+{
+    TapeDesc t;
+    t.id = static_cast<int>(tapes.size());
+    t.src = src;
+    t.dst = dst;
+    t.elem = elem;
+    t.srcPort = static_cast<int>(actors.at(src).outputs.size());
+    t.dstPort = static_cast<int>(actors.at(dst).inputs.size());
+    actors.at(src).outputs.push_back(t.id);
+    actors.at(dst).inputs.push_back(t.id);
+    tapes.push_back(t);
+    return t.id;
+}
+
+std::vector<int>
+FlatGraph::topoOrder() const
+{
+    std::vector<int> indegree(actors.size(), 0);
+    for (const auto& t : tapes)
+        indegree[t.dst]++;
+
+    // Use a priority queue on actor id for a deterministic order.
+    std::priority_queue<int, std::vector<int>, std::greater<int>> ready;
+    for (const auto& a : actors) {
+        if (indegree[a.id] == 0)
+            ready.push(a.id);
+    }
+
+    std::vector<int> order;
+    order.reserve(actors.size());
+    while (!ready.empty()) {
+        int id = ready.top();
+        ready.pop();
+        order.push_back(id);
+        for (int tapeId : actors[id].outputs) {
+            int dst = tapes[tapeId].dst;
+            if (--indegree[dst] == 0)
+                ready.push(dst);
+        }
+    }
+    fatalIf(order.size() != actors.size(),
+            "stream graph contains a cycle");
+    return order;
+}
+
+} // namespace macross::graph

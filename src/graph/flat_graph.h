@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Flattened stream graph: the working representation for scheduling,
+ * SIMDization, and execution.
+ *
+ * Flattening turns the hierarchical structure into actors connected by
+ * tapes. Splitters and joiners become explicit actors. All rate
+ * accounting is in scalar tape elements, so vectorized actors (whose
+ * bodies move `lanes` elements per vector access) need no special
+ * cases in the balance equations.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/stream.h"
+
+namespace macross::graph {
+
+/** Actor categories in the flat graph. */
+enum class ActorKind {
+    Filter,
+    Splitter,
+    Joiner,
+};
+
+/**
+ * One flat-graph actor.
+ *
+ * Filter actors carry a FilterDef (possibly rewritten by fusion or
+ * SIMDization). Splitters/joiners are behavioral: the interpreter and
+ * cost model implement their data movement directly. `horizontal`
+ * marks HSplitter/HJoiner variants that pack/unpack between a scalar
+ * side and one vector tape of `hLanes` interleaved streams.
+ */
+struct Actor {
+    int id = -1;
+    std::string name;
+    ActorKind kind = ActorKind::Filter;
+
+    FilterDefPtr def;  ///< Filter payload (null for splitter/joiner).
+
+    SplitterKind splitKind = SplitterKind::RoundRobin;
+    std::vector<int> weights;  ///< Splitter/joiner branch weights.
+    bool horizontal = false;   ///< HSplitter/HJoiner flag.
+    int hLanes = 1;            ///< SIMD width for horizontal endpoints.
+
+    std::vector<int> inputs;   ///< Tape ids, in port order.
+    std::vector<int> outputs;  ///< Tape ids, in port order.
+
+    /** Elements consumed per firing from input port @p port. */
+    std::int64_t popRate(int port = 0) const;
+    /** Elements produced per firing onto output port @p port. */
+    std::int64_t pushRate(int port = 0) const;
+    /** Elements that must be resident on input @p port to fire. */
+    std::int64_t peekRate(int port = 0) const;
+
+    bool isFilter() const { return kind == ActorKind::Filter; }
+};
+
+/**
+ * SAGU tape-layout annotation (Section 3.4): when set, the tape is
+ * stored block-transposed so the vectorized endpoint performs plain
+ * vector accesses; the scalar endpoint's accesses are remapped by the
+ * SAGU address walk (charged as SaguWalk ops, which cost 0 on a
+ * machine with the unit and ~6 cycles in software).
+ */
+struct TapeTranspose {
+    bool readSide = false;   ///< Consumer is the scalar walker.
+    bool writeSide = false;  ///< Producer is the scalar walker.
+    std::int64_t rate = 1;   ///< Vectorized endpoint's pop/push rate.
+    int simdWidth = 4;
+};
+
+/** One FIFO channel between two actor ports. */
+struct TapeDesc {
+    int id = -1;
+    int src = -1;      ///< Producer actor id.
+    int srcPort = 0;   ///< Index into producer's outputs.
+    int dst = -1;      ///< Consumer actor id.
+    int dstPort = 0;   ///< Index into consumer's inputs.
+    ir::Type elem;     ///< Scalar element type carried.
+    TapeTranspose transpose;  ///< SAGU layout annotation.
+};
+
+/**
+ * The flat stream graph. The first actor in topological order is the
+ * source (pop rate 0) and the last is the sink (push rate 0); programs
+ * may have exactly one of each.
+ */
+struct FlatGraph {
+    std::vector<Actor> actors;
+    std::vector<TapeDesc> tapes;
+
+    /** Add an actor, assigning its id. Returns the id. */
+    int addActor(Actor a);
+
+    /** Connect an output port of @p src to an input port of @p dst. */
+    int addTape(int src, int dst, ir::Type elem);
+
+    const Actor& actor(int id) const { return actors.at(id); }
+    Actor& actor(int id) { return actors.at(id); }
+    const TapeDesc& tape(int id) const { return tapes.at(id); }
+
+    /** Actor ids in topological (dataflow) order; fatal on cycles. */
+    std::vector<int> topoOrder() const;
+};
+
+/** Flatten a hierarchical stream into a FlatGraph and validate it. */
+FlatGraph flatten(const StreamPtr& root);
+
+/**
+ * Structural validation: every tape connected on both ends, port lists
+ * consistent, element types agree across each tape, filters have at
+ * most one input and one output, graph is acyclic. Calls fatal() on
+ * violations.
+ */
+void validate(const FlatGraph& g);
+
+} // namespace macross::graph

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Hierarchical stream -> FlatGraph conversion.
+ */
+#include "graph/flat_graph.h"
+#include "support/diagnostics.h"
+
+namespace macross::graph {
+
+namespace {
+
+/**
+ * Recursively emit the actors for @p node. Returns the ids of the
+ * entry and exit actors of the emitted subgraph; connections to
+ * surrounding actors are made by the caller.
+ */
+struct SubGraph {
+    int entry = -1;
+    int exit = -1;
+    ir::Type inElem;
+    ir::Type outElem;
+};
+
+SubGraph
+emit(FlatGraph& g, const Stream& node)
+{
+    switch (node.kind) {
+      case StreamKind::Filter: {
+        Actor a;
+        a.name = node.filter->name;
+        a.kind = ActorKind::Filter;
+        a.def = node.filter;
+        int id = g.addActor(std::move(a));
+        return {id, id, node.filter->inElem, node.filter->outElem};
+      }
+      case StreamKind::Pipeline: {
+        SubGraph first, prev;
+        bool haveFirst = false;
+        for (const auto& child : node.children) {
+            SubGraph cur = emit(g, *child);
+            if (!haveFirst) {
+                first = cur;
+                haveFirst = true;
+            } else {
+                fatalIf(!(prev.outElem == cur.inElem),
+                        "pipeline stage element-type mismatch");
+                g.addTape(prev.exit, cur.entry, cur.inElem);
+            }
+            prev = cur;
+        }
+        return {first.entry, prev.exit, first.inElem, prev.outElem};
+      }
+      case StreamKind::HSplit: {
+        Actor a;
+        a.name = "hsplit";
+        a.kind = ActorKind::Splitter;
+        a.splitKind = node.splitKind;
+        a.weights = node.splitWeights;
+        a.horizontal = true;
+        a.hLanes = node.hLanes;
+        int id = g.addActor(std::move(a));
+        return {id, id, node.hElem, node.hElem};
+      }
+      case StreamKind::HJoin: {
+        Actor a;
+        a.name = "hjoin";
+        a.kind = ActorKind::Joiner;
+        a.weights = node.joinWeights;
+        a.horizontal = true;
+        a.hLanes = node.hLanes;
+        int id = g.addActor(std::move(a));
+        return {id, id, node.hElem, node.hElem};
+      }
+      case StreamKind::SplitJoin: {
+        // Determine the branch element types from the branches.
+        std::vector<SubGraph> branches;
+        branches.reserve(node.children.size());
+
+        Actor split;
+        split.name = "split";
+        split.kind = ActorKind::Splitter;
+        split.splitKind = node.splitKind;
+        split.weights = node.splitWeights;
+        int splitId = g.addActor(std::move(split));
+
+        for (const auto& child : node.children)
+            branches.push_back(emit(g, *child));
+
+        Actor join;
+        join.name = "join";
+        join.kind = ActorKind::Joiner;
+        join.weights = node.joinWeights;
+        int joinId = g.addActor(std::move(join));
+
+        for (const auto& b : branches) {
+            g.addTape(splitId, b.entry, b.inElem);
+            g.addTape(b.exit, joinId, b.outElem);
+        }
+        return {splitId, joinId, branches[0].inElem,
+                branches[0].outElem};
+      }
+    }
+    panic("unknown StreamKind");
+}
+
+} // namespace
+
+FlatGraph
+flatten(const StreamPtr& root)
+{
+    fatalIf(!root, "flatten(null)");
+    FlatGraph g;
+    SubGraph sub = emit(g, *root);
+    const Actor& entry = g.actor(sub.entry);
+    const Actor& exit = g.actor(sub.exit);
+    fatalIf(!entry.isFilter() || entry.def->pop != 0,
+            "stream program must start with a source filter (pop 0)");
+    fatalIf(!exit.isFilter() || exit.def->push != 0,
+            "stream program must end with a sink filter (push 0)");
+    validate(g);
+    return g;
+}
+
+} // namespace macross::graph

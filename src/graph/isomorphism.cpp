@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Isomorphism comparator implementation.
+ */
+#include "graph/isomorphism.h"
+
+#include "support/diagnostics.h"
+
+namespace macross::graph {
+
+namespace {
+
+using ir::Expr;
+using ir::ExprKind;
+using ir::ExprPtr;
+using ir::Stmt;
+using ir::StmtPtr;
+
+class Comparator {
+  public:
+    explicit Comparator(const std::vector<const FilterDef*>& defs)
+        : defs_(defs), varMaps_(defs.size())
+    {
+    }
+
+    IsoResult run();
+
+  private:
+    bool fail(const std::string& why)
+    {
+        if (result_.reason.empty())
+            result_.reason = why;
+        return false;
+    }
+
+    bool bindVar(const ir::VarPtr& v0, const ir::VarPtr& vk,
+                 std::size_t k);
+    bool compareExpr(const ExprPtr& e0,
+                     const std::vector<const Expr*>& ek);
+    bool compareStmts(const std::vector<StmtPtr>& s0,
+                      std::size_t whichBody);
+    bool compareStmt(const Stmt& st0,
+                     const std::vector<const Stmt*>& stk);
+
+    const std::vector<const FilterDef*>& defs_;
+    /** Per def k: canonical Var* -> that def's Var*. */
+    std::vector<std::unordered_map<const ir::Var*, const ir::Var*>>
+        varMaps_;
+    IsoResult result_;
+};
+
+bool
+Comparator::bindVar(const ir::VarPtr& v0, const ir::VarPtr& vk,
+                    std::size_t k)
+{
+    if (!v0 && !vk)
+        return true;
+    if (!v0 || !vk)
+        return fail("variable presence mismatch");
+    auto& map = varMaps_[k];
+    auto it = map.find(v0.get());
+    if (it != map.end())
+        return it->second == vk.get() ||
+               fail("variable correspondence mismatch for " + v0->name);
+    if (!(v0->type == vk->type) || v0->arraySize != vk->arraySize ||
+        v0->kind != vk->kind) {
+        return fail("variable shape mismatch for " + v0->name);
+    }
+    map.emplace(v0.get(), vk.get());
+    return true;
+}
+
+bool
+Comparator::compareExpr(const ExprPtr& e0,
+                        const std::vector<const Expr*>& ek)
+{
+    for (const Expr* e : ek) {
+        if ((e0 == nullptr) != (e == nullptr))
+            return fail("expression presence mismatch");
+    }
+    if (!e0)
+        return true;
+    for (const Expr* e : ek) {
+        if (e->kind != e0->kind || !(e->type == e0->type))
+            return fail("expression kind/type mismatch");
+        if (e->args.size() != e0->args.size())
+            return fail("operand count mismatch");
+    }
+    switch (e0->kind) {
+      case ExprKind::IntImm: {
+        bool differs = false;
+        for (const Expr* e : ek) {
+            if (e->ival != e0->ival)
+                differs = true;
+        }
+        if (differs) {
+            std::vector<std::int64_t> vals{e0->ival};
+            for (const Expr* e : ek)
+                vals.push_back(e->ival);
+            result_.intDiffs.emplace(e0.get(), std::move(vals));
+        }
+        break;
+      }
+      case ExprKind::FloatImm: {
+        bool differs = false;
+        for (const Expr* e : ek) {
+            if (e->fval != e0->fval)
+                differs = true;
+        }
+        if (differs) {
+            std::vector<float> vals{e0->fval};
+            for (const Expr* e : ek)
+                vals.push_back(e->fval);
+            result_.floatDiffs.emplace(e0.get(), std::move(vals));
+        }
+        break;
+      }
+      case ExprKind::VecImm:
+        for (const Expr* e : ek) {
+            if (e->ivec != e0->ivec || e->fvec != e0->fvec)
+                return fail("vector literal mismatch");
+        }
+        break;
+      case ExprKind::VarRef:
+      case ExprKind::Load:
+        for (std::size_t k = 0; k < ek.size(); ++k) {
+            // ek is index-aligned with defs_[1..]; var maps are per
+            // original def index (k + 1).
+            auto vk = ek[k]->var;
+            if (!bindVar(e0->var, vk, k + 1))
+                return false;
+        }
+        break;
+      case ExprKind::Unary:
+        for (const Expr* e : ek) {
+            if (e->uop != e0->uop)
+                return fail("unary operator mismatch");
+        }
+        break;
+      case ExprKind::Binary:
+        for (const Expr* e : ek) {
+            if (e->bop != e0->bop)
+                return fail("binary operator mismatch");
+        }
+        break;
+      case ExprKind::Call:
+        for (const Expr* e : ek) {
+            if (e->callee != e0->callee)
+                return fail("intrinsic mismatch");
+        }
+        break;
+      case ExprKind::LaneRead:
+        for (const Expr* e : ek) {
+            if (e->lane != e0->lane)
+                return fail("lane index mismatch");
+        }
+        break;
+      default:
+        break;
+    }
+    for (std::size_t i = 0; i < e0->args.size(); ++i) {
+        std::vector<const Expr*> sub;
+        sub.reserve(ek.size());
+        for (const Expr* e : ek)
+            sub.push_back(e->args[i].get());
+        if (!compareExpr(e0->args[i], sub))
+            return false;
+    }
+    return true;
+}
+
+bool
+Comparator::compareStmt(const Stmt& st0,
+                        const std::vector<const Stmt*>& stk)
+{
+    for (const Stmt* s : stk) {
+        if (s->kind != st0.kind || s->lane != st0.lane ||
+            s->amount != st0.amount) {
+            return fail("statement mismatch");
+        }
+        if (s->body.size() != st0.body.size() ||
+            s->elseBody.size() != st0.elseBody.size()) {
+            return fail("statement body size mismatch");
+        }
+    }
+    for (std::size_t k = 0; k < stk.size(); ++k) {
+        if (!bindVar(st0.var, stk[k]->var, k + 1))
+            return false;
+    }
+    std::vector<const Expr*> as, bs;
+    for (const Stmt* s : stk) {
+        as.push_back(s->a.get());
+        bs.push_back(s->b.get());
+    }
+    if (!compareExpr(st0.a, as) || !compareExpr(st0.b, bs))
+        return false;
+    for (std::size_t i = 0; i < st0.body.size(); ++i) {
+        std::vector<const Stmt*> sub;
+        for (const Stmt* s : stk)
+            sub.push_back(s->body[i].get());
+        if (!compareStmt(*st0.body[i], sub))
+            return false;
+    }
+    for (std::size_t i = 0; i < st0.elseBody.size(); ++i) {
+        std::vector<const Stmt*> sub;
+        for (const Stmt* s : stk)
+            sub.push_back(s->elseBody[i].get());
+        if (!compareStmt(*st0.elseBody[i], sub))
+            return false;
+    }
+    return true;
+}
+
+bool
+Comparator::compareStmts(const std::vector<StmtPtr>& s0,
+                         std::size_t whichBody)
+{
+    for (std::size_t k = 1; k < defs_.size(); ++k) {
+        const auto& other =
+            whichBody == 0 ? defs_[k]->work : defs_[k]->init;
+        if (other.size() != s0.size())
+            return fail("body length mismatch");
+    }
+    for (std::size_t i = 0; i < s0.size(); ++i) {
+        std::vector<const Stmt*> sub;
+        for (std::size_t k = 1; k < defs_.size(); ++k) {
+            const auto& other =
+                whichBody == 0 ? defs_[k]->work : defs_[k]->init;
+            sub.push_back(other[i].get());
+        }
+        if (!compareStmt(*s0[i], sub))
+            return false;
+    }
+    return true;
+}
+
+IsoResult
+Comparator::run()
+{
+    const FilterDef& d0 = *defs_[0];
+    for (std::size_t k = 1; k < defs_.size(); ++k) {
+        const FilterDef& dk = *defs_[k];
+        if (dk.peek != d0.peek || dk.pop != d0.pop ||
+            dk.push != d0.push || !(dk.inElem == d0.inElem) ||
+            !(dk.outElem == d0.outElem) ||
+            dk.stateVars.size() != d0.stateVars.size()) {
+            fail("rate/shape mismatch");
+            return result_;
+        }
+    }
+    if (!compareStmts(d0.work, 0) || !compareStmts(d0.init, 1))
+        return result_;
+    result_.ok = true;
+    return result_;
+}
+
+} // namespace
+
+IsoResult
+compareIsomorphic(const std::vector<const FilterDef*>& defs)
+{
+    panicIf(defs.size() < 2, "compareIsomorphic needs >= 2 defs");
+    Comparator c(defs);
+    return c.run();
+}
+
+} // namespace macross::graph

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Structural isomorphism of filter definitions (Section 3.3).
+ *
+ * Two actors are isomorphic when their init and work bodies have
+ * identical structure — same statements, operators, rates, state
+ * shapes, and variable correspondence — with constant literals allowed
+ * to differ. The comparator records exactly which literal sites differ
+ * (and their per-actor values) so horizontal SIMDization can raise
+ * them to vector constants.
+ */
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/filter.h"
+
+namespace macross::graph {
+
+/** Comparison outcome plus the differing constant sites. */
+struct IsoResult {
+    bool ok = false;
+    std::string reason;
+    /**
+     * Keyed by the literal node in defs[0]; the vector holds one value
+     * per compared definition (index-aligned with the input list).
+     */
+    std::unordered_map<const ir::Expr*, std::vector<std::int64_t>>
+        intDiffs;
+    std::unordered_map<const ir::Expr*, std::vector<float>> floatDiffs;
+};
+
+/**
+ * Compare @p defs (>= 2 entries) for isomorphism with defs[0] as the
+ * canonical representative.
+ */
+IsoResult compareIsomorphic(const std::vector<const FilterDef*>& defs);
+
+} // namespace macross::graph

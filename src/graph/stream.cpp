@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Hierarchical stream constructors.
+ */
+#include "graph/stream.h"
+
+#include "support/diagnostics.h"
+
+namespace macross::graph {
+
+StreamPtr
+filterStream(FilterDefPtr def)
+{
+    fatalIf(!def, "filterStream(null)");
+    auto s = std::make_shared<Stream>();
+    s->kind = StreamKind::Filter;
+    s->filter = std::move(def);
+    return s;
+}
+
+StreamPtr
+pipeline(std::vector<StreamPtr> stages)
+{
+    fatalIf(stages.empty(), "pipeline with no stages");
+    auto s = std::make_shared<Stream>();
+    s->kind = StreamKind::Pipeline;
+    s->children = std::move(stages);
+    return s;
+}
+
+StreamPtr
+splitJoinDuplicate(std::vector<StreamPtr> branches,
+                   std::vector<int> join_weights)
+{
+    fatalIf(branches.empty(), "split-join with no branches");
+    fatalIf(branches.size() != join_weights.size(),
+            "join weight count does not match branch count");
+    auto s = std::make_shared<Stream>();
+    s->kind = StreamKind::SplitJoin;
+    s->splitKind = SplitterKind::Duplicate;
+    s->splitWeights.assign(branches.size(), 1);
+    s->children = std::move(branches);
+    s->joinWeights = std::move(join_weights);
+    return s;
+}
+
+StreamPtr
+splitJoinRoundRobin(std::vector<int> split_weights,
+                    std::vector<StreamPtr> branches,
+                    std::vector<int> join_weights)
+{
+    fatalIf(branches.empty(), "split-join with no branches");
+    fatalIf(branches.size() != split_weights.size() ||
+            branches.size() != join_weights.size(),
+            "split/join weight counts do not match branch count");
+    auto s = std::make_shared<Stream>();
+    s->kind = StreamKind::SplitJoin;
+    s->splitKind = SplitterKind::RoundRobin;
+    s->splitWeights = std::move(split_weights);
+    s->children = std::move(branches);
+    s->joinWeights = std::move(join_weights);
+    return s;
+}
+
+StreamPtr
+hSplit(SplitterKind kind, std::vector<int> weights, int lanes,
+       ir::Type elem)
+{
+    fatalIf(lanes < 2, "hSplit needs >= 2 lanes");
+    fatalIf(static_cast<int>(weights.size()) != lanes,
+            "hSplit weight count must equal lane count");
+    auto s = std::make_shared<Stream>();
+    s->kind = StreamKind::HSplit;
+    s->splitKind = kind;
+    s->splitWeights = std::move(weights);
+    s->hLanes = lanes;
+    s->hElem = elem;
+    return s;
+}
+
+StreamPtr
+hJoin(std::vector<int> weights, int lanes, ir::Type elem)
+{
+    fatalIf(lanes < 2, "hJoin needs >= 2 lanes");
+    fatalIf(static_cast<int>(weights.size()) != lanes,
+            "hJoin weight count must equal lane count");
+    auto s = std::make_shared<Stream>();
+    s->kind = StreamKind::HJoin;
+    s->joinWeights = std::move(weights);
+    s->hLanes = lanes;
+    s->hElem = elem;
+    return s;
+}
+
+} // namespace macross::graph

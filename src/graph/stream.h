@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Hierarchical stream-program structure (the StreamIt program shape):
+ * filters composed into pipelines and split-joins.
+ *
+ * Feedback loops are not modeled; none of the evaluated benchmarks
+ * require them and the paper's transforms never touch them (documented
+ * deviation in DESIGN.md).
+ */
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/filter.h"
+
+namespace macross::graph {
+
+struct Stream;
+using StreamPtr = std::shared_ptr<Stream>;
+
+/** How a splitter distributes data to its branches. */
+enum class SplitterKind {
+    Duplicate,   ///< Every branch receives a copy of each element.
+    RoundRobin,  ///< weights[i] consecutive elements to branch i.
+};
+
+/** Node kinds in the hierarchical structure. */
+enum class StreamKind {
+    Filter,
+    Pipeline,
+    SplitJoin,
+    HSplit,  ///< Horizontal splitter: scalar tape -> vector tape.
+    HJoin,   ///< Horizontal joiner: vector tape -> scalar tape.
+};
+
+/**
+ * One node of the hierarchical stream program.
+ *
+ * Filter nodes carry a FilterDef; pipelines carry ordered children;
+ * split-joins carry a splitter spec, parallel branches, and a joiner
+ * spec (joiners are always weighted round-robin).
+ */
+struct Stream {
+    StreamKind kind = StreamKind::Filter;
+
+    FilterDefPtr filter;  ///< Filter payload.
+
+    std::vector<StreamPtr> children;  ///< Pipeline stages or branches.
+
+    SplitterKind splitKind = SplitterKind::RoundRobin;
+    std::vector<int> splitWeights;  ///< Per-branch weights (RoundRobin).
+    std::vector<int> joinWeights;   ///< Per-branch joiner weights.
+
+    int hLanes = 1;      ///< HSplit/HJoin SIMD width.
+    ir::Type hElem;      ///< HSplit/HJoin tape element type.
+};
+
+/** Wrap a filter definition as a stream node. */
+StreamPtr filterStream(FilterDefPtr def);
+
+/** Sequential composition. */
+StreamPtr pipeline(std::vector<StreamPtr> stages);
+
+/** Parallel composition with a duplicate splitter. */
+StreamPtr splitJoinDuplicate(std::vector<StreamPtr> branches,
+                             std::vector<int> join_weights);
+
+/** Parallel composition with a weighted round-robin splitter. */
+StreamPtr splitJoinRoundRobin(std::vector<int> split_weights,
+                              std::vector<StreamPtr> branches,
+                              std::vector<int> join_weights);
+
+/**
+ * Horizontal splitter over @p lanes interleaved streams (emitted by
+ * the horizontal SIMDization pass). @p weights has one entry per lane.
+ */
+StreamPtr hSplit(SplitterKind kind, std::vector<int> weights, int lanes,
+                 ir::Type elem);
+
+/** Horizontal joiner, the inverse of hSplit. */
+StreamPtr hJoin(std::vector<int> weights, int lanes, ir::Type elem);
+
+} // namespace macross::graph

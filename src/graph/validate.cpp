@@ -1,0 +1,69 @@
+/**
+ * @file
+ * FlatGraph structural validation.
+ */
+#include "graph/flat_graph.h"
+#include "support/diagnostics.h"
+
+namespace macross::graph {
+
+void
+validate(const FlatGraph& g)
+{
+    for (const auto& t : g.tapes) {
+        fatalIf(t.src < 0 || t.dst < 0, "tape ", t.id, " is unconnected");
+        fatalIf(g.actor(t.src).outputs.at(t.srcPort) != t.id,
+                "tape ", t.id, " source port inconsistency");
+        fatalIf(g.actor(t.dst).inputs.at(t.dstPort) != t.id,
+                "tape ", t.id, " destination port inconsistency");
+    }
+
+    for (const auto& a : g.actors) {
+        switch (a.kind) {
+          case ActorKind::Filter: {
+            fatalIf(!a.def, "filter actor ", a.name, " has no definition");
+            validateFilter(*a.def);
+            fatalIf(a.inputs.size() > 1 || a.outputs.size() > 1,
+                    "filter ", a.name, " must have at most one input "
+                    "and one output");
+            fatalIf(a.inputs.empty() && a.def->pop != 0,
+                    "filter ", a.name, " pops but has no input tape");
+            fatalIf(a.outputs.empty() && a.def->push != 0,
+                    "filter ", a.name, " pushes but has no output tape");
+            if (!a.inputs.empty()) {
+                fatalIf(!(g.tape(a.inputs[0]).elem == a.def->inElem),
+                        "filter ", a.name, " input element-type mismatch");
+            }
+            if (!a.outputs.empty()) {
+                fatalIf(!(g.tape(a.outputs[0]).elem == a.def->outElem),
+                        "filter ", a.name,
+                        " output element-type mismatch");
+            }
+            break;
+          }
+          case ActorKind::Splitter: {
+            fatalIf(a.inputs.size() != 1, "splitter ", a.name,
+                    " must have exactly one input");
+            std::size_t expected =
+                a.horizontal ? 1 : a.weights.size();
+            fatalIf(a.outputs.size() != expected, "splitter ", a.name,
+                    " output count does not match weights");
+            break;
+          }
+          case ActorKind::Joiner: {
+            fatalIf(a.outputs.size() != 1, "joiner ", a.name,
+                    " must have exactly one output");
+            std::size_t expected =
+                a.horizontal ? 1 : a.weights.size();
+            fatalIf(a.inputs.size() != expected, "joiner ", a.name,
+                    " input count does not match weights");
+            break;
+          }
+        }
+    }
+
+    // Acyclicity (topoOrder is fatal on cycles).
+    (void)g.topoOrder();
+}
+
+} // namespace macross::graph

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Env implementation.
+ */
+#include "interp/env.h"
+
+#include "support/diagnostics.h"
+
+namespace macross::interp {
+
+const Value&
+Env::get(const ir::Var* v)
+{
+    auto it = scalars_.find(v);
+    if (it == scalars_.end()) {
+        panicIf(v->kind != ir::VarKind::State,
+                "read of unwritten variable '", v->name, "'");
+        it = scalars_.emplace(v, Value::zero(v->type)).first;
+    }
+    return it->second;
+}
+
+void
+Env::set(const ir::Var* v, const Value& value)
+{
+    scalars_[v] = value;
+}
+
+std::vector<Value>&
+Env::arrayFor(const ir::Var* v)
+{
+    auto it = arrays_.find(v);
+    if (it == arrays_.end()) {
+        panicIf(!v->isArray(), "array access to scalar variable '",
+                v->name, "'");
+        it = arrays_
+                 .emplace(v, std::vector<Value>(
+                                 v->arraySize, Value::zero(v->type)))
+                 .first;
+    }
+    return it->second;
+}
+
+const Value&
+Env::getElem(const ir::Var* v, std::int64_t idx)
+{
+    auto& arr = arrayFor(v);
+    panicIf(idx < 0 || idx >= static_cast<std::int64_t>(arr.size()),
+            "array index ", idx, " out of bounds for '", v->name,
+            "' of size ", arr.size());
+    return arr[idx];
+}
+
+void
+Env::setElem(const ir::Var* v, std::int64_t idx, const Value& value)
+{
+    auto& arr = arrayFor(v);
+    panicIf(idx < 0 || idx >= static_cast<std::int64_t>(arr.size()),
+            "array index ", idx, " out of bounds for '", v->name,
+            "' of size ", arr.size());
+    arr[idx] = value;
+}
+
+void
+Env::clear()
+{
+    scalars_.clear();
+    arrays_.clear();
+}
+
+} // namespace macross::interp

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Variable environments for the interpreter.
+ *
+ * One Env holds scalar variable bindings and array storage keyed by
+ * Var identity. Each actor instance owns a state Env (persistent
+ * across firings) and a locals Env (contents persist physically but
+ * are semantically per-firing; reading a never-written local panics).
+ * Arrays are allocated lazily at their declared size, zero-filled.
+ */
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "interp/value.h"
+#include "ir/expr.h"
+
+namespace macross::interp {
+
+/** Variable bindings and array storage. */
+class Env {
+  public:
+    /**
+     * Read scalar variable @p v. State variables are implicitly
+     * zero-initialized on first read (C++ field semantics, matching
+     * the code generator's `= {}` initializers); reading a
+     * never-written local panics (always a program bug).
+     */
+    const Value& get(const ir::Var* v);
+
+    /** Write scalar variable @p v. */
+    void set(const ir::Var* v, const Value& value);
+
+    /** True if @p v has been written. */
+    bool has(const ir::Var* v) const { return scalars_.count(v) > 0; }
+
+    /** Read array element; allocates the array zeroed on first use. */
+    const Value& getElem(const ir::Var* v, std::int64_t idx);
+
+    /** Write array element; allocates the array zeroed on first use. */
+    void setElem(const ir::Var* v, std::int64_t idx, const Value& value);
+
+    /** Drop all bindings. */
+    void clear();
+
+  private:
+    std::vector<Value>& arrayFor(const ir::Var* v);
+
+    std::unordered_map<const ir::Var*, Value> scalars_;
+    std::unordered_map<const ir::Var*, std::vector<Value>> arrays_;
+};
+
+} // namespace macross::interp

@@ -1,0 +1,490 @@
+/**
+ * @file
+ * Executor implementation.
+ */
+#include "interp/executor.h"
+
+#include <cmath>
+
+#include "support/diagnostics.h"
+
+namespace macross::interp {
+
+using ir::BinaryOp;
+using ir::ExprKind;
+using ir::Intrinsic;
+using ir::StmtKind;
+using machine::OpClass;
+
+Executor::Executor(Env& locals, Env& state, Tape* in, Tape* out,
+                   machine::CostSink* cost)
+    : locals_(locals), state_(state), in_(in), out_(out), cost_(cost)
+{
+}
+
+void
+Executor::setSaguCharges(bool in_side, bool out_side)
+{
+    saguIn_ = in_side;
+    saguOut_ = out_side;
+}
+
+void
+Executor::charge(OpClass c, int lanes)
+{
+    if (cost_ && charging_)
+        cost_->charge(c, lanes);
+}
+
+void
+Executor::chargeCycles(double cycles)
+{
+    if (cost_ && charging_)
+        cost_->chargeCycles(cycles);
+}
+
+Env&
+Executor::envFor(const ir::Var* v)
+{
+    return v->kind == ir::VarKind::State ? state_ : locals_;
+}
+
+Value
+Executor::evalBinary(const ir::Expr& e)
+{
+    Value a = eval(e.args[0]);
+    Value b = eval(e.args[1]);
+    const ir::Type t = e.args[0]->type;
+    Value out = Value::zero(e.type);
+
+    // Charge by operator and element kind.
+    OpClass c = OpClass::IntAlu;
+    if (t.isFloat()) {
+        switch (e.bop) {
+          case BinaryOp::Mul: c = OpClass::FpMul; break;
+          case BinaryOp::Div: c = OpClass::FpDiv; break;
+          default: c = OpClass::FpAdd; break;
+        }
+    } else {
+        switch (e.bop) {
+          case BinaryOp::Mul: c = OpClass::IntMul; break;
+          case BinaryOp::Div:
+          case BinaryOp::Mod: c = OpClass::IntDiv; break;
+          default: c = OpClass::IntAlu; break;
+        }
+    }
+    charge(c, t.lanes);
+
+    for (int l = 0; l < t.lanes; ++l) {
+        if (t.isFloat()) {
+            float x = a.f(l), y = b.f(l);
+            float r = 0.0f;
+            bool cmp = false, isCmp = true;
+            switch (e.bop) {
+              case BinaryOp::Add: r = x + y; isCmp = false; break;
+              case BinaryOp::Sub: r = x - y; isCmp = false; break;
+              case BinaryOp::Mul: r = x * y; isCmp = false; break;
+              case BinaryOp::Div: r = x / y; isCmp = false; break;
+              case BinaryOp::Min: r = std::min(x, y); isCmp = false; break;
+              case BinaryOp::Max: r = std::max(x, y); isCmp = false; break;
+              case BinaryOp::Eq: cmp = x == y; break;
+              case BinaryOp::Ne: cmp = x != y; break;
+              case BinaryOp::Lt: cmp = x < y; break;
+              case BinaryOp::Le: cmp = x <= y; break;
+              case BinaryOp::Gt: cmp = x > y; break;
+              case BinaryOp::Ge: cmp = x >= y; break;
+              default:
+                panic("float operand on integer-only operator");
+            }
+            if (isCmp)
+                out.setI(l, cmp ? 1 : 0);
+            else
+                out.setF(l, r);
+        } else {
+            std::int32_t x = a.i(l), y = b.i(l);
+            std::int64_t r = 0;
+            switch (e.bop) {
+              case BinaryOp::Add: r = std::int64_t{x} + y; break;
+              case BinaryOp::Sub: r = std::int64_t{x} - y; break;
+              case BinaryOp::Mul: r = std::int64_t{x} * y; break;
+              case BinaryOp::Div:
+                panicIf(y == 0, "integer division by zero");
+                r = x / y;
+                break;
+              case BinaryOp::Mod:
+                panicIf(y == 0, "integer modulo by zero");
+                r = x % y;
+                break;
+              case BinaryOp::Min: r = std::min(x, y); break;
+              case BinaryOp::Max: r = std::max(x, y); break;
+              case BinaryOp::Shl: r = std::int64_t{x} << (y & 31); break;
+              case BinaryOp::Shr: r = x >> (y & 31); break;
+              case BinaryOp::And: r = x & y; break;
+              case BinaryOp::Or: r = x | y; break;
+              case BinaryOp::Xor: r = x ^ y; break;
+              case BinaryOp::Eq: r = x == y; break;
+              case BinaryOp::Ne: r = x != y; break;
+              case BinaryOp::Lt: r = x < y; break;
+              case BinaryOp::Le: r = x <= y; break;
+              case BinaryOp::Gt: r = x > y; break;
+              case BinaryOp::Ge: r = x >= y; break;
+            }
+            out.setI(l, static_cast<std::int32_t>(r));
+        }
+    }
+    return out;
+}
+
+Value
+Executor::evalCall(const ir::Expr& e)
+{
+    Value a = eval(e.args[0]);
+    const int lanes = e.type.lanes;
+    Value out = Value::zero(e.type);
+
+    switch (e.callee) {
+      case Intrinsic::Sqrt:
+        charge(OpClass::FpDiv, lanes);
+        for (int l = 0; l < lanes; ++l)
+            out.setF(l, std::sqrt(a.f(l)));
+        return out;
+      case Intrinsic::Sin:
+        charge(OpClass::Trig, lanes);
+        for (int l = 0; l < lanes; ++l)
+            out.setF(l, std::sin(a.f(l)));
+        return out;
+      case Intrinsic::Cos:
+        charge(OpClass::Trig, lanes);
+        for (int l = 0; l < lanes; ++l)
+            out.setF(l, std::cos(a.f(l)));
+        return out;
+      case Intrinsic::Exp:
+        charge(OpClass::ExpLog, lanes);
+        for (int l = 0; l < lanes; ++l)
+            out.setF(l, std::exp(a.f(l)));
+        return out;
+      case Intrinsic::Log:
+        charge(OpClass::ExpLog, lanes);
+        for (int l = 0; l < lanes; ++l)
+            out.setF(l, std::log(a.f(l)));
+        return out;
+      case Intrinsic::Floor:
+        charge(OpClass::Convert, lanes);
+        for (int l = 0; l < lanes; ++l)
+            out.setF(l, std::floor(a.f(l)));
+        return out;
+      case Intrinsic::Abs:
+        charge(a.type().isFloat() ? OpClass::FpAdd : OpClass::IntAlu,
+               lanes);
+        for (int l = 0; l < lanes; ++l) {
+            if (a.type().isFloat())
+                out.setF(l, std::fabs(a.f(l)));
+            else
+                out.setI(l, std::abs(a.i(l)));
+        }
+        return out;
+      case Intrinsic::ToFloat:
+        charge(OpClass::Convert, lanes);
+        for (int l = 0; l < lanes; ++l)
+            out.setF(l, static_cast<float>(a.i(l)));
+        return out;
+      case Intrinsic::ToInt:
+        charge(OpClass::Convert, lanes);
+        for (int l = 0; l < lanes; ++l)
+            out.setI(l, static_cast<std::int32_t>(a.f(l)));
+        return out;
+      case Intrinsic::ExtractEven:
+      case Intrinsic::ExtractOdd:
+      case Intrinsic::InterleaveLo:
+      case Intrinsic::InterleaveHi: {
+        Value b = eval(e.args[1]);
+        charge(OpClass::Shuffle, lanes);
+        const int half = lanes / 2;
+        for (int l = 0; l < half; ++l) {
+            switch (e.callee) {
+              case Intrinsic::ExtractEven:
+                out.setRawBits(l, a.rawBits(2 * l));
+                out.setRawBits(half + l, b.rawBits(2 * l));
+                break;
+              case Intrinsic::ExtractOdd:
+                out.setRawBits(l, a.rawBits(2 * l + 1));
+                out.setRawBits(half + l, b.rawBits(2 * l + 1));
+                break;
+              case Intrinsic::InterleaveLo:
+                out.setRawBits(2 * l, a.rawBits(l));
+                out.setRawBits(2 * l + 1, b.rawBits(l));
+                break;
+              case Intrinsic::InterleaveHi:
+                out.setRawBits(2 * l, a.rawBits(half + l));
+                out.setRawBits(2 * l + 1, b.rawBits(half + l));
+                break;
+              default:
+                break;
+            }
+        }
+        return out;
+      }
+    }
+    panic("unknown intrinsic");
+}
+
+Value
+Executor::eval(const ir::ExprPtr& ep)
+{
+    const ir::Expr& e = *ep;
+    switch (e.kind) {
+      case ExprKind::IntImm: {
+        Value v = Value::zero(e.type);
+        v.setI(0, static_cast<std::int32_t>(e.ival));
+        return v;
+      }
+      case ExprKind::FloatImm: {
+        Value v = Value::zero(e.type);
+        v.setF(0, e.fval);
+        return v;
+      }
+      case ExprKind::VecImm: {
+        Value v = Value::zero(e.type);
+        for (int l = 0; l < e.type.lanes; ++l) {
+            if (e.type.isInt())
+                v.setI(l, static_cast<std::int32_t>(e.ivec[l]));
+            else
+                v.setF(l, e.fvec[l]);
+        }
+        return v;
+      }
+      case ExprKind::VarRef:
+        return envFor(e.var.get()).get(e.var.get());
+      case ExprKind::Load: {
+        Value idx = eval(e.args[0]);
+        charge(e.type.isVector() ? OpClass::VectorLoad
+                                 : OpClass::ScalarLoad);
+        return envFor(e.var.get()).getElem(e.var.get(), idx.i(0));
+      }
+      case ExprKind::Unary: {
+        Value a = eval(e.args[0]);
+        charge(e.type.isFloat() ? OpClass::FpAdd : OpClass::IntAlu,
+               e.type.lanes);
+        Value out = Value::zero(e.type);
+        for (int l = 0; l < e.type.lanes; ++l) {
+            switch (e.uop) {
+              case ir::UnaryOp::Neg:
+                if (e.type.isFloat())
+                    out.setF(l, -a.f(l));
+                else
+                    out.setI(l, -a.i(l));
+                break;
+              case ir::UnaryOp::Not:
+                out.setI(l, a.i(l) == 0 ? 1 : 0);
+                break;
+              case ir::UnaryOp::BitNot:
+                out.setI(l, ~a.i(l));
+                break;
+            }
+        }
+        return out;
+      }
+      case ExprKind::Binary:
+        return evalBinary(e);
+      case ExprKind::Call:
+        return evalCall(e);
+      case ExprKind::Pop: {
+        panicIf(!in_, "pop with no input tape");
+        charge(OpClass::ScalarLoad);
+        charge(OpClass::AddrCalc);
+        if (saguIn_)
+            charge(OpClass::SaguWalk);
+        return in_->pop();
+      }
+      case ExprKind::Peek: {
+        panicIf(!in_, "peek with no input tape");
+        Value off = eval(e.args[0]);
+        charge(OpClass::ScalarLoad);
+        charge(OpClass::AddrCalc);
+        if (saguIn_)
+            charge(OpClass::SaguWalk);
+        return in_->peek(off.i(0));
+      }
+      case ExprKind::VPop: {
+        panicIf(!in_, "vpop with no input tape");
+        charge(OpClass::VectorLoad);
+        charge(OpClass::AddrCalc);
+        return in_->vpop(e.type.lanes);
+      }
+      case ExprKind::VPeek: {
+        panicIf(!in_, "vpeek with no input tape");
+        Value off = eval(e.args[0]);
+        charge(OpClass::VectorLoad);
+        charge(OpClass::AddrCalc);
+        if (off.i(0) % e.type.lanes != 0)
+            charge(OpClass::UnalignedVector);
+        return in_->vpeek(off.i(0), e.type.lanes);
+      }
+      case ExprKind::LaneRead: {
+        Value a = eval(e.args[0]);
+        charge(OpClass::LaneExtract);
+        return a.lane(e.lane);
+      }
+      case ExprKind::Splat: {
+        Value a = eval(e.args[0]);
+        charge(OpClass::Splat);
+        Value out = Value::zero(e.type);
+        for (int l = 0; l < e.type.lanes; ++l)
+            out.setRawBits(l, a.rawBits(0));
+        return out;
+      }
+    }
+    panic("unknown ExprKind");
+}
+
+void
+Executor::exec(const ir::Stmt& s)
+{
+    switch (s.kind) {
+      case StmtKind::Block:
+        run(s.body);
+        break;
+      case StmtKind::Assign:
+        envFor(s.var.get()).set(s.var.get(), eval(s.a));
+        break;
+      case StmtKind::AssignLane: {
+        Value v = eval(s.a);
+        Env& env = envFor(s.var.get());
+        Value cur = env.has(s.var.get())
+                        ? env.get(s.var.get())
+                        : Value::zero(s.var->type);
+        cur.setRawBits(s.lane, v.rawBits(0));
+        charge(OpClass::LaneInsert);
+        env.set(s.var.get(), cur);
+        break;
+      }
+      case StmtKind::Store: {
+        Value v = eval(s.a);
+        Value idx = eval(s.b);
+        charge(v.lanes() > 1 ? OpClass::VectorStore
+                             : OpClass::ScalarStore);
+        envFor(s.var.get()).setElem(s.var.get(), idx.i(0), v);
+        break;
+      }
+      case StmtKind::StoreLane: {
+        Value v = eval(s.a);
+        Value idx = eval(s.b);
+        Env& env = envFor(s.var.get());
+        Value cur = env.getElem(s.var.get(), idx.i(0));
+        cur.setRawBits(s.lane, v.rawBits(0));
+        charge(OpClass::ScalarStore);
+        env.setElem(s.var.get(), idx.i(0), cur);
+        break;
+      }
+      case StmtKind::Push: {
+        panicIf(!out_, "push with no output tape");
+        Value v = eval(s.a);
+        charge(OpClass::ScalarStore);
+        charge(OpClass::AddrCalc);
+        if (saguOut_)
+            charge(OpClass::SaguWalk);
+        out_->push(v);
+        break;
+      }
+      case StmtKind::RPush: {
+        panicIf(!out_, "rpush with no output tape");
+        Value v = eval(s.a);
+        Value off = eval(s.b);
+        charge(OpClass::ScalarStore);
+        charge(OpClass::AddrCalc);
+        if (saguOut_)
+            charge(OpClass::SaguWalk);
+        out_->rpush(v, off.i(0));
+        break;
+      }
+      case StmtKind::VPush: {
+        panicIf(!out_, "vpush with no output tape");
+        Value v = eval(s.a);
+        charge(OpClass::VectorStore);
+        charge(OpClass::AddrCalc);
+        out_->vpush(v);
+        break;
+      }
+      case StmtKind::VRPush: {
+        panicIf(!out_, "vrpush with no output tape");
+        Value v = eval(s.a);
+        Value off = eval(s.b);
+        charge(OpClass::VectorStore);
+        charge(OpClass::AddrCalc);
+        if (off.i(0) % v.lanes() != 0)
+            charge(OpClass::UnalignedVector);
+        out_->vrpush(v, off.i(0));
+        break;
+      }
+      case StmtKind::For: {
+        Value lo = eval(s.a);
+        Value hi = eval(s.b);
+        const ir::Var* iv = s.var.get();
+        Env& env = envFor(iv);
+
+        const LoopCostPlan* plan = nullptr;
+        if (loopPlans_) {
+            auto it = loopPlans_->find(&s);
+            if (it != loopPlans_->end())
+                plan = &it->second;
+        }
+        const std::int64_t trips =
+            std::max<std::int64_t>(0, hi.i(0) - std::int64_t{lo.i(0)});
+        const std::int64_t vecTrips =
+            plan ? (trips / plan->width) * plan->width : 0;
+
+        bool outerCharging = charging_;
+        for (std::int64_t it = 0; it < trips; ++it) {
+            std::int32_t ivVal =
+                static_cast<std::int32_t>(lo.i(0) + it);
+            Value v = Value::zero(ir::kInt32);
+            v.setI(0, ivVal);
+            env.set(iv, v);
+            if (plan && it < vecTrips) {
+                // Vectorized portion: charge the body only on group
+                // leaders, plus the plan's per-group extras.
+                bool leader = (it % plan->width) == 0;
+                charging_ = outerCharging && leader;
+                if (leader) {
+                    charge(OpClass::LoopOverhead);
+                    chargeCycles(plan->extraPerGroup);
+                }
+            } else {
+                charging_ = outerCharging;
+                charge(OpClass::LoopOverhead);
+            }
+            run(s.body);
+        }
+        charging_ = outerCharging;
+        break;
+      }
+      case StmtKind::If: {
+        Value cond = eval(s.a);
+        charge(OpClass::Branch);
+        if (cond.i(0) != 0)
+            run(s.body);
+        else
+            run(s.elseBody);
+        break;
+      }
+      case StmtKind::AdvanceIn:
+        panicIf(!in_, "advance_in with no input tape");
+        charge(OpClass::IntAlu);
+        in_->advanceIn(s.amount);
+        break;
+      case StmtKind::AdvanceOut:
+        panicIf(!out_, "advance_out with no output tape");
+        charge(OpClass::IntAlu);
+        out_->advanceOut(s.amount);
+        break;
+    }
+}
+
+void
+Executor::run(const std::vector<ir::StmtPtr>& stmts)
+{
+    for (const auto& s : stmts)
+        exec(*s);
+}
+
+} // namespace macross::interp

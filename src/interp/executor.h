@@ -1,0 +1,74 @@
+/**
+ * @file
+ * IR executor: runs one actor's init/work bodies against its
+ * environments and tapes, reporting dynamic operation costs.
+ *
+ * Cost reporting supports two modulations used by the modeled
+ * auto-vectorizers (src/autovec): per-loop plans that charge a marked
+ * loop's body once per `width` iterations (inner-loop vectorization),
+ * and a global enable flag the runner toggles to group whole firings
+ * (outer-loop vectorization). Semantics are never modulated — only
+ * the charged cycles — so baseline configurations remain bit-exact.
+ */
+#pragma once
+
+#include <unordered_map>
+
+#include "interp/env.h"
+#include "interp/tape.h"
+#include "ir/stmt.h"
+#include "machine/cost_sink.h"
+
+namespace macross::interp {
+
+/** Cost modulation for one vectorized loop (keyed by Stmt identity). */
+struct LoopCostPlan {
+    int width = 1;  ///< Body charged once per this many iterations.
+    /** Extra cycles charged once per vector group (gathers, etc.). */
+    double extraPerGroup = 0.0;
+};
+
+/** Executes IR for a single actor. */
+class Executor {
+  public:
+    using LoopPlans = std::unordered_map<const ir::Stmt*, LoopCostPlan>;
+
+    Executor(Env& locals, Env& state, Tape* in, Tape* out,
+             machine::CostSink* cost);
+
+    /** Charge SaguWalk on scalar accesses of the given tape sides. */
+    void setSaguCharges(bool in_side, bool out_side);
+
+    /** Install per-loop cost plans (may be null). */
+    void setLoopPlans(const LoopPlans* plans) { loopPlans_ = plans; }
+
+    /** Enable/disable all cost charging (outer-loop grouping). */
+    void setChargingEnabled(bool on) { charging_ = on; }
+
+    /** Evaluate one expression. */
+    Value eval(const ir::ExprPtr& e);
+
+    /** Execute a statement list. */
+    void run(const std::vector<ir::StmtPtr>& stmts);
+
+  private:
+    void exec(const ir::Stmt& s);
+    void charge(machine::OpClass c, int lanes = 1);
+    void chargeCycles(double cycles);
+    Value evalBinary(const ir::Expr& e);
+    Value evalCall(const ir::Expr& e);
+
+    Env& locals_;
+    Env& state_;
+    Tape* in_;
+    Tape* out_;
+    machine::CostSink* cost_;
+    const LoopPlans* loopPlans_ = nullptr;
+    bool charging_ = true;
+    bool saguIn_ = false;
+    bool saguOut_ = false;
+
+    Env& envFor(const ir::Var* v);
+};
+
+} // namespace macross::interp

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Runner implementation.
+ */
+#include "interp/runner.h"
+
+#include "support/diagnostics.h"
+
+namespace macross::interp {
+
+using graph::Actor;
+using graph::ActorKind;
+using machine::OpClass;
+
+Runner::Runner(const graph::FlatGraph& g, const schedule::Schedule& s,
+               machine::CostSink* cost)
+    : graph_(&g), sched_(&s), cost_(cost)
+{
+    tapes_.reserve(g.tapes.size());
+    for (const auto& td : g.tapes) {
+        auto tape = std::make_unique<Tape>(td.elem);
+        if (td.transpose.readSide) {
+            tape->setReadTranspose(TransposeSpec{
+                true, td.transpose.rate, td.transpose.simdWidth});
+        }
+        if (td.transpose.writeSide) {
+            tape->setWriteTranspose(TransposeSpec{
+                true, td.transpose.rate, td.transpose.simdWidth});
+        }
+        tapes_.push_back(std::move(tape));
+    }
+    locals_.resize(g.actors.size());
+    states_.resize(g.actors.size());
+    configs_.resize(g.actors.size());
+    fireCounts_.assign(g.actors.size(), 0);
+
+    // Capture at the sink: the unique filter with an input and no
+    // output. Observe elements as the sink pops them.
+    for (const auto& a : g.actors) {
+        if (a.isFilter() && a.outputs.empty() && !a.inputs.empty()) {
+            tapes_[a.inputs[0]]->setPopObserver([this](const Value& v) {
+                if (captureEnabled_)
+                    captured_.push_back(v);
+            });
+        }
+    }
+}
+
+void
+Runner::setActorConfig(int actor_id, ActorExecConfig cfg)
+{
+    configs_.at(actor_id) = std::move(cfg);
+}
+
+Tape*
+Runner::tapeFor(int tape_id)
+{
+    return tapes_.at(tape_id).get();
+}
+
+double
+Runner::totalCycles() const
+{
+    return cost_ ? cost_->totalCycles() : 0.0;
+}
+
+void
+Runner::fireFilter(const Actor& a)
+{
+    Tape* in = a.inputs.empty() ? nullptr : tapeFor(a.inputs[0]);
+    Tape* out = a.outputs.empty() ? nullptr : tapeFor(a.outputs[0]);
+
+    const ActorExecConfig& cfg = configs_[a.id];
+    bool charging = true;
+    if (cfg.outerVectorized) {
+        bool leader = (fireCounts_[a.id] % cfg.outerWidth) == 0;
+        charging = leader;
+        if (leader && cost_)
+            cost_->chargeCycles(cfg.outerExtraPerGroup);
+    }
+
+    Executor ex(locals_[a.id], states_[a.id], in, out, cost_);
+    ex.setChargingEnabled(charging);
+    if (charging && cost_)
+        cost_->charge(OpClass::FiringOverhead);
+    ex.setLoopPlans(cfg.loopPlans.get());
+
+    // SaguWalk charges apply to the scalar endpoint of a transposed
+    // tape: the consumer on a read-side transpose, the producer on a
+    // write-side transpose.
+    bool saguIn = !a.inputs.empty() &&
+                  graph_->tape(a.inputs[0]).transpose.readSide;
+    bool saguOut = !a.outputs.empty() &&
+                   graph_->tape(a.outputs[0]).transpose.writeSide;
+    ex.setSaguCharges(saguIn, saguOut);
+
+    ex.run(a.def->work);
+    fireCounts_[a.id]++;
+}
+
+void
+Runner::fireSplitter(const Actor& a)
+{
+    Tape* in = tapeFor(a.inputs[0]);
+    // SAGU walk charges at transposed boundaries (the splitter is the
+    // scalar endpoint).
+    const bool walkIn =
+        graph_->tape(a.inputs[0]).transpose.readSide;
+    auto walkOutPort = [&](int port) {
+        return graph_->tape(a.outputs[port]).transpose.writeSide;
+    };
+    auto chargeScalarMove = [&](int port) {
+        if (cost_) {
+            cost_->charge(OpClass::ScalarLoad);
+            cost_->charge(OpClass::ScalarStore);
+            cost_->charge(OpClass::AddrCalc, 1, 2);
+            if (walkIn)
+                cost_->charge(OpClass::SaguWalk);
+            if (walkOutPort(port))
+                cost_->charge(OpClass::SaguWalk);
+        }
+    };
+
+    if (cost_)
+        cost_->charge(OpClass::FiringOverhead);
+
+    if (a.horizontal) {
+        // HSplitter: pack SW scalar streams into one vector tape.
+        Tape* out = tapeFor(a.outputs[0]);
+        const int sw = a.hLanes;
+        if (a.splitKind == graph::SplitterKind::Duplicate) {
+            Value x = in->pop();
+            Value v = Value::zero(x.type().widened(sw));
+            for (int l = 0; l < sw; ++l)
+                v.setRawBits(l, x.rawBits(0));
+            out->vpush(v);
+            if (cost_) {
+                cost_->charge(OpClass::ScalarLoad);
+                cost_->charge(OpClass::Splat);
+                cost_->charge(OpClass::VectorStore);
+                cost_->charge(OpClass::AddrCalc, 1, 2);
+            }
+            return;
+        }
+        const int w = a.weights[0];
+        std::vector<Value> tmp;
+        tmp.reserve(static_cast<std::size_t>(sw) * w);
+        for (int i = 0; i < sw * w; ++i) {
+            tmp.push_back(in->pop());
+            if (cost_) {
+                cost_->charge(OpClass::ScalarLoad);
+                cost_->charge(OpClass::AddrCalc);
+            }
+        }
+        for (int j = 0; j < w; ++j) {
+            Value v = Value::zero(tmp[0].type().widened(sw));
+            for (int l = 0; l < sw; ++l)
+                v.setRawBits(l, tmp[l * w + j].rawBits(0));
+            out->vpush(v);
+            if (cost_) {
+                cost_->charge(OpClass::LaneInsert, 1, sw);
+                cost_->charge(OpClass::VectorStore);
+                cost_->charge(OpClass::AddrCalc);
+            }
+        }
+        return;
+    }
+
+    if (a.splitKind == graph::SplitterKind::Duplicate) {
+        Value x = in->pop();
+        if (cost_) {
+            cost_->charge(OpClass::ScalarLoad);
+            cost_->charge(OpClass::AddrCalc);
+        }
+        for (int port = 0; port < static_cast<int>(a.outputs.size());
+             ++port) {
+            tapeFor(a.outputs[port])->push(x);
+            if (cost_) {
+                cost_->charge(OpClass::ScalarStore);
+                cost_->charge(OpClass::AddrCalc);
+                if (walkOutPort(port))
+                    cost_->charge(OpClass::SaguWalk);
+            }
+        }
+        return;
+    }
+
+    for (int port = 0; port < static_cast<int>(a.outputs.size());
+         ++port) {
+        for (int k = 0; k < a.weights[port]; ++k) {
+            tapeFor(a.outputs[port])->push(in->pop());
+            chargeScalarMove(port);
+        }
+    }
+}
+
+void
+Runner::fireJoiner(const Actor& a)
+{
+    Tape* out = tapeFor(a.outputs[0]);
+    if (cost_)
+        cost_->charge(OpClass::FiringOverhead);
+
+    if (a.horizontal) {
+        // HJoiner: unpack one vector tape back into round-robin
+        // scalar order.
+        Tape* in = tapeFor(a.inputs[0]);
+        const int sw = a.hLanes;
+        const int w = a.weights[0];
+        std::vector<Value> vecs;
+        vecs.reserve(w);
+        for (int j = 0; j < w; ++j) {
+            vecs.push_back(in->vpop(sw));
+            if (cost_) {
+                cost_->charge(OpClass::VectorLoad);
+                cost_->charge(OpClass::AddrCalc);
+            }
+        }
+        for (int l = 0; l < sw; ++l) {
+            for (int j = 0; j < w; ++j) {
+                out->push(vecs[j].lane(l));
+                if (cost_) {
+                    cost_->charge(OpClass::LaneExtract);
+                    cost_->charge(OpClass::ScalarStore);
+                    cost_->charge(OpClass::AddrCalc);
+                }
+            }
+        }
+        return;
+    }
+
+    const bool walkOut =
+        graph_->tape(a.outputs[0]).transpose.writeSide;
+    for (int port = 0; port < static_cast<int>(a.inputs.size());
+         ++port) {
+        const bool walkIn =
+            graph_->tape(a.inputs[port]).transpose.readSide;
+        for (int k = 0; k < a.weights[port]; ++k) {
+            out->push(tapeFor(a.inputs[port])->pop());
+            if (cost_) {
+                cost_->charge(OpClass::ScalarLoad);
+                cost_->charge(OpClass::ScalarStore);
+                cost_->charge(OpClass::AddrCalc, 1, 2);
+                if (walkIn)
+                    cost_->charge(OpClass::SaguWalk);
+                if (walkOut)
+                    cost_->charge(OpClass::SaguWalk);
+            }
+        }
+    }
+}
+
+void
+Runner::fire(int actor_id)
+{
+    const Actor& a = graph_->actor(actor_id);
+    if (cost_)
+        cost_->setCurrentActor(actor_id);
+    switch (a.kind) {
+      case ActorKind::Filter:
+        fireFilter(a);
+        break;
+      case ActorKind::Splitter:
+        fireSplitter(a);
+        break;
+      case ActorKind::Joiner:
+        fireJoiner(a);
+        break;
+    }
+}
+
+void
+Runner::runInit()
+{
+    panicIf(initDone_, "runInit called twice");
+    initDone_ = true;
+
+    // Init bodies and warm-up firings are one-time costs the paper's
+    // steady-state measurements exclude; run them uncosted.
+    machine::CostSink* saved = cost_;
+    cost_ = nullptr;
+
+    for (const auto& a : graph_->actors) {
+        if (a.isFilter() && !a.def->init.empty()) {
+            Executor ex(locals_[a.id], states_[a.id], nullptr, nullptr,
+                        nullptr);
+            ex.run(a.def->init);
+        }
+    }
+    for (int id : sched_->order) {
+        for (std::int64_t k = 0; k < sched_->initFires[id]; ++k)
+            fire(id);
+    }
+    cost_ = saved;
+}
+
+void
+Runner::runSteady(int iterations)
+{
+    if (!initDone_)
+        runInit();
+    for (int it = 0; it < iterations; ++it) {
+        for (int id : sched_->order) {
+            for (std::int64_t k = 0; k < sched_->reps[id]; ++k)
+                fire(id);
+        }
+    }
+}
+
+void
+Runner::runUntilCaptured(std::int64_t n, int max_iters)
+{
+    if (!initDone_)
+        runInit();
+    int iters = 0;
+    while (static_cast<std::int64_t>(captured_.size()) < n) {
+        fatalIf(iters++ >= max_iters,
+                "runUntilCaptured: sink produced only ",
+                captured_.size(), " of ", n, " elements after ",
+                max_iters, " iterations");
+        runSteady(1);
+    }
+}
+
+} // namespace macross::interp

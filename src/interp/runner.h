@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Program runner: executes a flat stream graph under its schedule,
+ * capturing sink output and (optionally) accumulating modeled cycles.
+ *
+ * The runner implements splitter/joiner data movement natively
+ * (including the horizontal HSplitter/HJoiner pack/unpack of Section
+ * 3.3) and honors the SAGU tape-transpose annotations on tapes.
+ *
+ * Cost accounting covers the steady state only: init bodies and
+ * warm-up (init-phase) firings run with charging disabled, matching
+ * how the paper measures steady-state performance.
+ */
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/flat_graph.h"
+#include "interp/executor.h"
+#include "schedule/steady_state.h"
+
+namespace macross::interp {
+
+/** Per-actor execution/costing configuration (set by autovec models). */
+struct ActorExecConfig {
+    /** Inner-loop vectorization cost plans (may be null). */
+    std::shared_ptr<Executor::LoopPlans> loopPlans;
+    /** Outer-loop (firing-level) vectorization grouping. */
+    bool outerVectorized = false;
+    int outerWidth = 4;
+    double outerExtraPerGroup = 0.0;
+};
+
+/** Executes a scheduled stream graph. */
+class Runner {
+  public:
+    /**
+     * @param g Graph to run (must outlive the runner).
+     * @param s Schedule for @p g.
+     * @param cost Cycle sink, or null to run without costing.
+     */
+    Runner(const graph::FlatGraph& g, const schedule::Schedule& s,
+           machine::CostSink* cost = nullptr);
+
+    /** Install an execution config for one actor. */
+    void setActorConfig(int actor_id, ActorExecConfig cfg);
+
+    /** Record every element the sink consumes. On by default. */
+    void enableCapture(bool on) { captureEnabled_ = on; }
+
+    /** Run all init bodies and warm-up firings (uncosted). */
+    void runInit();
+
+    /** Run @p iterations steady-state iterations. */
+    void runSteady(int iterations);
+
+    /**
+     * Run steady iterations until at least @p n elements are captured
+     * (fatal after @p max_iters iterations).
+     */
+    void runUntilCaptured(std::int64_t n, int max_iters = 100000);
+
+    const std::vector<Value>& captured() const { return captured_; }
+
+    /** Fire one actor once (also used internally). */
+    void fire(int actor_id);
+
+    /** Read-only access to a tape's runtime state (stats, tests). */
+    const Tape& tapeAt(int tape_id) const
+    {
+        return *tapes_.at(tape_id);
+    }
+
+    const graph::FlatGraph& graph() const { return *graph_; }
+    const schedule::Schedule& schedule() const { return *sched_; }
+
+    /** Modeled cycles accumulated so far (0 without a sink). */
+    double totalCycles() const;
+
+  private:
+    void fireFilter(const graph::Actor& a);
+    void fireSplitter(const graph::Actor& a);
+    void fireJoiner(const graph::Actor& a);
+    Tape* tapeFor(int tape_id);
+
+    const graph::FlatGraph* graph_;
+    const schedule::Schedule* sched_;
+    machine::CostSink* cost_;
+
+    std::vector<std::unique_ptr<Tape>> tapes_;
+    std::vector<Env> locals_;
+    std::vector<Env> states_;
+    std::vector<ActorExecConfig> configs_;
+    std::vector<std::int64_t> fireCounts_;
+    std::vector<Value> captured_;
+    bool captureEnabled_ = true;
+    bool initDone_ = false;
+};
+
+} // namespace macross::interp

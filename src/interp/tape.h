@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tape (FIFO channel) runtime.
+ *
+ * A tape carries scalar elements addressed by logical stream index.
+ * The read pointer rp and write pointer wp delimit the resident
+ * window; random-access pushes (rpush/vrpush) may write ahead of wp,
+ * with a later AdvanceOut publishing them (the paper's Section 3.1
+ * access discipline for SIMDized actors).
+ *
+ * For the SAGU tape optimization a tape can be placed in a transposed
+ * layout (Section 3.4): the vectorized endpoint performs contiguous
+ * vector accesses while the scalar endpoint's accesses are remapped
+ * through the block-transpose address walk that the SAGU (or the
+ * Figure 8 software sequence) computes. Exactly one endpoint may be
+ * transposed-scalar per direction.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "interp/value.h"
+
+namespace macross::interp {
+
+/** Address mapping applied to one endpoint of a tape. */
+struct TransposeSpec {
+    bool enabled = false;
+    std::int64_t rate = 1;  ///< Vectorized neighbor's pop/push rate.
+    int simdWidth = 4;
+};
+
+/** FIFO channel between two actors. */
+class Tape {
+  public:
+    explicit Tape(ir::Type elem) : elem_(elem) {}
+
+    ir::Type elemType() const { return elem_; }
+
+    /** Elements available to the consumer. */
+    std::int64_t available() const { return wp_ - rp_; }
+
+    /** @name Scalar-side accesses (subject to transposition).
+     *  @{
+     */
+    Value peek(std::int64_t offset) const;
+    Value pop();
+    void push(const Value& v);
+    void rpush(const Value& v, std::int64_t offset);
+    /** @} */
+
+    /** @name Vector accesses (always contiguous physical layout).
+     *  @{
+     */
+    Value vpeek(std::int64_t offset, int lanes) const;
+    Value vpop(int lanes);
+    void vpush(const Value& v);
+    void vrpush(const Value& v, std::int64_t offset);
+    /** @} */
+
+    void advanceIn(std::int64_t n);
+    void advanceOut(std::int64_t n);
+
+    /** Remap the consumer's scalar reads through a block transpose. */
+    void setReadTranspose(TransposeSpec t) { readT_ = t; }
+    /** Remap the producer's scalar writes through a block transpose. */
+    void setWriteTranspose(TransposeSpec t) { writeT_ = t; }
+
+    /**
+     * Observe every element the consumer pops, in consumption order
+     * (used to capture program output at the sink).
+     */
+    void setPopObserver(std::function<void(const Value&)> fn)
+    {
+        popObserver_ = std::move(fn);
+    }
+
+    /** Total elements ever pushed (for stats). */
+    std::int64_t totalPushed() const { return totalPushed_; }
+    /** High-water mark of resident elements (buffer sizing stats). */
+    std::int64_t maxOccupancy() const { return maxOccupancy_; }
+
+  private:
+    Value read(std::int64_t logical) const;
+    void write(std::int64_t logical, const Value& v);
+    void ensure(std::int64_t logical) const;
+    void compact();
+    std::int64_t mapRead(std::int64_t logical) const;
+    std::int64_t mapWrite(std::int64_t logical) const;
+
+    ir::Type elem_;
+    mutable std::vector<Value> buf_;
+    std::int64_t base_ = 0;  ///< Logical index of buf_[0].
+    std::int64_t rp_ = 0;
+    std::int64_t wp_ = 0;
+    TransposeSpec readT_;
+    TransposeSpec writeT_;
+    std::function<void(const Value&)> popObserver_;
+    std::int64_t totalPushed_ = 0;
+    std::int64_t maxOccupancy_ = 0;
+};
+
+} // namespace macross::interp

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Value implementation.
+ */
+#include "interp/value.h"
+
+#include <sstream>
+
+#include "support/diagnostics.h"
+
+namespace macross::interp {
+
+Value
+Value::makeInt(std::int32_t v)
+{
+    Value out;
+    out.type_ = ir::kInt32;
+    out.setI(0, v);
+    return out;
+}
+
+Value
+Value::makeFloat(float v)
+{
+    Value out;
+    out.type_ = ir::kFloat32;
+    out.setF(0, v);
+    return out;
+}
+
+Value
+Value::zero(ir::Type t)
+{
+    panicIf(t.lanes > kMaxLanes, "value lane count exceeds kMaxLanes");
+    Value out;
+    out.type_ = t;
+    return out;
+}
+
+Value
+Value::lane(int lane) const
+{
+    panicIf(lane < 0 || lane >= type_.lanes, "lane out of range");
+    Value out;
+    out.type_ = type_.element();
+    out.bits_[0] = bits_[lane];
+    return out;
+}
+
+bool
+Value::operator==(const Value& o) const
+{
+    if (!(type_ == o.type_))
+        return false;
+    for (int l = 0; l < type_.lanes; ++l) {
+        if (bits_[l] != o.bits_[l])
+            return false;
+    }
+    return true;
+}
+
+std::string
+Value::str() const
+{
+    std::ostringstream os;
+    auto one = [&](int l) {
+        if (type_.isInt())
+            os << i(l);
+        else
+            os << f(l) << "f";
+    };
+    if (type_.lanes == 1) {
+        one(0);
+    } else {
+        os << "{";
+        for (int l = 0; l < type_.lanes; ++l) {
+            if (l)
+                os << ", ";
+            one(l);
+        }
+        os << "}";
+    }
+    return os.str();
+}
+
+} // namespace macross::interp

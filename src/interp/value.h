@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Runtime values for the IR interpreter: scalars or SIMD vectors of
+ * int32/float32, stored as raw 32-bit lanes.
+ */
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "ir/type.h"
+
+namespace macross::interp {
+
+/** Maximum SIMD lanes any supported machine description uses. */
+inline constexpr int kMaxLanes = 16;
+
+/** One scalar or vector value. */
+class Value {
+  public:
+    Value() = default;
+
+    static Value makeInt(std::int32_t v);
+    static Value makeFloat(float v);
+    /** Zero-initialized value of type @p t. */
+    static Value zero(ir::Type t);
+
+    ir::Type type() const { return type_; }
+    int lanes() const { return type_.lanes; }
+
+    std::int32_t i(int lane = 0) const
+    {
+        return static_cast<std::int32_t>(bits_[lane]);
+    }
+    float f(int lane = 0) const { return std::bit_cast<float>(bits_[lane]); }
+
+    void setI(int lane, std::int32_t v)
+    {
+        bits_[lane] = static_cast<std::uint32_t>(v);
+    }
+    void setF(int lane, float v) { bits_[lane] = std::bit_cast<std::uint32_t>(v); }
+
+    std::uint32_t rawBits(int lane) const { return bits_[lane]; }
+    void setRawBits(int lane, std::uint32_t b) { bits_[lane] = b; }
+    void setType(ir::Type t) { type_ = t; }
+
+    /** Extract lane @p lane as a scalar value. */
+    Value lane(int lane) const;
+
+    /** Bitwise equality including type (for test assertions). */
+    bool operator==(const Value& o) const;
+
+    /** Readable rendering, e.g. "3.5f" or "{1, 2, 3, 4}". */
+    std::string str() const;
+
+  private:
+    ir::Type type_{ir::Scalar::Int32, 1};
+    std::array<std::uint32_t, kMaxLanes> bits_{};
+};
+
+} // namespace macross::interp

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * IR analysis implementations.
+ */
+#include "ir/analysis.h"
+
+#include <functional>
+
+#include "support/diagnostics.h"
+
+namespace macross::ir {
+
+namespace {
+
+void
+countInto(const std::vector<StmtPtr>& stmts, TapeCounts& tc)
+{
+    for (const auto& sp : stmts) {
+        const Stmt& s = *sp;
+        // Expressions may contain pops/peeks; count them wherever they
+        // appear in this statement's operand expressions.
+        std::function<void(const ExprPtr&)> countExpr =
+            [&](const ExprPtr& e) {
+                if (!e)
+                    return;
+                switch (e->kind) {
+                  case ExprKind::Pop:
+                    tc.pops += 1;
+                    break;
+                  case ExprKind::VPop:
+                    tc.pops += e->type.lanes;
+                    break;
+                  case ExprKind::Peek:
+                  case ExprKind::VPeek:
+                    tc.peeks += 1;
+                    break;
+                  default:
+                    break;
+                }
+                for (const auto& a : e->args)
+                    countExpr(a);
+            };
+        switch (s.kind) {
+          case StmtKind::Block: {
+            countInto(s.body, tc);
+            break;
+          }
+          case StmtKind::Assign:
+          case StmtKind::AssignLane:
+            countExpr(s.a);
+            break;
+          case StmtKind::Store:
+          case StmtKind::StoreLane:
+            countExpr(s.a);
+            countExpr(s.b);
+            break;
+          case StmtKind::Push:
+            countExpr(s.a);
+            tc.pushes += 1;
+            break;
+          case StmtKind::RPush:
+          case StmtKind::VRPush:
+            countExpr(s.a);
+            countExpr(s.b);
+            // Random-access pushes do not advance the write pointer;
+            // the matching advance comes from a Push or AdvanceOut.
+            break;
+          case StmtKind::VPush:
+            countExpr(s.a);
+            tc.pushes += s.a->type.lanes;
+            break;
+          case StmtKind::For: {
+            countExpr(s.a);
+            countExpr(s.b);
+            auto lo = tryConstFold(s.a);
+            auto hi = tryConstFold(s.b);
+            TapeCounts body;
+            countInto(s.body, body);
+            if (body.pops == 0 && body.pushes == 0 && body.peeks == 0)
+                break;
+            if (!lo || !hi) {
+                tc.exact = false;
+                break;
+            }
+            std::int64_t trips = std::max<std::int64_t>(0, *hi - *lo);
+            tc.pops += body.pops * trips;
+            tc.pushes += body.pushes * trips;
+            tc.peeks += body.peeks * trips;
+            tc.exact = tc.exact && body.exact;
+            break;
+          }
+          case StmtKind::If: {
+            countExpr(s.a);
+            TapeCounts thenC, elseC;
+            countInto(s.body, thenC);
+            countInto(s.elseBody, elseC);
+            if (thenC.pops != elseC.pops || thenC.pushes != elseC.pushes)
+                tc.exact = false;
+            tc.pops += thenC.pops;
+            tc.pushes += thenC.pushes;
+            tc.peeks += std::max(thenC.peeks, elseC.peeks);
+            tc.exact = tc.exact && thenC.exact && elseC.exact;
+            break;
+          }
+          case StmtKind::AdvanceIn:
+            tc.pops += s.amount;
+            break;
+          case StmtKind::AdvanceOut:
+            tc.pushes += s.amount;
+            break;
+        }
+    }
+}
+
+} // namespace
+
+TapeCounts
+countTapeAccesses(const std::vector<StmtPtr>& stmts)
+{
+    TapeCounts tc;
+    countInto(stmts, tc);
+    return tc;
+}
+
+std::optional<std::int64_t>
+tryConstFold(const ExprPtr& e)
+{
+    if (!e)
+        return std::nullopt;
+    switch (e->kind) {
+      case ExprKind::IntImm:
+        return e->ival;
+      case ExprKind::Unary: {
+        auto a = tryConstFold(e->args[0]);
+        if (!a)
+            return std::nullopt;
+        switch (e->uop) {
+          case UnaryOp::Neg: return -*a;
+          case UnaryOp::Not: return *a == 0 ? 1 : 0;
+          case UnaryOp::BitNot: return ~*a;
+        }
+        return std::nullopt;
+      }
+      case ExprKind::Binary: {
+        auto a = tryConstFold(e->args[0]);
+        auto b = tryConstFold(e->args[1]);
+        if (!a || !b)
+            return std::nullopt;
+        switch (e->bop) {
+          case BinaryOp::Add: return *a + *b;
+          case BinaryOp::Sub: return *a - *b;
+          case BinaryOp::Mul: return *a * *b;
+          case BinaryOp::Div:
+            return *b == 0 ? std::nullopt
+                           : std::optional<std::int64_t>(*a / *b);
+          case BinaryOp::Mod:
+            return *b == 0 ? std::nullopt
+                           : std::optional<std::int64_t>(*a % *b);
+          case BinaryOp::Min: return std::min(*a, *b);
+          case BinaryOp::Max: return std::max(*a, *b);
+          case BinaryOp::Shl: return *a << *b;
+          case BinaryOp::Shr: return *a >> *b;
+          case BinaryOp::And: return *a & *b;
+          case BinaryOp::Or: return *a | *b;
+          case BinaryOp::Xor: return *a ^ *b;
+          default: return std::nullopt;
+        }
+      }
+      default:
+        return std::nullopt;
+    }
+}
+
+namespace {
+
+void
+walkStmts(const std::vector<StmtPtr>& stmts,
+          const std::function<void(const Stmt&)>& fn)
+{
+    for (const auto& sp : stmts) {
+        fn(*sp);
+        walkStmts(sp->body, fn);
+        walkStmts(sp->elseBody, fn);
+    }
+}
+
+void
+walkExpr(const ExprPtr& e, const std::function<void(const Expr&)>& fn)
+{
+    if (!e)
+        return;
+    fn(*e);
+    for (const auto& a : e->args)
+        walkExpr(a, fn);
+}
+
+} // namespace
+
+void
+forEachStmt(const std::vector<StmtPtr>& stmts,
+            const std::function<void(const Stmt&)>& fn)
+{
+    walkStmts(stmts, fn);
+}
+
+void
+forEachExpr(const std::vector<StmtPtr>& stmts,
+            const std::function<void(const Expr&)>& fn)
+{
+    walkStmts(stmts, [&](const Stmt& s) {
+        walkExpr(s.a, fn);
+        walkExpr(s.b, fn);
+    });
+}
+
+std::unordered_set<const Var*>
+writtenVars(const std::vector<StmtPtr>& stmts)
+{
+    std::unordered_set<const Var*> out;
+    walkStmts(stmts, [&](const Stmt& s) {
+        switch (s.kind) {
+          case StmtKind::Assign:
+          case StmtKind::AssignLane:
+          case StmtKind::Store:
+          case StmtKind::StoreLane:
+          case StmtKind::For:
+            out.insert(s.var.get());
+            break;
+          default:
+            break;
+        }
+    });
+    return out;
+}
+
+std::unordered_set<const Var*>
+referencedVars(const std::vector<StmtPtr>& stmts)
+{
+    std::unordered_set<const Var*> out;
+    walkStmts(stmts, [&](const Stmt& s) {
+        if (s.var)
+            out.insert(s.var.get());
+    });
+    forEachExpr(stmts, [&](const Expr& e) {
+        if (e.var)
+            out.insert(e.var.get());
+    });
+    return out;
+}
+
+bool
+readsInputTape(const std::vector<StmtPtr>& stmts)
+{
+    bool found = false;
+    forEachExpr(stmts, [&](const Expr& e) {
+        if (e.kind == ExprKind::Pop || e.kind == ExprKind::Peek ||
+            e.kind == ExprKind::VPop || e.kind == ExprKind::VPeek) {
+            found = true;
+        }
+    });
+    return found;
+}
+
+bool
+writesOutputTape(const std::vector<StmtPtr>& stmts)
+{
+    bool found = false;
+    forEachStmt(stmts, [&](const Stmt& s) {
+        if (s.kind == StmtKind::Push || s.kind == StmtKind::RPush ||
+            s.kind == StmtKind::VPush || s.kind == StmtKind::VRPush) {
+            found = true;
+        }
+    });
+    return found;
+}
+
+} // namespace macross::ir

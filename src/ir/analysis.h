@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Static analyses over work-function IR.
+ *
+ * These back the rate validator (declared pop/push rates must match the
+ * body's static tape-access counts), the stateful-actor classifier, and
+ * the SIMDizability tests of Section 3.1 of the paper.
+ */
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "ir/stmt.h"
+
+namespace macross::ir {
+
+/** Static per-firing tape access counts of a statement list. */
+struct TapeCounts {
+    std::int64_t pops = 0;    ///< pop() count (scalar elements).
+    std::int64_t pushes = 0;  ///< push() count (scalar elements).
+    std::int64_t peeks = 0;   ///< peek() count (reads, not rate).
+    bool exact = true;        ///< False if counts are data-dependent.
+};
+
+/**
+ * Count tape accesses per execution of @p stmts.
+ *
+ * Loop bodies multiply by the constant trip count; if a trip count is
+ * not a compile-time constant, or if the two branches of an `if`
+ * disagree, the result is flagged inexact (which the graph validator
+ * treats as an error: SDF requires static rates). Vector accesses
+ * (vpop/vpush) count as `lanes` elements, and AdvanceIn/AdvanceOut
+ * count as consumed/produced elements so SIMDized bodies still
+ * rate-check.
+ */
+TapeCounts countTapeAccesses(const std::vector<StmtPtr>& stmts);
+
+/** Fold @p e to an integer constant if it is one statically. */
+std::optional<std::int64_t> tryConstFold(const ExprPtr& e);
+
+/** All variables written by @p stmts (assign/store targets, loop vars). */
+std::unordered_set<const Var*>
+writtenVars(const std::vector<StmtPtr>& stmts);
+
+/** All variables referenced (read or written) by @p stmts. */
+std::unordered_set<const Var*>
+referencedVars(const std::vector<StmtPtr>& stmts);
+
+/** Visit every expression in the statement list (pre-order). */
+void forEachExpr(const std::vector<StmtPtr>& stmts,
+                 const std::function<void(const Expr&)>& fn);
+
+/** Visit every statement, recursing into nested bodies (pre-order). */
+void forEachStmt(const std::vector<StmtPtr>& stmts,
+                 const std::function<void(const Stmt&)>& fn);
+
+/** True if any pop/peek/vpop appears in the statement list. */
+bool readsInputTape(const std::vector<StmtPtr>& stmts);
+
+/** True if any push/rpush/vpush appears in the statement list. */
+bool writesOutputTape(const std::vector<StmtPtr>& stmts);
+
+} // namespace macross::ir

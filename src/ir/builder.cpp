@@ -1,0 +1,484 @@
+/**
+ * @file
+ * IR construction helpers: type inference and validation.
+ */
+#include "ir/builder.h"
+
+#include "support/diagnostics.h"
+
+namespace macross::ir {
+
+namespace {
+
+std::shared_ptr<Expr>
+makeNode(ExprKind kind, Type type)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = kind;
+    e->type = type;
+    return e;
+}
+
+/** Promote @p e to float32 element kind if it is integer. */
+ExprPtr
+promoteToFloat(ExprPtr e)
+{
+    if (e->type.isFloat())
+        return e;
+    auto n = makeNode(ExprKind::Call,
+                      Type{Scalar::Float32, e->type.lanes});
+    n->callee = Intrinsic::ToFloat;
+    n->args = {std::move(e)};
+    return n;
+}
+
+/**
+ * Unify two operands for a binary operation: match element kinds by
+ * int->float promotion and lane counts by splatting the scalar side.
+ */
+void
+unifyOperands(ExprPtr& a, ExprPtr& b)
+{
+    if (a->type.scalar != b->type.scalar) {
+        a = promoteToFloat(std::move(a));
+        b = promoteToFloat(std::move(b));
+    }
+    if (a->type.lanes != b->type.lanes) {
+        if (a->type.lanes == 1) {
+            a = splat(std::move(a), b->type.lanes);
+        } else if (b->type.lanes == 1) {
+            b = splat(std::move(b), a->type.lanes);
+        } else {
+            panic("binary operands with mismatched lane counts ",
+                  a->type.lanes, " vs ", b->type.lanes);
+        }
+    }
+}
+
+} // namespace
+
+ExprPtr
+intImm(std::int64_t v)
+{
+    auto e = makeNode(ExprKind::IntImm, kInt32);
+    e->ival = v;
+    return e;
+}
+
+ExprPtr
+floatImm(float v)
+{
+    auto e = makeNode(ExprKind::FloatImm, kFloat32);
+    e->fval = v;
+    return e;
+}
+
+ExprPtr
+vecImm(const std::vector<std::int64_t>& lanes)
+{
+    panicIf(lanes.size() < 2, "vector literal needs >= 2 lanes");
+    auto e = makeNode(ExprKind::VecImm,
+                      Type{Scalar::Int32, static_cast<int>(lanes.size())});
+    e->ivec = lanes;
+    return e;
+}
+
+ExprPtr
+vecImm(const std::vector<float>& lanes)
+{
+    panicIf(lanes.size() < 2, "vector literal needs >= 2 lanes");
+    auto e = makeNode(ExprKind::VecImm,
+                      Type{Scalar::Float32, static_cast<int>(lanes.size())});
+    e->fvec = lanes;
+    return e;
+}
+
+ExprPtr
+varRef(const VarPtr& v)
+{
+    panicIf(!v, "varRef(null var)");
+    panicIf(v->isArray(), "varRef() on array variable ", v->name,
+            "; use load()");
+    auto e = makeNode(ExprKind::VarRef, v->type);
+    e->var = v;
+    return e;
+}
+
+ExprPtr
+load(const VarPtr& arr, ExprPtr index)
+{
+    panicIf(!arr || !arr->isArray(), "load() target is not an array");
+    panicIf(!index->type.isInt() || index->type.isVector(),
+            "array index must be scalar int");
+    auto e = makeNode(ExprKind::Load, arr->type);
+    e->var = arr;
+    e->args = {std::move(index)};
+    return e;
+}
+
+ExprPtr
+unary(UnaryOp op, ExprPtr a)
+{
+    panicIf((op == UnaryOp::Not || op == UnaryOp::BitNot) &&
+            !a->type.isInt(), "logical/bitwise not on float operand");
+    auto e = makeNode(ExprKind::Unary, a->type);
+    e->uop = op;
+    e->args = {std::move(a)};
+    return e;
+}
+
+ExprPtr
+binary(BinaryOp op, ExprPtr a, ExprPtr b)
+{
+    unifyOperands(a, b);
+    switch (op) {
+      case BinaryOp::Mod:
+      case BinaryOp::Shl:
+      case BinaryOp::Shr:
+      case BinaryOp::And:
+      case BinaryOp::Or:
+      case BinaryOp::Xor:
+        panicIf(!a->type.isInt(), "integer operator ", toString(op),
+                " on float operands");
+        break;
+      default:
+        break;
+    }
+    Type result = a->type;
+    if (isComparison(op))
+        result = Type{Scalar::Int32, a->type.lanes};
+    auto e = makeNode(ExprKind::Binary, result);
+    e->bop = op;
+    e->args = {std::move(a), std::move(b)};
+    return e;
+}
+
+ExprPtr
+call(Intrinsic fn, std::vector<ExprPtr> args)
+{
+    panicIf(args.empty(), "intrinsic call with no arguments");
+    Type in = args[0]->type;
+    Type result = in;
+    switch (fn) {
+      case Intrinsic::Sqrt:
+      case Intrinsic::Sin:
+      case Intrinsic::Cos:
+      case Intrinsic::Exp:
+      case Intrinsic::Log:
+      case Intrinsic::Floor:
+        args[0] = promoteToFloat(std::move(args[0]));
+        result = args[0]->type;
+        break;
+      case Intrinsic::Abs:
+        break;
+      case Intrinsic::ToFloat:
+        result = Type{Scalar::Float32, in.lanes};
+        break;
+      case Intrinsic::ToInt:
+        result = Type{Scalar::Int32, in.lanes};
+        break;
+      case Intrinsic::ExtractEven:
+      case Intrinsic::ExtractOdd:
+      case Intrinsic::InterleaveLo:
+      case Intrinsic::InterleaveHi:
+        panicIf(args.size() != 2, "permutation intrinsics take two vectors");
+        panicIf(!in.isVector() || !(args[1]->type == in),
+                "permutation intrinsics need equal vector operands");
+        break;
+    }
+    auto e = makeNode(ExprKind::Call, result);
+    e->callee = fn;
+    e->args = std::move(args);
+    return e;
+}
+
+ExprPtr
+popExpr(Type elem)
+{
+    return makeNode(ExprKind::Pop, elem);
+}
+
+ExprPtr
+peekExpr(Type elem, ExprPtr offset)
+{
+    panicIf(!offset->type.isInt() || offset->type.isVector(),
+            "peek offset must be scalar int");
+    auto e = makeNode(ExprKind::Peek, elem);
+    e->args = {std::move(offset)};
+    return e;
+}
+
+ExprPtr
+vpopExpr(Type vec)
+{
+    panicIf(!vec.isVector(), "vpop type must be a vector");
+    return makeNode(ExprKind::VPop, vec);
+}
+
+ExprPtr
+vpeekExpr(Type vec, ExprPtr offset)
+{
+    panicIf(!vec.isVector(), "vpeek type must be a vector");
+    panicIf(!offset->type.isInt() || offset->type.isVector(),
+            "vpeek offset must be scalar int");
+    auto e = makeNode(ExprKind::VPeek, vec);
+    e->args = {std::move(offset)};
+    return e;
+}
+
+ExprPtr
+laneRead(ExprPtr vec, int lane)
+{
+    panicIf(!vec->type.isVector(), "lane read on scalar");
+    panicIf(lane < 0 || lane >= vec->type.lanes, "lane out of range");
+    auto e = makeNode(ExprKind::LaneRead, vec->type.element());
+    e->lane = lane;
+    e->args = {std::move(vec)};
+    return e;
+}
+
+ExprPtr
+splat(ExprPtr scalar, int lanes)
+{
+    panicIf(scalar->type.isVector(), "splat of a vector");
+    panicIf(lanes < 2, "splat lane count must be >= 2");
+    auto e = makeNode(ExprKind::Splat, scalar->type.widened(lanes));
+    e->args = {std::move(scalar)};
+    return e;
+}
+
+ExprPtr
+toFloat(ExprPtr a)
+{
+    return promoteToFloat(std::move(a));
+}
+
+ExprPtr
+toInt(ExprPtr a)
+{
+    if (a->type.isInt())
+        return a;
+    return call(Intrinsic::ToInt, {std::move(a)});
+}
+
+ExprPtr operator+(ExprPtr a, ExprPtr b)
+{ return binary(BinaryOp::Add, std::move(a), std::move(b)); }
+ExprPtr operator-(ExprPtr a, ExprPtr b)
+{ return binary(BinaryOp::Sub, std::move(a), std::move(b)); }
+ExprPtr operator*(ExprPtr a, ExprPtr b)
+{ return binary(BinaryOp::Mul, std::move(a), std::move(b)); }
+ExprPtr operator/(ExprPtr a, ExprPtr b)
+{ return binary(BinaryOp::Div, std::move(a), std::move(b)); }
+ExprPtr operator%(ExprPtr a, ExprPtr b)
+{ return binary(BinaryOp::Mod, std::move(a), std::move(b)); }
+ExprPtr operator-(ExprPtr a)
+{ return unary(UnaryOp::Neg, std::move(a)); }
+ExprPtr operator<(ExprPtr a, ExprPtr b)
+{ return binary(BinaryOp::Lt, std::move(a), std::move(b)); }
+ExprPtr operator<=(ExprPtr a, ExprPtr b)
+{ return binary(BinaryOp::Le, std::move(a), std::move(b)); }
+ExprPtr operator>(ExprPtr a, ExprPtr b)
+{ return binary(BinaryOp::Gt, std::move(a), std::move(b)); }
+ExprPtr operator>=(ExprPtr a, ExprPtr b)
+{ return binary(BinaryOp::Ge, std::move(a), std::move(b)); }
+ExprPtr operator==(ExprPtr a, ExprPtr b)
+{ return binary(BinaryOp::Eq, std::move(a), std::move(b)); }
+ExprPtr operator!=(ExprPtr a, ExprPtr b)
+{ return binary(BinaryOp::Ne, std::move(a), std::move(b)); }
+
+void
+BlockBuilder::assign(const VarPtr& var, ExprPtr value)
+{
+    panicIf(var->isArray(), "assign() to array variable ", var->name);
+    if (var->type.scalar == Scalar::Float32 && value->type.isInt())
+        value = toFloat(std::move(value));
+    if (var->type.isVector() && !value->type.isVector())
+        value = splat(std::move(value), var->type.lanes);
+    panicIf(!(value->type == var->type), "assign type mismatch for ",
+            var->name, ": ", toString(var->type), " = ",
+            toString(value->type));
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::Assign;
+    s->var = var;
+    s->a = std::move(value);
+    stmts_.push_back(std::move(s));
+}
+
+void
+BlockBuilder::assignLane(const VarPtr& var, int lane, ExprPtr value)
+{
+    panicIf(!var->type.isVector(), "assignLane to scalar variable ",
+            var->name);
+    panicIf(lane < 0 || lane >= var->type.lanes, "lane out of range");
+    panicIf(value->type.isVector(), "assignLane value must be scalar");
+    if (var->type.scalar == Scalar::Float32 && value->type.isInt())
+        value = toFloat(std::move(value));
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::AssignLane;
+    s->var = var;
+    s->lane = lane;
+    s->a = std::move(value);
+    stmts_.push_back(std::move(s));
+}
+
+void
+BlockBuilder::store(const VarPtr& arr, ExprPtr index, ExprPtr value)
+{
+    panicIf(!arr->isArray(), "store() target is not an array");
+    if (arr->type.scalar == Scalar::Float32 && value->type.isInt())
+        value = toFloat(std::move(value));
+    if (arr->type.isVector() && !value->type.isVector())
+        value = splat(std::move(value), arr->type.lanes);
+    panicIf(!(value->type == arr->type), "store type mismatch for ",
+            arr->name);
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::Store;
+    s->var = arr;
+    s->b = std::move(index);
+    s->a = std::move(value);
+    stmts_.push_back(std::move(s));
+}
+
+void
+BlockBuilder::storeLane(const VarPtr& arr, ExprPtr index, int lane,
+                        ExprPtr value)
+{
+    panicIf(!arr->isArray() || !arr->type.isVector(),
+            "storeLane target must be a vector array");
+    panicIf(value->type.isVector(), "storeLane value must be scalar");
+    if (arr->type.scalar == Scalar::Float32 && value->type.isInt())
+        value = toFloat(std::move(value));
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::StoreLane;
+    s->var = arr;
+    s->lane = lane;
+    s->b = std::move(index);
+    s->a = std::move(value);
+    stmts_.push_back(std::move(s));
+}
+
+void
+BlockBuilder::push(ExprPtr value)
+{
+    panicIf(value->type.isVector(), "push() of vector; use vpush()");
+    auto s = makeStmtOfKind(StmtKind::Push, std::move(value));
+    stmts_.push_back(std::move(s));
+}
+
+std::shared_ptr<Stmt>
+BlockBuilder::makeStmtOfKind(StmtKind kind, ExprPtr a)
+{
+    auto s = std::make_shared<Stmt>();
+    s->kind = kind;
+    s->a = std::move(a);
+    return s;
+}
+
+void
+BlockBuilder::rpush(ExprPtr value, ExprPtr offset)
+{
+    panicIf(value->type.isVector(), "rpush() of vector value");
+    auto s = makeStmtOfKind(StmtKind::RPush, std::move(value));
+    s->b = std::move(offset);
+    stmts_.push_back(std::move(s));
+}
+
+void
+BlockBuilder::vpush(ExprPtr value)
+{
+    panicIf(!value->type.isVector(), "vpush() of scalar value");
+    stmts_.push_back(makeStmtOfKind(StmtKind::VPush, std::move(value)));
+}
+
+void
+BlockBuilder::vrpush(ExprPtr value, ExprPtr offset)
+{
+    panicIf(!value->type.isVector(), "vrpush() of scalar value");
+    auto s = makeStmtOfKind(StmtKind::VRPush, std::move(value));
+    s->b = std::move(offset);
+    stmts_.push_back(std::move(s));
+}
+
+void
+BlockBuilder::advanceIn(std::int64_t n)
+{
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::AdvanceIn;
+    s->amount = n;
+    stmts_.push_back(std::move(s));
+}
+
+void
+BlockBuilder::advanceOut(std::int64_t n)
+{
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::AdvanceOut;
+    s->amount = n;
+    stmts_.push_back(std::move(s));
+}
+
+void
+BlockBuilder::forLoop(const VarPtr& iv, ExprPtr begin, ExprPtr end,
+                      const Filler& fill)
+{
+    panicIf(!iv->type.isInt() || iv->type.isVector() || iv->isArray(),
+            "loop variable must be scalar int");
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::For;
+    s->var = iv;
+    s->a = std::move(begin);
+    s->b = std::move(end);
+    BlockBuilder inner;
+    fill(inner);
+    s->body = inner.take();
+    stmts_.push_back(std::move(s));
+}
+
+void
+BlockBuilder::forLoop(const VarPtr& iv, std::int64_t begin,
+                      std::int64_t end, const Filler& fill)
+{
+    forLoop(iv, intImm(begin), intImm(end), fill);
+}
+
+void
+BlockBuilder::ifElse(ExprPtr cond, const Filler& fillThen,
+                     const Filler& fillElse)
+{
+    panicIf(!cond->type.isInt(), "if condition must be int");
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::If;
+    s->a = std::move(cond);
+    BlockBuilder thenB;
+    fillThen(thenB);
+    s->body = thenB.take();
+    if (fillElse) {
+        BlockBuilder elseB;
+        fillElse(elseB);
+        s->elseBody = elseB.take();
+    }
+    stmts_.push_back(std::move(s));
+}
+
+void
+BlockBuilder::append(StmtPtr s)
+{
+    stmts_.push_back(std::move(s));
+}
+
+void
+BlockBuilder::appendAll(const std::vector<StmtPtr>& ss)
+{
+    stmts_.insert(stmts_.end(), ss.begin(), ss.end());
+}
+
+StmtPtr
+makeBlock(std::vector<StmtPtr> body)
+{
+    auto s = std::make_shared<Stmt>();
+    s->kind = StmtKind::Block;
+    s->body = std::move(body);
+    return s;
+}
+
+} // namespace macross::ir

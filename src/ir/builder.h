@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Construction helpers for IR expressions and statements.
+ *
+ * Expression factories perform type inference and validation at build
+ * time: mixed int/float operands get an explicit ToFloat conversion,
+ * and scalar operands of vector operations get an explicit Splat, so
+ * every constructed tree is fully and consistently typed. The
+ * interpreter, cost model, and code generator never have to handle
+ * implicit conversions.
+ *
+ * BlockBuilder accumulates statements; nested control flow takes a
+ * callable that fills the nested block.
+ */
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ir/expr.h"
+#include "ir/stmt.h"
+
+namespace macross::ir {
+
+/** @name Expression factories
+ *  @{
+ */
+ExprPtr intImm(std::int64_t v);
+ExprPtr floatImm(float v);
+/** Vector literal; lanes taken from the value count. */
+ExprPtr vecImm(const std::vector<std::int64_t>& lanes);
+ExprPtr vecImm(const std::vector<float>& lanes);
+ExprPtr varRef(const VarPtr& v);
+ExprPtr load(const VarPtr& arr, ExprPtr index);
+ExprPtr unary(UnaryOp op, ExprPtr a);
+ExprPtr binary(BinaryOp op, ExprPtr a, ExprPtr b);
+ExprPtr call(Intrinsic fn, std::vector<ExprPtr> args);
+/** Destructive scalar read of the input tape. */
+ExprPtr popExpr(Type elem);
+/** Non-destructive read at @p offset elements past the read pointer. */
+ExprPtr peekExpr(Type elem, ExprPtr offset);
+/** Pop `lanes(vec)` contiguous elements as one vector. */
+ExprPtr vpopExpr(Type vec);
+/** Vector peek of `lanes(vec)` contiguous elements at scalar offset. */
+ExprPtr vpeekExpr(Type vec, ExprPtr offset);
+ExprPtr laneRead(ExprPtr vec, int lane);
+ExprPtr splat(ExprPtr scalar, int lanes);
+/** Convert to float32 (no-op on float input). */
+ExprPtr toFloat(ExprPtr a);
+/** Convert to int32, truncating (no-op on int input). */
+ExprPtr toInt(ExprPtr a);
+/** @} */
+
+/** @name Operator sugar over ExprPtr
+ *  @{
+ */
+ExprPtr operator+(ExprPtr a, ExprPtr b);
+ExprPtr operator-(ExprPtr a, ExprPtr b);
+ExprPtr operator*(ExprPtr a, ExprPtr b);
+ExprPtr operator/(ExprPtr a, ExprPtr b);
+ExprPtr operator%(ExprPtr a, ExprPtr b);
+ExprPtr operator-(ExprPtr a);
+ExprPtr operator<(ExprPtr a, ExprPtr b);
+ExprPtr operator<=(ExprPtr a, ExprPtr b);
+ExprPtr operator>(ExprPtr a, ExprPtr b);
+ExprPtr operator>=(ExprPtr a, ExprPtr b);
+ExprPtr operator==(ExprPtr a, ExprPtr b);
+ExprPtr operator!=(ExprPtr a, ExprPtr b);
+/** @} */
+
+/**
+ * Accumulates a statement list with helpers for each statement kind.
+ */
+class BlockBuilder {
+  public:
+    using Filler = std::function<void(BlockBuilder&)>;
+
+    /** var = value. */
+    void assign(const VarPtr& var, ExprPtr value);
+    /** var.{lane} = value (scalar into vector variable). */
+    void assignLane(const VarPtr& var, int lane, ExprPtr value);
+    /** arr[index] = value. */
+    void store(const VarPtr& arr, ExprPtr index, ExprPtr value);
+    /** arr[index].{lane} = value. */
+    void storeLane(const VarPtr& arr, ExprPtr index, int lane,
+                   ExprPtr value);
+    /** push(value) to the output tape. */
+    void push(ExprPtr value);
+    /** rpush(value, offset): random-access push, no pointer advance. */
+    void rpush(ExprPtr value, ExprPtr offset);
+    /** Vector push of contiguous elements. */
+    void vpush(ExprPtr value);
+    /** Vector random-access push at write-pointer + offset, no advance. */
+    void vrpush(ExprPtr value, ExprPtr offset);
+    /** Advance the input read pointer by @p n elements. */
+    void advanceIn(std::int64_t n);
+    /** Advance the output write pointer by @p n elements. */
+    void advanceOut(std::int64_t n);
+    /** for (iv = begin; iv < end; ++iv) { fill(...) }. */
+    void forLoop(const VarPtr& iv, ExprPtr begin, ExprPtr end,
+                 const Filler& fill);
+    /** Counted loop with integer-literal bounds. */
+    void forLoop(const VarPtr& iv, std::int64_t begin, std::int64_t end,
+                 const Filler& fill);
+    /** if (cond) { fillThen } else { fillElse }. */
+    void ifElse(ExprPtr cond, const Filler& fillThen,
+                const Filler& fillElse = nullptr);
+    /** Append an already-built statement. */
+    void append(StmtPtr s);
+    /** Append a list of already-built statements. */
+    void appendAll(const std::vector<StmtPtr>& ss);
+
+    /** Move the accumulated statements out. */
+    std::vector<StmtPtr> take() { return std::move(stmts_); }
+    const std::vector<StmtPtr>& stmts() const { return stmts_; }
+
+  private:
+    static std::shared_ptr<Stmt> makeStmtOfKind(StmtKind kind, ExprPtr a);
+
+    std::vector<StmtPtr> stmts_;
+};
+
+/** Wrap a statement list in a Block statement. */
+StmtPtr makeBlock(std::vector<StmtPtr> body);
+
+} // namespace macross::ir

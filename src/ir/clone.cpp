@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Rewriter implementation.
+ */
+#include "ir/clone.h"
+
+#include "support/diagnostics.h"
+
+namespace macross::ir {
+
+void
+VarMap::set(const VarPtr& from, const VarPtr& to)
+{
+    panicIf(!from || !to, "VarMap::set(null)");
+    map_[from.get()] = to;
+}
+
+VarPtr
+VarMap::lookup(const VarPtr& v) const
+{
+    auto it = map_.find(v.get());
+    return it == map_.end() ? v : it->second;
+}
+
+ExprPtr
+Rewriter::rewrite(const ExprPtr& e)
+{
+    panicIf(!e, "Rewriter::rewrite(null expr)");
+    if (exprHook) {
+        if (ExprPtr replaced = exprHook(*e, *this))
+            return replaced;
+    }
+    switch (e->kind) {
+      case ExprKind::IntImm:
+      case ExprKind::FloatImm:
+      case ExprKind::VecImm:
+        return e;
+      case ExprKind::VarRef:
+        return varRef(varMap.lookup(e->var));
+      case ExprKind::Load:
+        return load(varMap.lookup(e->var), rewrite(e->args[0]));
+      case ExprKind::Unary:
+        return unary(e->uop, rewrite(e->args[0]));
+      case ExprKind::Binary:
+        return binary(e->bop, rewrite(e->args[0]), rewrite(e->args[1]));
+      case ExprKind::Call: {
+        std::vector<ExprPtr> args;
+        args.reserve(e->args.size());
+        for (const auto& a : e->args)
+            args.push_back(rewrite(a));
+        // ToFloat/ToInt of an already-converted operand folds away in
+        // the factory, so rebuild through call() unconditionally.
+        return call(e->callee, std::move(args));
+      }
+      case ExprKind::Pop:
+        return popExpr(e->type);
+      case ExprKind::Peek:
+        return peekExpr(e->type, rewrite(e->args[0]));
+      case ExprKind::VPop:
+        return vpopExpr(e->type);
+      case ExprKind::VPeek:
+        return vpeekExpr(e->type, rewrite(e->args[0]));
+      case ExprKind::LaneRead:
+        return laneRead(rewrite(e->args[0]), e->lane);
+      case ExprKind::Splat: {
+        ExprPtr inner = rewrite(e->args[0]);
+        if (inner->type.isVector())
+            return inner;  // operand became a vector; splat dissolves
+        return splat(std::move(inner), e->type.lanes);
+      }
+    }
+    panic("unknown ExprKind");
+}
+
+std::vector<StmtPtr>
+Rewriter::rewrite(const std::vector<StmtPtr>& stmts)
+{
+    BlockBuilder out;
+    for (const auto& sp : stmts) {
+        const Stmt& s = *sp;
+        if (stmtHook && stmtHook(s, out, *this))
+            continue;
+        switch (s.kind) {
+          case StmtKind::Block:
+            out.append(makeBlock(rewrite(s.body)));
+            break;
+          case StmtKind::Assign:
+            out.assign(varMap.lookup(s.var), rewrite(s.a));
+            break;
+          case StmtKind::AssignLane:
+            out.assignLane(varMap.lookup(s.var), s.lane, rewrite(s.a));
+            break;
+          case StmtKind::Store:
+            out.store(varMap.lookup(s.var), rewrite(s.b), rewrite(s.a));
+            break;
+          case StmtKind::StoreLane:
+            out.storeLane(varMap.lookup(s.var), rewrite(s.b), s.lane,
+                          rewrite(s.a));
+            break;
+          case StmtKind::Push:
+            out.push(rewrite(s.a));
+            break;
+          case StmtKind::RPush:
+            out.rpush(rewrite(s.a), rewrite(s.b));
+            break;
+          case StmtKind::VPush:
+            out.vpush(rewrite(s.a));
+            break;
+          case StmtKind::VRPush:
+            out.vrpush(rewrite(s.a), rewrite(s.b));
+            break;
+          case StmtKind::For: {
+            auto sNew = std::make_shared<Stmt>();
+            sNew->kind = StmtKind::For;
+            sNew->var = varMap.lookup(s.var);
+            sNew->a = rewrite(s.a);
+            sNew->b = rewrite(s.b);
+            sNew->body = rewrite(s.body);
+            out.append(std::move(sNew));
+            break;
+          }
+          case StmtKind::If: {
+            auto sNew = std::make_shared<Stmt>();
+            sNew->kind = StmtKind::If;
+            sNew->a = rewrite(s.a);
+            panicIf(sNew->a->type.isVector(),
+                    "rewrite produced vector if-condition");
+            sNew->body = rewrite(s.body);
+            sNew->elseBody = rewrite(s.elseBody);
+            out.append(std::move(sNew));
+            break;
+          }
+          case StmtKind::AdvanceIn:
+            out.advanceIn(s.amount);
+            break;
+          case StmtKind::AdvanceOut:
+            out.advanceOut(s.amount);
+            break;
+        }
+    }
+    return out.take();
+}
+
+std::vector<StmtPtr>
+cloneStmts(const std::vector<StmtPtr>& stmts, const VarMap& map)
+{
+    Rewriter rw;
+    rw.varMap = map;
+    return rw.rewrite(stmts);
+}
+
+ExprPtr
+cloneExpr(const ExprPtr& e, const VarMap& map)
+{
+    Rewriter rw;
+    rw.varMap = map;
+    return rw.rewrite(e);
+}
+
+} // namespace macross::ir

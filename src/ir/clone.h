@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deep cloning and hook-based rewriting of IR trees.
+ *
+ * Rewriter rebuilds trees through the typed factories in ir/builder.h,
+ * so a rewrite that remaps a scalar variable to a vector variable
+ * automatically re-infers every node type along the way (inserting
+ * splats/conversions where needed). This is the mechanism behind both
+ * vertical fusion and the SIMDization passes.
+ */
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/builder.h"
+
+namespace macross::ir {
+
+/** Maps original variables to their replacements during a rewrite. */
+class VarMap {
+  public:
+    /** Register a replacement for @p from. */
+    void set(const VarPtr& from, const VarPtr& to);
+
+    /** The replacement for @p v, or @p v itself if unmapped. */
+    VarPtr lookup(const VarPtr& v) const;
+
+    bool contains(const Var* v) const { return map_.count(v) > 0; }
+
+  private:
+    std::unordered_map<const Var*, VarPtr> map_;
+};
+
+/**
+ * Recursive IR rewriter with interception hooks.
+ *
+ * exprHook runs before default recursion on each expression; returning
+ * non-null replaces the node (no further recursion into it).
+ * stmtHook likewise may replace one statement with any number of
+ * statements; returning false leaves the statement to default
+ * processing. Variable references are remapped through varMap.
+ */
+class Rewriter {
+  public:
+    using ExprHook = std::function<ExprPtr(const Expr&, Rewriter&)>;
+    /** Returns true and appends replacements to handle the statement. */
+    using StmtHook =
+        std::function<bool(const Stmt&, BlockBuilder&, Rewriter&)>;
+
+    VarMap varMap;
+    ExprHook exprHook;
+    StmtHook stmtHook;
+
+    /** Rewrite one expression tree. */
+    ExprPtr rewrite(const ExprPtr& e);
+
+    /** Rewrite a statement list. */
+    std::vector<StmtPtr> rewrite(const std::vector<StmtPtr>& stmts);
+};
+
+/** Plain deep copy with variable remapping (no hooks). */
+std::vector<StmtPtr> cloneStmts(const std::vector<StmtPtr>& stmts,
+                                const VarMap& map);
+
+/** Plain deep copy of an expression with variable remapping. */
+ExprPtr cloneExpr(const ExprPtr& e, const VarMap& map);
+
+} // namespace macross::ir

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Expression helper implementations.
+ */
+#include "ir/expr.h"
+
+#include "support/diagnostics.h"
+
+namespace macross::ir {
+
+std::string
+toString(UnaryOp op)
+{
+    switch (op) {
+      case UnaryOp::Neg: return "-";
+      case UnaryOp::Not: return "!";
+      case UnaryOp::BitNot: return "~";
+    }
+    panic("unknown UnaryOp");
+}
+
+std::string
+toString(BinaryOp op)
+{
+    switch (op) {
+      case BinaryOp::Add: return "+";
+      case BinaryOp::Sub: return "-";
+      case BinaryOp::Mul: return "*";
+      case BinaryOp::Div: return "/";
+      case BinaryOp::Mod: return "%";
+      case BinaryOp::Min: return "min";
+      case BinaryOp::Max: return "max";
+      case BinaryOp::Shl: return "<<";
+      case BinaryOp::Shr: return ">>";
+      case BinaryOp::And: return "&";
+      case BinaryOp::Or: return "|";
+      case BinaryOp::Xor: return "^";
+      case BinaryOp::Eq: return "==";
+      case BinaryOp::Ne: return "!=";
+      case BinaryOp::Lt: return "<";
+      case BinaryOp::Le: return "<=";
+      case BinaryOp::Gt: return ">";
+      case BinaryOp::Ge: return ">=";
+    }
+    panic("unknown BinaryOp");
+}
+
+std::string
+toString(Intrinsic fn)
+{
+    switch (fn) {
+      case Intrinsic::Sqrt: return "sqrt";
+      case Intrinsic::Sin: return "sin";
+      case Intrinsic::Cos: return "cos";
+      case Intrinsic::Exp: return "exp";
+      case Intrinsic::Log: return "log";
+      case Intrinsic::Abs: return "abs";
+      case Intrinsic::Floor: return "floor";
+      case Intrinsic::ToFloat: return "to_float";
+      case Intrinsic::ToInt: return "to_int";
+      case Intrinsic::ExtractEven: return "extract_even";
+      case Intrinsic::ExtractOdd: return "extract_odd";
+      case Intrinsic::InterleaveLo: return "interleave_lo";
+      case Intrinsic::InterleaveHi: return "interleave_hi";
+    }
+    panic("unknown Intrinsic");
+}
+
+bool
+isComparison(BinaryOp op)
+{
+    switch (op) {
+      case BinaryOp::Eq:
+      case BinaryOp::Ne:
+      case BinaryOp::Lt:
+      case BinaryOp::Le:
+      case BinaryOp::Gt:
+      case BinaryOp::Ge:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace macross::ir

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Expression nodes of the work-function IR.
+ *
+ * A single tagged node type keeps the IR compact: each Expr carries a
+ * kind, a result Type, and the payload fields the kind uses. Trees are
+ * immutable after construction and shared via shared_ptr; transforms
+ * build new trees (see ir/clone.h) rather than mutating in place.
+ *
+ * Tape accesses (Pop/Peek/VPop) are expressions with side effects on
+ * the actor's input tape; statements evaluate their operand
+ * expressions left-to-right, so the access order is deterministic and
+ * matches the textual order of the paper's listings.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/type.h"
+
+namespace macross::ir {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/** Storage classes for variables. */
+enum class VarKind {
+    Local,  ///< Declared in a work/init body; dead between firings.
+    State,  ///< Actor field; persists across firings.
+};
+
+/**
+ * A named variable (scalar or fixed-size array) of an actor.
+ *
+ * Identity is by object address: two filters never share Var objects,
+ * and cloning a filter remaps all of them.
+ */
+struct Var {
+    std::string name;
+    Type type;          ///< Element type (array element type for arrays).
+    int arraySize = 0;  ///< 0 for scalars; element count otherwise.
+    VarKind kind = VarKind::Local;
+
+    bool isArray() const { return arraySize > 0; }
+};
+
+using VarPtr = std::shared_ptr<Var>;
+
+/** Expression node kinds. */
+enum class ExprKind {
+    IntImm,    ///< Integer literal (ival), possibly a vector splat literal.
+    FloatImm,  ///< Float literal (fval).
+    VecImm,    ///< Vector literal with per-lane values (ivec/fvec).
+    VarRef,    ///< Read a scalar variable (var).
+    Load,      ///< Read array element: var[args[0]].
+    Unary,     ///< uop applied to args[0].
+    Binary,    ///< bop applied to args[0], args[1].
+    Call,      ///< Intrinsic call over args.
+    Pop,       ///< Destructive read of the input tape.
+    Peek,      ///< Non-destructive read at offset args[0].
+    VPop,      ///< Pop `lanes` contiguous elements as one vector.
+    VPeek,     ///< Non-destructive vector read of `lanes` contiguous
+               ///< elements starting at offset args[0] (scalar units).
+    LaneRead,  ///< Extract lane `lane` of vector args[0].
+    Splat,     ///< Broadcast scalar args[0] to a vector.
+};
+
+/** Unary operators. */
+enum class UnaryOp {
+    Neg,
+    Not,     ///< Logical not (int).
+    BitNot,
+};
+
+/** Binary operators. */
+enum class BinaryOp {
+    Add, Sub, Mul, Div, Mod,
+    Min, Max,
+    Shl, Shr,
+    And, Or, Xor,
+    Eq, Ne, Lt, Le, Gt, Ge,
+};
+
+/** Intrinsic functions callable from actor code. */
+enum class Intrinsic {
+    Sqrt, Sin, Cos, Exp, Log, Abs, Floor,
+    ToFloat,      ///< int -> float conversion.
+    ToInt,        ///< float -> int (truncating) conversion.
+    ExtractEven,  ///< Even lanes of (args[0], args[1]) concatenated.
+    ExtractOdd,   ///< Odd lanes of (args[0], args[1]) concatenated.
+    InterleaveLo, ///< {a0,b0,a1,b1,...} over the low halves (unpacklo).
+    InterleaveHi, ///< {a0,b0,...} over the high halves (unpackhi).
+};
+
+/**
+ * One expression node; see ExprKind for which payload fields apply.
+ */
+struct Expr {
+    ExprKind kind;
+    Type type;
+
+    std::int64_t ival = 0;          ///< IntImm value.
+    float fval = 0.0f;              ///< FloatImm value.
+    std::vector<std::int64_t> ivec; ///< VecImm int lanes.
+    std::vector<float> fvec;        ///< VecImm float lanes.
+    VarPtr var;                     ///< VarRef / Load base.
+    UnaryOp uop = UnaryOp::Neg;
+    BinaryOp bop = BinaryOp::Add;
+    Intrinsic callee = Intrinsic::Sqrt;
+    int lane = 0;                   ///< LaneRead lane index.
+    std::vector<ExprPtr> args;      ///< Children (see kind docs).
+};
+
+/** Operator/intrinsic spellings for the printer and code generator. */
+std::string toString(UnaryOp op);
+std::string toString(BinaryOp op);
+std::string toString(Intrinsic fn);
+
+/** True for comparison operators (result is int32 0/1 per lane). */
+bool isComparison(BinaryOp op);
+
+} // namespace macross::ir

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * IR text dumper implementation.
+ */
+#include "ir/printer.h"
+
+#include <sstream>
+
+#include "support/diagnostics.h"
+
+namespace macross::ir {
+
+namespace {
+
+void printStmtsInto(std::ostringstream& os,
+                    const std::vector<StmtPtr>& stmts, int indent);
+
+std::string
+exprToString(const Expr& e)
+{
+    std::ostringstream os;
+    switch (e.kind) {
+      case ExprKind::IntImm:
+        os << e.ival;
+        break;
+      case ExprKind::FloatImm:
+        os << e.fval << "f";
+        break;
+      case ExprKind::VecImm:
+        os << "{";
+        for (std::size_t i = 0; i < e.ivec.size() + e.fvec.size(); ++i) {
+            if (i)
+                os << ", ";
+            if (e.type.isInt())
+                os << e.ivec[i];
+            else
+                os << e.fvec[i] << "f";
+        }
+        os << "}";
+        break;
+      case ExprKind::VarRef:
+        os << e.var->name;
+        break;
+      case ExprKind::Load:
+        os << e.var->name << "[" << printExpr(e.args[0]) << "]";
+        break;
+      case ExprKind::Unary:
+        os << "(" << toString(e.uop) << printExpr(e.args[0]) << ")";
+        break;
+      case ExprKind::Binary:
+        if (e.bop == BinaryOp::Min || e.bop == BinaryOp::Max) {
+            os << toString(e.bop) << "(" << printExpr(e.args[0]) << ", "
+               << printExpr(e.args[1]) << ")";
+        } else {
+            os << "(" << printExpr(e.args[0]) << " " << toString(e.bop)
+               << " " << printExpr(e.args[1]) << ")";
+        }
+        break;
+      case ExprKind::Call:
+        os << toString(e.callee) << "(";
+        for (std::size_t i = 0; i < e.args.size(); ++i) {
+            if (i)
+                os << ", ";
+            os << printExpr(e.args[i]);
+        }
+        os << ")";
+        break;
+      case ExprKind::Pop:
+        os << "pop()";
+        break;
+      case ExprKind::Peek:
+        os << "peek(" << printExpr(e.args[0]) << ")";
+        break;
+      case ExprKind::VPop:
+        os << "vpop()";
+        break;
+      case ExprKind::VPeek:
+        os << "vpeek(" << printExpr(e.args[0]) << ")";
+        break;
+      case ExprKind::LaneRead:
+        os << printExpr(e.args[0]) << ".{" << e.lane << "}";
+        break;
+      case ExprKind::Splat:
+        os << "splat(" << printExpr(e.args[0]) << ", " << e.type.lanes
+           << ")";
+        break;
+    }
+    return os.str();
+}
+
+void
+printStmtInto(std::ostringstream& os, const Stmt& s, int indent)
+{
+    const std::string pad(indent, ' ');
+    switch (s.kind) {
+      case StmtKind::Block:
+        printStmtsInto(os, s.body, indent);
+        break;
+      case StmtKind::Assign:
+        os << pad << s.var->name << " = " << printExpr(s.a) << ";\n";
+        break;
+      case StmtKind::AssignLane:
+        os << pad << s.var->name << ".{" << s.lane << "} = "
+           << printExpr(s.a) << ";\n";
+        break;
+      case StmtKind::Store:
+        os << pad << s.var->name << "[" << printExpr(s.b) << "] = "
+           << printExpr(s.a) << ";\n";
+        break;
+      case StmtKind::StoreLane:
+        os << pad << s.var->name << "[" << printExpr(s.b) << "].{"
+           << s.lane << "} = " << printExpr(s.a) << ";\n";
+        break;
+      case StmtKind::Push:
+        os << pad << "push(" << printExpr(s.a) << ");\n";
+        break;
+      case StmtKind::RPush:
+        os << pad << "rpush(" << printExpr(s.a) << ", " << printExpr(s.b)
+           << ");\n";
+        break;
+      case StmtKind::VPush:
+        os << pad << "vpush(" << printExpr(s.a) << ");\n";
+        break;
+      case StmtKind::VRPush:
+        os << pad << "vrpush(" << printExpr(s.a) << ", "
+           << printExpr(s.b) << ");\n";
+        break;
+      case StmtKind::For:
+        os << pad << "for (" << s.var->name << " : " << printExpr(s.a)
+           << " until " << printExpr(s.b) << ") {\n";
+        printStmtsInto(os, s.body, indent + 4);
+        os << pad << "}\n";
+        break;
+      case StmtKind::If:
+        os << pad << "if (" << printExpr(s.a) << ") {\n";
+        printStmtsInto(os, s.body, indent + 4);
+        if (!s.elseBody.empty()) {
+            os << pad << "} else {\n";
+            printStmtsInto(os, s.elseBody, indent + 4);
+        }
+        os << pad << "}\n";
+        break;
+      case StmtKind::AdvanceIn:
+        os << pad << "advance_in(" << s.amount << ");\n";
+        break;
+      case StmtKind::AdvanceOut:
+        os << pad << "advance_out(" << s.amount << ");\n";
+        break;
+    }
+}
+
+void
+printStmtsInto(std::ostringstream& os, const std::vector<StmtPtr>& stmts,
+               int indent)
+{
+    for (const auto& s : stmts)
+        printStmtInto(os, *s, indent);
+}
+
+} // namespace
+
+std::string
+printExpr(const ExprPtr& e)
+{
+    panicIf(!e, "printExpr(null)");
+    return exprToString(*e);
+}
+
+std::string
+printStmts(const std::vector<StmtPtr>& stmts, int indent)
+{
+    std::ostringstream os;
+    printStmtsInto(os, stmts, indent);
+    return os.str();
+}
+
+} // namespace macross::ir

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Text dumper for IR trees, used by golden tests and debugging.
+ *
+ * The output resembles the paper's listings: `t_v.{3} = peek(6);`,
+ * `vpush(r0_v);`, `for (i : 0 to 2) { ... }`.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/stmt.h"
+
+namespace macross::ir {
+
+/** Render one expression as a string. */
+std::string printExpr(const ExprPtr& e);
+
+/** Render a statement list with @p indent leading spaces per level. */
+std::string printStmts(const std::vector<StmtPtr>& stmts, int indent = 0);
+
+} // namespace macross::ir

@@ -1,0 +1,11 @@
+/**
+ * @file
+ * Statement helpers.
+ */
+#include "ir/stmt.h"
+
+namespace macross::ir {
+
+// Statements are plain data; construction helpers live in ir/builder.h.
+
+} // namespace macross::ir

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Statement nodes of the work-function IR.
+ *
+ * Statements use the same tagged-node scheme as expressions. Control
+ * flow is structured (blocks, counted for-loops, if/else); there are no
+ * gotos, matching StreamIt work-function bodies.
+ *
+ * Tape-write statements mirror the paper's vocabulary:
+ *  - Push     writes one element at the write pointer and advances it.
+ *  - RPush    writes at (write pointer + offset) without advancing
+ *             ("random access push", Section 3.1).
+ *  - VPush    writes `lanes` contiguous elements and advances by that.
+ *  - AdvanceIn/AdvanceOut adjust the read/write pointer; the vectorizer
+ *    emits these at the end of a SIMDized work function to account for
+ *    the (SW-1) peer firings folded into one data-parallel firing.
+ */
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ir/expr.h"
+
+namespace macross::ir {
+
+struct Stmt;
+using StmtPtr = std::shared_ptr<const Stmt>;
+
+/** Statement node kinds. */
+enum class StmtKind {
+    Block,      ///< Sequence of statements (body).
+    Assign,     ///< var = a.
+    AssignLane, ///< var.{lane} = a (insert scalar into vector variable).
+    Store,      ///< var[b] = a (array element store).
+    StoreLane,  ///< var[b].{lane} = a.
+    Push,       ///< push(a) to the output tape.
+    RPush,      ///< rpush(a, b): write at write-pointer + b, no advance.
+    VPush,      ///< push a vector of contiguous elements.
+    VRPush,     ///< Vector write at (write pointer + b), no advance.
+    For,        ///< for (var = a; var < b; ++var) body.
+    If,         ///< if (a) body else elseBody.
+    AdvanceIn,  ///< Advance input tape read pointer by `amount`.
+    AdvanceOut, ///< Advance output tape write pointer by `amount`.
+};
+
+/**
+ * One statement node; see StmtKind for which payload fields apply.
+ */
+struct Stmt {
+    StmtKind kind;
+
+    VarPtr var;                  ///< Assign/Store target, For loop var.
+    int lane = 0;                ///< AssignLane / StoreLane lane.
+    ExprPtr a;                   ///< Value / condition / loop begin.
+    ExprPtr b;                   ///< Index / offset / loop end (exclusive).
+    std::vector<StmtPtr> body;      ///< Block/For body, If-then branch.
+    std::vector<StmtPtr> elseBody;  ///< If-else branch.
+    std::int64_t amount = 0;        ///< AdvanceIn/AdvanceOut element count.
+};
+
+} // namespace macross::ir

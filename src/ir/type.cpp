@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Type helpers.
+ */
+#include "ir/type.h"
+
+namespace macross::ir {
+
+std::string
+toString(const Type& t)
+{
+    std::string base = t.scalar == Scalar::Int32 ? "int32" : "float32";
+    if (t.lanes > 1)
+        base += "x" + std::to_string(t.lanes);
+    return base;
+}
+
+} // namespace macross::ir

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Value types for the MacroSS work-function IR.
+ *
+ * The IR models the subset of StreamIt actor bodies the MacroSS paper
+ * operates on: 32-bit integer and float scalars, and SIMD vectors of
+ * those with a machine-dependent lane count. A Type is an element kind
+ * plus a lane count; lane count 1 denotes a scalar.
+ */
+#pragma once
+
+#include <string>
+
+namespace macross::ir {
+
+/** Element kinds carried on tapes and in variables. */
+enum class Scalar {
+    Int32,
+    Float32,
+};
+
+/** A scalar or SIMD-vector type. */
+struct Type {
+    Scalar scalar = Scalar::Int32;
+    int lanes = 1;
+
+    constexpr bool isVector() const { return lanes > 1; }
+    constexpr bool isFloat() const { return scalar == Scalar::Float32; }
+    constexpr bool isInt() const { return scalar == Scalar::Int32; }
+
+    /** The scalar type with the same element kind. */
+    constexpr Type element() const { return Type{scalar, 1}; }
+
+    /** This element kind widened to @p n lanes. */
+    constexpr Type widened(int n) const { return Type{scalar, n}; }
+
+    bool operator==(const Type& o) const = default;
+};
+
+/** Scalar int32 type constant. */
+inline constexpr Type kInt32{Scalar::Int32, 1};
+/** Scalar float32 type constant. */
+inline constexpr Type kFloat32{Scalar::Float32, 1};
+
+/** Human-readable type name, e.g. "float32" or "int32x4". */
+std::string toString(const Type& t);
+
+} // namespace macross::ir

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Lowering implementation.
+ */
+#include "lowering/lowered.h"
+
+namespace macross::lowering {
+
+LoweredProgram
+lower(const graph::FlatGraph& g, const schedule::Schedule& s)
+{
+    LoweredProgram p;
+    p.graph = &g;
+    p.schedule = &s;
+    for (int id : s.order) {
+        const auto& a = g.actor(id);
+        if (a.isFilter())
+            p.actors.push_back({id, a.def.get(), s.reps[id]});
+    }
+    return p;
+}
+
+} // namespace macross::lowering

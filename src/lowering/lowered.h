@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Lowered-program view: what a traditional compiler sees after
+ * StreamIt-style code generation (Section 4 of the paper).
+ *
+ * Lowering erases exactly the information macro-SIMDization exploits:
+ * the graph structure (so isomorphic task-parallel actors cannot be
+ * found), the set of valid schedules (so repetition counts are fixed
+ * constants baked into loop bounds), and actor-to-actor dataflow
+ * (so fusion would need full interprocedural analysis). What remains
+ * per actor is its work body wrapped in a repetition loop — the unit
+ * the modeled auto-vectorizers are allowed to inspect.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/flat_graph.h"
+#include "schedule/steady_state.h"
+
+namespace macross::lowering {
+
+/** One actor's generated code: work body + repetition-loop bound. */
+struct LoweredActor {
+    int actorId = -1;
+    const graph::FilterDef* def = nullptr;
+    std::int64_t reps = 0;
+};
+
+/** The whole generated program, actor order = schedule order. */
+struct LoweredProgram {
+    const graph::FlatGraph* graph = nullptr;
+    const schedule::Schedule* schedule = nullptr;
+    std::vector<LoweredActor> actors;  ///< Filter actors only.
+};
+
+/** Produce the lowered view of a compiled program. */
+LoweredProgram lower(const graph::FlatGraph& g,
+                     const schedule::Schedule& s);
+
+} // namespace macross::lowering

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * CostSink implementation.
+ */
+#include "machine/cost_sink.h"
+
+#include "support/diagnostics.h"
+
+namespace macross::machine {
+
+void
+CostSink::setCurrentActor(int actor_id)
+{
+    currentActor_ = actor_id;
+    if (actor_id >= 0 &&
+        static_cast<std::size_t>(actor_id) >= byActor_.size()) {
+        byActor_.resize(actor_id + 1, 0.0);
+    }
+}
+
+void
+CostSink::charge(OpClass c, int lanes, std::int64_t count)
+{
+    double cycles = machine_->vectorCost(c, lanes) * count;
+    total_ += cycles;
+    byClass_[static_cast<int>(c)] += cycles;
+    opsByClass_[static_cast<int>(c)] += count;
+    if (currentActor_ >= 0)
+        byActor_[currentActor_] += cycles;
+}
+
+void
+CostSink::chargeCycles(double cycles)
+{
+    total_ += cycles;
+    if (currentActor_ >= 0)
+        byActor_[currentActor_] += cycles;
+}
+
+double
+CostSink::actorCycles(int actor_id) const
+{
+    if (actor_id < 0 ||
+        static_cast<std::size_t>(actor_id) >= byActor_.size()) {
+        return 0.0;
+    }
+    return byActor_[actor_id];
+}
+
+void
+CostSink::reset()
+{
+    total_ = 0.0;
+    byActor_.assign(byActor_.size(), 0.0);
+    byClass_.assign(byClass_.size(), 0.0);
+    opsByClass_.assign(opsByClass_.size(), 0);
+}
+
+} // namespace macross::machine

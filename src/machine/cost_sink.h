@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Dynamic-cost accumulation for execution-driven performance modeling.
+ *
+ * The interpreter reports every dynamic operation to a CostSink; the
+ * sink weights it by the machine description and attributes it to the
+ * actor currently executing. Per-actor attribution feeds the multicore
+ * partitioner and the per-benchmark breakdowns in the benches.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/machine_desc.h"
+
+namespace macross::machine {
+
+/** Accumulated cycles, total and per actor / op class. */
+class CostSink {
+  public:
+    explicit CostSink(const MachineDesc& m) : machine_(&m) {}
+
+    /** Set the actor all subsequent charges attribute to. */
+    void setCurrentActor(int actor_id);
+
+    /** Charge @p count ops of class @p c over @p lanes lanes. */
+    void charge(OpClass c, int lanes = 1, std::int64_t count = 1);
+
+    /** Charge an explicit cycle amount (for modeled overheads). */
+    void chargeCycles(double cycles);
+
+    double totalCycles() const { return total_; }
+    /** Cycles attributed to @p actor_id (0 if never charged). */
+    double actorCycles(int actor_id) const;
+    /** Cycles per op class (index by static_cast<int>(OpClass)). */
+    const std::vector<double>& classCycles() const { return byClass_; }
+    /** Dynamic op count per op class. */
+    const std::vector<std::int64_t>& classOps() const { return opsByClass_; }
+
+    const MachineDesc& machine() const { return *machine_; }
+
+    /** Reset all accumulators (machine unchanged). */
+    void reset();
+
+  private:
+    const MachineDesc* machine_;
+    double total_ = 0.0;
+    int currentActor_ = -1;
+    std::vector<double> byActor_;
+    std::vector<double> byClass_ =
+        std::vector<double>(static_cast<int>(OpClass::NumClasses), 0.0);
+    std::vector<std::int64_t> opsByClass_ = std::vector<std::int64_t>(
+        static_cast<int>(OpClass::NumClasses), 0);
+};
+
+} // namespace macross::machine

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Machine description tables.
+ *
+ * The single calibration point for the whole performance model lives
+ * here; the ablation benches sweep these numbers to show the paper's
+ * conclusions are not an artifact of one table.
+ */
+#include "machine/machine_desc.h"
+
+#include <cmath>
+
+#include "support/diagnostics.h"
+
+namespace macross::machine {
+
+std::string
+toString(OpClass c)
+{
+    switch (c) {
+      case OpClass::IntAlu: return "int_alu";
+      case OpClass::IntMul: return "int_mul";
+      case OpClass::IntDiv: return "int_div";
+      case OpClass::FpAdd: return "fp_add";
+      case OpClass::FpMul: return "fp_mul";
+      case OpClass::FpDiv: return "fp_div";
+      case OpClass::Trig: return "trig";
+      case OpClass::ExpLog: return "exp_log";
+      case OpClass::Convert: return "convert";
+      case OpClass::ScalarLoad: return "scalar_load";
+      case OpClass::ScalarStore: return "scalar_store";
+      case OpClass::VectorLoad: return "vector_load";
+      case OpClass::VectorStore: return "vector_store";
+      case OpClass::UnalignedVector: return "unaligned_vector";
+      case OpClass::Shuffle: return "shuffle";
+      case OpClass::LaneExtract: return "lane_extract";
+      case OpClass::LaneInsert: return "lane_insert";
+      case OpClass::Splat: return "splat";
+      case OpClass::AddrCalc: return "addr_calc";
+      case OpClass::SaguWalk: return "sagu_walk";
+      case OpClass::LoopOverhead: return "loop_overhead";
+      case OpClass::Branch: return "branch";
+      case OpClass::FiringOverhead: return "firing_overhead";
+      case OpClass::NumClasses: break;
+    }
+    panic("unknown OpClass");
+}
+
+double
+MachineDesc::vectorCost(OpClass c, int lanes) const
+{
+    panicIf(lanes < 1, "vectorCost on non-positive lane count");
+    int ops = (lanes + simdWidth - 1) / simdWidth;
+    return ops * costOf(c);
+}
+
+MachineDesc
+coreI7()
+{
+    MachineDesc m;
+    m.name = "core-i7-sse4";
+    m.simdWidth = 4;
+    m.hasSagu = false;
+    m.setCost(OpClass::IntAlu, 1.0);
+    m.setCost(OpClass::IntMul, 3.0);
+    m.setCost(OpClass::IntDiv, 20.0);
+    m.setCost(OpClass::FpAdd, 1.0);
+    m.setCost(OpClass::FpMul, 2.0);
+    m.setCost(OpClass::FpDiv, 14.0);
+    m.setCost(OpClass::Trig, 40.0);
+    m.setCost(OpClass::ExpLog, 45.0);
+    m.setCost(OpClass::Convert, 2.0);
+    m.setCost(OpClass::ScalarLoad, 2.0);
+    m.setCost(OpClass::ScalarStore, 2.0);
+    m.setCost(OpClass::VectorLoad, 2.0);
+    m.setCost(OpClass::VectorStore, 2.0);
+    m.setCost(OpClass::UnalignedVector, 1.0);
+    // A deinterleave (extract_even/odd) takes two shuffle-class
+    // instructions on SSE2-era hardware.
+    m.setCost(OpClass::Shuffle, 2.0);
+    m.setCost(OpClass::LaneExtract, 2.0);
+    m.setCost(OpClass::LaneInsert, 2.0);
+    m.setCost(OpClass::Splat, 1.0);
+    m.setCost(OpClass::AddrCalc, 0.5);
+    // Figure 8: "at best 6 cycles on top of the memory access".
+    m.setCost(OpClass::SaguWalk, 6.0);
+    m.setCost(OpClass::LoopOverhead, 1.5);
+    m.setCost(OpClass::Branch, 1.0);
+    m.setCost(OpClass::FiringOverhead, 4.0);
+    return m;
+}
+
+MachineDesc
+coreI7WithSagu()
+{
+    MachineDesc m = coreI7();
+    m.name = "core-i7-sse4+sagu";
+    m.hasSagu = true;
+    // The SAGU addressing mode makes the walk as cheap as a normal
+    // post-increment address calculation (Section 3.4).
+    m.setCost(OpClass::SaguWalk, 0.0);
+    return m;
+}
+
+MachineDesc
+wide8()
+{
+    MachineDesc m = coreI7();
+    m.name = "wide-8";
+    m.simdWidth = 8;
+    return m;
+}
+
+MachineDesc
+wide16()
+{
+    MachineDesc m = coreI7();
+    m.name = "wide-16";
+    m.simdWidth = 16;
+    return m;
+}
+
+} // namespace macross::machine

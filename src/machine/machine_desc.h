@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Target-machine description: SIMD width and per-operation cycle
+ * costs used by the execution-driven performance model.
+ *
+ * The default description approximates a Nehalem-class core (the
+ * paper's 3.26 GHz Core i7 with SSE 4.2): see coreI7() below. All
+ * figures are approximate issue-slot costs, not latencies — the model
+ * charges each dynamic operation once, which is the standard
+ * first-order throughput model for straight-line stream kernels.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace macross::machine {
+
+/** Dynamic operation classes the cost model distinguishes. */
+enum class OpClass {
+    IntAlu,       ///< Integer add/sub/logic/compare/shift.
+    IntMul,
+    IntDiv,
+    FpAdd,        ///< Float add/sub/compare/min/max.
+    FpMul,
+    FpDiv,        ///< Float divide or sqrt.
+    Trig,         ///< sin/cos.
+    ExpLog,       ///< exp/log.
+    Convert,      ///< int<->float conversion.
+    ScalarLoad,
+    ScalarStore,
+    VectorLoad,
+    VectorStore,
+    UnalignedVector, ///< Extra charge for an unaligned vector access.
+    Shuffle,      ///< extract_even/odd, interleave.
+    LaneExtract,  ///< Vector -> scalar move (unpacking).
+    LaneInsert,   ///< Scalar -> vector move (packing).
+    Splat,        ///< Scalar broadcast.
+    AddrCalc,     ///< Tape pointer arithmetic per scalar access.
+    SaguWalk,     ///< Fig. 8 software address walk (per access).
+    LoopOverhead, ///< Per loop iteration (compare + branch + inc).
+    Branch,       ///< Conditional branch (if).
+    FiringOverhead, ///< Per actor firing (call/schedule glue).
+    NumClasses,
+};
+
+/** Human-readable name of an OpClass (for reports). */
+std::string toString(OpClass c);
+
+/** Cycle cost table plus SIMD configuration for one target. */
+struct MachineDesc {
+    std::string name;
+    int simdWidth = 4;    ///< Lanes of 32-bit elements.
+    bool hasSagu = false; ///< Streaming address generation unit present.
+
+    /** Cost in cycles of one operation of class @p c. */
+    double cost[static_cast<int>(OpClass::NumClasses)] = {};
+
+    double costOf(OpClass c) const
+    {
+        return cost[static_cast<int>(c)];
+    }
+    void setCost(OpClass c, double v) { cost[static_cast<int>(c)] = v; }
+
+    /**
+     * Vector-op classes cost the same as their scalar counterparts in
+     * this model (true to first order on SSE); the win comes from
+     * executing SW elements per op. This helper returns the cost of an
+     * op of class @p c over @p lanes lanes on this machine: lanes <=
+     * simdWidth execute as one op, wider values as ceil(lanes/SW) ops.
+     */
+    double vectorCost(OpClass c, int lanes) const;
+};
+
+/** Nehalem-class 4-wide SSE target (the paper's evaluation machine). */
+MachineDesc coreI7();
+
+/** The same core with the SAGU extension enabled (Section 3.4). */
+MachineDesc coreI7WithSagu();
+
+/** A hypothetical 8-wide (AVX-class) variant for width ablations. */
+MachineDesc wide8();
+
+/** A hypothetical 16-wide (Larrabee-class) variant for ablations. */
+MachineDesc wide16();
+
+} // namespace macross::machine

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Permutation-network construction and reference simulation.
+ */
+#include "machine/permutation.h"
+
+#include "support/diagnostics.h"
+#include "support/math_util.h"
+
+namespace macross::machine {
+
+namespace {
+
+int
+addStep(PermNetwork& net, PermOp op, int a, int b)
+{
+    int out = net.numRegs++;
+    net.steps.push_back(PermStep{op, a, b, out});
+    return out;
+}
+
+/**
+ * Recursive deinterleave over the register ids in @p regs, which
+ * cover the stream contiguously. Returns registers D with D[j] =
+ * stride-k gather at offset j.
+ */
+std::vector<int>
+buildDeinterleave(PermNetwork& net, const std::vector<int>& regs)
+{
+    const std::size_t k = regs.size();
+    if (k == 1)
+        return regs;
+    std::vector<int> evens, odds;
+    for (std::size_t i = 0; i < k / 2; ++i) {
+        evens.push_back(
+            addStep(net, PermOp::ExtractEven, regs[2 * i],
+                    regs[2 * i + 1]));
+        odds.push_back(
+            addStep(net, PermOp::ExtractOdd, regs[2 * i],
+                    regs[2 * i + 1]));
+    }
+    std::vector<int> sub_e = buildDeinterleave(net, evens);
+    std::vector<int> sub_o = buildDeinterleave(net, odds);
+    std::vector<int> out(k);
+    for (std::size_t j = 0; j < k; ++j)
+        out[j] = (j % 2 == 0) ? sub_e[j / 2] : sub_o[j / 2];
+    return out;
+}
+
+/**
+ * Recursive interleave: @p regs holds D[j] = stride-k gathers;
+ * returns registers covering the stream contiguously.
+ */
+std::vector<int>
+buildInterleave(PermNetwork& net, const std::vector<int>& regs)
+{
+    const std::size_t k = regs.size();
+    if (k == 1)
+        return regs;
+    std::vector<int> even_d, odd_d;
+    for (std::size_t j = 0; j < k; ++j)
+        ((j % 2 == 0) ? even_d : odd_d).push_back(regs[j]);
+    std::vector<int> e = buildInterleave(net, even_d);
+    std::vector<int> o = buildInterleave(net, odd_d);
+    std::vector<int> out(k);
+    for (std::size_t i = 0; i < k / 2; ++i) {
+        out[2 * i] = addStep(net, PermOp::InterleaveLo, e[i], o[i]);
+        out[2 * i + 1] = addStep(net, PermOp::InterleaveHi, e[i], o[i]);
+    }
+    return out;
+}
+
+PermNetwork
+makeNetwork(int x, bool deinterleave)
+{
+    fatalIf(!isPowerOfTwo(x),
+            "permutation networks require a power-of-two vector count, "
+            "got ", x);
+    PermNetwork net;
+    net.numInputs = x;
+    net.numRegs = x;
+    std::vector<int> inputs(x);
+    for (int i = 0; i < x; ++i)
+        inputs[i] = i;
+    net.outputs = deinterleave ? buildDeinterleave(net, inputs)
+                               : buildInterleave(net, inputs);
+    return net;
+}
+
+} // namespace
+
+PermNetwork
+deinterleaveNetwork(int x)
+{
+    return makeNetwork(x, true);
+}
+
+PermNetwork
+interleaveNetwork(int x)
+{
+    return makeNetwork(x, false);
+}
+
+std::vector<std::vector<int>>
+simulateNetwork(const PermNetwork& net, int sw)
+{
+    panicIf(sw < 2 || sw % 2 != 0, "simulateNetwork needs even SW");
+    std::vector<std::vector<int>> regs(net.numRegs);
+    for (int j = 0; j < net.numInputs; ++j) {
+        regs[j].resize(sw);
+        for (int l = 0; l < sw; ++l)
+            regs[j][l] = j * sw + l;
+    }
+    for (const auto& s : net.steps) {
+        const auto& a = regs[s.a];
+        const auto& b = regs[s.b];
+        panicIf(a.empty() || b.empty(),
+                "network step reads an unwritten register");
+        std::vector<int> out(sw);
+        switch (s.op) {
+          case PermOp::ExtractEven:
+            for (int l = 0; l < sw / 2; ++l) {
+                out[l] = a[2 * l];
+                out[sw / 2 + l] = b[2 * l];
+            }
+            break;
+          case PermOp::ExtractOdd:
+            for (int l = 0; l < sw / 2; ++l) {
+                out[l] = a[2 * l + 1];
+                out[sw / 2 + l] = b[2 * l + 1];
+            }
+            break;
+          case PermOp::InterleaveLo:
+            for (int l = 0; l < sw / 2; ++l) {
+                out[2 * l] = a[l];
+                out[2 * l + 1] = b[l];
+            }
+            break;
+          case PermOp::InterleaveHi:
+            for (int l = 0; l < sw / 2; ++l) {
+                out[2 * l] = a[sw / 2 + l];
+                out[2 * l + 1] = b[sw / 2 + l];
+            }
+            break;
+        }
+        regs[s.out] = std::move(out);
+    }
+    std::vector<std::vector<int>> result;
+    result.reserve(net.outputs.size());
+    for (int r : net.outputs)
+        result.push_back(regs.at(r));
+    return result;
+}
+
+} // namespace macross::machine

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Permutation-network generation for tape SIMDization (Section 3.4,
+ * Figure 7 of the paper).
+ *
+ * deinterleaveNetwork(X) converts X vectors of SW contiguous stream
+ * elements into X vectors gathered at stride X (lane l of output j is
+ * stream element l*X + j) using exactly X*log2(X) extract_even /
+ * extract_odd operations — the bound the paper cites from Nuzman et
+ * al. interleaveNetwork(X) is the inverse (write side), built from
+ * interleave_lo / interleave_hi (the unpack instructions every SIMD
+ * ISA provides).
+ *
+ * Networks are expressed over abstract register ids so both the cost
+ * model and the IR-level tape optimizer can materialize them.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace macross::machine {
+
+/** The two-input permutation primitives. */
+enum class PermOp {
+    ExtractEven,
+    ExtractOdd,
+    InterleaveLo,
+    InterleaveHi,
+};
+
+/** One network step: out = op(a, b) over abstract register ids. */
+struct PermStep {
+    PermOp op;
+    int a;
+    int b;
+    int out;
+};
+
+/**
+ * A permutation network. Registers 0..numInputs-1 are the inputs;
+ * each step allocates a fresh register; `outputs` lists the registers
+ * holding the X results in order.
+ */
+struct PermNetwork {
+    int numInputs = 0;
+    int numRegs = 0;
+    std::vector<PermStep> steps;
+    std::vector<int> outputs;
+};
+
+/**
+ * Network turning X contiguous vectors into X stride-X vectors.
+ * @p x must be a power of two (>= 1; the identity network for 1).
+ */
+PermNetwork deinterleaveNetwork(int x);
+
+/**
+ * Inverse network: X stride-X vectors back to contiguous order.
+ * @p x must be a power of two.
+ */
+PermNetwork interleaveNetwork(int x);
+
+/**
+ * Reference simulation for testing: feed input register j the lane
+ * values [j*sw, j*sw + sw), apply the network, and return the lane
+ * values of each output register.
+ */
+std::vector<std::vector<int>> simulateNetwork(const PermNetwork& net,
+                                              int sw);
+
+/** Number of two-input permutation ops in the network. */
+inline std::int64_t
+permOpCount(const PermNetwork& net)
+{
+    return static_cast<std::int64_t>(net.steps.size());
+}
+
+} // namespace macross::machine

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * SAGU functional model implementation.
+ */
+#include "machine/sagu.h"
+
+#include "support/diagnostics.h"
+
+namespace macross::machine {
+
+SaguUnit::SaguUnit(std::int64_t rate, int simd_width)
+    : rate_(rate), simdWidth_(simd_width)
+{
+    fatalIf(rate <= 0, "SAGU rate must be positive");
+    fatalIf(simd_width < 2, "SAGU SIMD width must be >= 2");
+}
+
+void
+SaguUnit::reset()
+{
+    baseCntr_ = 0;
+    strideCntr_ = 0;
+    offsetAddr_ = 0;
+}
+
+std::int64_t
+SaguUnit::next()
+{
+    // Result address: row (access index within the firing) times the
+    // SIMD width, plus the lane column, plus the block offset.
+    std::int64_t addr =
+        offsetAddr_ + baseCntr_ * simdWidth_ + strideCntr_;
+
+    // Counter update (Figure 9 datapath): advance within the firing,
+    // then across lanes, then to the next SW-firing block.
+    if (++baseCntr_ == rate_) {
+        baseCntr_ = 0;
+        if (++strideCntr_ == simdWidth_) {
+            strideCntr_ = 0;
+            offsetAddr_ += rate_ * simdWidth_;
+        }
+    }
+    return addr;
+}
+
+std::vector<std::int64_t>
+figure8AddressWalk(std::int64_t rate, int simd_width, std::int64_t n)
+{
+    // Direct transliteration of the Figure 8 code sequence. Counters
+    // update before the address computation, so they start one step
+    // "behind" the first access.
+    std::int64_t base_cntr = -1;
+    std::int64_t stride_cntr = 0;
+    std::int64_t offset_addr = 0;
+    const std::int64_t push_cnt = rate;
+    std::vector<std::int64_t> out;
+    out.reserve(n);
+    for (std::int64_t i = 0; i < n; ++i) {
+        if (push_cnt - (base_cntr + 1) == 0) {
+            base_cntr = 0;
+            if (stride_cntr - (simd_width - 1) == 0) {
+                stride_cntr = 0;
+                offset_addr += push_cnt * simd_width;
+            } else {
+                stride_cntr++;
+            }
+        } else {
+            base_cntr++;
+        }
+        std::int64_t offset_value = base_cntr * simd_width;
+        offset_value += stride_cntr;
+        offset_value += offset_addr;
+        out.push_back(offset_value);
+    }
+    return out;
+}
+
+std::int64_t
+transposedAddress(std::int64_t i, std::int64_t rate, int simd_width)
+{
+    const std::int64_t block = rate * simd_width;
+    const std::int64_t block_idx = i / block;
+    const std::int64_t within = i % block;
+    const std::int64_t lane = within / rate;   // which SIMD firing
+    const std::int64_t access = within % rate; // access within firing
+    return block_idx * block + access * simd_width + lane;
+}
+
+} // namespace macross::machine

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Functional model of the Streaming Address Generation Unit (SAGU),
+ * Section 3.4 / Figure 9 of the paper.
+ *
+ * When a vectorized actor replaces its strided scalar tape accesses
+ * with plain vector accesses, the tape's memory layout becomes
+ * "transposed": the j-th access of SIMD firing-lane f lands at
+ * address block + j*SW + f instead of stream position f*Rate + j.
+ * A scalar neighbor must therefore walk addresses column-major.
+ * Figure 8 shows that walk in software (~6 cycles per access); the
+ * SAGU performs it in hardware as part of the addressing mode.
+ *
+ * This model implements the counter datapath of Figure 9: a base
+ * counter over the push/pop count, a stride counter over the SIMD
+ * lanes, and an offset register that advances by rate*SW when a full
+ * SW-firing block is exhausted.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace macross::machine {
+
+/** Counter datapath of the SAGU (one unit per tape direction). */
+class SaguUnit {
+  public:
+    /**
+     * Configure the unit.
+     *
+     * @param rate Push (or pop) count of the vectorized neighbor.
+     * @param simd_width SIMD lane count (vector block height).
+     */
+    SaguUnit(std::int64_t rate, int simd_width);
+
+    /** Reset counters (the "SAGU setup" instruction). */
+    void reset();
+
+    /**
+     * Address offset (in elements) for the next scalar access, then
+     * advance the internal counters (the "SAGU increment").
+     */
+    std::int64_t next();
+
+    std::int64_t rate() const { return rate_; }
+    int simdWidth() const { return simdWidth_; }
+
+  private:
+    std::int64_t rate_;
+    int simdWidth_;
+    std::int64_t baseCntr_ = 0;    ///< Position within one firing.
+    std::int64_t strideCntr_ = 0;  ///< SIMD lane (column).
+    std::int64_t offsetAddr_ = 0;  ///< Start of the current block.
+};
+
+/**
+ * Reference software implementation of the same walk (the Figure 8
+ * code sequence), used to validate the unit and to cost the software
+ * fallback. Returns the first @p n address offsets.
+ */
+std::vector<std::int64_t> figure8AddressWalk(std::int64_t rate,
+                                             int simd_width,
+                                             std::int64_t n);
+
+/**
+ * The closed-form address for logical stream element @p i under the
+ * transposed layout (block-transposed by rate x SW). Used by property
+ * tests: the SAGU sequence must equal this for i = 0..n-1.
+ */
+std::int64_t transposedAddress(std::int64_t i, std::int64_t rate,
+                               int simd_width);
+
+} // namespace macross::machine

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Greedy partitioner implementation.
+ */
+#include "multicore/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/diagnostics.h"
+
+namespace macross::multicore {
+
+Partition
+partitionGreedy(const graph::FlatGraph& g, const schedule::Schedule& s,
+                const std::vector<double>& actor_cycles, int cores)
+{
+    fatalIf(cores < 1, "partition over zero cores");
+    fatalIf(actor_cycles.size() != g.actors.size(),
+            "actor cycle vector size mismatch");
+
+    Partition p;
+    p.cores = cores;
+    p.coreOf.assign(g.actors.size(), 0);
+    p.coreLoad.assign(cores, 0.0);
+
+    // Longest processing time first, deterministic tie-break on id.
+    std::vector<int> order(g.actors.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        if (actor_cycles[a] != actor_cycles[b])
+            return actor_cycles[a] > actor_cycles[b];
+        return a < b;
+    });
+
+    for (int id : order) {
+        int best = 0;
+        for (int c = 1; c < cores; ++c) {
+            if (p.coreLoad[c] < p.coreLoad[best])
+                best = c;
+        }
+        p.coreOf[id] = best;
+        p.coreLoad[best] += actor_cycles[id];
+    }
+
+    for (const auto& t : g.tapes) {
+        if (p.coreOf[t.src] != p.coreOf[t.dst]) {
+            p.commWords +=
+                s.reps[t.src] * g.actor(t.src).pushRate(t.srcPort);
+        }
+    }
+    return p;
+}
+
+MulticoreEstimate
+estimateMulticore(const graph::FlatGraph& g, const schedule::Schedule& s,
+                  const Partition& part, double per_word_cycles,
+                  double sync_cycles)
+{
+    MulticoreEstimate e;
+    std::vector<double> coreTime = part.coreLoad;
+    for (const auto& t : g.tapes) {
+        int cs = part.coreOf[t.src];
+        int cd = part.coreOf[t.dst];
+        if (cs == cd)
+            continue;
+        double words = static_cast<double>(
+            s.reps[t.src] * g.actor(t.src).pushRate(t.srcPort));
+        // Half the per-word cost on each side of the channel.
+        coreTime[cs] += words * per_word_cycles * 0.5;
+        coreTime[cd] += words * per_word_cycles * 0.5;
+        e.commCycles += words * per_word_cycles;
+    }
+    e.maxLoad =
+        *std::max_element(part.coreLoad.begin(), part.coreLoad.end());
+    e.cycles = *std::max_element(coreTime.begin(), coreTime.end()) +
+               sync_cycles * (part.cores > 1 ? 1.0 : 0.0);
+    return e;
+}
+
+} // namespace macross::multicore

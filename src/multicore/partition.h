@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Multicore partitioning (the Section 5 "Multicore and
+ * Macro-SIMDization" study).
+ *
+ * A deliberately simple scheduler, matching the paper's description
+ * of a naive multicore partitioner: longest-processing-time greedy
+ * assignment of actors to cores by profiled steady-state cycles, with
+ * inter-core tape traffic costed per word afterwards.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/flat_graph.h"
+#include "schedule/steady_state.h"
+
+namespace macross::multicore {
+
+/** An assignment of actors to cores. */
+struct Partition {
+    int cores = 1;
+    std::vector<int> coreOf;       ///< Per actor id.
+    std::vector<double> coreLoad;  ///< Compute cycles per core.
+    std::int64_t commWords = 0;    ///< Tape words crossing cores per
+                                   ///< steady state.
+};
+
+/**
+ * LPT-greedy partition of @p g over @p cores using per-actor
+ * steady-state cycle weights (from a profiling run).
+ */
+Partition partitionGreedy(const graph::FlatGraph& g,
+                          const schedule::Schedule& s,
+                          const std::vector<double>& actor_cycles,
+                          int cores);
+
+/** Steady-state cycle estimate for a partitioned execution. */
+struct MulticoreEstimate {
+    double cycles = 0.0;      ///< Bottleneck core incl. comm.
+    double maxLoad = 0.0;     ///< Compute-only bottleneck.
+    double commCycles = 0.0;  ///< Total communication cycles.
+};
+
+/**
+ * Combine partition loads with communication costs: each crossing
+ * word costs @p per_word_cycles split between sender and receiver,
+ * plus @p sync_cycles of barrier overhead per steady iteration.
+ */
+MulticoreEstimate estimateMulticore(const graph::FlatGraph& g,
+                                    const schedule::Schedule& s,
+                                    const Partition& part,
+                                    double per_word_cycles,
+                                    double sync_cycles);
+
+} // namespace macross::multicore

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Buffer bound computation.
+ */
+#include "schedule/buffers.h"
+
+#include <algorithm>
+
+#include "support/diagnostics.h"
+
+namespace macross::schedule {
+
+std::vector<BufferBound>
+computeBufferBounds(const graph::FlatGraph& g, const Schedule& s)
+{
+    std::vector<BufferBound> out;
+    out.reserve(g.tapes.size());
+    for (const auto& t : g.tapes) {
+        const auto& src = g.actor(t.src);
+        const auto& dst = g.actor(t.dst);
+        BufferBound b;
+        b.tapeId = t.id;
+        b.warmup = s.initFires[t.src] * src.pushRate(t.srcPort) -
+                   s.initFires[t.dst] * dst.popRate(t.dstPort);
+        panicIf(b.warmup < 0, "negative warm-up residue on tape ",
+                t.id);
+        // Topological single-appearance schedule: the producer
+        // completes all its firings before the consumer starts, so
+        // the steady-state peak is residue + one full iteration of
+        // production. The init phase can peak higher still: all of
+        // the producer's warm-up output is resident before the
+        // consumer's own warm-up firings drain any of it.
+        b.bound = std::max(
+            b.warmup + s.reps[t.src] * src.pushRate(t.srcPort),
+            s.initFires[t.src] * src.pushRate(t.srcPort));
+        out.push_back(b);
+    }
+    return out;
+}
+
+std::int64_t
+totalBufferElements(const std::vector<BufferBound>& b)
+{
+    std::int64_t total = 0;
+    for (const auto& x : b)
+        total += x.bound;
+    return total;
+}
+
+} // namespace macross::schedule

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Static tape buffer sizing.
+ *
+ * SDF's key practical payoff (Lee & Messerschmitt; the paper's
+ * Section 2 background) is that channel buffers can be sized at
+ * compile time. Under this library's topological single-appearance
+ * schedule, a tape's occupancy peaks right after its producer finishes
+ * its firings for the iteration: warm-up residue plus one steady
+ * iteration of production. These bounds let a runtime allocate flat
+ * buffers (or local memories) instead of growable FIFOs.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/flat_graph.h"
+#include "schedule/steady_state.h"
+
+namespace macross::schedule {
+
+/** Static bound on one tape's element occupancy. */
+struct BufferBound {
+    int tapeId = -1;
+    std::int64_t warmup = 0;  ///< Elements resident entering steady
+                              ///< state (init-phase residue).
+    std::int64_t bound = 0;   ///< Max resident elements at any point.
+};
+
+/** Compute per-tape occupancy bounds for @p g under @p s. */
+std::vector<BufferBound> computeBufferBounds(const graph::FlatGraph& g,
+                                             const Schedule& s);
+
+/** Total elements across all tapes (footprint planning). */
+std::int64_t totalBufferElements(const std::vector<BufferBound>& b);
+
+} // namespace macross::schedule

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Latency accounting implementation.
+ */
+#include "schedule/latency.h"
+
+#include "support/diagnostics.h"
+
+namespace macross::schedule {
+
+Latency
+measureLatency(const graph::FlatGraph& g, const Schedule& s)
+{
+    Latency out;
+    bool found = false;
+    for (const auto& a : g.actors) {
+        if (a.isFilter() && a.inputs.empty() && !a.outputs.empty()) {
+            fatalIf(found, "program has multiple sources");
+            found = true;
+            out.initInput = s.initFires[a.id] * a.def->push;
+            out.steadyInput = s.reps[a.id] * a.def->push;
+        }
+    }
+    fatalIf(!found, "program has no source actor");
+    return out;
+}
+
+} // namespace macross::schedule

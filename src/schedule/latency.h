@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Latency accounting for compiled programs.
+ *
+ * The paper observes (Section 3.3) that horizontal SIMDization does
+ * not affect graph latency because it never scales repetition
+ * numbers, while single-actor/vertical SIMDization multiply the
+ * steady state by up to SW. We quantify that with two input-side
+ * measures: the warm-up input (elements the source must produce
+ * before the steady state can start — peeking pipelines need this)
+ * and the steady-state input batch (elements consumed per steady
+ * iteration, which bounds how much input must arrive before the next
+ * output batch is complete).
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "graph/flat_graph.h"
+#include "schedule/steady_state.h"
+
+namespace macross::schedule {
+
+/** Input-side latency measures of a scheduled program. */
+struct Latency {
+    std::int64_t initInput = 0;    ///< Warm-up source elements.
+    std::int64_t steadyInput = 0;  ///< Source elements per steady
+                                   ///< iteration (batch latency).
+};
+
+/** Compute the latency measures for @p g under @p s. */
+Latency measureLatency(const graph::FlatGraph& g, const Schedule& s);
+
+} // namespace macross::schedule

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Balance-equation solver.
+ */
+#include "schedule/repetition.h"
+
+#include <queue>
+
+#include "support/diagnostics.h"
+#include "support/math_util.h"
+
+namespace macross::schedule {
+
+std::vector<std::int64_t>
+repetitionVector(const graph::FlatGraph& g)
+{
+    const std::size_t n = g.actors.size();
+    fatalIf(n == 0, "repetitionVector on empty graph");
+
+    // Propagate rational firing rates over the (undirected) tape
+    // relation starting from actor 0 at rate 1.
+    std::vector<Rational> rate(n);
+    std::vector<bool> assigned(n, false);
+
+    // Adjacency: for each actor, tapes touching it.
+    std::vector<std::vector<int>> touching(n);
+    for (const auto& t : g.tapes) {
+        touching[t.src].push_back(t.id);
+        touching[t.dst].push_back(t.id);
+    }
+
+    std::queue<int> work;
+    rate[0] = Rational::fromInt(1);
+    assigned[0] = true;
+    work.push(0);
+    std::size_t visited = 1;
+
+    while (!work.empty()) {
+        int id = work.front();
+        work.pop();
+        for (int tapeId : touching[id]) {
+            const auto& t = g.tape(tapeId);
+            const auto& src = g.actor(t.src);
+            const auto& dst = g.actor(t.dst);
+            std::int64_t push = src.pushRate(t.srcPort);
+            std::int64_t pop = dst.popRate(t.dstPort);
+            fatalIf(push <= 0 || pop <= 0, "tape ", t.id,
+                    " has a zero rate endpoint (", src.name, " -> ",
+                    dst.name, ")");
+            int other = (t.src == id) ? t.dst : t.src;
+            Rational implied =
+                (t.src == id)
+                    ? rate[id] * Rational(push, pop)
+                    : rate[id] * Rational(pop, push);
+            if (!assigned[other]) {
+                rate[other] = implied;
+                assigned[other] = true;
+                work.push(other);
+                ++visited;
+            } else {
+                fatalIf(!(rate[other] == implied),
+                        "inconsistent SDF rates at tape ", t.id, " (",
+                        src.name, " -> ", dst.name, ")");
+            }
+        }
+    }
+    fatalIf(visited != n, "stream graph is disconnected");
+
+    // Scale to the minimal integer vector.
+    std::int64_t denLcm = 1;
+    for (const auto& r : rate)
+        denLcm = lcm64(denLcm, r.den());
+    std::vector<std::int64_t> reps(n);
+    std::int64_t numGcd = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        reps[i] = rate[i].num() * (denLcm / rate[i].den());
+        fatalIf(reps[i] <= 0, "non-positive repetition for actor ",
+                g.actors[i].name);
+        numGcd = gcd64(numGcd, reps[i]);
+    }
+    for (auto& r : reps)
+        r /= numGcd;
+    return reps;
+}
+
+} // namespace macross::schedule

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * SDF balance equations: compute the repetition vector of a flat
+ * stream graph.
+ *
+ * In the steady state every tape must carry as many elements in as
+ * out: R[src] * push == R[dst] * pop for each tape. The minimal
+ * positive integer solution is the repetition vector (Lee &
+ * Messerschmitt, 1987); its existence is what makes the graph a valid
+ * SDF program.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/flat_graph.h"
+
+namespace macross::schedule {
+
+/**
+ * Solve the balance equations for @p g.
+ *
+ * @return the minimal repetition count per actor id.
+ *
+ * Calls fatal() if the equations are inconsistent (ill-rated graph)
+ * or if any rate is zero on a connected tape.
+ */
+std::vector<std::int64_t> repetitionVector(const graph::FlatGraph& g);
+
+} // namespace macross::schedule

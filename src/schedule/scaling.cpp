@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Equation (1) scaling implementation.
+ */
+#include "schedule/scaling.h"
+
+#include "support/diagnostics.h"
+#include "support/math_util.h"
+
+namespace macross::schedule {
+
+std::int64_t
+scalingFactor(const std::vector<std::int64_t>& simdizable_reps,
+              int simd_width)
+{
+    fatalIf(simd_width < 1, "SIMD width must be positive");
+    std::int64_t m = 1;
+    for (std::int64_t r : simdizable_reps) {
+        panicIf(r <= 0, "non-positive repetition in scalingFactor");
+        m = std::max(m, lcm64(simd_width, r) / r);
+    }
+    return m;
+}
+
+void
+scaleReps(std::vector<std::int64_t>& reps, std::int64_t factor)
+{
+    panicIf(factor <= 0, "non-positive scaling factor");
+    for (auto& r : reps)
+        r *= factor;
+}
+
+} // namespace macross::schedule

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Repetition-vector scaling for SIMDization (Equation 1 of the paper).
+ *
+ * Before single-actor SIMDization, every SIMDizable actor's repetition
+ * count must be a multiple of the SIMD width SW. The paper scales the
+ * whole repetition vector by
+ *
+ *     M = max over SIMDizable actors Ai of  LCM(SW, Ri) / Ri
+ *
+ * which is the smallest uniform factor making each listed Ri a
+ * multiple of SW... for a single actor; taking the max and applying it
+ * uniformly preserves rate-matching while making *the largest demand*
+ * satisfied. After scaling, actors whose repetition is still not a
+ * multiple of SW (possible when repetitions are mutually incompatible)
+ * are excluded by the caller's cost model; the helper reports them.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace macross::schedule {
+
+/**
+ * Compute M per Equation (1) over the repetitions of the SIMDizable
+ * actors (@p simdizable_reps). Returns 1 for an empty list.
+ */
+std::int64_t scalingFactor(const std::vector<std::int64_t>& simdizable_reps,
+                           int simd_width);
+
+/** Multiply every entry of @p reps by @p factor in place. */
+void scaleReps(std::vector<std::int64_t>& reps, std::int64_t factor);
+
+} // namespace macross::schedule

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Steady-state schedule construction.
+ */
+#include "schedule/steady_state.h"
+
+#include "schedule/repetition.h"
+#include "support/diagnostics.h"
+#include "support/math_util.h"
+
+namespace macross::schedule {
+
+Schedule
+makeSchedule(const graph::FlatGraph& g)
+{
+    Schedule s;
+    s.order = g.topoOrder();
+    s.reps = repetitionVector(g);
+    s.initFires.assign(g.actors.size(), 0);
+
+    // Peek requirement per tape: the consumer must always observe at
+    // least (peek - pop) elements beyond what it consumes.
+    // Walk actors in reverse topological order and require each
+    // producer to pre-fill its output tapes once:
+    //   initFires[src] >= ceil((delta + initFires[dst]*pop) / push)
+    for (auto it = s.order.rbegin(); it != s.order.rend(); ++it) {
+        int id = *it;
+        const auto& a = g.actor(id);
+        std::int64_t needed = 0;
+        for (int tapeId : a.outputs) {
+            const auto& t = g.tape(tapeId);
+            const auto& dst = g.actor(t.dst);
+            std::int64_t pop = dst.popRate(t.dstPort);
+            std::int64_t peek = dst.peekRate(t.dstPort);
+            std::int64_t delta = std::max<std::int64_t>(0, peek - pop);
+            std::int64_t demand = delta + s.initFires[t.dst] * pop;
+            if (demand > 0) {
+                needed = std::max(
+                    needed, ceilDiv(demand, a.pushRate(t.srcPort)));
+            }
+        }
+        s.initFires[id] = needed;
+    }
+
+    checkRateMatched(g, s);
+    return s;
+}
+
+void
+checkRateMatched(const graph::FlatGraph& g, const Schedule& s)
+{
+    for (const auto& t : g.tapes) {
+        const auto& src = g.actor(t.src);
+        const auto& dst = g.actor(t.dst);
+        std::int64_t in = s.reps[t.src] * src.pushRate(t.srcPort);
+        std::int64_t out = s.reps[t.dst] * dst.popRate(t.dstPort);
+        panicIf(in != out, "rate mismatch on tape ", t.id, ": ",
+                src.name, " produces ", in, " but ", dst.name,
+                " consumes ", out, " per steady state");
+    }
+}
+
+} // namespace macross::schedule

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Steady-state schedule construction.
+ *
+ * The schedule used throughout this library is the single-appearance
+ * schedule in topological order: one steady-state iteration fires each
+ * actor `reps[a]` times consecutively. Peeking actors additionally
+ * need an init phase that leaves (peek - pop) elements resident on
+ * their input tapes forever; initFires records how many extra firings
+ * each upstream actor performs once, before the steady state begins.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/flat_graph.h"
+
+namespace macross::schedule {
+
+/** A complete execution schedule for a flat graph. */
+struct Schedule {
+    std::vector<int> order;              ///< Actor ids, topological.
+    std::vector<std::int64_t> reps;      ///< Steady firings per actor.
+    std::vector<std::int64_t> initFires; ///< One-time warm-up firings.
+};
+
+/**
+ * Build the schedule for @p g: repetition vector, topological order,
+ * and init-phase firing counts satisfying all peek requirements.
+ */
+Schedule makeSchedule(const graph::FlatGraph& g);
+
+/**
+ * Verify the steady-state invariant: for every tape,
+ * reps[src]*push == reps[dst]*pop. Panics on violation (this is a
+ * library invariant after any graph transform, not a user error).
+ */
+void checkRateMatched(const graph::FlatGraph& g, const Schedule& s);
+
+} // namespace macross::schedule

@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Out-of-line anchor for the diagnostics translation unit.
+ *
+ * The diagnostics helpers are header-only templates; this file exists so
+ * the module has a stable object file and a place for future non-inline
+ * reporting hooks (e.g., routing warnings to a user-provided sink).
+ */
+#include "support/diagnostics.h"
+
+namespace macross {
+
+// Intentionally empty: see file comment.
+
+} // namespace macross

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Error-reporting helpers shared across the MacroSS library.
+ *
+ * Follows the gem5 fatal()/panic() split: fatal() is for user errors
+ * (bad graph, invalid rates) and panic() for internal invariant
+ * violations (compiler bugs). Both carry formatted messages and throw
+ * typed exceptions so library users and tests can catch them.
+ */
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace macross {
+
+/** Thrown for user-level errors: malformed graphs, invalid parameters. */
+class FatalError : public std::runtime_error {
+  public:
+    explicit FatalError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/** Thrown for internal invariant violations (bugs in the library). */
+class PanicError : public std::logic_error {
+  public:
+    explicit PanicError(const std::string& msg) : std::logic_error(msg) {}
+};
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream&)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream& os, const T& first, const Rest&... rest)
+{
+    os << first;
+    detail::formatInto(os, rest...);
+}
+
+} // namespace detail
+
+/**
+ * Report a user-level error and abort the current operation.
+ *
+ * All arguments are streamed into the message.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args&... args)
+{
+    std::ostringstream os;
+    os << "fatal: ";
+    detail::formatInto(os, args...);
+    throw FatalError(os.str());
+}
+
+/**
+ * Report an internal invariant violation.
+ *
+ * All arguments are streamed into the message.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args&... args)
+{
+    std::ostringstream os;
+    os << "panic: ";
+    detail::formatInto(os, args...);
+    throw PanicError(os.str());
+}
+
+/** Check a user-facing precondition; calls fatal() on failure. */
+template <typename... Args>
+void
+fatalIf(bool condition, const Args&... args)
+{
+    if (condition)
+        fatal(args...);
+}
+
+/** Check an internal invariant; calls panic() on failure. */
+template <typename... Args>
+void
+panicIf(bool condition, const Args&... args)
+{
+    if (condition)
+        panic(args...);
+}
+
+} // namespace macross

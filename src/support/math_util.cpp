@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Integer-math helper implementations.
+ */
+#include "support/math_util.h"
+
+#include <numeric>
+
+#include "support/diagnostics.h"
+
+namespace macross {
+
+std::int64_t
+gcd64(std::int64_t a, std::int64_t b)
+{
+    return std::gcd(a, b);
+}
+
+std::int64_t
+lcm64(std::int64_t a, std::int64_t b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    return std::lcm(a, b);
+}
+
+bool
+isPowerOfTwo(std::int64_t v)
+{
+    return v > 0 && (v & (v - 1)) == 0;
+}
+
+int
+log2Exact(std::int64_t v)
+{
+    panicIf(!isPowerOfTwo(v), "log2Exact on non-power-of-two ", v);
+    int r = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+std::int64_t
+ceilDiv(std::int64_t a, std::int64_t b)
+{
+    panicIf(b <= 0 || a < 0, "ceilDiv domain error: ", a, "/", b);
+    return (a + b - 1) / b;
+}
+
+std::int64_t
+roundUp(std::int64_t a, std::int64_t b)
+{
+    return ceilDiv(a, b) * b;
+}
+
+Rational::Rational(std::int64_t num, std::int64_t den)
+{
+    panicIf(den == 0, "Rational with zero denominator");
+    if (den < 0) {
+        num = -num;
+        den = -den;
+    }
+    std::int64_t g = std::gcd(num < 0 ? -num : num, den);
+    if (g == 0)
+        g = 1;
+    num_ = num / g;
+    den_ = den / g;
+}
+
+Rational
+Rational::operator*(const Rational& o) const
+{
+    return Rational(num_ * o.num_, den_ * o.den_);
+}
+
+Rational
+Rational::operator/(const Rational& o) const
+{
+    panicIf(o.num_ == 0, "Rational division by zero");
+    return Rational(num_ * o.den_, den_ * o.num_);
+}
+
+} // namespace macross

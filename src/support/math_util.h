@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Small integer-math helpers used by the scheduler and vectorizer.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace macross {
+
+/** Greatest common divisor; gcd(0, n) == n. */
+std::int64_t gcd64(std::int64_t a, std::int64_t b);
+
+/** Least common multiple; lcm(0, n) == 0. */
+std::int64_t lcm64(std::int64_t a, std::int64_t b);
+
+/** True if @p v is a power of two (v > 0). */
+bool isPowerOfTwo(std::int64_t v);
+
+/** Integer log2 for exact powers of two; panics otherwise. */
+int log2Exact(std::int64_t v);
+
+/** Ceiling division for non-negative operands, b > 0. */
+std::int64_t ceilDiv(std::int64_t a, std::int64_t b);
+
+/** Round @p a up to the next multiple of @p b (b > 0). */
+std::int64_t roundUp(std::int64_t a, std::int64_t b);
+
+/**
+ * Exact rational number used when solving SDF balance equations.
+ *
+ * Always kept in lowest terms with a positive denominator.
+ */
+class Rational {
+  public:
+    Rational() = default;
+    Rational(std::int64_t num, std::int64_t den);
+
+    /** Construct from an integer value. */
+    static Rational fromInt(std::int64_t v) { return Rational(v, 1); }
+
+    std::int64_t num() const { return num_; }
+    std::int64_t den() const { return den_; }
+
+    Rational operator*(const Rational& o) const;
+    Rational operator/(const Rational& o) const;
+    bool operator==(const Rational& o) const = default;
+
+  private:
+    std::int64_t num_ = 0;
+    std::int64_t den_ = 1;
+};
+
+} // namespace macross

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Rng implementation.
+ */
+#include "support/rng.h"
+
+#include "support/diagnostics.h"
+
+namespace macross {
+
+std::int64_t
+Rng::intIn(std::int64_t lo, std::int64_t hi)
+{
+    panicIf(lo > hi, "Rng::intIn empty range");
+    std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+    return dist(engine_);
+}
+
+float
+Rng::floatIn(float lo, float hi)
+{
+    std::uniform_real_distribution<float> dist(lo, hi);
+    return dist(engine_);
+}
+
+bool
+Rng::chance(double p)
+{
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+}
+
+std::size_t
+Rng::index(std::size_t n)
+{
+    panicIf(n == 0, "Rng::index on empty range");
+    std::uniform_int_distribution<std::size_t> dist(0, n - 1);
+    return dist(engine_);
+}
+
+} // namespace macross

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Deterministic random-number helper used by workload generators and
+ * the random-graph property tests.
+ *
+ * A thin wrapper over std::mt19937_64 so every use site is seeded
+ * explicitly and reproducibly.
+ */
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace macross {
+
+/** Seeded pseudo-random generator with convenience draw methods. */
+class Rng {
+  public:
+    explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t intIn(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform float in [lo, hi). */
+    float floatIn(float lo, float hi);
+
+    /** Bernoulli draw with probability @p p of returning true. */
+    bool chance(double p);
+
+    /** Pick a uniformly random index in [0, n). */
+    std::size_t index(std::size_t n);
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace macross

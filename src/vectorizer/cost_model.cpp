@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Static cost estimation.
+ */
+#include "vectorizer/cost_model.h"
+
+#include "ir/analysis.h"
+#include "support/math_util.h"
+
+namespace macross::vectorizer {
+
+using ir::Expr;
+using ir::ExprKind;
+using ir::ExprPtr;
+using ir::Stmt;
+using ir::StmtKind;
+using ir::StmtPtr;
+using machine::MachineDesc;
+using machine::OpClass;
+
+namespace {
+
+constexpr double kUnknownTrips = 8.0;
+
+/** Per-evaluation cycles of an expression tree, tape reads included. */
+double
+exprCycles(const ExprPtr& e, const MachineDesc& m)
+{
+    if (!e)
+        return 0.0;
+    double c = 0.0;
+    for (const auto& a : e->args)
+        c += exprCycles(a, m);
+    switch (e->kind) {
+      case ExprKind::IntImm:
+      case ExprKind::FloatImm:
+      case ExprKind::VecImm:
+      case ExprKind::VarRef:
+        break;
+      case ExprKind::Load:
+        c += m.costOf(e->type.isVector() ? OpClass::VectorLoad
+                                         : OpClass::ScalarLoad);
+        break;
+      case ExprKind::Unary:
+        c += m.costOf(e->type.isFloat() ? OpClass::FpAdd
+                                        : OpClass::IntAlu);
+        break;
+      case ExprKind::Binary: {
+        OpClass oc = OpClass::IntAlu;
+        const ir::Type t = e->args[0]->type;
+        if (t.isFloat()) {
+            switch (e->bop) {
+              case ir::BinaryOp::Mul: oc = OpClass::FpMul; break;
+              case ir::BinaryOp::Div: oc = OpClass::FpDiv; break;
+              default: oc = OpClass::FpAdd; break;
+            }
+        } else {
+            switch (e->bop) {
+              case ir::BinaryOp::Mul: oc = OpClass::IntMul; break;
+              case ir::BinaryOp::Div:
+              case ir::BinaryOp::Mod: oc = OpClass::IntDiv; break;
+              default: oc = OpClass::IntAlu; break;
+            }
+        }
+        c += m.costOf(oc);
+        break;
+      }
+      case ExprKind::Call:
+        switch (e->callee) {
+          case ir::Intrinsic::Sqrt: c += m.costOf(OpClass::FpDiv); break;
+          case ir::Intrinsic::Sin:
+          case ir::Intrinsic::Cos: c += m.costOf(OpClass::Trig); break;
+          case ir::Intrinsic::Exp:
+          case ir::Intrinsic::Log: c += m.costOf(OpClass::ExpLog); break;
+          case ir::Intrinsic::Abs: c += m.costOf(OpClass::FpAdd); break;
+          case ir::Intrinsic::Floor:
+          case ir::Intrinsic::ToFloat:
+          case ir::Intrinsic::ToInt:
+            c += m.costOf(OpClass::Convert);
+            break;
+          case ir::Intrinsic::ExtractEven:
+          case ir::Intrinsic::ExtractOdd:
+          case ir::Intrinsic::InterleaveLo:
+          case ir::Intrinsic::InterleaveHi:
+            c += m.costOf(OpClass::Shuffle);
+            break;
+        }
+        break;
+      case ExprKind::Pop:
+      case ExprKind::Peek:
+        c += m.costOf(OpClass::ScalarLoad) + m.costOf(OpClass::AddrCalc);
+        break;
+      case ExprKind::VPop:
+      case ExprKind::VPeek:
+        c += m.costOf(OpClass::VectorLoad) + m.costOf(OpClass::AddrCalc);
+        break;
+      case ExprKind::LaneRead:
+        c += m.costOf(OpClass::LaneExtract);
+        break;
+      case ExprKind::Splat:
+        c += m.costOf(OpClass::Splat);
+        break;
+    }
+    return c;
+}
+
+double
+stmtCycles(const std::vector<StmtPtr>& stmts, const MachineDesc& m)
+{
+    double c = 0.0;
+    for (const auto& sp : stmts) {
+        const Stmt& s = *sp;
+        c += exprCycles(s.a, m) + exprCycles(s.b, m);
+        switch (s.kind) {
+          case StmtKind::Block:
+            c += stmtCycles(s.body, m);
+            break;
+          case StmtKind::Assign:
+            break;
+          case StmtKind::AssignLane:
+            c += m.costOf(OpClass::LaneInsert);
+            break;
+          case StmtKind::Store:
+            c += m.costOf(s.a->type.isVector() ? OpClass::VectorStore
+                                               : OpClass::ScalarStore);
+            break;
+          case StmtKind::StoreLane:
+            c += m.costOf(OpClass::ScalarStore);
+            break;
+          case StmtKind::Push:
+          case StmtKind::RPush:
+            c += m.costOf(OpClass::ScalarStore) +
+                 m.costOf(OpClass::AddrCalc);
+            break;
+          case StmtKind::VPush:
+          case StmtKind::VRPush:
+            c += m.costOf(OpClass::VectorStore) +
+                 m.costOf(OpClass::AddrCalc);
+            break;
+          case StmtKind::For: {
+            auto lo = ir::tryConstFold(s.a);
+            auto hi = ir::tryConstFold(s.b);
+            double trips = (lo && hi)
+                               ? static_cast<double>(
+                                     std::max<std::int64_t>(0, *hi - *lo))
+                               : kUnknownTrips;
+            c += trips * (m.costOf(OpClass::LoopOverhead) +
+                          stmtCycles(s.body, m));
+            break;
+          }
+          case StmtKind::If:
+            c += m.costOf(OpClass::Branch) +
+                 std::max(stmtCycles(s.body, m),
+                          stmtCycles(s.elseBody, m));
+            break;
+          case StmtKind::AdvanceIn:
+          case StmtKind::AdvanceOut:
+            c += m.costOf(OpClass::IntAlu);
+            break;
+        }
+    }
+    return c;
+}
+
+/** Cycles of one firing with every tape access costed as zero (the
+ * compute-only core, used when re-costing boundaries separately). */
+double
+boundaryCycles(const graph::FilterDef& def, const MachineDesc& m,
+               TapeMode in, TapeMode out)
+{
+    const int sw = m.simdWidth;
+    double c = 0.0;
+    auto scalarAccess = m.costOf(OpClass::ScalarLoad) +
+                        m.costOf(OpClass::AddrCalc);
+    auto scalarWrite = m.costOf(OpClass::ScalarStore) +
+                       m.costOf(OpClass::AddrCalc);
+    switch (in) {
+      case TapeMode::StridedScalar:
+        // Per original pop: SW strided reads + SW lane inserts.
+        c += def.pop * sw *
+             (scalarAccess + m.costOf(OpClass::LaneInsert));
+        break;
+      case TapeMode::PermutedVector:
+        c += def.pop * (m.costOf(OpClass::VectorLoad) +
+                        m.costOf(OpClass::AddrCalc));
+        if (def.pop > 1) {
+            c += def.pop * log2Exact(def.pop) *
+                 m.costOf(OpClass::Shuffle);
+        }
+        break;
+      case TapeMode::SaguVector:
+        c += def.pop * (m.costOf(OpClass::VectorLoad) +
+                        m.costOf(OpClass::AddrCalc));
+        // The scalar neighbor pays the walk, once per element.
+        c += def.pop * sw * m.costOf(OpClass::SaguWalk);
+        break;
+    }
+    switch (out) {
+      case TapeMode::StridedScalar:
+        c += def.push * sw *
+             (scalarWrite + m.costOf(OpClass::LaneExtract));
+        break;
+      case TapeMode::PermutedVector:
+        c += def.push * (m.costOf(OpClass::VectorStore) +
+                         m.costOf(OpClass::AddrCalc));
+        if (def.push > 1) {
+            c += def.push * log2Exact(def.push) *
+                 m.costOf(OpClass::Shuffle);
+        }
+        break;
+      case TapeMode::SaguVector:
+        c += def.push * (m.costOf(OpClass::VectorStore) +
+                         m.costOf(OpClass::AddrCalc));
+        c += def.push * sw * m.costOf(OpClass::SaguWalk);
+        break;
+    }
+    return c;
+}
+
+} // namespace
+
+double
+estimateFiringCycles(const graph::FilterDef& def, const MachineDesc& m)
+{
+    return m.costOf(OpClass::FiringOverhead) + stmtCycles(def.work, m);
+}
+
+double
+estimateSimdizedCycles(const graph::FilterDef& def, const MachineDesc& m,
+                       TapeMode in, TapeMode out)
+{
+    // Compute core: same static op counts, each op now covering SW
+    // lanes. Tape costs are estimated separately by mode; subtract
+    // the scalar tape access cost the body estimate included.
+    double body = stmtCycles(def.work, m);
+    double scalarTape =
+        def.pop * (m.costOf(OpClass::ScalarLoad) +
+                   m.costOf(OpClass::AddrCalc)) +
+        def.push * (m.costOf(OpClass::ScalarStore) +
+                    m.costOf(OpClass::AddrCalc));
+    double core = std::max(0.0, body - scalarTape);
+    return m.costOf(OpClass::FiringOverhead) + core +
+           boundaryCycles(def, m, in, out);
+}
+
+bool
+simdizationProfitable(const graph::FilterDef& def, const MachineDesc& m)
+{
+    double scalar = m.simdWidth * estimateFiringCycles(def, m);
+    double simd = estimateSimdizedCycles(
+        def, m, TapeMode::StridedScalar, TapeMode::StridedScalar);
+    return simd < scalar;
+}
+
+BoundaryModes
+chooseBoundaryModes(const graph::FilterDef& def, const MachineDesc& m,
+                    bool allow_permuted, bool allow_sagu,
+                    bool in_neighbor_scalar, bool out_neighbor_scalar)
+{
+    auto pick = [&](bool in_side, bool neighbor_scalar) {
+        TapeMode best = TapeMode::StridedScalar;
+        double bestCost = boundaryCycles(
+            def, m, in_side ? best : TapeMode::StridedScalar,
+            in_side ? TapeMode::StridedScalar : best);
+        auto sideCost = [&](TapeMode mode) {
+            return in_side
+                       ? boundaryCycles(def, m, mode,
+                                        TapeMode::StridedScalar)
+                       : boundaryCycles(def, m, TapeMode::StridedScalar,
+                                        mode);
+        };
+        bestCost = sideCost(TapeMode::StridedScalar);
+        int rate = in_side ? def.pop : def.push;
+        bool structural = rate > 0 && !def.isPeeking();
+        if (allow_permuted && structural && isPowerOfTwo(rate)) {
+            double c = sideCost(TapeMode::PermutedVector);
+            if (c < bestCost) {
+                bestCost = c;
+                best = TapeMode::PermutedVector;
+            }
+        }
+        if (allow_sagu && structural && neighbor_scalar) {
+            double c = sideCost(TapeMode::SaguVector);
+            if (c < bestCost) {
+                bestCost = c;
+                best = TapeMode::SaguVector;
+            }
+        }
+        return best;
+    };
+    BoundaryModes modes;
+    modes.in = pick(true, in_neighbor_scalar);
+    modes.out = pick(false, out_neighbor_scalar);
+    return modes;
+}
+
+} // namespace macross::vectorizer

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Static cost model used by MacroSS to choose transforms (the
+ * "internal target-specific cost model" of Section 3).
+ *
+ * Estimates are per-firing cycle counts derived from the machine
+ * description and static operation counts (constant trip counts are
+ * folded; unknown trip counts assume 8; if-branches take the max).
+ * They drive three decisions: whether single-actor SIMDization is
+ * profitable at all, vertical-vs-horizontal arbitration for actors in
+ * both candidate sets, and the per-boundary tape access mode.
+ */
+#pragma once
+
+#include "graph/filter.h"
+#include "machine/machine_desc.h"
+#include "vectorizer/single_actor.h"
+
+namespace macross::vectorizer {
+
+/** Estimated cycles for one scalar firing of @p def. */
+double estimateFiringCycles(const graph::FilterDef& def,
+                            const machine::MachineDesc& m);
+
+/**
+ * Estimated cycles for one SIMDized firing (= simdWidth scalar
+ * firings) under the given boundary modes.
+ */
+double estimateSimdizedCycles(const graph::FilterDef& def,
+                              const machine::MachineDesc& m,
+                              TapeMode in, TapeMode out);
+
+/** Is single-actor SIMDization a win for @p def on @p m? */
+bool simdizationProfitable(const graph::FilterDef& def,
+                           const machine::MachineDesc& m);
+
+/**
+ * Pick the cheapest eligible boundary modes for @p def.
+ *
+ * @param in_neighbor_scalar The producer endpoint stays scalar, so
+ *        the SAGU layout is legal on the input side.
+ * @param out_neighbor_scalar Likewise for the consumer endpoint.
+ */
+BoundaryModes chooseBoundaryModes(const graph::FilterDef& def,
+                                  const machine::MachineDesc& m,
+                                  bool allow_permuted, bool allow_sagu,
+                                  bool in_neighbor_scalar,
+                                  bool out_neighbor_scalar);
+
+} // namespace macross::vectorizer

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Horizontal merge implementation.
+ */
+#include "vectorizer/horizontal.h"
+
+#include "graph/isomorphism.h"
+#include "ir/analysis.h"
+#include "ir/clone.h"
+#include "support/diagnostics.h"
+#include "vectorizer/marking.h"
+
+namespace macross::vectorizer {
+
+using graph::FilterDef;
+using graph::FilterDefPtr;
+using ir::Expr;
+using ir::ExprKind;
+using ir::ExprPtr;
+using ir::Stmt;
+using ir::StmtKind;
+using ir::StmtPtr;
+using ir::VarPtr;
+
+MergeOutcome
+mergeIsomorphic(const std::vector<FilterDefPtr>& defs)
+{
+    const int sw = static_cast<int>(defs.size());
+    fatalIf(sw < 2, "horizontal merge needs >= 2 actors");
+
+    std::vector<const FilterDef*> raw;
+    raw.reserve(defs.size());
+    for (const auto& d : defs)
+        raw.push_back(d.get());
+    graph::IsoResult iso = graph::compareIsomorphic(raw);
+    if (!iso.ok)
+        return {nullptr, "not isomorphic: " + iso.reason};
+
+    const FilterDef& d0 = *defs[0];
+
+    // Differing constant sites act as lane-varying seeds for marking.
+    std::unordered_set<const Expr*> seeds;
+    for (const auto& [site, _] : iso.intDiffs)
+        seeds.insert(site);
+    for (const auto& [site, _] : iso.floatDiffs)
+        seeds.insert(site);
+
+    MarkResult marks = markVectorVars(d0, seeds);
+    if (!marks.ok)
+        return {nullptr, "lane-varying control: " + marks.reason};
+
+    // Fresh variables for the merged actor; marked ones widen.
+    ir::VarMap varMap;
+    auto merged = std::make_shared<FilterDef>();
+    auto freshen = [&](const VarPtr& v) {
+        auto nv = std::make_shared<ir::Var>(*v);
+        if (marks.vectorVars.count(v.get())) {
+            nv->name = v->name + "_v";
+            nv->type = v->type.widened(sw);
+        }
+        varMap.set(v, nv);
+        return nv;
+    };
+    for (const auto& sv : d0.stateVars)
+        merged->stateVars.push_back(freshen(sv));
+    {
+        std::unordered_set<const ir::Var*> seen;
+        auto visit = [&](const VarPtr& v) {
+            if (!v || seen.count(v.get()))
+                return;
+            seen.insert(v.get());
+            if (v->kind == ir::VarKind::Local)
+                freshen(v);
+        };
+        ir::forEachStmt(d0.work, [&](const Stmt& s) { visit(s.var); });
+        ir::forEachExpr(d0.work,
+                        [&](const Expr& e) { visit(e.var); });
+        ir::forEachStmt(d0.init, [&](const Stmt& s) { visit(s.var); });
+        ir::forEachExpr(d0.init,
+                        [&](const Expr& e) { visit(e.var); });
+    }
+
+    const ir::Type vin = d0.inElem.widened(sw);
+
+    ir::Rewriter rw;
+    rw.varMap = varMap;
+    rw.exprHook = [&](const Expr& e, ir::Rewriter& self) -> ExprPtr {
+        {
+            auto it = iso.intDiffs.find(&e);
+            if (it != iso.intDiffs.end())
+                return ir::vecImm(it->second);
+        }
+        {
+            auto it = iso.floatDiffs.find(&e);
+            if (it != iso.floatDiffs.end())
+                return ir::vecImm(it->second);
+        }
+        if (e.kind == ExprKind::Pop)
+            return ir::vpopExpr(vin);
+        if (e.kind == ExprKind::Peek) {
+            ExprPtr k = self.rewrite(e.args[0]);
+            return ir::vpeekExpr(
+                vin, ir::binary(ir::BinaryOp::Mul, std::move(k),
+                                ir::intImm(sw)));
+        }
+        return nullptr;
+    };
+    rw.stmtHook = [&](const Stmt& s, ir::BlockBuilder& out,
+                      ir::Rewriter& self) -> bool {
+        if (s.kind == StmtKind::Push) {
+            ExprPtr v = self.rewrite(s.a);
+            if (!v->type.isVector())
+                v = ir::splat(std::move(v), sw);
+            out.vpush(std::move(v));
+            return true;
+        }
+        return false;
+    };
+
+    merged->name = d0.name + "_h";
+    merged->inElem = d0.inElem;
+    merged->outElem = d0.outElem;
+    merged->pop = sw * d0.pop;
+    merged->push = sw * d0.push;
+    merged->peek = sw * d0.peek;
+    merged->vectorLanes = sw;
+    merged->work = rw.rewrite(d0.work);
+    merged->init = rw.rewrite(d0.init);
+    graph::validateFilter(*merged);
+    return {merged, ""};
+}
+
+} // namespace macross::vectorizer

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Horizontal SIMDization (Section 3.3): merge SW task-parallel
+ * isomorphic actors of a split-join into one SIMD actor operating on a
+ * vector tape (SW interleaved scalar streams).
+ *
+ * Unlike single-actor/vertical SIMDization this handles stateful
+ * actors: per-actor state lives in separate vector lanes. Constants
+ * whose values differ across the isomorphic actors are raised to
+ * vector constants; variables they reach become vectors via the
+ * marking analysis, while provably lane-invariant variables (e.g. the
+ * paper's place_holder index in actor C) stay scalar.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/filter.h"
+
+namespace macross::vectorizer {
+
+/** Outcome of an isomorphic merge. */
+struct MergeOutcome {
+    graph::FilterDefPtr def;  ///< Null when merging is not possible.
+    std::string reason;       ///< Failure reason when def is null.
+};
+
+/**
+ * Merge @p defs (one per SIMD lane, lane order = branch order) into a
+ * single vector-tape actor.
+ */
+MergeOutcome mergeIsomorphic(const std::vector<graph::FilterDefPtr>& defs);
+
+} // namespace macross::vectorizer

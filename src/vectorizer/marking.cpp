@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Marking analysis implementation.
+ */
+#include "vectorizer/marking.h"
+
+#include "ir/analysis.h"
+#include "support/diagnostics.h"
+
+namespace macross::vectorizer {
+
+namespace {
+
+using ir::Expr;
+using ir::ExprKind;
+using ir::ExprPtr;
+using ir::Stmt;
+using ir::StmtKind;
+using ir::StmtPtr;
+
+class Marker {
+  public:
+    Marker(const std::unordered_set<const Expr*>& extra_seeds,
+           bool allow_lane_serial_if)
+        : extraSeeds_(extra_seeds),
+          allowLaneSerial_(allow_lane_serial_if)
+    {
+    }
+
+    MarkResult run(const graph::FilterDef& def);
+
+  private:
+    /** True if evaluating @p e yields a lane-varying value. */
+    bool exprIsVector(const ExprPtr& e) const;
+
+    /**
+     * Check a control-position expression (loop bound, array index,
+     * peek offset): it must be lane-invariant and must not contain
+     * tape reads or lane-varying seeds.
+     */
+    void checkScalarPosition(const ExprPtr& e, const char* what);
+
+    bool sweep(const std::vector<StmtPtr>& stmts, bool under_vec_if);
+    void validateControl(const std::vector<StmtPtr>& stmts);
+
+    /**
+     * May the branches of a lane-varying if be emitted per lane?
+     * Straight-line assignments/stores only — no nested control, no
+     * tape reads or writes.
+     */
+    bool laneSerializable(const std::vector<StmtPtr>& stmts);
+
+    const std::unordered_set<const Expr*>& extraSeeds_;
+    const bool allowLaneSerial_;
+    std::unordered_set<const ir::Var*> marked_;
+    std::unordered_set<const Stmt*> laneSerialIfs_;
+    bool failed_ = false;
+    std::string reason_;
+};
+
+bool
+Marker::exprIsVector(const ExprPtr& e) const
+{
+    if (!e)
+        return false;
+    if (extraSeeds_.count(e.get()))
+        return true;
+    switch (e->kind) {
+      case ExprKind::Pop:
+      case ExprKind::Peek:
+      case ExprKind::VPop:
+      case ExprKind::VPeek:
+        return true;
+      case ExprKind::VarRef:
+      case ExprKind::Load:
+        if (marked_.count(e->var.get()))
+            return true;
+        break;
+      default:
+        break;
+    }
+    for (const auto& a : e->args) {
+        if (exprIsVector(a))
+            return true;
+    }
+    return false;
+}
+
+void
+Marker::checkScalarPosition(const ExprPtr& e, const char* what)
+{
+    if (failed_ || !e)
+        return;
+    bool tapeRead = false;
+    std::function<void(const ExprPtr&)> scan = [&](const ExprPtr& x) {
+        if (!x)
+            return;
+        if (x->kind == ExprKind::Pop || x->kind == ExprKind::Peek ||
+            x->kind == ExprKind::VPop || x->kind == ExprKind::VPeek) {
+            tapeRead = true;
+        }
+        for (const auto& a : x->args)
+            scan(a);
+    };
+    scan(e);
+    if (tapeRead || exprIsVector(e)) {
+        failed_ = true;
+        reason_ = std::string("input-tape-dependent ") + what;
+    }
+}
+
+bool
+Marker::laneSerializable(const std::vector<StmtPtr>& stmts)
+{
+    for (const auto& sp : stmts) {
+        switch (sp->kind) {
+          case StmtKind::Assign:
+          case StmtKind::Store:
+            break;
+          case StmtKind::Block:
+            if (!laneSerializable(sp->body))
+                return false;
+            break;
+          default:
+            return false;
+        }
+    }
+    return !ir::readsInputTape(stmts) && !ir::writesOutputTape(stmts);
+}
+
+bool
+Marker::sweep(const std::vector<StmtPtr>& stmts, bool under_vec_if)
+{
+    bool changed = false;
+    for (const auto& sp : stmts) {
+        const Stmt& s = *sp;
+        switch (s.kind) {
+          case StmtKind::Assign:
+          case StmtKind::AssignLane:
+          case StmtKind::Store:
+          case StmtKind::StoreLane:
+            // Control dependence on a lane-varying if makes even a
+            // constant assignment lane-varying.
+            if ((under_vec_if || exprIsVector(s.a)) &&
+                !marked_.count(s.var.get())) {
+                marked_.insert(s.var.get());
+                changed = true;
+            }
+            break;
+          case StmtKind::Block:
+          case StmtKind::For:
+            changed |= sweep(s.body, under_vec_if);
+            break;
+          case StmtKind::If: {
+            bool vecCond = under_vec_if || exprIsVector(s.a);
+            changed |= sweep(s.body, vecCond);
+            changed |= sweep(s.elseBody, vecCond);
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    return changed;
+}
+
+void
+Marker::validateControl(const std::vector<StmtPtr>& stmts)
+{
+    for (const auto& sp : stmts) {
+        if (failed_)
+            return;
+        const Stmt& s = *sp;
+        switch (s.kind) {
+          case StmtKind::For:
+            checkScalarPosition(s.a, "loop bound");
+            checkScalarPosition(s.b, "loop bound");
+            if (marked_.count(s.var.get())) {
+                failed_ = true;
+                reason_ = "loop variable became lane-varying";
+            }
+            validateControl(s.body);
+            break;
+          case StmtKind::If: {
+            if (exprIsVector(s.a)) {
+                if (!allowLaneSerial_) {
+                    failed_ = true;
+                    reason_ = "input-tape-dependent if condition";
+                } else if (!laneSerializable(s.body) ||
+                           !laneSerializable(s.elseBody)) {
+                    failed_ = true;
+                    reason_ = "input-tape-dependent if with "
+                              "non-serializable branches";
+                } else {
+                    laneSerialIfs_.insert(&s);
+                }
+            }
+            validateControl(s.body);
+            validateControl(s.elseBody);
+            break;
+          }
+          case StmtKind::Store:
+          case StmtKind::StoreLane:
+            checkScalarPosition(s.b, "array subscript");
+            break;
+          case StmtKind::RPush:
+            checkScalarPosition(s.b, "rpush offset");
+            break;
+          case StmtKind::Block:
+            validateControl(s.body);
+            break;
+          default:
+            break;
+        }
+        // Array subscripts and peek offsets inside expressions.
+        if (failed_)
+            return;
+        std::function<void(const ExprPtr&)> scanExpr =
+            [&](const ExprPtr& e) {
+                if (!e || failed_)
+                    return;
+                if (e->kind == ExprKind::Load)
+                    checkScalarPosition(e->args[0], "array subscript");
+                if (e->kind == ExprKind::Peek ||
+                    e->kind == ExprKind::VPeek) {
+                    checkScalarPosition(e->args[0], "peek offset");
+                }
+                for (const auto& a : e->args)
+                    scanExpr(a);
+            };
+        if (s.a)
+            scanExpr(s.a);
+        if (s.b)
+            scanExpr(s.b);
+    }
+}
+
+MarkResult
+Marker::run(const graph::FilterDef& def)
+{
+    // Fixed point over work and init: init matters because a state
+    // variable marked from the work body forces its init stores to be
+    // widened too, and (for horizontal merging) differing init
+    // constants seed state variables.
+    while (true) {
+        bool changed = sweep(def.work, false);
+        changed |= sweep(def.init, false);
+        if (!changed)
+            break;
+    }
+    validateControl(def.work);
+    validateControl(def.init);
+
+    MarkResult r;
+    r.ok = !failed_;
+    r.reason = reason_;
+    r.vectorVars = std::move(marked_);
+    r.laneSerialIfs = std::move(laneSerialIfs_);
+    return r;
+}
+
+} // namespace
+
+MarkResult
+markVectorVars(const graph::FilterDef& def,
+               const std::unordered_set<const ir::Expr*>& extra_seeds,
+               bool allow_lane_serial_if)
+{
+    Marker m(extra_seeds, allow_lane_serial_if);
+    return m.run(def);
+}
+
+} // namespace macross::vectorizer

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Vector-marking analysis (Section 3.1 of the paper).
+ *
+ * Determines which variables of an actor body become vectors when SW
+ * consecutive firings execute data-parallel. Seeds are the
+ * destinations of tape reads (pop/peek) plus, for horizontal
+ * SIMDization, constant-literal sites whose values differ across the
+ * isomorphic actors being merged. Marks propagate through assignments
+ * to a fixed point; everything else (loop counters, read-only state
+ * tables, lane-invariant address arithmetic) stays scalar.
+ *
+ * The analysis simultaneously detects the conditions that prevent
+ * SIMDization: input-tape-dependent addressing (array indexes or peek
+ * offsets fed by marked values), tape reads appearing directly inside
+ * control expressions, and input-tape-dependent control flow — unless
+ * the caller opts into lane-serial ifs (Section 3.1's "switch to
+ * scalar mode" around pop-dependent structures): an `if` whose
+ * condition is lane-varying is then accepted when its branches are
+ * straight-line assignments without tape accesses, every variable
+ * assigned under it is marked vector (control dependence), and the
+ * single-actor SIMDizer later emits it once per lane.
+ */
+#pragma once
+
+#include <string>
+#include <unordered_set>
+
+#include "graph/filter.h"
+
+namespace macross::vectorizer {
+
+/** Result of the marking analysis. */
+struct MarkResult {
+    bool ok = false;            ///< Body is SIMDizable.
+    std::string reason;         ///< Failure reason when !ok.
+    /** Variables that become vectors (work and init bodies). */
+    std::unordered_set<const ir::Var*> vectorVars;
+    /** Ifs with lane-varying conditions, to be emitted per lane. */
+    std::unordered_set<const ir::Stmt*> laneSerialIfs;
+};
+
+/**
+ * Run the marking analysis over @p def's work body (and init body for
+ * state-variable propagation).
+ *
+ * @param extra_seeds Expression nodes (identity) treated as
+ *        lane-varying seeds (the horizontal pass's differing
+ *        constants); may be empty.
+ * @param allow_lane_serial_if Accept lane-varying if conditions and
+ *        report them in laneSerialIfs (single-actor path only).
+ */
+MarkResult markVectorVars(
+    const graph::FilterDef& def,
+    const std::unordered_set<const ir::Expr*>& extra_seeds = {},
+    bool allow_lane_serial_if = false);
+
+} // namespace macross::vectorizer

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Algorithm-1 orchestration.
+ */
+#include "vectorizer/pipeline.h"
+
+#include "vectorizer/prepass.h"
+
+#include "support/diagnostics.h"
+#include "vectorizer/cost_model.h"
+#include "vectorizer/horizontal.h"
+#include "vectorizer/segments.h"
+#include "vectorizer/simdizable.h"
+#include "vectorizer/tape_opt.h"
+#include "vectorizer/vertical.h"
+
+namespace macross::vectorizer {
+
+using graph::Stream;
+using graph::StreamKind;
+using graph::StreamPtr;
+
+namespace {
+
+/** Mutable pass state threaded through the hierarchy walk. */
+struct PassState {
+    const SimdizeOptions* opts;
+    std::unordered_set<const graph::FilterDef*> pending;
+    std::vector<ActorReport> actions;
+
+    bool shouldSimdize(const graph::FilterDef& def) const
+    {
+        if (!opts->enableSingleActor)
+            return false;
+        if (!isSimdizable(def).ok)
+            return false;
+        return opts->forceSimdize ||
+               simdizationProfitable(def, opts->machine);
+    }
+};
+
+StreamPtr transformNode(const StreamPtr& node, PassState& st);
+
+StreamPtr
+transformFilter(const StreamPtr& node, PassState& st)
+{
+    const graph::FilterDefPtr& def = node->filter;
+    SimdizableVerdict v = isSimdizable(*def);
+    if (!v.ok) {
+        st.actions.push_back({def->name, "left scalar: " + v.reason});
+        return node;
+    }
+    if (st.shouldSimdize(*def)) {
+        st.pending.insert(def.get());
+        return node;
+    }
+    st.actions.push_back({def->name, "left scalar: not profitable"});
+    return node;
+}
+
+StreamPtr
+transformPipeline(const StreamPtr& node, PassState& st)
+{
+    std::vector<StreamPtr> out;
+    std::vector<int> runs =
+        st.opts->enableVertical
+            ? fusableRuns(node->children)
+            : std::vector<int>(node->children.size(), -1);
+
+    std::size_t i = 0;
+    while (i < node->children.size()) {
+        if (runs[i] >= 0) {
+            std::vector<graph::FilterDefPtr> chain;
+            std::size_t j = i;
+            while (j < node->children.size() && runs[j] == runs[i]) {
+                chain.push_back(node->children[j]->filter);
+                ++j;
+            }
+            graph::FilterDefPtr fused = fuseVertically(chain);
+            st.actions.push_back(
+                {fused->name,
+                 "vertically fused " + std::to_string(chain.size()) +
+                     " actors"});
+            if (st.opts->forceSimdize ||
+                simdizationProfitable(*fused, st.opts->machine)) {
+                st.pending.insert(fused.get());
+            }
+            out.push_back(graph::filterStream(fused));
+            i = j;
+        } else {
+            out.push_back(transformNode(node->children[i], st));
+            ++i;
+        }
+    }
+    if (out.size() == 1)
+        return out[0];
+    return graph::pipeline(std::move(out));
+}
+
+StreamPtr
+transformSplitJoin(const StreamPtr& node, PassState& st)
+{
+    if (st.opts->enableHorizontal) {
+        SplitJoinLevels lv =
+            splitJoinLevels(*node, st.opts->machine.simdWidth);
+        if (lv.eligible) {
+            std::vector<graph::FilterDefPtr> merged;
+            bool ok = true;
+            std::string why;
+            for (const auto& level : lv.levels) {
+                MergeOutcome mo = mergeIsomorphic(level);
+                if (!mo.def) {
+                    ok = false;
+                    why = mo.reason;
+                    break;
+                }
+                merged.push_back(mo.def);
+            }
+            if (ok) {
+                std::vector<StreamPtr> stages;
+                stages.push_back(graph::hSplit(
+                    node->splitKind, node->splitWeights,
+                    st.opts->machine.simdWidth,
+                    merged.front()->inElem));
+                for (const auto& d : merged) {
+                    st.actions.push_back(
+                        {d->name, "horizontally SIMDized"});
+                    stages.push_back(graph::filterStream(d));
+                }
+                stages.push_back(graph::hJoin(
+                    node->joinWeights, st.opts->machine.simdWidth,
+                    merged.back()->outElem));
+                return graph::pipeline(std::move(stages));
+            }
+            st.actions.push_back(
+                {"split-join", "horizontal rejected: " + why});
+        } else {
+            st.actions.push_back(
+                {"split-join", "horizontal ineligible: " + lv.reason});
+        }
+    }
+    // Fall back: transform each branch independently.
+    auto out = std::make_shared<Stream>(*node);
+    out->children.clear();
+    for (const auto& b : node->children)
+        out->children.push_back(transformNode(b, st));
+    return out;
+}
+
+StreamPtr
+transformNode(const StreamPtr& node, PassState& st)
+{
+    switch (node->kind) {
+      case StreamKind::Filter:
+        return transformFilter(node, st);
+      case StreamKind::Pipeline:
+        return transformPipeline(node, st);
+      case StreamKind::SplitJoin:
+        return transformSplitJoin(node, st);
+      case StreamKind::HSplit:
+      case StreamKind::HJoin:
+        return node;
+    }
+    panic("unknown StreamKind");
+}
+
+} // namespace
+
+StreamPtr
+normalize(const StreamPtr& node)
+{
+    if (node->kind == StreamKind::Filter ||
+        node->kind == StreamKind::HSplit ||
+        node->kind == StreamKind::HJoin) {
+        return node;
+    }
+    auto out = std::make_shared<Stream>(*node);
+    out->children.clear();
+    for (const auto& c : node->children) {
+        StreamPtr nc = normalize(c);
+        if (node->kind == StreamKind::Pipeline &&
+            nc->kind == StreamKind::Pipeline) {
+            for (const auto& gc : nc->children)
+                out->children.push_back(gc);
+        } else {
+            out->children.push_back(nc);
+        }
+    }
+    return out;
+}
+
+CompiledProgram
+macroSimdize(const graph::StreamPtr& program, const SimdizeOptions& opts)
+{
+    fatalIf(opts.machine.simdWidth < 2,
+            "macro-SIMDization needs a SIMD machine");
+    PassState st;
+    st.opts = &opts;
+
+    // Algorithm 1: Prepass-Optimizations(G); Prepass-Scheduling runs
+    // implicitly (every phase rederives the schedule from rates).
+    StreamPtr root = normalize(prepassOptimize(program));
+    root = transformNode(root, st);
+    root = normalize(root);
+
+    CompiledProgram out;
+    out.graph = graph::flatten(root);
+    simdizePendingActors(out.graph, st.pending, opts, st.actions);
+    graph::validate(out.graph);
+    out.schedule = schedule::makeSchedule(out.graph);
+    out.actions = std::move(st.actions);
+    return out;
+}
+
+CompiledProgram
+compileScalar(const graph::StreamPtr& program)
+{
+    // The same prepass runs on the scalar baseline so performance
+    // comparisons isolate SIMDization, not constant folding.
+    CompiledProgram out;
+    out.graph = graph::flatten(normalize(prepassOptimize(program)));
+    out.schedule = schedule::makeSchedule(out.graph);
+    return out;
+}
+
+} // namespace macross::vectorizer

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * MacroSS top-level SIMDization pipeline (Algorithm 1 of the paper):
+ * prepass normalization, segment identification, vertical fusion,
+ * horizontal SIMDization, single-actor SIMDization with tape
+ * optimization, and final scheduling.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/flat_graph.h"
+#include "machine/machine_desc.h"
+#include "schedule/steady_state.h"
+
+namespace macross::vectorizer {
+
+/** Knobs controlling macro-SIMDization (defaults mirror the paper). */
+struct SimdizeOptions {
+    machine::MachineDesc machine = machine::coreI7();
+    bool enableSingleActor = true;
+    bool enableVertical = true;
+    bool enableHorizontal = true;
+    /** Permutation-based tape accesses (Section 3.4, Figure 7). */
+    bool enablePermutedTapes = true;
+    /** SAGU transposed tape layout (Section 3.4, Figures 8-9). */
+    bool enableSagu = false;
+    /** Skip the profitability check (used by tests). */
+    bool forceSimdize = false;
+};
+
+/** One log line about a transform decision. */
+struct ActorReport {
+    std::string name;
+    std::string action;
+};
+
+/** A compiled (possibly SIMDized) program ready to run. */
+struct CompiledProgram {
+    graph::FlatGraph graph;
+    schedule::Schedule schedule;
+    std::vector<ActorReport> actions;
+};
+
+/** Run the full macro-SIMDization pipeline on a stream program. */
+CompiledProgram macroSimdize(const graph::StreamPtr& program,
+                             const SimdizeOptions& opts);
+
+/** Compile without SIMDization (the scalar baseline). */
+CompiledProgram compileScalar(const graph::StreamPtr& program);
+
+/** Flatten nested pipelines (prepass normalization). */
+graph::StreamPtr normalize(const graph::StreamPtr& node);
+
+} // namespace macross::vectorizer

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Prepass constant folding implementation.
+ */
+#include "vectorizer/prepass.h"
+
+#include <cmath>
+
+#include "ir/analysis.h"
+#include "ir/clone.h"
+#include "support/diagnostics.h"
+
+namespace macross::vectorizer {
+
+using graph::FilterDef;
+using graph::FilterDefPtr;
+using ir::Expr;
+using ir::ExprKind;
+using ir::ExprPtr;
+using ir::Stmt;
+using ir::StmtKind;
+using ir::StmtPtr;
+
+namespace {
+
+/**
+ * Fold a binary over two literals, performing exactly the arithmetic
+ * the executor performs (int32 wraparound semantics aside — folding
+ * stays in int64 like tryConstFold, which only matters for programs
+ * already relying on overflow; those also fold identically because
+ * the executor truncates on assignment the same way the literal is
+ * truncated here).
+ */
+ExprPtr
+foldBinaryLiterals(const Expr& e, const ExprPtr& a, const ExprPtr& b)
+{
+    using ir::BinaryOp;
+    if (a->kind == ExprKind::IntImm && b->kind == ExprKind::IntImm) {
+        auto x = static_cast<std::int32_t>(a->ival);
+        auto y = static_cast<std::int32_t>(b->ival);
+        std::int64_t r;
+        switch (e.bop) {
+          case BinaryOp::Add: r = std::int64_t{x} + y; break;
+          case BinaryOp::Sub: r = std::int64_t{x} - y; break;
+          case BinaryOp::Mul: r = std::int64_t{x} * y; break;
+          case BinaryOp::Div:
+            if (y == 0)
+                return nullptr;
+            r = x / y;
+            break;
+          case BinaryOp::Mod:
+            if (y == 0)
+                return nullptr;
+            r = x % y;
+            break;
+          case BinaryOp::Min: r = std::min(x, y); break;
+          case BinaryOp::Max: r = std::max(x, y); break;
+          case BinaryOp::Shl: r = std::int64_t{x} << (y & 31); break;
+          case BinaryOp::Shr: r = x >> (y & 31); break;
+          case BinaryOp::And: r = x & y; break;
+          case BinaryOp::Or: r = x | y; break;
+          case BinaryOp::Xor: r = x ^ y; break;
+          case BinaryOp::Eq: r = x == y; break;
+          case BinaryOp::Ne: r = x != y; break;
+          case BinaryOp::Lt: r = x < y; break;
+          case BinaryOp::Le: r = x <= y; break;
+          case BinaryOp::Gt: r = x > y; break;
+          case BinaryOp::Ge: r = x >= y; break;
+          default: return nullptr;
+        }
+        return ir::intImm(static_cast<std::int32_t>(r));
+    }
+    if (a->kind == ExprKind::FloatImm &&
+        b->kind == ExprKind::FloatImm) {
+        float x = a->fval, y = b->fval;
+        switch (e.bop) {
+          case BinaryOp::Add: return ir::floatImm(x + y);
+          case BinaryOp::Sub: return ir::floatImm(x - y);
+          case BinaryOp::Mul: return ir::floatImm(x * y);
+          case BinaryOp::Div: return ir::floatImm(x / y);
+          case BinaryOp::Min: return ir::floatImm(std::min(x, y));
+          case BinaryOp::Max: return ir::floatImm(std::max(x, y));
+          case BinaryOp::Eq: return ir::intImm(x == y);
+          case BinaryOp::Ne: return ir::intImm(x != y);
+          case BinaryOp::Lt: return ir::intImm(x < y);
+          case BinaryOp::Le: return ir::intImm(x <= y);
+          case BinaryOp::Gt: return ir::intImm(x > y);
+          case BinaryOp::Ge: return ir::intImm(x >= y);
+          default: return nullptr;
+        }
+    }
+    return nullptr;
+}
+
+class Folder {
+  public:
+    std::vector<StmtPtr> foldStmts(const std::vector<StmtPtr>& stmts);
+    ExprPtr fold(const ExprPtr& e);
+};
+
+ExprPtr
+Folder::fold(const ExprPtr& ep)
+{
+    const Expr& e = *ep;
+    switch (e.kind) {
+      case ExprKind::Binary: {
+        ExprPtr a = fold(e.args[0]);
+        ExprPtr b = fold(e.args[1]);
+        if (ExprPtr lit = foldBinaryLiterals(e, a, b))
+            return lit;
+        // NOTE: value-dependent identity rules (x*1 -> x, x+0 -> x)
+        // are deliberately absent: they fire only for particular
+        // constant values and would make actors that differ only in
+        // constants structurally different, destroying the
+        // isomorphism horizontal SIMDization needs. Literal(x)Literal
+        // folding is structure-uniform across isomorphic actors and
+        // stays.
+        if (a.get() == e.args[0].get() && b.get() == e.args[1].get())
+            return ep;
+        return ir::binary(e.bop, std::move(a), std::move(b));
+      }
+      case ExprKind::Unary: {
+        ExprPtr a = fold(e.args[0]);
+        if (e.uop == ir::UnaryOp::Neg) {
+            if (a->kind == ExprKind::IntImm)
+                return ir::intImm(-a->ival);
+            if (a->kind == ExprKind::FloatImm)
+                return ir::floatImm(-a->fval);
+        }
+        if (a.get() == e.args[0].get())
+            return ep;
+        return ir::unary(e.uop, std::move(a));
+      }
+      case ExprKind::Call: {
+        std::vector<ExprPtr> args;
+        bool changed = false;
+        for (const auto& x : e.args) {
+            args.push_back(fold(x));
+            changed |= args.back().get() != x.get();
+        }
+        // Fold conversions and unary math over literals with exactly
+        // the library calls the executor makes.
+        if (args.size() == 1 &&
+            args[0]->kind == ExprKind::FloatImm) {
+            float x = args[0]->fval;
+            switch (e.callee) {
+              case ir::Intrinsic::Sqrt:
+                return ir::floatImm(std::sqrt(x));
+              case ir::Intrinsic::Sin:
+                return ir::floatImm(std::sin(x));
+              case ir::Intrinsic::Cos:
+                return ir::floatImm(std::cos(x));
+              case ir::Intrinsic::Exp:
+                return ir::floatImm(std::exp(x));
+              case ir::Intrinsic::Log:
+                return ir::floatImm(std::log(x));
+              case ir::Intrinsic::Abs:
+                return ir::floatImm(std::fabs(x));
+              case ir::Intrinsic::Floor:
+                return ir::floatImm(std::floor(x));
+              case ir::Intrinsic::ToInt:
+                return ir::intImm(static_cast<std::int32_t>(x));
+              default:
+                break;
+            }
+        }
+        if (args.size() == 1 && args[0]->kind == ExprKind::IntImm) {
+            auto x = static_cast<std::int32_t>(args[0]->ival);
+            switch (e.callee) {
+              case ir::Intrinsic::ToFloat:
+                return ir::floatImm(static_cast<float>(x));
+              case ir::Intrinsic::Abs:
+                return ir::intImm(std::abs(x));
+              default:
+                break;
+            }
+        }
+        if (!changed)
+            return ep;
+        return ir::call(e.callee, std::move(args));
+      }
+      default: {
+        if (e.args.empty())
+            return ep;
+        auto n = std::make_shared<Expr>(e);
+        bool changed = false;
+        for (auto& a : n->args) {
+            ExprPtr f = fold(a);
+            changed |= f.get() != a.get();
+            a = std::move(f);
+        }
+        return changed ? ExprPtr(n) : ep;
+      }
+    }
+}
+
+std::vector<StmtPtr>
+Folder::foldStmts(const std::vector<StmtPtr>& stmts)
+{
+    std::vector<StmtPtr> out;
+    out.reserve(stmts.size());
+    for (const auto& sp : stmts) {
+        const Stmt& s = *sp;
+        auto n = std::make_shared<Stmt>(s);
+        if (n->a)
+            n->a = fold(n->a);
+        if (n->b)
+            n->b = fold(n->b);
+        n->body = foldStmts(s.body);
+        n->elseBody = foldStmts(s.elseBody);
+
+        // if with a constant condition: keep only the taken branch
+        // (legal for rates: the validator requires both branches to
+        // move identical tape traffic).
+        if (n->kind == StmtKind::If &&
+            n->a->kind == ExprKind::IntImm) {
+            const auto& taken =
+                n->a->ival != 0 ? n->body : n->elseBody;
+            for (const auto& t : taken)
+                out.push_back(t);
+            continue;
+        }
+        // for with zero (or negative) constant trips: only droppable
+        // when the body moves no tape data.
+        if (n->kind == StmtKind::For) {
+            auto lo = ir::tryConstFold(n->a);
+            auto hi = ir::tryConstFold(n->b);
+            if (lo && hi && *hi <= *lo) {
+                ir::TapeCounts tc = ir::countTapeAccesses(n->body);
+                if (tc.pops == 0 && tc.pushes == 0 && tc.peeks == 0)
+                    continue;
+            }
+        }
+        out.push_back(std::move(n));
+    }
+    return out;
+}
+
+} // namespace
+
+ir::ExprPtr
+foldExpr(const ir::ExprPtr& e)
+{
+    Folder f;
+    return f.fold(e);
+}
+
+FilterDefPtr
+foldConstants(const FilterDef& def)
+{
+    Folder f;
+    auto out = std::make_shared<FilterDef>(def);
+    out->work = f.foldStmts(def.work);
+    out->init = f.foldStmts(def.init);
+    graph::validateFilter(*out);
+    return out;
+}
+
+graph::StreamPtr
+prepassOptimize(const graph::StreamPtr& program)
+{
+    auto out = std::make_shared<graph::Stream>(*program);
+    if (out->kind == graph::StreamKind::Filter) {
+        out->filter = foldConstants(*out->filter);
+        return out;
+    }
+    for (auto& c : out->children)
+        c = prepassOptimize(c);
+    return out;
+}
+
+} // namespace macross::vectorizer

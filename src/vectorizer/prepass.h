@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Prepass classic optimizations (the Prepass-Optimizations phase of
+ * Algorithm 1): constant folding and light simplification over
+ * work/init bodies.
+ *
+ * Because filter/pipeline parameters are baked in as literals at
+ * instantiation (both in the C++ builder API and the textual front
+ * end), parameterized bodies are full of foldable arithmetic; folding
+ * it mirrors the paper's "static parameter propagation" and keeps the
+ * cost model honest. Folding is bit-exact: float literals are combined
+ * with the same C++ float operations the interpreter and the generated
+ * code execute, and `if`s with constant conditions are replaced by the
+ * taken branch (legal for rates because the validator requires both
+ * branches to move equal tape traffic).
+ */
+#pragma once
+
+#include "graph/filter.h"
+#include "graph/stream.h"
+
+namespace macross::vectorizer {
+
+/** Fold one expression tree (returns the input when nothing folds). */
+ir::ExprPtr foldExpr(const ir::ExprPtr& e);
+
+/** Return a copy of @p def with folded work and init bodies. */
+graph::FilterDefPtr foldConstants(const graph::FilterDef& def);
+
+/** Apply foldConstants to every filter in a hierarchical program. */
+graph::StreamPtr prepassOptimize(const graph::StreamPtr& program);
+
+} // namespace macross::vectorizer

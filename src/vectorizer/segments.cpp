@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Segment identification implementation.
+ */
+#include "vectorizer/segments.h"
+
+#include "vectorizer/simdizable.h"
+
+namespace macross::vectorizer {
+
+using graph::Stream;
+using graph::StreamKind;
+using graph::StreamPtr;
+
+SplitJoinLevels
+splitJoinLevels(const Stream& sj, int sw)
+{
+    SplitJoinLevels out;
+    if (sj.kind != StreamKind::SplitJoin) {
+        out.reason = "not a split-join";
+        return out;
+    }
+    if (static_cast<int>(sj.children.size()) != sw) {
+        out.reason = "branch count differs from SIMD width";
+        return out;
+    }
+    for (int w : sj.splitWeights) {
+        if (w != sj.splitWeights[0]) {
+            out.reason = "non-uniform splitter weights";
+            return out;
+        }
+    }
+    for (int w : sj.joinWeights) {
+        if (w != sj.joinWeights[0]) {
+            out.reason = "non-uniform joiner weights";
+            return out;
+        }
+    }
+
+    // Extract each branch as a list of filters.
+    std::vector<std::vector<graph::FilterDefPtr>> branches;
+    for (const auto& b : sj.children) {
+        std::vector<graph::FilterDefPtr> filters;
+        if (b->kind == StreamKind::Filter) {
+            filters.push_back(b->filter);
+        } else if (b->kind == StreamKind::Pipeline) {
+            for (const auto& c : b->children) {
+                if (c->kind != StreamKind::Filter) {
+                    out.reason = "branch contains nested structure";
+                    return out;
+                }
+                filters.push_back(c->filter);
+            }
+        } else {
+            out.reason = "branch contains nested structure";
+            return out;
+        }
+        if (!branches.empty() &&
+            filters.size() != branches[0].size()) {
+            out.reason = "branches have different lengths";
+            return out;
+        }
+        branches.push_back(std::move(filters));
+    }
+
+    const std::size_t depth = branches[0].size();
+    out.levels.resize(depth);
+    for (std::size_t l = 0; l < depth; ++l) {
+        for (const auto& b : branches)
+            out.levels[l].push_back(b[l]);
+    }
+    out.eligible = true;
+    return out;
+}
+
+std::vector<int>
+fusableRuns(const std::vector<StreamPtr>& children)
+{
+    std::vector<int> runId(children.size(), -1);
+    int nextRun = 0;
+    std::size_t i = 0;
+    while (i < children.size()) {
+        if (children[i]->kind != StreamKind::Filter ||
+            !isVerticallyFusable(*children[i]->filter, true).ok) {
+            ++i;
+            continue;
+        }
+        std::size_t j = i + 1;
+        while (j < children.size() &&
+               children[j]->kind == StreamKind::Filter &&
+               isVerticallyFusable(*children[j]->filter, false).ok) {
+            ++j;
+        }
+        if (j - i >= 2) {
+            for (std::size_t k = i; k < j; ++k)
+                runId[k] = nextRun;
+            ++nextRun;
+        }
+        i = j;
+    }
+    return runId;
+}
+
+} // namespace macross::vectorizer

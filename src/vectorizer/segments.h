@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Vectorizable-segment identification (the Identify-Vectorizable-
+ * Segments phase of Algorithm 1): split-join eligibility for
+ * horizontal SIMDization and fusable-run detection for vertical
+ * SIMDization.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/stream.h"
+
+namespace macross::vectorizer {
+
+/** Level-aligned view of a split-join's branches. */
+struct SplitJoinLevels {
+    bool eligible = false;
+    std::string reason;
+    /** levels[l][b] = filter of branch b at pipeline position l. */
+    std::vector<std::vector<graph::FilterDefPtr>> levels;
+};
+
+/**
+ * Check a split-join for horizontal eligibility on a @p sw lane
+ * machine (Section 3.3): exactly sw branches, each a filter or a
+ * pipeline of filters of equal length, uniform splitter and joiner
+ * weights. Isomorphism is verified later, level by level, during the
+ * merge itself.
+ */
+SplitJoinLevels splitJoinLevels(const graph::Stream& sj, int sw);
+
+/**
+ * Partition a pipeline's children into maximal vertically fusable
+ * runs. Returns one entry per child: the run id it belongs to, or -1
+ * when it is not part of any run of length >= 2.
+ */
+std::vector<int> fusableRuns(
+    const std::vector<graph::StreamPtr>& children);
+
+} // namespace macross::vectorizer

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * SIMDizability classification.
+ */
+#include "vectorizer/simdizable.h"
+
+#include "ir/analysis.h"
+#include "vectorizer/marking.h"
+
+namespace macross::vectorizer {
+
+namespace {
+
+/** True if the work body contains any peek expression. */
+bool
+usesPeek(const graph::FilterDef& def)
+{
+    bool found = false;
+    ir::forEachExpr(def.work, [&](const ir::Expr& e) {
+        if (e.kind == ir::ExprKind::Peek ||
+            e.kind == ir::ExprKind::VPeek) {
+            found = true;
+        }
+    });
+    return found;
+}
+
+} // namespace
+
+SimdizableVerdict
+isSimdizable(const graph::FilterDef& def)
+{
+    if (def.vectorLanes > 1)
+        return {false, "already vectorized"};
+    if (def.isStateful())
+        return {false, "stateful actor"};
+    if (def.pop == 0 && def.push == 0)
+        return {false, "actor moves no data"};
+    MarkResult mr =
+        markVectorVars(def, {}, /*allow_lane_serial_if=*/true);
+    if (!mr.ok)
+        return {false, mr.reason};
+    return {true, ""};
+}
+
+SimdizableVerdict
+isVerticallyFusable(const graph::FilterDef& def, bool is_first)
+{
+    SimdizableVerdict v = isSimdizable(def);
+    if (!v.ok)
+        return v;
+    if (!is_first && (def.isPeeking() || usesPeek(def)))
+        return {false, "interior actor peeks"};
+    if (def.pop == 0 || def.push == 0)
+        return {false, "fusion endpoints must both pop and push"};
+    return {true, ""};
+}
+
+} // namespace macross::vectorizer

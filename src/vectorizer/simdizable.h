@@ -1,0 +1,37 @@
+/**
+ * @file
+ * SIMDizability classification of actors (Section 3.1).
+ *
+ * An actor is eligible for single-actor (and hence vertical)
+ * SIMDization iff it is stateless, its body passes the marking
+ * analysis (no input-tape-dependent control flow or addressing), and
+ * it moves data every firing. Splitters and joiners are excluded by
+ * construction (they are not filters).
+ */
+#pragma once
+
+#include <string>
+
+#include "graph/filter.h"
+
+namespace macross::vectorizer {
+
+/** Verdict with a human-readable reason when negative. */
+struct SimdizableVerdict {
+    bool ok = false;
+    std::string reason;
+};
+
+/** Classify @p def for single-actor/vertical SIMDization. */
+SimdizableVerdict isSimdizable(const graph::FilterDef& def);
+
+/**
+ * May @p def be an interior member of a vertically fused pipeline?
+ * Requires SIMDizability plus peek == pop (an interior peeker would
+ * leave a sliding window in the fused actor's internal buffer, i.e.
+ * introduce state; the paper likewise forbids interior peeking).
+ */
+SimdizableVerdict isVerticallyFusable(const graph::FilterDef& def,
+                                      bool is_first);
+
+} // namespace macross::vectorizer

@@ -1,0 +1,659 @@
+/**
+ * @file
+ * Single-actor SIMDization implementation.
+ */
+#include "vectorizer/single_actor.h"
+
+#include "ir/analysis.h"
+#include "ir/clone.h"
+#include "machine/permutation.h"
+#include "support/diagnostics.h"
+#include "support/math_util.h"
+#include "vectorizer/marking.h"
+#include "vectorizer/simdizable.h"
+
+namespace macross::vectorizer {
+
+using graph::FilterDef;
+using graph::FilterDefPtr;
+using ir::BlockBuilder;
+using ir::Expr;
+using ir::ExprKind;
+using ir::ExprPtr;
+using ir::Stmt;
+using ir::StmtKind;
+using ir::StmtPtr;
+using ir::VarPtr;
+
+std::string
+toString(TapeMode m)
+{
+    switch (m) {
+      case TapeMode::StridedScalar: return "strided-scalar";
+      case TapeMode::PermutedVector: return "permuted-vector";
+      case TapeMode::SaguVector: return "sagu-vector";
+    }
+    panic("unknown TapeMode");
+}
+
+namespace {
+
+VarPtr
+freshVar(const std::string& name, ir::Type t, int array_size = 0)
+{
+    auto v = std::make_shared<ir::Var>();
+    v->name = name;
+    v->type = t;
+    v->arraySize = array_size;
+    v->kind = ir::VarKind::Local;
+    return v;
+}
+
+/** Recursive helper for normalizeTapeReads. */
+class ReadNormalizer {
+  public:
+    std::vector<StmtPtr> run(const std::vector<StmtPtr>& stmts)
+    {
+        BlockBuilder out;
+        for (const auto& sp : stmts)
+            normStmt(*sp, out);
+        return out.take();
+    }
+
+  private:
+    ExprPtr extract(const ExprPtr& e, BlockBuilder& out)
+    {
+        if (!e)
+            return e;
+        if (e->kind == ExprKind::Pop || e->kind == ExprKind::Peek) {
+            // Hoist into its own assignment. Offsets of peeks are
+            // scalar expressions and stay in place.
+            VarPtr tmp = freshVar("_t" + std::to_string(counter_++),
+                                  e->type);
+            ExprPtr read = e;
+            if (e->kind == ExprKind::Peek) {
+                auto n = std::make_shared<Expr>(*e);
+                n->args = {extract(e->args[0], out)};
+                read = n;
+            }
+            out.assign(tmp, read);
+            return ir::varRef(tmp);
+        }
+        if (e->args.empty())
+            return e;
+        auto n = std::make_shared<Expr>(*e);
+        for (auto& a : n->args)
+            a = extract(a, out);
+        return n;
+    }
+
+    /** Like extract but keeps a read that is already the full RHS. */
+    ExprPtr extractRhs(const ExprPtr& e, BlockBuilder& out)
+    {
+        if (e && (e->kind == ExprKind::Pop || e->kind == ExprKind::Peek))
+            return e;
+        return extract(e, out);
+    }
+
+    void normStmt(const Stmt& s, BlockBuilder& out)
+    {
+        switch (s.kind) {
+          case StmtKind::Block: {
+            out.append(ir::makeBlock(run(s.body)));
+            return;
+          }
+          case StmtKind::For: {
+            auto n = std::make_shared<Stmt>(s);
+            n->body = run(s.body);
+            out.append(n);
+            return;
+          }
+          case StmtKind::If: {
+            auto n = std::make_shared<Stmt>(s);
+            n->body = run(s.body);
+            n->elseBody = run(s.elseBody);
+            out.append(n);
+            return;
+          }
+          default: {
+            auto n = std::make_shared<Stmt>(s);
+            if (s.kind == StmtKind::Assign) {
+                n->a = extractRhs(s.a, out);
+            } else if (n->a) {
+                n->a = extract(s.a, out);
+            }
+            if (n->b)
+                n->b = extract(s.b, out);
+            out.append(n);
+            return;
+          }
+        }
+    }
+
+    int counter_ = 0;
+};
+
+bool
+containsTapeOps(const std::vector<StmtPtr>& stmts)
+{
+    return ir::readsInputTape(stmts) || ir::writesOutputTape(stmts);
+}
+
+std::optional<std::vector<StmtPtr>>
+unrollInto(const std::vector<StmtPtr>& stmts, int& budget)
+{
+    std::vector<StmtPtr> out;
+    for (const auto& sp : stmts) {
+        if (--budget < 0)
+            return std::nullopt;
+        const Stmt& s = *sp;
+        switch (s.kind) {
+          case StmtKind::Block: {
+            auto body = unrollInto(s.body, budget);
+            if (!body)
+                return std::nullopt;
+            out.push_back(ir::makeBlock(std::move(*body)));
+            break;
+          }
+          case StmtKind::If: {
+            if (containsTapeOps(s.body) || containsTapeOps(s.elseBody))
+                return std::nullopt;
+            out.push_back(sp);
+            break;
+          }
+          case StmtKind::For: {
+            std::vector<StmtPtr> asVec{sp};
+            if (!containsTapeOps(asVec)) {
+                out.push_back(sp);
+                break;
+            }
+            auto lo = ir::tryConstFold(s.a);
+            auto hi = ir::tryConstFold(s.b);
+            if (!lo || !hi)
+                return std::nullopt;
+            for (std::int64_t v = *lo; v < *hi; ++v) {
+                ir::Rewriter rw;
+                const ir::Var* iv = s.var.get();
+                rw.exprHook = [iv, v](const Expr& e, ir::Rewriter&) -> ExprPtr {
+                    if (e.kind == ExprKind::VarRef && e.var.get() == iv)
+                        return ir::intImm(v);
+                    return nullptr;
+                };
+                std::vector<StmtPtr> iter = rw.rewrite(s.body);
+                auto expanded = unrollInto(iter, budget);
+                if (!expanded)
+                    return std::nullopt;
+                for (auto& st : *expanded)
+                    out.push_back(std::move(st));
+            }
+            break;
+          }
+          default:
+            out.push_back(sp);
+            break;
+        }
+    }
+    return out;
+}
+
+/** True if every pop/push is a statically enumerable top-level site
+ * and (for the input side) the body never peeks. Blocks are looked
+ * through; loops/ifs must not contain tape ops by this point. */
+bool
+sitesAreTopLevel(const std::vector<StmtPtr>& stmts, bool in_side)
+{
+    bool ok = true;
+    std::function<void(const std::vector<StmtPtr>&, bool)> walk =
+        [&](const std::vector<StmtPtr>& ss, bool top) {
+            for (const auto& sp : ss) {
+                const Stmt& s = *sp;
+                switch (s.kind) {
+                  case StmtKind::Block:
+                    walk(s.body, top);
+                    break;
+                  case StmtKind::For:
+                  case StmtKind::If:
+                    walk(s.body, false);
+                    walk(s.elseBody, false);
+                    break;
+                  default:
+                    break;
+                }
+                if (in_side) {
+                    bool reads = false;
+                    std::vector<StmtPtr> one{sp};
+                    if (s.kind != StmtKind::Block &&
+                        s.kind != StmtKind::For &&
+                        s.kind != StmtKind::If) {
+                        reads = ir::readsInputTape(one);
+                    }
+                    if (reads) {
+                        bool barePop = s.kind == StmtKind::Assign &&
+                                       s.a->kind == ExprKind::Pop;
+                        if (!top || !barePop)
+                            ok = false;
+                    }
+                } else {
+                    if (s.kind == StmtKind::Push && !top)
+                        ok = false;
+                    if (s.kind == StmtKind::RPush ||
+                        s.kind == StmtKind::VPush ||
+                        s.kind == StmtKind::VRPush) {
+                        ok = false;
+                    }
+                }
+            }
+        };
+    walk(stmts, true);
+    return ok;
+}
+
+/** The core rewriting engine for one actor. */
+class Simdizer {
+  public:
+    Simdizer(const FilterDef& def, int sw, BoundaryModes modes)
+        : def_(def), sw_(sw), modes_(modes)
+    {
+    }
+
+    SimdizeOutcome run();
+
+  private:
+    ExprPtr widen(ExprPtr e)
+    {
+        if (!e->type.isVector())
+            return ir::splat(std::move(e), sw_);
+        return e;
+    }
+
+    const FilterDef& def_;
+    int sw_;
+    BoundaryModes modes_;
+};
+
+SimdizeOutcome
+Simdizer::run()
+{
+    SimdizeOutcome outcome;
+    outcome.inMode = def_.pop > 0 ? modes_.in : TapeMode::StridedScalar;
+    outcome.outMode =
+        def_.push > 0 ? modes_.out : TapeMode::StridedScalar;
+
+    // --- Stage 1: prepare the body for the requested modes. ---
+    FilterDefPtr prepared = normalizeTapeReads(def_);
+    bool wantVector = outcome.inMode != TapeMode::StridedScalar ||
+                      outcome.outMode != TapeMode::StridedScalar;
+    if (wantVector) {
+        int budget = 8192;
+        auto unrolled = unrollTapeLoops(prepared->work, budget);
+        if (!unrolled) {
+            outcome.inMode = TapeMode::StridedScalar;
+            outcome.outMode = TapeMode::StridedScalar;
+            outcome.note = "vector boundary downgraded: "
+                           "loops with tape accesses not unrollable; ";
+        } else {
+            auto d2 = std::make_shared<FilterDef>(*prepared);
+            d2->work = std::move(*unrolled);
+            prepared = normalizeTapeReads(*d2);
+        }
+    }
+    if (outcome.inMode != TapeMode::StridedScalar) {
+        bool eligible = !def_.isPeeking() &&
+                        sitesAreTopLevel(prepared->work, true);
+        if (outcome.inMode == TapeMode::PermutedVector &&
+            !isPowerOfTwo(def_.pop)) {
+            eligible = false;
+        }
+        if (!eligible) {
+            outcome.inMode = TapeMode::StridedScalar;
+            outcome.note += "input boundary downgraded to strided; ";
+        }
+    }
+    if (outcome.outMode != TapeMode::StridedScalar) {
+        bool eligible = sitesAreTopLevel(prepared->work, false);
+        if (outcome.outMode == TapeMode::PermutedVector &&
+            !isPowerOfTwo(def_.push)) {
+            eligible = false;
+        }
+        if (!eligible) {
+            outcome.outMode = TapeMode::StridedScalar;
+            outcome.note += "output boundary downgraded to strided; ";
+        }
+    }
+
+    // --- Stage 2: marking (lane-serial ifs permitted here). ---
+    MarkResult marks =
+        markVectorVars(*prepared, {}, /*allow_lane_serial_if=*/true);
+    panicIf(!marks.ok, "singleActorSimdize on non-SIMDizable actor ",
+            def_.name, ": ", marks.reason);
+
+    // --- Stage 3: widen marked variables. ---
+    ir::VarMap varMap;
+    std::vector<VarPtr> newState;
+    auto widenVar = [&](const VarPtr& v) {
+        if (!marks.vectorVars.count(v.get()))
+            return v;
+        auto nv = std::make_shared<ir::Var>(*v);
+        nv->name = v->name + "_v";
+        nv->type = v->type.widened(sw_);
+        varMap.set(v, nv);
+        return nv;
+    };
+    for (const auto& sv : prepared->stateVars)
+        newState.push_back(widenVar(sv));
+    // Locals are discovered by walking the bodies once; widenVar
+    // registers the replacement in varMap for marked ones.
+    {
+        std::unordered_set<const ir::Var*> seen;
+        auto collect = [&](const std::vector<StmtPtr>& ss) {
+            ir::forEachStmt(ss, [&](const Stmt& s) {
+                if (s.var && !seen.count(s.var.get())) {
+                    seen.insert(s.var.get());
+                    if (s.var->kind == ir::VarKind::Local)
+                        widenVar(s.var);
+                }
+            });
+            ir::forEachExpr(ss, [&](const Expr& e) {
+                if (e.var && !seen.count(e.var.get())) {
+                    seen.insert(e.var.get());
+                    if (e.var->kind == ir::VarKind::Local)
+                        widenVar(e.var);
+                }
+            });
+        };
+        collect(prepared->work);
+        collect(prepared->init);
+    }
+
+    // --- Stage 4: rewrite the body. ---
+    const ir::Type vin = def_.inElem.widened(sw_);
+    const ir::Type vout = def_.outElem.widened(sw_);
+    const int pop = def_.pop;
+    const int push = def_.push;
+
+    // Permuted-input prologue variables (one per pop site).
+    std::vector<VarPtr> inSite;
+    // Permuted-output site variables (one per push site).
+    std::vector<VarPtr> outSite;
+    int inSiteCounter = 0;
+    int outSiteCounter = 0;
+    int tmpCounter = 0;
+
+    // Per-lane projection of a lane-serial if branch: every marked
+    // variable read becomes a lane extract and every write a lane
+    // insert — the paper's "switch to scalar mode" around
+    // input-tape-dependent control flow (Section 3.1).
+    auto projectLane = [&](const std::vector<StmtPtr>& body, int lane,
+                           ir::Rewriter& self, BlockBuilder& out) {
+        ir::Rewriter lr;
+        lr.exprHook = [&, lane](const Expr& e,
+                                ir::Rewriter& rw2) -> ExprPtr {
+            if (e.kind == ExprKind::VarRef) {
+                VarPtr m = self.varMap.lookup(e.var);
+                if (m->type.isVector())
+                    return ir::laneRead(ir::varRef(m), lane);
+                return nullptr;
+            }
+            if (e.kind == ExprKind::Load) {
+                VarPtr m = self.varMap.lookup(e.var);
+                if (m->type.isVector()) {
+                    return ir::laneRead(
+                        ir::load(m, rw2.rewrite(e.args[0])), lane);
+                }
+                return nullptr;
+            }
+            return nullptr;
+        };
+        lr.stmtHook = [&, lane](const Stmt& st, BlockBuilder& o,
+                                ir::Rewriter& rw2) -> bool {
+            if (st.kind == StmtKind::Assign) {
+                VarPtr m = self.varMap.lookup(st.var);
+                panicIf(!m->type.isVector(),
+                        "scalar assignment under lane-serial if");
+                o.assignLane(m, lane, rw2.rewrite(st.a));
+                return true;
+            }
+            if (st.kind == StmtKind::Store) {
+                VarPtr m = self.varMap.lookup(st.var);
+                panicIf(!m->type.isVector(),
+                        "scalar store under lane-serial if");
+                o.storeLane(m, rw2.rewrite(st.b), lane,
+                            rw2.rewrite(st.a));
+                return true;
+            }
+            return false;
+        };
+        out.appendAll(lr.rewrite(body));
+    };
+
+    int condCounter = 0;
+    ir::Rewriter rw;
+    rw.varMap = varMap;
+    rw.stmtHook = [&](const Stmt& s, BlockBuilder& out,
+                      ir::Rewriter& self) -> bool {
+        // Lane-serial if (lane-varying condition).
+        if (s.kind == StmtKind::If && marks.laneSerialIfs.count(&s)) {
+            ExprPtr cond = self.rewrite(s.a);
+            panicIf(!cond->type.isVector(),
+                    "lane-serial if with lane-invariant condition");
+            VarPtr cv = freshVar(
+                "_cond" + std::to_string(condCounter++), cond->type);
+            out.assign(cv, std::move(cond));
+            for (int l = 0; l < sw_; ++l) {
+                out.ifElse(
+                    ir::laneRead(ir::varRef(cv), l),
+                    [&](BlockBuilder& b) {
+                        projectLane(s.body, l, self, b);
+                    },
+                    s.elseBody.empty()
+                        ? BlockBuilder::Filler(nullptr)
+                        : [&](BlockBuilder& b) {
+                              projectLane(s.elseBody, l, self, b);
+                          });
+            }
+            return true;
+        }
+        // pop: x = pop()
+        if (s.kind == StmtKind::Assign &&
+            s.a->kind == ExprKind::Pop) {
+            VarPtr dst = self.varMap.lookup(s.var);
+            panicIf(!dst->type.isVector(),
+                    "pop destination was not marked vector");
+            switch (outcome.inMode) {
+              case TapeMode::StridedScalar:
+                for (int l = sw_ - 1; l >= 1; --l) {
+                    out.assignLane(dst, l,
+                                   ir::peekExpr(def_.inElem,
+                                                ir::intImm(l * pop)));
+                }
+                out.assignLane(dst, 0, ir::popExpr(def_.inElem));
+                break;
+              case TapeMode::PermutedVector:
+                out.assign(dst,
+                           ir::varRef(inSite.at(inSiteCounter++)));
+                break;
+              case TapeMode::SaguVector:
+                out.assign(dst, ir::vpopExpr(vin));
+                break;
+            }
+            return true;
+        }
+        // peek: x = peek(k) (strided mode only)
+        if (s.kind == StmtKind::Assign &&
+            s.a->kind == ExprKind::Peek) {
+            panicIf(outcome.inMode != TapeMode::StridedScalar,
+                    "peek under a vector input boundary");
+            VarPtr dst = self.varMap.lookup(s.var);
+            panicIf(!dst->type.isVector(),
+                    "peek destination was not marked vector");
+            ExprPtr k = self.rewrite(s.a->args[0]);
+            for (int l = sw_ - 1; l >= 0; --l) {
+                ExprPtr off = l == 0
+                                  ? k
+                                  : ir::binary(ir::BinaryOp::Add, k,
+                                               ir::intImm(l * pop));
+                out.assignLane(dst, l, ir::peekExpr(def_.inElem, off));
+            }
+            return true;
+        }
+        // push(e)
+        if (s.kind == StmtKind::Push) {
+            ExprPtr ev = widen(self.rewrite(s.a));
+            switch (outcome.outMode) {
+              case TapeMode::StridedScalar: {
+                VarPtr tmp = freshVar(
+                    "_push" + std::to_string(tmpCounter++), vout);
+                out.assign(tmp, std::move(ev));
+                for (int l = sw_ - 1; l >= 1; --l) {
+                    out.rpush(ir::laneRead(ir::varRef(tmp), l),
+                              ir::intImm(l * push));
+                }
+                out.push(ir::laneRead(ir::varRef(tmp), 0));
+                break;
+              }
+              case TapeMode::PermutedVector:
+                out.assign(outSite.at(outSiteCounter++),
+                           std::move(ev));
+                break;
+              case TapeMode::SaguVector:
+                out.vpush(std::move(ev));
+                break;
+            }
+            return true;
+        }
+        return false;
+    };
+
+    // Pre-create permuted-mode site variables.
+    if (outcome.inMode == TapeMode::PermutedVector) {
+        for (int j = 0; j < pop; ++j)
+            inSite.push_back(
+                freshVar("_in" + std::to_string(j), vin));
+    }
+    if (outcome.outMode == TapeMode::PermutedVector) {
+        for (int j = 0; j < push; ++j)
+            outSite.push_back(
+                freshVar("_out" + std::to_string(j), vout));
+    }
+
+    BlockBuilder body;
+
+    // Permuted-input prologue: contiguous vector loads + the
+    // deinterleave network, then consume the block.
+    if (outcome.inMode == TapeMode::PermutedVector) {
+        std::vector<VarPtr> regs;
+        for (int j = 0; j < pop; ++j) {
+            VarPtr v = freshVar("_ld" + std::to_string(j), vin);
+            body.assign(v, ir::vpeekExpr(vin, ir::intImm(j * sw_)));
+            regs.push_back(v);
+        }
+        machine::PermNetwork net = machine::deinterleaveNetwork(pop);
+        regs.resize(net.numRegs);
+        for (const auto& st : net.steps) {
+            VarPtr v = freshVar("_p" + std::to_string(st.out), vin);
+            ir::Intrinsic fn =
+                st.op == machine::PermOp::ExtractEven
+                    ? ir::Intrinsic::ExtractEven
+                    : ir::Intrinsic::ExtractOdd;
+            body.assign(v, ir::call(fn, {ir::varRef(regs.at(st.a)),
+                                         ir::varRef(regs.at(st.b))}));
+            regs[st.out] = v;
+        }
+        for (int j = 0; j < pop; ++j)
+            inSite[j] = regs.at(net.outputs[j]);
+        body.advanceIn(static_cast<std::int64_t>(sw_) * pop);
+    }
+
+    body.appendAll(rw.rewrite(prepared->work));
+
+    panicIf(outcome.inMode == TapeMode::PermutedVector &&
+            inSiteCounter != pop,
+            "pop site count mismatch in permuted mode");
+    panicIf(outcome.outMode == TapeMode::PermutedVector &&
+            outSiteCounter != push,
+            "push site count mismatch in permuted mode");
+
+    // Boundary epilogues.
+    if (outcome.inMode == TapeMode::StridedScalar && pop > 0)
+        body.advanceIn(static_cast<std::int64_t>(sw_ - 1) * pop);
+    switch (outcome.outMode) {
+      case TapeMode::StridedScalar:
+        if (push > 0)
+            body.advanceOut(static_cast<std::int64_t>(sw_ - 1) * push);
+        break;
+      case TapeMode::PermutedVector: {
+        machine::PermNetwork net = machine::interleaveNetwork(push);
+        std::vector<VarPtr> regs(outSite);
+        regs.resize(net.numRegs);
+        for (const auto& st : net.steps) {
+            VarPtr v = freshVar("_q" + std::to_string(st.out), vout);
+            ir::Intrinsic fn =
+                st.op == machine::PermOp::InterleaveLo
+                    ? ir::Intrinsic::InterleaveLo
+                    : ir::Intrinsic::InterleaveHi;
+            body.assign(v, ir::call(fn, {ir::varRef(regs.at(st.a)),
+                                         ir::varRef(regs.at(st.b))}));
+            regs[st.out] = v;
+        }
+        for (int j = 0; j < push; ++j) {
+            body.vrpush(ir::varRef(regs.at(net.outputs[j])),
+                        ir::intImm(j * sw_));
+        }
+        body.advanceOut(static_cast<std::int64_t>(sw_) * push);
+        break;
+      }
+      case TapeMode::SaguVector:
+        break;
+    }
+
+    // --- Stage 5: assemble the vectorized definition. ---
+    auto out = std::make_shared<FilterDef>();
+    out->name = def_.name + "_v";
+    out->inElem = def_.inElem;
+    out->outElem = def_.outElem;
+    out->pop = sw_ * pop;
+    out->push = sw_ * push;
+    out->peek = std::max<int>(out->pop, (sw_ - 1) * pop + def_.peek);
+    out->stateVars = std::move(newState);
+    {
+        ir::Rewriter initRw;
+        initRw.varMap = varMap;
+        out->init = initRw.rewrite(prepared->init);
+    }
+    out->work = body.take();
+    out->vectorLanes = sw_;
+    out->fusedFrom = def_.fusedFrom;
+    graph::validateFilter(*out);
+    outcome.def = std::move(out);
+    return outcome;
+}
+
+} // namespace
+
+FilterDefPtr
+normalizeTapeReads(const FilterDef& def)
+{
+    auto out = std::make_shared<FilterDef>(def);
+    ReadNormalizer n;
+    out->work = n.run(def.work);
+    return out;
+}
+
+std::optional<std::vector<StmtPtr>>
+unrollTapeLoops(const std::vector<StmtPtr>& stmts, int max_stmts)
+{
+    int budget = max_stmts;
+    return unrollInto(stmts, budget);
+}
+
+SimdizeOutcome
+singleActorSimdize(const FilterDef& def, int sw, BoundaryModes requested)
+{
+    fatalIf(sw < 2, "SIMD width must be >= 2");
+    SimdizableVerdict v = isSimdizable(def);
+    fatalIf(!v.ok, "actor ", def.name, " is not SIMDizable: ", v.reason);
+    Simdizer s(def, sw, requested);
+    return s.run();
+}
+
+} // namespace macross::vectorizer

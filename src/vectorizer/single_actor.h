@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Single-actor SIMDization (Section 3.1) with the three tape-boundary
+ * strategies of Sections 3.1/3.4:
+ *
+ *  - StridedScalar: tapes stay scalar; each pop becomes SW strided
+ *    peeks + a pop packing a vector lane by lane, each push becomes
+ *    SW-1 random-access pushes + a push unpacking lane by lane, and
+ *    the work function ends with AdvanceIn/AdvanceOut covering the
+ *    (SW-1) peer firings folded into the data-parallel firing.
+ *  - PermutedVector: the boundary is accessed with contiguous vector
+ *    loads/stores plus an extract_even/extract_odd (or interleave)
+ *    network of X*log2(X) operations (Figure 7). Requires
+ *    power-of-two rates, no peeking, and statically enumerable access
+ *    sites (loops containing tape accesses are unrolled first).
+ *  - SaguVector: the boundary uses plain vector accesses against a
+ *    block-transposed tape; the scalar neighbor compensates via the
+ *    SAGU address walk. Same structural requirements as
+ *    PermutedVector minus the power-of-two restriction.
+ *
+ * Requested modes that turn out ineligible are downgraded to
+ * StridedScalar, and the outcome records the modes actually used.
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "graph/filter.h"
+
+namespace macross::vectorizer {
+
+/** Boundary access strategy for one side of a SIMDized actor. */
+enum class TapeMode {
+    StridedScalar,
+    PermutedVector,
+    SaguVector,
+};
+
+std::string toString(TapeMode m);
+
+/** Requested boundary strategies. */
+struct BoundaryModes {
+    TapeMode in = TapeMode::StridedScalar;
+    TapeMode out = TapeMode::StridedScalar;
+};
+
+/** Result of SIMDizing one actor. */
+struct SimdizeOutcome {
+    graph::FilterDefPtr def;  ///< The vectorized definition.
+    TapeMode inMode = TapeMode::StridedScalar;   ///< As emitted.
+    TapeMode outMode = TapeMode::StridedScalar;  ///< As emitted.
+    std::string note;  ///< Downgrade reasons, if any.
+};
+
+/**
+ * Let-bind every pop/peek into its own assignment so later transforms
+ * only see tape reads as full right-hand sides. Exposed for testing.
+ */
+graph::FilterDefPtr normalizeTapeReads(const graph::FilterDef& def);
+
+/**
+ * Fully unroll constant-trip loops whose bodies touch tapes (a
+ * prerequisite for the vector boundary modes). Returns nullopt when a
+ * trip count is not a compile-time constant, when tape accesses occur
+ * under `if`, or when unrolling exceeds @p max_stmts statements.
+ * Exposed for testing.
+ */
+std::optional<std::vector<ir::StmtPtr>>
+unrollTapeLoops(const std::vector<ir::StmtPtr>& stmts, int max_stmts);
+
+/**
+ * SIMDize @p def for @p sw lanes using (at most) the requested
+ * boundary modes. @p def must satisfy isSimdizable().
+ */
+SimdizeOutcome singleActorSimdize(const graph::FilterDef& def, int sw,
+                                  BoundaryModes requested);
+
+} // namespace macross::vectorizer

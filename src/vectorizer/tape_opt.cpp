@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tape optimization implementation.
+ */
+#include "vectorizer/tape_opt.h"
+
+#include "support/diagnostics.h"
+#include "vectorizer/cost_model.h"
+#include "vectorizer/single_actor.h"
+
+namespace macross::vectorizer {
+
+using graph::Actor;
+using graph::ActorKind;
+using graph::FlatGraph;
+
+namespace {
+
+/**
+ * Does the actor at the far end of @p tape access it with scalar
+ * reads/writes (making it a legal SAGU walker)?
+ */
+bool
+endpointIsScalar(const FlatGraph& g, int actor_id,
+                 const std::unordered_set<const graph::FilterDef*>&
+                     pending)
+{
+    const Actor& a = g.actor(actor_id);
+    switch (a.kind) {
+      case ActorKind::Filter:
+        if (pending.count(a.def.get()))
+            return false;  // Will be vectorized itself.
+        return a.def->vectorLanes == 1;
+      case ActorKind::Splitter:
+        // A horizontal splitter writes its single output tape with
+        // vector pushes; a plain splitter is scalar on all ports.
+        return !a.horizontal;
+      case ActorKind::Joiner:
+        // An HJoiner reads its input as vectors but writes its output
+        // scalar; as a *producer* it is a legal walker. As a consumer
+        // endpoint it is only reached via its vector input, which is
+        // never a SIMDized filter's tape, so treating it as scalar on
+        // the output side only is handled by the caller context.
+        return !a.horizontal;
+      default:
+        return false;
+    }
+}
+
+/** HJoiner output is scalar even though the actor is horizontal. */
+bool
+producerIsScalar(const FlatGraph& g, int actor_id,
+                 const std::unordered_set<const graph::FilterDef*>&
+                     pending)
+{
+    const Actor& a = g.actor(actor_id);
+    if (a.kind == ActorKind::Joiner)
+        return true;  // Joiner pushes are always scalar.
+    if (a.kind == ActorKind::Splitter)
+        return !a.horizontal;
+    return endpointIsScalar(g, actor_id, pending);
+}
+
+/** HSplitter input is scalar even though the actor is horizontal. */
+bool
+consumerIsScalar(const FlatGraph& g, int actor_id,
+                 const std::unordered_set<const graph::FilterDef*>&
+                     pending)
+{
+    const Actor& a = g.actor(actor_id);
+    if (a.kind == ActorKind::Splitter)
+        return true;  // Splitter pops are always scalar.
+    if (a.kind == ActorKind::Joiner)
+        return !a.horizontal;
+    return endpointIsScalar(g, actor_id, pending);
+}
+
+} // namespace
+
+void
+simdizePendingActors(
+    FlatGraph& g,
+    const std::unordered_set<const graph::FilterDef*>& pending,
+    const SimdizeOptions& opts, std::vector<ActorReport>& actions)
+{
+    const int sw = opts.machine.simdWidth;
+    for (auto& a : g.actors) {
+        if (!a.isFilter() || !pending.count(a.def.get()))
+            continue;
+
+        bool inScalar =
+            !a.inputs.empty() &&
+            producerIsScalar(g, g.tape(a.inputs[0]).src, pending);
+        bool outScalar =
+            !a.outputs.empty() &&
+            consumerIsScalar(g, g.tape(a.outputs[0]).dst, pending);
+
+        BoundaryModes modes = chooseBoundaryModes(
+            *a.def, opts.machine, opts.enablePermutedTapes,
+            opts.enableSagu, inScalar, outScalar);
+
+        const int origPop = a.def->pop;
+        const int origPush = a.def->push;
+        SimdizeOutcome outcome = singleActorSimdize(*a.def, sw, modes);
+
+        if (outcome.inMode == TapeMode::SaguVector) {
+            auto& t = g.tapes.at(a.inputs[0]);
+            t.transpose.writeSide = true;
+            t.transpose.rate = origPop;
+            t.transpose.simdWidth = sw;
+        }
+        if (outcome.outMode == TapeMode::SaguVector) {
+            auto& t = g.tapes.at(a.outputs[0]);
+            t.transpose.readSide = true;
+            t.transpose.rate = origPush;
+            t.transpose.simdWidth = sw;
+        }
+
+        actions.push_back(
+            {a.def->name,
+             "single-actor SIMDized (in " + toString(outcome.inMode) +
+                 ", out " + toString(outcome.outMode) + ")" +
+                 (outcome.note.empty() ? "" : " [" + outcome.note + "]")});
+        a.def = outcome.def;
+        a.name = outcome.def->name;
+    }
+}
+
+} // namespace macross::vectorizer

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Tape optimization + single-actor emission over the flat graph (the
+ * Tape-Optimization phase of Algorithm 1).
+ *
+ * Boundary modes need neighbor knowledge (the SAGU layout is only
+ * legal when the other tape endpoint stays scalar), so actors marked
+ * for SIMDization by the hierarchy passes are emitted here, after
+ * flattening, when producers and consumers are known.
+ */
+#pragma once
+
+#include <unordered_set>
+
+#include "vectorizer/pipeline.h"
+
+namespace macross::vectorizer {
+
+/**
+ * SIMDize every filter actor of @p g whose definition is in
+ * @p pending, choosing the cheapest legal boundary mode per side and
+ * annotating tapes with the SAGU transpose layout where used.
+ */
+void simdizePendingActors(
+    graph::FlatGraph& g,
+    const std::unordered_set<const graph::FilterDef*>& pending,
+    const SimdizeOptions& opts, std::vector<ActorReport>& actions);
+
+} // namespace macross::vectorizer

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Vertical fusion implementation.
+ */
+#include "vectorizer/vertical.h"
+
+#include "ir/analysis.h"
+#include "ir/clone.h"
+#include "support/diagnostics.h"
+#include "support/math_util.h"
+#include "vectorizer/simdizable.h"
+#include "vectorizer/single_actor.h"
+
+namespace macross::vectorizer {
+
+using graph::FilterDef;
+using graph::FilterDefPtr;
+using ir::BlockBuilder;
+using ir::ExprKind;
+using ir::ExprPtr;
+using ir::Stmt;
+using ir::StmtKind;
+using ir::StmtPtr;
+using ir::VarPtr;
+
+namespace {
+
+VarPtr
+makeLocal(const std::string& name, ir::Type t, int array_size = 0)
+{
+    auto v = std::make_shared<ir::Var>();
+    v->name = name;
+    v->type = t;
+    v->arraySize = array_size;
+    v->kind = ir::VarKind::Local;
+    return v;
+}
+
+/** Fresh copies of every variable a definition touches. */
+ir::VarMap
+freshVarsFor(const FilterDef& def, const std::string& suffix,
+             std::vector<VarPtr>& state_out)
+{
+    ir::VarMap map;
+    auto freshen = [&](const VarPtr& v) {
+        auto nv = std::make_shared<ir::Var>(*v);
+        nv->name = v->name + suffix;
+        map.set(v, nv);
+        return nv;
+    };
+    for (const auto& sv : def.stateVars)
+        state_out.push_back(freshen(sv));
+    std::unordered_set<const ir::Var*> seen;
+    auto visit = [&](const VarPtr& v) {
+        if (!v || seen.count(v.get()) || map.contains(v.get()))
+            return;
+        seen.insert(v.get());
+        if (v->kind == ir::VarKind::Local)
+            freshen(v);
+    };
+    auto scan = [&](const std::vector<StmtPtr>& ss) {
+        ir::forEachStmt(ss, [&](const Stmt& s) { visit(s.var); });
+        ir::forEachExpr(ss, [&](const ir::Expr& e) { visit(e.var); });
+    };
+    scan(def.work);
+    scan(def.init);
+    return map;
+}
+
+} // namespace
+
+std::vector<std::int64_t>
+innerRepetitions(const std::vector<FilterDefPtr>& defs)
+{
+    // Rational chain: r[i+1] = r[i] * push[i] / pop[i+1], scaled to
+    // the minimal integer vector.
+    std::vector<Rational> rate(defs.size());
+    rate[0] = Rational::fromInt(1);
+    for (std::size_t i = 1; i < defs.size(); ++i) {
+        fatalIf(defs[i]->pop == 0 || defs[i - 1]->push == 0,
+                "fusion chain has a zero interior rate");
+        rate[i] = rate[i - 1] *
+                  Rational(defs[i - 1]->push, defs[i]->pop);
+    }
+    std::int64_t den = 1;
+    for (const auto& r : rate)
+        den = lcm64(den, r.den());
+    std::vector<std::int64_t> reps(defs.size());
+    std::int64_t g = 0;
+    for (std::size_t i = 0; i < defs.size(); ++i) {
+        reps[i] = rate[i].num() * (den / rate[i].den());
+        g = gcd64(g, reps[i]);
+    }
+    for (auto& r : reps)
+        r /= g;
+    return reps;
+}
+
+FilterDefPtr
+fuseVertically(const std::vector<FilterDefPtr>& defs)
+{
+    fatalIf(defs.size() < 2, "vertical fusion needs >= 2 actors");
+    for (std::size_t i = 0; i < defs.size(); ++i) {
+        SimdizableVerdict v = isVerticallyFusable(*defs[i], i == 0);
+        fatalIf(!v.ok, "actor ", defs[i]->name,
+                " cannot be vertically fused: ", v.reason);
+    }
+    std::vector<std::int64_t> reps = innerRepetitions(defs);
+
+    auto fused = std::make_shared<FilterDef>();
+    fused->inElem = defs.front()->inElem;
+    fused->outElem = defs.back()->outElem;
+    fused->pop = static_cast<int>(reps.front() * defs.front()->pop);
+    fused->peek = static_cast<int>((reps.front() - 1) * defs.front()->pop +
+                                   defs.front()->peek);
+    fused->push = static_cast<int>(reps.back() * defs.back()->push);
+
+    std::string name;
+    for (std::size_t i = 0; i < defs.size(); ++i) {
+        if (i)
+            name += "_";
+        name += std::to_string(reps[i]) + defs[i]->name;
+        fused->fusedFrom.push_back(defs[i]->name);
+    }
+    fused->name = name;
+
+    BlockBuilder work;
+    BlockBuilder init;
+
+    // Internal buffers between consecutive inner actors, plus their
+    // read/write counters (re-zeroed every coarse firing).
+    std::vector<VarPtr> buf(defs.size() - 1);
+    std::vector<VarPtr> wcnt(defs.size() - 1), rcnt(defs.size() - 1);
+    for (std::size_t i = 0; i + 1 < defs.size(); ++i) {
+        int size = static_cast<int>(reps[i] * defs[i]->push);
+        buf[i] = makeLocal("_buf" + std::to_string(i),
+                           defs[i]->outElem, size);
+        wcnt[i] = makeLocal("_w" + std::to_string(i), ir::kInt32);
+        rcnt[i] = makeLocal("_r" + std::to_string(i), ir::kInt32);
+        work.assign(wcnt[i], ir::intImm(0));
+        work.assign(rcnt[i], ir::intImm(0));
+    }
+
+    for (std::size_t i = 0; i < defs.size(); ++i) {
+        // Interior pops read as buffer loads, so they must appear as
+        // full right-hand sides: normalize first.
+        FilterDefPtr prepared = normalizeTapeReads(*defs[i]);
+        std::vector<VarPtr> stateCopies;
+        ir::VarMap map =
+            freshVarsFor(*prepared, "_" + std::to_string(i),
+                         stateCopies);
+        for (auto& sv : stateCopies)
+            fused->stateVars.push_back(sv);
+
+        const bool first = i == 0;
+        const bool last = i + 1 == defs.size();
+        VarPtr inBuf = first ? nullptr : buf[i - 1];
+        VarPtr inCnt = first ? nullptr : rcnt[i - 1];
+        VarPtr outBuf = last ? nullptr : buf[i];
+        VarPtr outCnt = last ? nullptr : wcnt[i];
+
+        ir::Rewriter rw;
+        rw.varMap = map;
+        rw.stmtHook = [&](const Stmt& s, BlockBuilder& out,
+                          ir::Rewriter& self) -> bool {
+            if (!first && s.kind == StmtKind::Assign &&
+                s.a->kind == ExprKind::Peek) {
+                panic("interior actor ", defs[i]->name,
+                      " peeks; eligibility should have rejected it");
+            }
+            if (!first && s.kind == StmtKind::Assign &&
+                s.a->kind == ExprKind::Pop) {
+                VarPtr dst = self.varMap.lookup(s.var);
+                out.assign(dst, ir::load(inBuf, ir::varRef(inCnt)));
+                out.assign(inCnt, ir::varRef(inCnt) + ir::intImm(1));
+                return true;
+            }
+            if (!last && s.kind == StmtKind::Push) {
+                out.store(outBuf, ir::varRef(outCnt),
+                          self.rewrite(s.a));
+                out.assign(outCnt, ir::varRef(outCnt) + ir::intImm(1));
+                return true;
+            }
+            return false;
+        };
+
+        std::vector<StmtPtr> bodyOnce = rw.rewrite(prepared->work);
+        if (reps[i] == 1) {
+            work.appendAll(bodyOnce);
+        } else {
+            VarPtr wc = makeLocal("_wc" + std::to_string(i),
+                                  ir::kInt32);
+            work.forLoop(wc, 0, reps[i], [&](BlockBuilder& b) {
+                b.appendAll(bodyOnce);
+            });
+        }
+
+        ir::Rewriter initRw;
+        initRw.varMap = map;
+        init.appendAll(initRw.rewrite(prepared->init));
+    }
+
+    fused->work = work.take();
+    fused->init = init.take();
+    graph::validateFilter(*fused);
+    return fused;
+}
+
+} // namespace macross::vectorizer

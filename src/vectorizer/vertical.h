@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Vertical fusion (Section 3.2): collapse a pipeline of SIMDizable
+ * actors into one coarse actor whose inner actors communicate through
+ * internal buffers.
+ *
+ * The inner repetition counts are the minimal integer solution of the
+ * chain's balance equations (e.g. D:push2 -> E:pop3 gives 3 D's and 2
+ * E's — the paper's 3D_2E). Pushes of interior actors become stores
+ * into a local buffer array and interior pops become loads; after the
+ * coarse actor is single-actor SIMDized those buffers are marked
+ * vector, which is precisely the paper's vector communication between
+ * inner actors (Figures 4-5): packing/unpacking survives only at the
+ * coarse actor's own tape boundaries.
+ */
+#pragma once
+
+#include <vector>
+
+#include "graph/filter.h"
+
+namespace macross::vectorizer {
+
+/**
+ * Fuse a chain of filter definitions (upstream first). Every def must
+ * satisfy isVerticallyFusable (first may peek). The result is a plain
+ * (not yet SIMDized) coarse definition.
+ */
+graph::FilterDefPtr
+fuseVertically(const std::vector<graph::FilterDefPtr>& defs);
+
+/** Minimal inner repetition counts for the chain. */
+std::vector<std::int64_t>
+innerRepetitions(const std::vector<graph::FilterDefPtr>& defs);
+
+} // namespace macross::vectorizer

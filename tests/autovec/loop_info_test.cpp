@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests for the auto-vectorizer loop analysis.
+ */
+#include "autovec/loop_info.h"
+
+#include <gtest/gtest.h>
+
+namespace macross::autovec {
+namespace {
+
+using namespace ir;
+
+VarPtr
+makeVar(const std::string& name, Type t, int arr = 0)
+{
+    auto v = std::make_shared<Var>();
+    v->name = name;
+    v->type = t;
+    v->arraySize = arr;
+    return v;
+}
+
+TEST(AffineCoeff, RecognizesAffineForms)
+{
+    auto i = makeVar("i", kInt32);
+    auto n = makeVar("n", kInt32);
+    EXPECT_EQ(affineCoeff(varRef(i), i.get()), 1);
+    EXPECT_EQ(affineCoeff(intImm(7), i.get()), 0);
+    EXPECT_EQ(affineCoeff(varRef(i) * intImm(3) + intImm(2), i.get()),
+              3);
+    EXPECT_EQ(affineCoeff(intImm(2) * varRef(i) - varRef(i), i.get()),
+              1);
+    EXPECT_EQ(affineCoeff(varRef(n) + intImm(1), i.get()), 0);
+    // Non-affine: i*i, i*n (unknown multiplier), i << 1.
+    EXPECT_FALSE(affineCoeff(varRef(i) * varRef(i), i.get()));
+    EXPECT_FALSE(affineCoeff(varRef(i) * varRef(n), i.get()));
+    EXPECT_FALSE(affineCoeff(binary(BinaryOp::Shl, varRef(i), intImm(1)),
+                             i.get()));
+}
+
+StmtPtr
+loopOf(const VarPtr& iv, std::int64_t trips,
+       const std::function<void(BlockBuilder&)>& fill)
+{
+    BlockBuilder b;
+    b.forLoop(iv, 0, trips, fill);
+    return b.take()[0];
+}
+
+TEST(LoopInfo, UnitStrideReductionLoop)
+{
+    auto i = makeVar("i", kInt32);
+    auto sum = makeVar("sum", kFloat32);
+    auto coeff = makeVar("coeff", kFloat32, 16);
+    auto loop = loopOf(i, 16, [&](BlockBuilder& b) {
+        b.assign(sum,
+                 varRef(sum) + peekExpr(kFloat32, varRef(i)) *
+                                   load(coeff, varRef(i)));
+    });
+    LoopAnalysis a = analyzeLoop(*loop);
+    EXPECT_TRUE(a.counted);
+    EXPECT_EQ(a.trips, 16);
+    EXPECT_TRUE(a.innermost);
+    EXPECT_TRUE(a.hasReduction);
+    EXPECT_FALSE(a.hasCrossIterDep);
+    EXPECT_EQ(a.arrayAccess, AccessClass::Unit);
+    EXPECT_EQ(a.peekAccess, AccessClass::Unit);
+}
+
+TEST(LoopInfo, StridedPeekDetected)
+{
+    auto i = makeVar("i", kInt32);
+    auto x = makeVar("x", kFloat32);
+    auto loop = loopOf(i, 8, [&](BlockBuilder& b) {
+        b.assign(x, peekExpr(kFloat32, varRef(i) * intImm(2)));
+        b.push(varRef(x));
+    });
+    LoopAnalysis a = analyzeLoop(*loop);
+    EXPECT_EQ(a.peekAccess, AccessClass::Strided);
+    EXPECT_TRUE(a.hasPush);
+    EXPECT_GT(a.stridedAccessesPerIter, 0);
+}
+
+TEST(LoopInfo, GatherFromVariantSubscript)
+{
+    auto i = makeVar("i", kInt32);
+    auto idx = makeVar("idx", kInt32);
+    auto table = makeVar("table", kFloat32, 64);
+    auto loop = loopOf(i, 8, [&](BlockBuilder& b) {
+        b.assign(idx, binary(BinaryOp::And, varRef(i) * varRef(i),
+                             intImm(63)));
+        b.push(load(table, varRef(idx)));
+    });
+    LoopAnalysis a = analyzeLoop(*loop);
+    EXPECT_EQ(a.arrayAccess, AccessClass::Gather);
+}
+
+TEST(LoopInfo, CrossIterationDependence)
+{
+    auto i = makeVar("i", kInt32);
+    auto prev = makeVar("prev", kFloat32);
+    auto x = makeVar("x", kFloat32);
+    auto loop = loopOf(i, 8, [&](BlockBuilder& b) {
+        b.assign(x, popExpr(kFloat32));
+        b.push(varRef(x) - varRef(prev));  // reads last iteration's
+        b.assign(prev, varRef(x));
+    });
+    LoopAnalysis a = analyzeLoop(*loop);
+    EXPECT_TRUE(a.hasCrossIterDep);
+}
+
+TEST(LoopInfo, CallAndDivFlags)
+{
+    auto i = makeVar("i", kInt32);
+    auto loop = loopOf(i, 8, [&](BlockBuilder& b) {
+        b.push(call(Intrinsic::Sin,
+                    {toFloat(varRef(i))}) +
+               call(Intrinsic::Sqrt, {floatImm(2.0f)}));
+    });
+    LoopAnalysis a = analyzeLoop(*loop);
+    EXPECT_TRUE(a.hasTrig);
+    EXPECT_TRUE(a.hasSqrt);
+    EXPECT_FALSE(a.hasIntDiv);
+
+    auto loop2 = loopOf(i, 8, [&](BlockBuilder& b) {
+        b.push(toFloat(varRef(i) % intImm(3)));
+    });
+    EXPECT_TRUE(analyzeLoop(*loop2).hasIntDiv);
+}
+
+TEST(LoopInfo, NestedLoopNotInnermost)
+{
+    auto i = makeVar("i", kInt32);
+    auto j = makeVar("j", kInt32);
+    auto x = makeVar("x", kFloat32);
+    auto loop = loopOf(i, 4, [&](BlockBuilder& b) {
+        b.forLoop(j, 0, 4, [&](BlockBuilder& b2) {
+            b2.assign(x, floatImm(1.0f));
+        });
+    });
+    EXPECT_FALSE(analyzeLoop(*loop).innermost);
+}
+
+} // namespace
+} // namespace macross::autovec

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The suite-wide correctness battery: every benchmark must produce a
+ * bit-identical output stream under every SIMDization configuration.
+ */
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "benchmarks/suite.h"
+
+namespace macross::benchmarks {
+namespace {
+
+struct Config {
+    const char* name;
+    bool vertical;
+    bool horizontal;
+    bool permuted;
+    bool sagu;
+};
+
+class SuiteEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+const Config kConfigs[] = {
+    {"single-actor-only", false, false, false, false},
+    {"vertical", true, false, false, false},
+    {"horizontal", false, true, false, false},
+    {"full", true, true, true, false},
+    {"full+sagu", true, true, true, true},
+};
+
+TEST_P(SuiteEquivalence, SimdizedOutputMatchesScalar)
+{
+    auto [benchIdx, cfgIdx] = GetParam();
+    auto suite = standardSuite();
+    ASSERT_LT(static_cast<std::size_t>(benchIdx), suite.size());
+    const auto& bench = suite[benchIdx];
+    const Config& cfg = kConfigs[cfgIdx];
+    SCOPED_TRACE(bench.name + std::string(" / ") + cfg.name);
+
+    vectorizer::SimdizeOptions opts;
+    opts.forceSimdize = true;
+    opts.enableVertical = cfg.vertical;
+    opts.enableHorizontal = cfg.horizontal;
+    opts.enablePermutedTapes = cfg.permuted;
+    opts.enableSagu = cfg.sagu;
+    if (cfg.sagu)
+        opts.machine = machine::coreI7WithSagu();
+
+    testutil::expectTransformPreservesOutput(bench.program, opts, 300);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarksAllConfigs, SuiteEquivalence,
+    ::testing::Combine(::testing::Range(0, 12),
+                       ::testing::Range(0, 5)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+        auto suite = standardSuite();
+        int b = std::get<0>(info.param);
+        int c = std::get<1>(info.param);
+        std::string n = suite[b].name + "_" + kConfigs[c].name;
+        for (auto& ch : n) {
+            if (ch == '-' || ch == '+')
+                ch = '_';
+        }
+        return n;
+    });
+
+TEST(SuiteEquivalence, RunningExampleAllWidths)
+{
+    for (int width : {2, 4, 8}) {
+        SCOPED_TRACE("width " + std::to_string(width));
+        vectorizer::SimdizeOptions opts;
+        opts.forceSimdize = true;
+        opts.machine = machine::coreI7();
+        opts.machine.simdWidth = width;
+        testutil::expectTransformPreservesOutput(makeRunningExample(),
+                                                 opts, 256);
+    }
+}
+
+} // namespace
+} // namespace macross::benchmarks

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Property-based tests: randomly generated stream programs must
+ * survive the full transform battery bit-exactly, and their schedules
+ * must stay rate-matched.
+ */
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "benchmarks/random_graph.h"
+
+namespace macross::benchmarks {
+namespace {
+
+class RandomPrograms : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPrograms, FullSimdizationPreservesOutput)
+{
+    std::uint64_t seed = 1000 + GetParam();
+    auto program = randomProgram(seed);
+    vectorizer::SimdizeOptions opts;
+    opts.forceSimdize = true;
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    testutil::expectTransformPreservesOutput(program, opts, 160);
+}
+
+TEST_P(RandomPrograms, SaguConfigPreservesOutput)
+{
+    std::uint64_t seed = 2000 + GetParam();
+    auto program = randomProgram(seed);
+    vectorizer::SimdizeOptions opts;
+    opts.forceSimdize = true;
+    opts.enableSagu = true;
+    opts.machine = machine::coreI7WithSagu();
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    testutil::expectTransformPreservesOutput(program, opts, 160);
+}
+
+TEST_P(RandomPrograms, SchedulesStayRateMatched)
+{
+    std::uint64_t seed = 3000 + GetParam();
+    auto program = randomProgram(seed);
+    vectorizer::SimdizeOptions opts;
+    opts.forceSimdize = true;
+    auto compiled = vectorizer::macroSimdize(program, opts);
+    schedule::checkRateMatched(compiled.graph, compiled.schedule);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPrograms,
+                         ::testing::Range(0, 25));
+
+TEST(RandomPrograms, StatelessOnlyProgramsVectorizeDeeply)
+{
+    RandomGraphOptions opts;
+    opts.allowStateful = false;
+    opts.allowPeeking = false;
+    opts.allowSplitJoin = false;
+    int vectorizedSomething = 0;
+    for (int s = 0; s < 10; ++s) {
+        auto program = randomProgram(4000 + s, opts);
+        vectorizer::SimdizeOptions so;
+        so.forceSimdize = true;
+        auto compiled = vectorizer::macroSimdize(program, so);
+        for (const auto& a : compiled.graph.actors) {
+            if (a.isFilter() && a.def->vectorLanes > 1) {
+                ++vectorizedSomething;
+                break;
+            }
+        }
+        testutil::expectTransformPreservesOutput(program, so, 120);
+    }
+    // Every stateless pipeline must have at least one vector actor.
+    EXPECT_EQ(vectorizedSomething, 10);
+}
+
+TEST(RandomPrograms, WiderMachinesAlsoPreserveOutput)
+{
+    for (int s = 0; s < 6; ++s) {
+        auto program = randomProgram(5000 + s);
+        vectorizer::SimdizeOptions opts;
+        opts.forceSimdize = true;
+        opts.machine = machine::wide8();
+        SCOPED_TRACE("seed " + std::to_string(5000 + s));
+        testutil::expectTransformPreservesOutput(program, opts, 120);
+    }
+}
+
+} // namespace
+} // namespace macross::benchmarks

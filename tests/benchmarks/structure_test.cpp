@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Structural expectations per benchmark: each must exercise the
+ * transform mix the paper attributes to it (Section 5).
+ */
+#include <gtest/gtest.h>
+
+#include "benchmarks/suite.h"
+#include "vectorizer/pipeline.h"
+
+namespace macross::benchmarks {
+namespace {
+
+struct TransformStats {
+    int horizontal = 0;  ///< HSplitter/HJoiner pairs.
+    int fused = 0;       ///< Vertically fused actors.
+    int vectorized = 0;  ///< Actors with vectorLanes > 1.
+    int scalar = 0;      ///< Filter actors left scalar.
+};
+
+TransformStats
+statsFor(const graph::StreamPtr& program, bool sagu = false)
+{
+    vectorizer::SimdizeOptions opts;
+    opts.forceSimdize = true;
+    opts.enableSagu = sagu;
+    if (sagu)
+        opts.machine = machine::coreI7WithSagu();
+    auto compiled = vectorizer::macroSimdize(program, opts);
+    TransformStats s;
+    for (const auto& a : compiled.graph.actors) {
+        if (a.kind == graph::ActorKind::Splitter && a.horizontal)
+            s.horizontal++;
+        if (!a.isFilter())
+            continue;
+        if (!a.def->fusedFrom.empty())
+            s.fused++;
+        if (a.def->vectorLanes > 1)
+            s.vectorized++;
+        else
+            s.scalar++;
+    }
+    return s;
+}
+
+TEST(Structure, FilterBankIsHorizontal)
+{
+    TransformStats s = statsFor(makeFilterBank());
+    EXPECT_GE(s.horizontal, 1);
+    EXPECT_EQ(s.fused, 0);
+}
+
+TEST(Structure, BeamFormerIsHorizontal)
+{
+    TransformStats s = statsFor(makeBeamFormer());
+    EXPECT_GE(s.horizontal, 2);  // both split-joins
+}
+
+TEST(Structure, ChannelVocoderIsHorizontal)
+{
+    TransformStats s = statsFor(makeChannelVocoder());
+    EXPECT_GE(s.horizontal, 1);
+}
+
+TEST(Structure, MatrixMultBlockFusesTheWholeChain)
+{
+    TransformStats s = statsFor(makeMatrixMultBlock());
+    EXPECT_GE(s.fused, 1);
+    auto compiled = vectorizer::macroSimdize(
+        makeMatrixMultBlock(), [] {
+            vectorizer::SimdizeOptions o;
+            o.forceSimdize = true;
+            return o;
+        }());
+    for (const auto& a : compiled.graph.actors) {
+        if (a.isFilter() && !a.def->fusedFrom.empty()) {
+            // All six interior stages collapse into one actor.
+            EXPECT_EQ(a.def->fusedFrom.size(), 6u);
+        }
+    }
+}
+
+TEST(Structure, FftAndTdeAndBitonicFuse)
+{
+    EXPECT_GE(statsFor(makeFft()).fused, 1);
+    EXPECT_GE(statsFor(makeTde()).fused, 1);
+    EXPECT_GE(statsFor(makeBitonicSort()).fused, 1);
+}
+
+TEST(Structure, FmRadioAndAudioBeamHaveNoFusion)
+{
+    EXPECT_EQ(statsFor(makeFmRadio()).fused, 0);
+    EXPECT_EQ(statsFor(makeAudioBeam()).fused, 0);
+}
+
+TEST(Structure, AudioBeamStillVectorizesSomething)
+{
+    TransformStats s = statsFor(makeAudioBeam());
+    EXPECT_GE(s.vectorized, 1);
+    EXPECT_GE(s.scalar, 2);  // stateful actors stay scalar
+}
+
+TEST(Structure, RunningExampleUsesAllThree)
+{
+    TransformStats s = statsFor(makeRunningExample());
+    EXPECT_GE(s.horizontal, 1);
+    EXPECT_GE(s.fused, 1);
+    EXPECT_GE(s.vectorized, 2);
+    EXPECT_GE(s.scalar, 3);  // A, F, H stay scalar
+}
+
+TEST(Structure, SaguAnnotatesBoundariesOnMatrixMult)
+{
+    vectorizer::SimdizeOptions opts;
+    opts.forceSimdize = true;
+    opts.enableSagu = true;
+    opts.machine = machine::coreI7WithSagu();
+    auto compiled = vectorizer::macroSimdize(makeMatrixMult(), opts);
+    int transposed = 0;
+    for (const auto& t : compiled.graph.tapes) {
+        transposed +=
+            t.transpose.readSide || t.transpose.writeSide;
+    }
+    EXPECT_GE(transposed, 1);
+}
+
+TEST(Structure, DctUsesPermutedBoundariesWithoutSagu)
+{
+    vectorizer::SimdizeOptions opts;
+    opts.forceSimdize = true;
+    auto compiled = vectorizer::macroSimdize(makeDct(), opts);
+    bool sawPermuted = false;
+    for (const auto& a : compiled.actions) {
+        if (a.action.find("permuted-vector") != std::string::npos)
+            sawPermuted = true;
+    }
+    EXPECT_TRUE(sawPermuted);
+}
+
+} // namespace
+} // namespace macross::benchmarks

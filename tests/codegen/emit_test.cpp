@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Code-generation tests: structural checks on the emitted C++, plus
+ * an end-to-end test that compiles the emitted translation unit with
+ * the host compiler and compares its output against the interpreter.
+ */
+#include "codegen/emit_cpp.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "../test_util.h"
+#include "benchmarks/suite.h"
+#include "frontend/parser.h"
+
+namespace macross::codegen {
+namespace {
+
+TEST(Codegen, EmitsVectorIntrinsicsForSimdizedGraph)
+{
+    vectorizer::SimdizeOptions opts;
+    opts.forceSimdize = true;
+    auto compiled =
+        vectorizer::macroSimdize(benchmarks::makeRunningExample(),
+                                 opts);
+    std::string src = emitCpp(compiled.graph, compiled.schedule);
+    EXPECT_NE(src.find("Vec<float, 4>"), std::string::npos);
+    EXPECT_NE(src.find("vpush"), std::string::npos);
+    EXPECT_NE(src.find("rpush"), std::string::npos);
+    EXPECT_NE(src.find("advance_in"), std::string::npos);
+    EXPECT_NE(src.find("int main"), std::string::npos);
+}
+
+TEST(Codegen, EmitsScalarGraphWithoutVectors)
+{
+    auto compiled =
+        vectorizer::compileScalar(benchmarks::makeMatrixMultBlock());
+    std::string src = emitCpp(compiled.graph, compiled.schedule);
+    // No vector tape accesses outside the runtime preamble.
+    EXPECT_EQ(src.find("->vpush("), std::string::npos);
+    EXPECT_EQ(src.find(".vpush("), std::string::npos);
+    EXPECT_NE(src.find("struct Actor0"), std::string::npos);
+}
+
+/** Compile @p source with the host compiler and run it. */
+std::string
+compileAndRun(const std::string& source, const std::string& tag,
+              int iters)
+{
+    std::string base = ::testing::TempDir() + "macross_emit_" + tag;
+    std::string cppPath = base + ".cpp";
+    std::string binPath = base + ".bin";
+    {
+        std::ofstream out(cppPath);
+        out << source;
+    }
+    std::string compile = "c++ -std=c++17 -O1 -o " + binPath + " " +
+                          cppPath + " 2> " + base + ".log";
+    if (std::system(compile.c_str()) != 0) {
+        std::ifstream log(base + ".log");
+        std::string msg((std::istreambuf_iterator<char>(log)),
+                        std::istreambuf_iterator<char>());
+        ADD_FAILURE() << "host compile failed:\n" << msg;
+        return {};
+    }
+    std::string cmd = binPath + " " + std::to_string(iters);
+    FILE* pipe = popen(cmd.c_str(), "r");
+    EXPECT_NE(pipe, nullptr);
+    std::string output;
+    char buf[256];
+    while (fgets(buf, sizeof(buf), pipe))
+        output += buf;
+    pclose(pipe);
+    return output;
+}
+
+/** First line of the emitted program's report: element count +
+ * checksum, which must match the interpreter's capture. */
+void
+expectEmittedMatchesInterpreter(const graph::StreamPtr& program,
+                                bool simdize, const std::string& tag)
+{
+    vectorizer::CompiledProgram compiled;
+    if (simdize) {
+        vectorizer::SimdizeOptions opts;
+        opts.forceSimdize = true;
+        compiled = vectorizer::macroSimdize(program, opts);
+    } else {
+        compiled = vectorizer::compileScalar(program);
+    }
+    const int iters = 3;
+    std::string output = compileAndRun(
+        emitCpp(compiled.graph, compiled.schedule), tag, iters);
+    ASSERT_FALSE(output.empty());
+
+    // Interpreter reference.
+    interp::Runner r(compiled.graph, compiled.schedule);
+    r.runInit();
+    r.runSteady(iters);
+    double checksum = 0;
+    for (const auto& v : r.captured())
+        checksum += v.type().isInt() ? v.i() : v.f();
+
+    char expected[128];
+    std::snprintf(expected, sizeof(expected),
+                  "elements %zu checksum %.6f",
+                  r.captured().size(), checksum);
+    EXPECT_EQ(output.substr(0, output.find('\n')),
+              std::string(expected));
+}
+
+TEST(Codegen, EmittedScalarProgramMatchesInterpreter)
+{
+    expectEmittedMatchesInterpreter(
+        benchmarks::makeRunningExample(), false, "scalar");
+}
+
+TEST(Codegen, EmittedSimdizedProgramMatchesInterpreter)
+{
+    expectEmittedMatchesInterpreter(
+        benchmarks::makeRunningExample(), true, "simd");
+}
+
+TEST(Codegen, EmittedDctWithPermutedTapesMatches)
+{
+    expectEmittedMatchesInterpreter(benchmarks::makeDct(), true,
+                                    "dct");
+}
+
+TEST(Codegen, EmittedBitonicIntProgramMatches)
+{
+    expectEmittedMatchesInterpreter(benchmarks::makeBitonicSort(),
+                                    true, "bitonic");
+}
+
+TEST(Codegen, EmittedHorizontalProgramMatches)
+{
+    expectEmittedMatchesInterpreter(benchmarks::makeFilterBank(),
+                                    true, "filterbank");
+}
+
+TEST(Codegen, EmittedFusedChainMatches)
+{
+    expectEmittedMatchesInterpreter(benchmarks::makeMatrixMultBlock(),
+                                    true, "mmb");
+}
+
+TEST(Codegen, EmittedSaguTransposedTapesMatch)
+{
+    // MatrixMult under the SAGU config: the emitted Tape must apply
+    // the block-transpose walk on the scalar endpoints.
+    vectorizer::SimdizeOptions opts;
+    opts.forceSimdize = true;
+    opts.enableSagu = true;
+    opts.machine = machine::coreI7WithSagu();
+    auto compiled =
+        vectorizer::macroSimdize(benchmarks::makeMatrixMult(), opts);
+    bool transposed = false;
+    for (const auto& t : compiled.graph.tapes) {
+        transposed |= t.transpose.readSide || t.transpose.writeSide;
+    }
+    ASSERT_TRUE(transposed);
+
+    const int iters = 3;
+    std::string output = compileAndRun(
+        emitCpp(compiled.graph, compiled.schedule), "sagu", iters);
+    ASSERT_FALSE(output.empty());
+
+    interp::Runner r(compiled.graph, compiled.schedule);
+    r.runInit();
+    r.runSteady(iters);
+    double checksum = 0;
+    for (const auto& v : r.captured())
+        checksum += v.type().isInt() ? v.i() : v.f();
+    char expected[128];
+    std::snprintf(expected, sizeof(expected),
+                  "elements %zu checksum %.6f", r.captured().size(),
+                  checksum);
+    EXPECT_EQ(output.substr(0, output.find('\n')),
+              std::string(expected));
+}
+
+TEST(Codegen, FullStackFromStreamLanguage)
+{
+    // The whole toolchain in one test: textual program -> parser ->
+    // macro-SIMDization -> C++ emission -> host compiler -> output
+    // identical to the interpreter.
+    const char* src = R"(
+void->float filter Src() {
+    int s;
+    init { s = 41; }
+    work push 4 {
+        for (int i = 0; i < 4; i++) {
+            s = s * 1103515245 + 12345;
+            push(float((s >> 16) & 32767) * 0.0005);
+        }
+    }
+}
+float->float filter Blend(float k) {
+    work pop 2 push 2 {
+        float a = pop();
+        float b = pop();
+        push(a * k + b * (1.0 - k));
+        push(b * k - a * (1.0 - k));
+    }
+}
+float->void filter Out() {
+    float acc;
+    work pop 1 { acc = acc + pop(); }
+}
+void->void pipeline Main() {
+    add Src();
+    add splitjoin {
+        split roundrobin(2, 2, 2, 2);
+        add Blend(0.25);
+        add Blend(0.5);
+        add Blend(0.75);
+        add Blend(0.9);
+        join roundrobin(2, 2, 2, 2);
+    };
+    add Out();
+}
+)";
+    expectEmittedMatchesInterpreter(frontend::parseProgram(src), true,
+                                    "dsl");
+}
+
+} // namespace
+} // namespace macross::codegen

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Unit tests for the stream-language lexer.
+ */
+#include "frontend/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.h"
+
+namespace macross::frontend {
+namespace {
+
+TEST(Lexer, IdentifiersNumbersAndOperators)
+{
+    auto toks = tokenize("foo 42 3.5f 1e3 x->y i++ a==b c<=d e<<f");
+    ASSERT_GE(toks.size(), 14u);
+    EXPECT_EQ(toks[0].kind, Tok::Ident);
+    EXPECT_EQ(toks[0].text, "foo");
+    EXPECT_EQ(toks[1].kind, Tok::IntLit);
+    EXPECT_EQ(toks[1].ival, 42);
+    EXPECT_EQ(toks[2].kind, Tok::FloatLit);
+    EXPECT_FLOAT_EQ(toks[2].fval, 3.5f);
+    EXPECT_EQ(toks[3].kind, Tok::FloatLit);
+    EXPECT_FLOAT_EQ(toks[3].fval, 1000.0f);
+    EXPECT_EQ(toks[5].kind, Tok::Arrow);
+    EXPECT_EQ(toks[8].kind, Tok::PlusPlus);
+    EXPECT_EQ(toks[10].kind, Tok::Op2);
+    EXPECT_EQ(toks[10].text, "==");
+}
+
+TEST(Lexer, CommentsAreSkipped)
+{
+    auto toks = tokenize("a // line comment\nb /* block\n comment */ c");
+    ASSERT_EQ(toks.size(), 4u);  // a b c End
+    EXPECT_EQ(toks[0].text, "a");
+    EXPECT_EQ(toks[1].text, "b");
+    EXPECT_EQ(toks[2].text, "c");
+    EXPECT_EQ(toks[1].line, 2);
+}
+
+TEST(Lexer, TracksLinesAndColumns)
+{
+    auto toks = tokenize("x\n  y");
+    EXPECT_EQ(toks[0].line, 1);
+    EXPECT_EQ(toks[0].col, 1);
+    EXPECT_EQ(toks[1].line, 2);
+    EXPECT_EQ(toks[1].col, 3);
+}
+
+TEST(Lexer, RejectsBadInput)
+{
+    EXPECT_THROW(tokenize("a $ b"), FatalError);
+    EXPECT_THROW(tokenize("/* never closed"), FatalError);
+}
+
+TEST(Lexer, EndTokenAlwaysPresent)
+{
+    auto toks = tokenize("");
+    ASSERT_EQ(toks.size(), 1u);
+    EXPECT_EQ(toks[0].kind, Tok::End);
+}
+
+} // namespace
+} // namespace macross::frontend

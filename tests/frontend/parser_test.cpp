@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Parser + elaboration tests: surface programs must produce valid
+ * graphs that run, SIMDize bit-exactly, and exercise the language's
+ * template-instantiation semantics.
+ */
+#include "frontend/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "support/diagnostics.h"
+
+namespace macross::frontend {
+namespace {
+
+const char* kMini = R"(
+// A stateful source, a scaler, and an accumulating sink.
+void->float filter Source(int n) {
+    int seed;
+    init { seed = 7; }
+    work push n {
+        for (int i = 0; i < n; i++) {
+            seed = seed * 1103515245 + 12345;
+            push(float((seed >> 16) & 32767) * 0.0001);
+        }
+    }
+}
+
+float->float filter Scale(float k) {
+    work pop 1 push 1 { push(pop() * k); }
+}
+
+float->void filter Sink() {
+    float acc;
+    init { acc = 0.0; }
+    work pop 1 { acc = acc + pop(); }
+}
+
+void->void pipeline Main() {
+    add Source(4);
+    add Scale(2.5);
+    add Sink();
+}
+)";
+
+TEST(Parser, MiniProgramElaboratesAndRuns)
+{
+    auto program = parseProgram(kMini);
+    auto compiled = vectorizer::compileScalar(program);
+    EXPECT_EQ(compiled.graph.actors.size(), 3u);
+    auto out = testutil::capture(compiled, 32);
+    EXPECT_EQ(out.size(), 32u);
+}
+
+TEST(Parser, ParsedProgramSimdizesBitExactly)
+{
+    auto program = parseProgram(kMini);
+    vectorizer::SimdizeOptions opts;
+    opts.forceSimdize = true;
+    testutil::expectTransformPreservesOutput(program, opts, 128);
+}
+
+TEST(Parser, SplitJoinWithIsomorphicBranchesGoesHorizontal)
+{
+    const char* src = R"(
+void->float filter Src() {
+    int s;
+    init { s = 3; }
+    work push 4 {
+        for (int i = 0; i < 4; i++) {
+            s = s * 1103515245 + 12345;
+            push(float((s >> 16) & 32767) * 0.001);
+        }
+    }
+}
+float->float filter Band(float g) {
+    work pop 2 push 1 {
+        float a = pop();
+        float b = pop();
+        push((a + b) * g);
+    }
+}
+float->void filter Out() {
+    float acc;
+    work pop 1 { acc = acc + pop(); }
+}
+void->void pipeline Main() {
+    add Src();
+    add splitjoin {
+        split roundrobin(2, 2, 2, 2);
+        add Band(0.5);
+        add Band(0.6);
+        add Band(0.7);
+        add Band(0.8);
+        join roundrobin(1, 1, 1, 1);
+    };
+    add Out();
+}
+)";
+    auto program = parseProgram(src);
+    vectorizer::SimdizeOptions opts;
+    opts.forceSimdize = true;
+    auto compiled = vectorizer::macroSimdize(program, opts);
+    bool horizontal = false;
+    for (const auto& a : compiled.graph.actors) {
+        if (a.kind == graph::ActorKind::Splitter && a.horizontal)
+            horizontal = true;
+    }
+    EXPECT_TRUE(horizontal);
+    testutil::expectTransformPreservesOutput(program, opts, 128);
+}
+
+TEST(Parser, PipelinesComposeAndTakeParameters)
+{
+    const char* src = R"(
+void->float filter Src() {
+    int s;
+    work push 1 { s = s + 1; push(float(s)); }
+}
+float->float filter Scale(float k) {
+    work pop 1 push 1 { push(pop() * k); }
+}
+float->float pipeline Twice(float k) {
+    add Scale(k);
+    add Scale(k);
+}
+float->void filter Out() {
+    float acc;
+    work pop 1 { acc = acc + pop(); }
+}
+void->void pipeline Main() {
+    add Src();
+    add Twice(3.0);
+    add Out();
+}
+)";
+    auto program = parseProgram(src);
+    auto compiled = vectorizer::compileScalar(program);
+    // Src + Scale + Scale + Out.
+    EXPECT_EQ(compiled.graph.actors.size(), 4u);
+    auto out = testutil::capture(compiled, 8);
+    // 1*9, 2*9, ...
+    EXPECT_FLOAT_EQ(out[0].f(), 9.0f);
+    EXPECT_FLOAT_EQ(out[3].f(), 36.0f);
+}
+
+TEST(Parser, PeekingFilterAndControlFlow)
+{
+    const char* src = R"(
+void->float filter Src() {
+    int s;
+    work push 2 { s = s + 1; push(float(s)); push(float(s) * 0.5); }
+}
+float->float filter Smooth(int w) {
+    work peek w pop 1 push 1 {
+        float sum = 0.0;
+        for (int i = 0; i < w; i++) {
+            sum = sum + peek(i);
+        }
+        float t = pop();
+        if (sum > 100.0) {
+            push(sum * 0.01);
+        } else {
+            push(sum / float(w));
+        }
+    }
+}
+float->void filter Out() {
+    float acc;
+    work pop 1 { acc = acc + pop(); }
+}
+void->void pipeline Main() {
+    add Src();
+    add Smooth(5);
+    add Out();
+}
+)";
+    auto program = parseProgram(src);
+    auto compiled = vectorizer::compileScalar(program);
+    auto out = testutil::capture(compiled, 64);
+    EXPECT_EQ(out.size(), 64u);
+}
+
+TEST(Parser, MainIsPreferredOverLastPipeline)
+{
+    const char* src = R"(
+void->float filter S() { int s; work push 1 { s = s + 1; push(float(s)); } }
+float->void filter K() { float a; work pop 1 { a = a + pop(); } }
+void->void pipeline Main() { add S(); add K(); }
+void->void pipeline Other() { add S(); add S(); add K(); }
+)";
+    // `Other` is invalid as a program (two sources), but Main wins.
+    EXPECT_NO_THROW(parseProgram(src));
+}
+
+TEST(Parser, DiagnosticsCarryLineInfo)
+{
+    try {
+        parseProgram("float->float filter F() { work pop 1 push 1 "
+                     "{ push(unknown_var); } }\n"
+                     "void->void pipeline Main() { add F(); }");
+        FAIL() << "expected parse error";
+    } catch (const FatalError& e) {
+        EXPECT_NE(std::string(e.what()).find("unknown name"),
+                  std::string::npos);
+    }
+}
+
+TEST(Parser, ErrorsOnBadPrograms)
+{
+    EXPECT_THROW(parseProgram("garbage"), FatalError);
+    EXPECT_THROW(parseProgram("void->void pipeline Main() { }"),
+                 FatalError);
+    // Unknown actor.
+    EXPECT_THROW(
+        parseProgram("void->void pipeline Main() { add Nope(); }"),
+        FatalError);
+    // Rate mismatch between declaration and body.
+    EXPECT_THROW(parseProgram(R"(
+void->float filter Bad() { work push 2 { push(1.0); } }
+float->void filter K() { float a; work pop 1 { a = a + pop(); } }
+void->void pipeline Main() { add Bad(); add K(); }
+)"),
+                 FatalError);
+    // Non-constant argument.
+    EXPECT_THROW(parseProgram(R"(
+float->float filter F(float k) { work pop 1 push 1 { push(pop()*k); } }
+void->void pipeline Main() { add F(pop()); }
+)"),
+                 FatalError);
+}
+
+TEST(Parser, IntFiltersAndBitOps)
+{
+    const char* src = R"(
+void->int filter Gen() {
+    int s;
+    init { s = 1; }
+    work push 1 { s = (s * 75) % 65537; push(s & 255); }
+}
+int->int filter Mix() {
+    work pop 2 push 1 {
+        int a = pop();
+        int b = pop();
+        push((a ^ b) | (a >> 4));
+    }
+}
+int->void filter Drop() {
+    int acc;
+    work pop 1 { acc = acc + pop(); }
+}
+void->void pipeline Main() { add Gen(); add Mix(); add Drop(); }
+)";
+    auto program = parseProgram(src);
+    vectorizer::SimdizeOptions opts;
+    opts.forceSimdize = true;
+    testutil::expectTransformPreservesOutput(program, opts, 64);
+}
+
+} // namespace
+} // namespace macross::frontend

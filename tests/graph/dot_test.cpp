@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Unit tests for the Graphviz exporter.
+ */
+#include "graph/dot.h"
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/suite.h"
+#include "vectorizer/pipeline.h"
+
+namespace macross::graph {
+namespace {
+
+TEST(Dot, ScalarGraphListsActorsAndTapes)
+{
+    auto compiled =
+        vectorizer::compileScalar(benchmarks::makeRunningExample());
+    std::string dot = toDot(compiled.graph, compiled.schedule);
+    EXPECT_NE(dot.find("digraph stream {"), std::string::npos);
+    // Every actor appears as a node, every tape as an edge.
+    for (const auto& a : compiled.graph.actors) {
+        EXPECT_NE(dot.find("a" + std::to_string(a.id) + " ["),
+                  std::string::npos);
+    }
+    std::size_t edges = 0, pos = 0;
+    while ((pos = dot.find(" -> ", pos)) != std::string::npos) {
+        ++edges;
+        pos += 4;
+    }
+    EXPECT_EQ(edges, compiled.graph.tapes.size());
+    // The paper's D actor with its Figure 2a repetition count.
+    EXPECT_NE(dot.find("D\\npeek=2 pop=2 push=2\\nrep=6"),
+              std::string::npos);
+}
+
+TEST(Dot, VectorizedGraphIsAnnotated)
+{
+    vectorizer::SimdizeOptions opts;
+    opts.forceSimdize = true;
+    opts.enableSagu = true;
+    opts.machine = machine::coreI7WithSagu();
+    auto compiled =
+        vectorizer::macroSimdize(benchmarks::makeMatrixMult(), opts);
+    std::string dot = toDot(compiled.graph, compiled.schedule);
+    EXPECT_NE(dot.find("x4"), std::string::npos);       // lanes
+    EXPECT_NE(dot.find("(sagu)"), std::string::npos);   // tape layout
+}
+
+TEST(Dot, HorizontalEndpointsRendered)
+{
+    vectorizer::SimdizeOptions opts;
+    opts.forceSimdize = true;
+    auto compiled = vectorizer::macroSimdize(
+        benchmarks::makeFilterBank(), opts);
+    std::string dot = toDot(compiled.graph, compiled.schedule);
+    EXPECT_NE(dot.find("HSplit"), std::string::npos);
+    EXPECT_NE(dot.find("HJoin"), std::string::npos);
+}
+
+} // namespace
+} // namespace macross::graph

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for FilterDef validation and statefulness.
+ */
+#include "graph/filter.h"
+
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.h"
+
+namespace macross::graph {
+namespace {
+
+using namespace ir;
+
+TEST(Filter, RateValidationCatchesMismatch)
+{
+    FilterBuilder f("bad", kFloat32, kFloat32);
+    f.rates(1, 1, 2);  // declares push 2 ...
+    auto x = f.local("x", kFloat32);
+    f.work().assign(x, f.pop());
+    f.work().push(varRef(x));  // ... but pushes only 1
+    EXPECT_THROW(f.build(), FatalError);
+}
+
+TEST(Filter, PeekBelowPopIsRaised)
+{
+    FilterBuilder f("peeker", kFloat32, kFloat32);
+    f.rates(0, 2, 1);  // peek 0 declared, pop 2
+    auto x = f.local("x", kFloat32);
+    f.work().assign(x, f.pop());
+    f.work().assign(x, varRef(x) + f.pop());
+    f.work().push(varRef(x));
+    auto def = f.build();
+    EXPECT_EQ(def->peek, 2);
+    EXPECT_FALSE(def->isPeeking());
+}
+
+TEST(Filter, InitMustNotTouchTapes)
+{
+    FilterBuilder f("badinit", kFloat32, kFloat32);
+    f.rates(1, 1, 1);
+    auto x = f.local("x", kFloat32);
+    f.init().assign(x, f.pop());
+    f.work().push(f.pop());
+    EXPECT_THROW(f.build(), FatalError);
+}
+
+TEST(Filter, StatefulnessIsWriteBased)
+{
+    // Read-only state (a coefficient table) is not "state" in the
+    // paper's sense; written state is.
+    FilterBuilder ro("readonly", kFloat32, kFloat32);
+    ro.rates(1, 1, 1);
+    auto coeff = ro.state("coeff", kFloat32, 4);
+    auto i = ro.local("i", kInt32);
+    ro.init().forLoop(i, 0, 4, [&](BlockBuilder& b) {
+        b.store(coeff, varRef(i), floatImm(0.5f));
+    });
+    ro.work().push(ro.pop() * load(coeff, intImm(0)));
+    EXPECT_FALSE(ro.build()->isStateful());
+
+    FilterBuilder rw("written", kFloat32, kFloat32);
+    rw.rates(1, 1, 1);
+    auto acc = rw.state("acc", kFloat32);
+    rw.init().assign(acc, floatImm(0.0f));
+    rw.work().assign(acc, varRef(acc) + rw.pop());
+    rw.work().push(varRef(acc));
+    EXPECT_TRUE(rw.build()->isStateful());
+}
+
+TEST(Filter, DataDependentRatesRejected)
+{
+    FilterBuilder f("dyn", kFloat32, kFloat32);
+    f.rates(1, 1, 1);
+    auto x = f.local("x", kFloat32);
+    f.work().assign(x, f.pop());
+    f.work().ifElse(varRef(x) > floatImm(0.0f),
+                    [&](BlockBuilder& t) { t.push(varRef(x)); },
+                    [&](BlockBuilder& e) {
+                        e.push(varRef(x));
+                        e.push(varRef(x));
+                    });
+    EXPECT_THROW(f.build(), FatalError);
+}
+
+TEST(Filter, BuildTwicePanics)
+{
+    FilterBuilder f("once", kFloat32, kFloat32);
+    f.rates(1, 1, 1);
+    f.work().push(f.pop());
+    f.build();
+    EXPECT_THROW(f.build(), PanicError);
+}
+
+} // namespace
+} // namespace macross::graph

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for flattening and flat-graph structure.
+ */
+#include "graph/flat_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/common.h"
+#include "support/diagnostics.h"
+
+namespace macross::graph {
+namespace {
+
+using benchmarks::floatSink;
+using benchmarks::floatSource;
+using benchmarks::gain;
+using benchmarks::identity;
+
+TEST(Flatten, SimplePipeline)
+{
+    auto g = flatten(pipeline({
+        filterStream(floatSource("src", 2)),
+        filterStream(gain("g", 2.0f)),
+        filterStream(floatSink("snk", 1)),
+    }));
+    EXPECT_EQ(g.actors.size(), 3u);
+    EXPECT_EQ(g.tapes.size(), 2u);
+    auto order = g.topoOrder();
+    EXPECT_EQ(g.actor(order.front()).name, "src");
+    EXPECT_EQ(g.actor(order.back()).name, "snk");
+}
+
+TEST(Flatten, SplitJoinCreatesSplitterAndJoiner)
+{
+    auto g = flatten(pipeline({
+        filterStream(floatSource("src", 4)),
+        splitJoinRoundRobin({1, 1},
+                            {filterStream(gain("a", 1.0f)),
+                             filterStream(gain("b", 2.0f))},
+                            {1, 1}),
+        filterStream(floatSink("snk", 1)),
+    }));
+    int splitters = 0, joiners = 0;
+    for (const auto& a : g.actors) {
+        splitters += a.kind == ActorKind::Splitter;
+        joiners += a.kind == ActorKind::Joiner;
+    }
+    EXPECT_EQ(splitters, 1);
+    EXPECT_EQ(joiners, 1);
+    // Splitter: one input, two outputs; rates follow the weights.
+    for (const auto& a : g.actors) {
+        if (a.kind == ActorKind::Splitter) {
+            EXPECT_EQ(a.inputs.size(), 1u);
+            EXPECT_EQ(a.outputs.size(), 2u);
+            EXPECT_EQ(a.popRate(0), 2);
+            EXPECT_EQ(a.pushRate(0), 1);
+        }
+    }
+}
+
+TEST(Flatten, DuplicateSplitterRates)
+{
+    auto g = flatten(pipeline({
+        filterStream(floatSource("src", 1)),
+        splitJoinDuplicate({filterStream(gain("a", 1.0f)),
+                            filterStream(gain("b", 2.0f))},
+                           {1, 1}),
+        filterStream(floatSink("snk", 1)),
+    }));
+    for (const auto& a : g.actors) {
+        if (a.kind == ActorKind::Splitter) {
+            EXPECT_EQ(a.popRate(0), 1);
+            EXPECT_EQ(a.pushRate(0), 1);
+            EXPECT_EQ(a.pushRate(1), 1);
+        }
+    }
+}
+
+TEST(Flatten, RequiresSourceAndSinkEndpoints)
+{
+    // A pipeline starting with a popping filter is not a program.
+    EXPECT_THROW(flatten(pipeline({
+                     filterStream(gain("g", 1.0f)),
+                     filterStream(floatSink("snk", 1)),
+                 })),
+                 FatalError);
+}
+
+TEST(Flatten, TypeMismatchDetected)
+{
+    using benchmarks::intSource;
+    EXPECT_THROW(flatten(pipeline({
+                     filterStream(intSource("isrc", 1)),
+                     filterStream(gain("g", 1.0f)),
+                     filterStream(floatSink("snk", 1)),
+                 })),
+                 FatalError);
+}
+
+TEST(Flatten, IdentityBranchPortsConsistent)
+{
+    auto g = flatten(pipeline({
+        filterStream(floatSource("src", 2)),
+        splitJoinRoundRobin({1, 1},
+                            {filterStream(identity("i0")),
+                             filterStream(identity("i1"))},
+                            {1, 1}),
+        filterStream(floatSink("snk", 1)),
+    }));
+    validate(g);  // must not throw
+    for (const auto& t : g.tapes) {
+        EXPECT_EQ(g.actor(t.src).outputs.at(t.srcPort), t.id);
+        EXPECT_EQ(g.actor(t.dst).inputs.at(t.dstPort), t.id);
+    }
+}
+
+} // namespace
+} // namespace macross::graph

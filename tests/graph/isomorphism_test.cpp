@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the isomorphism comparator.
+ */
+#include "graph/isomorphism.h"
+
+#include <gtest/gtest.h>
+
+namespace macross::graph {
+namespace {
+
+using namespace ir;
+
+FilterDefPtr
+mapper(const std::string& name, float c1, float c2)
+{
+    FilterBuilder f(name, kFloat32, kFloat32);
+    f.rates(2, 2, 1);
+    auto a = f.local("a", kFloat32);
+    auto b = f.local("b", kFloat32);
+    f.work().assign(a, f.pop());
+    f.work().assign(b, f.pop());
+    f.work().push(varRef(a) * floatImm(c1) + varRef(b) * floatImm(c2));
+    return f.build();
+}
+
+TEST(Isomorphism, IdenticalDefsMatchWithNoDiffs)
+{
+    auto a = mapper("a", 1.0f, 2.0f);
+    auto b = mapper("b", 1.0f, 2.0f);
+    IsoResult r = compareIsomorphic({a.get(), b.get()});
+    EXPECT_TRUE(r.ok);
+    EXPECT_TRUE(r.intDiffs.empty());
+    EXPECT_TRUE(r.floatDiffs.empty());
+}
+
+TEST(Isomorphism, DifferingConstantsAreCollected)
+{
+    auto a = mapper("a", 1.0f, 2.0f);
+    auto b = mapper("b", 3.0f, 2.0f);
+    auto c = mapper("c", 5.0f, 2.0f);
+    IsoResult r = compareIsomorphic({a.get(), b.get(), c.get()});
+    ASSERT_TRUE(r.ok);
+    ASSERT_EQ(r.floatDiffs.size(), 1u);
+    const auto& vals = r.floatDiffs.begin()->second;
+    ASSERT_EQ(vals.size(), 3u);
+    EXPECT_FLOAT_EQ(vals[0], 1.0f);
+    EXPECT_FLOAT_EQ(vals[1], 3.0f);
+    EXPECT_FLOAT_EQ(vals[2], 5.0f);
+}
+
+TEST(Isomorphism, RateMismatchRejected)
+{
+    auto a = mapper("a", 1.0f, 2.0f);
+    FilterBuilder f("b", kFloat32, kFloat32);
+    f.rates(1, 1, 1);
+    f.work().push(f.pop());
+    auto b = f.build();
+    EXPECT_FALSE(compareIsomorphic({a.get(), b.get()}).ok);
+}
+
+TEST(Isomorphism, StructureMismatchRejected)
+{
+    auto a = mapper("a", 1.0f, 2.0f);
+    FilterBuilder f("b", kFloat32, kFloat32);
+    f.rates(2, 2, 1);
+    auto x = f.local("x", kFloat32);
+    auto y = f.local("y", kFloat32);
+    f.work().assign(x, f.pop());
+    f.work().assign(y, f.pop());
+    // Different operator shape: uses subtraction.
+    f.work().push(varRef(x) * floatImm(1.0f) -
+                  varRef(y) * floatImm(2.0f));
+    auto b = f.build();
+    EXPECT_FALSE(compareIsomorphic({a.get(), b.get()}).ok);
+}
+
+TEST(Isomorphism, VariableCorrespondenceIsConsistent)
+{
+    // b swaps which local is used in the final expression; structures
+    // are otherwise identical, so the correspondence check must fire.
+    FilterBuilder fa("a", kFloat32, kFloat32);
+    fa.rates(2, 2, 1);
+    auto a1 = fa.local("p", kFloat32);
+    auto a2 = fa.local("q", kFloat32);
+    fa.work().assign(a1, fa.pop());
+    fa.work().assign(a2, fa.pop());
+    fa.work().push(varRef(a1));
+    auto da = fa.build();
+
+    FilterBuilder fb("b", kFloat32, kFloat32);
+    fb.rates(2, 2, 1);
+    auto b1 = fb.local("p", kFloat32);
+    auto b2 = fb.local("q", kFloat32);
+    fb.work().assign(b1, fb.pop());
+    fb.work().assign(b2, fb.pop());
+    fb.work().push(varRef(b2));  // swapped
+    auto db = fb.build();
+
+    EXPECT_FALSE(compareIsomorphic({da.get(), db.get()}).ok);
+}
+
+TEST(Isomorphism, StatefulShiftRegistersMatch)
+{
+    auto makeC = [](const std::string& n) {
+        FilterBuilder f(n, kFloat32, kFloat32);
+        f.rates(1, 1, 1);
+        auto st = f.state("st", kFloat32, 8);
+        auto ph = f.state("ph", kInt32);
+        f.init().assign(ph, intImm(0));
+        f.work().push(load(st, varRef(ph)));
+        f.work().store(st, varRef(ph), f.pop());
+        f.work().assign(ph, (varRef(ph) + intImm(1)) % intImm(8));
+        return f.build();
+    };
+    auto a = makeC("c0");
+    auto b = makeC("c1");
+    EXPECT_TRUE(compareIsomorphic({a.get(), b.get()}).ok);
+}
+
+} // namespace
+} // namespace macross::graph

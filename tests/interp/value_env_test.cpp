@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for the Value model and variable environments.
+ */
+#include "interp/env.h"
+
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.h"
+
+namespace macross::interp {
+namespace {
+
+ir::VarPtr
+makeVar(const std::string& name, ir::Type t, int arr = 0,
+        ir::VarKind k = ir::VarKind::Local)
+{
+    auto v = std::make_shared<ir::Var>();
+    v->name = name;
+    v->type = t;
+    v->arraySize = arr;
+    v->kind = k;
+    return v;
+}
+
+TEST(Value, ScalarConstructionAndEquality)
+{
+    Value a = Value::makeInt(42);
+    Value b = Value::makeInt(42);
+    Value c = Value::makeFloat(42.0f);
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a == c);  // types differ even if bits could match
+    EXPECT_EQ(a.i(), 42);
+    EXPECT_FLOAT_EQ(c.f(), 42.0f);
+}
+
+TEST(Value, LaneAccessAndExtraction)
+{
+    Value v = Value::zero(ir::Type{ir::Scalar::Float32, 4});
+    for (int l = 0; l < 4; ++l)
+        v.setF(l, 1.5f * l);
+    Value lane2 = v.lane(2);
+    EXPECT_EQ(lane2.lanes(), 1);
+    EXPECT_FLOAT_EQ(lane2.f(), 3.0f);
+    EXPECT_THROW(v.lane(4), PanicError);
+}
+
+TEST(Value, StringRendering)
+{
+    EXPECT_EQ(Value::makeInt(-3).str(), "-3");
+    Value v = Value::zero(ir::Type{ir::Scalar::Int32, 2});
+    v.setI(0, 1);
+    v.setI(1, 2);
+    EXPECT_EQ(v.str(), "{1, 2}");
+}
+
+TEST(Value, ZeroRespectsMaxLanes)
+{
+    EXPECT_NO_THROW(Value::zero(ir::Type{ir::Scalar::Int32, 16}));
+    EXPECT_THROW(Value::zero(ir::Type{ir::Scalar::Int32, 17}),
+                 PanicError);
+}
+
+TEST(Env, LocalReadBeforeWritePanics)
+{
+    Env env;
+    auto local = makeVar("x", ir::kInt32);
+    EXPECT_THROW(env.get(local.get()), PanicError);
+    env.set(local.get(), Value::makeInt(1));
+    EXPECT_EQ(env.get(local.get()).i(), 1);
+}
+
+TEST(Env, StateVarsZeroInitializeOnRead)
+{
+    // C++ field semantics: uninitialized state reads as zero, both in
+    // the interpreter and in generated code.
+    Env env;
+    auto state =
+        makeVar("acc", ir::kFloat32, 0, ir::VarKind::State);
+    EXPECT_FLOAT_EQ(env.get(state.get()).f(), 0.0f);
+}
+
+TEST(Env, ArraysAllocateLazilyAndBoundsCheck)
+{
+    Env env;
+    auto arr = makeVar("a", ir::kInt32, 4);
+    EXPECT_EQ(env.getElem(arr.get(), 3).i(), 0);  // zero-filled
+    env.setElem(arr.get(), 2, Value::makeInt(7));
+    EXPECT_EQ(env.getElem(arr.get(), 2).i(), 7);
+    EXPECT_THROW(env.getElem(arr.get(), 4), PanicError);
+    EXPECT_THROW(env.setElem(arr.get(), -1, Value::makeInt(0)),
+                 PanicError);
+}
+
+TEST(Env, ArrayAccessToScalarPanics)
+{
+    Env env;
+    auto scalar = makeVar("s", ir::kInt32);
+    EXPECT_THROW(env.getElem(scalar.get(), 0), PanicError);
+}
+
+TEST(Env, ClearDropsBindings)
+{
+    Env env;
+    auto v = makeVar("x", ir::kInt32);
+    env.set(v.get(), Value::makeInt(5));
+    env.clear();
+    EXPECT_FALSE(env.has(v.get()));
+}
+
+} // namespace
+} // namespace macross::interp

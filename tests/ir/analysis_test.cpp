@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for IR static analyses.
+ */
+#include "ir/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+
+namespace macross::ir {
+namespace {
+
+VarPtr
+makeVar(const std::string& name, Type t, int arr = 0,
+        VarKind k = VarKind::Local)
+{
+    auto v = std::make_shared<Var>();
+    v->name = name;
+    v->type = t;
+    v->arraySize = arr;
+    v->kind = k;
+    return v;
+}
+
+TEST(Analysis, CountsFlatTapeAccesses)
+{
+    BlockBuilder b;
+    auto x = makeVar("x", kFloat32);
+    b.assign(x, popExpr(kFloat32));
+    b.assign(x, peekExpr(kFloat32, intImm(2)));
+    b.push(varRef(x));
+    b.push(varRef(x));
+    TapeCounts tc = countTapeAccesses(b.stmts());
+    EXPECT_TRUE(tc.exact);
+    EXPECT_EQ(tc.pops, 1);
+    EXPECT_EQ(tc.peeks, 1);
+    EXPECT_EQ(tc.pushes, 2);
+}
+
+TEST(Analysis, LoopMultipliesCounts)
+{
+    BlockBuilder b;
+    auto x = makeVar("x", kFloat32);
+    auto i = makeVar("i", kInt32);
+    b.forLoop(i, 0, 5, [&](BlockBuilder& inner) {
+        inner.assign(x, popExpr(kFloat32));
+        inner.push(varRef(x));
+    });
+    TapeCounts tc = countTapeAccesses(b.stmts());
+    EXPECT_TRUE(tc.exact);
+    EXPECT_EQ(tc.pops, 5);
+    EXPECT_EQ(tc.pushes, 5);
+}
+
+TEST(Analysis, NonConstantLoopBoundIsInexact)
+{
+    BlockBuilder b;
+    auto x = makeVar("x", kFloat32);
+    auto n = makeVar("n", kInt32);
+    auto i = makeVar("i", kInt32);
+    b.forLoop(i, intImm(0), varRef(n), [&](BlockBuilder& inner) {
+        inner.assign(x, popExpr(kFloat32));
+    });
+    EXPECT_FALSE(countTapeAccesses(b.stmts()).exact);
+}
+
+TEST(Analysis, UnbalancedIfIsInexact)
+{
+    BlockBuilder b;
+    auto x = makeVar("x", kFloat32);
+    b.ifElse(intImm(1),
+             [&](BlockBuilder& t) { t.push(floatImm(1.0f)); },
+             [&](BlockBuilder& e) {
+                 e.push(floatImm(1.0f));
+                 e.push(floatImm(2.0f));
+             });
+    EXPECT_FALSE(countTapeAccesses(b.stmts()).exact);
+    (void)x;
+}
+
+TEST(Analysis, BalancedIfIsExact)
+{
+    BlockBuilder b;
+    b.ifElse(intImm(1),
+             [&](BlockBuilder& t) { t.push(floatImm(1.0f)); },
+             [&](BlockBuilder& e) { e.push(floatImm(2.0f)); });
+    TapeCounts tc = countTapeAccesses(b.stmts());
+    EXPECT_TRUE(tc.exact);
+    EXPECT_EQ(tc.pushes, 1);
+}
+
+TEST(Analysis, VectorAccessesCountLanes)
+{
+    BlockBuilder b;
+    auto v = makeVar("v", Type{Scalar::Float32, 4});
+    b.assign(v, vpopExpr(Type{Scalar::Float32, 4}));
+    b.vpush(varRef(v));
+    b.advanceIn(8);
+    b.advanceOut(4);
+    TapeCounts tc = countTapeAccesses(b.stmts());
+    EXPECT_EQ(tc.pops, 4 + 8);
+    EXPECT_EQ(tc.pushes, 4 + 4);
+}
+
+TEST(Analysis, RPushDoesNotAdvance)
+{
+    BlockBuilder b;
+    b.rpush(floatImm(1.0f), intImm(2));
+    b.push(floatImm(1.0f));
+    TapeCounts tc = countTapeAccesses(b.stmts());
+    EXPECT_EQ(tc.pushes, 1);
+}
+
+TEST(Analysis, ConstFold)
+{
+    EXPECT_EQ(tryConstFold(intImm(3) * intImm(4) + intImm(1)), 13);
+    EXPECT_EQ(tryConstFold(binary(BinaryOp::Shl, intImm(1), intImm(4))),
+              16);
+    auto v = makeVar("v", kInt32);
+    EXPECT_FALSE(tryConstFold(varRef(v)).has_value());
+    EXPECT_FALSE(tryConstFold(intImm(1) / intImm(0)).has_value());
+}
+
+TEST(Analysis, WrittenAndReferencedVars)
+{
+    BlockBuilder b;
+    auto x = makeVar("x", kFloat32);
+    auto y = makeVar("y", kFloat32);
+    auto i = makeVar("i", kInt32);
+    b.forLoop(i, 0, 2, [&](BlockBuilder& inner) {
+        inner.assign(x, varRef(y) + floatImm(1.0f));
+    });
+    auto written = writtenVars(b.stmts());
+    EXPECT_TRUE(written.count(x.get()));
+    EXPECT_TRUE(written.count(i.get()));
+    EXPECT_FALSE(written.count(y.get()));
+    auto refd = referencedVars(b.stmts());
+    EXPECT_TRUE(refd.count(y.get()));
+}
+
+TEST(Analysis, TapeDirectionPredicates)
+{
+    BlockBuilder reads;
+    auto x = makeVar("x", kFloat32);
+    reads.assign(x, peekExpr(kFloat32, intImm(0)));
+    EXPECT_TRUE(readsInputTape(reads.stmts()));
+    EXPECT_FALSE(writesOutputTape(reads.stmts()));
+
+    BlockBuilder writes;
+    writes.push(floatImm(1.0f));
+    EXPECT_FALSE(readsInputTape(writes.stmts()));
+    EXPECT_TRUE(writesOutputTape(writes.stmts()));
+}
+
+} // namespace
+} // namespace macross::ir

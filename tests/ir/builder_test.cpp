@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests for IR construction and type inference.
+ */
+#include "ir/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.h"
+
+namespace macross::ir {
+namespace {
+
+VarPtr
+makeVar(const std::string& name, Type t, int arr = 0,
+        VarKind k = VarKind::Local)
+{
+    auto v = std::make_shared<Var>();
+    v->name = name;
+    v->type = t;
+    v->arraySize = arr;
+    v->kind = k;
+    return v;
+}
+
+TEST(Builder, IntFloatPromotion)
+{
+    ExprPtr e = intImm(2) + floatImm(1.5f);
+    EXPECT_EQ(e->type, kFloat32);
+    // Both operands should have been converted to float.
+    EXPECT_EQ(e->args[0]->type, kFloat32);
+    EXPECT_EQ(e->args[1]->type, kFloat32);
+}
+
+TEST(Builder, ComparisonYieldsInt)
+{
+    ExprPtr e = floatImm(1.0f) < floatImm(2.0f);
+    EXPECT_EQ(e->type, kInt32);
+}
+
+TEST(Builder, ScalarVectorUnificationInsertsSplat)
+{
+    auto v = makeVar("v", Type{Scalar::Float32, 4});
+    ExprPtr e = varRef(v) * floatImm(2.0f);
+    EXPECT_EQ(e->type.lanes, 4);
+    EXPECT_EQ(e->args[1]->kind, ExprKind::Splat);
+}
+
+TEST(Builder, MismatchedVectorLanesPanic)
+{
+    auto a = makeVar("a", Type{Scalar::Float32, 4});
+    auto b = makeVar("b", Type{Scalar::Float32, 8});
+    EXPECT_THROW(varRef(a) + varRef(b), PanicError);
+}
+
+TEST(Builder, IntegerOnlyOperatorsRejectFloats)
+{
+    EXPECT_THROW(floatImm(1.0f) % floatImm(2.0f), PanicError);
+    EXPECT_THROW(binary(BinaryOp::And, floatImm(1.0f), floatImm(1.0f)),
+                 PanicError);
+}
+
+TEST(Builder, VarRefOnArrayRejected)
+{
+    auto arr = makeVar("a", kFloat32, 8);
+    EXPECT_THROW(varRef(arr), PanicError);
+    EXPECT_NO_THROW(load(arr, intImm(0)));
+}
+
+TEST(Builder, LoadRequiresScalarIntIndex)
+{
+    auto arr = makeVar("a", kFloat32, 8);
+    EXPECT_THROW(load(arr, floatImm(1.0f)), PanicError);
+}
+
+TEST(Builder, LaneReadBounds)
+{
+    auto v = makeVar("v", Type{Scalar::Int32, 4});
+    EXPECT_NO_THROW(laneRead(varRef(v), 3));
+    EXPECT_THROW(laneRead(varRef(v), 4), PanicError);
+    EXPECT_THROW(laneRead(intImm(1), 0), PanicError);
+}
+
+TEST(Builder, ToFloatIsIdempotent)
+{
+    ExprPtr f = toFloat(floatImm(1.0f));
+    EXPECT_EQ(f->kind, ExprKind::FloatImm);
+    ExprPtr c = toFloat(intImm(1));
+    EXPECT_EQ(c->kind, ExprKind::Call);
+    EXPECT_EQ(c->type, kFloat32);
+}
+
+TEST(Builder, AssignTypeChecks)
+{
+    BlockBuilder b;
+    auto f = makeVar("f", kFloat32);
+    // Int value into float var converts implicitly.
+    b.assign(f, intImm(3));
+    ASSERT_EQ(b.stmts().size(), 1u);
+    EXPECT_EQ(b.stmts()[0]->a->type, kFloat32);
+
+    auto vec = makeVar("v", Type{Scalar::Float32, 4});
+    b.assign(vec, floatImm(1.0f));  // splat inserted
+    EXPECT_EQ(b.stmts()[1]->a->type.lanes, 4);
+}
+
+TEST(Builder, AssignVectorToScalarPanics)
+{
+    BlockBuilder b;
+    auto s = makeVar("s", kFloat32);
+    auto vec = makeVar("v", Type{Scalar::Float32, 4});
+    EXPECT_THROW(b.assign(s, varRef(vec)), PanicError);
+}
+
+TEST(Builder, PushOfVectorRejected)
+{
+    BlockBuilder b;
+    auto vec = makeVar("v", Type{Scalar::Float32, 4});
+    EXPECT_THROW(b.push(varRef(vec)), PanicError);
+    EXPECT_NO_THROW(b.vpush(varRef(vec)));
+    EXPECT_THROW(b.vpush(floatImm(1.0f)), PanicError);
+}
+
+TEST(Builder, ForLoopRequiresScalarIntVar)
+{
+    BlockBuilder b;
+    auto fv = makeVar("f", kFloat32);
+    EXPECT_THROW(b.forLoop(fv, 0, 3, [](BlockBuilder&) {}),
+                 PanicError);
+    auto iv = makeVar("i", kInt32);
+    b.forLoop(iv, 0, 3, [&](BlockBuilder& inner) {
+        inner.assign(iv, intImm(0));  // body content is arbitrary
+    });
+    EXPECT_EQ(b.stmts().back()->kind, StmtKind::For);
+    EXPECT_EQ(b.stmts().back()->body.size(), 1u);
+}
+
+TEST(Builder, VecImmLaneCount)
+{
+    ExprPtr v = vecImm(std::vector<std::int64_t>{1, 2, 3, 4});
+    EXPECT_EQ(v->type.lanes, 4);
+    EXPECT_TRUE(v->type.isInt());
+    EXPECT_THROW(vecImm(std::vector<float>{1.0f}), PanicError);
+}
+
+TEST(Builder, PermutationIntrinsicsRequireEqualVectors)
+{
+    auto a = makeVar("a", Type{Scalar::Float32, 4});
+    auto b = makeVar("b", Type{Scalar::Float32, 4});
+    EXPECT_NO_THROW(
+        call(Intrinsic::ExtractEven, {varRef(a), varRef(b)}));
+    EXPECT_THROW(call(Intrinsic::ExtractEven, {varRef(a)}),
+                 PanicError);
+    EXPECT_THROW(
+        call(Intrinsic::InterleaveLo, {floatImm(1.0f), floatImm(2.0f)}),
+        PanicError);
+}
+
+} // namespace
+} // namespace macross::ir

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the Rewriter: variable remapping retypes trees
+ * through the factories (the mechanism the vectorizer relies on).
+ */
+#include "ir/clone.h"
+
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.h"
+
+namespace macross::ir {
+namespace {
+
+VarPtr
+makeVar(const std::string& name, Type t, int arr = 0)
+{
+    auto v = std::make_shared<Var>();
+    v->name = name;
+    v->type = t;
+    v->arraySize = arr;
+    return v;
+}
+
+TEST(Rewriter, RemappingScalarToVectorRetypes)
+{
+    auto x = makeVar("x", kFloat32);
+    auto xv = makeVar("x_v", Type{Scalar::Float32, 4});
+    // y = x * 2.0
+    BlockBuilder b;
+    auto y = makeVar("y", kFloat32);
+    auto yv = makeVar("y_v", Type{Scalar::Float32, 4});
+    b.assign(y, varRef(x) * floatImm(2.0f));
+
+    Rewriter rw;
+    rw.varMap.set(x, xv);
+    rw.varMap.set(y, yv);
+    auto out = rw.rewrite(b.stmts());
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0]->var.get(), yv.get());
+    EXPECT_EQ(out[0]->a->type.lanes, 4);
+    // The float literal must have been splatted.
+    EXPECT_EQ(out[0]->a->args[1]->kind, ExprKind::Splat);
+}
+
+TEST(Rewriter, SplatDissolvesWhenOperandBecomesVector)
+{
+    auto x = makeVar("x", kFloat32);
+    auto xv = makeVar("x_v", Type{Scalar::Float32, 4});
+    ExprPtr e = splat(varRef(x), 4);
+    Rewriter rw;
+    rw.varMap.set(x, xv);
+    ExprPtr out = rw.rewrite(e);
+    EXPECT_EQ(out->kind, ExprKind::VarRef);
+    EXPECT_EQ(out->type.lanes, 4);
+}
+
+TEST(Rewriter, ExprHookReplacesNodes)
+{
+    auto x = makeVar("x", kInt32);
+    ExprPtr e = varRef(x) + intImm(1);
+    Rewriter rw;
+    rw.exprHook = [&](const Expr& node, Rewriter&) -> ExprPtr {
+        if (node.kind == ExprKind::VarRef)
+            return intImm(41);
+        return nullptr;
+    };
+    ExprPtr out = rw.rewrite(e);
+    EXPECT_EQ(out->args[0]->ival, 41);
+}
+
+TEST(Rewriter, StmtHookExpandsStatements)
+{
+    BlockBuilder b;
+    b.push(floatImm(1.0f));
+    Rewriter rw;
+    rw.stmtHook = [](const Stmt& s, BlockBuilder& out,
+                     Rewriter& self) -> bool {
+        if (s.kind != StmtKind::Push)
+            return false;
+        out.rpush(self.rewrite(s.a), intImm(3));
+        out.push(self.rewrite(s.a));
+        return true;
+    };
+    auto out = rw.rewrite(b.stmts());
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0]->kind, StmtKind::RPush);
+    EXPECT_EQ(out[1]->kind, StmtKind::Push);
+}
+
+TEST(Rewriter, CloneIsDeepAndIndependent)
+{
+    auto x = makeVar("x", kFloat32);
+    BlockBuilder b;
+    auto i = makeVar("i", kInt32);
+    b.forLoop(i, 0, 3, [&](BlockBuilder& inner) {
+        inner.assign(x, varRef(x) + floatImm(1.0f));
+    });
+    VarMap empty;
+    auto copy = cloneStmts(b.stmts(), empty);
+    ASSERT_EQ(copy.size(), 1u);
+    EXPECT_NE(copy[0].get(), b.stmts()[0].get());
+    EXPECT_EQ(copy[0]->body.size(), 1u);
+    // Unmapped vars keep their identity.
+    EXPECT_EQ(copy[0]->var.get(), i.get());
+}
+
+TEST(Rewriter, VectorIfConditionPanics)
+{
+    auto c = makeVar("c", kInt32);
+    auto cv = makeVar("c_v", Type{Scalar::Int32, 4});
+    BlockBuilder b;
+    b.ifElse(varRef(c), [&](BlockBuilder& t) {
+        t.assign(c, intImm(1));
+    });
+    Rewriter rw;
+    rw.varMap.set(c, cv);
+    EXPECT_THROW(rw.rewrite(b.stmts()), PanicError);
+}
+
+} // namespace
+} // namespace macross::ir

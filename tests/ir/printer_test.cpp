@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Unit tests for the IR text dumper.
+ */
+#include "ir/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+
+namespace macross::ir {
+namespace {
+
+VarPtr
+makeVar(const std::string& name, Type t, int arr = 0)
+{
+    auto v = std::make_shared<Var>();
+    v->name = name;
+    v->type = t;
+    v->arraySize = arr;
+    return v;
+}
+
+TEST(Printer, PaperStyleTapeAccesses)
+{
+    BlockBuilder b;
+    auto tv = makeVar("t_v", Type{Scalar::Float32, 4});
+    b.assignLane(tv, 3, peekExpr(kFloat32, intImm(6)));
+    b.assignLane(tv, 0, popExpr(kFloat32));
+    b.vpush(varRef(tv));
+    b.rpush(laneRead(varRef(tv), 2), intImm(4));
+    b.advanceIn(6);
+    std::string out = printStmts(b.stmts());
+    EXPECT_NE(out.find("t_v.{3} = peek(6);"), std::string::npos);
+    EXPECT_NE(out.find("t_v.{0} = pop();"), std::string::npos);
+    EXPECT_NE(out.find("vpush(t_v);"), std::string::npos);
+    EXPECT_NE(out.find("rpush(t_v.{2}, 4);"), std::string::npos);
+    EXPECT_NE(out.find("advance_in(6);"), std::string::npos);
+}
+
+TEST(Printer, ControlFlowIndentation)
+{
+    BlockBuilder b;
+    auto i = makeVar("i", kInt32);
+    auto x = makeVar("x", kFloat32);
+    b.forLoop(i, 0, 2, [&](BlockBuilder& inner) {
+        inner.assign(x, floatImm(1.0f));
+    });
+    std::string out = printStmts(b.stmts());
+    EXPECT_NE(out.find("for (i : 0 until 2) {"), std::string::npos);
+    EXPECT_NE(out.find("    x = 1f;"), std::string::npos);
+}
+
+TEST(Printer, ExpressionForms)
+{
+    auto v = makeVar("v", Type{Scalar::Int32, 4});
+    EXPECT_EQ(printExpr(binary(BinaryOp::Min, intImm(1), intImm(2))),
+              "min(1, 2)");
+    EXPECT_EQ(printExpr(splat(intImm(7), 4)), "splat(7, 4)");
+    EXPECT_EQ(printExpr(call(Intrinsic::ExtractOdd,
+                             {varRef(v), varRef(v)})),
+              "extract_odd(v, v)");
+}
+
+} // namespace
+} // namespace macross::ir

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit tests for machine descriptions and cost accumulation.
+ */
+#include "machine/cost_sink.h"
+
+#include <gtest/gtest.h>
+
+namespace macross::machine {
+namespace {
+
+TEST(MachineDesc, SaguVariantOnlyChangesWalkCost)
+{
+    MachineDesc base = coreI7();
+    MachineDesc sagu = coreI7WithSagu();
+    EXPECT_FALSE(base.hasSagu);
+    EXPECT_TRUE(sagu.hasSagu);
+    EXPECT_GT(base.costOf(OpClass::SaguWalk), 0.0);
+    EXPECT_DOUBLE_EQ(sagu.costOf(OpClass::SaguWalk), 0.0);
+    for (int c = 0; c < static_cast<int>(OpClass::NumClasses); ++c) {
+        if (c == static_cast<int>(OpClass::SaguWalk))
+            continue;
+        EXPECT_DOUBLE_EQ(base.cost[c], sagu.cost[c]);
+    }
+}
+
+TEST(MachineDesc, VectorCostCeilsByWidth)
+{
+    MachineDesc m = coreI7();
+    double one = m.costOf(OpClass::FpAdd);
+    EXPECT_DOUBLE_EQ(m.vectorCost(OpClass::FpAdd, 1), one);
+    EXPECT_DOUBLE_EQ(m.vectorCost(OpClass::FpAdd, 4), one);
+    EXPECT_DOUBLE_EQ(m.vectorCost(OpClass::FpAdd, 5), 2 * one);
+    EXPECT_DOUBLE_EQ(m.vectorCost(OpClass::FpAdd, 8), 2 * one);
+}
+
+TEST(MachineDesc, WideVariants)
+{
+    EXPECT_EQ(wide8().simdWidth, 8);
+    EXPECT_EQ(wide16().simdWidth, 16);
+}
+
+TEST(CostSink, PerActorAttribution)
+{
+    MachineDesc m = coreI7();
+    CostSink sink(m);
+    sink.setCurrentActor(3);
+    sink.charge(OpClass::FpMul);
+    sink.setCurrentActor(7);
+    sink.charge(OpClass::FpMul, 1, 2);
+    EXPECT_DOUBLE_EQ(sink.actorCycles(3), m.costOf(OpClass::FpMul));
+    EXPECT_DOUBLE_EQ(sink.actorCycles(7),
+                     2 * m.costOf(OpClass::FpMul));
+    EXPECT_DOUBLE_EQ(sink.totalCycles(),
+                     3 * m.costOf(OpClass::FpMul));
+    EXPECT_DOUBLE_EQ(sink.actorCycles(99), 0.0);
+}
+
+TEST(CostSink, ClassBreakdownAndReset)
+{
+    MachineDesc m = coreI7();
+    CostSink sink(m);
+    sink.charge(OpClass::Trig, 4, 3);
+    EXPECT_EQ(sink.classOps()[static_cast<int>(OpClass::Trig)], 3);
+    EXPECT_DOUBLE_EQ(sink.classCycles()[static_cast<int>(OpClass::Trig)],
+                     3 * m.costOf(OpClass::Trig));
+    sink.reset();
+    EXPECT_DOUBLE_EQ(sink.totalCycles(), 0.0);
+    EXPECT_EQ(sink.classOps()[static_cast<int>(OpClass::Trig)], 0);
+}
+
+TEST(CostSink, AllOpClassesHaveNames)
+{
+    for (int c = 0; c < static_cast<int>(OpClass::NumClasses); ++c)
+        EXPECT_FALSE(toString(static_cast<OpClass>(c)).empty());
+}
+
+} // namespace
+} // namespace macross::machine

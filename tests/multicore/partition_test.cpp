@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the multicore partitioner and estimate.
+ */
+#include "multicore/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.h"
+#include "../test_util.h"
+#include "benchmarks/suite.h"
+
+namespace macross::multicore {
+namespace {
+
+std::vector<double>
+profileActorCycles(const vectorizer::CompiledProgram& p,
+                   const machine::MachineDesc& m, int iters = 10)
+{
+    machine::CostSink cost(m);
+    interp::Runner r(p.graph, p.schedule, &cost);
+    r.runInit();
+    r.runSteady(iters);
+    std::vector<double> out(p.graph.actors.size(), 0.0);
+    for (const auto& a : p.graph.actors)
+        out[a.id] = cost.actorCycles(a.id) / iters;
+    return out;
+}
+
+TEST(Partition, SingleCoreHasNoComm)
+{
+    auto p = vectorizer::compileScalar(benchmarks::makeFmRadio());
+    auto cycles = profileActorCycles(p, machine::coreI7());
+    Partition part = partitionGreedy(p.graph, p.schedule, cycles, 1);
+    EXPECT_EQ(part.commWords, 0);
+    double total = 0;
+    for (double c : cycles)
+        total += c;
+    EXPECT_NEAR(part.coreLoad[0], total, 1e-6);
+}
+
+TEST(Partition, LoadsBalanceAcrossCores)
+{
+    auto p = vectorizer::compileScalar(benchmarks::makeFilterBank());
+    auto cycles = profileActorCycles(p, machine::coreI7());
+    Partition part = partitionGreedy(p.graph, p.schedule, cycles, 4);
+    double mx = *std::max_element(part.coreLoad.begin(),
+                                  part.coreLoad.end());
+    double total = 0;
+    for (double c : cycles)
+        total += c;
+    // Bottleneck no worse than 2x the ideal balance for this graph.
+    EXPECT_LE(mx, total / 4 * 2.0 + 1e-9);
+}
+
+TEST(Partition, EstimateAddsCommunication)
+{
+    auto p = vectorizer::compileScalar(benchmarks::makeMatrixMult());
+    auto cycles = profileActorCycles(p, machine::coreI7());
+    Partition part = partitionGreedy(p.graph, p.schedule, cycles, 2);
+    MulticoreEstimate withComm =
+        estimateMulticore(p.graph, p.schedule, part, 12.0, 50.0);
+    MulticoreEstimate freeComm =
+        estimateMulticore(p.graph, p.schedule, part, 0.0, 0.0);
+    EXPECT_GE(withComm.cycles, freeComm.cycles);
+    if (part.commWords > 0) {
+        EXPECT_GT(withComm.commCycles, 0.0);
+    }
+}
+
+TEST(Partition, MoreCoresNeverHurtComputeBound)
+{
+    auto p = vectorizer::compileScalar(benchmarks::makeMp3Decoder());
+    auto cycles = profileActorCycles(p, machine::coreI7());
+    Partition p2 = partitionGreedy(p.graph, p.schedule, cycles, 2);
+    Partition p4 = partitionGreedy(p.graph, p.schedule, cycles, 4);
+    EXPECT_LE(*std::max_element(p4.coreLoad.begin(), p4.coreLoad.end()),
+              *std::max_element(p2.coreLoad.begin(),
+                                p2.coreLoad.end()) +
+                  1e-9);
+}
+
+TEST(Partition, RejectsBadInputs)
+{
+    auto p = vectorizer::compileScalar(benchmarks::makeFmRadio());
+    std::vector<double> cycles(p.graph.actors.size(), 1.0);
+    EXPECT_THROW(partitionGreedy(p.graph, p.schedule, cycles, 0),
+                 FatalError);
+    cycles.pop_back();
+    EXPECT_THROW(partitionGreedy(p.graph, p.schedule, cycles, 2),
+                 FatalError);
+}
+
+} // namespace
+} // namespace macross::multicore

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Buffer-bound tests: static bounds must dominate observed runtime
+ * occupancy for every tape of every benchmark, scalar and SIMDized.
+ */
+#include "schedule/buffers.h"
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/common.h"
+#include "benchmarks/suite.h"
+#include "interp/runner.h"
+#include "vectorizer/pipeline.h"
+
+namespace macross::schedule {
+namespace {
+
+void
+expectBoundsHold(const vectorizer::CompiledProgram& p)
+{
+    auto bounds = computeBufferBounds(p.graph, p.schedule);
+    interp::Runner r(p.graph, p.schedule);
+    r.enableCapture(false);
+    r.runInit();
+    r.runSteady(5);
+    for (const auto& b : bounds) {
+        EXPECT_LE(r.tapeAt(b.tapeId).maxOccupancy(), b.bound)
+            << "tape " << b.tapeId;
+    }
+}
+
+TEST(Buffers, BoundsDominateRuntimeOccupancyScalar)
+{
+    for (const auto& b : benchmarks::standardSuite()) {
+        SCOPED_TRACE(b.name);
+        expectBoundsHold(vectorizer::compileScalar(b.program));
+    }
+}
+
+TEST(Buffers, BoundsDominateRuntimeOccupancySimdized)
+{
+    vectorizer::SimdizeOptions opts;
+    opts.forceSimdize = true;
+    for (const char* name :
+         {"FMRadio", "MatrixMultBlock", "FilterBank", "DCT"}) {
+        SCOPED_TRACE(name);
+        expectBoundsHold(vectorizer::macroSimdize(
+            benchmarks::benchmarkByName(name), opts));
+    }
+}
+
+TEST(Buffers, WarmupMatchesPeekResidue)
+{
+    // A peeking FIR needs (peek - pop) elements resident forever.
+    using namespace graph;
+    auto p = vectorizer::compileScalar(pipeline({
+        filterStream(benchmarks::floatSource("src", 1)),
+        filterStream(benchmarks::firFilter("fir", 16, 1, 0.1f)),
+        filterStream(benchmarks::floatSink("snk", 1)),
+    }));
+    auto bounds = computeBufferBounds(p.graph, p.schedule);
+    // Tape 0: src -> fir.
+    EXPECT_EQ(bounds[0].warmup, 15);
+    EXPECT_GT(totalBufferElements(bounds), 15);
+}
+
+TEST(Buffers, SteadyOccupancyIsPeriodic)
+{
+    // After any number of whole steady iterations the residue on
+    // every tape returns to the warm-up value.
+    auto p = vectorizer::compileScalar(benchmarks::makeFmRadio());
+    auto bounds = computeBufferBounds(p.graph, p.schedule);
+    interp::Runner r(p.graph, p.schedule);
+    r.enableCapture(false);
+    r.runInit();
+    r.runSteady(3);
+    for (const auto& b : bounds) {
+        EXPECT_EQ(r.tapeAt(b.tapeId).available(), b.warmup)
+            << "tape " << b.tapeId;
+    }
+}
+
+} // namespace
+} // namespace macross::schedule

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Latency tests: the paper's Section 3.3 claim that horizontal
+ * SIMDization preserves latency while single-actor/vertical
+ * SIMDization scale the steady state.
+ */
+#include "schedule/latency.h"
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/suite.h"
+#include "vectorizer/pipeline.h"
+
+namespace macross::schedule {
+namespace {
+
+Latency
+latencyOf(const graph::StreamPtr& program,
+          const vectorizer::SimdizeOptions* opts)
+{
+    auto compiled = opts ? vectorizer::macroSimdize(program, *opts)
+                         : vectorizer::compileScalar(program);
+    return measureLatency(compiled.graph, compiled.schedule);
+}
+
+TEST(Latency, HorizontalPreservesSteadyBatch)
+{
+    // FilterBank is purely horizontal: the steady-state input batch
+    // must not grow under SIMDization.
+    auto program = benchmarks::makeFilterBank();
+    Latency scalar = latencyOf(program, nullptr);
+
+    vectorizer::SimdizeOptions horizOnly;
+    horizOnly.forceSimdize = true;
+    horizOnly.enableVertical = false;
+    horizOnly.enableSingleActor = false;
+    Latency horiz = latencyOf(program, &horizOnly);
+    EXPECT_EQ(horiz.steadyInput, scalar.steadyInput);
+}
+
+TEST(Latency, SingleActorScalesSteadyBatch)
+{
+    // MatrixMultBlock's chain is SIMDized across consecutive firings:
+    // the steady state grows by the SIMD width.
+    auto program = benchmarks::makeMatrixMultBlock();
+    Latency scalar = latencyOf(program, nullptr);
+
+    vectorizer::SimdizeOptions full;
+    full.forceSimdize = true;
+    Latency simd = latencyOf(program, &full);
+    EXPECT_EQ(simd.steadyInput, scalar.steadyInput * 4);
+}
+
+TEST(Latency, PeekingPipelineHasWarmup)
+{
+    auto program = benchmarks::makeFmRadio();
+    Latency l = latencyOf(program, nullptr);
+    EXPECT_GT(l.initInput, 0);
+    EXPECT_GT(l.steadyInput, 0);
+}
+
+TEST(Latency, AllBenchmarksHaveExactlyOneSource)
+{
+    for (const auto& b : benchmarks::standardSuite()) {
+        SCOPED_TRACE(b.name);
+        auto compiled = vectorizer::compileScalar(b.program);
+        EXPECT_NO_THROW(
+            measureLatency(compiled.graph, compiled.schedule));
+    }
+}
+
+} // namespace
+} // namespace macross::schedule

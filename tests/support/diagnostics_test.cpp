@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Unit tests for the fatal/panic diagnostics helpers.
+ */
+#include "support/diagnostics.h"
+
+#include <gtest/gtest.h>
+
+namespace macross {
+namespace {
+
+TEST(Diagnostics, FatalThrowsWithFormattedMessage)
+{
+    try {
+        fatal("bad rate ", 42, " on actor ", "foo");
+        FAIL() << "fatal returned";
+    } catch (const FatalError& e) {
+        EXPECT_STREQ(e.what(), "fatal: bad rate 42 on actor foo");
+    }
+}
+
+TEST(Diagnostics, PanicThrowsLogicError)
+{
+    EXPECT_THROW(panic("invariant"), PanicError);
+}
+
+TEST(Diagnostics, ConditionalHelpersFireOnlyWhenTrue)
+{
+    EXPECT_NO_THROW(fatalIf(false, "no"));
+    EXPECT_NO_THROW(panicIf(false, "no"));
+    EXPECT_THROW(fatalIf(true, "yes"), FatalError);
+    EXPECT_THROW(panicIf(true, "yes"), PanicError);
+}
+
+TEST(Diagnostics, FatalIsNotPanic)
+{
+    // The two categories are distinct so tests and callers can tell
+    // user errors from library bugs apart.
+    EXPECT_THROW(
+        {
+            try {
+                fatal("x");
+            } catch (const PanicError&) {
+                FAIL() << "fatal threw PanicError";
+            } catch (const FatalError&) {
+                throw;
+            }
+        },
+        FatalError);
+}
+
+} // namespace
+} // namespace macross

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unit tests for integer-math helpers and Rational.
+ */
+#include "support/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.h"
+
+namespace macross {
+namespace {
+
+TEST(MathUtil, GcdLcmBasics)
+{
+    EXPECT_EQ(gcd64(12, 18), 6);
+    EXPECT_EQ(gcd64(0, 7), 7);
+    EXPECT_EQ(gcd64(7, 0), 7);
+    EXPECT_EQ(lcm64(4, 6), 12);
+    EXPECT_EQ(lcm64(0, 6), 0);
+    EXPECT_EQ(lcm64(5, 5), 5);
+}
+
+TEST(MathUtil, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_TRUE(isPowerOfTwo(1024));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(-4));
+    EXPECT_FALSE(isPowerOfTwo(12));
+}
+
+TEST(MathUtil, Log2Exact)
+{
+    EXPECT_EQ(log2Exact(1), 0);
+    EXPECT_EQ(log2Exact(8), 3);
+    EXPECT_EQ(log2Exact(4096), 12);
+    EXPECT_THROW(log2Exact(6), PanicError);
+}
+
+TEST(MathUtil, CeilDivAndRoundUp)
+{
+    EXPECT_EQ(ceilDiv(0, 3), 0);
+    EXPECT_EQ(ceilDiv(1, 3), 1);
+    EXPECT_EQ(ceilDiv(3, 3), 1);
+    EXPECT_EQ(ceilDiv(4, 3), 2);
+    EXPECT_EQ(roundUp(5, 4), 8);
+    EXPECT_EQ(roundUp(8, 4), 8);
+}
+
+TEST(Rational, NormalizesToLowestTerms)
+{
+    Rational r(6, 8);
+    EXPECT_EQ(r.num(), 3);
+    EXPECT_EQ(r.den(), 4);
+    Rational neg(3, -6);
+    EXPECT_EQ(neg.num(), -1);
+    EXPECT_EQ(neg.den(), 2);
+}
+
+TEST(Rational, Arithmetic)
+{
+    Rational a(1, 2);
+    Rational b(2, 3);
+    EXPECT_EQ(a * b, Rational(1, 3));
+    EXPECT_EQ(a / b, Rational(3, 4));
+    EXPECT_EQ(Rational(4, 2), Rational::fromInt(2));
+}
+
+TEST(Rational, DivisionByZeroPanics)
+{
+    EXPECT_THROW(Rational(1, 2) / Rational(0, 5), PanicError);
+    EXPECT_THROW(Rational(1, 0), PanicError);
+}
+
+} // namespace
+} // namespace macross

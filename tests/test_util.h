@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared helpers for MacroSS tests: compile/run programs and compare
+ * output streams bit-exactly.
+ */
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "interp/runner.h"
+#include "vectorizer/pipeline.h"
+
+namespace macross::testutil {
+
+/** Run a compiled program until @p n sink elements are captured. */
+inline std::vector<interp::Value>
+capture(const vectorizer::CompiledProgram& p, std::int64_t n,
+        machine::CostSink* cost = nullptr)
+{
+    interp::Runner r(p.graph, p.schedule, cost);
+    r.runUntilCaptured(n);
+    return {r.captured().begin(), r.captured().begin() + n};
+}
+
+/** Assert two captured streams are bit-identical. */
+inline void
+expectSameStream(const std::vector<interp::Value>& a,
+                 const std::vector<interp::Value>& b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i], b[i])
+            << "streams diverge at element " << i << ": " << a[i].str()
+            << " vs " << b[i].str();
+    }
+}
+
+/**
+ * The central correctness property: macro-SIMDization must preserve
+ * the program's output stream bit-exactly.
+ */
+inline void
+expectTransformPreservesOutput(const graph::StreamPtr& program,
+                               const vectorizer::SimdizeOptions& opts,
+                               std::int64_t n = 256)
+{
+    auto scalar = vectorizer::compileScalar(program);
+    auto simd = vectorizer::macroSimdize(program, opts);
+    expectSameStream(capture(scalar, n), capture(simd, n));
+}
+
+/** Steady-state cycles per sink element under a machine model. */
+inline double
+cyclesPerElement(const vectorizer::CompiledProgram& p,
+                 const machine::MachineDesc& m, int iters = 20)
+{
+    machine::CostSink cost(m);
+    interp::Runner r(p.graph, p.schedule, &cost);
+    r.runInit();
+    std::size_t before = r.captured().size();
+    r.runSteady(iters);
+    std::size_t produced = r.captured().size() - before;
+    EXPECT_GT(produced, 0u);
+    return cost.totalCycles() / static_cast<double>(produced);
+}
+
+} // namespace macross::testutil

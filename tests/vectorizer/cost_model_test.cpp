@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the static cost model and boundary-mode selection.
+ */
+#include "vectorizer/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/common.h"
+
+namespace macross::vectorizer {
+namespace {
+
+using namespace graph;
+using namespace ir;
+
+FilterDefPtr
+simpleActor(int pop, int push, int computeOps)
+{
+    FilterBuilder f("a", kFloat32, kFloat32);
+    f.rates(pop, pop, push);
+    auto buf = f.local("buf", kFloat32, pop);
+    auto i = f.local("i", kInt32);
+    auto x = f.local("x", kFloat32);
+    f.work().forLoop(i, 0, pop, [&](BlockBuilder& b) {
+        b.store(buf, varRef(i), f.pop());
+    });
+    f.work().assign(x, load(buf, intImm(0)));
+    for (int k = 0; k < computeOps; ++k)
+        f.work().assign(x, varRef(x) * floatImm(1.01f));
+    for (int j = 0; j < push; ++j)
+        f.work().push(varRef(x) + load(buf, intImm(j % pop)));
+    return f.build();
+}
+
+TEST(CostModel, ScalarEstimateGrowsWithWork)
+{
+    machine::MachineDesc m = machine::coreI7();
+    double light = estimateFiringCycles(*simpleActor(2, 2, 1), m);
+    double heavy = estimateFiringCycles(*simpleActor(2, 2, 50), m);
+    EXPECT_GT(heavy, light + 40.0);
+}
+
+TEST(CostModel, SimdizationProfitableForComputeHeavyActors)
+{
+    machine::MachineDesc m = machine::coreI7();
+    EXPECT_TRUE(simdizationProfitable(*simpleActor(2, 2, 60), m));
+}
+
+TEST(CostModel, BoundaryModeRanking)
+{
+    machine::MachineDesc noSagu = machine::coreI7();
+    machine::MachineDesc withSagu = machine::coreI7WithSagu();
+    auto pow2 = simpleActor(8, 8, 4);
+    auto odd = simpleActor(6, 6, 4);
+
+    // Power-of-two rates: permuted beats strided.
+    BoundaryModes m1 =
+        chooseBoundaryModes(*pow2, noSagu, true, false, true, true);
+    EXPECT_EQ(m1.in, TapeMode::PermutedVector);
+    EXPECT_EQ(m1.out, TapeMode::PermutedVector);
+
+    // Non-power-of-two: permuted illegal, no SAGU -> strided.
+    BoundaryModes m2 =
+        chooseBoundaryModes(*odd, noSagu, true, false, true, true);
+    EXPECT_EQ(m2.in, TapeMode::StridedScalar);
+
+    // SAGU hardware present: the free walk wins on any rate.
+    BoundaryModes m3 =
+        chooseBoundaryModes(*odd, withSagu, true, true, true, true);
+    EXPECT_EQ(m3.in, TapeMode::SaguVector);
+    EXPECT_EQ(m3.out, TapeMode::SaguVector);
+
+    // SAGU in software (6-cycle walk) loses to strided access.
+    BoundaryModes m4 =
+        chooseBoundaryModes(*odd, noSagu, true, true, true, true);
+    EXPECT_EQ(m4.in, TapeMode::StridedScalar);
+
+    // SAGU requires a scalar neighbor.
+    BoundaryModes m5 = chooseBoundaryModes(*odd, withSagu, true, true,
+                                           false, false);
+    EXPECT_EQ(m5.in, TapeMode::StridedScalar);
+    EXPECT_EQ(m5.out, TapeMode::StridedScalar);
+}
+
+TEST(CostModel, PeekingActorNeverGetsVectorBoundary)
+{
+    machine::MachineDesc m = machine::coreI7WithSagu();
+    FilterBuilder f("peeky", kFloat32, kFloat32);
+    f.rates(8, 4, 4);
+    auto i = f.local("i", kInt32);
+    auto s = f.local("s", kFloat32);
+    auto t = f.local("t", kFloat32);
+    f.work().assign(s, floatImm(0.0f));
+    f.work().forLoop(i, 0, 8, [&](BlockBuilder& b) {
+        b.assign(s, varRef(s) + f.peek(varRef(i)));
+    });
+    f.work().forLoop(i, 0, 4, [&](BlockBuilder& b) {
+        b.assign(t, f.pop());
+        b.push(varRef(s) * varRef(t));
+    });
+    auto def = f.build();
+    BoundaryModes bm =
+        chooseBoundaryModes(*def, m, true, true, true, true);
+    EXPECT_EQ(bm.in, TapeMode::StridedScalar);
+}
+
+TEST(CostModel, SimdizedEstimateBelowScalarTimesWidth)
+{
+    machine::MachineDesc m = machine::coreI7();
+    auto a = simpleActor(4, 4, 20);
+    double scalar4 = 4 * estimateFiringCycles(*a, m);
+    double simd = estimateSimdizedCycles(
+        *a, m, TapeMode::StridedScalar, TapeMode::StridedScalar);
+    EXPECT_LT(simd, scalar4);
+    // And a cheaper boundary should lower the estimate further.
+    double perm = estimateSimdizedCycles(
+        *a, m, TapeMode::PermutedVector, TapeMode::PermutedVector);
+    EXPECT_LT(perm, simd);
+}
+
+} // namespace
+} // namespace macross::vectorizer

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests for horizontal SIMDization (Section 3.3).
+ */
+#include "vectorizer/horizontal.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "benchmarks/common.h"
+#include "ir/analysis.h"
+
+namespace macross::vectorizer {
+namespace {
+
+using namespace graph;
+using namespace ir;
+using benchmarks::floatSink;
+using benchmarks::floatSource;
+
+/** The paper's Figure 6a actor B with a per-branch divisor. */
+FilterDefPtr
+actorB(const std::string& name, float divisor)
+{
+    FilterBuilder f(name, kFloat32, kFloat32);
+    f.rates(4, 4, 1);
+    auto a0 = f.local("a0", kFloat32);
+    auto a1 = f.local("a1", kFloat32);
+    auto a2 = f.local("a2", kFloat32);
+    auto a3 = f.local("a3", kFloat32);
+    f.work().assign(a0, f.pop());
+    f.work().assign(a1, f.pop());
+    f.work().assign(a2, f.pop());
+    f.work().assign(a3, f.pop());
+    f.work().push((varRef(a0) * varRef(a1) + varRef(a2) * varRef(a3)) /
+                  floatImm(divisor));
+    return f.build();
+}
+
+/** The paper's Figure 6a stateful shift register C. */
+FilterDefPtr
+actorC(const std::string& name)
+{
+    FilterBuilder f(name, kFloat32, kFloat32);
+    f.rates(1, 1, 1);
+    auto state = f.state("state", kFloat32, 31);
+    auto ph = f.state("place_holder", kInt32);
+    auto i = f.local("i", kInt32);
+    f.init().assign(ph, intImm(0));
+    f.init().forLoop(i, 0, 31, [&](BlockBuilder& b) {
+        b.store(state, varRef(i), floatImm(0.0f));
+    });
+    f.work().push(load(state, varRef(ph)));
+    f.work().store(state, varRef(ph), f.pop());
+    f.work().assign(ph, (varRef(ph) + intImm(1)) % intImm(31));
+    return f.build();
+}
+
+TEST(Horizontal, MergesDifferingConstantsIntoVectorLiterals)
+{
+    std::vector<FilterDefPtr> bs = {actorB("B0", 5), actorB("B1", 6),
+                                    actorB("B2", 7), actorB("B3", 8)};
+    MergeOutcome mo = mergeIsomorphic(bs);
+    ASSERT_TRUE(mo.def) << mo.reason;
+    EXPECT_EQ(mo.def->pop, 16);
+    EXPECT_EQ(mo.def->push, 4);
+    EXPECT_EQ(mo.def->vectorLanes, 4);
+    EXPECT_FALSE(mo.def->isStateful());
+    // A vector literal {5,6,7,8} must appear somewhere in the body.
+    bool foundVecImm = false;
+    forEachExpr(mo.def->work, [&](const Expr& e) {
+        if (e.kind == ExprKind::VecImm && e.fvec.size() == 4 &&
+            e.fvec[0] == 5.0f && e.fvec[3] == 8.0f) {
+            foundVecImm = true;
+        }
+    });
+    EXPECT_TRUE(foundVecImm);
+}
+
+TEST(Horizontal, StatefulMergeKeepsScalarIndex)
+{
+    // The paper's C_V: state becomes a vector array but the
+    // place_holder index stays a scalar int.
+    std::vector<FilterDefPtr> cs = {actorC("C0"), actorC("C1"),
+                                    actorC("C2"), actorC("C3")};
+    MergeOutcome mo = mergeIsomorphic(cs);
+    ASSERT_TRUE(mo.def) << mo.reason;
+    EXPECT_TRUE(mo.def->isStateful());
+    bool sawVectorState = false, sawScalarIndex = false;
+    for (const auto& sv : mo.def->stateVars) {
+        if (sv->isArray() && sv->type.isVector())
+            sawVectorState = true;
+        if (!sv->isArray() && sv->type == kInt32)
+            sawScalarIndex = true;
+    }
+    EXPECT_TRUE(sawVectorState);
+    EXPECT_TRUE(sawScalarIndex);
+}
+
+TEST(Horizontal, NonIsomorphicRejected)
+{
+    auto different = [&]() {
+        FilterBuilder f("x", kFloat32, kFloat32);
+        f.rates(4, 4, 1);
+        auto s = f.local("s", kFloat32);
+        auto i = f.local("i", kInt32);
+        f.work().assign(s, floatImm(0.0f));
+        f.work().forLoop(i, 0, 4, [&](BlockBuilder& b) {
+            b.assign(s, varRef(s) + f.pop());
+        });
+        f.work().push(varRef(s));
+        return f.build();
+    }();
+    MergeOutcome mo = mergeIsomorphic(
+        {actorB("B0", 5), actorB("B1", 6), actorB("B2", 7), different});
+    EXPECT_FALSE(mo.def);
+    EXPECT_NE(mo.reason.find("isomorphic"), std::string::npos);
+}
+
+TEST(Horizontal, DifferingControlConstantRejected)
+{
+    // Branches whose loop bounds differ cannot be merged.
+    auto looper = [&](const std::string& n, int trips) {
+        FilterBuilder f(n, kFloat32, kFloat32);
+        f.rates(4, 4, 4);
+        auto i = f.local("i", kInt32);
+        auto acc = f.local("acc", kFloat32);
+        f.work().assign(acc, floatImm(0.0f));
+        f.work().forLoop(i, 0, trips, [&](BlockBuilder& b) {
+            b.assign(acc, varRef(acc) + floatImm(1.0f));
+        });
+        auto j = f.local("j", kInt32);
+        f.work().forLoop(j, 0, 4, [&](BlockBuilder& b) {
+            b.push(f.pop() + varRef(acc));
+        });
+        return f.build();
+    };
+    MergeOutcome mo =
+        mergeIsomorphic({looper("l0", 2), looper("l1", 2),
+                         looper("l2", 2), looper("l3", 3)});
+    EXPECT_FALSE(mo.def);
+}
+
+} // namespace
+} // namespace macross::vectorizer

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Unit tests for the vector-marking analysis (Section 3.1).
+ */
+#include "vectorizer/marking.h"
+
+#include <gtest/gtest.h>
+
+#include "vectorizer/simdizable.h"
+
+namespace macross::vectorizer {
+namespace {
+
+using namespace graph;
+using namespace ir;
+
+TEST(Marking, PopSeedsPropagateThroughDefs)
+{
+    FilterBuilder f("a", kFloat32, kFloat32);
+    f.rates(1, 1, 1);
+    auto t = f.local("t", kFloat32);
+    auto u = f.local("u", kFloat32);
+    auto c = f.local("c", kFloat32);
+    f.work().assign(t, f.pop());
+    f.work().assign(c, floatImm(2.0f));  // constant chain: stays scalar
+    f.work().assign(u, varRef(t) * varRef(c));
+    f.work().push(varRef(u));
+    auto def = f.build();
+    MarkResult r = markVectorVars(*def);
+    ASSERT_TRUE(r.ok);
+    EXPECT_TRUE(r.vectorVars.count(t.get()));
+    EXPECT_TRUE(r.vectorVars.count(u.get()));
+    EXPECT_FALSE(r.vectorVars.count(c.get()));
+}
+
+TEST(Marking, ReadOnlyStateStaysScalar)
+{
+    // The paper's coeff[] table: only the tape-derived values widen.
+    FilterBuilder f("d", kFloat32, kFloat32);
+    f.rates(1, 1, 1);
+    auto coeff = f.state("coeff", kFloat32, 4);
+    auto i = f.local("i", kInt32);
+    f.init().forLoop(i, 0, 4, [&](BlockBuilder& b) {
+        b.store(coeff, varRef(i), floatImm(0.25f));
+    });
+    f.work().push(f.pop() * load(coeff, intImm(0)));
+    auto def = f.build();
+    MarkResult r = markVectorVars(*def);
+    ASSERT_TRUE(r.ok);
+    EXPECT_FALSE(r.vectorVars.count(coeff.get()));
+}
+
+TEST(Marking, LoopCountersStayScalar)
+{
+    FilterBuilder f("a", kFloat32, kFloat32);
+    f.rates(2, 2, 2);
+    auto i = f.local("i", kInt32);
+    auto x = f.local("x", kFloat32);
+    f.work().forLoop(i, 0, 2, [&](BlockBuilder& b) {
+        b.assign(x, f.pop());
+        b.push(varRef(x) + toFloat(varRef(i)));
+    });
+    auto def = f.build();
+    MarkResult r = markVectorVars(*def);
+    ASSERT_TRUE(r.ok);
+    EXPECT_FALSE(r.vectorVars.count(i.get()));
+    EXPECT_TRUE(r.vectorVars.count(x.get()));
+}
+
+TEST(Marking, TapeDependentIfRejected)
+{
+    FilterBuilder f("a", kFloat32, kFloat32);
+    f.rates(1, 1, 1);
+    auto x = f.local("x", kFloat32);
+    f.work().assign(x, f.pop());
+    f.work().ifElse(varRef(x) > floatImm(0.0f),
+                    [&](BlockBuilder& t) { t.push(varRef(x)); },
+                    [&](BlockBuilder& e) {
+                        e.push(-varRef(x));
+                    });
+    auto def = f.build();
+    MarkResult r = markVectorVars(*def);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.reason.find("if condition"), std::string::npos);
+}
+
+TEST(Marking, LaneSerialIfAcceptedWhenOptedIn)
+{
+    FilterBuilder f("clamp", kFloat32, kFloat32);
+    f.rates(1, 1, 1);
+    auto x = f.local("x", kFloat32);
+    auto y = f.local("y", kFloat32);
+    f.work().assign(x, f.pop());
+    f.work().assign(y, floatImm(0.0f));
+    f.work().ifElse(varRef(x) > floatImm(1.0f),
+                    [&](BlockBuilder& t) { t.assign(y, floatImm(1.0f)); },
+                    [&](BlockBuilder& e) { e.assign(y, varRef(x)); });
+    f.work().push(varRef(y));
+    auto def = f.build();
+
+    // Default: rejected (vertical/horizontal paths).
+    EXPECT_FALSE(markVectorVars(*def).ok);
+
+    // Opted in: accepted; the if is recorded and even the
+    // constant-assigned variable is control-dependently marked.
+    MarkResult r = markVectorVars(*def, {}, true);
+    ASSERT_TRUE(r.ok) << r.reason;
+    EXPECT_EQ(r.laneSerialIfs.size(), 1u);
+    EXPECT_TRUE(r.vectorVars.count(y.get()));
+}
+
+TEST(Marking, LaneSerialIfWithTapeOpsStillRejected)
+{
+    FilterBuilder f("bad", kFloat32, kFloat32);
+    f.rates(2, 2, 1);
+    auto x = f.local("x", kFloat32);
+    f.work().assign(x, f.pop());
+    f.work().ifElse(varRef(x) > floatImm(0.0f),
+                    [&](BlockBuilder& t) {
+                        t.assign(x, varRef(x) + f.pop());
+                    },
+                    [&](BlockBuilder& e) {
+                        e.assign(x, varRef(x) - f.pop());
+                    });
+    f.work().push(varRef(x));
+    auto def = f.build();
+    MarkResult r = markVectorVars(*def, {}, true);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.reason.find("non-serializable"), std::string::npos);
+}
+
+TEST(Marking, TapeDependentSubscriptRejected)
+{
+    FilterBuilder f("a", kFloat32, kFloat32);
+    f.rates(1, 1, 1);
+    auto table = f.state("table", kFloat32, 8);
+    auto x = f.local("x", kFloat32);
+    auto idx = f.local("idx", kInt32);
+    f.work().assign(x, f.pop());
+    f.work().assign(idx,
+                    binary(BinaryOp::And, toInt(varRef(x)), intImm(7)));
+    f.work().push(load(table, varRef(idx)));
+    auto def = f.build();
+    MarkResult r = markVectorVars(*def);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.reason.find("subscript"), std::string::npos);
+}
+
+TEST(Marking, ExtraSeedsMarkConstantFedVars)
+{
+    FilterBuilder f("b", kFloat32, kFloat32);
+    f.rates(1, 1, 1);
+    auto c = f.local("c", kFloat32);
+    auto seedExpr = floatImm(5.0f);
+    f.work().append([&] {
+        BlockBuilder b;
+        b.assign(c, seedExpr);
+        return b.take()[0];
+    }());
+    f.work().push(f.pop() / varRef(c));
+    auto def = f.build();
+
+    std::unordered_set<const Expr*> seeds{seedExpr.get()};
+    MarkResult r = markVectorVars(*def, seeds);
+    ASSERT_TRUE(r.ok);
+    EXPECT_TRUE(r.vectorVars.count(c.get()));
+}
+
+TEST(Simdizable, ClassifierVerdicts)
+{
+    // Stateful -> rejected.
+    FilterBuilder sf("state", kFloat32, kFloat32);
+    sf.rates(1, 1, 1);
+    auto acc = sf.state("acc", kFloat32);
+    sf.init().assign(acc, floatImm(0.0f));
+    sf.work().assign(acc, varRef(acc) + sf.pop());
+    sf.work().push(varRef(acc));
+    EXPECT_FALSE(isSimdizable(*sf.build()).ok);
+
+    // Clean stateless -> accepted.
+    FilterBuilder ok("ok", kFloat32, kFloat32);
+    ok.rates(1, 1, 1);
+    ok.work().push(ok.pop() * floatImm(3.0f));
+    EXPECT_TRUE(isSimdizable(*ok.build()).ok);
+}
+
+TEST(Simdizable, InteriorPeekerNotFusable)
+{
+    FilterBuilder f("peeky", kFloat32, kFloat32);
+    f.rates(3, 1, 1);
+    auto t = f.local("t", kFloat32);
+    f.work().assign(t, f.peek(2));
+    f.work().push(varRef(t) + f.pop());
+    auto def = f.build();
+    EXPECT_TRUE(isVerticallyFusable(*def, /*is_first=*/true).ok);
+    EXPECT_FALSE(isVerticallyFusable(*def, /*is_first=*/false).ok);
+}
+
+} // namespace
+} // namespace macross::vectorizer

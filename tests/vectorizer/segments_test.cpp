@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for segment identification (G_V runs and G_H split-join
+ * eligibility).
+ */
+#include "vectorizer/segments.h"
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/common.h"
+
+namespace macross::vectorizer {
+namespace {
+
+using namespace graph;
+using benchmarks::firFilter;
+using benchmarks::floatSink;
+using benchmarks::floatSource;
+using benchmarks::gain;
+using benchmarks::identity;
+
+FilterDefPtr
+statefulActor(const std::string& name)
+{
+    using namespace ir;
+    FilterBuilder f(name, kFloat32, kFloat32);
+    f.rates(1, 1, 1);
+    auto acc = f.state("acc", kFloat32);
+    f.init().assign(acc, floatImm(0.0f));
+    f.work().assign(acc, varRef(acc) + f.pop());
+    f.work().push(varRef(acc));
+    return f.build();
+}
+
+TEST(Segments, MaximalRunsSplitByStatefulActors)
+{
+    std::vector<StreamPtr> children = {
+        filterStream(floatSource("src", 2)),   // not fusable (source)
+        filterStream(gain("a", 1.0f)),
+        filterStream(gain("b", 2.0f)),
+        filterStream(statefulActor("s")),      // breaks the run
+        filterStream(gain("c", 3.0f)),
+        filterStream(gain("d", 4.0f)),
+        filterStream(gain("e", 5.0f)),
+        filterStream(floatSink("snk", 1)),
+    };
+    auto runs = fusableRuns(children);
+    ASSERT_EQ(runs.size(), 8u);
+    EXPECT_EQ(runs[0], -1);
+    EXPECT_EQ(runs[1], 0);
+    EXPECT_EQ(runs[2], 0);
+    EXPECT_EQ(runs[3], -1);
+    EXPECT_EQ(runs[4], 1);
+    EXPECT_EQ(runs[5], 1);
+    EXPECT_EQ(runs[6], 1);
+    EXPECT_EQ(runs[7], -1);
+}
+
+TEST(Segments, SingletonsAreNotRuns)
+{
+    std::vector<StreamPtr> children = {
+        filterStream(gain("a", 1.0f)),
+        filterStream(statefulActor("s")),
+        filterStream(gain("b", 2.0f)),
+    };
+    auto runs = fusableRuns(children);
+    EXPECT_EQ(runs, (std::vector<int>{-1, -1, -1}));
+}
+
+TEST(Segments, PeekerMayOnlyStartARun)
+{
+    std::vector<StreamPtr> children = {
+        filterStream(firFilter("fir", 8, 1, 0.1f)),
+        filterStream(gain("a", 1.0f)),
+        filterStream(firFilter("fir2", 8, 1, 0.2f)),  // peeks: breaks
+        filterStream(gain("b", 2.0f)),
+    };
+    auto runs = fusableRuns(children);
+    EXPECT_EQ(runs[0], 0);
+    EXPECT_EQ(runs[1], 0);
+    EXPECT_EQ(runs[2], 1);  // starts the next run
+    EXPECT_EQ(runs[3], 1);
+}
+
+StreamPtr
+fourBranchSJ(bool sameLength)
+{
+    std::vector<StreamPtr> branches;
+    for (int i = 0; i < 4; ++i) {
+        if (!sameLength && i == 3) {
+            branches.push_back(graph::pipeline(
+                {filterStream(gain("g" + std::to_string(i), 1.0f)),
+                 filterStream(identity("x"))}));
+        } else {
+            branches.push_back(
+                filterStream(gain("g" + std::to_string(i), 1.0f + i)));
+        }
+    }
+    return splitJoinRoundRobin({1, 1, 1, 1}, std::move(branches),
+                               {1, 1, 1, 1});
+}
+
+TEST(Segments, SplitJoinEligibility)
+{
+    auto ok = splitJoinLevels(*fourBranchSJ(true), 4);
+    EXPECT_TRUE(ok.eligible);
+    ASSERT_EQ(ok.levels.size(), 1u);
+    EXPECT_EQ(ok.levels[0].size(), 4u);
+
+    auto wrongWidth = splitJoinLevels(*fourBranchSJ(true), 8);
+    EXPECT_FALSE(wrongWidth.eligible);
+    EXPECT_NE(wrongWidth.reason.find("branch count"),
+              std::string::npos);
+
+    auto raggedBranches = splitJoinLevels(*fourBranchSJ(false), 4);
+    EXPECT_FALSE(raggedBranches.eligible);
+}
+
+TEST(Segments, NonUniformWeightsRejected)
+{
+    std::vector<StreamPtr> branches;
+    for (int i = 0; i < 4; ++i)
+        branches.push_back(filterStream(gain("g", 1.0f)));
+    auto sj = splitJoinRoundRobin({1, 2, 1, 1}, std::move(branches),
+                                  {1, 1, 1, 1});
+    auto lv = splitJoinLevels(*sj, 4);
+    EXPECT_FALSE(lv.eligible);
+    EXPECT_NE(lv.reason.find("weights"), std::string::npos);
+}
+
+} // namespace
+} // namespace macross::vectorizer

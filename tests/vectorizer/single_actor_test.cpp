@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Unit tests for single-actor SIMDization: transformed rates, access
+ * discipline, boundary modes, and bit-exact execution.
+ */
+#include "vectorizer/single_actor.h"
+
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.h"
+#include "../test_util.h"
+#include "benchmarks/common.h"
+#include "ir/analysis.h"
+#include "ir/printer.h"
+
+namespace macross::vectorizer {
+namespace {
+
+using namespace graph;
+using namespace ir;
+using benchmarks::floatSink;
+using benchmarks::floatSource;
+
+/** The paper's actor D (Figure 3a). */
+FilterDefPtr
+actorD()
+{
+    FilterBuilder f("D", kFloat32, kFloat32);
+    f.rates(2, 2, 2);
+    auto coeff = f.state("coeff", kFloat32, 2);
+    f.init().store(coeff, intImm(0), floatImm(1.5f));
+    f.init().store(coeff, intImm(1), floatImm(0.5f));
+    auto i = f.local("i", kInt32);
+    auto t = f.local("t", kFloat32);
+    auto tmp = f.local("tmp", kFloat32, 2);
+    f.work().forLoop(i, 0, 2, [&](BlockBuilder& b) {
+        b.assign(t, f.pop());
+        b.store(tmp, varRef(i), varRef(t) * load(coeff, varRef(i)));
+    });
+    f.work().push(load(tmp, intImm(0)) + load(tmp, intImm(1)));
+    f.work().push(load(tmp, intImm(0)) - load(tmp, intImm(1)));
+    return f.build();
+}
+
+TEST(SingleActor, RatesScaleBySimdWidth)
+{
+    auto d = actorD();
+    SimdizeOutcome out = singleActorSimdize(*d, 4, {});
+    EXPECT_EQ(out.def->pop, 8);
+    EXPECT_EQ(out.def->push, 8);
+    EXPECT_EQ(out.def->peek, 8);
+    EXPECT_EQ(out.def->vectorLanes, 4);
+    // The transformed body still rate-checks (validated on build),
+    // and follows the strided discipline: advance_in(6) at the end.
+    std::string text = printStmts(out.def->work);
+    EXPECT_NE(text.find("advance_in(6);"), std::string::npos);
+    EXPECT_NE(text.find("advance_out(6);"), std::string::npos);
+    EXPECT_NE(text.find("peek(2)"), std::string::npos);
+    EXPECT_NE(text.find("rpush("), std::string::npos);
+}
+
+TEST(SingleActor, NormalizeHoistsNestedReads)
+{
+    FilterBuilder f("nested", kFloat32, kFloat32);
+    f.rates(2, 2, 1);
+    f.work().push(f.pop() + f.pop() * floatImm(2.0f));
+    auto def = f.build();
+    auto norm = normalizeTapeReads(*def);
+    // After normalization no Pop may appear nested inside another
+    // expression; each is the full right-hand side of an assignment.
+    bool allBare = true;
+    forEachExpr(norm->work, [&](const Expr& e) {
+        for (const auto& a : e.args) {
+            if (a->kind == ExprKind::Pop)
+                allBare = false;
+        }
+    });
+    EXPECT_TRUE(allBare);
+    validateFilter(*norm);
+}
+
+TEST(SingleActor, UnrollExpandsTapeLoops)
+{
+    FilterBuilder f("loopy", kFloat32, kFloat32);
+    f.rates(4, 4, 4);
+    auto i = f.local("i", kInt32);
+    f.work().forLoop(i, 0, 4, [&](BlockBuilder& b) {
+        b.push(f.pop() * toFloat(varRef(i)));
+    });
+    auto def = f.build();
+    auto unrolled = unrollTapeLoops(def->work, 1000);
+    ASSERT_TRUE(unrolled.has_value());
+    ir::TapeCounts tc = countTapeAccesses(*unrolled);
+    EXPECT_EQ(tc.pops, 4);
+    EXPECT_EQ(tc.pushes, 4);
+    // No loops with tape ops remain.
+    bool loopWithTape = false;
+    forEachStmt(*unrolled, [&](const Stmt& s) {
+        if (s.kind == StmtKind::For &&
+            countTapeAccesses(s.body).pops +
+                    countTapeAccesses(s.body).pushes >
+                0) {
+            loopWithTape = true;
+        }
+    });
+    EXPECT_FALSE(loopWithTape);
+}
+
+TEST(SingleActor, UnrollRejectsTapeOpsUnderIf)
+{
+    FilterBuilder f("iffy", kFloat32, kFloat32);
+    f.rates(1, 1, 1);
+    auto k = f.local("k", kInt32);
+    f.work().assign(k, intImm(1));
+    f.work().ifElse(varRef(k) > intImm(0),
+                    [&](BlockBuilder& t) { t.push(f.pop()); },
+                    [&](BlockBuilder& e) { e.push(f.pop()); });
+    auto def = f.build();
+    EXPECT_FALSE(unrollTapeLoops(def->work, 1000).has_value());
+}
+
+/** Wrap one actor with a source/sink and check output preservation. */
+void
+expectActorPreserved(const FilterDefPtr& def, BoundaryModes modes,
+                     TapeMode expectIn, TapeMode expectOut)
+{
+    SimdizeOutcome out = singleActorSimdize(*def, 4, modes);
+    EXPECT_EQ(out.inMode, expectIn) << out.note;
+    EXPECT_EQ(out.outMode, expectOut) << out.note;
+
+    auto program = [&](FilterDefPtr actor) {
+        return graph::pipeline({
+            graph::filterStream(floatSource("src", 4, 17)),
+            graph::filterStream(actor),
+            graph::filterStream(floatSink("snk", 1)),
+        });
+    };
+    auto scalar = vectorizer::compileScalar(program(def));
+    auto simd = vectorizer::compileScalar(program(out.def));
+    testutil::expectSameStream(testutil::capture(scalar, 128),
+                               testutil::capture(simd, 128));
+}
+
+TEST(SingleActor, StridedModePreservesOutput)
+{
+    expectActorPreserved(actorD(), {}, TapeMode::StridedScalar,
+                         TapeMode::StridedScalar);
+}
+
+TEST(SingleActor, PermutedModePreservesOutput)
+{
+    expectActorPreserved(
+        actorD(),
+        {TapeMode::PermutedVector, TapeMode::PermutedVector},
+        TapeMode::PermutedVector, TapeMode::PermutedVector);
+}
+
+TEST(SingleActor, PermutedDowngradesOnNonPowerOfTwo)
+{
+    FilterBuilder f("odd", kFloat32, kFloat32);
+    f.rates(3, 3, 3);
+    auto i = f.local("i", kInt32);
+    f.work().forLoop(i, 0, 3, [&](BlockBuilder& b) {
+        b.push(f.pop() * floatImm(2.0f));
+    });
+    auto def = f.build();
+    expectActorPreserved(
+        def, {TapeMode::PermutedVector, TapeMode::PermutedVector},
+        TapeMode::StridedScalar, TapeMode::StridedScalar);
+}
+
+TEST(SingleActor, PeekingActorUsesStridedPeeks)
+{
+    // peek 4 / pop 2 / push 8 (the paper's actor G shape).
+    FilterBuilder f("G", kFloat32, kFloat32);
+    f.rates(4, 2, 8);
+    auto j = f.local("j", kInt32);
+    auto t = f.local("t", kFloat32);
+    f.work().forLoop(j, 0, 4, [&](BlockBuilder& b) {
+        b.push(f.peek(varRef(j)) * floatImm(0.25f));
+        b.push(f.peek(varRef(j)) + floatImm(1.0f));
+    });
+    f.work().assign(t, f.pop());
+    f.work().assign(t, f.pop());
+    auto def = f.build();
+    SimdizeOutcome out = singleActorSimdize(*def, 4, {});
+    EXPECT_EQ(out.def->pop, 8);
+    EXPECT_EQ(out.def->peek, (4 - 1) * 2 + 4);
+    expectActorPreserved(def, {}, TapeMode::StridedScalar,
+                         TapeMode::StridedScalar);
+}
+
+TEST(SingleActor, Width8AlsoPreservesOutput)
+{
+    auto def = actorD();
+    SimdizeOutcome out = singleActorSimdize(*def, 8, {});
+    EXPECT_EQ(out.def->pop, 16);
+    auto program = [&](FilterDefPtr actor) {
+        return graph::pipeline({
+            graph::filterStream(floatSource("src", 4, 19)),
+            graph::filterStream(actor),
+            graph::filterStream(floatSink("snk", 1)),
+        });
+    };
+    testutil::expectSameStream(
+        testutil::capture(vectorizer::compileScalar(program(def)), 96),
+        testutil::capture(vectorizer::compileScalar(program(out.def)),
+                          96));
+}
+
+TEST(SingleActor, LaneSerialIfPreservesOutput)
+{
+    // Data-dependent clamp: if (x > 1) x = 1; else x = x * 0.5 —
+    // SIMDized via per-lane emission (Section 3.1 scalar-mode switch).
+    FilterBuilder f("Clamp", kFloat32, kFloat32);
+    f.rates(2, 2, 2);
+    auto x = f.local("x", kFloat32);
+    auto i = f.local("i", kInt32);
+    f.work().forLoop(i, 0, 2, [&](BlockBuilder& b) {
+        b.assign(x, f.pop());
+        b.ifElse(varRef(x) > floatImm(1.0f),
+                 [&](BlockBuilder& t) {
+                     t.assign(x, floatImm(1.0f));
+                 },
+                 [&](BlockBuilder& e) {
+                     e.assign(x, varRef(x) * floatImm(0.5f));
+                 });
+        b.push(varRef(x));
+    });
+    auto def = f.build();
+    expectActorPreserved(def, {}, TapeMode::StridedScalar,
+                         TapeMode::StridedScalar);
+}
+
+TEST(SingleActor, LaneSerialIfWithArrayStores)
+{
+    FilterBuilder f("Hist", kFloat32, kFloat32);
+    f.rates(1, 1, 1);
+    auto x = f.local("x", kFloat32);
+    auto buf = f.local("buf", kFloat32, 2);
+    f.work().assign(x, f.pop());
+    f.work().store(buf, intImm(0), floatImm(0.0f));
+    f.work().store(buf, intImm(1), floatImm(0.0f));
+    f.work().ifElse(varRef(x) > floatImm(1.0f),
+                    [&](BlockBuilder& t) {
+                        t.store(buf, intImm(0), varRef(x));
+                    },
+                    [&](BlockBuilder& e) {
+                        e.store(buf, intImm(1), varRef(x));
+                    });
+    f.work().push(load(buf, intImm(0)) - load(buf, intImm(1)));
+    auto def = f.build();
+    expectActorPreserved(def, {}, TapeMode::StridedScalar,
+                         TapeMode::StridedScalar);
+}
+
+TEST(SingleActor, RejectsNonSimdizable)
+{
+    FilterBuilder f("stateful", kFloat32, kFloat32);
+    f.rates(1, 1, 1);
+    auto acc = f.state("acc", kFloat32);
+    f.init().assign(acc, floatImm(0.0f));
+    f.work().assign(acc, varRef(acc) + f.pop());
+    f.work().push(varRef(acc));
+    auto def = f.build();
+    EXPECT_THROW(singleActorSimdize(*def, 4, {}), FatalError);
+}
+
+} // namespace
+} // namespace macross::vectorizer

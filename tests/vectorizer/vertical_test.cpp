@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Unit tests for vertical fusion (Section 3.2).
+ */
+#include "vectorizer/vertical.h"
+
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.h"
+#include "../test_util.h"
+#include "benchmarks/common.h"
+#include "ir/analysis.h"
+#include "vectorizer/single_actor.h"
+
+namespace macross::vectorizer {
+namespace {
+
+using namespace graph;
+using namespace ir;
+using benchmarks::floatSink;
+using benchmarks::floatSource;
+
+FilterDefPtr
+rateActor(const std::string& name, int pop, int push, float k)
+{
+    FilterBuilder f(name, kFloat32, kFloat32);
+    f.rates(pop, pop, push);
+    auto buf = f.local("buf", kFloat32, pop);
+    auto i = f.local("i", kInt32);
+    f.work().forLoop(i, 0, pop, [&](BlockBuilder& b) {
+        b.store(buf, varRef(i), f.pop());
+    });
+    for (int j = 0; j < push; ++j) {
+        f.work().push(load(buf, intImm(j % pop)) * floatImm(k) +
+                      floatImm(0.125f * j));
+    }
+    return f.build();
+}
+
+TEST(Vertical, InnerRepetitionsMatchPaper)
+{
+    // D (push 2) feeding E (pop 3) -> 3 D's and 2 E's (the paper's
+    // 3D_2E coarse actor).
+    auto d = rateActor("D", 2, 2, 1.0f);
+    auto e = rateActor("E", 3, 4, 2.0f);
+    auto reps = innerRepetitions({d, e});
+    EXPECT_EQ(reps, (std::vector<std::int64_t>{3, 2}));
+
+    auto fused = fuseVertically({d, e});
+    EXPECT_EQ(fused->name, "3D_2E");
+    EXPECT_EQ(fused->pop, 6);
+    EXPECT_EQ(fused->push, 8);
+    EXPECT_FALSE(fused->isStateful());
+    EXPECT_EQ(fused->fusedFrom,
+              (std::vector<std::string>{"D", "E"}));
+}
+
+TEST(Vertical, MatchedRatesKeepRepetitionOne)
+{
+    auto a = rateActor("A", 4, 4, 1.0f);
+    auto b = rateActor("B", 4, 4, 0.5f);
+    auto reps = innerRepetitions({a, b});
+    EXPECT_EQ(reps, (std::vector<std::int64_t>{1, 1}));
+}
+
+void
+expectFusionPreserved(std::vector<FilterDefPtr> chain, int srcPush)
+{
+    auto program = [&](std::vector<FilterDefPtr> actors) {
+        std::vector<StreamPtr> stages;
+        stages.push_back(filterStream(floatSource("src", srcPush, 29)));
+        for (auto& a : actors)
+            stages.push_back(filterStream(a));
+        stages.push_back(filterStream(floatSink("snk", 1)));
+        return pipeline(std::move(stages));
+    };
+    auto fused = fuseVertically(chain);
+    auto scalar = vectorizer::compileScalar(program(chain));
+    auto fusedP = vectorizer::compileScalar(program({fused}));
+    testutil::expectSameStream(testutil::capture(scalar, 200),
+                               testutil::capture(fusedP, 200));
+}
+
+TEST(Vertical, FusionAlonePreservesOutput)
+{
+    expectFusionPreserved({rateActor("D", 2, 2, 1.5f),
+                           rateActor("E", 3, 4, 0.5f)},
+                          4);
+}
+
+TEST(Vertical, DeepChainPreservesOutput)
+{
+    expectFusionPreserved({rateActor("p", 2, 6, 1.1f),
+                           rateActor("q", 4, 2, 0.9f),
+                           rateActor("r", 3, 5, 1.3f),
+                           rateActor("s", 5, 1, 0.7f)},
+                          6);
+}
+
+TEST(Vertical, FusedActorThenSimdizedPreservesOutput)
+{
+    auto d = rateActor("D", 2, 2, 1.5f);
+    auto e = rateActor("E", 3, 4, 0.5f);
+    auto fused = fuseVertically({d, e});
+    SimdizeOutcome out = singleActorSimdize(*fused, 4, {});
+    EXPECT_EQ(out.def->pop, 24);
+    EXPECT_EQ(out.def->push, 32);
+
+    auto program = [&](FilterDefPtr actor) {
+        return pipeline({
+            filterStream(floatSource("src", 4, 29)),
+            filterStream(actor),
+            filterStream(floatSink("snk", 1)),
+        });
+    };
+    std::vector<StreamPtr> chainStages = {
+        filterStream(floatSource("src", 4, 29)),
+        filterStream(d),
+        filterStream(e),
+        filterStream(floatSink("snk", 1)),
+    };
+    auto scalar =
+        vectorizer::compileScalar(pipeline(std::move(chainStages)));
+    auto simd = vectorizer::compileScalar(program(out.def));
+    testutil::expectSameStream(testutil::capture(scalar, 160),
+                               testutil::capture(simd, 160));
+}
+
+TEST(Vertical, FusedSimdizedBodyUsesVectorInternalBuffers)
+{
+    // Figure 4b/5f-g: after vertical fusion + SIMDization, the
+    // communication between inner D and E is vector traffic through
+    // internal buffers — lane packing/unpacking survives only at the
+    // coarse actor's own tape boundaries.
+    auto d = rateActor("D", 2, 2, 1.0f);
+    auto e = rateActor("E", 3, 4, 2.0f);
+    auto fused = fuseVertically({d, e});
+    SimdizeOutcome out = singleActorSimdize(*fused, 4, {});
+
+    bool vectorBufferStore = false;
+    ir::forEachStmt(out.def->work, [&](const ir::Stmt& s) {
+        if (s.kind == ir::StmtKind::Store && s.a->type.isVector() &&
+            s.var->name.find("_buf") != std::string::npos) {
+            vectorBufferStore = true;
+        }
+    });
+    EXPECT_TRUE(vectorBufferStore);
+
+    bool vectorBufferLoad = false;
+    ir::forEachExpr(out.def->work, [&](const ir::Expr& x) {
+        if (x.kind == ir::ExprKind::Load && x.type.isVector() &&
+            x.var->name.find("_buf") != std::string::npos) {
+            vectorBufferLoad = true;
+        }
+    });
+    EXPECT_TRUE(vectorBufferLoad);
+
+    // Section 3.2's headline: fusing D and E "eliminates 24 unpacking
+    // and 24 packing operations" per SIMDized coarse firing — verify
+    // dynamically by counting lane moves with and without fusion over
+    // the same amount of data.
+    auto dynLaneOps = [&](std::vector<FilterDefPtr> actors) {
+        std::vector<StreamPtr> stages;
+        stages.push_back(filterStream(floatSource("src", 6, 29)));
+        for (auto& a : actors)
+            stages.push_back(filterStream(a));
+        stages.push_back(filterStream(floatSink("snk", 8)));
+        auto p = vectorizer::compileScalar(
+            pipeline(std::move(stages)));
+        machine::MachineDesc m = machine::coreI7();
+        machine::CostSink cost(m);
+        interp::Runner r(p.graph, p.schedule, &cost);
+        r.runInit();
+        r.runSteady(3);  // equal data: rates match across variants
+        using machine::OpClass;
+        return cost.classOps()[static_cast<int>(OpClass::LaneInsert)] +
+               cost.classOps()[static_cast<int>(
+                   OpClass::LaneExtract)];
+    };
+    auto dv = singleActorSimdize(*d, 4, {});
+    auto ev = singleActorSimdize(*e, 4, {});
+    std::int64_t separate = dynLaneOps({dv.def, ev.def});
+    std::int64_t fusedOps = dynLaneOps({out.def});
+    // Per coarse firing the interior 24 packing + 24 unpacking lane
+    // moves disappear (one coarse firing per steady iteration here,
+    // and the run covers 3 iterations).
+    EXPECT_LT(fusedOps, separate);
+    EXPECT_EQ(separate - fusedOps, 48 * 3);
+}
+
+TEST(Vertical, PeekingFirstActorAllowed)
+{
+    auto fir = benchmarks::firFilter("fir", 8, 2, 0.2f);
+    auto b = rateActor("B", 1, 1, 2.0f);
+    auto fused = fuseVertically({fir, b});
+    EXPECT_EQ(fused->pop, 2);
+    EXPECT_EQ(fused->peek, 2 + 6);  // (r0-1)*pop + peek = 0*2+8
+    expectFusionPreserved({fir, b}, 4);
+}
+
+TEST(Vertical, StatefulMemberRejected)
+{
+    FilterBuilder f("acc", kFloat32, kFloat32);
+    f.rates(1, 1, 1);
+    auto acc = f.state("acc", kFloat32);
+    f.init().assign(acc, floatImm(0.0f));
+    f.work().assign(acc, varRef(acc) + f.pop());
+    f.work().push(varRef(acc));
+    auto stateful = f.build();
+    EXPECT_THROW(fuseVertically({rateActor("a", 1, 1, 1.0f), stateful}),
+                 FatalError);
+}
+
+} // namespace
+} // namespace macross::vectorizer

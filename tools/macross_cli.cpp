@@ -1,0 +1,214 @@
+/**
+ * @file
+ * `macross` — command-line driver for the library.
+ *
+ * Compile a stream program (a .str source file or a built-in
+ * benchmark), optionally macro-SIMDize it, run it in the interpreter
+ * with the performance model, and emit reports or artifacts:
+ *
+ *     macross prog.str --simd --run 20 --report
+ *     macross --bench FMRadio --simd --sagu --dot graph.dot
+ *     macross --bench DCT --simd --emit dct.cpp
+ *     macross prog.str --scalar --autovec icc --run 10
+ *
+ * Options:
+ *   <file.str>          parse a stream-language source file
+ *   --bench NAME        use a built-in benchmark (see --list)
+ *   --list              list built-in benchmarks
+ *   --simd / --scalar   macro-SIMDize (default) or keep scalar
+ *   --width N           SIMD lanes (default 4)
+ *   --sagu              enable the SAGU tape layout (implies the
+ *                       machine has the unit)
+ *   --no-vertical / --no-horizontal / --no-permute
+ *                       disable individual transforms
+ *   --force             skip the profitability cost model
+ *   --autovec gcc|icc   apply a modeled auto-vectorizer (scalar code)
+ *   --run N             run N steady-state iterations (default 10)
+ *   --report            per-op-class cycle breakdown
+ *   --emit FILE         write generated C++ to FILE
+ *   --dot FILE          write a Graphviz rendering to FILE
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "autovec/gcc_like.h"
+#include "autovec/icc_like.h"
+#include "benchmarks/suite.h"
+#include "codegen/emit_cpp.h"
+#include "frontend/parser.h"
+#include "graph/dot.h"
+#include "interp/runner.h"
+#include "lowering/lowered.h"
+#include "vectorizer/pipeline.h"
+
+using namespace macross;
+
+namespace {
+
+int
+usage(const char* argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s (<file.str> | --bench NAME | --list) "
+                 "[options]\n(see the header of tools/macross_cli.cpp "
+                 "for the option list)\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string sourceFile, benchName, emitFile, dotFile, autovecName;
+    bool simd = true, sagu = false, force = false, report = false;
+    bool vertical = true, horizontal = true, permute = true;
+    int width = 4, iters = 10;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", a.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--list") {
+            std::printf("RunningExample\n");
+            for (const auto& b : benchmarks::standardSuite())
+                std::printf("%s\n", b.name.c_str());
+            return 0;
+        } else if (a == "--bench") {
+            benchName = value();
+        } else if (a == "--simd") {
+            simd = true;
+        } else if (a == "--scalar") {
+            simd = false;
+        } else if (a == "--width") {
+            width = std::stoi(value());
+        } else if (a == "--sagu") {
+            sagu = true;
+        } else if (a == "--no-vertical") {
+            vertical = false;
+        } else if (a == "--no-horizontal") {
+            horizontal = false;
+        } else if (a == "--no-permute") {
+            permute = false;
+        } else if (a == "--force") {
+            force = true;
+        } else if (a == "--autovec") {
+            autovecName = value();
+        } else if (a == "--run") {
+            iters = std::stoi(value());
+        } else if (a == "--report") {
+            report = true;
+        } else if (a == "--emit") {
+            emitFile = value();
+        } else if (a == "--dot") {
+            dotFile = value();
+        } else if (!a.empty() && a[0] != '-') {
+            sourceFile = a;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (sourceFile.empty() == benchName.empty())
+        return usage(argv[0]);
+
+    try {
+        graph::StreamPtr program =
+            !sourceFile.empty()
+                ? frontend::parseProgramFile(sourceFile)
+                : benchmarks::benchmarkByName(benchName);
+
+        vectorizer::SimdizeOptions opts;
+        opts.machine = sagu ? machine::coreI7WithSagu()
+                            : machine::coreI7();
+        opts.machine.simdWidth = width;
+        opts.enableSagu = sagu;
+        opts.enableVertical = vertical;
+        opts.enableHorizontal = horizontal;
+        opts.enablePermutedTapes = permute;
+        opts.forceSimdize = force;
+
+        vectorizer::CompiledProgram compiled =
+            simd ? vectorizer::macroSimdize(program, opts)
+                 : vectorizer::compileScalar(program);
+
+        for (const auto& act : compiled.actions) {
+            std::printf("[simdize] %-16s %s\n", act.name.c_str(),
+                        act.action.c_str());
+        }
+
+        if (!emitFile.empty()) {
+            std::ofstream out(emitFile);
+            out << codegen::emitCpp(compiled.graph, compiled.schedule);
+            std::printf("wrote generated C++ to %s\n",
+                        emitFile.c_str());
+        }
+        if (!dotFile.empty()) {
+            std::ofstream out(dotFile);
+            out << graph::toDot(compiled.graph, compiled.schedule);
+            std::printf("wrote DOT graph to %s\n", dotFile.c_str());
+        }
+
+        machine::CostSink cost(opts.machine);
+        interp::Runner r(compiled.graph, compiled.schedule, &cost);
+        if (!autovecName.empty()) {
+            auto lp =
+                lowering::lower(compiled.graph, compiled.schedule);
+            autovec::AutovecResult av =
+                autovecName == "gcc"
+                    ? autovec::gccAutovectorize(lp, opts.machine)
+                    : autovec::iccAutovectorize(lp, opts.machine);
+            for (auto& [id, cfg] : av.configs)
+                r.setActorConfig(id, cfg);
+            for (const auto& line : av.log)
+                std::printf("[autovec] %s\n", line.c_str());
+        }
+        r.runInit();
+        std::size_t before = r.captured().size();
+        r.runSteady(iters);
+        std::size_t produced = r.captured().size() - before;
+
+        std::printf("\nran %d steady-state iterations on %s (%d-wide"
+                    "%s)\n",
+                    iters, opts.machine.name.c_str(), width,
+                    simd ? ", macro-SIMDized" : ", scalar");
+        std::printf("sink elements: %zu, modeled cycles: %.0f "
+                    "(%.2f cycles/element)\n",
+                    produced, cost.totalCycles(),
+                    produced ? cost.totalCycles() / produced : 0.0);
+
+        if (report) {
+            std::printf("\nper-op-class breakdown:\n");
+            for (int c = 0;
+                 c < static_cast<int>(machine::OpClass::NumClasses);
+                 ++c) {
+                double cyc = cost.classCycles()[c];
+                if (cyc <= 0)
+                    continue;
+                std::printf("  %-18s %12.0f cycles  (%5.1f%%), "
+                            "%lld ops\n",
+                            toString(static_cast<machine::OpClass>(c))
+                                .c_str(),
+                            cyc, 100.0 * cyc / cost.totalCycles(),
+                            static_cast<long long>(
+                                cost.classOps()[c]));
+            }
+            std::printf("\nper-actor cycles:\n");
+            for (const auto& a : compiled.graph.actors) {
+                std::printf("  %-22s %12.0f\n", a.name.c_str(),
+                            cost.actorCycles(a.id));
+            }
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}
