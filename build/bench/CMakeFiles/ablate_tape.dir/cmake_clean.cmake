@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_tape.dir/ablate_tape.cpp.o"
+  "CMakeFiles/ablate_tape.dir/ablate_tape.cpp.o.d"
+  "ablate_tape"
+  "ablate_tape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_tape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

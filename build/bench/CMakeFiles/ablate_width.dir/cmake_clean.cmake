@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_width.dir/ablate_width.cpp.o"
+  "CMakeFiles/ablate_width.dir/ablate_width.cpp.o.d"
+  "ablate_width"
+  "ablate_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10a_gcc.dir/fig10a_gcc.cpp.o"
+  "CMakeFiles/fig10a_gcc.dir/fig10a_gcc.cpp.o.d"
+  "fig10a_gcc"
+  "fig10a_gcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10a_gcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

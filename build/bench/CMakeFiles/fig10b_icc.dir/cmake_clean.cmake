@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10b_icc.dir/fig10b_icc.cpp.o"
+  "CMakeFiles/fig10b_icc.dir/fig10b_icc.cpp.o.d"
+  "fig10b_icc"
+  "fig10b_icc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10b_icc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_vertical.dir/fig11_vertical.cpp.o"
+  "CMakeFiles/fig11_vertical.dir/fig11_vertical.cpp.o.d"
+  "fig11_vertical"
+  "fig11_vertical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_vertical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

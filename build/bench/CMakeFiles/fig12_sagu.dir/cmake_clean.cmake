@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_sagu.dir/fig12_sagu.cpp.o"
+  "CMakeFiles/fig12_sagu.dir/fig12_sagu.cpp.o.d"
+  "fig12_sagu"
+  "fig12_sagu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_sagu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

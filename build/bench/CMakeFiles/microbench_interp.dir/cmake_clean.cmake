@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_interp.dir/microbench_interp.cpp.o"
+  "CMakeFiles/microbench_interp.dir/microbench_interp.cpp.o.d"
+  "microbench_interp"
+  "microbench_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsl_demo.dir/dsl_demo.cpp.o"
+  "CMakeFiles/dsl_demo.dir/dsl_demo.cpp.o.d"
+  "dsl_demo"
+  "dsl_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsl_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

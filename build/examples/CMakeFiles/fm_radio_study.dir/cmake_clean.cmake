@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fm_radio_study.dir/fm_radio_study.cpp.o"
+  "CMakeFiles/fm_radio_study.dir/fm_radio_study.cpp.o.d"
+  "fm_radio_study"
+  "fm_radio_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fm_radio_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

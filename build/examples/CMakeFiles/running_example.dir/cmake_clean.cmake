@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/running_example.dir/running_example.cpp.o"
+  "CMakeFiles/running_example.dir/running_example.cpp.o.d"
+  "running_example"
+  "running_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/running_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,84 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autovec/gcc_like.cpp" "src/CMakeFiles/macross.dir/autovec/gcc_like.cpp.o" "gcc" "src/CMakeFiles/macross.dir/autovec/gcc_like.cpp.o.d"
+  "/root/repo/src/autovec/icc_like.cpp" "src/CMakeFiles/macross.dir/autovec/icc_like.cpp.o" "gcc" "src/CMakeFiles/macross.dir/autovec/icc_like.cpp.o.d"
+  "/root/repo/src/autovec/loop_info.cpp" "src/CMakeFiles/macross.dir/autovec/loop_info.cpp.o" "gcc" "src/CMakeFiles/macross.dir/autovec/loop_info.cpp.o.d"
+  "/root/repo/src/benchmarks/audio_beam.cpp" "src/CMakeFiles/macross.dir/benchmarks/audio_beam.cpp.o" "gcc" "src/CMakeFiles/macross.dir/benchmarks/audio_beam.cpp.o.d"
+  "/root/repo/src/benchmarks/beamformer.cpp" "src/CMakeFiles/macross.dir/benchmarks/beamformer.cpp.o" "gcc" "src/CMakeFiles/macross.dir/benchmarks/beamformer.cpp.o.d"
+  "/root/repo/src/benchmarks/bitonic.cpp" "src/CMakeFiles/macross.dir/benchmarks/bitonic.cpp.o" "gcc" "src/CMakeFiles/macross.dir/benchmarks/bitonic.cpp.o.d"
+  "/root/repo/src/benchmarks/channel_vocoder.cpp" "src/CMakeFiles/macross.dir/benchmarks/channel_vocoder.cpp.o" "gcc" "src/CMakeFiles/macross.dir/benchmarks/channel_vocoder.cpp.o.d"
+  "/root/repo/src/benchmarks/common.cpp" "src/CMakeFiles/macross.dir/benchmarks/common.cpp.o" "gcc" "src/CMakeFiles/macross.dir/benchmarks/common.cpp.o.d"
+  "/root/repo/src/benchmarks/dct.cpp" "src/CMakeFiles/macross.dir/benchmarks/dct.cpp.o" "gcc" "src/CMakeFiles/macross.dir/benchmarks/dct.cpp.o.d"
+  "/root/repo/src/benchmarks/fft.cpp" "src/CMakeFiles/macross.dir/benchmarks/fft.cpp.o" "gcc" "src/CMakeFiles/macross.dir/benchmarks/fft.cpp.o.d"
+  "/root/repo/src/benchmarks/filterbank.cpp" "src/CMakeFiles/macross.dir/benchmarks/filterbank.cpp.o" "gcc" "src/CMakeFiles/macross.dir/benchmarks/filterbank.cpp.o.d"
+  "/root/repo/src/benchmarks/fm_radio.cpp" "src/CMakeFiles/macross.dir/benchmarks/fm_radio.cpp.o" "gcc" "src/CMakeFiles/macross.dir/benchmarks/fm_radio.cpp.o.d"
+  "/root/repo/src/benchmarks/matmul.cpp" "src/CMakeFiles/macross.dir/benchmarks/matmul.cpp.o" "gcc" "src/CMakeFiles/macross.dir/benchmarks/matmul.cpp.o.d"
+  "/root/repo/src/benchmarks/matmul_block.cpp" "src/CMakeFiles/macross.dir/benchmarks/matmul_block.cpp.o" "gcc" "src/CMakeFiles/macross.dir/benchmarks/matmul_block.cpp.o.d"
+  "/root/repo/src/benchmarks/mp3_decoder.cpp" "src/CMakeFiles/macross.dir/benchmarks/mp3_decoder.cpp.o" "gcc" "src/CMakeFiles/macross.dir/benchmarks/mp3_decoder.cpp.o.d"
+  "/root/repo/src/benchmarks/random_graph.cpp" "src/CMakeFiles/macross.dir/benchmarks/random_graph.cpp.o" "gcc" "src/CMakeFiles/macross.dir/benchmarks/random_graph.cpp.o.d"
+  "/root/repo/src/benchmarks/running_example.cpp" "src/CMakeFiles/macross.dir/benchmarks/running_example.cpp.o" "gcc" "src/CMakeFiles/macross.dir/benchmarks/running_example.cpp.o.d"
+  "/root/repo/src/benchmarks/suite.cpp" "src/CMakeFiles/macross.dir/benchmarks/suite.cpp.o" "gcc" "src/CMakeFiles/macross.dir/benchmarks/suite.cpp.o.d"
+  "/root/repo/src/benchmarks/tde.cpp" "src/CMakeFiles/macross.dir/benchmarks/tde.cpp.o" "gcc" "src/CMakeFiles/macross.dir/benchmarks/tde.cpp.o.d"
+  "/root/repo/src/codegen/emit_cpp.cpp" "src/CMakeFiles/macross.dir/codegen/emit_cpp.cpp.o" "gcc" "src/CMakeFiles/macross.dir/codegen/emit_cpp.cpp.o.d"
+  "/root/repo/src/frontend/lexer.cpp" "src/CMakeFiles/macross.dir/frontend/lexer.cpp.o" "gcc" "src/CMakeFiles/macross.dir/frontend/lexer.cpp.o.d"
+  "/root/repo/src/frontend/parser.cpp" "src/CMakeFiles/macross.dir/frontend/parser.cpp.o" "gcc" "src/CMakeFiles/macross.dir/frontend/parser.cpp.o.d"
+  "/root/repo/src/graph/dot.cpp" "src/CMakeFiles/macross.dir/graph/dot.cpp.o" "gcc" "src/CMakeFiles/macross.dir/graph/dot.cpp.o.d"
+  "/root/repo/src/graph/filter.cpp" "src/CMakeFiles/macross.dir/graph/filter.cpp.o" "gcc" "src/CMakeFiles/macross.dir/graph/filter.cpp.o.d"
+  "/root/repo/src/graph/flat_graph.cpp" "src/CMakeFiles/macross.dir/graph/flat_graph.cpp.o" "gcc" "src/CMakeFiles/macross.dir/graph/flat_graph.cpp.o.d"
+  "/root/repo/src/graph/flatten.cpp" "src/CMakeFiles/macross.dir/graph/flatten.cpp.o" "gcc" "src/CMakeFiles/macross.dir/graph/flatten.cpp.o.d"
+  "/root/repo/src/graph/isomorphism.cpp" "src/CMakeFiles/macross.dir/graph/isomorphism.cpp.o" "gcc" "src/CMakeFiles/macross.dir/graph/isomorphism.cpp.o.d"
+  "/root/repo/src/graph/stream.cpp" "src/CMakeFiles/macross.dir/graph/stream.cpp.o" "gcc" "src/CMakeFiles/macross.dir/graph/stream.cpp.o.d"
+  "/root/repo/src/graph/validate.cpp" "src/CMakeFiles/macross.dir/graph/validate.cpp.o" "gcc" "src/CMakeFiles/macross.dir/graph/validate.cpp.o.d"
+  "/root/repo/src/interp/env.cpp" "src/CMakeFiles/macross.dir/interp/env.cpp.o" "gcc" "src/CMakeFiles/macross.dir/interp/env.cpp.o.d"
+  "/root/repo/src/interp/executor.cpp" "src/CMakeFiles/macross.dir/interp/executor.cpp.o" "gcc" "src/CMakeFiles/macross.dir/interp/executor.cpp.o.d"
+  "/root/repo/src/interp/runner.cpp" "src/CMakeFiles/macross.dir/interp/runner.cpp.o" "gcc" "src/CMakeFiles/macross.dir/interp/runner.cpp.o.d"
+  "/root/repo/src/interp/tape.cpp" "src/CMakeFiles/macross.dir/interp/tape.cpp.o" "gcc" "src/CMakeFiles/macross.dir/interp/tape.cpp.o.d"
+  "/root/repo/src/interp/value.cpp" "src/CMakeFiles/macross.dir/interp/value.cpp.o" "gcc" "src/CMakeFiles/macross.dir/interp/value.cpp.o.d"
+  "/root/repo/src/ir/analysis.cpp" "src/CMakeFiles/macross.dir/ir/analysis.cpp.o" "gcc" "src/CMakeFiles/macross.dir/ir/analysis.cpp.o.d"
+  "/root/repo/src/ir/builder.cpp" "src/CMakeFiles/macross.dir/ir/builder.cpp.o" "gcc" "src/CMakeFiles/macross.dir/ir/builder.cpp.o.d"
+  "/root/repo/src/ir/clone.cpp" "src/CMakeFiles/macross.dir/ir/clone.cpp.o" "gcc" "src/CMakeFiles/macross.dir/ir/clone.cpp.o.d"
+  "/root/repo/src/ir/expr.cpp" "src/CMakeFiles/macross.dir/ir/expr.cpp.o" "gcc" "src/CMakeFiles/macross.dir/ir/expr.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/CMakeFiles/macross.dir/ir/printer.cpp.o" "gcc" "src/CMakeFiles/macross.dir/ir/printer.cpp.o.d"
+  "/root/repo/src/ir/stmt.cpp" "src/CMakeFiles/macross.dir/ir/stmt.cpp.o" "gcc" "src/CMakeFiles/macross.dir/ir/stmt.cpp.o.d"
+  "/root/repo/src/ir/type.cpp" "src/CMakeFiles/macross.dir/ir/type.cpp.o" "gcc" "src/CMakeFiles/macross.dir/ir/type.cpp.o.d"
+  "/root/repo/src/lowering/lowered.cpp" "src/CMakeFiles/macross.dir/lowering/lowered.cpp.o" "gcc" "src/CMakeFiles/macross.dir/lowering/lowered.cpp.o.d"
+  "/root/repo/src/machine/cost_sink.cpp" "src/CMakeFiles/macross.dir/machine/cost_sink.cpp.o" "gcc" "src/CMakeFiles/macross.dir/machine/cost_sink.cpp.o.d"
+  "/root/repo/src/machine/machine_desc.cpp" "src/CMakeFiles/macross.dir/machine/machine_desc.cpp.o" "gcc" "src/CMakeFiles/macross.dir/machine/machine_desc.cpp.o.d"
+  "/root/repo/src/machine/permutation.cpp" "src/CMakeFiles/macross.dir/machine/permutation.cpp.o" "gcc" "src/CMakeFiles/macross.dir/machine/permutation.cpp.o.d"
+  "/root/repo/src/machine/sagu.cpp" "src/CMakeFiles/macross.dir/machine/sagu.cpp.o" "gcc" "src/CMakeFiles/macross.dir/machine/sagu.cpp.o.d"
+  "/root/repo/src/multicore/partition.cpp" "src/CMakeFiles/macross.dir/multicore/partition.cpp.o" "gcc" "src/CMakeFiles/macross.dir/multicore/partition.cpp.o.d"
+  "/root/repo/src/multicore/simd_aware.cpp" "src/CMakeFiles/macross.dir/multicore/simd_aware.cpp.o" "gcc" "src/CMakeFiles/macross.dir/multicore/simd_aware.cpp.o.d"
+  "/root/repo/src/schedule/buffers.cpp" "src/CMakeFiles/macross.dir/schedule/buffers.cpp.o" "gcc" "src/CMakeFiles/macross.dir/schedule/buffers.cpp.o.d"
+  "/root/repo/src/schedule/latency.cpp" "src/CMakeFiles/macross.dir/schedule/latency.cpp.o" "gcc" "src/CMakeFiles/macross.dir/schedule/latency.cpp.o.d"
+  "/root/repo/src/schedule/repetition.cpp" "src/CMakeFiles/macross.dir/schedule/repetition.cpp.o" "gcc" "src/CMakeFiles/macross.dir/schedule/repetition.cpp.o.d"
+  "/root/repo/src/schedule/scaling.cpp" "src/CMakeFiles/macross.dir/schedule/scaling.cpp.o" "gcc" "src/CMakeFiles/macross.dir/schedule/scaling.cpp.o.d"
+  "/root/repo/src/schedule/steady_state.cpp" "src/CMakeFiles/macross.dir/schedule/steady_state.cpp.o" "gcc" "src/CMakeFiles/macross.dir/schedule/steady_state.cpp.o.d"
+  "/root/repo/src/support/diagnostics.cpp" "src/CMakeFiles/macross.dir/support/diagnostics.cpp.o" "gcc" "src/CMakeFiles/macross.dir/support/diagnostics.cpp.o.d"
+  "/root/repo/src/support/math_util.cpp" "src/CMakeFiles/macross.dir/support/math_util.cpp.o" "gcc" "src/CMakeFiles/macross.dir/support/math_util.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/CMakeFiles/macross.dir/support/rng.cpp.o" "gcc" "src/CMakeFiles/macross.dir/support/rng.cpp.o.d"
+  "/root/repo/src/vectorizer/cost_model.cpp" "src/CMakeFiles/macross.dir/vectorizer/cost_model.cpp.o" "gcc" "src/CMakeFiles/macross.dir/vectorizer/cost_model.cpp.o.d"
+  "/root/repo/src/vectorizer/horizontal.cpp" "src/CMakeFiles/macross.dir/vectorizer/horizontal.cpp.o" "gcc" "src/CMakeFiles/macross.dir/vectorizer/horizontal.cpp.o.d"
+  "/root/repo/src/vectorizer/marking.cpp" "src/CMakeFiles/macross.dir/vectorizer/marking.cpp.o" "gcc" "src/CMakeFiles/macross.dir/vectorizer/marking.cpp.o.d"
+  "/root/repo/src/vectorizer/pipeline.cpp" "src/CMakeFiles/macross.dir/vectorizer/pipeline.cpp.o" "gcc" "src/CMakeFiles/macross.dir/vectorizer/pipeline.cpp.o.d"
+  "/root/repo/src/vectorizer/prepass.cpp" "src/CMakeFiles/macross.dir/vectorizer/prepass.cpp.o" "gcc" "src/CMakeFiles/macross.dir/vectorizer/prepass.cpp.o.d"
+  "/root/repo/src/vectorizer/segments.cpp" "src/CMakeFiles/macross.dir/vectorizer/segments.cpp.o" "gcc" "src/CMakeFiles/macross.dir/vectorizer/segments.cpp.o.d"
+  "/root/repo/src/vectorizer/simdizable.cpp" "src/CMakeFiles/macross.dir/vectorizer/simdizable.cpp.o" "gcc" "src/CMakeFiles/macross.dir/vectorizer/simdizable.cpp.o.d"
+  "/root/repo/src/vectorizer/single_actor.cpp" "src/CMakeFiles/macross.dir/vectorizer/single_actor.cpp.o" "gcc" "src/CMakeFiles/macross.dir/vectorizer/single_actor.cpp.o.d"
+  "/root/repo/src/vectorizer/tape_opt.cpp" "src/CMakeFiles/macross.dir/vectorizer/tape_opt.cpp.o" "gcc" "src/CMakeFiles/macross.dir/vectorizer/tape_opt.cpp.o.d"
+  "/root/repo/src/vectorizer/vertical.cpp" "src/CMakeFiles/macross.dir/vectorizer/vertical.cpp.o" "gcc" "src/CMakeFiles/macross.dir/vectorizer/vertical.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

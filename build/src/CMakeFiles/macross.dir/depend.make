@@ -1,0 +1,2 @@
+# Empty dependencies file for macross.
+# This may be replaced when dependencies are built.

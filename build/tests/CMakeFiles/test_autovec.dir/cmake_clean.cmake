@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autovec.dir/autovec/autovec_test.cpp.o"
+  "CMakeFiles/test_autovec.dir/autovec/autovec_test.cpp.o.d"
+  "CMakeFiles/test_autovec.dir/autovec/loop_info_test.cpp.o"
+  "CMakeFiles/test_autovec.dir/autovec/loop_info_test.cpp.o.d"
+  "test_autovec"
+  "test_autovec.pdb"
+  "test_autovec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autovec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

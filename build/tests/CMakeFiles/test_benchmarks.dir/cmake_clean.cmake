@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_benchmarks.dir/benchmarks/equivalence_test.cpp.o"
+  "CMakeFiles/test_benchmarks.dir/benchmarks/equivalence_test.cpp.o.d"
+  "CMakeFiles/test_benchmarks.dir/benchmarks/property_test.cpp.o"
+  "CMakeFiles/test_benchmarks.dir/benchmarks/property_test.cpp.o.d"
+  "CMakeFiles/test_benchmarks.dir/benchmarks/structure_test.cpp.o"
+  "CMakeFiles/test_benchmarks.dir/benchmarks/structure_test.cpp.o.d"
+  "test_benchmarks"
+  "test_benchmarks.pdb"
+  "test_benchmarks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/actor_rates_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/actor_rates_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/actor_rates_test.cpp.o.d"
+  "/root/repo/tests/graph/dot_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/dot_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/dot_test.cpp.o.d"
+  "/root/repo/tests/graph/filter_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/filter_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/filter_test.cpp.o.d"
+  "/root/repo/tests/graph/flatten_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/flatten_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/flatten_test.cpp.o.d"
+  "/root/repo/tests/graph/isomorphism_test.cpp" "tests/CMakeFiles/test_graph.dir/graph/isomorphism_test.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/isomorphism_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/macross.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph.dir/graph/actor_rates_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/actor_rates_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/dot_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/dot_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/filter_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/filter_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/flatten_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/flatten_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/isomorphism_test.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/isomorphism_test.cpp.o.d"
+  "test_graph"
+  "test_graph.pdb"
+  "test_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/interp/executor_test.cpp" "tests/CMakeFiles/test_interp.dir/interp/executor_test.cpp.o" "gcc" "tests/CMakeFiles/test_interp.dir/interp/executor_test.cpp.o.d"
+  "/root/repo/tests/interp/runner_test.cpp" "tests/CMakeFiles/test_interp.dir/interp/runner_test.cpp.o" "gcc" "tests/CMakeFiles/test_interp.dir/interp/runner_test.cpp.o.d"
+  "/root/repo/tests/interp/tape_test.cpp" "tests/CMakeFiles/test_interp.dir/interp/tape_test.cpp.o" "gcc" "tests/CMakeFiles/test_interp.dir/interp/tape_test.cpp.o.d"
+  "/root/repo/tests/interp/value_env_test.cpp" "tests/CMakeFiles/test_interp.dir/interp/value_env_test.cpp.o" "gcc" "tests/CMakeFiles/test_interp.dir/interp/value_env_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/macross.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interp.dir/interp/executor_test.cpp.o"
+  "CMakeFiles/test_interp.dir/interp/executor_test.cpp.o.d"
+  "CMakeFiles/test_interp.dir/interp/runner_test.cpp.o"
+  "CMakeFiles/test_interp.dir/interp/runner_test.cpp.o.d"
+  "CMakeFiles/test_interp.dir/interp/tape_test.cpp.o"
+  "CMakeFiles/test_interp.dir/interp/tape_test.cpp.o.d"
+  "CMakeFiles/test_interp.dir/interp/value_env_test.cpp.o"
+  "CMakeFiles/test_interp.dir/interp/value_env_test.cpp.o.d"
+  "test_interp"
+  "test_interp.pdb"
+  "test_interp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/machine/cost_sink_test.cpp" "tests/CMakeFiles/test_machine.dir/machine/cost_sink_test.cpp.o" "gcc" "tests/CMakeFiles/test_machine.dir/machine/cost_sink_test.cpp.o.d"
+  "/root/repo/tests/machine/permutation_test.cpp" "tests/CMakeFiles/test_machine.dir/machine/permutation_test.cpp.o" "gcc" "tests/CMakeFiles/test_machine.dir/machine/permutation_test.cpp.o.d"
+  "/root/repo/tests/machine/sagu_test.cpp" "tests/CMakeFiles/test_machine.dir/machine/sagu_test.cpp.o" "gcc" "tests/CMakeFiles/test_machine.dir/machine/sagu_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/macross.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multicore.dir/multicore/partition_test.cpp.o"
+  "CMakeFiles/test_multicore.dir/multicore/partition_test.cpp.o.d"
+  "CMakeFiles/test_multicore.dir/multicore/simd_aware_test.cpp.o"
+  "CMakeFiles/test_multicore.dir/multicore/simd_aware_test.cpp.o.d"
+  "test_multicore"
+  "test_multicore.pdb"
+  "test_multicore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

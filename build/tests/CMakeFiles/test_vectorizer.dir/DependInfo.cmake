@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vectorizer/cost_model_test.cpp" "tests/CMakeFiles/test_vectorizer.dir/vectorizer/cost_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_vectorizer.dir/vectorizer/cost_model_test.cpp.o.d"
+  "/root/repo/tests/vectorizer/horizontal_test.cpp" "tests/CMakeFiles/test_vectorizer.dir/vectorizer/horizontal_test.cpp.o" "gcc" "tests/CMakeFiles/test_vectorizer.dir/vectorizer/horizontal_test.cpp.o.d"
+  "/root/repo/tests/vectorizer/marking_test.cpp" "tests/CMakeFiles/test_vectorizer.dir/vectorizer/marking_test.cpp.o" "gcc" "tests/CMakeFiles/test_vectorizer.dir/vectorizer/marking_test.cpp.o.d"
+  "/root/repo/tests/vectorizer/pipeline_test.cpp" "tests/CMakeFiles/test_vectorizer.dir/vectorizer/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/test_vectorizer.dir/vectorizer/pipeline_test.cpp.o.d"
+  "/root/repo/tests/vectorizer/prepass_test.cpp" "tests/CMakeFiles/test_vectorizer.dir/vectorizer/prepass_test.cpp.o" "gcc" "tests/CMakeFiles/test_vectorizer.dir/vectorizer/prepass_test.cpp.o.d"
+  "/root/repo/tests/vectorizer/segments_test.cpp" "tests/CMakeFiles/test_vectorizer.dir/vectorizer/segments_test.cpp.o" "gcc" "tests/CMakeFiles/test_vectorizer.dir/vectorizer/segments_test.cpp.o.d"
+  "/root/repo/tests/vectorizer/single_actor_test.cpp" "tests/CMakeFiles/test_vectorizer.dir/vectorizer/single_actor_test.cpp.o" "gcc" "tests/CMakeFiles/test_vectorizer.dir/vectorizer/single_actor_test.cpp.o.d"
+  "/root/repo/tests/vectorizer/vertical_test.cpp" "tests/CMakeFiles/test_vectorizer.dir/vectorizer/vertical_test.cpp.o" "gcc" "tests/CMakeFiles/test_vectorizer.dir/vectorizer/vertical_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/macross.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

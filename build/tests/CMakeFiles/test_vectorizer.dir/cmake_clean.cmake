@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vectorizer.dir/vectorizer/cost_model_test.cpp.o"
+  "CMakeFiles/test_vectorizer.dir/vectorizer/cost_model_test.cpp.o.d"
+  "CMakeFiles/test_vectorizer.dir/vectorizer/horizontal_test.cpp.o"
+  "CMakeFiles/test_vectorizer.dir/vectorizer/horizontal_test.cpp.o.d"
+  "CMakeFiles/test_vectorizer.dir/vectorizer/marking_test.cpp.o"
+  "CMakeFiles/test_vectorizer.dir/vectorizer/marking_test.cpp.o.d"
+  "CMakeFiles/test_vectorizer.dir/vectorizer/pipeline_test.cpp.o"
+  "CMakeFiles/test_vectorizer.dir/vectorizer/pipeline_test.cpp.o.d"
+  "CMakeFiles/test_vectorizer.dir/vectorizer/prepass_test.cpp.o"
+  "CMakeFiles/test_vectorizer.dir/vectorizer/prepass_test.cpp.o.d"
+  "CMakeFiles/test_vectorizer.dir/vectorizer/segments_test.cpp.o"
+  "CMakeFiles/test_vectorizer.dir/vectorizer/segments_test.cpp.o.d"
+  "CMakeFiles/test_vectorizer.dir/vectorizer/single_actor_test.cpp.o"
+  "CMakeFiles/test_vectorizer.dir/vectorizer/single_actor_test.cpp.o.d"
+  "CMakeFiles/test_vectorizer.dir/vectorizer/vertical_test.cpp.o"
+  "CMakeFiles/test_vectorizer.dir/vectorizer/vertical_test.cpp.o.d"
+  "test_vectorizer"
+  "test_vectorizer.pdb"
+  "test_vectorizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vectorizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/macross_cli.dir/macross_cli.cpp.o"
+  "CMakeFiles/macross_cli.dir/macross_cli.cpp.o.d"
+  "macross"
+  "macross.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/macross_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
