@@ -6,10 +6,20 @@
  * element, measured by running the program in the interpreter under a
  * machine description; speedups are ratios against the scalar
  * baseline, exactly how the paper normalizes its figures.
+ *
+ * Machine-readable output: when the environment variable
+ * MACROSS_BENCH_JSON names a file, every measured configuration is
+ * recorded (compiler decisions from the typed CompilationReport plus
+ * the per-actor/per-op-class cycle breakdown and tape traffic of the
+ * run) along with every printed table, and the archive is written as
+ * JSON at process exit. Benches need no per-figure code for this; it
+ * rides on cyclesPerElement()/printTable().
  */
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -18,6 +28,7 @@
 #include "benchmarks/suite.h"
 #include "interp/runner.h"
 #include "lowering/lowered.h"
+#include "support/json.h"
 #include "vectorizer/pipeline.h"
 
 namespace macross::bench {
@@ -28,6 +39,64 @@ enum class HostVectorizer {
     GccLike,
     IccLike,
 };
+
+inline const char*
+toString(HostVectorizer h)
+{
+    switch (h) {
+      case HostVectorizer::None: return "none";
+      case HostVectorizer::GccLike: return "gcc-like";
+      case HostVectorizer::IccLike: return "icc-like";
+    }
+    return "unknown";
+}
+
+/** JSON archive accumulated across the whole bench process. */
+inline json::Value&
+benchArchive()
+{
+    static json::Value root = [] {
+        json::Value v = json::Value::object();
+        v["runs"] = json::Value::array();
+        v["tables"] = json::Value::array();
+        return v;
+    }();
+    return root;
+}
+
+/** Path from MACROSS_BENCH_JSON, or null when recording is off. */
+inline const char*
+benchJsonPath()
+{
+    static const char* path = std::getenv("MACROSS_BENCH_JSON");
+    return path;
+}
+
+/** Write the archive (called at exit; safe to call repeatedly). */
+inline void
+flushBenchArchive()
+{
+    const char* path = benchJsonPath();
+    if (!path)
+        return;
+    std::ofstream out(path);
+    out << benchArchive().dump(2) << "\n";
+}
+
+/** Register the at-exit flush exactly once. */
+inline void
+armBenchArchive()
+{
+    static bool armed = [] {
+        // Touch the archive first: its destructor must register
+        // after the atexit handler so the handler (run in reverse
+        // order) still sees a live object.
+        benchArchive();
+        std::atexit(flushBenchArchive);
+        return true;
+    }();
+    (void)armed;
+}
 
 /** Steady-state cycles per sink element for one configuration. */
 inline double
@@ -51,9 +120,27 @@ cyclesPerElement(const vectorizer::CompiledProgram& p,
     std::size_t before = r.captured().size();
     r.runSteady(iters);
     std::size_t produced = r.captured().size() - before;
-    if (produced == 0)
-        return 0.0;
-    return cost.totalCycles() / static_cast<double>(produced);
+    double perElement =
+        produced ? cost.totalCycles() / static_cast<double>(produced)
+                 : 0.0;
+
+    if (benchJsonPath()) {
+        armBenchArchive();
+        std::vector<std::string> names;
+        names.reserve(p.graph.actors.size());
+        for (const auto& a : p.graph.actors)
+            names.push_back(a.name);
+        json::Value rec = json::Value::object();
+        rec["host"] = toString(host);
+        rec["iterations"] = iters;
+        rec["sinkElements"] = produced;
+        rec["cyclesPerElement"] = perElement;
+        rec["compilation"] = p.report.toJson();
+        rec["cost"] = cost.toJson(names);
+        rec["stats"] = r.statsToJson();
+        benchArchive()["runs"].push(std::move(rec));
+    }
+    return perElement;
 }
 
 /** Compile a program scalar or macro-SIMDized. */
@@ -91,6 +178,28 @@ printTable(const std::string& title,
     for (std::size_t i = 0; i < sums.size(); ++i)
         std::printf("%15.2fx", sums[i] / rows.size());
     std::printf("\n");
+
+    if (benchJsonPath()) {
+        armBenchArchive();
+        json::Value table = json::Value::object();
+        table["title"] = title;
+        json::Value cols = json::Value::array();
+        for (const auto& c : columns)
+            cols.push(c);
+        table["columns"] = std::move(cols);
+        json::Value jrows = json::Value::array();
+        for (const auto& [name, vals] : rows) {
+            json::Value row = json::Value::object();
+            row["name"] = name;
+            json::Value v = json::Value::array();
+            for (double x : vals)
+                v.push(x);
+            row["values"] = std::move(v);
+            jrows.push(std::move(row));
+        }
+        table["rows"] = std::move(jrows);
+        benchArchive()["tables"].push(std::move(table));
+    }
 }
 
 } // namespace macross::bench

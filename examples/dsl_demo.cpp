@@ -88,8 +88,9 @@ main(int argc, char** argv)
     auto scalar = vectorizer::compileScalar(program);
 
     std::printf("transform decisions:\n");
-    for (const auto& a : simd.actions)
-        std::printf("  %-20s %s\n", a.name.c_str(), a.action.c_str());
+    for (const auto& d : simd.report.decisions)
+        std::printf("  %-20s %s\n", d.actor.c_str(),
+                    d.toString().c_str());
 
     double s = cycles(scalar, opts.machine);
     double v = cycles(simd, opts.machine);

@@ -70,7 +70,8 @@ main()
     }
 
     std::printf("\ntransform decisions:\n");
-    for (const auto& a : macro.actions)
-        std::printf("  %-14s %s\n", a.name.c_str(), a.action.c_str());
+    for (const auto& d : macro.report.decisions)
+        std::printf("  %-14s %s\n", d.actor.c_str(),
+                    d.toString().c_str());
     return 0;
 }

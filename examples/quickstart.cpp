@@ -69,8 +69,9 @@ main()
     auto simd = vectorizer::macroSimdize(program, opts);
 
     std::printf("transform log:\n");
-    for (const auto& a : simd.actions)
-        std::printf("  %-14s %s\n", a.name.c_str(), a.action.c_str());
+    for (const auto& d : simd.report.decisions)
+        std::printf("  %-14s %s\n", d.actor.c_str(),
+                    d.toString().c_str());
 
     // 3. Run both and compare.
     std::vector<float> scalarOut, simdOut;

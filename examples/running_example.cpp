@@ -44,8 +44,9 @@ main()
     auto scalar = vectorizer::compileScalar(program);
 
     std::printf("=== transform decisions (Algorithm 1) ===\n");
-    for (const auto& a : simd.actions)
-        std::printf("  %-14s %s\n", a.name.c_str(), a.action.c_str());
+    for (const auto& d : simd.report.decisions)
+        std::printf("  %-14s %s\n", d.actor.c_str(),
+                    d.toString().c_str());
 
     std::printf("\n=== vectorized graph ===\n");
     for (const auto& a : simd.graph.actors) {

@@ -64,6 +64,56 @@ Runner::totalCycles() const
     return cost_ ? cost_->totalCycles() : 0.0;
 }
 
+json::Value
+Runner::statsToJson() const
+{
+    auto kindName = [](ActorKind k) {
+        switch (k) {
+          case ActorKind::Filter: return "filter";
+          case ActorKind::Splitter: return "splitter";
+          case ActorKind::Joiner: return "joiner";
+        }
+        return "unknown";
+    };
+
+    json::Value root = json::Value::object();
+    json::Value actors = json::Value::array();
+    for (const Actor& a : graph_->actors) {
+        json::Value v = json::Value::object();
+        v["id"] = a.id;
+        v["name"] = a.name;
+        v["kind"] = kindName(a.kind);
+        if (a.isFilter())
+            v["lanes"] = a.def->vectorLanes;
+        v["fires"] = fireCounts_[a.id];
+        if (cost_)
+            v["cycles"] = cost_->actorCycles(a.id);
+        actors.push(std::move(v));
+    }
+    root["actors"] = std::move(actors);
+
+    json::Value tapes = json::Value::array();
+    for (std::size_t i = 0; i < tapes_.size(); ++i) {
+        const graph::TapeDesc& td = graph_->tapes[i];
+        json::Value v = json::Value::object();
+        v["id"] = td.id;
+        v["src"] = graph_->actor(td.src).name;
+        v["dst"] = graph_->actor(td.dst).name;
+        v["elementsPushed"] = tapes_[i]->totalPushed();
+        v["maxOccupancy"] = tapes_[i]->maxOccupancy();
+        if (td.transpose.readSide || td.transpose.writeSide) {
+            v["transposed"] =
+                td.transpose.readSide ? "read-side" : "write-side";
+        }
+        tapes.push(std::move(v));
+    }
+    root["tapes"] = std::move(tapes);
+
+    if (cost_)
+        root["totalCycles"] = cost_->totalCycles();
+    return root;
+}
+
 void
 Runner::fireFilter(const Actor& a)
 {
@@ -292,6 +342,15 @@ Runner::runInit()
             fire(id);
     }
     cost_ = saved;
+
+    if (trace_ && trace_->enabled()) {
+        std::int64_t warmups = 0;
+        for (std::int64_t n : sched_->initFires)
+            warmups += n;
+        json::Value payload = json::Value::object();
+        payload["warmupFirings"] = warmups;
+        trace_->event("interp", "runInit", std::move(payload));
+    }
 }
 
 void
@@ -299,11 +358,24 @@ Runner::runSteady(int iterations)
 {
     if (!initDone_)
         runInit();
+    const double cyclesBefore = totalCycles();
+    std::int64_t firings = 0;
     for (int it = 0; it < iterations; ++it) {
         for (int id : sched_->order) {
-            for (std::int64_t k = 0; k < sched_->reps[id]; ++k)
+            for (std::int64_t k = 0; k < sched_->reps[id]; ++k) {
                 fire(id);
+                ++firings;
+            }
         }
+    }
+    if (trace_ && trace_->enabled()) {
+        trace_->count("interp.steadyIterations", iterations);
+        trace_->count("interp.firings", firings);
+        json::Value payload = json::Value::object();
+        payload["iterations"] = iterations;
+        payload["firings"] = firings;
+        payload["cycles"] = totalCycles() - cyclesBefore;
+        trace_->event("interp", "runSteady", std::move(payload));
     }
 }
 

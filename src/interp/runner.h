@@ -19,6 +19,8 @@
 #include "graph/flat_graph.h"
 #include "interp/executor.h"
 #include "schedule/steady_state.h"
+#include "support/json.h"
+#include "support/trace.h"
 
 namespace macross::interp {
 
@@ -78,6 +80,23 @@ class Runner {
     /** Modeled cycles accumulated so far (0 without a sink). */
     double totalCycles() const;
 
+    /** Firings of @p actor_id so far (init phase included). */
+    std::int64_t fireCount(int actor_id) const
+    {
+        return fireCounts_.at(actor_id);
+    }
+
+    /** Attach a trace for phase events and firing counters. */
+    void setTrace(support::Trace* t) { trace_ = t; }
+
+    /**
+     * Execution statistics as JSON: per-actor firing counts and
+     * attributed cycles, and per-tape traffic (elements pushed,
+     * occupancy high-water mark). Cycles are present only when the
+     * runner was built with a cost sink.
+     */
+    json::Value statsToJson() const;
+
   private:
     void fireFilter(const graph::Actor& a);
     void fireSplitter(const graph::Actor& a);
@@ -87,6 +106,7 @@ class Runner {
     const graph::FlatGraph* graph_;
     const schedule::Schedule* sched_;
     machine::CostSink* cost_;
+    support::Trace* trace_ = nullptr;
 
     std::vector<std::unique_ptr<Tape>> tapes_;
     std::vector<Env> locals_;

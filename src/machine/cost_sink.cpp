@@ -15,6 +15,7 @@ CostSink::setCurrentActor(int actor_id)
     if (actor_id >= 0 &&
         static_cast<std::size_t>(actor_id) >= byActor_.size()) {
         byActor_.resize(actor_id + 1, 0.0);
+        byActorClass_.resize(actor_id + 1);
     }
 }
 
@@ -25,8 +26,13 @@ CostSink::charge(OpClass c, int lanes, std::int64_t count)
     total_ += cycles;
     byClass_[static_cast<int>(c)] += cycles;
     opsByClass_[static_cast<int>(c)] += count;
-    if (currentActor_ >= 0)
+    if (currentActor_ >= 0) {
         byActor_[currentActor_] += cycles;
+        std::vector<double>& row = byActorClass_[currentActor_];
+        if (row.empty())
+            row.assign(static_cast<int>(OpClass::NumClasses), 0.0);
+        row[static_cast<int>(c)] += cycles;
+    }
 }
 
 void
@@ -47,11 +53,68 @@ CostSink::actorCycles(int actor_id) const
     return byActor_[actor_id];
 }
 
+double
+CostSink::actorClassCycles(int actor_id, OpClass c) const
+{
+    if (actor_id < 0 ||
+        static_cast<std::size_t>(actor_id) >= byActorClass_.size() ||
+        byActorClass_[actor_id].empty()) {
+        return 0.0;
+    }
+    return byActorClass_[actor_id][static_cast<int>(c)];
+}
+
+json::Value
+CostSink::toJson(const std::vector<std::string>& actor_names) const
+{
+    const int numClasses = static_cast<int>(OpClass::NumClasses);
+    json::Value root = json::Value::object();
+    root["machine"] = machine_->name;
+    root["totalCycles"] = total_;
+
+    json::Value classes = json::Value::object();
+    for (int c = 0; c < numClasses; ++c) {
+        if (byClass_[c] == 0.0 && opsByClass_[c] == 0)
+            continue;
+        json::Value cell = json::Value::object();
+        cell["cycles"] = byClass_[c];
+        cell["ops"] = opsByClass_[c];
+        classes[toString(static_cast<OpClass>(c))] = std::move(cell);
+    }
+    root["classes"] = std::move(classes);
+
+    json::Value actors = json::Value::array();
+    for (std::size_t id = 0; id < byActor_.size(); ++id) {
+        if (byActor_[id] == 0.0)
+            continue;
+        json::Value a = json::Value::object();
+        a["id"] = id;
+        if (id < actor_names.size())
+            a["name"] = actor_names[id];
+        a["cycles"] = byActor_[id];
+        json::Value perClass = json::Value::object();
+        if (id < byActorClass_.size() && !byActorClass_[id].empty()) {
+            for (int c = 0; c < numClasses; ++c) {
+                double cyc = byActorClass_[id][c];
+                if (cyc == 0.0)
+                    continue;
+                perClass[toString(static_cast<OpClass>(c))] = cyc;
+            }
+        }
+        a["classes"] = std::move(perClass);
+        actors.push(std::move(a));
+    }
+    root["actors"] = std::move(actors);
+    return root;
+}
+
 void
 CostSink::reset()
 {
     total_ = 0.0;
     byActor_.assign(byActor_.size(), 0.0);
+    for (auto& row : byActorClass_)
+        row.clear();
     byClass_.assign(byClass_.size(), 0.0);
     opsByClass_.assign(opsByClass_.size(), 0);
 }

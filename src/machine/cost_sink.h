@@ -4,15 +4,19 @@
  *
  * The interpreter reports every dynamic operation to a CostSink; the
  * sink weights it by the machine description and attributes it to the
- * actor currently executing. Per-actor attribution feeds the multicore
- * partitioner and the per-benchmark breakdowns in the benches.
+ * actor currently executing. Attribution is two-dimensional — per
+ * actor, per op class, and the full actor x op-class matrix — feeding
+ * the multicore partitioner, the per-benchmark breakdowns in the
+ * benches, and the JSON reports of the CLI (--json-report).
  */
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "machine/machine_desc.h"
+#include "support/json.h"
 
 namespace macross::machine {
 
@@ -38,7 +42,24 @@ class CostSink {
     /** Dynamic op count per op class. */
     const std::vector<std::int64_t>& classOps() const { return opsByClass_; }
 
+    /**
+     * Cycles attributed to (actor, op class). Zero when the actor was
+     * never charged. Explicit chargeCycles() amounts carry no op
+     * class and appear only in actorCycles()/totalCycles().
+     */
+    double actorClassCycles(int actor_id, OpClass c) const;
+
     const MachineDesc& machine() const { return *machine_; }
+
+    /**
+     * Serialize the full breakdown:
+     * {"totalCycles", "classes": {class: {cycles, ops}},
+     *  "actors": [{id, name?, cycles, classes: {class: cycles}}]}.
+     * Zero rows/cells are omitted. @p actor_names, when non-empty, is
+     * indexed by actor id to label the per-actor records.
+     */
+    json::Value toJson(
+        const std::vector<std::string>& actor_names = {}) const;
 
     /** Reset all accumulators (machine unchanged). */
     void reset();
@@ -48,6 +69,8 @@ class CostSink {
     double total_ = 0.0;
     int currentActor_ = -1;
     std::vector<double> byActor_;
+    /** Row per actor id, NumClasses cycle cells each (lazily grown). */
+    std::vector<std::vector<double>> byActorClass_;
     std::vector<double> byClass_ =
         std::vector<double>(static_cast<int>(OpClass::NumClasses), 0.0);
     std::vector<std::int64_t> opsByClass_ = std::vector<std::int64_t>(

@@ -1,0 +1,487 @@
+/**
+ * @file
+ * JSON serializer and recursive-descent parser.
+ */
+#include "support/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "support/diagnostics.h"
+
+namespace macross::json {
+
+Value
+Value::array()
+{
+    Value v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+Value
+Value::object()
+{
+    Value v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+bool
+Value::asBool() const
+{
+    panicIf(kind_ != Kind::Bool, "json: asBool on non-bool");
+    return bool_;
+}
+
+std::int64_t
+Value::asInt() const
+{
+    panicIf(kind_ != Kind::Int, "json: asInt on non-int");
+    return int_;
+}
+
+double
+Value::asDouble() const
+{
+    panicIf(!isNumber(), "json: asDouble on non-number");
+    return kind_ == Kind::Int ? static_cast<double>(int_) : double_;
+}
+
+const std::string&
+Value::asString() const
+{
+    panicIf(kind_ != Kind::String, "json: asString on non-string");
+    return string_;
+}
+
+void
+Value::push(Value v)
+{
+    panicIf(kind_ != Kind::Array, "json: push on non-array");
+    array_.push_back(std::move(v));
+}
+
+std::size_t
+Value::size() const
+{
+    if (kind_ == Kind::Array)
+        return array_.size();
+    if (kind_ == Kind::Object)
+        return object_.size();
+    panic("json: size on non-container");
+}
+
+const Value&
+Value::at(std::size_t i) const
+{
+    panicIf(kind_ != Kind::Array, "json: at on non-array");
+    panicIf(i >= array_.size(), "json: index out of range");
+    return array_[i];
+}
+
+const std::vector<Value>&
+Value::items() const
+{
+    panicIf(kind_ != Kind::Array, "json: items on non-array");
+    return array_;
+}
+
+Value&
+Value::operator[](const std::string& key)
+{
+    panicIf(kind_ != Kind::Object, "json: operator[] on non-object");
+    for (auto& [k, v] : object_) {
+        if (k == key)
+            return v;
+    }
+    object_.emplace_back(key, Value());
+    return object_.back().second;
+}
+
+const Value*
+Value::find(const std::string& key) const
+{
+    panicIf(kind_ != Kind::Object, "json: find on non-object");
+    for (const auto& [k, v] : object_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+const std::vector<std::pair<std::string, Value>>&
+Value::members() const
+{
+    panicIf(kind_ != Kind::Object, "json: members on non-object");
+    return object_;
+}
+
+namespace {
+
+void
+escapeInto(std::string& out, const std::string& s)
+{
+    out += '"';
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+numberInto(std::string& out, double d)
+{
+    // Non-finite values have no JSON spelling; emit null like most
+    // tolerant writers do.
+    if (!std::isfinite(d)) {
+        out += "null";
+        return;
+    }
+    char buf[32];
+    auto res = std::to_chars(buf, buf + sizeof(buf), d);
+    out.append(buf, res.ptr);
+}
+
+void
+newlineIndent(std::string& out, int indent, int depth)
+{
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+} // namespace
+
+void
+Value::dumpTo(std::string& out, int indent, int depth) const
+{
+    const bool pretty = indent >= 0;
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::Int:
+        out += std::to_string(int_);
+        break;
+      case Kind::Double:
+        numberInto(out, double_);
+        break;
+      case Kind::String:
+        escapeInto(out, string_);
+        break;
+      case Kind::Array:
+        if (array_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < array_.size(); ++i) {
+            if (i)
+                out += ',';
+            if (pretty)
+                newlineIndent(out, indent, depth + 1);
+            array_[i].dumpTo(out, indent, depth + 1);
+        }
+        if (pretty)
+            newlineIndent(out, indent, depth);
+        out += ']';
+        break;
+      case Kind::Object:
+        if (object_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < object_.size(); ++i) {
+            if (i)
+                out += ',';
+            if (pretty)
+                newlineIndent(out, indent, depth + 1);
+            escapeInto(out, object_[i].first);
+            out += pretty ? ": " : ":";
+            object_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        if (pretty)
+            newlineIndent(out, indent, depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Value::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+bool
+Value::operator==(const Value& o) const
+{
+    if (isNumber() && o.isNumber())
+        return asDouble() == o.asDouble();
+    if (kind_ != o.kind_)
+        return false;
+    switch (kind_) {
+      case Kind::Null:
+        return true;
+      case Kind::Bool:
+        return bool_ == o.bool_;
+      case Kind::Int:
+      case Kind::Double:
+        return true;  // handled above
+      case Kind::String:
+        return string_ == o.string_;
+      case Kind::Array:
+        return array_ == o.array_;
+      case Kind::Object:
+        return object_ == o.object_;
+    }
+    return false;
+}
+
+namespace {
+
+/** Recursive-descent parser over a character range. */
+class Parser {
+  public:
+    explicit Parser(const std::string& text) : s_(text) {}
+
+    Value parseDocument()
+    {
+        Value v = parseValue();
+        skipWs();
+        fatalIf(pos_ != s_.size(), "json: trailing characters at ",
+                pos_);
+        return v;
+    }
+
+  private:
+    void skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char peek()
+    {
+        fatalIf(pos_ >= s_.size(), "json: unexpected end of input");
+        return s_[pos_];
+    }
+
+    void expect(char c)
+    {
+        fatalIf(peek() != c, "json: expected '", c, "' at ", pos_);
+        ++pos_;
+    }
+
+    bool consumeWord(const char* w)
+    {
+        std::size_t n = std::char_traits<char>::length(w);
+        if (s_.compare(pos_, n, w) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    Value parseValue()
+    {
+        skipWs();
+        char c = peek();
+        switch (c) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return Value(parseString());
+          case 't':
+            fatalIf(!consumeWord("true"), "json: bad literal");
+            return Value(true);
+          case 'f':
+            fatalIf(!consumeWord("false"), "json: bad literal");
+            return Value(false);
+          case 'n':
+            fatalIf(!consumeWord("null"), "json: bad literal");
+            return Value();
+          default:
+            return parseNumber();
+        }
+    }
+
+    Value parseObject()
+    {
+        expect('{');
+        Value v = Value::object();
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            v[key] = parseValue();
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    Value parseArray()
+    {
+        expect('[');
+        Value v = Value::array();
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.push(parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            fatalIf(pos_ >= s_.size(), "json: unterminated string");
+            char c = s_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            fatalIf(pos_ >= s_.size(), "json: unterminated escape");
+            char e = s_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                fatalIf(pos_ + 4 > s_.size(), "json: bad \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = s_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code += h - '0';
+                    else if (h >= 'a' && h <= 'f')
+                        code += 10 + h - 'a';
+                    else if (h >= 'A' && h <= 'F')
+                        code += 10 + h - 'A';
+                    else
+                        fatal("json: bad \\u escape digit");
+                }
+                // UTF-8 encode (the writer only emits \u00xx, but
+                // accept the full BMP on input).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                fatal("json: bad escape '\\", e, "'");
+            }
+        }
+    }
+
+    Value parseNumber()
+    {
+        std::size_t start = pos_;
+        bool isDouble = false;
+        if (pos_ < s_.size() && s_[pos_] == '-')
+            ++pos_;
+        while (pos_ < s_.size()) {
+            char c = s_[pos_];
+            if (c >= '0' && c <= '9') {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                isDouble = true;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        fatalIf(pos_ == start, "json: expected a value at ", start);
+        const char* b = s_.data() + start;
+        const char* e = s_.data() + pos_;
+        if (!isDouble) {
+            std::int64_t i = 0;
+            auto res = std::from_chars(b, e, i);
+            fatalIf(res.ec != std::errc() || res.ptr != e,
+                    "json: bad integer literal");
+            return Value(i);
+        }
+        double d = 0.0;
+        auto res = std::from_chars(b, e, d);
+        fatalIf(res.ec != std::errc() || res.ptr != e,
+                "json: bad number literal");
+        return Value(d);
+    }
+
+    const std::string& s_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Value
+parse(const std::string& text)
+{
+    return Parser(text).parseDocument();
+}
+
+} // namespace macross::json

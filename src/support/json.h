@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Minimal self-contained JSON document model with a serializer and a
+ * parser (no external dependencies).
+ *
+ * This is the wire format of the observability layer: compilation
+ * reports (support/report.h), trace archives (support/trace.h), cost
+ * breakdowns (machine/cost_sink.h), and interpreter run statistics all
+ * serialize through json::Value. Objects preserve insertion order so
+ * emitted documents are deterministic and diffable across runs.
+ *
+ * Numbers keep their Int/Double distinction on the way out (doubles
+ * print the shortest representation that round-trips, via
+ * std::to_chars); on the way in, a literal without '.', 'e' or 'E'
+ * parses as Int. operator== compares Int and Double numerically, so
+ * parse(dump(v)) == v holds for any value tree.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace macross::json {
+
+/** One JSON value: null, bool, number, string, array, or object. */
+class Value {
+  public:
+    enum class Kind {
+        Null,
+        Bool,
+        Int,
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    Value() = default;
+    Value(std::nullptr_t) {}
+    Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+    Value(int i) : kind_(Kind::Int), int_(i) {}
+    Value(std::int64_t i) : kind_(Kind::Int), int_(i) {}
+    Value(std::size_t i)
+        : kind_(Kind::Int), int_(static_cast<std::int64_t>(i))
+    {
+    }
+    Value(double d) : kind_(Kind::Double), double_(d) {}
+    Value(const char* s) : kind_(Kind::String), string_(s) {}
+    Value(std::string s) : kind_(Kind::String), string_(std::move(s)) {}
+
+    /** An empty array (distinct from null). */
+    static Value array();
+    /** An empty object (distinct from null). */
+    static Value object();
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isNumber() const
+    {
+        return kind_ == Kind::Int || kind_ == Kind::Double;
+    }
+
+    /** @name Scalar accessors (panic on kind mismatch).
+     *  @{
+     */
+    bool asBool() const;
+    std::int64_t asInt() const;
+    /** Any number as double (Int converts). */
+    double asDouble() const;
+    const std::string& asString() const;
+    /** @} */
+
+    /** @name Array interface (panics unless array).
+     *  @{
+     */
+    void push(Value v);
+    std::size_t size() const;
+    const Value& at(std::size_t i) const;
+    const std::vector<Value>& items() const;
+    /** @} */
+
+    /** @name Object interface, insertion-ordered (panics unless object).
+     *  @{
+     */
+    /** Find-or-insert a member (inserting null). */
+    Value& operator[](const std::string& key);
+    /** Member lookup; null if absent. */
+    const Value* find(const std::string& key) const;
+    bool contains(const std::string& key) const
+    {
+        return find(key) != nullptr;
+    }
+    const std::vector<std::pair<std::string, Value>>& members() const;
+    /** @} */
+
+    /**
+     * Serialize. @p indent < 0 emits the compact one-line form;
+     * @p indent >= 0 pretty-prints with that many spaces per level.
+     */
+    std::string dump(int indent = -1) const;
+
+    /** Deep structural equality (Int/Double compare numerically). */
+    bool operator==(const Value& o) const;
+    bool operator!=(const Value& o) const { return !(*this == o); }
+
+  private:
+    void dumpTo(std::string& out, int indent, int depth) const;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    std::vector<Value> array_;
+    std::vector<std::pair<std::string, Value>> object_;
+};
+
+/** Parse a JSON document; fatal() on malformed input. */
+Value parse(const std::string& text);
+
+} // namespace macross::json

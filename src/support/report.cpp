@@ -1,0 +1,134 @@
+/**
+ * @file
+ * CompilationReport implementation.
+ */
+#include "support/report.h"
+
+#include "support/diagnostics.h"
+
+namespace macross::report {
+
+std::string
+toString(TransformKind k)
+{
+    switch (k) {
+      case TransformKind::LeftScalar: return "left-scalar";
+      case TransformKind::SingleActor: return "single-actor";
+      case TransformKind::VerticalFusion: return "vertical-fusion";
+      case TransformKind::Horizontal: return "horizontal";
+    }
+    panic("unknown TransformKind");
+}
+
+std::string
+toString(TapeAccess m)
+{
+    switch (m) {
+      case TapeAccess::None: return "none";
+      case TapeAccess::StridedScalar: return "strided-scalar";
+      case TapeAccess::PermutedVector: return "permuted-vector";
+      case TapeAccess::SaguVector: return "sagu-vector";
+    }
+    panic("unknown TapeAccess");
+}
+
+json::Value
+CostEstimate::toJson() const
+{
+    json::Value v = json::Value::object();
+    v["scalarCycles"] = scalarCycles;
+    v["simdCycles"] = simdCycles;
+    v["speedup"] = speedup();
+    return v;
+}
+
+std::string
+ActorDecision::toString() const
+{
+    switch (kind) {
+      case TransformKind::LeftScalar:
+        return "left scalar: " + reason;
+      case TransformKind::VerticalFusion:
+        return "vertically fused " + std::to_string(fusedActors) +
+               " actors";
+      case TransformKind::Horizontal:
+        if (accepted)
+            return "horizontally SIMDized";
+        return "horizontal " + reason;
+      case TransformKind::SingleActor:
+        return "single-actor SIMDized (in " +
+               report::toString(inMode) + ", out " +
+               report::toString(outMode) + ")" +
+               (reason.empty() ? "" : " [" + reason + "]");
+    }
+    panic("unknown TransformKind");
+}
+
+json::Value
+ActorDecision::toJson() const
+{
+    json::Value v = json::Value::object();
+    v["actor"] = actor;
+    v["kind"] = report::toString(kind);
+    v["accepted"] = accepted;
+    if (!reason.empty())
+        v["reason"] = reason;
+    if (cost.valid())
+        v["cost"] = cost.toJson();
+    v["lanes"] = lanes;
+    if (kind == TransformKind::VerticalFusion)
+        v["fusedActors"] = fusedActors;
+    if (kind == TransformKind::SingleActor) {
+        v["inMode"] = report::toString(inMode);
+        v["outMode"] = report::toString(outMode);
+    }
+    return v;
+}
+
+const ActorDecision*
+CompilationReport::find(const std::string& actor) const
+{
+    for (const ActorDecision& d : decisions) {
+        if (d.actor == actor)
+            return &d;
+    }
+    return nullptr;
+}
+
+int
+CompilationReport::countKind(TransformKind kind,
+                             bool accepted_only) const
+{
+    int n = 0;
+    for (const ActorDecision& d : decisions) {
+        if (d.kind == kind && (d.accepted || !accepted_only))
+            ++n;
+    }
+    return n;
+}
+
+std::string
+CompilationReport::toString() const
+{
+    std::string out;
+    for (const ActorDecision& d : decisions) {
+        out += d.actor;
+        out += ": ";
+        out += d.toString();
+        out += '\n';
+    }
+    return out;
+}
+
+json::Value
+CompilationReport::toJson() const
+{
+    json::Value arr = json::Value::array();
+    for (const ActorDecision& d : decisions)
+        arr.push(d.toJson());
+    json::Value root = json::Value::object();
+    root["decisions"] = std::move(arr);
+    return root;
+}
+
+} // namespace macross::report

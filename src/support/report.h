@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Typed compilation report: the structured record of what the
+ * macro-SIMDization pipeline decided and why.
+ *
+ * Every actor the pipeline considers gets an ActorDecision: which
+ * transform was applied (or why none was), the cost model's
+ * scalar-vs-SIMDized cycle estimates behind the profitability call,
+ * and — for single-actor SIMDization — the tape boundary access modes
+ * actually emitted. CompilationReport aggregates the decisions and
+ * serializes to JSON (support/json.h); ActorDecision::toString()
+ * reproduces the legacy one-line action strings so existing log
+ * consumers migrate mechanically.
+ *
+ * The types here are plain data (strings/enums/doubles) on purpose:
+ * vectorizer, machine, interp, bench, and tools all consume them
+ * without pulling in graph or IR headers.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/json.h"
+
+namespace macross::report {
+
+/** Which macro-SIMDization transform a decision is about. */
+enum class TransformKind {
+    LeftScalar,     ///< No transform: actor stays scalar.
+    SingleActor,    ///< Section 3.1 single-actor SIMDization.
+    VerticalFusion, ///< Section 3.2 vertical fusion.
+    Horizontal,     ///< Section 3.3 horizontal SIMDization.
+};
+
+std::string toString(TransformKind k);
+
+/** Tape boundary access strategy recorded on a decision. */
+enum class TapeAccess {
+    None,           ///< Not applicable (no tape on that side).
+    StridedScalar,
+    PermutedVector,
+    SaguVector,
+};
+
+std::string toString(TapeAccess m);
+
+/** Cost-model cycle estimates behind one profitability decision. */
+struct CostEstimate {
+    /** simdWidth scalar firings (the work one SIMDized firing covers). */
+    double scalarCycles = 0.0;
+    /** One SIMDized firing under the chosen boundary modes. */
+    double simdCycles = 0.0;
+
+    bool valid() const { return scalarCycles > 0.0 || simdCycles > 0.0; }
+    /** Estimated speedup (0 when not valid). */
+    double speedup() const
+    {
+        return simdCycles > 0.0 ? scalarCycles / simdCycles : 0.0;
+    }
+    json::Value toJson() const;
+};
+
+/** One typed transform decision about one actor. */
+struct ActorDecision {
+    std::string actor;  ///< Actor (FilterDef) name, pre-transform.
+    TransformKind kind = TransformKind::LeftScalar;
+    bool accepted = false;
+    /** Rejection reason or downgrade note; empty when clean. */
+    std::string reason;
+    /** Scalar-vs-SIMD estimates (invalid when the cost model never ran). */
+    CostEstimate cost;
+    int lanes = 1;       ///< SIMD lanes after the transform.
+    int fusedActors = 0; ///< Actors collapsed by vertical fusion.
+    TapeAccess inMode = TapeAccess::None;   ///< Single-actor only.
+    TapeAccess outMode = TapeAccess::None;  ///< Single-actor only.
+
+    /** Legacy one-line action string (the pre-report log format). */
+    std::string toString() const;
+    json::Value toJson() const;
+};
+
+/** The full compilation report attached to a CompiledProgram. */
+struct CompilationReport {
+    std::vector<ActorDecision> decisions;
+
+    /** First decision about @p actor, or null. */
+    const ActorDecision* find(const std::string& actor) const;
+
+    /** Number of decisions of @p kind (accepted ones by default). */
+    int countKind(TransformKind kind, bool accepted_only = true) const;
+
+    /** Legacy multi-line log (one toString() line per decision). */
+    std::string toString() const;
+    json::Value toJson() const;
+};
+
+} // namespace macross::report

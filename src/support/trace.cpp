@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Trace implementation.
+ */
+#include "support/trace.h"
+
+namespace macross::support {
+
+double
+Trace::sinceEpochMs() const
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+void
+Trace::count(const std::string& name, std::int64_t delta)
+{
+    if (!enabled_)
+        return;
+    counters_[name] += delta;
+}
+
+void
+Trace::event(std::string category, std::string name,
+             json::Value payload)
+{
+    if (!enabled_)
+        return;
+    events_.push_back(Event{std::move(category), std::move(name),
+                            sinceEpochMs(), std::move(payload)});
+}
+
+void
+Trace::timeAdd(const std::string& name, double ms)
+{
+    if (!enabled_)
+        return;
+    TimerStat& t = timers_[name];
+    t.calls++;
+    t.totalMs += ms;
+}
+
+Trace::Scope::Scope(Trace* t, std::string name)
+    : trace_(t && t->enabled() ? t : nullptr), name_(std::move(name))
+{
+    if (trace_)
+        start_ = std::chrono::steady_clock::now();
+}
+
+Trace::Scope::~Scope()
+{
+    if (!trace_)
+        return;
+    trace_->timeAdd(
+        name_, std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start_)
+                   .count());
+}
+
+json::Value
+Trace::toJson() const
+{
+    json::Value root = json::Value::object();
+
+    json::Value counters = json::Value::object();
+    for (const auto& [name, v] : counters_)
+        counters[name] = v;
+    root["counters"] = std::move(counters);
+
+    json::Value timers = json::Value::object();
+    for (const auto& [name, stat] : timers_) {
+        json::Value t = json::Value::object();
+        t["calls"] = stat.calls;
+        t["totalMs"] = stat.totalMs;
+        timers[name] = std::move(t);
+    }
+    root["timers"] = std::move(timers);
+
+    json::Value events = json::Value::array();
+    for (const Event& e : events_) {
+        json::Value ev = json::Value::object();
+        ev["category"] = e.category;
+        ev["name"] = e.name;
+        ev["atMs"] = e.atMs;
+        ev["payload"] = e.payload;
+        events.push(std::move(ev));
+    }
+    root["events"] = std::move(events);
+    return root;
+}
+
+void
+Trace::clear()
+{
+    counters_.clear();
+    timers_.clear();
+    events_.clear();
+    epoch_ = std::chrono::steady_clock::now();
+}
+
+} // namespace macross::support

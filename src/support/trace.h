@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Structured tracing and metrics: pass-scoped wall-clock timers,
+ * monotonic counters, and typed trace events, all serializable to JSON
+ * (support/json.h) with no external dependencies.
+ *
+ * A Trace is an explicit object threaded through the stack by pointer
+ * (SimdizeOptions::trace, Runner::setTrace, the CLI's --trace flag); a
+ * null pointer means tracing is off and costs nothing on the hot
+ * paths. Trace::Scope is the RAII pass timer:
+ *
+ *     support::Trace::Scope s(trace, "vectorizer.tape_opt");
+ *
+ * accumulates elapsed time and a call count under that name, and is a
+ * no-op when @p trace is null or disabled. Events carry an arbitrary
+ * JSON payload and a millisecond timestamp relative to the trace
+ * epoch, so a dumped archive reads as a timeline.
+ *
+ * Not thread-safe: one Trace per compilation/run thread.
+ */
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/json.h"
+
+namespace macross::support {
+
+/** Collector for timers, counters, and events. */
+class Trace {
+  public:
+    /** Aggregated RAII-scope timings for one name. */
+    struct TimerStat {
+        std::int64_t calls = 0;
+        double totalMs = 0.0;
+    };
+
+    /** One typed event on the trace timeline. */
+    struct Event {
+        std::string category;
+        std::string name;
+        double atMs = 0.0;  ///< Milliseconds since trace creation.
+        json::Value payload;
+    };
+
+    /** Tracing is on by default; disable to keep the object inert. */
+    void enable(bool on = true) { enabled_ = on; }
+    bool enabled() const { return enabled_; }
+
+    /** Add @p delta to counter @p name (creating it at zero). */
+    void count(const std::string& name, std::int64_t delta = 1);
+
+    /** Record a typed event with an optional JSON payload. */
+    void event(std::string category, std::string name,
+               json::Value payload = json::Value::object());
+
+    /** Accumulate @p ms of elapsed time under timer @p name. */
+    void timeAdd(const std::string& name, double ms);
+
+    /** RAII pass timer; inert when constructed with a null trace. */
+    class Scope {
+      public:
+        Scope(Trace* t, std::string name);
+        ~Scope();
+        Scope(const Scope&) = delete;
+        Scope& operator=(const Scope&) = delete;
+
+      private:
+        Trace* trace_;
+        std::string name_;
+        std::chrono::steady_clock::time_point start_;
+    };
+
+    const std::map<std::string, std::int64_t>& counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, TimerStat>& timers() const
+    {
+        return timers_;
+    }
+    const std::vector<Event>& events() const { return events_; }
+
+    /** Serialize: {"counters": {...}, "timers": {...}, "events": [...]}. */
+    json::Value toJson() const;
+
+    /** Drop all recorded data (enable flag unchanged). */
+    void clear();
+
+  private:
+    double sinceEpochMs() const;
+
+    bool enabled_ = true;
+    std::chrono::steady_clock::time_point epoch_ =
+        std::chrono::steady_clock::now();
+    std::map<std::string, std::int64_t> counters_;
+    std::map<std::string, TimerStat> timers_;
+    std::vector<Event> events_;
+};
+
+} // namespace macross::support

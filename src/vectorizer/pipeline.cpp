@@ -19,6 +19,8 @@ namespace macross::vectorizer {
 using graph::Stream;
 using graph::StreamKind;
 using graph::StreamPtr;
+using report::ActorDecision;
+using report::TransformKind;
 
 namespace {
 
@@ -26,16 +28,34 @@ namespace {
 struct PassState {
     const SimdizeOptions* opts;
     std::unordered_set<const graph::FilterDef*> pending;
-    std::vector<ActorReport> actions;
+    report::CompilationReport report;
 
-    bool shouldSimdize(const graph::FilterDef& def) const
+    /** Record a LeftScalar decision with an explanation. */
+    void leaveScalar(const std::string& actor, std::string reason,
+                     report::CostEstimate cost = {})
     {
-        if (!opts->enableSingleActor)
-            return false;
-        if (!isSimdizable(def).ok)
-            return false;
-        return opts->forceSimdize ||
-               simdizationProfitable(def, opts->machine);
+        ActorDecision d;
+        d.actor = actor;
+        d.kind = TransformKind::LeftScalar;
+        d.accepted = false;
+        d.reason = std::move(reason);
+        d.cost = cost;
+        report.decisions.push_back(std::move(d));
+    }
+
+    /**
+     * Run the profitability check for @p def, returning the estimates
+     * so rejected decisions can carry the numbers that doomed them.
+     */
+    bool profitable(const graph::FilterDef& def,
+                    report::CostEstimate& cost) const
+    {
+        cost.scalarCycles = opts->machine.simdWidth *
+                            estimateFiringCycles(def, opts->machine);
+        cost.simdCycles = estimateSimdizedCycles(
+            def, opts->machine, TapeMode::StridedScalar,
+            TapeMode::StridedScalar);
+        return cost.simdCycles < cost.scalarCycles;
     }
 };
 
@@ -47,14 +67,20 @@ transformFilter(const StreamPtr& node, PassState& st)
     const graph::FilterDefPtr& def = node->filter;
     SimdizableVerdict v = isSimdizable(*def);
     if (!v.ok) {
-        st.actions.push_back({def->name, "left scalar: " + v.reason});
+        st.leaveScalar(def->name, v.reason);
         return node;
     }
-    if (st.shouldSimdize(*def)) {
+    if (!st.opts->enableSingleActor) {
+        st.leaveScalar(def->name, "single-actor disabled");
+        return node;
+    }
+    report::CostEstimate cost;
+    bool profitable = st.profitable(*def, cost);
+    if (st.opts->forceSimdize || profitable) {
         st.pending.insert(def.get());
         return node;
     }
-    st.actions.push_back({def->name, "left scalar: not profitable"});
+    st.leaveScalar(def->name, "not profitable", cost);
     return node;
 }
 
@@ -77,13 +103,20 @@ transformPipeline(const StreamPtr& node, PassState& st)
                 ++j;
             }
             graph::FilterDefPtr fused = fuseVertically(chain);
-            st.actions.push_back(
-                {fused->name,
-                 "vertically fused " + std::to_string(chain.size()) +
-                     " actors"});
-            if (st.opts->forceSimdize ||
-                simdizationProfitable(*fused, st.opts->machine)) {
+            ActorDecision d;
+            d.actor = fused->name;
+            d.kind = TransformKind::VerticalFusion;
+            d.accepted = true;
+            d.fusedActors = static_cast<int>(chain.size());
+            st.report.decisions.push_back(std::move(d));
+
+            report::CostEstimate cost;
+            bool profitable = st.profitable(*fused, cost);
+            if (st.opts->forceSimdize || profitable) {
                 st.pending.insert(fused.get());
+            } else {
+                st.leaveScalar(fused->name,
+                               "not profitable after fusion", cost);
             }
             out.push_back(graph::filterStream(fused));
             i = j;
@@ -123,8 +156,12 @@ transformSplitJoin(const StreamPtr& node, PassState& st)
                     st.opts->machine.simdWidth,
                     merged.front()->inElem));
                 for (const auto& d : merged) {
-                    st.actions.push_back(
-                        {d->name, "horizontally SIMDized"});
+                    ActorDecision dec;
+                    dec.actor = d->name;
+                    dec.kind = TransformKind::Horizontal;
+                    dec.accepted = true;
+                    dec.lanes = st.opts->machine.simdWidth;
+                    st.report.decisions.push_back(std::move(dec));
                     stages.push_back(graph::filterStream(d));
                 }
                 stages.push_back(graph::hJoin(
@@ -132,11 +169,19 @@ transformSplitJoin(const StreamPtr& node, PassState& st)
                     merged.back()->outElem));
                 return graph::pipeline(std::move(stages));
             }
-            st.actions.push_back(
-                {"split-join", "horizontal rejected: " + why});
+            ActorDecision dec;
+            dec.actor = "split-join";
+            dec.kind = TransformKind::Horizontal;
+            dec.accepted = false;
+            dec.reason = "rejected: " + why;
+            st.report.decisions.push_back(std::move(dec));
         } else {
-            st.actions.push_back(
-                {"split-join", "horizontal ineligible: " + lv.reason});
+            ActorDecision dec;
+            dec.actor = "split-join";
+            dec.kind = TransformKind::Horizontal;
+            dec.accepted = false;
+            dec.reason = "ineligible: " + lv.reason;
+            st.report.decisions.push_back(std::move(dec));
         }
     }
     // Fall back: transform each branch independently.
@@ -194,21 +239,57 @@ macroSimdize(const graph::StreamPtr& program, const SimdizeOptions& opts)
 {
     fatalIf(opts.machine.simdWidth < 2,
             "macro-SIMDization needs a SIMD machine");
+    support::Trace* tr = opts.trace;
+    support::Trace::Scope total(tr, "vectorizer.macroSimdize");
+
     PassState st;
     st.opts = &opts;
 
     // Algorithm 1: Prepass-Optimizations(G); Prepass-Scheduling runs
     // implicitly (every phase rederives the schedule from rates).
-    StreamPtr root = normalize(prepassOptimize(program));
-    root = transformNode(root, st);
-    root = normalize(root);
+    StreamPtr root;
+    {
+        support::Trace::Scope s(tr, "vectorizer.prepass");
+        root = normalize(prepassOptimize(program));
+    }
+    {
+        support::Trace::Scope s(tr, "vectorizer.hierarchy");
+        root = transformNode(root, st);
+        root = normalize(root);
+    }
 
     CompiledProgram out;
-    out.graph = graph::flatten(root);
-    simdizePendingActors(out.graph, st.pending, opts, st.actions);
-    graph::validate(out.graph);
-    out.schedule = schedule::makeSchedule(out.graph);
-    out.actions = std::move(st.actions);
+    {
+        support::Trace::Scope s(tr, "vectorizer.flatten");
+        out.graph = graph::flatten(root);
+    }
+    {
+        support::Trace::Scope s(tr, "vectorizer.tape_opt");
+        simdizePendingActors(out.graph, st.pending, opts, st.report);
+        graph::validate(out.graph);
+    }
+    {
+        support::Trace::Scope s(tr, "vectorizer.schedule");
+        out.schedule = schedule::makeSchedule(out.graph);
+    }
+    out.report = std::move(st.report);
+
+    if (tr && tr->enabled()) {
+        tr->count("vectorizer.compilations");
+        tr->count("vectorizer.decisions",
+                  static_cast<std::int64_t>(out.report.decisions.size()));
+        json::Value payload = json::Value::object();
+        payload["actors"] = out.graph.actors.size();
+        payload["tapes"] = out.graph.tapes.size();
+        payload["decisions"] = out.report.decisions.size();
+        payload["singleActor"] =
+            out.report.countKind(TransformKind::SingleActor);
+        payload["verticalFusion"] =
+            out.report.countKind(TransformKind::VerticalFusion);
+        payload["horizontal"] =
+            out.report.countKind(TransformKind::Horizontal);
+        tr->event("vectorizer", "macroSimdize", std::move(payload));
+    }
     return out;
 }
 

@@ -4,15 +4,19 @@
  * prepass normalization, segment identification, vertical fusion,
  * horizontal SIMDization, single-actor SIMDization with tape
  * optimization, and final scheduling.
+ *
+ * Compilation produces a typed report::CompilationReport describing
+ * every per-actor transform decision (kind, accepted/rejected, cost
+ * model estimates, tape boundary modes); pass timings and counters go
+ * to the optional support::Trace in SimdizeOptions.
  */
 #pragma once
-
-#include <string>
-#include <vector>
 
 #include "graph/flat_graph.h"
 #include "machine/machine_desc.h"
 #include "schedule/steady_state.h"
+#include "support/report.h"
+#include "support/trace.h"
 
 namespace macross::vectorizer {
 
@@ -28,19 +32,16 @@ struct SimdizeOptions {
     bool enableSagu = false;
     /** Skip the profitability check (used by tests). */
     bool forceSimdize = false;
-};
-
-/** One log line about a transform decision. */
-struct ActorReport {
-    std::string name;
-    std::string action;
+    /** Optional sink for pass timers/counters/events (may be null). */
+    support::Trace* trace = nullptr;
 };
 
 /** A compiled (possibly SIMDized) program ready to run. */
 struct CompiledProgram {
     graph::FlatGraph graph;
     schedule::Schedule schedule;
-    std::vector<ActorReport> actions;
+    /** Typed per-actor transform decisions (empty for scalar builds). */
+    report::CompilationReport report;
 };
 
 /** Run the full macro-SIMDization pipeline on a stream program. */

@@ -75,13 +75,28 @@ consumerIsScalar(const FlatGraph& g, int actor_id,
     return endpointIsScalar(g, actor_id, pending);
 }
 
+/** Map the emitted TapeMode onto the report-layer enum. */
+report::TapeAccess
+toReportMode(TapeMode m)
+{
+    switch (m) {
+      case TapeMode::StridedScalar:
+        return report::TapeAccess::StridedScalar;
+      case TapeMode::PermutedVector:
+        return report::TapeAccess::PermutedVector;
+      case TapeMode::SaguVector:
+        return report::TapeAccess::SaguVector;
+    }
+    panic("unknown TapeMode");
+}
+
 } // namespace
 
 void
 simdizePendingActors(
     FlatGraph& g,
     const std::unordered_set<const graph::FilterDef*>& pending,
-    const SimdizeOptions& opts, std::vector<ActorReport>& actions)
+    const SimdizeOptions& opts, report::CompilationReport& rep)
 {
     const int sw = opts.machine.simdWidth;
     for (auto& a : g.actors) {
@@ -101,6 +116,8 @@ simdizePendingActors(
 
         const int origPop = a.def->pop;
         const int origPush = a.def->push;
+        const double scalarEst =
+            sw * estimateFiringCycles(*a.def, opts.machine);
         SimdizeOutcome outcome = singleActorSimdize(*a.def, sw, modes);
 
         if (outcome.inMode == TapeMode::SaguVector) {
@@ -116,11 +133,18 @@ simdizePendingActors(
             t.transpose.simdWidth = sw;
         }
 
-        actions.push_back(
-            {a.def->name,
-             "single-actor SIMDized (in " + toString(outcome.inMode) +
-                 ", out " + toString(outcome.outMode) + ")" +
-                 (outcome.note.empty() ? "" : " [" + outcome.note + "]")});
+        report::ActorDecision d;
+        d.actor = a.def->name;
+        d.kind = report::TransformKind::SingleActor;
+        d.accepted = true;
+        d.reason = outcome.note;
+        d.lanes = sw;
+        d.cost.scalarCycles = scalarEst;
+        d.cost.simdCycles = estimateSimdizedCycles(
+            *a.def, opts.machine, outcome.inMode, outcome.outMode);
+        d.inMode = toReportMode(outcome.inMode);
+        d.outMode = toReportMode(outcome.outMode);
+        rep.decisions.push_back(std::move(d));
         a.def = outcome.def;
         a.name = outcome.def->name;
     }

@@ -19,11 +19,13 @@ namespace macross::vectorizer {
 /**
  * SIMDize every filter actor of @p g whose definition is in
  * @p pending, choosing the cheapest legal boundary mode per side and
- * annotating tapes with the SAGU transpose layout where used.
+ * annotating tapes with the SAGU transpose layout where used. Each
+ * emitted actor appends a SingleActor decision (boundary modes, cost
+ * estimates, downgrade notes) to @p rep.
  */
 void simdizePendingActors(
     graph::FlatGraph& g,
     const std::unordered_set<const graph::FilterDef*>& pending,
-    const SimdizeOptions& opts, std::vector<ActorReport>& actions);
+    const SimdizeOptions& opts, report::CompilationReport& rep);
 
 } // namespace macross::vectorizer

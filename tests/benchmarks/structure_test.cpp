@@ -130,9 +130,12 @@ TEST(Structure, DctUsesPermutedBoundariesWithoutSagu)
     opts.forceSimdize = true;
     auto compiled = vectorizer::macroSimdize(makeDct(), opts);
     bool sawPermuted = false;
-    for (const auto& a : compiled.actions) {
-        if (a.action.find("permuted-vector") != std::string::npos)
+    for (const auto& d : compiled.report.decisions) {
+        if (d.kind == report::TransformKind::SingleActor &&
+            (d.inMode == report::TapeAccess::PermutedVector ||
+             d.outMode == report::TapeAccess::PermutedVector)) {
             sawPermuted = true;
+        }
     }
     EXPECT_TRUE(sawPermuted);
 }

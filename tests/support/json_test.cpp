@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the JSON document model: construction, serialization,
+ * parsing, and the round-trip guarantee parse(dump(v)) == v.
+ */
+#include "support/json.h"
+
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.h"
+
+namespace macross::json {
+namespace {
+
+Value
+sampleDocument()
+{
+    Value root = Value::object();
+    root["name"] = "FMRadio";
+    root["accepted"] = true;
+    root["lanes"] = 4;
+    root["cycles"] = 1234.5;
+    root["note"] = Value();
+    Value arr = Value::array();
+    arr.push(1);
+    arr.push(-2);
+    arr.push(0.25);
+    arr.push("three");
+    arr.push(false);
+    root["mixed"] = std::move(arr);
+    Value nested = Value::object();
+    nested["quote\"and\\slash"] = "line\nbreak\ttab";
+    nested["empty_obj"] = Value::object();
+    nested["empty_arr"] = Value::array();
+    root["nested"] = std::move(nested);
+    return root;
+}
+
+TEST(Json, ScalarAccessors)
+{
+    EXPECT_TRUE(Value().isNull());
+    EXPECT_EQ(Value(true).asBool(), true);
+    EXPECT_EQ(Value(42).asInt(), 42);
+    EXPECT_DOUBLE_EQ(Value(1.5).asDouble(), 1.5);
+    EXPECT_DOUBLE_EQ(Value(7).asDouble(), 7.0);  // Int promotes.
+    EXPECT_EQ(Value("hi").asString(), "hi");
+    EXPECT_THROW(Value(1).asString(), PanicError);
+    EXPECT_THROW(Value("x").asInt(), PanicError);
+}
+
+TEST(Json, ObjectPreservesInsertionOrder)
+{
+    Value v = Value::object();
+    v["zebra"] = 1;
+    v["alpha"] = 2;
+    v["mid"] = 3;
+    ASSERT_EQ(v.members().size(), 3u);
+    EXPECT_EQ(v.members()[0].first, "zebra");
+    EXPECT_EQ(v.members()[1].first, "alpha");
+    EXPECT_EQ(v.members()[2].first, "mid");
+    EXPECT_EQ(v.dump(), "{\"zebra\":1,\"alpha\":2,\"mid\":3}");
+}
+
+TEST(Json, DumpEscapesStrings)
+{
+    Value v = Value::object();
+    v["k"] = "a\"b\\c\nd\x01";
+    EXPECT_EQ(v.dump(), "{\"k\":\"a\\\"b\\\\c\\nd\\u0001\"}");
+}
+
+TEST(Json, ParseBasics)
+{
+    Value v = parse(R"({"a": [1, 2.5, "x", null, true], "b": {}})");
+    ASSERT_TRUE(v.contains("a"));
+    EXPECT_EQ(v.find("a")->size(), 5u);
+    EXPECT_EQ(v.find("a")->at(0).asInt(), 1);
+    EXPECT_DOUBLE_EQ(v.find("a")->at(1).asDouble(), 2.5);
+    EXPECT_EQ(v.find("a")->at(2).asString(), "x");
+    EXPECT_TRUE(v.find("a")->at(3).isNull());
+    EXPECT_TRUE(v.find("a")->at(4).asBool());
+    EXPECT_EQ(v.find("b")->size(), 0u);
+}
+
+TEST(Json, ParseRejectsMalformedInput)
+{
+    EXPECT_THROW(parse(""), FatalError);
+    EXPECT_THROW(parse("{"), FatalError);
+    EXPECT_THROW(parse("[1,]2"), FatalError);
+    EXPECT_THROW(parse("{\"a\" 1}"), FatalError);
+    EXPECT_THROW(parse("tru"), FatalError);
+    EXPECT_THROW(parse("\"unterminated"), FatalError);
+    EXPECT_THROW(parse("{} trailing"), FatalError);
+}
+
+TEST(Json, RoundTripCompact)
+{
+    Value doc = sampleDocument();
+    EXPECT_EQ(parse(doc.dump()), doc);
+}
+
+TEST(Json, RoundTripPretty)
+{
+    Value doc = sampleDocument();
+    EXPECT_EQ(parse(doc.dump(2)), doc);
+    EXPECT_EQ(parse(doc.dump(4)), doc);
+}
+
+TEST(Json, RoundTripPreservesDoublesExactly)
+{
+    // Shortest-representation printing (std::to_chars) must restore
+    // bit-identical doubles through the parser.
+    for (double d : {0.1, 1.0 / 3.0, 1e-300, 6.02214076e23,
+                     -123.456789012345678, 4.9406564584124654e-324}) {
+        Value v = Value::array();
+        v.push(d);
+        Value back = parse(v.dump());
+        EXPECT_DOUBLE_EQ(back.at(0).asDouble(), d);
+    }
+}
+
+TEST(Json, IntAndDoubleCompareNumerically)
+{
+    // to_chars prints 5.0 as "5", which re-parses as Int; equality
+    // must bridge the kinds for round-trips to hold.
+    Value a(5);
+    Value b(5.0);
+    EXPECT_EQ(a, b);
+    Value arr = Value::array();
+    arr.push(5.0);
+    EXPECT_EQ(parse(arr.dump()), arr);
+}
+
+TEST(Json, UnicodeEscapesDecodeToUtf8)
+{
+    Value v = parse(R"(["\u0041\u00e9\u20ac"])");
+    EXPECT_EQ(v.at(0).asString(), "A\xC3\xA9\xE2\x82\xAC");
+}
+
+} // namespace
+} // namespace macross::json

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the Trace collector: counters, scoped timers, events,
+ * enable gating, and JSON serialization.
+ */
+#include "support/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace macross::support {
+namespace {
+
+TEST(Trace, CountersAccumulate)
+{
+    Trace t;
+    t.count("a");
+    t.count("a", 4);
+    t.count("b", -2);
+    EXPECT_EQ(t.counters().at("a"), 5);
+    EXPECT_EQ(t.counters().at("b"), -2);
+}
+
+TEST(Trace, ScopedTimersAggregateByName)
+{
+    Trace t;
+    for (int i = 0; i < 3; ++i) {
+        Trace::Scope s(&t, "pass");
+    }
+    ASSERT_TRUE(t.timers().count("pass"));
+    EXPECT_EQ(t.timers().at("pass").calls, 3);
+    EXPECT_GE(t.timers().at("pass").totalMs, 0.0);
+}
+
+TEST(Trace, NullScopeIsInert)
+{
+    // The RAII scope must be safe with no trace attached (the
+    // convention the pipeline uses when tracing is off).
+    Trace::Scope s(nullptr, "ignored");
+}
+
+TEST(Trace, DisabledTraceRecordsNothing)
+{
+    Trace t;
+    t.enable(false);
+    t.count("c");
+    t.event("cat", "ev");
+    {
+        Trace::Scope s(&t, "pass");
+    }
+    EXPECT_TRUE(t.counters().empty());
+    EXPECT_TRUE(t.events().empty());
+    EXPECT_TRUE(t.timers().empty());
+}
+
+TEST(Trace, EventsKeepOrderAndPayload)
+{
+    Trace t;
+    json::Value payload = json::Value::object();
+    payload["n"] = 7;
+    t.event("compile", "start");
+    t.event("compile", "done", std::move(payload));
+    ASSERT_EQ(t.events().size(), 2u);
+    EXPECT_EQ(t.events()[0].name, "start");
+    EXPECT_EQ(t.events()[1].name, "done");
+    EXPECT_EQ(t.events()[1].payload.find("n")->asInt(), 7);
+    EXPECT_GE(t.events()[1].atMs, t.events()[0].atMs);
+}
+
+TEST(Trace, ToJsonRoundTrips)
+{
+    Trace t;
+    t.count("decisions", 12);
+    t.event("vectorizer", "macroSimdize");
+    {
+        Trace::Scope s(&t, "vectorizer.prepass");
+    }
+    json::Value j = t.toJson();
+    EXPECT_EQ(j.find("counters")->find("decisions")->asInt(), 12);
+    EXPECT_EQ(j.find("events")->size(), 1u);
+    EXPECT_EQ(
+        j.find("timers")->find("vectorizer.prepass")->find("calls")
+            ->asInt(),
+        1);
+    EXPECT_EQ(json::parse(j.dump(2)), j);
+}
+
+TEST(Trace, ClearDropsEverything)
+{
+    Trace t;
+    t.count("x");
+    t.event("a", "b");
+    t.clear();
+    EXPECT_TRUE(t.counters().empty());
+    EXPECT_TRUE(t.events().empty());
+    EXPECT_TRUE(t.enabled());
+}
+
+} // namespace
+} // namespace macross::support

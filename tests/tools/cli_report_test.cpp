@@ -1,0 +1,142 @@
+/**
+ * @file
+ * End-to-end acceptance test for the CLI's JSON report: runs the real
+ * `macross` binary (path injected by CMake as MACROSS_CLI_PATH) with
+ * --json-report and validates the emitted document with the library's
+ * own JSON parser — per-actor transform decisions, cost-model
+ * estimates, and per-actor/per-op-class steady-state cycle
+ * breakdowns all present.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "support/json.h"
+
+namespace macross {
+namespace {
+
+std::string
+readFile(const std::string& path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "missing " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+int
+runCli(const std::string& args)
+{
+    std::string cmd = std::string(MACROSS_CLI_PATH) + " " + args +
+                      " > /dev/null 2>&1";
+    return std::system(cmd.c_str());
+}
+
+TEST(CliReport, FmRadioJsonReportIsCompleteAndValid)
+{
+    const std::string out = "cli_report_test_out.json";
+    std::remove(out.c_str());
+    ASSERT_EQ(runCli("--bench FMRadio --simd --json-report " + out),
+              0);
+
+    json::Value root = json::parse(readFile(out));
+
+    EXPECT_EQ(root.find("program")->asString(), "FMRadio");
+    EXPECT_EQ(root.find("mode")->asString(), "macro-simd");
+    ASSERT_NE(root.find("machine"), nullptr);
+    EXPECT_GE(root.find("machine")->find("simdWidth")->asInt(), 2);
+
+    // Per-actor transform decisions with cost-model estimates.
+    const json::Value* compilation = root.find("compilation");
+    ASSERT_NE(compilation, nullptr);
+    const json::Value* decisions = compilation->find("decisions");
+    ASSERT_NE(decisions, nullptr);
+    ASSERT_GT(decisions->size(), 0u);
+    bool sawCostEstimate = false;
+    for (const json::Value& d : decisions->items()) {
+        EXPECT_NE(d.find("actor"), nullptr);
+        EXPECT_NE(d.find("kind"), nullptr);
+        EXPECT_NE(d.find("accepted"), nullptr);
+        if (const json::Value* cost = d.find("cost")) {
+            EXPECT_GT(cost->find("scalarCycles")->asDouble(), 0.0);
+            EXPECT_GT(cost->find("simdCycles")->asDouble(), 0.0);
+            sawCostEstimate = true;
+        }
+    }
+    EXPECT_TRUE(sawCostEstimate);
+
+    // Steady-state run: totals plus the per-actor x per-op-class
+    // cycle matrix.
+    const json::Value* run = root.find("run");
+    ASSERT_NE(run, nullptr);
+    EXPECT_GT(run->find("sinkElements")->asInt(), 0);
+    EXPECT_GT(run->find("totalCycles")->asDouble(), 0.0);
+    const json::Value* cost = run->find("cost");
+    ASSERT_NE(cost, nullptr);
+    ASSERT_GT(cost->find("classes")->size(), 0u);
+    const json::Value* actors = cost->find("actors");
+    ASSERT_NE(actors, nullptr);
+    ASSERT_GT(actors->size(), 0u);
+    bool sawClassBreakdown = false;
+    for (const json::Value& a : actors->items()) {
+        EXPECT_GT(a.find("cycles")->asDouble(), 0.0);
+        if (a.find("classes")->size() > 0)
+            sawClassBreakdown = true;
+    }
+    EXPECT_TRUE(sawClassBreakdown);
+
+    // Runner statistics: firing counts and tape traffic.
+    const json::Value* stats = run->find("stats");
+    ASSERT_NE(stats, nullptr);
+    ASSERT_GT(stats->find("actors")->size(), 0u);
+    std::int64_t totalFires = 0;
+    for (const json::Value& a : stats->find("actors")->items())
+        totalFires += a.find("fires")->asInt();
+    EXPECT_GT(totalFires, 0);
+    ASSERT_GT(stats->find("tapes")->size(), 0u);
+    std::int64_t pushed = 0;
+    for (const json::Value& t : stats->find("tapes")->items())
+        pushed += t.find("elementsPushed")->asInt();
+    EXPECT_GT(pushed, 0);
+
+    // Trace archive (pass timers always collected for JSON reports).
+    const json::Value* trace = root.find("trace");
+    ASSERT_NE(trace, nullptr);
+    EXPECT_NE(trace->find("timers")->find("vectorizer.macroSimdize"),
+              nullptr);
+
+    std::remove(out.c_str());
+}
+
+TEST(CliReport, ScalarModeStillProducesRunData)
+{
+    const std::string out = "cli_report_scalar_out.json";
+    std::remove(out.c_str());
+    ASSERT_EQ(
+        runCli("--bench FMRadio --scalar --json-report " + out), 0);
+    json::Value root = json::parse(readFile(out));
+    EXPECT_EQ(root.find("mode")->asString(), "scalar");
+    // Scalar builds carry no decisions but a full run section.
+    EXPECT_EQ(root.find("compilation")->find("decisions")->size(), 0u);
+    EXPECT_GT(root.find("run")->find("totalCycles")->asDouble(), 0.0);
+    std::remove(out.c_str());
+}
+
+TEST(CliReport, HelpExitsCleanly)
+{
+    EXPECT_EQ(runCli("--help"), 0);
+}
+
+TEST(CliReport, UnknownOptionFails)
+{
+    EXPECT_NE(runCli("--bench FMRadio --no-such-flag"), 0);
+}
+
+} // namespace
+} // namespace macross

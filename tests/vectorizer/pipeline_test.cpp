@@ -125,20 +125,94 @@ TEST(Pipeline, NormalizeFlattensNestedPipelines)
     EXPECT_EQ(norm->children.size(), 4u);
 }
 
-TEST(Pipeline, ReportsActions)
+TEST(Pipeline, ReportsTypedDecisions)
 {
+    using report::TransformKind;
     auto compiled =
         macroSimdize(benchmarks::makeRunningExample(), defaultOpts());
-    EXPECT_FALSE(compiled.actions.empty());
+    const report::CompilationReport& rep = compiled.report;
+    EXPECT_FALSE(rep.decisions.empty());
+
+    // The running example exercises all three transforms.
+    EXPECT_GE(rep.countKind(TransformKind::Horizontal), 1);
+    EXPECT_GE(rep.countKind(TransformKind::VerticalFusion), 1);
+    EXPECT_GE(rep.countKind(TransformKind::SingleActor), 1);
+
+    // D and E fuse; the fusion decision records the chain length.
+    bool sawFusion = false;
+    for (const auto& d : rep.decisions) {
+        if (d.kind == TransformKind::VerticalFusion && d.accepted) {
+            sawFusion = true;
+            EXPECT_EQ(d.fusedActors, 2);
+        }
+    }
+    EXPECT_TRUE(sawFusion);
+
+    // F stays scalar with a stated reason (it is not SIMDizable even
+    // under forceSimdize).
+    const report::ActorDecision* f = rep.find("F");
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->kind, TransformKind::LeftScalar);
+    EXPECT_FALSE(f->accepted);
+    EXPECT_FALSE(f->reason.empty());
+
+    // Every single-actor decision carries the cost model's estimates
+    // and concrete boundary modes.
+    for (const auto& d : rep.decisions) {
+        if (d.kind != TransformKind::SingleActor)
+            continue;
+        EXPECT_TRUE(d.accepted);
+        EXPECT_EQ(d.lanes, 4);
+        EXPECT_GT(d.cost.scalarCycles, 0.0);
+        EXPECT_GT(d.cost.simdCycles, 0.0);
+        EXPECT_FALSE(d.inMode == report::TapeAccess::None &&
+                     d.outMode == report::TapeAccess::None);
+    }
+}
+
+TEST(Pipeline, ReportLegacyStringsSurvive)
+{
+    // The toString() shim keeps the pre-report log vocabulary.
+    auto compiled =
+        macroSimdize(benchmarks::makeRunningExample(), defaultOpts());
     bool mentionsHorizontal = false, mentionsFusion = false;
-    for (const auto& a : compiled.actions) {
-        if (a.action.find("horizontally") != std::string::npos)
+    for (const auto& d : compiled.report.decisions) {
+        std::string line = d.toString();
+        if (line.find("horizontally") != std::string::npos)
             mentionsHorizontal = true;
-        if (a.action.find("fused") != std::string::npos)
+        if (line.find("fused") != std::string::npos)
             mentionsFusion = true;
     }
     EXPECT_TRUE(mentionsHorizontal);
     EXPECT_TRUE(mentionsFusion);
+}
+
+TEST(Pipeline, ReportJsonRoundTrips)
+{
+    auto compiled =
+        macroSimdize(benchmarks::makeRunningExample(), defaultOpts());
+    json::Value j = compiled.report.toJson();
+    const json::Value* decisions = j.find("decisions");
+    ASSERT_NE(decisions, nullptr);
+    EXPECT_EQ(decisions->size(), compiled.report.decisions.size());
+    EXPECT_EQ(json::parse(j.dump()), j);
+    EXPECT_EQ(json::parse(j.dump(2)), j);
+}
+
+TEST(Pipeline, TraceRecordsPassTimings)
+{
+    support::Trace trace;
+    SimdizeOptions o = defaultOpts();
+    o.trace = &trace;
+    macroSimdize(benchmarks::makeRunningExample(), o);
+
+    ASSERT_TRUE(trace.timers().count("vectorizer.macroSimdize"));
+    EXPECT_TRUE(trace.timers().count("vectorizer.tape_opt"));
+    EXPECT_TRUE(trace.timers().count("vectorizer.schedule"));
+    EXPECT_EQ(trace.counters().at("vectorizer.compilations"), 1);
+    EXPECT_GT(trace.counters().at("vectorizer.decisions"), 0);
+    ASSERT_EQ(trace.events().size(), 1u);
+    EXPECT_EQ(trace.events()[0].category, "vectorizer");
 }
 
 } // namespace

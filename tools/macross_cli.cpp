@@ -7,31 +7,19 @@
  * with the performance model, and emit reports or artifacts:
  *
  *     macross prog.str --simd --run 20 --report
- *     macross --bench FMRadio --simd --sagu --dot graph.dot
+ *     macross --bench FMRadio --simd --json-report out.json --trace
  *     macross --bench DCT --simd --emit dct.cpp
  *     macross prog.str --scalar --autovec icc --run 10
  *
- * Options:
- *   <file.str>          parse a stream-language source file
- *   --bench NAME        use a built-in benchmark (see --list)
- *   --list              list built-in benchmarks
- *   --simd / --scalar   macro-SIMDize (default) or keep scalar
- *   --width N           SIMD lanes (default 4)
- *   --sagu              enable the SAGU tape layout (implies the
- *                       machine has the unit)
- *   --no-vertical / --no-horizontal / --no-permute
- *                       disable individual transforms
- *   --force             skip the profitability cost model
- *   --autovec gcc|icc   apply a modeled auto-vectorizer (scalar code)
- *   --run N             run N steady-state iterations (default 10)
- *   --report            per-op-class cycle breakdown
- *   --emit FILE         write generated C++ to FILE
- *   --dot FILE          write a Graphviz rendering to FILE
+ * Run `macross --help` for the full option list (the table below is
+ * the single source of truth).
  */
+#include <charconv>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "autovec/gcc_like.h"
 #include "autovec/icc_like.h"
@@ -41,21 +29,188 @@
 #include "graph/dot.h"
 #include "interp/runner.h"
 #include "lowering/lowered.h"
+#include "support/diagnostics.h"
+#include "support/json.h"
+#include "support/trace.h"
 #include "vectorizer/pipeline.h"
 
 using namespace macross;
 
 namespace {
 
+/** Everything the option table parses into. */
+struct CliConfig {
+    std::string sourceFile;
+    std::string benchName;
+    std::string emitFile;
+    std::string dotFile;
+    std::string autovecName;
+    std::string jsonReportFile;
+    bool list = false;
+    bool help = false;
+    bool simd = true;
+    bool sagu = false;
+    bool force = false;
+    bool report = false;
+    bool trace = false;
+    bool vertical = true;
+    bool horizontal = true;
+    bool permute = true;
+    int width = 4;
+    int iters = 10;
+};
+
+/** One entry of the declarative option table. */
+struct OptSpec {
+    const char* flag;     ///< e.g. "--bench".
+    const char* operand;  ///< Metavariable, or null for plain flags.
+    const char* help;
+    /// Applies the parsed value; false rejects it as malformed.
+    std::function<bool(CliConfig&, const std::string&)> apply;
+};
+
+const std::vector<OptSpec>&
+optionTable()
+{
+    auto flag = [](bool CliConfig::* member, bool value) {
+        return [member, value](CliConfig& c, const std::string&) {
+            c.*member = value;
+            return true;
+        };
+    };
+    auto string = [](std::string CliConfig::* member) {
+        return [member](CliConfig& c, const std::string& v) {
+            c.*member = v;
+            return true;
+        };
+    };
+    auto integer = [](int CliConfig::* member) {
+        return [member](CliConfig& c, const std::string& v) {
+            int n = 0;
+            auto [p, ec] = std::from_chars(
+                v.data(), v.data() + v.size(), n);
+            if (ec != std::errc() || p != v.data() + v.size() ||
+                n <= 0)
+                return false;
+            c.*member = n;
+            return true;
+        };
+    };
+    static const std::vector<OptSpec> table = {
+        {"--help", nullptr, "show this help and exit",
+         flag(&CliConfig::help, true)},
+        {"--list", nullptr, "list built-in benchmarks and exit",
+         flag(&CliConfig::list, true)},
+        {"--bench", "NAME", "use a built-in benchmark (see --list)",
+         string(&CliConfig::benchName)},
+        {"--simd", nullptr, "macro-SIMDize (default)",
+         flag(&CliConfig::simd, true)},
+        {"--scalar", nullptr, "compile scalar (no SIMDization)",
+         flag(&CliConfig::simd, false)},
+        {"--width", "N", "SIMD lanes (default 4)",
+         integer(&CliConfig::width)},
+        {"--sagu", nullptr,
+         "enable the SAGU tape layout (implies the unit)",
+         flag(&CliConfig::sagu, true)},
+        {"--no-vertical", nullptr, "disable vertical fusion",
+         flag(&CliConfig::vertical, false)},
+        {"--no-horizontal", nullptr,
+         "disable horizontal SIMDization",
+         flag(&CliConfig::horizontal, false)},
+        {"--no-permute", nullptr,
+         "disable permutation-based tape accesses",
+         flag(&CliConfig::permute, false)},
+        {"--force", nullptr, "skip the profitability cost model",
+         flag(&CliConfig::force, true)},
+        {"--autovec", "gcc|icc",
+         "apply a modeled auto-vectorizer (scalar code)",
+         string(&CliConfig::autovecName)},
+        {"--run", "N", "steady-state iterations (default 10)",
+         integer(&CliConfig::iters)},
+        {"--report", nullptr,
+         "print per-op-class and per-actor cycle breakdowns",
+         flag(&CliConfig::report, true)},
+        {"--trace", nullptr,
+         "collect pass timers/counters/events; print a summary",
+         flag(&CliConfig::trace, true)},
+        {"--json-report", "FILE",
+         "write compilation decisions, cost breakdowns, and run "
+         "stats as JSON",
+         string(&CliConfig::jsonReportFile)},
+        {"--emit", "FILE", "write generated C++ to FILE",
+         string(&CliConfig::emitFile)},
+        {"--dot", "FILE", "write a Graphviz rendering to FILE",
+         string(&CliConfig::dotFile)},
+    };
+    return table;
+}
+
+void
+printHelp(const char* argv0)
+{
+    std::printf("usage: %s (<file.str> | --bench NAME | --list) "
+                "[options]\n\n"
+                "Compile a stream program, optionally macro-SIMDize "
+                "it, and run it\nunder the modeled machine.\n\n"
+                "options:\n",
+                argv0);
+    for (const auto& opt : optionTable()) {
+        std::string head = opt.flag;
+        if (opt.operand) {
+            head += ' ';
+            head += opt.operand;
+        }
+        std::printf("  %-22s %s\n", head.c_str(), opt.help);
+    }
+}
+
 int
 usage(const char* argv0)
 {
     std::fprintf(stderr,
                  "usage: %s (<file.str> | --bench NAME | --list) "
-                 "[options]\n(see the header of tools/macross_cli.cpp "
-                 "for the option list)\n",
-                 argv0);
+                 "[options]\nrun '%s --help' for the option list\n",
+                 argv0, argv0);
     return 2;
+}
+
+/** Parse argv through the option table; exits on malformed input. */
+bool
+parseArgs(int argc, char** argv, CliConfig& cfg)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        const OptSpec* spec = nullptr;
+        for (const auto& opt : optionTable()) {
+            if (a == opt.flag) {
+                spec = &opt;
+                break;
+            }
+        }
+        if (spec) {
+            std::string value;
+            if (spec->operand) {
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr, "%s needs a value (%s)\n",
+                                 a.c_str(), spec->operand);
+                    return false;
+                }
+                value = argv[++i];
+            }
+            if (!spec->apply(cfg, value)) {
+                std::fprintf(stderr,
+                             "%s: bad value '%s' (expected %s)\n",
+                             a.c_str(), value.c_str(), spec->operand);
+                return false;
+            }
+        } else if (!a.empty() && a[0] != '-') {
+            cfg.sourceFile = a;
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", a.c_str());
+            return false;
+        }
+    }
+    return true;
 }
 
 } // namespace
@@ -63,128 +218,96 @@ usage(const char* argv0)
 int
 main(int argc, char** argv)
 {
-    std::string sourceFile, benchName, emitFile, dotFile, autovecName;
-    bool simd = true, sagu = false, force = false, report = false;
-    bool vertical = true, horizontal = true, permute = true;
-    int width = 4, iters = 10;
-
-    for (int i = 1; i < argc; ++i) {
-        std::string a = argv[i];
-        auto value = [&]() -> std::string {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "%s needs a value\n", a.c_str());
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (a == "--list") {
-            std::printf("RunningExample\n");
-            for (const auto& b : benchmarks::standardSuite())
-                std::printf("%s\n", b.name.c_str());
-            return 0;
-        } else if (a == "--bench") {
-            benchName = value();
-        } else if (a == "--simd") {
-            simd = true;
-        } else if (a == "--scalar") {
-            simd = false;
-        } else if (a == "--width") {
-            width = std::stoi(value());
-        } else if (a == "--sagu") {
-            sagu = true;
-        } else if (a == "--no-vertical") {
-            vertical = false;
-        } else if (a == "--no-horizontal") {
-            horizontal = false;
-        } else if (a == "--no-permute") {
-            permute = false;
-        } else if (a == "--force") {
-            force = true;
-        } else if (a == "--autovec") {
-            autovecName = value();
-        } else if (a == "--run") {
-            iters = std::stoi(value());
-        } else if (a == "--report") {
-            report = true;
-        } else if (a == "--emit") {
-            emitFile = value();
-        } else if (a == "--dot") {
-            dotFile = value();
-        } else if (!a.empty() && a[0] != '-') {
-            sourceFile = a;
-        } else {
-            return usage(argv[0]);
-        }
+    CliConfig cfg;
+    if (!parseArgs(argc, argv, cfg))
+        return usage(argv[0]);
+    if (cfg.help) {
+        printHelp(argv[0]);
+        return 0;
     }
-    if (sourceFile.empty() == benchName.empty())
+    if (cfg.list) {
+        std::printf("RunningExample\n");
+        for (const auto& b : benchmarks::standardSuite())
+            std::printf("%s\n", b.name.c_str());
+        return 0;
+    }
+    if (cfg.sourceFile.empty() == cfg.benchName.empty())
         return usage(argv[0]);
 
     try {
         graph::StreamPtr program =
-            !sourceFile.empty()
-                ? frontend::parseProgramFile(sourceFile)
-                : benchmarks::benchmarkByName(benchName);
+            !cfg.sourceFile.empty()
+                ? frontend::parseProgramFile(cfg.sourceFile)
+                : benchmarks::benchmarkByName(cfg.benchName);
+
+        support::Trace trace;
+        const bool wantTrace = cfg.trace || !cfg.jsonReportFile.empty();
 
         vectorizer::SimdizeOptions opts;
-        opts.machine = sagu ? machine::coreI7WithSagu()
-                            : machine::coreI7();
-        opts.machine.simdWidth = width;
-        opts.enableSagu = sagu;
-        opts.enableVertical = vertical;
-        opts.enableHorizontal = horizontal;
-        opts.enablePermutedTapes = permute;
-        opts.forceSimdize = force;
+        opts.machine = cfg.sagu ? machine::coreI7WithSagu()
+                                : machine::coreI7();
+        opts.machine.simdWidth = cfg.width;
+        opts.enableSagu = cfg.sagu;
+        opts.enableVertical = cfg.vertical;
+        opts.enableHorizontal = cfg.horizontal;
+        opts.enablePermutedTapes = cfg.permute;
+        opts.forceSimdize = cfg.force;
+        if (wantTrace)
+            opts.trace = &trace;
 
         vectorizer::CompiledProgram compiled =
-            simd ? vectorizer::macroSimdize(program, opts)
-                 : vectorizer::compileScalar(program);
+            cfg.simd ? vectorizer::macroSimdize(program, opts)
+                     : vectorizer::compileScalar(program);
 
-        for (const auto& act : compiled.actions) {
-            std::printf("[simdize] %-16s %s\n", act.name.c_str(),
-                        act.action.c_str());
+        for (const auto& d : compiled.report.decisions) {
+            std::printf("[simdize] %-16s %s\n", d.actor.c_str(),
+                        d.toString().c_str());
         }
 
-        if (!emitFile.empty()) {
-            std::ofstream out(emitFile);
+        if (!cfg.emitFile.empty()) {
+            std::ofstream out(cfg.emitFile);
             out << codegen::emitCpp(compiled.graph, compiled.schedule);
             std::printf("wrote generated C++ to %s\n",
-                        emitFile.c_str());
+                        cfg.emitFile.c_str());
         }
-        if (!dotFile.empty()) {
-            std::ofstream out(dotFile);
+        if (!cfg.dotFile.empty()) {
+            std::ofstream out(cfg.dotFile);
             out << graph::toDot(compiled.graph, compiled.schedule);
-            std::printf("wrote DOT graph to %s\n", dotFile.c_str());
+            std::printf("wrote DOT graph to %s\n",
+                        cfg.dotFile.c_str());
         }
 
         machine::CostSink cost(opts.machine);
         interp::Runner r(compiled.graph, compiled.schedule, &cost);
-        if (!autovecName.empty()) {
+        if (wantTrace)
+            r.setTrace(&trace);
+        if (!cfg.autovecName.empty()) {
             auto lp =
                 lowering::lower(compiled.graph, compiled.schedule);
             autovec::AutovecResult av =
-                autovecName == "gcc"
+                cfg.autovecName == "gcc"
                     ? autovec::gccAutovectorize(lp, opts.machine)
                     : autovec::iccAutovectorize(lp, opts.machine);
-            for (auto& [id, cfg] : av.configs)
-                r.setActorConfig(id, cfg);
+            for (auto& [id, c] : av.configs)
+                r.setActorConfig(id, c);
             for (const auto& line : av.log)
                 std::printf("[autovec] %s\n", line.c_str());
         }
         r.runInit();
         std::size_t before = r.captured().size();
-        r.runSteady(iters);
+        r.runSteady(cfg.iters);
         std::size_t produced = r.captured().size() - before;
 
         std::printf("\nran %d steady-state iterations on %s (%d-wide"
                     "%s)\n",
-                    iters, opts.machine.name.c_str(), width,
-                    simd ? ", macro-SIMDized" : ", scalar");
+                    cfg.iters, opts.machine.name.c_str(), cfg.width,
+                    cfg.simd ? ", macro-SIMDized" : ", scalar");
         std::printf("sink elements: %zu, modeled cycles: %.0f "
                     "(%.2f cycles/element)\n",
                     produced, cost.totalCycles(),
                     produced ? cost.totalCycles() / produced : 0.0);
 
-        if (report) {
+        if (cfg.report) {
             std::printf("\nper-op-class breakdown:\n");
             for (int c = 0;
                  c < static_cast<int>(machine::OpClass::NumClasses);
@@ -205,6 +328,59 @@ main(int argc, char** argv)
                 std::printf("  %-22s %12.0f\n", a.name.c_str(),
                             cost.actorCycles(a.id));
             }
+        }
+
+        if (cfg.trace) {
+            std::printf("\ntrace timers:\n");
+            for (const auto& [name, t] : trace.timers()) {
+                std::printf("  %-28s %3lld calls %10.3f ms\n",
+                            name.c_str(),
+                            static_cast<long long>(t.calls),
+                            t.totalMs);
+            }
+            std::printf("trace counters:\n");
+            for (const auto& [name, v] : trace.counters()) {
+                std::printf("  %-28s %lld\n", name.c_str(),
+                            static_cast<long long>(v));
+            }
+        }
+
+        if (!cfg.jsonReportFile.empty()) {
+            std::vector<std::string> names;
+            names.reserve(compiled.graph.actors.size());
+            for (const auto& a : compiled.graph.actors)
+                names.push_back(a.name);
+
+            json::Value root = json::Value::object();
+            root["program"] = !cfg.benchName.empty()
+                                  ? cfg.benchName
+                                  : cfg.sourceFile;
+            root["mode"] = cfg.simd ? "macro-simd" : "scalar";
+            json::Value mach = json::Value::object();
+            mach["name"] = opts.machine.name;
+            mach["simdWidth"] = opts.machine.simdWidth;
+            mach["hasSagu"] = opts.machine.hasSagu;
+            root["machine"] = std::move(mach);
+            root["compilation"] = compiled.report.toJson();
+
+            json::Value run = json::Value::object();
+            run["iterations"] = cfg.iters;
+            run["sinkElements"] = produced;
+            run["totalCycles"] = cost.totalCycles();
+            run["cyclesPerElement"] =
+                produced ? cost.totalCycles() / produced : 0.0;
+            run["cost"] = cost.toJson(names);
+            run["stats"] = r.statsToJson();
+            root["run"] = std::move(run);
+
+            root["trace"] = trace.toJson();
+
+            std::ofstream out(cfg.jsonReportFile);
+            fatalIf(!out, "cannot open ", cfg.jsonReportFile,
+                    " for writing");
+            out << root.dump(2) << "\n";
+            std::printf("wrote JSON report to %s\n",
+                        cfg.jsonReportFile.c_str());
         }
         return 0;
     } catch (const std::exception& e) {
