@@ -16,33 +16,56 @@ using namespace macross;
 
 namespace {
 
+/**
+ * Firing throughput of one execution engine on one benchmark; the
+ * tree/bytecode pairs below are the engine-vs-engine comparison the
+ * two-engine stack is judged by (bytecode must win by >= 3x on the
+ * scalar FMRadio configuration in Release builds).
+ */
 void
-BM_SteadyStateInterpretation(benchmark::State& state)
+BM_SteadyStateInterpretation(benchmark::State& state,
+                             graph::StreamPtr (*make)(),
+                             interp::ExecEngine engine)
 {
-    auto compiled =
-        vectorizer::compileScalar(benchmarks::makeFmRadio());
-    interp::Runner r(compiled.graph, compiled.schedule);
+    auto compiled = vectorizer::compileScalar(make());
+    interp::Runner r(compiled.graph, compiled.schedule, nullptr,
+                     engine);
     r.enableCapture(false);
     r.runInit();
     for (auto _ : state)
         r.runSteady(1);
 }
-BENCHMARK(BM_SteadyStateInterpretation);
+BENCHMARK_CAPTURE(BM_SteadyStateInterpretation, fmradio_tree,
+                  benchmarks::makeFmRadio, interp::ExecEngine::Tree);
+BENCHMARK_CAPTURE(BM_SteadyStateInterpretation, fmradio_bytecode,
+                  benchmarks::makeFmRadio,
+                  interp::ExecEngine::Bytecode);
+BENCHMARK_CAPTURE(BM_SteadyStateInterpretation, filterbank_tree,
+                  benchmarks::makeFilterBank,
+                  interp::ExecEngine::Tree);
+BENCHMARK_CAPTURE(BM_SteadyStateInterpretation, filterbank_bytecode,
+                  benchmarks::makeFilterBank,
+                  interp::ExecEngine::Bytecode);
 
 void
-BM_SimdizedInterpretation(benchmark::State& state)
+BM_SimdizedInterpretation(benchmark::State& state,
+                          interp::ExecEngine engine)
 {
     vectorizer::SimdizeOptions opts;
     opts.forceSimdize = true;
     auto compiled =
         vectorizer::macroSimdize(benchmarks::makeFmRadio(), opts);
-    interp::Runner r(compiled.graph, compiled.schedule);
+    interp::Runner r(compiled.graph, compiled.schedule, nullptr,
+                     engine);
     r.enableCapture(false);
     r.runInit();
     for (auto _ : state)
         r.runSteady(1);
 }
-BENCHMARK(BM_SimdizedInterpretation);
+BENCHMARK_CAPTURE(BM_SimdizedInterpretation, tree,
+                  interp::ExecEngine::Tree);
+BENCHMARK_CAPTURE(BM_SimdizedInterpretation, bytecode,
+                  interp::ExecEngine::Bytecode);
 
 void
 BM_MacroSimdizePass(benchmark::State& state)
@@ -71,6 +94,56 @@ BM_TapeThroughput(benchmark::State& state)
     state.SetItemsProcessed(state.iterations() * 2048);
 }
 BENCHMARK(BM_TapeThroughput);
+
+/** Raw-lane scalar path (the bytecode VM's push/pop). */
+void
+BM_TapeThroughputRaw(benchmark::State& state)
+{
+    interp::Tape t(ir::kFloat32);
+    const std::uint32_t bits = 0x3f800000u;  // 1.0f
+    for (auto _ : state) {
+        for (int i = 0; i < 1024; ++i)
+            t.pushRaw(bits);
+        for (int i = 0; i < 1024; ++i)
+            benchmark::DoNotOptimize(t.popRaw());
+    }
+    state.SetItemsProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_TapeThroughputRaw);
+
+void
+BM_TapeVectorThroughput(benchmark::State& state)
+{
+    interp::Tape t(ir::kFloat32);
+    ir::Type vec{ir::Scalar::Float32, 4};
+    interp::Value v = interp::Value::zero(vec);
+    for (auto _ : state) {
+        for (int i = 0; i < 256; ++i)
+            t.vpush(v);
+        for (int i = 0; i < 256; ++i)
+            benchmark::DoNotOptimize(t.vpop(4));
+    }
+    state.SetItemsProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_TapeVectorThroughput);
+
+/** Raw-lane vector path (the bytecode VM's vpush/vpop). */
+void
+BM_TapeVectorThroughputRaw(benchmark::State& state)
+{
+    interp::Tape t(ir::kFloat32);
+    std::uint32_t lanes[4] = {0, 0, 0, 0};
+    for (auto _ : state) {
+        for (int i = 0; i < 256; ++i)
+            t.vpushRaw(lanes, 4);
+        for (int i = 0; i < 256; ++i) {
+            t.vpopRaw(lanes, 4);
+            benchmark::DoNotOptimize(lanes[0]);
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_TapeVectorThroughputRaw);
 
 void
 BM_SaguWalk(benchmark::State& state)

@@ -41,6 +41,9 @@ gccAutovectorize(const lowering::LoweredProgram& p,
             continue;  // Already intrinsics; nothing to do.
         std::vector<const Stmt*> loops;
         collectLoops(la.def->work, loops);
+        // Plans are keyed by the stable loop id (ir::numberLoops), so
+        // they survive body clones and feed both execution engines.
+        auto loopIds = ir::numberLoops(la.def->work);
         auto plans = std::make_shared<interp::Executor::LoopPlans>();
         for (const Stmt* loop : loops) {
             LoopAnalysis a = analyzeLoop(*loop);
@@ -70,7 +73,7 @@ gccAutovectorize(const lowering::LoweredProgram& p,
             plan.extraPerGroup =
                 m.costOf(OpClass::UnalignedVector) +
                 (a.hasReduction ? m.costOf(OpClass::Shuffle) : 0.0);
-            (*plans)[loop] = plan;
+            (*plans)[loopIds.at(loop)] = plan;
             r.loopsVectorized++;
             r.log.push_back(la.def->name + ": inner loop vectorized (" +
                             std::to_string(a.trips) + " trips)");

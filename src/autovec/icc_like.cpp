@@ -52,6 +52,8 @@ iccAutovectorize(const lowering::LoweredProgram& p,
 
         std::vector<const Stmt*> loops;
         collectLoops(la.def->work, loops);
+        // Keyed by stable loop id; see the gcc-like model.
+        auto loopIds = ir::numberLoops(la.def->work);
         auto plans = std::make_shared<interp::Executor::LoopPlans>();
         for (const Stmt* loop : loops) {
             LoopAnalysis a = analyzeLoop(*loop);
@@ -72,7 +74,7 @@ iccAutovectorize(const lowering::LoweredProgram& p,
             // strided element, per group (Nuzman-style support).
             plan.extraPerGroup += a.stridedAccessesPerIter * sw *
                                   0.5 * m.costOf(OpClass::Shuffle);
-            (*plans)[loop] = plan;
+            (*plans)[loopIds.at(loop)] = plan;
             r.loopsVectorized++;
             r.log.push_back(la.def->name +
                             ": inner loop vectorized (SVML/interleave)");

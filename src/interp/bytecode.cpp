@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Bytecode mnemonics and disassembly.
+ */
+#include "interp/bytecode.h"
+
+#include <sstream>
+
+namespace macross::interp::bytecode {
+
+std::string
+toString(Op op)
+{
+    switch (op) {
+      case Op::Const: return "const";
+      case Op::LoadSlot: return "load_slot";
+      case Op::StoreSlot: return "store_slot";
+      case Op::StoreSlotLane: return "store_slot_lane";
+      case Op::LoadElem: return "load_elem";
+      case Op::StoreElem: return "store_elem";
+      case Op::StoreElemLane: return "store_elem_lane";
+      case Op::Unary: return "unary";
+      case Op::Binary: return "binary";
+      case Op::Call1: return "call1";
+      case Op::Call2: return "call2";
+      case Op::LaneRead: return "lane_read";
+      case Op::Splat: return "splat";
+      case Op::Pop: return "pop";
+      case Op::Peek: return "peek";
+      case Op::VPop: return "vpop";
+      case Op::VPeek: return "vpeek";
+      case Op::Push: return "push";
+      case Op::RPush: return "rpush";
+      case Op::VPush: return "vpush";
+      case Op::VRPush: return "vrpush";
+      case Op::AdvanceIn: return "advance_in";
+      case Op::AdvanceOut: return "advance_out";
+      case Op::Jump: return "jump";
+      case Op::BranchIfZero: return "brz";
+      case Op::LoopEnter: return "loop_enter";
+      case Op::LoopNext: return "loop_next";
+      case Op::Halt: return "halt";
+      case Op::PeekS: return "peek_s";
+      case Op::LoadElemS: return "load_elem_s";
+    }
+    return "?";
+}
+
+std::string
+disassemble(const Instr& in, const Code* owner)
+{
+    std::ostringstream os;
+    os << toString(in.op);
+    switch (in.op) {
+      case Op::Const:
+        os << " r" << in.dst << ", consts[" << in.imm << "]";
+        break;
+      case Op::LoadSlot:
+        os << " r" << in.dst << ", slots[" << in.a << "]";
+        break;
+      case Op::StoreSlot:
+        os << " slots[" << in.a << "], r" << in.b;
+        break;
+      case Op::StoreSlotLane:
+        os << " slots[" << in.a << "].{" << in.lane << "}, r" << in.b;
+        break;
+      case Op::LoadElem:
+        os << " r" << in.dst << ", arrays[" << in.a << "][r" << in.b
+           << "]";
+        break;
+      case Op::StoreElem:
+        os << " arrays[" << in.a << "][r" << in.b << "], r" << in.dst;
+        break;
+      case Op::StoreElemLane:
+        os << " arrays[" << in.a << "][r" << in.b << "].{" << in.lane
+           << "}, r" << in.dst;
+        break;
+      case Op::Unary:
+        os << " r" << in.dst << ", " << ir::toString(in.uop) << " r"
+           << in.a;
+        break;
+      case Op::Binary:
+        os << " r" << in.dst << ", r" << in.a << " "
+           << ir::toString(in.bop) << " r" << in.b;
+        break;
+      case Op::Call1:
+        os << " r" << in.dst << ", " << ir::toString(in.callee)
+           << "(r" << in.a << ")";
+        break;
+      case Op::Call2:
+        os << " r" << in.dst << ", " << ir::toString(in.callee)
+           << "(r" << in.a << ", r" << in.b << ")";
+        break;
+      case Op::LaneRead:
+        os << " r" << in.dst << ", r" << in.a << ".{" << in.lane
+           << "}";
+        break;
+      case Op::Splat:
+        os << " r" << in.dst << ", r" << in.a;
+        break;
+      case Op::Pop:
+      case Op::VPop:
+        os << " r" << in.dst;
+        break;
+      case Op::Peek:
+      case Op::VPeek:
+        os << " r" << in.dst << ", [r" << in.a << "]";
+        break;
+      case Op::Push:
+      case Op::VPush:
+        os << " r" << in.a;
+        break;
+      case Op::RPush:
+      case Op::VRPush:
+        os << " r" << in.a << ", [r" << in.b << "]";
+        break;
+      case Op::AdvanceIn:
+      case Op::AdvanceOut:
+        os << " " << in.imm;
+        break;
+      case Op::Jump:
+        os << " @" << in.imm;
+        break;
+      case Op::BranchIfZero:
+        os << " r" << in.a << ", @" << in.imm;
+        break;
+      case Op::LoopEnter:
+        os << " iv=slots[" << in.dst << "], r" << in.a << "..r"
+           << in.b << ", loop#" << in.lane << ", exit @" << in.imm;
+        break;
+      case Op::LoopNext:
+        os << " @" << in.imm;
+        break;
+      case Op::Halt:
+        break;
+      case Op::PeekS:
+        os << " r" << in.dst << ", [slots[" << in.a << "]]";
+        break;
+      case Op::LoadElemS:
+        os << " r" << in.dst << ", arrays[" << in.a << "][slots["
+           << in.b << "]]";
+        break;
+    }
+    if (owner) {
+        for (int i = 0; i < in.nCharges; ++i) {
+            const Charge& ch = owner->chargePool[in.chargeBase + i];
+            os << (i == 0 ? "  ; " : ", ")
+               << machine::toString(ch.cls) << "x"
+               << static_cast<int>(ch.lanes);
+        }
+    }
+    return os.str();
+}
+
+std::string
+disassemble(const Code& code)
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < code.instrs.size(); ++i) {
+        os << i << ": " << disassemble(code.instrs[i], &code) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace macross::interp::bytecode

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Register bytecode for compiled actor bodies.
+ *
+ * The firing compiler (interp/compile_actor.h) lowers an actor's
+ * init/work IR trees once into a flat instruction stream over a
+ * small register file; the VM (interp/vm.h) then executes firings
+ * with a single dispatch switch per instruction and no pointer
+ * chasing. Three properties are fixed at compile time instead of per
+ * evaluation:
+ *
+ *  - variable references resolve to dense env slots / array ids
+ *    (ir::assignSlots), so the VM indexes flat vectors instead of
+ *    hashing Var pointers;
+ *  - cost classes and cycle weights resolve to per-instruction
+ *    Charge records (including the actor's SAGU-walk charges, which
+ *    depend only on the graph's tape-transpose annotations), so the
+ *    VM replays them through CostSink::chargeWeighted without any
+ *    opcode-to-OpClass switch;
+ *  - structured loops lower to LoopEnter/LoopNext branch
+ *    instructions carrying the stable loop id (ir::numberLoops) that
+ *    keys autovec LoopCostPlans in both engines.
+ *
+ * Charges are emitted in exactly the order the tree-walking Executor
+ * would issue them, so the two engines accumulate bit-identical
+ * modeled cycle totals.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "interp/value.h"
+#include "ir/expr.h"
+#include "machine/machine_desc.h"
+
+namespace macross::interp::bytecode {
+
+/** Instruction opcodes. Operand meaning per op is given on Instr. */
+enum class Op : std::uint8_t {
+    Const,         ///< r[dst] = consts[imm].
+    LoadSlot,      ///< r[dst] = slots[a].
+    StoreSlot,     ///< slots[a] = r[b].
+    StoreSlotLane, ///< slots[a].lane[lane] = r[b].lane0.
+    LoadElem,      ///< r[dst] = arrays[a][r[b].i0].
+    StoreElem,     ///< arrays[a][r[b].i0] = r[dst].
+    StoreElemLane, ///< arrays[a][r[b].i0].lane[lane] = r[dst].lane0.
+    Unary,         ///< r[dst] = uop r[a].
+    Binary,        ///< r[dst] = r[a] bop r[b].
+    Call1,         ///< r[dst] = callee(r[a]).
+    Call2,         ///< r[dst] = callee(r[a], r[b]) (lane shuffles).
+    LaneRead,      ///< r[dst] = r[a].lane(lane).
+    Splat,         ///< r[dst] = broadcast r[a].lane0.
+    Pop,           ///< r[dst] = input.pop().
+    Peek,          ///< r[dst] = input.peek(r[a].i0).
+    VPop,          ///< r[dst] = input.vpop(type.lanes).
+    VPeek,         ///< r[dst] = input.vpeek(r[a].i0, type.lanes).
+    Push,          ///< output.push(r[a]).
+    RPush,         ///< output.rpush(r[a], r[b].i0).
+    VPush,         ///< output.vpush(r[a]).
+    VRPush,        ///< output.vrpush(r[a], r[b].i0).
+    AdvanceIn,     ///< input.advanceIn(imm).
+    AdvanceOut,    ///< output.advanceOut(imm).
+    Jump,          ///< pc = imm.
+    BranchIfZero,  ///< if (r[a].i0 == 0) pc = imm.
+    LoopEnter,     ///< Loop head: iv slot dst, lo r[a], hi r[b],
+                   ///< loop id `lane`, exit target imm.
+    LoopNext,      ///< Loop latch: next iteration -> pc = imm (body),
+                   ///< else pop the loop frame and fall through.
+    Halt,          ///< End of code.
+    // Fused addressing modes: the firing compiler peepholes the
+    // chargeless LoadSlot feeding an offset/index operand into the
+    // consumer, cutting the executed-instruction count of FIR-style
+    // inner loops (peek(i) * coeff[i]) by a quarter.
+    PeekS,         ///< r[dst] = input.peek(slots[a].i0).
+    LoadElemS,     ///< r[dst] = arrays[a][slots[b].i0].
+};
+
+/** One pre-resolved cost charge attached to an instruction. */
+struct Charge {
+    machine::OpClass cls = machine::OpClass::IntAlu;
+    std::uint8_t lanes = 1;  ///< Lanes the op covered (for reports).
+    /** machine.vectorCost(cls, lanes), resolved at compile time. */
+    double cycles = 0.0;
+};
+
+/** Maximum static charges on one instruction (Pop: load+addr+sagu). */
+inline constexpr int kMaxCharges = 3;
+
+/**
+ * One instruction. Field use depends on op; see Op comments.
+ *
+ * Kept compact because the VM streams the instruction array on every
+ * firing and the hot bodies must stay L1-resident: charges live in
+ * Code::chargePool (a cold side table the uncosted fast path never
+ * touches), addressed by chargeBase/nCharges.
+ */
+struct Instr {
+    std::int64_t imm = 0;   ///< Jump target / const index / amount.
+    ir::Type type;          ///< Result type where one is produced.
+    ir::Type type2;         ///< Operand type (Binary charge/compute).
+    std::uint32_t chargeBase = 0;  ///< First charge in chargePool.
+    std::int32_t lane = 0;  ///< Lane index or loop id.
+    std::uint16_t dst = 0;  ///< Result register (or iv slot, source).
+    std::uint16_t a = 0;    ///< First operand register / slot / array.
+    std::uint16_t b = 0;    ///< Second operand register.
+    Op op = Op::Halt;
+    std::uint8_t nCharges = 0;
+    ir::UnaryOp uop = ir::UnaryOp::Neg;
+    ir::BinaryOp bop = ir::BinaryOp::Add;
+    ir::Intrinsic callee = ir::Intrinsic::Sqrt;
+};
+
+/** One linear instruction stream plus its constant pool. */
+struct Code {
+    std::vector<Instr> instrs;
+    std::vector<Value> consts;
+    /**
+     * Pre-resolved charges of all instructions, back to back in
+     * emission order; instrs[i] owns chargePool[chargeBase ..
+     * chargeBase + nCharges), plus one conditional entry past the end
+     * for VPeek/VRPush (the unaligned-access penalty).
+     */
+    std::vector<Charge> chargePool;
+    int numRegs = 0;  ///< Register-file size the stream requires.
+
+    bool empty() const { return instrs.empty(); }
+};
+
+/** Backing storage for one array variable. */
+struct ArraySpec {
+    ir::Type elem;  ///< Element type (zero-fill template).
+    int size = 0;
+};
+
+/** A fully compiled actor: both bodies plus frame storage shape. */
+struct CompiledActor {
+    Code init;
+    Code work;
+    int numSlots = 0;
+    /** Zero template per slot (carries each variable's static type). */
+    std::vector<Value> slotInit;
+    std::vector<ArraySpec> arrays;
+};
+
+/** Mnemonic for @p op (disassembly, tests, reports). */
+std::string toString(Op op);
+
+/**
+ * Human-readable one-line disassembly of one instruction. Charges are
+ * printed when @p owner (the stream holding the charge pool) is given.
+ */
+std::string disassemble(const Instr& in, const Code* owner = nullptr);
+
+/** Full multi-line disassembly of a code stream. */
+std::string disassemble(const Code& code);
+
+} // namespace macross::interp::bytecode

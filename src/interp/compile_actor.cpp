@@ -1,0 +1,550 @@
+/**
+ * @file
+ * Firing compiler implementation.
+ *
+ * Charge emission discipline: every instruction carries exactly the
+ * charges the tree executor would issue at the equivalent point of
+ * its evaluation, in the same order. Operand subtrees compile before
+ * the instruction that consumes them, so replaying each instruction's
+ * charges immediately before its effect reproduces the tree engine's
+ * charge stream bit-for-bit (same OpClass sequence, same per-charge
+ * cycle values, hence the same floating-point accumulation order).
+ */
+#include "interp/compile_actor.h"
+
+#include "interp/ops.h"
+#include "ir/analysis.h"
+#include "support/diagnostics.h"
+
+namespace macross::interp::bytecode {
+
+using ir::ExprKind;
+using ir::StmtKind;
+using machine::OpClass;
+
+namespace {
+
+class Compiler {
+  public:
+    Compiler(const graph::FilterDef& def, const CompileOptions& opts)
+        : opts_(opts), slots_(ir::assignSlots(def.init, def.work))
+    {
+    }
+
+    CompiledActor compile(const graph::FilterDef& def)
+    {
+        CompiledActor ca;
+        ca.init = compileBody(def.init);
+        ca.work = compileBody(def.work);
+        ca.numSlots = slots_.numScalars();
+        ca.slotInit.reserve(slots_.scalarVars.size());
+        for (const ir::Var* v : slots_.scalarVars)
+            ca.slotInit.push_back(Value::zero(v->type));
+        ca.arrays.reserve(slots_.arrayVars.size());
+        for (const ir::Var* v : slots_.arrayVars)
+            ca.arrays.push_back(ArraySpec{v->type, v->arraySize});
+        return ca;
+    }
+
+  private:
+    Code compileBody(const std::vector<ir::StmtPtr>& body)
+    {
+        code_ = Code{};
+        loopIds_ = ir::numberLoops(body);
+        regTop_ = 0;
+        maxRegs_ = 0;
+        compileStmts(body);
+        emit(Instr{});  // Op::Halt is the Instr default.
+        code_.numRegs = maxRegs_;
+        return std::move(code_);
+    }
+
+    /**
+     * Append @p in, flushing its staged charges (see addCharge) into
+     * the stream's charge pool. Every instruction's charges are staged
+     * strictly between its operand subtrees and its own emit, so the
+     * single staging buffer never holds two instructions' charges.
+     */
+    std::int64_t emit(Instr in)
+    {
+        in.chargeBase =
+            static_cast<std::uint32_t>(code_.chargePool.size());
+        const int n = in.nCharges + (stagedExtra_ ? 1 : 0);
+        for (int i = 0; i < n; ++i)
+            code_.chargePool.push_back(staged_[i]);
+        stagedExtra_ = false;
+        code_.instrs.push_back(in);
+        return static_cast<std::int64_t>(code_.instrs.size()) - 1;
+    }
+
+    std::int64_t pc() const
+    {
+        return static_cast<std::int64_t>(code_.instrs.size());
+    }
+
+    std::uint16_t allocReg()
+    {
+        std::uint16_t r = static_cast<std::uint16_t>(regTop_++);
+        maxRegs_ = std::max(maxRegs_, regTop_);
+        return r;
+    }
+
+    Charge makeCharge(OpClass c, int lanes) const
+    {
+        Charge ch;
+        ch.cls = c;
+        ch.lanes = static_cast<std::uint8_t>(lanes);
+        ch.cycles =
+            opts_.machine ? opts_.machine->vectorCost(c, lanes) : 0.0;
+        return ch;
+    }
+
+    void addCharge(Instr& in, OpClass c, int lanes = 1)
+    {
+        panicIf(in.nCharges >= kMaxCharges,
+                "too many charges on one instruction");
+        staged_[in.nCharges++] = makeCharge(c, lanes);
+    }
+
+    /**
+     * Stage a charge past @p in's nCharges; the VM replays it only
+     * when the instruction's runtime alignment check fires.
+     */
+    void addConditionalCharge(Instr& in, OpClass c)
+    {
+        staged_[in.nCharges] = makeCharge(c, 1);
+        stagedExtra_ = true;
+    }
+
+    /**
+     * Peephole: if the last-emitted instruction is the chargeless
+     * LoadSlot that produced @p reg, delete it and return its slot so
+     * the consumer can read the slot directly (fused addressing mode);
+     * -1 when no fusion applies. Deleting is safe: LoadSlot is pure
+     * and carries no charges, only the final instruction is ever
+     * removed (the fused consumer re-lands on the freed index, so
+     * recorded jump targets below it stay valid), and the consumer is
+     * emitted immediately after, so no other effect intervenes between
+     * the deleted slot read and the fused one.
+     */
+    int fuseSlotLoad(std::uint16_t reg)
+    {
+        if (code_.instrs.empty())
+            return -1;
+        const Instr& last = code_.instrs.back();
+        if (last.op != Op::LoadSlot || last.dst != reg)
+            return -1;
+        const int slot = last.a;
+        code_.instrs.pop_back();
+        return slot;
+    }
+
+    int scalarSlot(const ir::Var* v) const
+    {
+        auto it = slots_.scalarSlot.find(v);
+        panicIf(it == slots_.scalarSlot.end(),
+                "variable '", v->name, "' has no slot");
+        return it->second;
+    }
+
+    int arrayId(const ir::Var* v) const
+    {
+        auto it = slots_.arrayId.find(v);
+        panicIf(it == slots_.arrayId.end(),
+                "array '", v->name, "' has no id");
+        return it->second;
+    }
+
+    std::uint16_t emitConst(const Value& v, ir::Type t)
+    {
+        Instr in;
+        in.op = Op::Const;
+        in.dst = allocReg();
+        in.imm = static_cast<std::int64_t>(code_.consts.size());
+        in.type = t;
+        code_.consts.push_back(v);
+        emit(in);
+        return in.dst;
+    }
+
+    /**
+     * Compile @p e; the result lands in the returned register and
+     * regTop_ comes back as that register + 1 (stack discipline).
+     */
+    std::uint16_t compileExpr(const ir::ExprPtr& ep)
+    {
+        const ir::Expr& e = *ep;
+        switch (e.kind) {
+          case ExprKind::IntImm: {
+            Value v = Value::zero(e.type);
+            v.setI(0, static_cast<std::int32_t>(e.ival));
+            return emitConst(v, e.type);
+          }
+          case ExprKind::FloatImm: {
+            Value v = Value::zero(e.type);
+            v.setF(0, e.fval);
+            return emitConst(v, e.type);
+          }
+          case ExprKind::VecImm: {
+            Value v = Value::zero(e.type);
+            for (int l = 0; l < e.type.lanes; ++l) {
+                if (e.type.isInt())
+                    v.setI(l, static_cast<std::int32_t>(e.ivec[l]));
+                else
+                    v.setF(l, e.fvec[l]);
+            }
+            return emitConst(v, e.type);
+          }
+          case ExprKind::VarRef: {
+            Instr in;
+            in.op = Op::LoadSlot;
+            in.dst = allocReg();
+            in.a = static_cast<std::uint16_t>(
+                scalarSlot(e.var.get()));
+            in.type = e.type;
+            emit(in);
+            return in.dst;
+          }
+          case ExprKind::Load: {
+            std::uint16_t idx = compileExpr(e.args[0]);
+            const int fused = fuseSlotLoad(idx);
+            Instr in;
+            in.op = fused >= 0 ? Op::LoadElemS : Op::LoadElem;
+            in.a = static_cast<std::uint16_t>(arrayId(e.var.get()));
+            in.b = fused >= 0 ? static_cast<std::uint16_t>(fused)
+                              : idx;
+            in.type = e.type;
+            addCharge(in, e.type.isVector() ? OpClass::VectorLoad
+                                            : OpClass::ScalarLoad);
+            regTop_ = idx;  // Result reuses the index register.
+            in.dst = allocReg();
+            emit(in);
+            return in.dst;
+          }
+          case ExprKind::Unary: {
+            std::uint16_t a = compileExpr(e.args[0]);
+            Instr in;
+            in.op = Op::Unary;
+            in.dst = a;
+            in.a = a;
+            in.uop = e.uop;
+            in.type = e.type;
+            addCharge(in, ops::unaryOpClass(e.type), e.type.lanes);
+            emit(in);
+            return a;
+          }
+          case ExprKind::Binary: {
+            std::uint16_t a = compileExpr(e.args[0]);
+            std::uint16_t b = compileExpr(e.args[1]);
+            const ir::Type t = e.args[0]->type;
+            Instr in;
+            in.op = Op::Binary;
+            in.dst = a;
+            in.a = a;
+            in.b = b;
+            in.bop = e.bop;
+            in.type = e.type;
+            in.type2 = t;
+            addCharge(in, ops::binaryOpClass(e.bop, t), t.lanes);
+            emit(in);
+            regTop_ = a + 1;
+            return a;
+          }
+          case ExprKind::Call: {
+            std::uint16_t a = compileExpr(e.args[0]);
+            Instr in;
+            in.dst = a;
+            in.a = a;
+            in.callee = e.callee;
+            in.type = e.type;
+            if (ops::isShuffleIntrinsic(e.callee)) {
+                std::uint16_t b = compileExpr(e.args[1]);
+                in.op = Op::Call2;
+                in.b = b;
+                addCharge(in, OpClass::Shuffle, e.type.lanes);
+                emit(in);
+                regTop_ = a + 1;
+                return a;
+            }
+            in.op = Op::Call1;
+            addCharge(in,
+                      ops::intrinsicOpClass(e.callee, e.args[0]->type),
+                      e.type.lanes);
+            emit(in);
+            return a;
+          }
+          case ExprKind::Pop: {
+            Instr in;
+            in.op = Op::Pop;
+            in.dst = allocReg();
+            in.type = e.type;
+            addCharge(in, OpClass::ScalarLoad);
+            addCharge(in, OpClass::AddrCalc);
+            if (opts_.saguIn)
+                addCharge(in, OpClass::SaguWalk);
+            emit(in);
+            return in.dst;
+          }
+          case ExprKind::Peek: {
+            std::uint16_t off = compileExpr(e.args[0]);
+            const int fused = fuseSlotLoad(off);
+            Instr in;
+            in.op = fused >= 0 ? Op::PeekS : Op::Peek;
+            in.dst = off;
+            in.a = fused >= 0 ? static_cast<std::uint16_t>(fused)
+                              : off;
+            in.type = e.type;
+            addCharge(in, OpClass::ScalarLoad);
+            addCharge(in, OpClass::AddrCalc);
+            if (opts_.saguIn)
+                addCharge(in, OpClass::SaguWalk);
+            emit(in);
+            return off;
+          }
+          case ExprKind::VPop: {
+            Instr in;
+            in.op = Op::VPop;
+            in.dst = allocReg();
+            in.type = e.type;
+            addCharge(in, OpClass::VectorLoad);
+            addCharge(in, OpClass::AddrCalc);
+            emit(in);
+            return in.dst;
+          }
+          case ExprKind::VPeek: {
+            std::uint16_t off = compileExpr(e.args[0]);
+            Instr in;
+            in.op = Op::VPeek;
+            in.dst = off;
+            in.a = off;
+            in.type = e.type;
+            addCharge(in, OpClass::VectorLoad);
+            addCharge(in, OpClass::AddrCalc);
+            addConditionalCharge(in, OpClass::UnalignedVector);
+            emit(in);
+            return off;
+          }
+          case ExprKind::LaneRead: {
+            std::uint16_t a = compileExpr(e.args[0]);
+            Instr in;
+            in.op = Op::LaneRead;
+            in.dst = a;
+            in.a = a;
+            in.lane = e.lane;
+            in.type = e.type;
+            addCharge(in, OpClass::LaneExtract);
+            emit(in);
+            return a;
+          }
+          case ExprKind::Splat: {
+            std::uint16_t a = compileExpr(e.args[0]);
+            Instr in;
+            in.op = Op::Splat;
+            in.dst = a;
+            in.a = a;
+            in.type = e.type;
+            addCharge(in, OpClass::Splat);
+            emit(in);
+            return a;
+          }
+        }
+        panic("unknown ExprKind");
+    }
+
+    void compileStmts(const std::vector<ir::StmtPtr>& stmts)
+    {
+        for (const auto& s : stmts)
+            compileStmt(*s);
+    }
+
+    void compileStmt(const ir::Stmt& s)
+    {
+        regTop_ = 0;
+        switch (s.kind) {
+          case StmtKind::Block:
+            compileStmts(s.body);
+            return;
+          case StmtKind::Assign: {
+            std::uint16_t v = compileExpr(s.a);
+            Instr in;
+            in.op = Op::StoreSlot;
+            in.a = static_cast<std::uint16_t>(
+                scalarSlot(s.var.get()));
+            in.b = v;
+            emit(in);
+            return;
+          }
+          case StmtKind::AssignLane: {
+            std::uint16_t v = compileExpr(s.a);
+            Instr in;
+            in.op = Op::StoreSlotLane;
+            in.a = static_cast<std::uint16_t>(
+                scalarSlot(s.var.get()));
+            in.b = v;
+            in.lane = s.lane;
+            addCharge(in, OpClass::LaneInsert);
+            emit(in);
+            return;
+          }
+          case StmtKind::Store: {
+            std::uint16_t v = compileExpr(s.a);
+            std::uint16_t idx = compileExpr(s.b);
+            Instr in;
+            in.op = Op::StoreElem;
+            in.dst = v;
+            in.a = static_cast<std::uint16_t>(arrayId(s.var.get()));
+            in.b = idx;
+            addCharge(in, s.a->type.isVector()
+                              ? OpClass::VectorStore
+                              : OpClass::ScalarStore);
+            emit(in);
+            return;
+          }
+          case StmtKind::StoreLane: {
+            std::uint16_t v = compileExpr(s.a);
+            std::uint16_t idx = compileExpr(s.b);
+            Instr in;
+            in.op = Op::StoreElemLane;
+            in.dst = v;
+            in.a = static_cast<std::uint16_t>(arrayId(s.var.get()));
+            in.b = idx;
+            in.lane = s.lane;
+            addCharge(in, OpClass::ScalarStore);
+            emit(in);
+            return;
+          }
+          case StmtKind::Push: {
+            std::uint16_t v = compileExpr(s.a);
+            Instr in;
+            in.op = Op::Push;
+            in.a = v;
+            addCharge(in, OpClass::ScalarStore);
+            addCharge(in, OpClass::AddrCalc);
+            if (opts_.saguOut)
+                addCharge(in, OpClass::SaguWalk);
+            emit(in);
+            return;
+          }
+          case StmtKind::RPush: {
+            std::uint16_t v = compileExpr(s.a);
+            std::uint16_t off = compileExpr(s.b);
+            Instr in;
+            in.op = Op::RPush;
+            in.a = v;
+            in.b = off;
+            addCharge(in, OpClass::ScalarStore);
+            addCharge(in, OpClass::AddrCalc);
+            if (opts_.saguOut)
+                addCharge(in, OpClass::SaguWalk);
+            emit(in);
+            return;
+          }
+          case StmtKind::VPush: {
+            std::uint16_t v = compileExpr(s.a);
+            Instr in;
+            in.op = Op::VPush;
+            in.a = v;
+            in.type = s.a->type;
+            addCharge(in, OpClass::VectorStore);
+            addCharge(in, OpClass::AddrCalc);
+            emit(in);
+            return;
+          }
+          case StmtKind::VRPush: {
+            std::uint16_t v = compileExpr(s.a);
+            std::uint16_t off = compileExpr(s.b);
+            Instr in;
+            in.op = Op::VRPush;
+            in.a = v;
+            in.b = off;
+            in.type = s.a->type;
+            addCharge(in, OpClass::VectorStore);
+            addCharge(in, OpClass::AddrCalc);
+            addConditionalCharge(in, OpClass::UnalignedVector);
+            emit(in);
+            return;
+          }
+          case StmtKind::For: {
+            std::uint16_t lo = compileExpr(s.a);
+            std::uint16_t hi = compileExpr(s.b);
+            auto idIt = loopIds_.find(&s);
+            panicIf(idIt == loopIds_.end(), "unnumbered loop");
+            Instr enter;
+            enter.op = Op::LoopEnter;
+            enter.dst = static_cast<std::uint16_t>(
+                scalarSlot(s.var.get()));
+            enter.a = lo;
+            enter.b = hi;
+            enter.lane = idIt->second;
+            addCharge(enter, OpClass::LoopOverhead);
+            std::int64_t enterIdx = emit(enter);
+            std::int64_t bodyStart = pc();
+            compileStmts(s.body);
+            Instr next;
+            next.op = Op::LoopNext;
+            next.imm = bodyStart;
+            emit(next);
+            code_.instrs[enterIdx].imm = pc();
+            return;
+          }
+          case StmtKind::If: {
+            std::uint16_t cond = compileExpr(s.a);
+            Instr br;
+            br.op = Op::BranchIfZero;
+            br.a = cond;
+            addCharge(br, OpClass::Branch);
+            std::int64_t brIdx = emit(br);
+            compileStmts(s.body);
+            if (s.elseBody.empty()) {
+                code_.instrs[brIdx].imm = pc();
+                return;
+            }
+            Instr jmp;
+            jmp.op = Op::Jump;
+            std::int64_t jmpIdx = emit(jmp);
+            code_.instrs[brIdx].imm = pc();
+            compileStmts(s.elseBody);
+            code_.instrs[jmpIdx].imm = pc();
+            return;
+          }
+          case StmtKind::AdvanceIn: {
+            Instr in;
+            in.op = Op::AdvanceIn;
+            in.imm = s.amount;
+            addCharge(in, OpClass::IntAlu);
+            emit(in);
+            return;
+          }
+          case StmtKind::AdvanceOut: {
+            Instr in;
+            in.op = Op::AdvanceOut;
+            in.imm = s.amount;
+            addCharge(in, OpClass::IntAlu);
+            emit(in);
+            return;
+          }
+        }
+        panic("unknown StmtKind");
+    }
+
+    const CompileOptions& opts_;
+    ir::SlotAssignment slots_;
+    std::unordered_map<const ir::Stmt*, int> loopIds_;
+    Code code_;
+    int regTop_ = 0;
+    int maxRegs_ = 0;
+    /** Charge staging buffer for the instruction being built. */
+    Charge staged_[kMaxCharges + 1];
+    bool stagedExtra_ = false;
+};
+
+} // namespace
+
+CompiledActor
+compileActor(const graph::FilterDef& def, const CompileOptions& opts)
+{
+    Compiler c(def, opts);
+    return c.compile(def);
+}
+
+} // namespace macross::interp::bytecode

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Firing compiler: lowers one actor's init/work IR bodies into
+ * register bytecode (interp/bytecode.h).
+ *
+ * Compilation happens once per actor (the Runner invokes it at
+ * runInit, or lazily on the first bytecode firing) and bakes in
+ * everything that is invariant across firings: dense slot/array
+ * numbering, pre-resolved cost charges against a fixed machine
+ * description, the actor's SAGU-walk charges, and stable loop ids.
+ */
+#pragma once
+
+#include "graph/filter.h"
+#include "interp/bytecode.h"
+#include "machine/machine_desc.h"
+
+namespace macross::interp::bytecode {
+
+/** Compile-time parameters that are fixed per (actor, graph, machine). */
+struct CompileOptions {
+    /**
+     * Machine whose cycle table resolves the per-instruction charge
+     * weights. Null compiles with zero weights — valid only for
+     * runners built without a cost sink.
+     */
+    const machine::MachineDesc* machine = nullptr;
+    /** Actor reads the scalar side of a transposed tape (Sec. 3.4). */
+    bool saguIn = false;
+    /** Actor writes the scalar side of a transposed tape. */
+    bool saguOut = false;
+};
+
+/**
+ * Lower @p def's init and work bodies. Panics on IR the executor
+ * would also reject (unknown kinds); does not re-validate rates.
+ */
+CompiledActor compileActor(const graph::FilterDef& def,
+                           const CompileOptions& opts);
+
+} // namespace macross::interp::bytecode

@@ -4,15 +4,12 @@
  */
 #include "interp/executor.h"
 
-#include <cmath>
-
+#include "interp/ops.h"
 #include "support/diagnostics.h"
 
 namespace macross::interp {
 
-using ir::BinaryOp;
 using ir::ExprKind;
-using ir::Intrinsic;
 using ir::StmtKind;
 using machine::OpClass;
 
@@ -55,84 +52,8 @@ Executor::evalBinary(const ir::Expr& e)
     Value a = eval(e.args[0]);
     Value b = eval(e.args[1]);
     const ir::Type t = e.args[0]->type;
-    Value out = Value::zero(e.type);
-
-    // Charge by operator and element kind.
-    OpClass c = OpClass::IntAlu;
-    if (t.isFloat()) {
-        switch (e.bop) {
-          case BinaryOp::Mul: c = OpClass::FpMul; break;
-          case BinaryOp::Div: c = OpClass::FpDiv; break;
-          default: c = OpClass::FpAdd; break;
-        }
-    } else {
-        switch (e.bop) {
-          case BinaryOp::Mul: c = OpClass::IntMul; break;
-          case BinaryOp::Div:
-          case BinaryOp::Mod: c = OpClass::IntDiv; break;
-          default: c = OpClass::IntAlu; break;
-        }
-    }
-    charge(c, t.lanes);
-
-    for (int l = 0; l < t.lanes; ++l) {
-        if (t.isFloat()) {
-            float x = a.f(l), y = b.f(l);
-            float r = 0.0f;
-            bool cmp = false, isCmp = true;
-            switch (e.bop) {
-              case BinaryOp::Add: r = x + y; isCmp = false; break;
-              case BinaryOp::Sub: r = x - y; isCmp = false; break;
-              case BinaryOp::Mul: r = x * y; isCmp = false; break;
-              case BinaryOp::Div: r = x / y; isCmp = false; break;
-              case BinaryOp::Min: r = std::min(x, y); isCmp = false; break;
-              case BinaryOp::Max: r = std::max(x, y); isCmp = false; break;
-              case BinaryOp::Eq: cmp = x == y; break;
-              case BinaryOp::Ne: cmp = x != y; break;
-              case BinaryOp::Lt: cmp = x < y; break;
-              case BinaryOp::Le: cmp = x <= y; break;
-              case BinaryOp::Gt: cmp = x > y; break;
-              case BinaryOp::Ge: cmp = x >= y; break;
-              default:
-                panic("float operand on integer-only operator");
-            }
-            if (isCmp)
-                out.setI(l, cmp ? 1 : 0);
-            else
-                out.setF(l, r);
-        } else {
-            std::int32_t x = a.i(l), y = b.i(l);
-            std::int64_t r = 0;
-            switch (e.bop) {
-              case BinaryOp::Add: r = std::int64_t{x} + y; break;
-              case BinaryOp::Sub: r = std::int64_t{x} - y; break;
-              case BinaryOp::Mul: r = std::int64_t{x} * y; break;
-              case BinaryOp::Div:
-                panicIf(y == 0, "integer division by zero");
-                r = x / y;
-                break;
-              case BinaryOp::Mod:
-                panicIf(y == 0, "integer modulo by zero");
-                r = x % y;
-                break;
-              case BinaryOp::Min: r = std::min(x, y); break;
-              case BinaryOp::Max: r = std::max(x, y); break;
-              case BinaryOp::Shl: r = std::int64_t{x} << (y & 31); break;
-              case BinaryOp::Shr: r = x >> (y & 31); break;
-              case BinaryOp::And: r = x & y; break;
-              case BinaryOp::Or: r = x | y; break;
-              case BinaryOp::Xor: r = x ^ y; break;
-              case BinaryOp::Eq: r = x == y; break;
-              case BinaryOp::Ne: r = x != y; break;
-              case BinaryOp::Lt: r = x < y; break;
-              case BinaryOp::Le: r = x <= y; break;
-              case BinaryOp::Gt: r = x > y; break;
-              case BinaryOp::Ge: r = x >= y; break;
-            }
-            out.setI(l, static_cast<std::int32_t>(r));
-        }
-    }
-    return out;
+    charge(ops::binaryOpClass(e.bop, t), t.lanes);
+    return ops::applyBinary(e.bop, t, e.type, a, b);
 }
 
 Value
@@ -140,92 +61,13 @@ Executor::evalCall(const ir::Expr& e)
 {
     Value a = eval(e.args[0]);
     const int lanes = e.type.lanes;
-    Value out = Value::zero(e.type);
-
-    switch (e.callee) {
-      case Intrinsic::Sqrt:
-        charge(OpClass::FpDiv, lanes);
-        for (int l = 0; l < lanes; ++l)
-            out.setF(l, std::sqrt(a.f(l)));
-        return out;
-      case Intrinsic::Sin:
-        charge(OpClass::Trig, lanes);
-        for (int l = 0; l < lanes; ++l)
-            out.setF(l, std::sin(a.f(l)));
-        return out;
-      case Intrinsic::Cos:
-        charge(OpClass::Trig, lanes);
-        for (int l = 0; l < lanes; ++l)
-            out.setF(l, std::cos(a.f(l)));
-        return out;
-      case Intrinsic::Exp:
-        charge(OpClass::ExpLog, lanes);
-        for (int l = 0; l < lanes; ++l)
-            out.setF(l, std::exp(a.f(l)));
-        return out;
-      case Intrinsic::Log:
-        charge(OpClass::ExpLog, lanes);
-        for (int l = 0; l < lanes; ++l)
-            out.setF(l, std::log(a.f(l)));
-        return out;
-      case Intrinsic::Floor:
-        charge(OpClass::Convert, lanes);
-        for (int l = 0; l < lanes; ++l)
-            out.setF(l, std::floor(a.f(l)));
-        return out;
-      case Intrinsic::Abs:
-        charge(a.type().isFloat() ? OpClass::FpAdd : OpClass::IntAlu,
-               lanes);
-        for (int l = 0; l < lanes; ++l) {
-            if (a.type().isFloat())
-                out.setF(l, std::fabs(a.f(l)));
-            else
-                out.setI(l, std::abs(a.i(l)));
-        }
-        return out;
-      case Intrinsic::ToFloat:
-        charge(OpClass::Convert, lanes);
-        for (int l = 0; l < lanes; ++l)
-            out.setF(l, static_cast<float>(a.i(l)));
-        return out;
-      case Intrinsic::ToInt:
-        charge(OpClass::Convert, lanes);
-        for (int l = 0; l < lanes; ++l)
-            out.setI(l, static_cast<std::int32_t>(a.f(l)));
-        return out;
-      case Intrinsic::ExtractEven:
-      case Intrinsic::ExtractOdd:
-      case Intrinsic::InterleaveLo:
-      case Intrinsic::InterleaveHi: {
+    if (ops::isShuffleIntrinsic(e.callee)) {
         Value b = eval(e.args[1]);
         charge(OpClass::Shuffle, lanes);
-        const int half = lanes / 2;
-        for (int l = 0; l < half; ++l) {
-            switch (e.callee) {
-              case Intrinsic::ExtractEven:
-                out.setRawBits(l, a.rawBits(2 * l));
-                out.setRawBits(half + l, b.rawBits(2 * l));
-                break;
-              case Intrinsic::ExtractOdd:
-                out.setRawBits(l, a.rawBits(2 * l + 1));
-                out.setRawBits(half + l, b.rawBits(2 * l + 1));
-                break;
-              case Intrinsic::InterleaveLo:
-                out.setRawBits(2 * l, a.rawBits(l));
-                out.setRawBits(2 * l + 1, b.rawBits(l));
-                break;
-              case Intrinsic::InterleaveHi:
-                out.setRawBits(2 * l, a.rawBits(half + l));
-                out.setRawBits(2 * l + 1, b.rawBits(half + l));
-                break;
-              default:
-                break;
-            }
-        }
-        return out;
-      }
+        return ops::applyShuffle(e.callee, e.type, a, b);
     }
-    panic("unknown intrinsic");
+    charge(ops::intrinsicOpClass(e.callee, a.type()), lanes);
+    return ops::applyIntrinsic1(e.callee, e.type, a);
 }
 
 Value
@@ -263,26 +105,8 @@ Executor::eval(const ir::ExprPtr& ep)
       }
       case ExprKind::Unary: {
         Value a = eval(e.args[0]);
-        charge(e.type.isFloat() ? OpClass::FpAdd : OpClass::IntAlu,
-               e.type.lanes);
-        Value out = Value::zero(e.type);
-        for (int l = 0; l < e.type.lanes; ++l) {
-            switch (e.uop) {
-              case ir::UnaryOp::Neg:
-                if (e.type.isFloat())
-                    out.setF(l, -a.f(l));
-                else
-                    out.setI(l, -a.i(l));
-                break;
-              case ir::UnaryOp::Not:
-                out.setI(l, a.i(l) == 0 ? 1 : 0);
-                break;
-              case ir::UnaryOp::BitNot:
-                out.setI(l, ~a.i(l));
-                break;
-            }
-        }
-        return out;
+        charge(ops::unaryOpClass(e.type), e.type.lanes);
+        return ops::applyUnary(e.uop, e.type, a);
       }
       case ExprKind::Binary:
         return evalBinary(e);
@@ -328,10 +152,7 @@ Executor::eval(const ir::ExprPtr& ep)
       case ExprKind::Splat: {
         Value a = eval(e.args[0]);
         charge(OpClass::Splat);
-        Value out = Value::zero(e.type);
-        for (int l = 0; l < e.type.lanes; ++l)
-            out.setRawBits(l, a.rawBits(0));
-        return out;
+        return ops::applySplat(e.type, a);
       }
     }
     panic("unknown ExprKind");
@@ -423,10 +244,13 @@ Executor::exec(const ir::Stmt& s)
         Env& env = envFor(iv);
 
         const LoopCostPlan* plan = nullptr;
-        if (loopPlans_) {
-            auto it = loopPlans_->find(&s);
-            if (it != loopPlans_->end())
-                plan = &it->second;
+        if (loopPlans_ && loopIds_) {
+            auto idIt = loopIds_->find(&s);
+            if (idIt != loopIds_->end()) {
+                auto it = loopPlans_->find(idIt->second);
+                if (it != loopPlans_->end())
+                    plan = &it->second;
+            }
         }
         const std::int64_t trips =
             std::max<std::int64_t>(0, hi.i(0) - std::int64_t{lo.i(0)});

@@ -21,7 +21,7 @@
 
 namespace macross::interp {
 
-/** Cost modulation for one vectorized loop (keyed by Stmt identity). */
+/** Cost modulation for one vectorized loop (keyed by stable loop id). */
 struct LoopCostPlan {
     int width = 1;  ///< Body charged once per this many iterations.
     /** Extra cycles charged once per vector group (gathers, etc.). */
@@ -31,7 +31,15 @@ struct LoopCostPlan {
 /** Executes IR for a single actor. */
 class Executor {
   public:
-    using LoopPlans = std::unordered_map<const ir::Stmt*, LoopCostPlan>;
+    /**
+     * Loop plans are keyed by the stable loop id assigned by
+     * ir::numberLoops (pre-order position of the For statement), not
+     * by Stmt address: statement addresses are unstable across body
+     * clones and can be reused after frees, and the bytecode engine
+     * has no Stmt pointers at all.
+     */
+    using LoopPlans = std::unordered_map<int, LoopCostPlan>;
+    using LoopIds = std::unordered_map<const ir::Stmt*, int>;
 
     Executor(Env& locals, Env& state, Tape* in, Tape* out,
              machine::CostSink* cost);
@@ -41,6 +49,13 @@ class Executor {
 
     /** Install per-loop cost plans (may be null). */
     void setLoopPlans(const LoopPlans* plans) { loopPlans_ = plans; }
+
+    /**
+     * Install the Stmt -> stable-loop-id map for the bodies this
+     * executor runs (ir::numberLoops over those bodies; may be null).
+     * A For statement missing from the map has no plan applied.
+     */
+    void setLoopIds(const LoopIds* ids) { loopIds_ = ids; }
 
     /** Enable/disable all cost charging (outer-loop grouping). */
     void setChargingEnabled(bool on) { charging_ = on; }
@@ -64,6 +79,7 @@ class Executor {
     Tape* out_;
     machine::CostSink* cost_;
     const LoopPlans* loopPlans_ = nullptr;
+    const LoopIds* loopIds_ = nullptr;
     bool charging_ = true;
     bool saguIn_ = false;
     bool saguOut_ = false;

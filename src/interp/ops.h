@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Shared operator semantics for the two execution engines.
+ *
+ * The tree-walking Executor (the reference oracle) and the bytecode
+ * Vm must produce bit-identical values and charge identical cost
+ * classes. Both therefore evaluate every unary/binary/intrinsic
+ * operation through the inline helpers in this header, and both map
+ * operations to machine::OpClass through the classifier helpers —
+ * the only difference between the engines is *when* the classifier
+ * runs (per evaluation in the tree engine, once at compile time in
+ * the bytecode engine).
+ */
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "interp/value.h"
+#include "ir/expr.h"
+#include "machine/machine_desc.h"
+#include "support/diagnostics.h"
+
+namespace macross::interp::ops {
+
+/**
+ * Lane-wise unary operation written into @p out (no padding-lane
+ * zeroing — the bytecode VM's in-register fast path). Safe when @p out
+ * aliases @p a: every lane is read before it is written.
+ */
+inline void
+applyUnaryInto(Value& out, ir::UnaryOp op, ir::Type result_type,
+               const Value& a)
+{
+    out.setType(result_type);
+    for (int l = 0; l < result_type.lanes; ++l) {
+        switch (op) {
+          case ir::UnaryOp::Neg:
+            if (result_type.isFloat())
+                out.setF(l, -a.f(l));
+            else
+                out.setI(l, -a.i(l));
+            break;
+          case ir::UnaryOp::Not:
+            out.setI(l, a.i(l) == 0 ? 1 : 0);
+            break;
+          case ir::UnaryOp::BitNot:
+            out.setI(l, ~a.i(l));
+            break;
+        }
+    }
+}
+
+/** Lane-wise unary operation; @p result_type fixes the lane count. */
+inline Value
+applyUnary(ir::UnaryOp op, ir::Type result_type, const Value& a)
+{
+    Value out = Value::zero(result_type);
+    applyUnaryInto(out, op, result_type, a);
+    return out;
+}
+
+/**
+ * Lane-wise binary operation written into @p out (alias-safe like
+ * applyUnaryInto). @p operand_type is the (common) type of the
+ * operands — comparisons iterate its lanes but produce int32 results
+ * in @p result_type.
+ */
+inline void
+applyBinaryInto(Value& out, ir::BinaryOp op, ir::Type operand_type,
+                ir::Type result_type, const Value& a, const Value& b)
+{
+    using ir::BinaryOp;
+    out.setType(result_type);
+    for (int l = 0; l < operand_type.lanes; ++l) {
+        if (operand_type.isFloat()) {
+            float x = a.f(l), y = b.f(l);
+            float r = 0.0f;
+            bool cmp = false, isCmp = true;
+            switch (op) {
+              case BinaryOp::Add: r = x + y; isCmp = false; break;
+              case BinaryOp::Sub: r = x - y; isCmp = false; break;
+              case BinaryOp::Mul: r = x * y; isCmp = false; break;
+              case BinaryOp::Div: r = x / y; isCmp = false; break;
+              case BinaryOp::Min: r = std::min(x, y); isCmp = false; break;
+              case BinaryOp::Max: r = std::max(x, y); isCmp = false; break;
+              case BinaryOp::Eq: cmp = x == y; break;
+              case BinaryOp::Ne: cmp = x != y; break;
+              case BinaryOp::Lt: cmp = x < y; break;
+              case BinaryOp::Le: cmp = x <= y; break;
+              case BinaryOp::Gt: cmp = x > y; break;
+              case BinaryOp::Ge: cmp = x >= y; break;
+              default:
+                panic("float operand on integer-only operator");
+            }
+            if (isCmp)
+                out.setI(l, cmp ? 1 : 0);
+            else
+                out.setF(l, r);
+        } else {
+            std::int32_t x = a.i(l), y = b.i(l);
+            std::int64_t r = 0;
+            switch (op) {
+              case BinaryOp::Add: r = std::int64_t{x} + y; break;
+              case BinaryOp::Sub: r = std::int64_t{x} - y; break;
+              case BinaryOp::Mul: r = std::int64_t{x} * y; break;
+              case BinaryOp::Div:
+                panicIf(y == 0, "integer division by zero");
+                r = x / y;
+                break;
+              case BinaryOp::Mod:
+                panicIf(y == 0, "integer modulo by zero");
+                r = x % y;
+                break;
+              case BinaryOp::Min: r = std::min(x, y); break;
+              case BinaryOp::Max: r = std::max(x, y); break;
+              case BinaryOp::Shl: r = std::int64_t{x} << (y & 31); break;
+              case BinaryOp::Shr: r = x >> (y & 31); break;
+              case BinaryOp::And: r = x & y; break;
+              case BinaryOp::Or: r = x | y; break;
+              case BinaryOp::Xor: r = x ^ y; break;
+              case BinaryOp::Eq: r = x == y; break;
+              case BinaryOp::Ne: r = x != y; break;
+              case BinaryOp::Lt: r = x < y; break;
+              case BinaryOp::Le: r = x <= y; break;
+              case BinaryOp::Gt: r = x > y; break;
+              case BinaryOp::Ge: r = x >= y; break;
+            }
+            out.setI(l, static_cast<std::int32_t>(r));
+        }
+    }
+}
+
+/** Lane-wise binary operation (see applyBinaryInto). */
+inline Value
+applyBinary(ir::BinaryOp op, ir::Type operand_type,
+            ir::Type result_type, const Value& a, const Value& b)
+{
+    Value out = Value::zero(result_type);
+    applyBinaryInto(out, op, operand_type, result_type, a, b);
+    return out;
+}
+
+/**
+ * One-operand intrinsic (everything except the shuffles) written into
+ * @p out (alias-safe: the operand's type is read before @p out's type
+ * tag is overwritten, and lanes are read before written).
+ */
+inline void
+applyIntrinsic1Into(Value& out, ir::Intrinsic fn, ir::Type result_type,
+                    const Value& a)
+{
+    using ir::Intrinsic;
+    const int lanes = result_type.lanes;
+    const bool operandFloat = a.type().isFloat();
+    out.setType(result_type);
+    switch (fn) {
+      case Intrinsic::Sqrt:
+        for (int l = 0; l < lanes; ++l)
+            out.setF(l, std::sqrt(a.f(l)));
+        return;
+      case Intrinsic::Sin:
+        for (int l = 0; l < lanes; ++l)
+            out.setF(l, std::sin(a.f(l)));
+        return;
+      case Intrinsic::Cos:
+        for (int l = 0; l < lanes; ++l)
+            out.setF(l, std::cos(a.f(l)));
+        return;
+      case Intrinsic::Exp:
+        for (int l = 0; l < lanes; ++l)
+            out.setF(l, std::exp(a.f(l)));
+        return;
+      case Intrinsic::Log:
+        for (int l = 0; l < lanes; ++l)
+            out.setF(l, std::log(a.f(l)));
+        return;
+      case Intrinsic::Floor:
+        for (int l = 0; l < lanes; ++l)
+            out.setF(l, std::floor(a.f(l)));
+        return;
+      case Intrinsic::Abs:
+        for (int l = 0; l < lanes; ++l) {
+            if (operandFloat)
+                out.setF(l, std::fabs(a.f(l)));
+            else
+                out.setI(l, std::abs(a.i(l)));
+        }
+        return;
+      case Intrinsic::ToFloat:
+        for (int l = 0; l < lanes; ++l)
+            out.setF(l, static_cast<float>(a.i(l)));
+        return;
+      case Intrinsic::ToInt:
+        for (int l = 0; l < lanes; ++l)
+            out.setI(l, static_cast<std::int32_t>(a.f(l)));
+        return;
+      default:
+        break;
+    }
+    panic("two-operand intrinsic passed to applyIntrinsic1");
+}
+
+/** One-operand intrinsic (see applyIntrinsic1Into). */
+inline Value
+applyIntrinsic1(ir::Intrinsic fn, ir::Type result_type, const Value& a)
+{
+    Value out = Value::zero(result_type);
+    applyIntrinsic1Into(out, fn, result_type, a);
+    return out;
+}
+
+/** Two-operand lane shuffle (extract_even/odd, interleave lo/hi). */
+inline Value
+applyShuffle(ir::Intrinsic fn, ir::Type result_type, const Value& a,
+             const Value& b)
+{
+    using ir::Intrinsic;
+    const int lanes = result_type.lanes;
+    const int half = lanes / 2;
+    Value out = Value::zero(result_type);
+    for (int l = 0; l < half; ++l) {
+        switch (fn) {
+          case Intrinsic::ExtractEven:
+            out.setRawBits(l, a.rawBits(2 * l));
+            out.setRawBits(half + l, b.rawBits(2 * l));
+            break;
+          case Intrinsic::ExtractOdd:
+            out.setRawBits(l, a.rawBits(2 * l + 1));
+            out.setRawBits(half + l, b.rawBits(2 * l + 1));
+            break;
+          case Intrinsic::InterleaveLo:
+            out.setRawBits(2 * l, a.rawBits(l));
+            out.setRawBits(2 * l + 1, b.rawBits(l));
+            break;
+          case Intrinsic::InterleaveHi:
+            out.setRawBits(2 * l, a.rawBits(half + l));
+            out.setRawBits(2 * l + 1, b.rawBits(half + l));
+            break;
+          default:
+            panic("one-operand intrinsic passed to applyShuffle");
+        }
+    }
+    return out;
+}
+
+/**
+ * Broadcast lane 0 of @p a to all lanes of @p result_type, written
+ * into @p out (alias-safe: the source lane is read once up front).
+ */
+inline void
+applySplatInto(Value& out, ir::Type result_type, const Value& a)
+{
+    const std::uint32_t bits = a.rawBits(0);
+    out.setType(result_type);
+    for (int l = 0; l < result_type.lanes; ++l)
+        out.setRawBits(l, bits);
+}
+
+/** Broadcast lane 0 of @p a to all lanes of @p result_type. */
+inline Value
+applySplat(ir::Type result_type, const Value& a)
+{
+    Value out = Value::zero(result_type);
+    applySplatInto(out, result_type, a);
+    return out;
+}
+
+/** True if @p fn takes two vector operands (the shuffles). */
+inline bool
+isShuffleIntrinsic(ir::Intrinsic fn)
+{
+    using ir::Intrinsic;
+    return fn == Intrinsic::ExtractEven || fn == Intrinsic::ExtractOdd ||
+           fn == Intrinsic::InterleaveLo ||
+           fn == Intrinsic::InterleaveHi;
+}
+
+/** Cost class charged for @p op over operands of @p operand_type. */
+inline machine::OpClass
+binaryOpClass(ir::BinaryOp op, ir::Type operand_type)
+{
+    using ir::BinaryOp;
+    using machine::OpClass;
+    if (operand_type.isFloat()) {
+        switch (op) {
+          case BinaryOp::Mul: return OpClass::FpMul;
+          case BinaryOp::Div: return OpClass::FpDiv;
+          default: return OpClass::FpAdd;
+        }
+    }
+    switch (op) {
+      case BinaryOp::Mul: return OpClass::IntMul;
+      case BinaryOp::Div:
+      case BinaryOp::Mod: return OpClass::IntDiv;
+      default: return OpClass::IntAlu;
+    }
+}
+
+/** Cost class charged for a unary op producing @p result_type. */
+inline machine::OpClass
+unaryOpClass(ir::Type result_type)
+{
+    return result_type.isFloat() ? machine::OpClass::FpAdd
+                                 : machine::OpClass::IntAlu;
+}
+
+/** Cost class charged for intrinsic @p fn over @p operand_type. */
+inline machine::OpClass
+intrinsicOpClass(ir::Intrinsic fn, ir::Type operand_type)
+{
+    using ir::Intrinsic;
+    using machine::OpClass;
+    switch (fn) {
+      case Intrinsic::Sqrt: return OpClass::FpDiv;
+      case Intrinsic::Sin:
+      case Intrinsic::Cos: return OpClass::Trig;
+      case Intrinsic::Exp:
+      case Intrinsic::Log: return OpClass::ExpLog;
+      case Intrinsic::Floor:
+      case Intrinsic::ToFloat:
+      case Intrinsic::ToInt: return OpClass::Convert;
+      case Intrinsic::Abs:
+        return operand_type.isFloat() ? OpClass::FpAdd
+                                      : OpClass::IntAlu;
+      case Intrinsic::ExtractEven:
+      case Intrinsic::ExtractOdd:
+      case Intrinsic::InterleaveLo:
+      case Intrinsic::InterleaveHi: return OpClass::Shuffle;
+    }
+    panic("unknown intrinsic");
+}
+
+} // namespace macross::interp::ops

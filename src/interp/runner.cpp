@@ -4,6 +4,9 @@
  */
 #include "interp/runner.h"
 
+#include <chrono>
+
+#include "ir/analysis.h"
 #include "support/diagnostics.h"
 
 namespace macross::interp {
@@ -12,9 +15,16 @@ using graph::Actor;
 using graph::ActorKind;
 using machine::OpClass;
 
+std::string
+toString(ExecEngine e)
+{
+    return e == ExecEngine::Tree ? "tree" : "bytecode";
+}
+
 Runner::Runner(const graph::FlatGraph& g, const schedule::Schedule& s,
-               machine::CostSink* cost)
-    : graph_(&g), sched_(&s), cost_(cost)
+               machine::CostSink* cost, ExecEngine engine)
+    : graph_(&g), sched_(&s), cost_(cost),
+      machine_(cost ? &cost->machine() : nullptr), engine_(engine)
 {
     tapes_.reserve(g.tapes.size());
     for (const auto& td : g.tapes) {
@@ -33,17 +43,24 @@ Runner::Runner(const graph::FlatGraph& g, const schedule::Schedule& s,
     states_.resize(g.actors.size());
     configs_.resize(g.actors.size());
     fireCounts_.assign(g.actors.size(), 0);
+    loopIds_.resize(g.actors.size());
+    compiled_.resize(g.actors.size());
+    frames_.resize(g.actors.size());
+
+    for (const auto& a : g.actors) {
+        if (a.isFilter())
+            loopIds_[a.id] = ir::numberLoops(a.def->work);
+    }
 
     // Capture at the sink: the unique filter with an input and no
-    // output. Observe elements as the sink pops them.
+    // output. The tape appends popped elements straight into
+    // captured_ (a plain buffer pointer on the pop fast path).
     for (const auto& a : g.actors) {
-        if (a.isFilter() && a.outputs.empty() && !a.inputs.empty()) {
-            tapes_[a.inputs[0]]->setPopObserver([this](const Value& v) {
-                if (captureEnabled_)
-                    captured_.push_back(v);
-            });
-        }
+        if (a.isFilter() && a.outputs.empty() && !a.inputs.empty())
+            sinkTapes_.push_back(tapes_[a.inputs[0]].get());
     }
+    for (Tape* t : sinkTapes_)
+        t->setCaptureBuffer(&captured_);
 }
 
 void
@@ -52,16 +69,72 @@ Runner::setActorConfig(int actor_id, ActorExecConfig cfg)
     configs_.at(actor_id) = std::move(cfg);
 }
 
+void
+Runner::enableCapture(bool on)
+{
+    captureEnabled_ = on;
+    for (Tape* t : sinkTapes_)
+        t->setCaptureBuffer(on ? &captured_ : nullptr);
+}
+
 Tape*
 Runner::tapeFor(int tape_id)
 {
     return tapes_.at(tape_id).get();
 }
 
+ExecEngine
+Runner::engineFor(int actor_id) const
+{
+    return configs_[actor_id].engine.value_or(engine_);
+}
+
 double
 Runner::totalCycles() const
 {
     return cost_ ? cost_->totalCycles() : 0.0;
+}
+
+const bytecode::CompiledActor&
+Runner::ensureCompiled(const Actor& a)
+{
+    std::unique_ptr<bytecode::CompiledActor>& slot = compiled_[a.id];
+    if (slot)
+        return *slot;
+
+    bytecode::CompileOptions opts;
+    opts.machine = machine_;
+    // SaguWalk charges apply to the scalar endpoint of a transposed
+    // tape; the graph annotations are fixed, so bake them in.
+    opts.saguIn = !a.inputs.empty() &&
+                  graph_->tape(a.inputs[0]).transpose.readSide;
+    opts.saguOut = !a.outputs.empty() &&
+                   graph_->tape(a.outputs[0]).transpose.writeSide;
+
+    auto t0 = std::chrono::steady_clock::now();
+    slot = std::make_unique<bytecode::CompiledActor>(
+        bytecode::compileActor(*a.def, opts));
+    double micros = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    compileMicros_ += micros;
+    frames_[a.id].init(*slot);
+
+    if (trace_ && trace_->enabled()) {
+        json::Value p = json::Value::object();
+        p["actor"] = a.id;
+        p["name"] = a.name;
+        p["initInstrs"] =
+            static_cast<std::int64_t>(slot->init.instrs.size());
+        p["workInstrs"] =
+            static_cast<std::int64_t>(slot->work.instrs.size());
+        p["numSlots"] = slot->numSlots;
+        p["numRegs"] =
+            std::max(slot->init.numRegs, slot->work.numRegs);
+        p["micros"] = micros;
+        trace_->event("bytecode", "compileActor", std::move(p));
+    }
+    return *slot;
 }
 
 json::Value
@@ -77,6 +150,7 @@ Runner::statsToJson() const
     };
 
     json::Value root = json::Value::object();
+    root["engine"] = toString(engine_);
     json::Value actors = json::Value::array();
     for (const Actor& a : graph_->actors) {
         json::Value v = json::Value::object();
@@ -88,6 +162,11 @@ Runner::statsToJson() const
         v["fires"] = fireCounts_[a.id];
         if (cost_)
             v["cycles"] = cost_->actorCycles(a.id);
+        if (compiled_[a.id]) {
+            v["bytecodeInstrs"] = static_cast<std::int64_t>(
+                compiled_[a.id]->init.instrs.size() +
+                compiled_[a.id]->work.instrs.size());
+        }
         actors.push(std::move(v));
     }
     root["actors"] = std::move(actors);
@@ -109,6 +188,8 @@ Runner::statsToJson() const
     }
     root["tapes"] = std::move(tapes);
 
+    if (compileMicros_ > 0.0)
+        root["bytecodeCompileMicros"] = compileMicros_;
     if (cost_)
         root["totalCycles"] = cost_->totalCycles();
     return root;
@@ -128,23 +209,30 @@ Runner::fireFilter(const Actor& a)
         if (leader && cost_)
             cost_->chargeCycles(cfg.outerExtraPerGroup);
     }
-
-    Executor ex(locals_[a.id], states_[a.id], in, out, cost_);
-    ex.setChargingEnabled(charging);
     if (charging && cost_)
         cost_->charge(OpClass::FiringOverhead);
-    ex.setLoopPlans(cfg.loopPlans.get());
 
-    // SaguWalk charges apply to the scalar endpoint of a transposed
-    // tape: the consumer on a read-side transpose, the producer on a
-    // write-side transpose.
-    bool saguIn = !a.inputs.empty() &&
-                  graph_->tape(a.inputs[0]).transpose.readSide;
-    bool saguOut = !a.outputs.empty() &&
-                   graph_->tape(a.outputs[0]).transpose.writeSide;
-    ex.setSaguCharges(saguIn, saguOut);
+    if (engineFor(a.id) == ExecEngine::Bytecode) {
+        const bytecode::CompiledActor& ca = ensureCompiled(a);
+        vm_.run(ca.work, frames_[a.id], in, out, cost_,
+                cfg.loopPlans.get(), charging);
+    } else {
+        Executor ex(locals_[a.id], states_[a.id], in, out, cost_);
+        ex.setChargingEnabled(charging);
+        ex.setLoopPlans(cfg.loopPlans.get());
+        ex.setLoopIds(&loopIds_[a.id]);
 
-    ex.run(a.def->work);
+        // SaguWalk charges apply to the scalar endpoint of a
+        // transposed tape: the consumer on a read-side transpose, the
+        // producer on a write-side transpose.
+        bool saguIn = !a.inputs.empty() &&
+                      graph_->tape(a.inputs[0]).transpose.readSide;
+        bool saguOut = !a.outputs.empty() &&
+                       graph_->tape(a.outputs[0]).transpose.writeSide;
+        ex.setSaguCharges(saguIn, saguOut);
+
+        ex.run(a.def->work);
+    }
     fireCounts_[a.id]++;
 }
 
@@ -179,10 +267,10 @@ Runner::fireSplitter(const Actor& a)
         Tape* out = tapeFor(a.outputs[0]);
         const int sw = a.hLanes;
         if (a.splitKind == graph::SplitterKind::Duplicate) {
-            Value x = in->pop();
-            Value v = Value::zero(x.type().widened(sw));
+            const std::uint32_t x = in->popRaw();
+            Value v = Value::zero(in->elemType().widened(sw));
             for (int l = 0; l < sw; ++l)
-                v.setRawBits(l, x.rawBits(0));
+                v.setRawBits(l, x);
             out->vpush(v);
             if (cost_) {
                 cost_->charge(OpClass::ScalarLoad);
@@ -193,19 +281,19 @@ Runner::fireSplitter(const Actor& a)
             return;
         }
         const int w = a.weights[0];
-        std::vector<Value> tmp;
+        std::vector<std::uint32_t> tmp;
         tmp.reserve(static_cast<std::size_t>(sw) * w);
         for (int i = 0; i < sw * w; ++i) {
-            tmp.push_back(in->pop());
+            tmp.push_back(in->popRaw());
             if (cost_) {
                 cost_->charge(OpClass::ScalarLoad);
                 cost_->charge(OpClass::AddrCalc);
             }
         }
         for (int j = 0; j < w; ++j) {
-            Value v = Value::zero(tmp[0].type().widened(sw));
+            Value v = Value::zero(in->elemType().widened(sw));
             for (int l = 0; l < sw; ++l)
-                v.setRawBits(l, tmp[l * w + j].rawBits(0));
+                v.setRawBits(l, tmp[l * w + j]);
             out->vpush(v);
             if (cost_) {
                 cost_->charge(OpClass::LaneInsert, 1, sw);
@@ -217,14 +305,14 @@ Runner::fireSplitter(const Actor& a)
     }
 
     if (a.splitKind == graph::SplitterKind::Duplicate) {
-        Value x = in->pop();
+        const std::uint32_t x = in->popRaw();
         if (cost_) {
             cost_->charge(OpClass::ScalarLoad);
             cost_->charge(OpClass::AddrCalc);
         }
         for (int port = 0; port < static_cast<int>(a.outputs.size());
              ++port) {
-            tapeFor(a.outputs[port])->push(x);
+            tapeFor(a.outputs[port])->pushRaw(x);
             if (cost_) {
                 cost_->charge(OpClass::ScalarStore);
                 cost_->charge(OpClass::AddrCalc);
@@ -238,7 +326,7 @@ Runner::fireSplitter(const Actor& a)
     for (int port = 0; port < static_cast<int>(a.outputs.size());
          ++port) {
         for (int k = 0; k < a.weights[port]; ++k) {
-            tapeFor(a.outputs[port])->push(in->pop());
+            tapeFor(a.outputs[port])->pushRaw(in->popRaw());
             chargeScalarMove(port);
         }
     }
@@ -268,7 +356,7 @@ Runner::fireJoiner(const Actor& a)
         }
         for (int l = 0; l < sw; ++l) {
             for (int j = 0; j < w; ++j) {
-                out->push(vecs[j].lane(l));
+                out->pushRaw(vecs[j].rawBits(l));
                 if (cost_) {
                     cost_->charge(OpClass::LaneExtract);
                     cost_->charge(OpClass::ScalarStore);
@@ -286,7 +374,7 @@ Runner::fireJoiner(const Actor& a)
         const bool walkIn =
             graph_->tape(a.inputs[port]).transpose.readSide;
         for (int k = 0; k < a.weights[port]; ++k) {
-            out->push(tapeFor(a.inputs[port])->pop());
+            out->pushRaw(tapeFor(a.inputs[port])->popRaw());
             if (cost_) {
                 cost_->charge(OpClass::ScalarLoad);
                 cost_->charge(OpClass::ScalarStore);
@@ -325,13 +413,23 @@ Runner::runInit()
     panicIf(initDone_, "runInit called twice");
     initDone_ = true;
 
-    // Init bodies and warm-up firings are one-time costs the paper's
-    // steady-state measurements exclude; run them uncosted.
+    // Compile every bytecode-engine filter up front (timed, traced),
+    // then run init bodies. Init bodies and warm-up firings are
+    // one-time costs the paper's steady-state measurements exclude;
+    // run them uncosted.
     machine::CostSink* saved = cost_;
     cost_ = nullptr;
 
     for (const auto& a : graph_->actors) {
-        if (a.isFilter() && !a.def->init.empty()) {
+        if (!a.isFilter())
+            continue;
+        if (engineFor(a.id) == ExecEngine::Bytecode) {
+            const bytecode::CompiledActor& ca = ensureCompiled(a);
+            if (!ca.init.empty()) {
+                vm_.run(ca.init, frames_[a.id], nullptr, nullptr,
+                        nullptr, nullptr);
+            }
+        } else if (!a.def->init.empty()) {
             Executor ex(locals_[a.id], states_[a.id], nullptr, nullptr,
                         nullptr);
             ex.run(a.def->init);
@@ -349,6 +447,8 @@ Runner::runInit()
             warmups += n;
         json::Value payload = json::Value::object();
         payload["warmupFirings"] = warmups;
+        payload["engine"] = toString(engine_);
+        payload["bytecodeCompileMicros"] = compileMicros_;
         trace_->event("interp", "runInit", std::move(payload));
     }
 }

@@ -3,6 +3,15 @@
  * Program runner: executes a flat stream graph under its schedule,
  * capturing sink output and (optionally) accumulating modeled cycles.
  *
+ * The runner drives a two-engine execution stack. Filter bodies run
+ * either on the tree-walking Executor (the reference oracle) or, by
+ * default, on the bytecode VM: each actor's init/work IR is compiled
+ * once (interp/compile_actor.h) into a register instruction stream
+ * with pre-resolved cost charges, then fired through the dispatch
+ * loop in interp/vm.h. Both engines produce bit-identical output and
+ * bit-identical modeled cycle totals; the engine is selectable
+ * globally (setEngine / constructor) and per actor (ActorExecConfig).
+ *
  * The runner implements splitter/joiner data movement natively
  * (including the horizontal HSplitter/HJoiner pack/unpack of Section
  * 3.3) and honors the SAGU tape-transpose annotations on tapes.
@@ -14,24 +23,41 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "graph/flat_graph.h"
+#include "interp/compile_actor.h"
 #include "interp/executor.h"
+#include "interp/vm.h"
 #include "schedule/steady_state.h"
 #include "support/json.h"
 #include "support/trace.h"
 
 namespace macross::interp {
 
+/** Which engine executes a filter's IR bodies. */
+enum class ExecEngine {
+    Tree,      ///< Tree-walking Executor (reference oracle).
+    Bytecode,  ///< Compiled register bytecode on the VM (default).
+};
+
+/** Engine name for reports ("tree" / "bytecode"). */
+std::string toString(ExecEngine e);
+
 /** Per-actor execution/costing configuration (set by autovec models). */
 struct ActorExecConfig {
-    /** Inner-loop vectorization cost plans (may be null). */
+    /**
+     * Inner-loop vectorization cost plans, keyed by stable loop id
+     * over the actor's work body (may be null).
+     */
     std::shared_ptr<Executor::LoopPlans> loopPlans;
     /** Outer-loop (firing-level) vectorization grouping. */
     bool outerVectorized = false;
     int outerWidth = 4;
     double outerExtraPerGroup = 0.0;
+    /** Per-actor engine override; unset uses the runner's engine. */
+    std::optional<ExecEngine> engine;
 };
 
 /** Executes a scheduled stream graph. */
@@ -41,15 +67,21 @@ class Runner {
      * @param g Graph to run (must outlive the runner).
      * @param s Schedule for @p g.
      * @param cost Cycle sink, or null to run without costing.
+     * @param engine Default engine for all filter actors.
      */
     Runner(const graph::FlatGraph& g, const schedule::Schedule& s,
-           machine::CostSink* cost = nullptr);
+           machine::CostSink* cost = nullptr,
+           ExecEngine engine = ExecEngine::Bytecode);
 
     /** Install an execution config for one actor. */
     void setActorConfig(int actor_id, ActorExecConfig cfg);
 
+    /** Set the default engine (call before the first firing). */
+    void setEngine(ExecEngine e) { engine_ = e; }
+    ExecEngine engine() const { return engine_; }
+
     /** Record every element the sink consumes. On by default. */
-    void enableCapture(bool on) { captureEnabled_ = on; }
+    void enableCapture(bool on);
 
     /** Run all init bodies and warm-up firings (uncosted). */
     void runInit();
@@ -74,6 +106,13 @@ class Runner {
         return *tapes_.at(tape_id);
     }
 
+    /** Compiled bytecode for @p actor_id (null before compilation
+     *  or for tree-engine actors). */
+    const bytecode::CompiledActor* compiledActor(int actor_id) const
+    {
+        return compiled_.at(actor_id).get();
+    }
+
     const graph::FlatGraph& graph() const { return *graph_; }
     const schedule::Schedule& schedule() const { return *sched_; }
 
@@ -90,10 +129,12 @@ class Runner {
     void setTrace(support::Trace* t) { trace_ = t; }
 
     /**
-     * Execution statistics as JSON: per-actor firing counts and
-     * attributed cycles, and per-tape traffic (elements pushed,
-     * occupancy high-water mark). Cycles are present only when the
-     * runner was built with a cost sink.
+     * Execution statistics as JSON: per-actor firing counts,
+     * attributed cycles, and bytecode instruction counts (compiled
+     * actors only), plus per-tape traffic (elements pushed, occupancy
+     * high-water mark), the active engine, and total bytecode compile
+     * time. Cycles are present only when the runner was built with a
+     * cost sink.
      */
     json::Value statsToJson() const;
 
@@ -102,17 +143,30 @@ class Runner {
     void fireSplitter(const graph::Actor& a);
     void fireJoiner(const graph::Actor& a);
     Tape* tapeFor(int tape_id);
+    ExecEngine engineFor(int actor_id) const;
+    const bytecode::CompiledActor& ensureCompiled(const graph::Actor& a);
 
     const graph::FlatGraph* graph_;
     const schedule::Schedule* sched_;
     machine::CostSink* cost_;
+    /** Machine for bytecode charge resolution, captured from the cost
+     *  sink at construction (stable across runInit's cost nulling). */
+    const machine::MachineDesc* machine_;
     support::Trace* trace_ = nullptr;
+    ExecEngine engine_;
 
     std::vector<std::unique_ptr<Tape>> tapes_;
     std::vector<Env> locals_;
     std::vector<Env> states_;
     std::vector<ActorExecConfig> configs_;
     std::vector<std::int64_t> fireCounts_;
+    /** Stable loop ids over each filter's work body (tree engine). */
+    std::vector<Executor::LoopIds> loopIds_;
+    std::vector<std::unique_ptr<bytecode::CompiledActor>> compiled_;
+    std::vector<ActorFrame> frames_;
+    Vm vm_;
+    double compileMicros_ = 0.0;
+    std::vector<Tape*> sinkTapes_;
     std::vector<Value> captured_;
     bool captureEnabled_ = true;
     bool initDone_ = false;

@@ -9,59 +9,37 @@
 
 namespace macross::interp {
 
-namespace {
-
-/** Logical indexes below this many behind rp trigger compaction. */
-constexpr std::int64_t kCompactThreshold = 1 << 16;
-
-} // namespace
-
 std::int64_t
-Tape::mapRead(std::int64_t logical) const
+Tape::mapReadSlow(std::int64_t logical) const
 {
-    if (!readT_.enabled)
-        return logical;
     return machine::transposedAddress(logical, readT_.rate,
                                       readT_.simdWidth);
 }
 
 std::int64_t
-Tape::mapWrite(std::int64_t logical) const
+Tape::mapWriteSlow(std::int64_t logical) const
 {
-    if (!writeT_.enabled)
-        return logical;
     return machine::transposedAddress(logical, writeT_.rate,
                                       writeT_.simdWidth);
 }
 
-void
-Tape::ensure(std::int64_t logical) const
-{
-    std::int64_t idx = logical - base_;
-    panicIf(idx < 0, "tape access below compaction base");
-    if (static_cast<std::int64_t>(buf_.size()) <= idx)
-        buf_.resize(idx + 1, Value::zero(elem_));
-}
-
 Value
-Tape::read(std::int64_t logical) const
+Tape::box(std::uint32_t bits) const
 {
-    ensure(logical);
-    return buf_[logical - base_];
+    Value v = Value::zero(elem_);
+    v.setRawBits(0, bits);
+    return v;
 }
 
 void
-Tape::write(std::int64_t logical, const Value& v)
+Tape::captureSlow(std::uint32_t bits)
 {
-    ensure(logical);
-    buf_[logical - base_] = v;
+    capture_->push_back(box(bits));
 }
 
 void
-Tape::compact()
+Tape::compactSlow()
 {
-    if (rp_ - base_ < kCompactThreshold)
-        return;
     std::int64_t cut = rp_;
     if (readT_.enabled) {
         std::int64_t block = readT_.rate * readT_.simdWidth;
@@ -81,93 +59,111 @@ Tape::compact()
 Value
 Tape::peek(std::int64_t offset) const
 {
-    panicIf(offset < 0, "negative peek offset");
-    panicIf(rp_ + offset >= wp_, "peek(", offset,
-            ") beyond available data (", available(), " elements)");
-    return read(mapRead(rp_ + offset));
+    return box(peekRaw(offset));
 }
 
 Value
 Tape::pop()
 {
-    panicIf(rp_ >= wp_, "pop from empty tape");
-    Value v = read(mapRead(rp_));
-    ++rp_;
-    if (popObserver_)
-        popObserver_(v);
-    compact();
-    return v;
+    return box(popRaw());
 }
 
 void
 Tape::push(const Value& v)
 {
     panicIf(v.lanes() != 1, "scalar push of vector value");
-    write(mapWrite(wp_), v);
-    ++wp_;
-    ++totalPushed_;
-    maxOccupancy_ = std::max(maxOccupancy_, wp_ - rp_);
+    pushRaw(v.rawBits(0));
+}
+
+void
+Tape::rpushRaw(std::uint32_t bits, std::int64_t offset)
+{
+    panicIf(writeT_.enabled,
+            "rpush on a transposed-write tape endpoint");
+    panicIf(offset < 0, "negative rpush offset");
+    write(wp_ + offset, bits);
 }
 
 void
 Tape::rpush(const Value& v, std::int64_t offset)
 {
-    panicIf(writeT_.enabled,
-            "rpush on a transposed-write tape endpoint");
     panicIf(v.lanes() != 1, "scalar rpush of vector value");
-    panicIf(offset < 0, "negative rpush offset");
-    write(wp_ + offset, v);
+    rpushRaw(v.rawBits(0), offset);
+}
+
+void
+Tape::vpeekRaw(std::uint32_t* dst, std::int64_t offset,
+               int lanes) const
+{
+    panicIf(readT_.enabled, "vector read on a transposed-read tape");
+    panicIf(offset < 0, "negative vpeek offset");
+    panicIf(rp_ + offset + lanes > wp_, "vpeek beyond available data");
+    for (int l = 0; l < lanes; ++l)
+        dst[l] = read(rp_ + offset + l);
 }
 
 Value
 Tape::vpeek(std::int64_t offset, int lanes) const
 {
-    panicIf(readT_.enabled, "vector read on a transposed-read tape");
-    panicIf(offset < 0, "negative vpeek offset");
-    panicIf(rp_ + offset + lanes > wp_, "vpeek beyond available data");
     Value out = Value::zero(elem_.widened(lanes));
-    for (int l = 0; l < lanes; ++l)
-        out.setRawBits(l, read(rp_ + offset + l).rawBits(0));
+    vpeekRaw(out.rawData(), offset, lanes);
     return out;
+}
+
+void
+Tape::vpopRaw(std::uint32_t* dst, int lanes)
+{
+    panicIf(readT_.enabled, "vector read on a transposed-read tape");
+    panicIf(rp_ + lanes > wp_, "vpop beyond available data");
+    for (int l = 0; l < lanes; ++l) {
+        dst[l] = read(rp_ + l);
+        capture(dst[l]);
+    }
+    rp_ += lanes;
+    compact();
 }
 
 Value
 Tape::vpop(int lanes)
 {
-    panicIf(readT_.enabled, "vector read on a transposed-read tape");
-    panicIf(rp_ + lanes > wp_, "vpop beyond available data");
     Value out = Value::zero(elem_.widened(lanes));
-    for (int l = 0; l < lanes; ++l) {
-        Value e = read(rp_ + l);
-        out.setRawBits(l, e.rawBits(0));
-        if (popObserver_)
-            popObserver_(e);
-    }
-    rp_ += lanes;
-    compact();
+    vpopRaw(out.rawData(), lanes);
     return out;
+}
+
+void
+Tape::vpushRaw(const std::uint32_t* src, int lanes)
+{
+    panicIf(writeT_.enabled, "vector write on a transposed-write tape");
+    panicIf(lanes < 2, "vpush of scalar value");
+    for (int l = 0; l < lanes; ++l)
+        write(wp_ + l, src[l]);
+    wp_ += lanes;
+    totalPushed_ += lanes;
+    maxOccupancy_ = std::max(maxOccupancy_, wp_ - rp_);
 }
 
 void
 Tape::vpush(const Value& v)
 {
+    vpushRaw(v.rawData(), v.lanes());
+}
+
+void
+Tape::vrpushRaw(const std::uint32_t* src, int lanes,
+                std::int64_t offset)
+{
     panicIf(writeT_.enabled, "vector write on a transposed-write tape");
-    panicIf(v.lanes() < 2, "vpush of scalar value");
-    for (int l = 0; l < v.lanes(); ++l)
-        write(wp_ + l, v.lane(l));
-    wp_ += v.lanes();
-    totalPushed_ += v.lanes();
-    maxOccupancy_ = std::max(maxOccupancy_, wp_ - rp_);
+    panicIf(lanes < 2, "vrpush of scalar value");
+    panicIf(offset < 0, "negative vrpush offset");
+    for (int l = 0; l < lanes; ++l)
+        write(wp_ + offset + l, src[l]);
 }
 
 void
 Tape::vrpush(const Value& v, std::int64_t offset)
 {
-    panicIf(writeT_.enabled, "vector write on a transposed-write tape");
-    panicIf(v.lanes() < 2, "vrpush of scalar value");
-    panicIf(offset < 0, "negative vrpush offset");
-    for (int l = 0; l < v.lanes(); ++l)
-        write(wp_ + offset + l, v.lane(l));
+    vrpushRaw(v.rawData(), v.lanes(), offset);
 }
 
 void

@@ -8,6 +8,13 @@
  * with a later AdvanceOut publishing them (the paper's Section 3.1
  * access discipline for SIMDized actors).
  *
+ * Storage is raw 32-bit lanes (one std::uint32_t per scalar element),
+ * not boxed Value objects: every element on a tape is a scalar of the
+ * tape's element type, so the type tag and lane padding of Value are
+ * redundant per element. The Value-typed accessors box/unbox at the
+ * boundary for the tree engine and splitters/joiners; the *Raw
+ * accessors are the bytecode VM's fast path.
+ *
  * For the SAGU tape optimization a tape can be placed in a transposed
  * layout (Section 3.4): the vectorized endpoint performs contiguous
  * vector accesses while the scalar endpoint's accesses are remapped
@@ -17,11 +24,12 @@
  */
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "interp/value.h"
+#include "support/diagnostics.h"
 
 namespace macross::interp {
 
@@ -60,6 +68,23 @@ class Tape {
     void vrpush(const Value& v, std::int64_t offset);
     /** @} */
 
+    /** @name Raw-lane accesses (the bytecode VM's fast path).
+     *  Semantics (bounds checks, transposition, capture, stats) are
+     *  identical to the Value-typed accessors above.
+     *  @{
+     */
+    std::uint32_t popRaw();
+    std::uint32_t peekRaw(std::int64_t offset) const;
+    void pushRaw(std::uint32_t bits);
+    void rpushRaw(std::uint32_t bits, std::int64_t offset);
+    void vpopRaw(std::uint32_t* dst, int lanes);
+    void vpeekRaw(std::uint32_t* dst, std::int64_t offset,
+                  int lanes) const;
+    void vpushRaw(const std::uint32_t* src, int lanes);
+    void vrpushRaw(const std::uint32_t* src, int lanes,
+                   std::int64_t offset);
+    /** @} */
+
     void advanceIn(std::int64_t n);
     void advanceOut(std::int64_t n);
 
@@ -69,13 +94,12 @@ class Tape {
     void setWriteTranspose(TransposeSpec t) { writeT_ = t; }
 
     /**
-     * Observe every element the consumer pops, in consumption order
-     * (used to capture program output at the sink).
+     * Capture every element the consumer pops, in consumption order,
+     * into @p buf (used to record program output at the sink). Null
+     * disables capture. A plain buffer pointer, not a callback: this
+     * sits on the hottest loop of every run.
      */
-    void setPopObserver(std::function<void(const Value&)> fn)
-    {
-        popObserver_ = std::move(fn);
-    }
+    void setCaptureBuffer(std::vector<Value>* buf) { capture_ = buf; }
 
     /** Total elements ever pushed (for stats). */
     std::int64_t totalPushed() const { return totalPushed_; }
@@ -83,23 +107,114 @@ class Tape {
     std::int64_t maxOccupancy() const { return maxOccupancy_; }
 
   private:
-    Value read(std::int64_t logical) const;
-    void write(std::int64_t logical, const Value& v);
+    // The scalar push/pop paths are the single hottest loop of every
+    // run, so they (and these helpers) are inline below with only the
+    // rare branches (transposition, capture, compaction) calling
+    // out-of-line *Slow bodies.
+    std::uint32_t read(std::int64_t logical) const;
+    void write(std::int64_t logical, std::uint32_t bits);
     void ensure(std::int64_t logical) const;
     void compact();
     std::int64_t mapRead(std::int64_t logical) const;
     std::int64_t mapWrite(std::int64_t logical) const;
+    std::int64_t mapReadSlow(std::int64_t logical) const;
+    std::int64_t mapWriteSlow(std::int64_t logical) const;
+    Value box(std::uint32_t bits) const;
+    void capture(std::uint32_t bits);
+    void captureSlow(std::uint32_t bits);
+    void compactSlow();
+
+    /** Logical indexes below this many behind rp trigger compaction. */
+    static constexpr std::int64_t kCompactThreshold = 1 << 16;
 
     ir::Type elem_;
-    mutable std::vector<Value> buf_;
+    mutable std::vector<std::uint32_t> buf_;
     std::int64_t base_ = 0;  ///< Logical index of buf_[0].
     std::int64_t rp_ = 0;
     std::int64_t wp_ = 0;
     TransposeSpec readT_;
     TransposeSpec writeT_;
-    std::function<void(const Value&)> popObserver_;
+    std::vector<Value>* capture_ = nullptr;
     std::int64_t totalPushed_ = 0;
     std::int64_t maxOccupancy_ = 0;
 };
+
+inline std::int64_t
+Tape::mapRead(std::int64_t logical) const
+{
+    return readT_.enabled ? mapReadSlow(logical) : logical;
+}
+
+inline std::int64_t
+Tape::mapWrite(std::int64_t logical) const
+{
+    return writeT_.enabled ? mapWriteSlow(logical) : logical;
+}
+
+inline void
+Tape::ensure(std::int64_t logical) const
+{
+    std::int64_t idx = logical - base_;
+    panicIf(idx < 0, "tape access below compaction base");
+    if (static_cast<std::int64_t>(buf_.size()) <= idx)
+        buf_.resize(idx + 1, 0);
+}
+
+inline std::uint32_t
+Tape::read(std::int64_t logical) const
+{
+    ensure(logical);
+    return buf_[logical - base_];
+}
+
+inline void
+Tape::write(std::int64_t logical, std::uint32_t bits)
+{
+    ensure(logical);
+    buf_[logical - base_] = bits;
+}
+
+inline void
+Tape::capture(std::uint32_t bits)
+{
+    if (capture_)
+        captureSlow(bits);
+}
+
+inline void
+Tape::compact()
+{
+    if (rp_ - base_ >= kCompactThreshold)
+        compactSlow();
+}
+
+inline std::uint32_t
+Tape::peekRaw(std::int64_t offset) const
+{
+    panicIf(offset < 0, "negative peek offset");
+    panicIf(rp_ + offset >= wp_, "peek(", offset,
+            ") beyond available data (", available(), " elements)");
+    return read(mapRead(rp_ + offset));
+}
+
+inline std::uint32_t
+Tape::popRaw()
+{
+    panicIf(rp_ >= wp_, "pop from empty tape");
+    std::uint32_t bits = read(mapRead(rp_));
+    ++rp_;
+    capture(bits);
+    compact();
+    return bits;
+}
+
+inline void
+Tape::pushRaw(std::uint32_t bits)
+{
+    write(mapWrite(wp_), bits);
+    ++wp_;
+    ++totalPushed_;
+    maxOccupancy_ = std::max(maxOccupancy_, wp_ - rp_);
+}
 
 } // namespace macross::interp

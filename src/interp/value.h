@@ -46,6 +46,10 @@ class Value {
     void setRawBits(int lane, std::uint32_t b) { bits_[lane] = b; }
     void setType(ir::Type t) { type_ = t; }
 
+    /** Direct lane storage (for the raw-lane tape fast paths). */
+    std::uint32_t* rawData() { return bits_.data(); }
+    const std::uint32_t* rawData() const { return bits_.data(); }
+
     /** Extract lane @p lane as a scalar value. */
     Value lane(int lane) const;
 

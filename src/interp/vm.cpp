@@ -1,0 +1,458 @@
+/**
+ * @file
+ * Bytecode VM implementation.
+ */
+#include "interp/vm.h"
+
+#include "interp/ops.h"
+#include "support/diagnostics.h"
+
+/**
+ * Direct-threaded dispatch (GNU computed goto) replaces the switch's
+ * bounds-check + shared indirect jump with one indirect jump per
+ * opcode, which branch predictors track far better. The switch
+ * fallback below is semantically identical.
+ */
+#if defined(__GNUC__) || defined(__clang__)
+#define MACROSS_VM_COMPUTED_GOTO 1
+#else
+#define MACROSS_VM_COMPUTED_GOTO 0
+#endif
+
+namespace macross::interp {
+
+using bytecode::Code;
+using bytecode::Instr;
+using bytecode::Op;
+
+namespace {
+
+/**
+ * Copy @p s into @p d, moving only the type tag and the active lanes.
+ * Register/slot traffic is the VM's hottest data path and most values
+ * are scalar, so copying the full kMaxLanes payload of Value would
+ * waste most of the bandwidth. Lanes beyond the type's lane count are
+ * never observable (tapes store raw active lanes only).
+ */
+inline void
+copyActive(Value& d, const Value& s)
+{
+    const ir::Type t = s.type();
+    d.setType(t);
+    const std::uint32_t* sb = s.rawData();
+    std::uint32_t* db = d.rawData();
+    for (int l = 0; l < t.lanes; ++l)
+        db[l] = sb[l];
+}
+
+} // namespace
+
+void
+ActorFrame::init(const bytecode::CompiledActor& ca)
+{
+    slots = ca.slotInit;
+    arrays.clear();
+    arrays.reserve(ca.arrays.size());
+    for (const bytecode::ArraySpec& spec : ca.arrays) {
+        arrays.emplace_back(
+            std::vector<Value>(spec.size, Value::zero(spec.elem)));
+    }
+    regs.assign(std::max(ca.init.numRegs, ca.work.numRegs), Value{});
+}
+
+void
+Vm::run(const Code& code, ActorFrame& frame, Tape* in, Tape* out,
+        machine::CostSink* sink, const Executor::LoopPlans* plans,
+        bool charging)
+{
+    if (sink)
+        runImpl<true>(code, frame, in, out, sink, plans, charging);
+    else
+        runImpl<false>(code, frame, in, out, sink, plans, charging);
+}
+
+template <bool kSink>
+void
+Vm::runImpl(const Code& code, ActorFrame& frame, Tape* in, Tape* out,
+            machine::CostSink* sink, const Executor::LoopPlans* plans,
+            bool charging)
+{
+    loops_.clear();
+    Value* regs = frame.regs.data();
+    Value* slots = frame.slots.data();
+    const Instr* ins = code.instrs.data();
+    const Value* consts = code.consts.data();
+    const bytecode::Charge* pool = code.chargePool.data();
+    std::int64_t pc = 0;
+
+    // Replay an instruction's pre-resolved charges in emission order;
+    // identical accumulation to the tree engine's charge() calls.
+    auto replay = [&](const Instr& I) {
+        if constexpr (kSink) {
+            if (charging) {
+                const bytecode::Charge* ch = pool + I.chargeBase;
+                for (int i = 0; i < I.nCharges; ++i)
+                    sink->chargeWeighted(ch[i].cls, ch[i].cycles);
+            }
+        }
+    };
+
+    // Iteration prologue shared by LoopEnter and LoopNext: set the
+    // induction variable and apply the tree engine's exact charge
+    // modulation (leader-only body charging on vectorized trips).
+    auto beginIter = [&](LoopFrame& f) {
+        Value& iv = slots[f.ivSlot];
+        iv.setType(ir::kInt32);
+        iv.setI(0, static_cast<std::int32_t>(f.lo + f.it));
+        if constexpr (!kSink)
+            return;
+        if (f.plan && f.it < f.vecTrips) {
+            bool leader = (f.it % f.plan->width) == 0;
+            charging = f.outerCharging && leader;
+            if (leader && charging) {
+                sink->chargeWeighted(f.overhead.cls, f.overhead.cycles);
+                sink->chargeCycles(f.plan->extraPerGroup);
+            }
+        } else {
+            charging = f.outerCharging;
+            if (charging)
+                sink->chargeWeighted(f.overhead.cls, f.overhead.cycles);
+        }
+    };
+
+#if MACROSS_VM_COMPUTED_GOTO
+    // One label per Op enumerator, in declaration order.
+    static const void* const kDispatch[] = {
+        &&L_Const,         &&L_LoadSlot,   &&L_StoreSlot,
+        &&L_StoreSlotLane, &&L_LoadElem,   &&L_StoreElem,
+        &&L_StoreElemLane, &&L_Unary,      &&L_Binary,
+        &&L_Call1,         &&L_Call2,      &&L_LaneRead,
+        &&L_Splat,         &&L_Pop,        &&L_Peek,
+        &&L_VPop,          &&L_VPeek,      &&L_Push,
+        &&L_RPush,         &&L_VPush,      &&L_VRPush,
+        &&L_AdvanceIn,     &&L_AdvanceOut, &&L_Jump,
+        &&L_BranchIfZero,  &&L_LoopEnter,  &&L_LoopNext,
+        &&L_Halt,          &&L_PeekS,      &&L_LoadElemS,
+    };
+#define VM_CASE(x) L_##x:
+#define VM_NEXT() goto* kDispatch[static_cast<int>(ins[pc].op)]
+    VM_NEXT();
+#else
+#define VM_CASE(x) case Op::x:
+#define VM_NEXT() break
+    for (;;) {
+        switch (ins[pc].op) {
+#endif
+
+    VM_CASE(Const) {
+        const Instr& I = ins[pc];
+        copyActive(regs[I.dst], consts[I.imm]);
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(LoadSlot) {
+        const Instr& I = ins[pc];
+        copyActive(regs[I.dst], slots[I.a]);
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(StoreSlot) {
+        const Instr& I = ins[pc];
+        copyActive(slots[I.a], regs[I.b]);
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(StoreSlotLane) {
+        const Instr& I = ins[pc];
+        replay(I);
+        slots[I.a].setRawBits(I.lane, regs[I.b].rawBits(0));
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(LoadElem) {
+        const Instr& I = ins[pc];
+        replay(I);
+        const std::vector<Value>& arr = frame.arrays[I.a];
+        std::int64_t idx = regs[I.b].i(0);
+        panicIf(idx < 0 ||
+                    idx >= static_cast<std::int64_t>(arr.size()),
+                "array index ", idx, " out of bounds (size ",
+                arr.size(), ")");
+        copyActive(regs[I.dst], arr[idx]);
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(StoreElem) {
+        const Instr& I = ins[pc];
+        replay(I);
+        std::vector<Value>& arr = frame.arrays[I.a];
+        std::int64_t idx = regs[I.b].i(0);
+        panicIf(idx < 0 ||
+                    idx >= static_cast<std::int64_t>(arr.size()),
+                "array index ", idx, " out of bounds (size ",
+                arr.size(), ")");
+        copyActive(arr[idx], regs[I.dst]);
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(StoreElemLane) {
+        const Instr& I = ins[pc];
+        replay(I);
+        std::vector<Value>& arr = frame.arrays[I.a];
+        std::int64_t idx = regs[I.b].i(0);
+        panicIf(idx < 0 ||
+                    idx >= static_cast<std::int64_t>(arr.size()),
+                "array index ", idx, " out of bounds (size ",
+                arr.size(), ")");
+        arr[idx].setRawBits(I.lane, regs[I.dst].rawBits(0));
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(Unary) {
+        const Instr& I = ins[pc];
+        replay(I);
+        ops::applyUnaryInto(regs[I.dst], I.uop, I.type, regs[I.a]);
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(Binary) {
+        const Instr& I = ins[pc];
+        replay(I);
+        ops::applyBinaryInto(regs[I.dst], I.bop, I.type2, I.type,
+                             regs[I.a], regs[I.b]);
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(Call1) {
+        const Instr& I = ins[pc];
+        replay(I);
+        ops::applyIntrinsic1Into(regs[I.dst], I.callee, I.type,
+                                 regs[I.a]);
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(Call2) {
+        const Instr& I = ins[pc];
+        replay(I);
+        regs[I.dst] =
+            ops::applyShuffle(I.callee, I.type, regs[I.a], regs[I.b]);
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(LaneRead) {
+        const Instr& I = ins[pc];
+        replay(I);
+        const std::uint32_t bits = regs[I.a].rawBits(I.lane);
+        Value& d = regs[I.dst];
+        d.setType(I.type);
+        d.setRawBits(0, bits);
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(Splat) {
+        const Instr& I = ins[pc];
+        replay(I);
+        ops::applySplatInto(regs[I.dst], I.type, regs[I.a]);
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(Pop) {
+        const Instr& I = ins[pc];
+        panicIf(!in, "pop with no input tape");
+        replay(I);
+        Value& d = regs[I.dst];
+        d.setType(I.type);
+        d.setRawBits(0, in->popRaw());
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(Peek) {
+        const Instr& I = ins[pc];
+        panicIf(!in, "peek with no input tape");
+        std::int64_t off = regs[I.a].i(0);
+        replay(I);
+        Value& d = regs[I.dst];
+        d.setType(I.type);
+        d.setRawBits(0, in->peekRaw(off));
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(VPop) {
+        const Instr& I = ins[pc];
+        panicIf(!in, "vpop with no input tape");
+        replay(I);
+        Value& d = regs[I.dst];
+        d.setType(I.type);
+        in->vpopRaw(d.rawData(), I.type.lanes);
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(VPeek) {
+        const Instr& I = ins[pc];
+        panicIf(!in, "vpeek with no input tape");
+        std::int64_t off = regs[I.a].i(0);
+        replay(I);
+        if constexpr (kSink) {
+            if (off % I.type.lanes != 0 && charging) {
+                const bytecode::Charge& ch =
+                    pool[I.chargeBase + I.nCharges];
+                sink->chargeWeighted(ch.cls, ch.cycles);
+            }
+        }
+        Value& d = regs[I.dst];
+        d.setType(I.type);
+        in->vpeekRaw(d.rawData(), off, I.type.lanes);
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(Push) {
+        const Instr& I = ins[pc];
+        panicIf(!out, "push with no output tape");
+        replay(I);
+        out->pushRaw(regs[I.a].rawBits(0));
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(RPush) {
+        const Instr& I = ins[pc];
+        panicIf(!out, "rpush with no output tape");
+        replay(I);
+        out->rpushRaw(regs[I.a].rawBits(0), regs[I.b].i(0));
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(VPush) {
+        const Instr& I = ins[pc];
+        panicIf(!out, "vpush with no output tape");
+        replay(I);
+        out->vpushRaw(regs[I.a].rawData(), I.type.lanes);
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(VRPush) {
+        const Instr& I = ins[pc];
+        panicIf(!out, "vrpush with no output tape");
+        std::int64_t off = regs[I.b].i(0);
+        replay(I);
+        if constexpr (kSink) {
+            if (off % I.type.lanes != 0 && charging) {
+                const bytecode::Charge& ch =
+                    pool[I.chargeBase + I.nCharges];
+                sink->chargeWeighted(ch.cls, ch.cycles);
+            }
+        }
+        out->vrpushRaw(regs[I.a].rawData(), I.type.lanes, off);
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(AdvanceIn) {
+        const Instr& I = ins[pc];
+        panicIf(!in, "advance_in with no input tape");
+        replay(I);
+        in->advanceIn(I.imm);
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(AdvanceOut) {
+        const Instr& I = ins[pc];
+        panicIf(!out, "advance_out with no output tape");
+        replay(I);
+        out->advanceOut(I.imm);
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(Jump) {
+        pc = ins[pc].imm;
+        VM_NEXT();
+    }
+    VM_CASE(BranchIfZero) {
+        const Instr& I = ins[pc];
+        replay(I);
+        pc = regs[I.a].i(0) == 0 ? I.imm : pc + 1;
+        VM_NEXT();
+    }
+    VM_CASE(LoopEnter) {
+        const Instr& I = ins[pc];
+        std::int64_t lo = regs[I.a].i(0);
+        std::int64_t hi = regs[I.b].i(0);
+        std::int64_t trips = std::max<std::int64_t>(0, hi - lo);
+        if (trips == 0) {
+            pc = I.imm;
+            VM_NEXT();
+        }
+        // Loop plans only modulate charging; with no sink the lookup
+        // is dead weight.
+        const LoopCostPlan* plan = nullptr;
+        if constexpr (kSink) {
+            if (plans) {
+                auto it = plans->find(I.lane);
+                if (it != plans->end())
+                    plan = &it->second;
+            }
+        }
+        LoopFrame f;
+        f.lo = lo;
+        f.trips = trips;
+        f.it = 0;
+        f.vecTrips = plan ? (trips / plan->width) * plan->width : 0;
+        f.bodyPC = pc + 1;
+        f.plan = plan;
+        f.outerCharging = charging;
+        f.ivSlot = I.dst;
+        f.overhead = pool[I.chargeBase];
+        loops_.push_back(f);
+        beginIter(loops_.back());
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(LoopNext) {
+        const Instr& I = ins[pc];
+        LoopFrame& f = loops_.back();
+        ++f.it;
+        if (f.it < f.trips) {
+            beginIter(f);
+            pc = I.imm;
+        } else {
+            charging = f.outerCharging;
+            loops_.pop_back();
+            ++pc;
+        }
+        VM_NEXT();
+    }
+    VM_CASE(Halt) {
+        return;
+    }
+    VM_CASE(PeekS) {
+        const Instr& I = ins[pc];
+        panicIf(!in, "peek with no input tape");
+        std::int64_t off = slots[I.a].i(0);
+        replay(I);
+        Value& d = regs[I.dst];
+        d.setType(I.type);
+        d.setRawBits(0, in->peekRaw(off));
+        ++pc;
+        VM_NEXT();
+    }
+    VM_CASE(LoadElemS) {
+        const Instr& I = ins[pc];
+        replay(I);
+        const std::vector<Value>& arr = frame.arrays[I.a];
+        std::int64_t idx = slots[I.b].i(0);
+        panicIf(idx < 0 ||
+                    idx >= static_cast<std::int64_t>(arr.size()),
+                "array index ", idx, " out of bounds (size ",
+                arr.size(), ")");
+        copyActive(regs[I.dst], arr[idx]);
+        ++pc;
+        VM_NEXT();
+    }
+
+#if !MACROSS_VM_COMPUTED_GOTO
+        }
+    }
+#endif
+#undef VM_CASE
+#undef VM_NEXT
+}
+
+} // namespace macross::interp

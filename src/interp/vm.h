@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Bytecode VM: executes compiled actor bodies (interp/bytecode.h)
+ * against an actor frame and the actor's tapes.
+ *
+ * The VM is the production engine; the tree-walking Executor is kept
+ * as the reference oracle. Both produce bit-identical values (shared
+ * semantics in interp/ops.h, same tape runtime) and bit-identical
+ * modeled cycle totals (each instruction replays the pre-resolved
+ * charges the tree engine would issue at the same point, in the same
+ * order, through CostSink::chargeWeighted).
+ *
+ * Loop cost plans are looked up per LoopEnter by the stable loop id
+ * the instruction carries, so the same Executor::LoopPlans object an
+ * autovec model produced drives both engines.
+ */
+#pragma once
+
+#include <vector>
+
+#include "interp/bytecode.h"
+#include "interp/executor.h"
+#include "interp/tape.h"
+#include "machine/cost_sink.h"
+
+namespace macross::interp {
+
+/**
+ * Per-actor persistent storage for the bytecode engine: dense scalar
+ * slots (the compiled replacement for the locals/state Envs) and
+ * array backing stores. Slots persist across firings, matching the
+ * Env-based engine where locals physically persist and state must.
+ */
+struct ActorFrame {
+    std::vector<Value> slots;
+    std::vector<std::vector<Value>> arrays;
+    std::vector<Value> regs;
+
+    /** Size and zero-initialize storage for @p ca. */
+    void init(const bytecode::CompiledActor& ca);
+};
+
+/** Dispatch-loop interpreter for compiled actor bodies. */
+class Vm {
+  public:
+    /**
+     * Execute @p code to its Halt.
+     *
+     * @param frame    The actor's persistent slots/arrays/registers.
+     * @param in,out   Input/output tapes (null when absent).
+     * @param sink     Cost sink, or null to run uncosted.
+     * @param plans    Per-loop cost plans keyed by stable loop id
+     *                 (null for none).
+     * @param charging Initial charging state (outer-loop grouping).
+     */
+    void run(const bytecode::Code& code, ActorFrame& frame, Tape* in,
+             Tape* out, machine::CostSink* sink,
+             const Executor::LoopPlans* plans, bool charging = true);
+
+  private:
+    /**
+     * The dispatch loop, specialized on sink presence: without a cost
+     * sink every charge replay (and the loop-plan charge modulation)
+     * is a no-op, so the uncosted loop — the wall-time-oriented path
+     * microbenchmarks and capture-only runs take — carries none of
+     * the charging branches.
+     */
+    template <bool kSink>
+    void runImpl(const bytecode::Code& code, ActorFrame& frame,
+                 Tape* in, Tape* out, machine::CostSink* sink,
+                 const Executor::LoopPlans* plans, bool charging);
+
+    /** One active For loop (mirrors the tree engine's loop state). */
+    struct LoopFrame {
+        std::int64_t lo = 0;
+        std::int64_t trips = 0;
+        std::int64_t it = 0;
+        std::int64_t vecTrips = 0;
+        std::int64_t bodyPC = 0;
+        const LoopCostPlan* plan = nullptr;
+        bool outerCharging = true;
+        std::uint16_t ivSlot = 0;
+        bytecode::Charge overhead;
+    };
+
+    std::vector<LoopFrame> loops_;  ///< Reused across run() calls.
+};
+
+} // namespace macross::interp

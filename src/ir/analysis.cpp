@@ -274,4 +274,52 @@ writesOutputTape(const std::vector<StmtPtr>& stmts)
     return found;
 }
 
+std::unordered_map<const Stmt*, int>
+numberLoops(const std::vector<StmtPtr>& stmts)
+{
+    // walkStmts visits in the required pre-order (node, body,
+    // elseBody); numbering For statements in visit order gives the
+    // structural ids.
+    std::unordered_map<const Stmt*, int> ids;
+    int next = 0;
+    walkStmts(stmts, [&](const Stmt& s) {
+        if (s.kind == StmtKind::For)
+            ids.emplace(&s, next++);
+    });
+    return ids;
+}
+
+SlotAssignment
+assignSlots(const std::vector<StmtPtr>& init,
+            const std::vector<StmtPtr>& work)
+{
+    SlotAssignment sa;
+    auto note = [&](const Var* v) {
+        if (!v)
+            return;
+        if (v->isArray()) {
+            if (sa.arrayId.emplace(v, sa.numArrays()).second)
+                sa.arrayVars.push_back(v);
+        } else {
+            if (sa.scalarSlot.emplace(v, sa.numScalars()).second)
+                sa.scalarVars.push_back(v);
+        }
+    };
+    auto noteBody = [&](const std::vector<StmtPtr>& body) {
+        walkStmts(body, [&](const Stmt& s) {
+            note(s.var.get());
+            auto noteExprVars = [&](const ExprPtr& e) {
+                walkExpr(e, [&](const Expr& x) {
+                    note(x.var.get());
+                });
+            };
+            noteExprVars(s.a);
+            noteExprVars(s.b);
+        });
+    };
+    noteBody(init);
+    noteBody(work);
+    return sa;
+}
+
 } // namespace macross::ir

@@ -10,6 +10,7 @@
 
 #include <functional>
 #include <optional>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -62,5 +63,45 @@ bool readsInputTape(const std::vector<StmtPtr>& stmts);
 
 /** True if any push/rpush/vpush appears in the statement list. */
 bool writesOutputTape(const std::vector<StmtPtr>& stmts);
+
+/**
+ * Stable loop ids: each For statement numbered by its pre-order
+ * position in @p stmts (For visited before its body, body before
+ * elseBody). The numbering is structural, so it is identical for a
+ * statement tree and any clone of it — unlike `const Stmt*` keys,
+ * which silently go stale when a consumer (e.g. an autovec loop plan)
+ * outlives the tree it was derived from. Both execution engines and
+ * the autovec models key per-loop cost plans by these ids.
+ */
+std::unordered_map<const Stmt*, int>
+numberLoops(const std::vector<StmtPtr>& stmts);
+
+/**
+ * Dense storage assignment for every variable an actor's bodies
+ * reference: scalars get consecutive env slots, arrays consecutive
+ * array ids, both in first-reference order over init then work. The
+ * bytecode compiler resolves VarRef/Load/Store through this map so
+ * the VM indexes flat vectors instead of hashing Var pointers.
+ */
+struct SlotAssignment {
+    std::unordered_map<const Var*, int> scalarSlot;
+    std::unordered_map<const Var*, int> arrayId;
+    /** Slot/id -> variable, for storage sizing and reports. */
+    std::vector<const Var*> scalarVars;
+    std::vector<const Var*> arrayVars;
+
+    int numScalars() const
+    {
+        return static_cast<int>(scalarVars.size());
+    }
+    int numArrays() const
+    {
+        return static_cast<int>(arrayVars.size());
+    }
+};
+
+/** Assign slots over an actor's init and work bodies. */
+SlotAssignment assignSlots(const std::vector<StmtPtr>& init,
+                           const std::vector<StmtPtr>& work);
 
 } // namespace macross::ir

@@ -69,14 +69,14 @@ enum class ExprKind {
 };
 
 /** Unary operators. */
-enum class UnaryOp {
+enum class UnaryOp : std::uint8_t {
     Neg,
     Not,     ///< Logical not (int).
     BitNot,
 };
 
 /** Binary operators. */
-enum class BinaryOp {
+enum class BinaryOp : std::uint8_t {
     Add, Sub, Mul, Div, Mod,
     Min, Max,
     Shl, Shr,
@@ -85,7 +85,7 @@ enum class BinaryOp {
 };
 
 /** Intrinsic functions callable from actor code. */
-enum class Intrinsic {
+enum class Intrinsic : std::uint8_t {
     Sqrt, Sin, Cos, Exp, Log, Abs, Floor,
     ToFloat,      ///< int -> float conversion.
     ToInt,        ///< float -> int (truncating) conversion.

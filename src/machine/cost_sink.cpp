@@ -22,7 +22,12 @@ CostSink::setCurrentActor(int actor_id)
 void
 CostSink::charge(OpClass c, int lanes, std::int64_t count)
 {
-    double cycles = machine_->vectorCost(c, lanes) * count;
+    chargeWeighted(c, machine_->vectorCost(c, lanes) * count, count);
+}
+
+void
+CostSink::chargeWeighted(OpClass c, double cycles, std::int64_t count)
+{
     total_ += cycles;
     byClass_[static_cast<int>(c)] += cycles;
     opsByClass_[static_cast<int>(c)] += count;

@@ -31,6 +31,15 @@ class CostSink {
     /** Charge @p count ops of class @p c over @p lanes lanes. */
     void charge(OpClass c, int lanes = 1, std::int64_t count = 1);
 
+    /**
+     * Charge @p count ops of class @p c with a pre-resolved cycle
+     * total. The bytecode engine resolves `vectorCost(c, lanes) *
+     * count` once at compile time and replays it here; attribution
+     * (total, per class, per actor x class) is identical to charge().
+     */
+    void chargeWeighted(OpClass c, double cycles,
+                        std::int64_t count = 1);
+
     /** Charge an explicit cycle amount (for modeled overheads). */
     void chargeCycles(double cycles);
 

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Unit tests for the firing compiler and the bytecode VM: lowering
+ * shape, pre-resolved charges, stable loop ids, and agreement with
+ * the tree-walking oracle on a single compiled actor.
+ */
+#include "interp/compile_actor.h"
+
+#include <gtest/gtest.h>
+
+#include "interp/executor.h"
+#include "interp/vm.h"
+#include "ir/analysis.h"
+#include "machine/machine_desc.h"
+
+namespace macross::interp {
+namespace {
+
+using namespace ir;
+using bytecode::CompiledActor;
+using bytecode::CompileOptions;
+using bytecode::Instr;
+using bytecode::Op;
+using machine::OpClass;
+
+/** Stateful 1->1 filter: y = x - prev_in + 0.995 * prev_out. */
+graph::FilterDefPtr
+makeDcBlock()
+{
+    graph::FilterBuilder f("DcBlock", kFloat32, kFloat32);
+    f.rates(1, 1, 1);
+    auto prevIn = f.state("prev_in", kFloat32);
+    auto prevOut = f.state("prev_out", kFloat32);
+    auto x = f.local("x", kFloat32);
+    auto y = f.local("y", kFloat32);
+    f.init().assign(prevIn, floatImm(0.0f));
+    f.init().assign(prevOut, floatImm(0.0f));
+    f.work().assign(x, f.pop());
+    f.work().assign(y, varRef(x) - varRef(prevIn) +
+                           floatImm(0.995f) * varRef(prevOut));
+    f.work().assign(prevIn, varRef(x));
+    f.work().assign(prevOut, varRef(y));
+    f.work().push(varRef(y));
+    return f.build();
+}
+
+/** 1->1 filter whose work body runs an 8-trip inner loop. */
+graph::FilterDefPtr
+makeLoopFilter()
+{
+    graph::FilterBuilder f("LoopFilter", kFloat32, kFloat32);
+    f.rates(1, 1, 1);
+    auto x = f.local("x", kFloat32);
+    auto i = f.local("i", kInt32);
+    f.work().assign(x, f.pop());
+    f.work().forLoop(i, 0, 8, [&](BlockBuilder& b) {
+        b.assign(x, varRef(x) * floatImm(0.5f) + floatImm(1.0f));
+    });
+    f.work().push(varRef(x));
+    return f.build();
+}
+
+const Instr*
+findOp(const bytecode::Code& code, Op op)
+{
+    for (const auto& in : code.instrs) {
+        if (in.op == op)
+            return &in;
+    }
+    return nullptr;
+}
+
+TEST(Bytecode, CompilesAndDisassembles)
+{
+    machine::MachineDesc m = machine::coreI7();
+    auto def = makeDcBlock();
+    CompiledActor ca = bytecode::compileActor(*def, {&m});
+
+    // Two state + two local scalars -> four dense slots, no arrays.
+    EXPECT_EQ(ca.numSlots, 4);
+    EXPECT_TRUE(ca.arrays.empty());
+    EXPECT_FALSE(ca.init.empty());
+    EXPECT_FALSE(ca.work.empty());
+    EXPECT_GT(ca.work.numRegs, 0);
+
+    std::string dis = bytecode::disassemble(ca.work);
+    EXPECT_NE(dis.find("pop"), std::string::npos);
+    EXPECT_NE(dis.find("push"), std::string::npos);
+    EXPECT_NE(dis.find("store_slot"), std::string::npos);
+    EXPECT_NE(dis.find("halt"), std::string::npos);
+}
+
+TEST(Bytecode, ChargesArePreResolved)
+{
+    machine::MachineDesc m = machine::coreI7();
+    auto def = makeDcBlock();
+    CompiledActor ca = bytecode::compileActor(*def, {&m});
+
+    const Instr* pop = findOp(ca.work, Op::Pop);
+    ASSERT_NE(pop, nullptr);
+    ASSERT_GE(pop->nCharges, 2);
+    const auto& popCh = ca.work.chargePool;
+    EXPECT_EQ(popCh[pop->chargeBase].cls, OpClass::ScalarLoad);
+    EXPECT_DOUBLE_EQ(popCh[pop->chargeBase].cycles,
+                     m.vectorCost(OpClass::ScalarLoad, 1));
+    EXPECT_EQ(popCh[pop->chargeBase + 1].cls, OpClass::AddrCalc);
+
+    const Instr* mul = findOp(ca.work, Op::Binary);
+    ASSERT_NE(mul, nullptr);
+    ASSERT_EQ(mul->nCharges, 1);
+    EXPECT_DOUBLE_EQ(popCh[mul->chargeBase].cycles,
+                     m.vectorCost(popCh[mul->chargeBase].cls, 1));
+
+    // A null machine compiles with zero weights (uncosted runners).
+    CompiledActor flat = bytecode::compileActor(*def, {});
+    const Instr* pop2 = findOp(flat.work, Op::Pop);
+    ASSERT_NE(pop2, nullptr);
+    EXPECT_DOUBLE_EQ(flat.work.chargePool[pop2->chargeBase].cycles,
+                     0.0);
+}
+
+TEST(Bytecode, SaguChargesFollowTransposeFlags)
+{
+    machine::MachineDesc m = machine::coreI7WithSagu();
+    auto def = makeDcBlock();
+    CompileOptions opts{&m};
+    opts.saguIn = true;
+    CompiledActor ca = bytecode::compileActor(*def, opts);
+    const Instr* pop = findOp(ca.work, Op::Pop);
+    ASSERT_NE(pop, nullptr);
+    ASSERT_EQ(pop->nCharges, 3);
+    EXPECT_EQ(ca.work.chargePool[pop->chargeBase + 2].cls,
+              OpClass::SaguWalk);
+    // Pushes are unaffected by the read-side transpose.
+    const Instr* push = findOp(ca.work, Op::Push);
+    ASSERT_NE(push, nullptr);
+    EXPECT_EQ(push->nCharges, 2);
+}
+
+TEST(Bytecode, VmMatchesExecutorOnFirings)
+{
+    machine::MachineDesc m = machine::coreI7();
+    auto def = makeDcBlock();
+    const int firings = 16;
+
+    // Bytecode engine.
+    CompiledActor ca = bytecode::compileActor(*def, {&m});
+    ActorFrame frame;
+    frame.init(ca);
+    Tape vmIn(kFloat32), vmOut(kFloat32);
+    machine::CostSink vmCost(m);
+    vmCost.setCurrentActor(0);
+    Vm vm;
+    vm.run(ca.init, frame, nullptr, nullptr, nullptr, nullptr);
+    for (int i = 0; i < firings; ++i) {
+        vmIn.push(Value::makeFloat(0.25f * i));
+        vm.run(ca.work, frame, &vmIn, &vmOut, &vmCost, nullptr);
+    }
+
+    // Tree oracle.
+    Env locals, state;
+    Tape exIn(kFloat32), exOut(kFloat32);
+    machine::CostSink exCost(m);
+    exCost.setCurrentActor(0);
+    Executor ex(locals, state, &exIn, &exOut, &exCost);
+    ex.run(def->init);
+    for (int i = 0; i < firings; ++i) {
+        exIn.push(Value::makeFloat(0.25f * i));
+        ex.run(def->work);
+    }
+
+    ASSERT_EQ(vmOut.available(), exOut.available());
+    for (int i = 0; i < firings; ++i) {
+        Value a = vmOut.pop(), b = exOut.pop();
+        ASSERT_EQ(a, b) << "firing " << i << ": " << a.str() << " vs "
+                        << b.str();
+    }
+    EXPECT_DOUBLE_EQ(vmCost.totalCycles(), exCost.totalCycles());
+}
+
+TEST(Bytecode, LoopEnterCarriesStableLoopId)
+{
+    machine::MachineDesc m = machine::coreI7();
+    auto def = makeLoopFilter();
+    CompiledActor ca = bytecode::compileActor(*def, {&m});
+
+    const Instr* enter = findOp(ca.work, Op::LoopEnter);
+    ASSERT_NE(enter, nullptr);
+    auto ids = ir::numberLoops(def->work);
+    ASSERT_EQ(ids.size(), 1u);
+    EXPECT_EQ(enter->lane, ids.begin()->second);
+    ASSERT_NE(findOp(ca.work, Op::LoopNext), nullptr);
+
+    // A loop cost plan keyed by that id modulates VM charging just
+    // like the tree engine: ~1/4 of the loop body cost at width 4.
+    auto runCost = [&](const Executor::LoopPlans* plans) {
+        ActorFrame frame;
+        frame.init(ca);
+        Tape in(kFloat32), out(kFloat32);
+        in.push(Value::makeFloat(1.0f));
+        machine::CostSink cost(m);
+        cost.setCurrentActor(0);
+        Vm vm;
+        vm.run(ca.work, frame, &in, &out, &cost, plans);
+        return cost.totalCycles();
+    };
+    double scalar = runCost(nullptr);
+    Executor::LoopPlans plans;
+    plans[enter->lane] = LoopCostPlan{4, 0.0};
+    double planned = runCost(&plans);
+    EXPECT_LT(planned, scalar * 0.5);
+    EXPECT_GT(planned, 0.0);
+}
+
+TEST(Bytecode, ZeroTripLoopSkipsBody)
+{
+    machine::MachineDesc m = machine::coreI7();
+    graph::FilterBuilder f("ZeroTrip", kFloat32, kFloat32);
+    f.rates(1, 1, 1);
+    auto x = f.local("x", kFloat32);
+    auto i = f.local("i", kInt32);
+    f.work().assign(x, f.pop());
+    f.work().forLoop(i, 5, 5, [&](BlockBuilder& b) {
+        b.assign(x, floatImm(-1.0f));
+    });
+    f.work().push(varRef(x));
+    auto def = f.build();
+
+    CompiledActor ca = bytecode::compileActor(*def, {&m});
+    ActorFrame frame;
+    frame.init(ca);
+    Tape in(kFloat32), out(kFloat32);
+    in.push(Value::makeFloat(7.0f));
+    Vm vm;
+    vm.run(ca.work, frame, &in, &out, nullptr, nullptr);
+    EXPECT_FLOAT_EQ(out.pop().f(), 7.0f);
+}
+
+} // namespace
+} // namespace macross::interp

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Differential tests of the two execution engines. The bytecode VM
+ * must reproduce the tree-walking oracle exactly: bit-identical
+ * captured output streams AND identical modeled cycle totals, on
+ * every suite benchmark and a battery of random programs, under
+ * scalar, macro-SIMDized, and SAGU-transposed configurations, and
+ * with the modeled auto-vectorizers' loop cost plans installed.
+ */
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "autovec/gcc_like.h"
+#include "autovec/icc_like.h"
+#include "benchmarks/random_graph.h"
+#include "benchmarks/suite.h"
+#include "lowering/lowered.h"
+
+namespace macross::interp {
+namespace {
+
+struct EngineRun {
+    std::vector<Value> out;
+    double cycles = 0.0;
+};
+
+enum class Autovec { None, Gcc, Icc };
+
+EngineRun
+runWith(const vectorizer::CompiledProgram& p,
+        const machine::MachineDesc& m, ExecEngine engine,
+        std::int64_t n, Autovec av = Autovec::None)
+{
+    machine::CostSink cost(m);
+    Runner r(p.graph, p.schedule, &cost, engine);
+    if (av != Autovec::None) {
+        lowering::LoweredProgram lp =
+            lowering::lower(p.graph, p.schedule);
+        auto result = av == Autovec::Gcc
+                          ? autovec::gccAutovectorize(lp, m)
+                          : autovec::iccAutovectorize(lp, m);
+        for (auto& [id, cfg] : result.configs)
+            r.setActorConfig(id, cfg);
+    }
+    r.runUntilCaptured(n);
+    EngineRun run;
+    run.out.assign(r.captured().begin(), r.captured().begin() + n);
+    run.cycles = cost.totalCycles();
+    return run;
+}
+
+/** The oracle property: same output bits, same modeled cycles. */
+void
+expectEnginesAgree(const vectorizer::CompiledProgram& p,
+                   const machine::MachineDesc& m, std::int64_t n,
+                   Autovec av = Autovec::None)
+{
+    EngineRun tree = runWith(p, m, ExecEngine::Tree, n, av);
+    EngineRun vm = runWith(p, m, ExecEngine::Bytecode, n, av);
+    testutil::expectSameStream(tree.out, vm.out);
+    EXPECT_DOUBLE_EQ(tree.cycles, vm.cycles);
+}
+
+struct Config {
+    const char* name;
+    bool simdize;
+    bool sagu;
+};
+
+const Config kConfigs[] = {
+    {"scalar", false, false},
+    {"macro", true, false},
+    {"macro+sagu", true, true},
+};
+
+void
+expectEnginesAgreeUnder(const graph::StreamPtr& program,
+                        const Config& cfg, std::int64_t n)
+{
+    machine::MachineDesc m =
+        cfg.sagu ? machine::coreI7WithSagu() : machine::coreI7();
+    if (!cfg.simdize) {
+        expectEnginesAgree(vectorizer::compileScalar(program), m, n);
+        return;
+    }
+    vectorizer::SimdizeOptions opts;
+    opts.forceSimdize = true;
+    opts.enableSagu = cfg.sagu;
+    opts.machine = m;
+    expectEnginesAgree(vectorizer::macroSimdize(program, opts), m, n);
+}
+
+class SuiteEngineDiff
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SuiteEngineDiff, BytecodeMatchesTreeOracle)
+{
+    auto [benchIdx, cfgIdx] = GetParam();
+    auto suite = benchmarks::standardSuite();
+    ASSERT_LT(static_cast<std::size_t>(benchIdx), suite.size());
+    const auto& bench = suite[benchIdx];
+    const Config& cfg = kConfigs[cfgIdx];
+    SCOPED_TRACE(bench.name + std::string(" / ") + cfg.name);
+    expectEnginesAgreeUnder(bench.program, cfg, 200);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarksAllConfigs, SuiteEngineDiff,
+    ::testing::Combine(::testing::Range(0, 12),
+                       ::testing::Range(0, 3)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+        auto suite = benchmarks::standardSuite();
+        std::string n = suite[std::get<0>(info.param)].name +
+                        std::string("_") +
+                        kConfigs[std::get<1>(info.param)].name;
+        for (auto& ch : n) {
+            if (ch == '-' || ch == '+')
+                ch = '_';
+        }
+        return n;
+    });
+
+class RandomEngineDiff
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RandomEngineDiff, BytecodeMatchesTreeOracle)
+{
+    auto [seedIdx, cfgIdx] = GetParam();
+    std::uint64_t seed = 7000 + seedIdx;
+    const Config& cfg = kConfigs[cfgIdx];
+    SCOPED_TRACE("seed " + std::to_string(seed) + " / " + cfg.name);
+    expectEnginesAgreeUnder(benchmarks::randomProgram(seed), cfg, 120);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomEngineDiff,
+                         ::testing::Combine(::testing::Range(0, 16),
+                                            ::testing::Range(0, 3)));
+
+// The auto-vectorizer models modulate loop charging through the
+// stable-loop-id plans; both engines must apply them identically.
+TEST(EngineDiff, AutovecLoopPlansChargeIdentically)
+{
+    machine::MachineDesc m = machine::coreI7();
+    for (auto maker : {benchmarks::makeDct, benchmarks::makeFft}) {
+        auto p = vectorizer::compileScalar(maker());
+        expectEnginesAgree(p, m, 200, Autovec::Gcc);
+        expectEnginesAgree(p, m, 200, Autovec::Icc);
+    }
+}
+
+// Engines can be mixed per actor: override half the filters to the
+// tree oracle while the rest run bytecode; output must not change.
+TEST(EngineDiff, PerActorEngineOverrideMixesCleanly)
+{
+    auto p = vectorizer::compileScalar(benchmarks::makeFmRadio());
+    machine::MachineDesc m = machine::coreI7();
+    EngineRun pure = runWith(p, m, ExecEngine::Bytecode, 200);
+
+    machine::CostSink cost(m);
+    Runner r(p.graph, p.schedule, &cost, ExecEngine::Bytecode);
+    for (const auto& a : p.graph.actors) {
+        if (a.isFilter() && a.id % 2 == 0) {
+            ActorExecConfig cfg;
+            cfg.engine = ExecEngine::Tree;
+            r.setActorConfig(a.id, cfg);
+        }
+    }
+    r.runUntilCaptured(200);
+    std::vector<Value> mixed(r.captured().begin(),
+                             r.captured().begin() + 200);
+    testutil::expectSameStream(pure.out, mixed);
+    EXPECT_DOUBLE_EQ(pure.cycles, cost.totalCycles());
+}
+
+} // namespace
+} // namespace macross::interp

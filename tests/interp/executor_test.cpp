@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "support/diagnostics.h"
+#include "ir/analysis.h"
 #include "ir/builder.h"
 
 namespace macross::interp {
@@ -175,15 +176,19 @@ TEST(Executor, LoopCostPlanChargesPerGroup)
         inner.assign(x, varRef(x) * floatImm(1.5f));
     });
     auto stmts = b.stmts();
-    const Stmt* loop = stmts[1].get();
 
     // Uncosted baseline first.
     f.ex.run(stmts);
     double scalarCycles = f.cost.totalCycles();
     f.cost.reset();
 
+    // Plans are keyed by stable loop id; the executor translates its
+    // own For statements through the ir::numberLoops map.
+    auto loopIds = ir::numberLoops(stmts);
+    const Stmt* loop = stmts[1].get();
     Executor::LoopPlans plans;
-    plans[loop] = LoopCostPlan{4, 0.0};
+    plans[loopIds.at(loop)] = LoopCostPlan{4, 0.0};
+    f.ex.setLoopIds(&loopIds);
     f.ex.setLoopPlans(&plans);
     f.ex.run(stmts);
     double vecCycles = f.cost.totalCycles();

@@ -137,18 +137,29 @@ TEST(Tape, TransposeGuards)
     EXPECT_THROW(t.vpush(v), PanicError);
 }
 
-TEST(Tape, PopObserverSeesConsumptionOrder)
+TEST(Tape, CaptureBufferSeesConsumptionOrder)
 {
     Tape t(ir::kFloat32);
-    std::vector<float> seen;
-    t.setPopObserver([&](const Value& v) { seen.push_back(v.f()); });
+    std::vector<Value> seen;
+    t.setCaptureBuffer(&seen);
     for (int i = 0; i < 6; ++i)
         t.push(fv(static_cast<float>(i)));
     t.pop();
     t.vpop(4);
     ASSERT_EQ(seen.size(), 5u);
     for (int i = 0; i < 5; ++i)
-        EXPECT_FLOAT_EQ(seen[i], static_cast<float>(i));
+        EXPECT_FLOAT_EQ(seen[i].f(), static_cast<float>(i));
+
+    // Detaching stops capture; raw pops feed the same buffer while
+    // attached. Element 5 is still queued from the pushes above.
+    t.setCaptureBuffer(nullptr);
+    t.pop();
+    EXPECT_EQ(seen.size(), 5u);
+    t.setCaptureBuffer(&seen);
+    t.push(fv(6.0f));
+    (void)t.popRaw();
+    ASSERT_EQ(seen.size(), 6u);
+    EXPECT_FLOAT_EQ(seen[5].f(), 6.0f);
 }
 
 TEST(Tape, CompactionPreservesContents)

@@ -128,6 +128,49 @@ TEST(CliReport, ScalarModeStillProducesRunData)
     std::remove(out.c_str());
 }
 
+TEST(CliReport, EngineFlagSelectsEngineAndMatchesCycles)
+{
+    const std::string treeOut = "cli_report_tree_out.json";
+    const std::string vmOut = "cli_report_vm_out.json";
+    std::remove(treeOut.c_str());
+    std::remove(vmOut.c_str());
+    ASSERT_EQ(runCli("--bench FMRadio --simd --engine tree "
+                     "--json-report " + treeOut),
+              0);
+    ASSERT_EQ(runCli("--bench FMRadio --simd --engine bytecode "
+                     "--json-report " + vmOut),
+              0);
+
+    json::Value tree = json::parse(readFile(treeOut));
+    json::Value vm = json::parse(readFile(vmOut));
+    const json::Value* treeStats = tree.find("run")->find("stats");
+    const json::Value* vmStats = vm.find("run")->find("stats");
+    EXPECT_EQ(treeStats->find("engine")->asString(), "tree");
+    EXPECT_EQ(vmStats->find("engine")->asString(), "bytecode");
+
+    // Both engines model the exact same cycle count.
+    EXPECT_DOUBLE_EQ(
+        tree.find("run")->find("totalCycles")->asDouble(),
+        vm.find("run")->find("totalCycles")->asDouble());
+
+    // The bytecode run reports per-actor instruction counts and the
+    // compile time spent lowering the actors.
+    bool sawInstrs = false;
+    for (const json::Value& a : vmStats->find("actors")->items()) {
+        if (const json::Value* bi = a.find("bytecodeInstrs")) {
+            EXPECT_GT(bi->asInt(), 0);
+            sawInstrs = true;
+        }
+    }
+    EXPECT_TRUE(sawInstrs);
+    ASSERT_NE(vmStats->find("bytecodeCompileMicros"), nullptr);
+
+    EXPECT_NE(runCli("--bench FMRadio --engine llvm"), 0);
+
+    std::remove(treeOut.c_str());
+    std::remove(vmOut.c_str());
+}
+
 TEST(CliReport, HelpExitsCleanly)
 {
     EXPECT_EQ(runCli("--help"), 0);

@@ -45,6 +45,7 @@ struct CliConfig {
     std::string emitFile;
     std::string dotFile;
     std::string autovecName;
+    std::string engineName = "bytecode";
     std::string jsonReportFile;
     bool list = false;
     bool help = false;
@@ -125,6 +126,14 @@ optionTable()
         {"--autovec", "gcc|icc",
          "apply a modeled auto-vectorizer (scalar code)",
          string(&CliConfig::autovecName)},
+        {"--engine", "tree|bytecode",
+         "execution engine for actor bodies (default bytecode)",
+         [](CliConfig& c, const std::string& v) {
+             if (v != "tree" && v != "bytecode")
+                 return false;
+             c.engineName = v;
+             return true;
+         }},
         {"--run", "N", "steady-state iterations (default 10)",
          integer(&CliConfig::iters)},
         {"--report", nullptr,
@@ -278,7 +287,11 @@ main(int argc, char** argv)
         }
 
         machine::CostSink cost(opts.machine);
-        interp::Runner r(compiled.graph, compiled.schedule, &cost);
+        interp::ExecEngine engine = cfg.engineName == "tree"
+                                        ? interp::ExecEngine::Tree
+                                        : interp::ExecEngine::Bytecode;
+        interp::Runner r(compiled.graph, compiled.schedule, &cost,
+                         engine);
         if (wantTrace)
             r.setTrace(&trace);
         if (!cfg.autovecName.empty()) {
@@ -299,9 +312,10 @@ main(int argc, char** argv)
         std::size_t produced = r.captured().size() - before;
 
         std::printf("\nran %d steady-state iterations on %s (%d-wide"
-                    "%s)\n",
+                    "%s, %s engine)\n",
                     cfg.iters, opts.machine.name.c_str(), cfg.width,
-                    cfg.simd ? ", macro-SIMDized" : ", scalar");
+                    cfg.simd ? ", macro-SIMDized" : ", scalar",
+                    toString(engine).c_str());
         std::printf("sink elements: %zu, modeled cycles: %.0f "
                     "(%.2f cycles/element)\n",
                     produced, cost.totalCycles(),
