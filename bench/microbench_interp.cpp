@@ -6,10 +6,16 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
 #include "benchmarks/suite.h"
+#include "interp/parallel_runner.h"
 #include "interp/runner.h"
+#include "interp/spsc_queue.h"
+#include "machine/machine_desc.h"
 #include "machine/permutation.h"
 #include "machine/sagu.h"
+#include "multicore/partition.h"
 #include "vectorizer/pipeline.h"
 
 using namespace macross;
@@ -144,6 +150,114 @@ BM_TapeVectorThroughputRaw(benchmark::State& state)
     state.SetItemsProcessed(state.iterations() * 2048);
 }
 BENCHMARK(BM_TapeVectorThroughputRaw);
+
+/**
+ * SPSC ring push/pop on one thread: the pure per-element cost of the
+ * publication protocol with no contention and a hot cache.
+ */
+void
+BM_SpscRingPushPop(benchmark::State& state)
+{
+    interp::SpscRing r(2048);
+    std::int64_t idx = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 1024; ++i) {
+            r.waitWritable(idx + i);
+            r.slot(idx + i) = static_cast<std::uint32_t>(i);
+            r.publishTail(idx + i + 1);
+        }
+        std::uint32_t sum = 0;
+        for (int i = 0; i < 1024; ++i) {
+            r.waitReadable(idx + i);
+            sum += r.slot(idx + i);
+            r.publishHead(idx + i + 1);
+        }
+        benchmark::DoNotOptimize(sum);
+        idx += 1024;
+    }
+    state.SetItemsProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_SpscRingPushPop);
+
+/**
+ * Cross-thread SPSC transfer through a small ring: the steady-state
+ * cost model of a cross-core tape, including cache-line ping-pong on
+ * the published indexes. Hardware-dependent; on a single-CPU host the
+ * threads time-slice and the number mostly measures yield latency.
+ */
+void
+BM_SpscRingCrossThread(benchmark::State& state)
+{
+    constexpr std::int64_t kChunk = 4096;
+    for (auto _ : state) {
+        interp::SpscRing r(256);
+        std::thread producer([&] {
+            for (std::int64_t i = 0; i < kChunk; ++i) {
+                r.waitWritable(i);
+                r.slot(i) = static_cast<std::uint32_t>(i);
+                r.publishTail(i + 1);
+            }
+        });
+        std::uint32_t sum = 0;
+        for (std::int64_t i = 0; i < kChunk; ++i) {
+            r.waitReadable(i);
+            sum += r.slot(i);
+            r.publishHead(i + 1);
+        }
+        producer.join();
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * kChunk);
+}
+BENCHMARK(BM_SpscRingCrossThread)->UseRealTime();
+
+/**
+ * Parallel steady state vs. the thread count (1 = serial Runner,
+ * matching the baseline the speedup claims divide by). Uncosted and
+ * capture-off. Compare e.g. fmradio/1 against fmradio/4.
+ */
+void
+BM_ParallelSteadyState(benchmark::State& state,
+                       graph::StreamPtr (*make)())
+{
+    const int threads = static_cast<int>(state.range(0));
+    auto compiled = vectorizer::compileScalar(make());
+    if (threads == 1) {
+        interp::Runner r(compiled.graph, compiled.schedule);
+        r.enableCapture(false);
+        r.runInit();
+        for (auto _ : state)
+            r.runSteady(8);
+        return;
+    }
+    machine::MachineDesc m = machine::coreI7();
+    machine::CostSink cost(m);
+    interp::Runner prof(compiled.graph, compiled.schedule, &cost);
+    prof.runInit();
+    prof.runSteady(8);
+    std::vector<double> cycles(compiled.graph.actors.size(), 0.0);
+    for (const auto& a : compiled.graph.actors)
+        cycles[a.id] = cost.actorCycles(a.id);
+    auto part = multicore::partitionGreedy(
+        compiled.graph, compiled.schedule, cycles, threads);
+    interp::ParallelRunner pr(compiled.graph, compiled.schedule, part);
+    pr.enableCapture(false);
+    pr.runInit();
+    for (auto _ : state)
+        pr.runSteady(8);
+}
+BENCHMARK_CAPTURE(BM_ParallelSteadyState, fmradio,
+                  benchmarks::makeFmRadio)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_ParallelSteadyState, filterbank,
+                  benchmarks::makeFilterBank)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime();
 
 void
 BM_SaguWalk(benchmark::State& state)

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * ParallelRunner implementation.
+ */
+#include "interp/parallel_runner.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "schedule/buffers.h"
+#include "support/diagnostics.h"
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace macross::interp {
+
+ParallelRunner::ParallelRunner(const graph::FlatGraph& g,
+                               const schedule::Schedule& s,
+                               const multicore::Partition& part,
+                               machine::CostSink* cost,
+                               ExecEngine engine, Options opt)
+    : graph_(&g), sched_(&s), part_(part), cost_(cost), opt_(opt),
+      runner_(g, s, cost, engine)
+{
+    fatalIf(part_.cores < 1, "parallel run over zero cores");
+    fatalIf(part_.coreOf.size() != g.actors.size(),
+            "partition does not cover the graph");
+    fatalIf(opt_.batchIterations < 1, "batch of zero iterations");
+
+    // Re-back every cross-core tape with an SPSC ring, sized so the
+    // producer can stay a full batch ahead of a consumer that has not
+    // released anything: init residue + batchIterations of production,
+    // plus block slack on each side for transposed endpoints whose
+    // mapped addresses run ahead of their cursors. With that bound
+    // producers never block mid-batch; only consumers wait.
+    const std::vector<schedule::BufferBound> bounds =
+        schedule::computeBufferBounds(g, s);
+    rings_.resize(g.tapes.size());
+    for (std::size_t i = 0; i < g.tapes.size(); ++i) {
+        const graph::TapeDesc& td = g.tapes[i];
+        if (!part_.crossing(td))
+            continue;
+        const std::int64_t perIter =
+            multicore::steadyTapeWords(g, s, static_cast<int>(i));
+        std::int64_t headBlock = 1;
+        std::int64_t tailBlock = 1;
+        if (td.transpose.readSide)
+            headBlock = td.transpose.rate * td.transpose.simdWidth;
+        if (td.transpose.writeSide)
+            tailBlock = td.transpose.rate * td.transpose.simdWidth;
+        const std::int64_t slack = 2 * std::max(headBlock, tailBlock);
+        // bound covers the init-phase peak (all of the producer's
+        // warm-up output can be resident before the consumer's first
+        // warm-up firing drains any of it); the batch term covers the
+        // steady-state race.
+        const std::int64_t slots = std::max(
+            {opt_.minRingSlots, bounds[i].bound + slack,
+             bounds[i].warmup + opt_.batchIterations * perIter +
+                 slack});
+        rings_[i] =
+            std::make_unique<SpscRing>(slots, headBlock, tailBlock);
+        runner_.mutableTape(static_cast<int>(i))
+            .setRing(rings_[i].get());
+    }
+
+    // One worker per core: its slice is the schedule restricted to the
+    // actors the partition assigned there, in schedule order (which
+    // preserves each actor's serial firing order — the determinism
+    // anchor).
+    workers_.reserve(part_.cores);
+    for (int c = 0; c < part_.cores; ++c) {
+        auto w = std::make_unique<Worker>();
+        for (int id : s.order) {
+            if (part_.coreOf[id] == c && s.reps[id] > 0)
+                w->slice.push_back(SliceEntry{id, s.reps[id]});
+        }
+        if (cost_)
+            w->sink = std::make_unique<machine::CostSink>(
+                cost_->machine());
+        for (std::size_t i = 0; i < g.tapes.size(); ++i) {
+            if (!rings_[i])
+                continue;
+            Tape& t = runner_.mutableTape(static_cast<int>(i));
+            if (part_.coreOf[g.tapes[i].src] == c)
+                w->producedRings.push_back(&t);
+            if (part_.coreOf[g.tapes[i].dst] == c)
+                w->consumedRings.push_back(&t);
+        }
+        workers_.push_back(std::move(w));
+    }
+    for (int c = 0; c < part_.cores; ++c)
+        workers_[c]->thread =
+            std::thread(&ParallelRunner::workerLoop, this, c);
+}
+
+ParallelRunner::~ParallelRunner()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) {
+        if (w->thread.joinable())
+            w->thread.join();
+    }
+}
+
+void
+ParallelRunner::setActorConfig(int actor_id, ActorExecConfig cfg)
+{
+    panicIf(runner_.initDone(),
+            "setActorConfig after runInit on a parallel runner");
+    runner_.setActorConfig(actor_id, std::move(cfg));
+}
+
+void
+ParallelRunner::runInit()
+{
+    // Single-threaded on the main thread, workers parked: init bodies
+    // and warm-up firings run through the ring-backed tapes with no
+    // concurrency, and the batch barrier's mutex orders these writes
+    // before any worker's first firing. runInit also precompiles every
+    // bytecode actor, so ensureCompiled is a read-only lookup by the
+    // time workers share it.
+    runner_.runInit();
+}
+
+void
+ParallelRunner::workerLoop(int worker_id)
+{
+#ifdef __linux__
+    // Best-effort affinity: meaningful only when the host actually has
+    // a CPU per worker (CI containers often don't).
+    if (opt_.pinThreads &&
+        std::thread::hardware_concurrency() >=
+            static_cast<unsigned>(part_.cores)) {
+        cpu_set_t set;
+        CPU_ZERO(&set);
+        CPU_SET(static_cast<unsigned>(worker_id), &set);
+        (void)pthread_setaffinity_np(pthread_self(), sizeof(set),
+                                     &set);
+    }
+#endif
+    Worker& w = *workers_[worker_id];
+    std::int64_t seenGen = 0;
+    for (;;) {
+        int iters = 0;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            cv_.wait(lk, [&] {
+                return stop_ || generation_ != seenGen;
+            });
+            if (stop_)
+                return;
+            seenGen = generation_;
+            iters = batchIters_;
+        }
+        try {
+            runBatch(w, iters);
+        } catch (...) {
+            w.error = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            ++doneCount_;
+        }
+        cv_.notify_all();
+    }
+}
+
+void
+ParallelRunner::runBatch(Worker& w, int iterations)
+{
+    for (int it = 0; it < iterations; ++it) {
+        for (const SliceEntry& e : w.slice) {
+            for (std::int64_t k = 0; k < e.reps; ++k)
+                runner_.fireWith(e.actorId, w.vm, w.sink.get());
+        }
+    }
+    // Batch-end flushes: push out partial transposed blocks (the
+    // consumer side may legitimately need them next batch) and release
+    // everything consumed, restoring the full-capacity headroom the
+    // ring sizing assumes at each batch boundary.
+    for (Tape* t : w.producedRings)
+        t->flushRingTail();
+    for (Tape* t : w.consumedRings)
+        t->flushRingHead();
+}
+
+void
+ParallelRunner::dispatchBatch(int iterations)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        batchIters_ = iterations;
+        doneCount_ = 0;
+        ++generation_;
+    }
+    cv_.notify_all();
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] {
+            return doneCount_ == static_cast<int>(workers_.size());
+        });
+    }
+    for (auto& w : workers_) {
+        if (w->error) {
+            std::exception_ptr e = w->error;
+            w->error = nullptr;
+            std::rethrow_exception(e);
+        }
+    }
+}
+
+void
+ParallelRunner::runSteady(int iterations)
+{
+    if (!runner_.initDone())
+        runInit();
+    const auto t0 = std::chrono::steady_clock::now();
+    int remaining = iterations;
+    while (remaining > 0) {
+        const int b = std::min(remaining, opt_.batchIterations);
+        dispatchBatch(b);
+        remaining -= b;
+    }
+    steadyWallMicros_ += std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+    steadyIterations_ += iterations;
+
+    if (cost_) {
+        // Per-thread sinks are cumulative, so the merge rebuilds the
+        // shared sink from scratch each time — per-actor cells are the
+        // bit-exact serial sequences, aggregates recomputed in
+        // canonical actor-id order.
+        std::vector<const machine::CostSink*> parts;
+        parts.reserve(workers_.size());
+        for (const auto& w : workers_) {
+            if (w->sink)
+                parts.push_back(w->sink.get());
+        }
+        cost_->assignDisjointUnion(parts);
+    }
+
+    if (trace_ && trace_->enabled()) {
+        trace_->count("interp.parallel.steadyIterations", iterations);
+        json::Value payload = json::Value::object();
+        payload["iterations"] = iterations;
+        payload["threads"] = part_.cores;
+        payload["batchIterations"] = opt_.batchIterations;
+        trace_->event("interp", "runSteadyParallel",
+                      std::move(payload));
+    }
+}
+
+void
+ParallelRunner::runUntilCaptured(std::int64_t n, int max_iters)
+{
+    if (!runner_.initDone())
+        runInit();
+    int iters = 0;
+    while (static_cast<std::int64_t>(captured().size()) < n) {
+        fatalIf(iters >= max_iters,
+                "runUntilCaptured: sink produced only ",
+                captured().size(), " of ", n, " elements after ",
+                max_iters, " iterations");
+        const int step = std::min(opt_.batchIterations,
+                                  max_iters - iters);
+        runSteady(step);
+        iters += step;
+    }
+}
+
+double
+ParallelRunner::totalCycles() const
+{
+    return cost_ ? cost_->totalCycles() : 0.0;
+}
+
+json::Value
+ParallelRunner::statsToJson() const
+{
+    json::Value root = runner_.statsToJson();
+
+    json::Value par = json::Value::object();
+    par["threads"] = part_.cores;
+    par["batchIterations"] = opt_.batchIterations;
+    json::Value coreOf = json::Value::array();
+    for (int c : part_.coreOf)
+        coreOf.push(c);
+    par["coreOf"] = std::move(coreOf);
+    json::Value load = json::Value::array();
+    for (double l : part_.coreLoad)
+        load.push(l);
+    par["coreLoad"] = std::move(load);
+
+    json::Value rings = json::Value::array();
+    for (std::size_t i = 0; i < rings_.size(); ++i) {
+        if (!rings_[i])
+            continue;
+        json::Value r = json::Value::object();
+        r["tape"] = static_cast<std::int64_t>(i);
+        r["capacity"] = rings_[i]->capacity();
+        r["wordsPerIteration"] = multicore::steadyTapeWords(
+            *graph_, *sched_, static_cast<int>(i));
+        rings.push(std::move(r));
+    }
+    par["rings"] = std::move(rings);
+
+    par["steadyIterations"] = steadyIterations_;
+    par["steadyWallMicros"] = steadyWallMicros_;
+    if (baselineWallMicros_ > 0.0 && steadyWallMicros_ > 0.0) {
+        par["baselineWallMicros"] = baselineWallMicros_;
+        par["measuredSpeedup"] =
+            baselineWallMicros_ / steadyWallMicros_;
+    }
+    root["parallel"] = std::move(par);
+    return root;
+}
+
+} // namespace macross::interp

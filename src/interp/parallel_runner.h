@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Parallel steady-state runtime: executes a multicore partition
+ * (multicore/partition.h) of a scheduled stream graph on a pool of
+ * worker threads, one per core.
+ *
+ * Each worker owns the actors its core was assigned and fires them in
+ * the single-appearance schedule order, batch after batch of steady
+ * iterations. Tapes whose endpoints live on the same core keep the
+ * ordinary growable Tape storage and cost one predictable branch;
+ * tapes that cross cores are re-backed by bounded lock-free SPSC rings
+ * (interp/spsc_queue.h) sized so a producer can run a whole batch
+ * ahead of its consumer without wrapping — producers never block, only
+ * consumers wait, and on an acyclic graph that makes deadlock
+ * impossible by topological induction.
+ *
+ * Determinism: output bytes and modeled per-actor cycles are
+ * bit-identical to the single-threaded Runner at any thread count.
+ * Each actor fires on exactly one thread, so its tape traffic and its
+ * floating-point charge sequence are exactly the serial ones; the sink
+ * actor's worker appends captures in serial order; and per-thread
+ * CostSinks merge at batch barriers through
+ * CostSink::assignDisjointUnion, which recomputes cross-actor
+ * aggregates in canonical actor-id order (compare against the serial
+ * runner's CostSink::attributedCycles()).
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "interp/runner.h"
+#include "interp/spsc_queue.h"
+#include "multicore/partition.h"
+
+namespace macross::interp {
+
+/** Tuning knobs for ParallelRunner. */
+struct ParallelOptions {
+    /**
+     * Steady iterations per dispatch batch. Cross-core rings are
+     * sized to hold init residue plus this many iterations of
+     * production, the bound that keeps producers from ever blocking
+     * mid-batch.
+     */
+    int batchIterations = 32;
+    /** Floor on ring capacity in elements (rounded up to pow2). */
+    std::int64_t minRingSlots = 64;
+    /** Pin worker k to CPU k when the host has enough CPUs. */
+    bool pinThreads = true;
+};
+
+/** Executes a partitioned stream graph on worker threads. */
+class ParallelRunner {
+  public:
+    using Options = ParallelOptions;
+
+    /**
+     * @param g      Graph to run (must outlive the runner).
+     * @param s      Schedule for @p g.
+     * @param part   Core assignment from partitionGreedy (cores >= 1).
+     * @param cost   Cycle sink, or null to run without costing. Merged
+     *               deterministically at the end of every runSteady.
+     * @param engine Default engine for all filter actors.
+     */
+    ParallelRunner(const graph::FlatGraph& g,
+                   const schedule::Schedule& s,
+                   const multicore::Partition& part,
+                   machine::CostSink* cost = nullptr,
+                   ExecEngine engine = ExecEngine::Bytecode,
+                   Options opt = {});
+    ~ParallelRunner();
+
+    ParallelRunner(const ParallelRunner&) = delete;
+    ParallelRunner& operator=(const ParallelRunner&) = delete;
+
+    /** Install an execution config for one actor (before runInit). */
+    void setActorConfig(int actor_id, ActorExecConfig cfg);
+
+    /** Record every element the sink consumes. On by default. */
+    void enableCapture(bool on) { runner_.enableCapture(on); }
+
+    /** Run all init bodies and warm-up firings, single-threaded. */
+    void runInit();
+
+    /** Run @p iterations steady-state iterations across the pool. */
+    void runSteady(int iterations);
+
+    /**
+     * Run steady iterations until at least @p n elements are captured
+     * (fatal after @p max_iters iterations).
+     */
+    void runUntilCaptured(std::int64_t n, int max_iters = 100000);
+
+    const std::vector<Value>& captured() const
+    {
+        return runner_.captured();
+    }
+
+    /** Merged modeled cycles so far (0 without a sink). */
+    double totalCycles() const;
+
+    int threads() const { return part_.cores; }
+
+    const Runner& runner() const { return runner_; }
+
+    /** Attach a trace for phase events (main-thread use only). */
+    void setTrace(support::Trace* t) { trace_ = t; }
+
+    /** Wall-clock microseconds spent inside runSteady so far. */
+    double steadyWallMicros() const { return steadyWallMicros_; }
+
+    /**
+     * Provide the single-threaded wall time for the same steady work;
+     * statsToJson then reports measuredSpeedup = baseline / parallel.
+     */
+    void setBaselineWallMicros(double micros)
+    {
+        baselineWallMicros_ = micros;
+    }
+
+    /**
+     * Runner stats (per-actor firing counts/cycles, tape traffic,
+     * engine, dispatcher) plus a "parallel" object: thread count,
+     * batch size, core assignment and per-core modeled load, ring
+     * capacities and traffic, steady wall-clock, and measured speedup
+     * when a baseline was provided.
+     */
+    json::Value statsToJson() const;
+
+  private:
+    /** Firing slice of one worker: (actor id, repetitions). */
+    struct SliceEntry {
+        int actorId = 0;
+        std::int64_t reps = 0;
+    };
+
+    struct Worker {
+        std::vector<SliceEntry> slice;
+        Vm vm;
+        std::unique_ptr<machine::CostSink> sink;
+        /** Ring-backed tapes this worker produces into / consumes
+         *  from — flushed exactly at batch end. */
+        std::vector<Tape*> producedRings;
+        std::vector<Tape*> consumedRings;
+        std::thread thread;
+        std::exception_ptr error;
+    };
+
+    void workerLoop(int worker_id);
+    void runBatch(Worker& w, int iterations);
+    void dispatchBatch(int iterations);
+
+    const graph::FlatGraph* graph_;
+    const schedule::Schedule* sched_;
+    multicore::Partition part_;
+    machine::CostSink* cost_;
+    Options opt_;
+    support::Trace* trace_ = nullptr;
+
+    Runner runner_;
+    std::vector<std::unique_ptr<SpscRing>> rings_;  ///< By tape id
+                                                    ///< (null when
+                                                    ///< intra-core).
+    std::vector<std::unique_ptr<Worker>> workers_;
+
+    /** Generation-counted batch barrier: the main thread bumps
+     *  generation_ to release workers, each worker reports into
+     *  doneCount_, and the final worker wakes the main thread. Both
+     *  edges run through mu_, which also carries the happens-before
+     *  for the main thread's reads of captures and per-thread sinks. */
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::int64_t generation_ = 0;
+    int batchIters_ = 0;
+    int doneCount_ = 0;
+    bool stop_ = false;
+
+    double steadyWallMicros_ = 0.0;
+    double baselineWallMicros_ = 0.0;
+    std::int64_t steadyIterations_ = 0;
+};
+
+} // namespace macross::interp

@@ -151,6 +151,7 @@ Runner::statsToJson() const
 
     json::Value root = json::Value::object();
     root["engine"] = toString(engine_);
+    root["vmDispatcher"] = vmDispatcherName();
     json::Value actors = json::Value::array();
     for (const Actor& a : graph_->actors) {
         json::Value v = json::Value::object();
@@ -196,7 +197,7 @@ Runner::statsToJson() const
 }
 
 void
-Runner::fireFilter(const Actor& a)
+Runner::fireFilter(const Actor& a, Vm& vm, machine::CostSink* cost)
 {
     Tape* in = a.inputs.empty() ? nullptr : tapeFor(a.inputs[0]);
     Tape* out = a.outputs.empty() ? nullptr : tapeFor(a.outputs[0]);
@@ -206,18 +207,18 @@ Runner::fireFilter(const Actor& a)
     if (cfg.outerVectorized) {
         bool leader = (fireCounts_[a.id] % cfg.outerWidth) == 0;
         charging = leader;
-        if (leader && cost_)
-            cost_->chargeCycles(cfg.outerExtraPerGroup);
+        if (leader && cost)
+            cost->chargeCycles(cfg.outerExtraPerGroup);
     }
-    if (charging && cost_)
-        cost_->charge(OpClass::FiringOverhead);
+    if (charging && cost)
+        cost->charge(OpClass::FiringOverhead);
 
     if (engineFor(a.id) == ExecEngine::Bytecode) {
         const bytecode::CompiledActor& ca = ensureCompiled(a);
-        vm_.run(ca.work, frames_[a.id], in, out, cost_,
-                cfg.loopPlans.get(), charging);
+        vm.run(ca.work, frames_[a.id], in, out, cost,
+               cfg.loopPlans.get(), charging);
     } else {
-        Executor ex(locals_[a.id], states_[a.id], in, out, cost_);
+        Executor ex(locals_[a.id], states_[a.id], in, out, cost);
         ex.setChargingEnabled(charging);
         ex.setLoopPlans(cfg.loopPlans.get());
         ex.setLoopIds(&loopIds_[a.id]);
@@ -237,7 +238,7 @@ Runner::fireFilter(const Actor& a)
 }
 
 void
-Runner::fireSplitter(const Actor& a)
+Runner::fireSplitter(const Actor& a, machine::CostSink* cost)
 {
     Tape* in = tapeFor(a.inputs[0]);
     // SAGU walk charges at transposed boundaries (the splitter is the
@@ -248,19 +249,19 @@ Runner::fireSplitter(const Actor& a)
         return graph_->tape(a.outputs[port]).transpose.writeSide;
     };
     auto chargeScalarMove = [&](int port) {
-        if (cost_) {
-            cost_->charge(OpClass::ScalarLoad);
-            cost_->charge(OpClass::ScalarStore);
-            cost_->charge(OpClass::AddrCalc, 1, 2);
+        if (cost) {
+            cost->charge(OpClass::ScalarLoad);
+            cost->charge(OpClass::ScalarStore);
+            cost->charge(OpClass::AddrCalc, 1, 2);
             if (walkIn)
-                cost_->charge(OpClass::SaguWalk);
+                cost->charge(OpClass::SaguWalk);
             if (walkOutPort(port))
-                cost_->charge(OpClass::SaguWalk);
+                cost->charge(OpClass::SaguWalk);
         }
     };
 
-    if (cost_)
-        cost_->charge(OpClass::FiringOverhead);
+    if (cost)
+        cost->charge(OpClass::FiringOverhead);
 
     if (a.horizontal) {
         // HSplitter: pack SW scalar streams into one vector tape.
@@ -272,11 +273,11 @@ Runner::fireSplitter(const Actor& a)
             for (int l = 0; l < sw; ++l)
                 v.setRawBits(l, x);
             out->vpush(v);
-            if (cost_) {
-                cost_->charge(OpClass::ScalarLoad);
-                cost_->charge(OpClass::Splat);
-                cost_->charge(OpClass::VectorStore);
-                cost_->charge(OpClass::AddrCalc, 1, 2);
+            if (cost) {
+                cost->charge(OpClass::ScalarLoad);
+                cost->charge(OpClass::Splat);
+                cost->charge(OpClass::VectorStore);
+                cost->charge(OpClass::AddrCalc, 1, 2);
             }
             return;
         }
@@ -285,9 +286,9 @@ Runner::fireSplitter(const Actor& a)
         tmp.reserve(static_cast<std::size_t>(sw) * w);
         for (int i = 0; i < sw * w; ++i) {
             tmp.push_back(in->popRaw());
-            if (cost_) {
-                cost_->charge(OpClass::ScalarLoad);
-                cost_->charge(OpClass::AddrCalc);
+            if (cost) {
+                cost->charge(OpClass::ScalarLoad);
+                cost->charge(OpClass::AddrCalc);
             }
         }
         for (int j = 0; j < w; ++j) {
@@ -295,10 +296,10 @@ Runner::fireSplitter(const Actor& a)
             for (int l = 0; l < sw; ++l)
                 v.setRawBits(l, tmp[l * w + j]);
             out->vpush(v);
-            if (cost_) {
-                cost_->charge(OpClass::LaneInsert, 1, sw);
-                cost_->charge(OpClass::VectorStore);
-                cost_->charge(OpClass::AddrCalc);
+            if (cost) {
+                cost->charge(OpClass::LaneInsert, 1, sw);
+                cost->charge(OpClass::VectorStore);
+                cost->charge(OpClass::AddrCalc);
             }
         }
         return;
@@ -306,18 +307,18 @@ Runner::fireSplitter(const Actor& a)
 
     if (a.splitKind == graph::SplitterKind::Duplicate) {
         const std::uint32_t x = in->popRaw();
-        if (cost_) {
-            cost_->charge(OpClass::ScalarLoad);
-            cost_->charge(OpClass::AddrCalc);
+        if (cost) {
+            cost->charge(OpClass::ScalarLoad);
+            cost->charge(OpClass::AddrCalc);
         }
         for (int port = 0; port < static_cast<int>(a.outputs.size());
              ++port) {
             tapeFor(a.outputs[port])->pushRaw(x);
-            if (cost_) {
-                cost_->charge(OpClass::ScalarStore);
-                cost_->charge(OpClass::AddrCalc);
+            if (cost) {
+                cost->charge(OpClass::ScalarStore);
+                cost->charge(OpClass::AddrCalc);
                 if (walkOutPort(port))
-                    cost_->charge(OpClass::SaguWalk);
+                    cost->charge(OpClass::SaguWalk);
             }
         }
         return;
@@ -333,11 +334,11 @@ Runner::fireSplitter(const Actor& a)
 }
 
 void
-Runner::fireJoiner(const Actor& a)
+Runner::fireJoiner(const Actor& a, machine::CostSink* cost)
 {
     Tape* out = tapeFor(a.outputs[0]);
-    if (cost_)
-        cost_->charge(OpClass::FiringOverhead);
+    if (cost)
+        cost->charge(OpClass::FiringOverhead);
 
     if (a.horizontal) {
         // HJoiner: unpack one vector tape back into round-robin
@@ -349,18 +350,18 @@ Runner::fireJoiner(const Actor& a)
         vecs.reserve(w);
         for (int j = 0; j < w; ++j) {
             vecs.push_back(in->vpop(sw));
-            if (cost_) {
-                cost_->charge(OpClass::VectorLoad);
-                cost_->charge(OpClass::AddrCalc);
+            if (cost) {
+                cost->charge(OpClass::VectorLoad);
+                cost->charge(OpClass::AddrCalc);
             }
         }
         for (int l = 0; l < sw; ++l) {
             for (int j = 0; j < w; ++j) {
                 out->pushRaw(vecs[j].rawBits(l));
-                if (cost_) {
-                    cost_->charge(OpClass::LaneExtract);
-                    cost_->charge(OpClass::ScalarStore);
-                    cost_->charge(OpClass::AddrCalc);
+                if (cost) {
+                    cost->charge(OpClass::LaneExtract);
+                    cost->charge(OpClass::ScalarStore);
+                    cost->charge(OpClass::AddrCalc);
                 }
             }
         }
@@ -375,14 +376,14 @@ Runner::fireJoiner(const Actor& a)
             graph_->tape(a.inputs[port]).transpose.readSide;
         for (int k = 0; k < a.weights[port]; ++k) {
             out->pushRaw(tapeFor(a.inputs[port])->popRaw());
-            if (cost_) {
-                cost_->charge(OpClass::ScalarLoad);
-                cost_->charge(OpClass::ScalarStore);
-                cost_->charge(OpClass::AddrCalc, 1, 2);
+            if (cost) {
+                cost->charge(OpClass::ScalarLoad);
+                cost->charge(OpClass::ScalarStore);
+                cost->charge(OpClass::AddrCalc, 1, 2);
                 if (walkIn)
-                    cost_->charge(OpClass::SaguWalk);
+                    cost->charge(OpClass::SaguWalk);
                 if (walkOut)
-                    cost_->charge(OpClass::SaguWalk);
+                    cost->charge(OpClass::SaguWalk);
             }
         }
     }
@@ -391,18 +392,24 @@ Runner::fireJoiner(const Actor& a)
 void
 Runner::fire(int actor_id)
 {
+    fireWith(actor_id, vm_, cost_);
+}
+
+void
+Runner::fireWith(int actor_id, Vm& vm, machine::CostSink* cost)
+{
     const Actor& a = graph_->actor(actor_id);
-    if (cost_)
-        cost_->setCurrentActor(actor_id);
+    if (cost)
+        cost->setCurrentActor(actor_id);
     switch (a.kind) {
       case ActorKind::Filter:
-        fireFilter(a);
+        fireFilter(a, vm, cost);
         break;
       case ActorKind::Splitter:
-        fireSplitter(a);
+        fireSplitter(a, cost);
         break;
       case ActorKind::Joiner:
-        fireJoiner(a);
+        fireJoiner(a, cost);
         break;
     }
 }

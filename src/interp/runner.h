@@ -100,11 +100,30 @@ class Runner {
     /** Fire one actor once (also used internally). */
     void fire(int actor_id);
 
+    /**
+     * Fire one actor once through a caller-supplied VM and cost sink.
+     * This is the parallel runner's entry point: Vm carries reusable
+     * dispatch-loop state and CostSink accumulates with no
+     * synchronization, so each worker thread passes its own pair.
+     * Requires runInit() to have completed (all bytecode actors are
+     * compiled there; ensureCompiled is then a read-only lookup). The
+     * actor's frame/locals/tapes are touched as in fire() — safe as
+     * long as each actor (and each tape endpoint) belongs to exactly
+     * one thread.
+     */
+    void fireWith(int actor_id, Vm& vm, machine::CostSink* cost);
+
     /** Read-only access to a tape's runtime state (stats, tests). */
     const Tape& tapeAt(int tape_id) const
     {
         return *tapes_.at(tape_id);
     }
+
+    /** Mutable tape access (the parallel runner installs SPSC rings
+     *  on cross-core tapes before any traffic). */
+    Tape& mutableTape(int tape_id) { return *tapes_.at(tape_id); }
+
+    bool initDone() const { return initDone_; }
 
     /** Compiled bytecode for @p actor_id (null before compilation
      *  or for tree-engine actors). */
@@ -139,9 +158,10 @@ class Runner {
     json::Value statsToJson() const;
 
   private:
-    void fireFilter(const graph::Actor& a);
-    void fireSplitter(const graph::Actor& a);
-    void fireJoiner(const graph::Actor& a);
+    void fireFilter(const graph::Actor& a, Vm& vm,
+                    machine::CostSink* cost);
+    void fireSplitter(const graph::Actor& a, machine::CostSink* cost);
+    void fireJoiner(const graph::Actor& a, machine::CostSink* cost);
     Tape* tapeFor(int tape_id);
     ExecEngine engineFor(int actor_id) const;
     const bytecode::CompiledActor& ensureCompiled(const graph::Actor& a);

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Bounded lock-free single-producer/single-consumer ring buffer: the
+ * cross-thread backing store for tapes whose endpoints run on
+ * different cores of a multicore partition (interp/parallel_runner.h).
+ *
+ * Actor-to-actor tapes are exactly SPSC channels — one producer actor,
+ * one consumer actor — so the ring needs no CAS loops: the producer
+ * owns the tail, the consumer owns the head, and each side publishes
+ * its monotonic index with a release store the other side acquires.
+ * Indexes are monotonic 64-bit logical element positions (never
+ * wrapped); the physical slot is `logical & mask`. Head and tail live
+ * on separate cache lines, and each side keeps a same-line cached copy
+ * of the other side's index so the common case (space/data already
+ * known to be available) touches no shared line at all — the FastFlow
+ * recipe for streaming graphs on commodity multicores.
+ *
+ * Block-granular publication supports SAGU-transposed tapes (Section
+ * 3.4): a transposed endpoint writes/reads scattered *within* a
+ * rate x simdWidth block, so the producer may only publish whole
+ * blocks (a partial block has holes) and the consumer may only release
+ * whole blocks (it still reads mapped slots behind its own pop
+ * cursor). `publishTailExact`/`publishHeadExact` force the residue out
+ * at iteration barriers, when the other side is parked.
+ *
+ * Waits spin briefly then yield (the repo's tests run on small
+ * machines, where a worker that spins without yielding starves the
+ * very producer it waits on), and panic after a long timeout instead
+ * of hanging CI on a mis-scheduled graph.
+ */
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace macross::interp {
+
+/** Bounded lock-free SPSC ring of raw 32-bit tape lanes. */
+class SpscRing {
+  public:
+    /**
+     * @param min_slots  Minimum capacity in elements (rounded up to a
+     *                   power of two). Size it so the producer can run
+     *                   a full scheduling batch ahead of the consumer
+     *                   without wrapping onto unconsumed data — then
+     *                   only consumers ever wait, which makes deadlock
+     *                   impossible on an acyclic stream graph.
+     * @param head_block Consumer-side publication granularity
+     *                   (rate x simdWidth for a read-transposed tape,
+     *                   1 otherwise).
+     * @param tail_block Producer-side publication granularity
+     *                   (rate x simdWidth for a write-transposed tape,
+     *                   1 otherwise).
+     */
+    explicit SpscRing(std::int64_t min_slots,
+                      std::int64_t head_block = 1,
+                      std::int64_t tail_block = 1)
+        : headBlock_(head_block), tailBlock_(tail_block)
+    {
+        panicIf(min_slots < 1, "SpscRing of zero capacity");
+        panicIf(head_block < 1 || tail_block < 1,
+                "SpscRing publication block must be positive");
+        std::int64_t cap = 1;
+        while (cap < min_slots ||
+               cap < 2 * std::max(head_block, tail_block))
+            cap <<= 1;
+        buf_.assign(static_cast<std::size_t>(cap), 0);
+        mask_ = cap - 1;
+    }
+
+    SpscRing(const SpscRing&) = delete;
+    SpscRing& operator=(const SpscRing&) = delete;
+
+    std::int64_t capacity() const { return mask_ + 1; }
+
+    /** Physical slot for a logical element index (either side). */
+    std::uint32_t& slot(std::int64_t logical)
+    {
+        return buf_[static_cast<std::size_t>(logical & mask_)];
+    }
+    const std::uint32_t& slot(std::int64_t logical) const
+    {
+        return buf_[static_cast<std::size_t>(logical & mask_)];
+    }
+
+    /** @name Producer side.
+     *  @{
+     */
+
+    /** Wait until writing @p logical cannot clobber unconsumed data. */
+    void waitWritable(std::int64_t logical)
+    {
+        if (logical - cachedHead_ < capacity())
+            return;
+        waitSlow([&] {
+            cachedHead_ = head_.load(std::memory_order_acquire);
+            return logical - cachedHead_ < capacity();
+        }, "SPSC producer stalled: consumer stopped draining");
+    }
+
+    /**
+     * Publish produced elements up to @p wp, floored to the tail
+     * block. Slots written before this call are visible to the
+     * consumer after it (release/acquire pairing on tail_).
+     */
+    void publishTail(std::int64_t wp)
+    {
+        std::int64_t v =
+            tailBlock_ == 1 ? wp : wp - wp % tailBlock_;
+        if (v != lastTailPub_) {
+            lastTailPub_ = v;
+            tail_.store(v, std::memory_order_release);
+        }
+    }
+
+    /** Publish the exact tail, partial block included (barriers). */
+    void publishTailExact(std::int64_t wp)
+    {
+        if (wp != lastTailPub_) {
+            lastTailPub_ = wp;
+            tail_.store(wp, std::memory_order_release);
+        }
+    }
+
+    /** Producer's last-refreshed view of the consumer head (a lower
+     *  bound on true consumption; occupancy stats only). */
+    std::int64_t approxHead() const { return cachedHead_; }
+    /** @} */
+
+    /** @name Consumer side.
+     *  @{
+     */
+
+    /** Wait until the element at @p logical has been published. */
+    void waitReadable(std::int64_t logical)
+    {
+        if (logical < cachedTail_)
+            return;
+        waitSlow([&] {
+            cachedTail_ = tail_.load(std::memory_order_acquire);
+            return logical < cachedTail_;
+        }, "SPSC consumer stalled: producer stopped publishing");
+    }
+
+    /** Elements published and not yet released by the consumer. */
+    std::int64_t publishedSize(std::int64_t rp) const
+    {
+        return tail_.load(std::memory_order_acquire) - rp;
+    }
+
+    /** Release consumed elements up to @p rp, floored to the head
+     *  block (a transposed reader still reads mapped slots behind its
+     *  pop cursor inside the current block). */
+    void publishHead(std::int64_t rp)
+    {
+        std::int64_t v =
+            headBlock_ == 1 ? rp : rp - rp % headBlock_;
+        if (v != lastHeadPub_) {
+            lastHeadPub_ = v;
+            head_.store(v, std::memory_order_release);
+        }
+    }
+
+    /** Release the exact head, partial block included (barriers). */
+    void publishHeadExact(std::int64_t rp)
+    {
+        if (rp != lastHeadPub_) {
+            lastHeadPub_ = rp;
+            head_.store(rp, std::memory_order_release);
+        }
+    }
+    /** @} */
+
+  private:
+    template <typename Ready>
+    void waitSlow(Ready ready, const char* who)
+    {
+        // A short spin catches the racing-neighbor case; after that,
+        // yield so a machine with fewer cores than workers still makes
+        // progress. The timeout turns a scheduling bug into a
+        // diagnosable panic instead of a hung test run.
+        for (int spins = 0; spins < 256; ++spins) {
+            if (ready())
+                return;
+        }
+        auto start = std::chrono::steady_clock::now();
+        for (;;) {
+            for (int k = 0; k < 4096; ++k) {
+                if (ready())
+                    return;
+                std::this_thread::yield();
+            }
+            auto waited = std::chrono::steady_clock::now() - start;
+            panicIf(waited > std::chrono::seconds(120), who);
+        }
+    }
+
+    std::vector<std::uint32_t> buf_;
+    std::int64_t mask_ = 0;
+    std::int64_t headBlock_ = 1;
+    std::int64_t tailBlock_ = 1;
+
+    /** Producer-owned line: published tail + cached consumer head. */
+    alignas(64) std::atomic<std::int64_t> tail_{0};
+    std::int64_t cachedHead_ = 0;
+    std::int64_t lastTailPub_ = 0;
+    /** Consumer-owned line: published head + cached producer tail. */
+    alignas(64) std::atomic<std::int64_t> head_{0};
+    std::int64_t cachedTail_ = 0;
+    std::int64_t lastHeadPub_ = 0;
+};
+
+} // namespace macross::interp

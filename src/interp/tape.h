@@ -21,6 +21,17 @@
  * through the block-transpose address walk that the SAGU (or the
  * Figure 8 software sequence) computes. Exactly one endpoint may be
  * transposed-scalar per direction.
+ *
+ * A tape can alternatively be backed by a bounded lock-free SPSC ring
+ * (setRing): the parallel runner installs one on every tape whose
+ * endpoints land on different cores of a multicore partition. In ring
+ * mode rp_ belongs to the consumer thread and wp_ to the producer
+ * thread; availability and space checks go through the ring's
+ * acquire/release indexes instead of comparing the two cursors (which
+ * would race), and consumers wait instead of panicking on underflow.
+ * All accessor semantics (transposition, capture, stats) are
+ * otherwise unchanged, and intra-core tapes pay only one predictable
+ * `ring_ == nullptr` branch per access.
  */
 #pragma once
 
@@ -32,6 +43,8 @@
 #include "support/diagnostics.h"
 
 namespace macross::interp {
+
+class SpscRing;
 
 /** Address mapping applied to one endpoint of a tape. */
 struct TransposeSpec {
@@ -48,7 +61,7 @@ class Tape {
     ir::Type elemType() const { return elem_; }
 
     /** Elements available to the consumer. */
-    std::int64_t available() const { return wp_ - rp_; }
+    std::int64_t available() const;
 
     /** @name Scalar-side accesses (subject to transposition).
      *  @{
@@ -94,6 +107,21 @@ class Tape {
     void setWriteTranspose(TransposeSpec t) { writeT_ = t; }
 
     /**
+     * Back this tape with a bounded lock-free SPSC ring (cross-thread
+     * tapes of a multicore partition). Must be installed before any
+     * traffic; @p ring must outlive the tape's use and be sized by the
+     * caller so the producer never wraps onto unconsumed data.
+     */
+    void setRing(SpscRing* ring);
+    bool ringBacked() const { return ring_ != nullptr; }
+    /** Publish the exact write cursor, partial transpose blocks
+     *  included (producer side, at iteration barriers only). */
+    void flushRingTail();
+    /** Release the exact read cursor, partial transpose blocks
+     *  included (consumer side, at iteration barriers only). */
+    void flushRingHead();
+
+    /**
      * Capture every element the consumer pops, in consumption order,
      * into @p buf (used to record program output at the sink). Null
      * disables capture. A plain buffer pointer, not a callback: this
@@ -123,6 +151,9 @@ class Tape {
     void capture(std::uint32_t bits);
     void captureSlow(std::uint32_t bits);
     void compactSlow();
+    std::uint32_t ringPopRaw();
+    std::uint32_t ringPeekRaw(std::int64_t offset) const;
+    void ringPushRaw(std::uint32_t bits);
 
     /** Logical indexes below this many behind rp trigger compaction. */
     static constexpr std::int64_t kCompactThreshold = 1 << 16;
@@ -134,6 +165,7 @@ class Tape {
     std::int64_t wp_ = 0;
     TransposeSpec readT_;
     TransposeSpec writeT_;
+    SpscRing* ring_ = nullptr;
     std::vector<Value>* capture_ = nullptr;
     std::int64_t totalPushed_ = 0;
     std::int64_t maxOccupancy_ = 0;
@@ -192,6 +224,8 @@ inline std::uint32_t
 Tape::peekRaw(std::int64_t offset) const
 {
     panicIf(offset < 0, "negative peek offset");
+    if (ring_)
+        return ringPeekRaw(offset);
     panicIf(rp_ + offset >= wp_, "peek(", offset,
             ") beyond available data (", available(), " elements)");
     return read(mapRead(rp_ + offset));
@@ -200,6 +234,8 @@ Tape::peekRaw(std::int64_t offset) const
 inline std::uint32_t
 Tape::popRaw()
 {
+    if (ring_)
+        return ringPopRaw();
     panicIf(rp_ >= wp_, "pop from empty tape");
     std::uint32_t bits = read(mapRead(rp_));
     ++rp_;
@@ -211,6 +247,10 @@ Tape::popRaw()
 inline void
 Tape::pushRaw(std::uint32_t bits)
 {
+    if (ring_) {
+        ringPushRaw(bits);
+        return;
+    }
     write(mapWrite(wp_), bits);
     ++wp_;
     ++totalPushed_;

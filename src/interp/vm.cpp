@@ -11,15 +11,28 @@
  * Direct-threaded dispatch (GNU computed goto) replaces the switch's
  * bounds-check + shared indirect jump with one indirect jump per
  * opcode, which branch predictors track far better. The switch
- * fallback below is semantically identical.
+ * fallback below is semantically identical; define
+ * MACROSS_NO_COMPUTED_GOTO to force it (for A/B dispatch benchmarks
+ * and for compilers that mis-build the label table).
  */
-#if defined(__GNUC__) || defined(__clang__)
+#if (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(MACROSS_NO_COMPUTED_GOTO)
 #define MACROSS_VM_COMPUTED_GOTO 1
 #else
 #define MACROSS_VM_COMPUTED_GOTO 0
 #endif
 
 namespace macross::interp {
+
+const char*
+vmDispatcherName()
+{
+#if MACROSS_VM_COMPUTED_GOTO
+    return "computed-goto";
+#else
+    return "switch";
+#endif
+}
 
 using bytecode::Code;
 using bytecode::Instr;

@@ -26,6 +26,14 @@
 namespace macross::interp {
 
 /**
+ * Which dispatch loop this build compiled in: "computed-goto" (GNU
+ * direct-threaded dispatch) or "switch" (portable fallback, forced by
+ * defining MACROSS_NO_COMPUTED_GOTO). Surfaced in Runner::statsToJson
+ * so archived benchmark runs record the dispatcher they measured.
+ */
+const char* vmDispatcherName();
+
+/**
  * Per-actor persistent storage for the bytecode engine: dense scalar
  * slots (the compiled replacement for the locals/state Envs) and
  * array backing stores. Slots persist across firings, matching the

@@ -69,6 +69,56 @@ CostSink::actorClassCycles(int actor_id, OpClass c) const
     return byActorClass_[actor_id][static_cast<int>(c)];
 }
 
+double
+CostSink::attributedCycles() const
+{
+    double total = 0.0;
+    for (double c : byActor_)
+        total += c;
+    return total;
+}
+
+void
+CostSink::assignDisjointUnion(const std::vector<const CostSink*>& parts)
+{
+    const int numClasses = static_cast<int>(OpClass::NumClasses);
+    reset();
+    currentActor_ = -1;
+
+    std::size_t actors = byActor_.size();
+    for (const CostSink* p : parts)
+        actors = std::max(actors, p->byActor_.size());
+    byActor_.assign(actors, 0.0);
+    byActorClass_.assign(actors, {});
+
+    for (const CostSink* p : parts) {
+        panicIf(p == this, "assignDisjointUnion of a sink with itself");
+        for (std::size_t a = 0; a < p->byActor_.size(); ++a) {
+            if (p->byActor_[a] == 0.0 &&
+                (a >= p->byActorClass_.size() ||
+                 p->byActorClass_[a].empty()))
+                continue;
+            panicIf(byActor_[a] != 0.0 || !byActorClass_[a].empty(),
+                    "actor ", a, " charged in two merge parts");
+            byActor_[a] = p->byActor_[a];
+            if (a < p->byActorClass_.size())
+                byActorClass_[a] = p->byActorClass_[a];
+        }
+        for (int c = 0; c < numClasses; ++c)
+            opsByClass_[c] += p->opsByClass_[c];
+    }
+
+    // Cross-actor aggregates in actor-id order: the same bits no
+    // matter how actors were spread over the parts.
+    for (std::size_t a = 0; a < byActor_.size(); ++a) {
+        total_ += byActor_[a];
+        if (byActorClass_[a].empty())
+            continue;
+        for (int c = 0; c < numClasses; ++c)
+            byClass_[c] += byActorClass_[a][c];
+    }
+}
+
 json::Value
 CostSink::toJson(const std::vector<std::string>& actor_names) const
 {

@@ -58,6 +58,31 @@ class CostSink {
      */
     double actorClassCycles(int actor_id, OpClass c) const;
 
+    /**
+     * Sum of per-actor attributed cycles in ascending actor-id order.
+     * Because FP addition is order-sensitive, this canonical order
+     * makes the result independent of how charges from different
+     * actors interleaved — it is the quantity the parallel runner can
+     * reproduce bit-exactly at any thread count. Equals totalCycles()
+     * when every charge was actor-attributed and the sink was built by
+     * assignDisjointUnion.
+     */
+    double attributedCycles() const;
+
+    /**
+     * Replace this sink's contents with the union of @p parts, whose
+     * actor attributions must be disjoint (each actor charged in at
+     * most one part — true for per-thread sinks of a partitioned run,
+     * where an actor fires on exactly one thread). Per-actor cells are
+     * copied bit-exactly; op counts are summed (exact, integer); the
+     * per-class and total aggregates are recomputed in ascending
+     * actor-id order so the result is identical for any distribution
+     * of actors over parts. Charges never attributed to an actor
+     * cannot be represented and must not exist in @p parts (the
+     * runner always sets an actor before charging).
+     */
+    void assignDisjointUnion(const std::vector<const CostSink*>& parts);
+
     const MachineDesc& machine() const { return *machine_; }
 
     /**

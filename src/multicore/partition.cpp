@@ -11,6 +11,14 @@
 
 namespace macross::multicore {
 
+std::int64_t
+steadyTapeWords(const graph::FlatGraph& g, const schedule::Schedule& s,
+                int tape_id)
+{
+    const graph::TapeDesc& t = g.tapes[tape_id];
+    return s.reps[t.src] * g.actor(t.src).pushRate(t.srcPort);
+}
+
 Partition
 partitionGreedy(const graph::FlatGraph& g, const schedule::Schedule& s,
                 const std::vector<double>& actor_cycles, int cores)
@@ -43,11 +51,9 @@ partitionGreedy(const graph::FlatGraph& g, const schedule::Schedule& s,
         p.coreLoad[best] += actor_cycles[id];
     }
 
-    for (const auto& t : g.tapes) {
-        if (p.coreOf[t.src] != p.coreOf[t.dst]) {
-            p.commWords +=
-                s.reps[t.src] * g.actor(t.src).pushRate(t.srcPort);
-        }
+    for (std::size_t i = 0; i < g.tapes.size(); ++i) {
+        if (p.crossing(g.tapes[i]))
+            p.commWords += steadyTapeWords(g, s, static_cast<int>(i));
     }
     return p;
 }
@@ -58,17 +64,18 @@ estimateMulticore(const graph::FlatGraph& g, const schedule::Schedule& s,
                   double sync_cycles)
 {
     MulticoreEstimate e;
+    e.edgeCrossWords.assign(g.tapes.size(), 0);
     std::vector<double> coreTime = part.coreLoad;
-    for (const auto& t : g.tapes) {
-        int cs = part.coreOf[t.src];
-        int cd = part.coreOf[t.dst];
-        if (cs == cd)
+    for (std::size_t i = 0; i < g.tapes.size(); ++i) {
+        const auto& t = g.tapes[i];
+        if (!part.crossing(t))
             continue;
-        double words = static_cast<double>(
-            s.reps[t.src] * g.actor(t.src).pushRate(t.srcPort));
+        std::int64_t w = steadyTapeWords(g, s, static_cast<int>(i));
+        e.edgeCrossWords[i] = w;
+        double words = static_cast<double>(w);
         // Half the per-word cost on each side of the channel.
-        coreTime[cs] += words * per_word_cycles * 0.5;
-        coreTime[cd] += words * per_word_cycles * 0.5;
+        coreTime[part.coreOf[t.src]] += words * per_word_cycles * 0.5;
+        coreTime[part.coreOf[t.dst]] += words * per_word_cycles * 0.5;
         e.commCycles += words * per_word_cycles;
     }
     e.maxLoad =

@@ -25,7 +25,21 @@ struct Partition {
     std::vector<double> coreLoad;  ///< Compute cycles per core.
     std::int64_t commWords = 0;    ///< Tape words crossing cores per
                                    ///< steady state.
+
+    /** True when tape @p tape_id connects actors on different cores. */
+    bool crossing(const graph::TapeDesc& t) const
+    {
+        return coreOf[t.src] != coreOf[t.dst];
+    }
 };
+
+/**
+ * Words moved over tape @p tape_id per steady-state iteration
+ * (producer firings x push rate; equal to consumer traffic by the
+ * rate-match invariant).
+ */
+std::int64_t steadyTapeWords(const graph::FlatGraph& g,
+                             const schedule::Schedule& s, int tape_id);
 
 /**
  * LPT-greedy partition of @p g over @p cores using per-actor
@@ -41,6 +55,14 @@ struct MulticoreEstimate {
     double cycles = 0.0;      ///< Bottleneck core incl. comm.
     double maxLoad = 0.0;     ///< Compute-only bottleneck.
     double commCycles = 0.0;  ///< Total communication cycles.
+
+    /**
+     * Words crossing cores per steady iteration, per tape id (zero for
+     * intra-core tapes). This is the per-edge decomposition of
+     * Partition::commWords; the parallel runner sizes its SPSC rings
+     * from it.
+     */
+    std::vector<std::int64_t> edgeCrossWords;
 };
 
 /**

@@ -80,6 +80,43 @@ TEST(Partition, MoreCoresNeverHurtComputeBound)
                   1e-9);
 }
 
+TEST(Partition, SteadyTapeWordsMatchesRateMath)
+{
+    auto p = vectorizer::compileScalar(benchmarks::makeFmRadio());
+    for (std::size_t i = 0; i < p.graph.tapes.size(); ++i) {
+        const auto& t = p.graph.tapes[i];
+        EXPECT_EQ(steadyTapeWords(p.graph, p.schedule,
+                                  static_cast<int>(i)),
+                  p.schedule.reps[t.src] *
+                      p.graph.actor(t.src).pushRate(t.srcPort));
+    }
+}
+
+TEST(Partition, EdgeCrossWordsDecomposeCommWords)
+{
+    auto p = vectorizer::compileScalar(benchmarks::makeFilterBank());
+    auto cycles = profileActorCycles(p, machine::coreI7());
+    Partition part = partitionGreedy(p.graph, p.schedule, cycles, 4);
+    MulticoreEstimate e =
+        estimateMulticore(p.graph, p.schedule, part, 12.0, 200.0);
+    ASSERT_EQ(e.edgeCrossWords.size(), p.graph.tapes.size());
+    std::int64_t sum = 0;
+    for (std::size_t i = 0; i < p.graph.tapes.size(); ++i) {
+        const auto& t = p.graph.tapes[i];
+        if (part.crossing(t)) {
+            EXPECT_EQ(e.edgeCrossWords[i],
+                      steadyTapeWords(p.graph, p.schedule,
+                                      static_cast<int>(i)));
+        } else {
+            EXPECT_EQ(e.edgeCrossWords[i], 0);
+        }
+        sum += e.edgeCrossWords[i];
+    }
+    // The per-edge decomposition re-aggregates to the partition's
+    // total crossing traffic.
+    EXPECT_EQ(sum, part.commWords);
+}
+
 TEST(Partition, RejectsBadInputs)
 {
     auto p = vectorizer::compileScalar(benchmarks::makeFmRadio());

@@ -171,6 +171,48 @@ TEST(CliReport, EngineFlagSelectsEngineAndMatchesCycles)
     std::remove(vmOut.c_str());
 }
 
+TEST(CliReport, ThreadsFlagReportsParallelSectionWithSameCycles)
+{
+    const std::string serialOut = "cli_report_serial_out.json";
+    const std::string parOut = "cli_report_parallel_out.json";
+    std::remove(serialOut.c_str());
+    std::remove(parOut.c_str());
+    ASSERT_EQ(runCli("--bench FMRadio --simd --run 20 "
+                     "--json-report " + serialOut),
+              0);
+    ASSERT_EQ(runCli("--bench FMRadio --simd --run 20 --threads 2 "
+                     "--json-report " + parOut),
+              0);
+
+    json::Value serial = json::parse(readFile(serialOut));
+    json::Value par = json::parse(readFile(parOut));
+
+    EXPECT_EQ(par.find("run")->find("threads")->asInt(), 2);
+    const json::Value* stats = par.find("run")->find("stats");
+    const json::Value* p = stats->find("parallel");
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->find("threads")->asInt(), 2);
+    ASSERT_GT(p->find("coreOf")->size(), 0u);
+    EXPECT_EQ(p->find("coreLoad")->size(), 2u);
+    ASSERT_GT(p->find("rings")->size(), 0u);
+    for (const json::Value& r : p->find("rings")->items()) {
+        EXPECT_GT(r.find("capacity")->asInt(), 0);
+        EXPECT_GT(r.find("wordsPerIteration")->asInt(), 0);
+    }
+    EXPECT_GT(p->find("steadyWallMicros")->asDouble(), 0.0);
+    ASSERT_NE(p->find("measuredSpeedup"), nullptr);
+
+    // The parallel run models the exact same cycles as the serial one.
+    EXPECT_DOUBLE_EQ(
+        serial.find("run")->find("totalCycles")->asDouble(),
+        par.find("run")->find("totalCycles")->asDouble());
+
+    EXPECT_NE(runCli("--bench FMRadio --threads 0"), 0);
+
+    std::remove(serialOut.c_str());
+    std::remove(parOut.c_str());
+}
+
 TEST(CliReport, HelpExitsCleanly)
 {
     EXPECT_EQ(runCli("--help"), 0);

@@ -15,10 +15,13 @@
  * the single source of truth).
  */
 #include <charconv>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <functional>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "autovec/gcc_like.h"
@@ -27,8 +30,10 @@
 #include "codegen/emit_cpp.h"
 #include "frontend/parser.h"
 #include "graph/dot.h"
+#include "interp/parallel_runner.h"
 #include "interp/runner.h"
 #include "lowering/lowered.h"
+#include "multicore/partition.h"
 #include "support/diagnostics.h"
 #include "support/json.h"
 #include "support/trace.h"
@@ -59,6 +64,7 @@ struct CliConfig {
     bool permute = true;
     int width = 4;
     int iters = 10;
+    int threads = 1;
 };
 
 /** One entry of the declarative option table. */
@@ -136,6 +142,10 @@ optionTable()
          }},
         {"--run", "N", "steady-state iterations (default 10)",
          integer(&CliConfig::iters)},
+        {"--threads", "N",
+         "execute the steady state on N worker threads over a greedy "
+         "multicore partition (default 1)",
+         integer(&CliConfig::threads)},
         {"--report", nullptr,
          "print per-op-class and per-actor cycle breakdowns",
          flag(&CliConfig::report, true)},
@@ -242,6 +252,10 @@ main(int argc, char** argv)
     }
     if (cfg.sourceFile.empty() == cfg.benchName.empty())
         return usage(argv[0]);
+    if (cfg.threads < 1) {
+        std::fprintf(stderr, "--threads wants a positive count\n");
+        return usage(argv[0]);
+    }
 
     try {
         graph::StreamPtr program =
@@ -294,6 +308,8 @@ main(int argc, char** argv)
                          engine);
         if (wantTrace)
             r.setTrace(&trace);
+        std::vector<std::pair<int, interp::ActorExecConfig>>
+            actorConfigs;
         if (!cfg.autovecName.empty()) {
             auto lp =
                 lowering::lower(compiled.graph, compiled.schedule);
@@ -301,14 +317,21 @@ main(int argc, char** argv)
                 cfg.autovecName == "gcc"
                     ? autovec::gccAutovectorize(lp, opts.machine)
                     : autovec::iccAutovectorize(lp, opts.machine);
-            for (auto& [id, c] : av.configs)
+            for (auto& [id, c] : av.configs) {
                 r.setActorConfig(id, c);
+                actorConfigs.emplace_back(id, c);
+            }
             for (const auto& line : av.log)
                 std::printf("[autovec] %s\n", line.c_str());
         }
         r.runInit();
         std::size_t before = r.captured().size();
+        auto wall0 = std::chrono::steady_clock::now();
         r.runSteady(cfg.iters);
+        double serialWallMicros =
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - wall0)
+                .count();
         std::size_t produced = r.captured().size() - before;
 
         std::printf("\nran %d steady-state iterations on %s (%d-wide"
@@ -320,6 +343,55 @@ main(int argc, char** argv)
                     "(%.2f cycles/element)\n",
                     produced, cost.totalCycles(),
                     produced ? cost.totalCycles() / produced : 0.0);
+
+        // --threads N: repeat the same steady iterations on a worker
+        // pool over a greedy partition, with the serial run above as
+        // the profiling source and the wall-clock baseline.
+        std::unique_ptr<machine::CostSink> parCost;
+        std::unique_ptr<interp::ParallelRunner> par;
+        if (cfg.threads > 1) {
+            std::vector<double> actorCycles(
+                compiled.graph.actors.size(), 0.0);
+            for (const auto& a : compiled.graph.actors)
+                actorCycles[a.id] = cost.actorCycles(a.id);
+            multicore::Partition part = multicore::partitionGreedy(
+                compiled.graph, compiled.schedule, actorCycles,
+                cfg.threads);
+
+            parCost =
+                std::make_unique<machine::CostSink>(opts.machine);
+            par = std::make_unique<interp::ParallelRunner>(
+                compiled.graph, compiled.schedule, part,
+                parCost.get(), engine);
+            for (auto& [id, c] : actorConfigs)
+                par->setActorConfig(id, c);
+            par->runInit();
+            par->runSteady(cfg.iters);
+            par->setBaselineWallMicros(serialWallMicros);
+
+            bool identical =
+                par->captured().size() == r.captured().size();
+            for (std::size_t i = 0; identical &&
+                                    i < par->captured().size();
+                 ++i) {
+                identical = par->captured()[i].rawBits(0) ==
+                            r.captured()[i].rawBits(0);
+            }
+            std::printf("\nparallel run on %d threads:\n",
+                        cfg.threads);
+            for (int c = 0; c < part.cores; ++c) {
+                std::printf("  core %d: %12.0f modeled cycles\n", c,
+                            part.coreLoad[c]);
+            }
+            std::printf("  crossing words/iter: %lld, output %s, "
+                        "measured speedup: %.2fx\n",
+                        static_cast<long long>(part.commWords),
+                        identical ? "bit-identical" : "MISMATCH",
+                        par->steadyWallMicros() > 0.0
+                            ? serialWallMicros /
+                                  par->steadyWallMicros()
+                            : 0.0);
+        }
 
         if (cfg.report) {
             std::printf("\nper-op-class breakdown:\n");
@@ -379,12 +451,16 @@ main(int argc, char** argv)
 
             json::Value run = json::Value::object();
             run["iterations"] = cfg.iters;
+            run["threads"] = cfg.threads;
             run["sinkElements"] = produced;
             run["totalCycles"] = cost.totalCycles();
             run["cyclesPerElement"] =
                 produced ? cost.totalCycles() / produced : 0.0;
             run["cost"] = cost.toJson(names);
-            run["stats"] = r.statsToJson();
+            // With --threads the parallel runner's stats subsume the
+            // serial ones and add the "parallel" section (partition,
+            // rings, measured speedup).
+            run["stats"] = par ? par->statsToJson() : r.statsToJson();
             root["run"] = std::move(run);
 
             root["trace"] = trace.toJson();
