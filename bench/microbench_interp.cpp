@@ -8,10 +8,13 @@
 
 #include <thread>
 
+#include "benchmarks/common.h"
 #include "benchmarks/suite.h"
+#include "interp/compile_actor.h"
 #include "interp/parallel_runner.h"
 #include "interp/runner.h"
 #include "interp/spsc_queue.h"
+#include "interp/verify.h"
 #include "machine/machine_desc.h"
 #include "machine/permutation.h"
 #include "machine/sagu.h"
@@ -72,6 +75,28 @@ BENCHMARK_CAPTURE(BM_SimdizedInterpretation, tree,
                   interp::ExecEngine::Tree);
 BENCHMARK_CAPTURE(BM_SimdizedInterpretation, bytecode,
                   interp::ExecEngine::Bytecode);
+
+/**
+ * The bytecode verifier's full cost. It runs once per actor at
+ * compile time (Runner::ensureCompiled); steady-state firing pays
+ * zero for it — BM_SteadyStateInterpretation above measures runs that
+ * were all verified and shows no per-instruction overhead versus
+ * pre-verifier builds. This benchmark bounds the one-time cost.
+ */
+void
+BM_BytecodeVerify(benchmark::State& state)
+{
+    machine::MachineDesc m = machine::coreI7();
+    interp::bytecode::CompileOptions opts;
+    opts.machine = &m;
+    auto def = benchmarks::firFilter("fir", 8, 1, 0.3f);
+    auto ca = interp::bytecode::compileActor(*def, opts);
+    for (auto _ : state) {
+        auto errs = interp::bytecode::verifyActor(ca, *def);
+        benchmark::DoNotOptimize(errs.size());
+    }
+}
+BENCHMARK(BM_BytecodeVerify);
 
 void
 BM_MacroSimdizePass(benchmark::State& state)

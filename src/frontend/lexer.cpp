@@ -26,6 +26,38 @@ isIdentChar(char c)
 
 } // namespace
 
+std::string
+caretSnippet(const std::string& source, int line, int col)
+{
+    if (line < 1 || col < 1)
+        return "";
+    std::size_t begin = 0;
+    for (int l = 1; l < line; ++l) {
+        std::size_t nl = source.find('\n', begin);
+        if (nl == std::string::npos)
+            return "";
+        begin = nl + 1;
+    }
+    std::size_t end = source.find('\n', begin);
+    if (end == std::string::npos)
+        end = source.size();
+    const std::string text = source.substr(begin, end - begin);
+
+    const std::string num = std::to_string(line);
+    std::string out = "\n  " + num + " | " + text + "\n  ";
+    out.append(num.size(), ' ');
+    out += " | ";
+    // The caret column counts characters the way the lexer does (one
+    // per char, tabs included), so reproduce any tabs verbatim.
+    for (int k = 0; k + 1 < col; ++k) {
+        const std::size_t idx = begin + static_cast<std::size_t>(k);
+        out += (idx < source.size() && source[idx] == '\t') ? '\t'
+                                                            : ' ';
+    }
+    out += '^';
+    return out;
+}
+
 std::vector<Token>
 tokenize(const std::string& source)
 {
@@ -62,12 +94,14 @@ tokenize(const std::string& source)
         }
         if (c == '/' && peekc(1) == '*') {
             int startLine = line;
+            int startCol = col;
             advance();
             advance();
             while (i < n && !(peekc() == '*' && peekc(1) == '/'))
                 advance();
             fatalIf(i >= n, "unterminated block comment starting at "
-                            "line ", startLine);
+                            "line ", startLine,
+                    caretSnippet(source, startLine, startCol));
             advance();
             advance();
             continue;
@@ -125,12 +159,21 @@ tokenize(const std::string& source)
                 advance();
             }
             t.text = s;
-            if (isFloat) {
-                t.kind = Tok::FloatLit;
-                t.fval = std::stof(s);
-            } else {
-                t.kind = Tok::IntLit;
-                t.ival = std::stoll(s);
+            try {
+                if (isFloat) {
+                    t.kind = Tok::FloatLit;
+                    t.fval = std::stof(s);
+                } else {
+                    t.kind = Tok::IntLit;
+                    t.ival = std::stoll(s);
+                }
+            } catch (const std::exception&) {
+                // stof/stoll throw out_of_range on huge literals (and
+                // invalid_argument on degenerate ones like "."); turn
+                // both into a source diagnostic instead of an escape.
+                fatal("numeric literal '", s, "' out of range at line ",
+                      t.line, ", column ", t.col,
+                      caretSnippet(source, t.line, t.col));
             }
             out.push_back(std::move(t));
             continue;
@@ -183,7 +226,8 @@ tokenize(const std::string& source)
         }
 
         fatal("unexpected character '", std::string(1, c),
-              "' at line ", line, ", column ", col);
+              "' at line ", line, ", column ", col,
+              caretSnippet(source, line, col));
     }
 
     Token end;

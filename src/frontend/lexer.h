@@ -35,9 +35,22 @@ struct Token {
 
 /**
  * Tokenize @p source. `//` line comments and `/ * ... * /` block
- * comments are skipped. Calls fatal() with line/column info on
- * malformed input.
+ * comments are skipped. Calls fatal() with line/column info and a
+ * caret-annotated source snippet on malformed input.
  */
 std::vector<Token> tokenize(const std::string& source);
+
+/**
+ * Render the offending source line with a caret under @p col for
+ * diagnostics, e.g.
+ *
+ *       3 |     work pop 1 push 1 {
+ *         |         ^
+ *
+ * Lines are 1-based; returns "" when @p line is out of range. Tabs
+ * before the caret are preserved in the marker line so the caret
+ * stays aligned under any tab width.
+ */
+std::string caretSnippet(const std::string& source, int line, int col);
 
 } // namespace macross::frontend

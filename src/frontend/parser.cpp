@@ -41,7 +41,11 @@ using ConstEnv = std::unordered_map<std::string, ExprPtr>;
 
 class Parser {
   public:
-    explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+    explicit Parser(std::vector<Token> toks,
+                    const std::string* source = nullptr)
+        : toks_(std::move(toks)), source_(source)
+    {
+    }
 
     StreamPtr program();
 
@@ -61,8 +65,21 @@ class Parser {
               cur().col, ": ", what,
               cur().kind == Tok::End
                   ? " (at end of input)"
-                  : " (near '" + cur().text + "')");
+                  : " (near '" + cur().text + "')",
+              source_ ? caretSnippet(*source_, cur().line, cur().col)
+                      : "");
     }
+
+    /** Guards parseStmt/parseUnary against fuzz-depth stack overflow. */
+    struct DepthGuard {
+        explicit DepthGuard(Parser& p) : p_(p)
+        {
+            if (++p_.nestingDepth_ > 256)
+                p_.err("expression or statement nested too deeply");
+        }
+        ~DepthGuard() { --p_.nestingDepth_; }
+        Parser& p_;
+    };
 
     bool isPunct(const char* s) const
     {
@@ -144,10 +161,12 @@ class Parser {
     std::int64_t constIntExpr(BodyCtx& ctx, const char* what);
 
     std::vector<Token> toks_;
+    const std::string* source_ = nullptr;
     std::size_t pos_ = 0;
     std::unordered_map<std::string, Template> templates_;
     std::vector<std::string> pipelineOrder_;
     int instantiationDepth_ = 0;
+    int nestingDepth_ = 0;
 };
 
 ir::Type
@@ -471,6 +490,7 @@ Parser::parseStmts(BodyCtx& ctx, BlockBuilder& out)
 void
 Parser::parseStmt(BodyCtx& ctx, BlockBuilder& out)
 {
+    DepthGuard depth(*this);
     // Local declaration.
     if ((isIdent("int") || isIdent("float")) &&
         next().kind == Tok::Ident) {
@@ -675,6 +695,7 @@ Parser::parseBinary(BodyCtx& ctx, int minPrec)
 ExprPtr
 Parser::parseUnary(BodyCtx& ctx)
 {
+    DepthGuard depth(*this);
     if (isPunct("-")) {
         bump();
         return -parseUnary(ctx);
@@ -800,7 +821,7 @@ Parser::constIntExpr(BodyCtx& ctx, const char* what)
 StreamPtr
 parseProgram(const std::string& source)
 {
-    Parser p(tokenize(source));
+    Parser p(tokenize(source), &source);
     return p.program();
 }
 

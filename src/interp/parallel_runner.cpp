@@ -9,6 +9,7 @@
 
 #include "schedule/buffers.h"
 #include "support/diagnostics.h"
+#include "support/fault.h"
 
 #ifdef __linux__
 #include <pthread.h>
@@ -22,8 +23,8 @@ ParallelRunner::ParallelRunner(const graph::FlatGraph& g,
                                const multicore::Partition& part,
                                machine::CostSink* cost,
                                ExecEngine engine, Options opt)
-    : graph_(&g), sched_(&s), part_(part), cost_(cost), opt_(opt),
-      runner_(g, s, cost, engine)
+    : graph_(&g), sched_(&s), part_(part), cost_(cost),
+      engine_(engine), opt_(opt), runner_(g, s, cost, engine)
 {
     fatalIf(part_.cores < 1, "parallel run over zero cores");
     fatalIf(part_.coreOf.size() != g.actors.size(),
@@ -114,6 +115,9 @@ ParallelRunner::setActorConfig(int actor_id, ActorExecConfig cfg)
 {
     panicIf(runner_.initDone(),
             "setActorConfig after runInit on a parallel runner");
+    // Keep a copy: the serial fallback must run the same per-actor
+    // configuration to reproduce the exact output and cycles.
+    actorConfigs_.emplace_back(actor_id, cfg);
     runner_.setActorConfig(actor_id, std::move(cfg));
 }
 
@@ -154,27 +158,34 @@ ParallelRunner::workerLoop(int worker_id)
             cv_.wait(lk, [&] {
                 return stop_ || generation_ != seenGen;
             });
-            if (stop_)
+            if (stop_) {
+                w.exited = true;
+                ++exitedCount_;
+                cv_.notify_all();
                 return;
+            }
             seenGen = generation_;
             iters = batchIters_;
         }
         try {
-            runBatch(w, iters);
+            runBatch(worker_id, w, iters);
         } catch (...) {
             w.error = std::current_exception();
         }
         {
             std::lock_guard<std::mutex> lk(mu_);
             ++doneCount_;
+            w.doneGen = seenGen;
         }
         cv_.notify_all();
     }
 }
 
 void
-ParallelRunner::runBatch(Worker& w, int iterations)
+ParallelRunner::runBatch(int worker_id, Worker& w, int iterations)
 {
+    std::int64_t wid = worker_id;
+    support::FaultInjector::fire("parallel.worker.batch", &wid);
     for (int it = 0; it < iterations; ++it) {
         for (const SliceEntry& e : w.slice) {
             for (std::int64_t k = 0; k < e.reps; ++k)
@@ -191,41 +202,207 @@ ParallelRunner::runBatch(Worker& w, int iterations)
         t->flushRingHead();
 }
 
-void
+std::optional<ParallelFault>
 ParallelRunner::dispatchBatch(int iterations)
 {
+    std::int64_t gen = 0;
     {
         std::lock_guard<std::mutex> lk(mu_);
         batchIters_ = iterations;
         doneCount_ = 0;
-        ++generation_;
+        gen = ++generation_;
     }
     cv_.notify_all();
+    const auto t0 = std::chrono::steady_clock::now();
+    auto elapsedMs = [&] {
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    };
+    bool finished = true;
     {
         std::unique_lock<std::mutex> lk(mu_);
-        cv_.wait(lk, [&] {
+        auto allDone = [&] {
             return doneCount_ == static_cast<int>(workers_.size());
+        };
+        if (opt_.watchdogMs > 0)
+            finished = cv_.wait_for(
+                lk, std::chrono::milliseconds(opt_.watchdogMs),
+                allDone);
+        else
+            cv_.wait(lk, allDone);
+        if (!finished) {
+            ParallelFault f;
+            f.kind = "workerStall";
+            f.generation = gen;
+            f.batchIterations = iterations;
+            f.detectedAfterMs = elapsedMs();
+            for (std::size_t i = 0; i < workers_.size(); ++i) {
+                if (workers_[i]->doneGen != gen)
+                    f.pendingWorkers.push_back(static_cast<int>(i));
+            }
+            f.message = "batch generation " + std::to_string(gen) +
+                        " did not complete within " +
+                        std::to_string(opt_.watchdogMs) +
+                        " ms watchdog; " +
+                        std::to_string(f.pendingWorkers.size()) +
+                        " worker(s) pending";
+            return f;
+        }
+    }
+    for (auto& w : workers_) {
+        if (!w->error)
+            continue;
+        std::exception_ptr e = w->error;
+        w->error = nullptr;
+        if (opt_.watchdogMs <= 0)
+            std::rethrow_exception(e);  // Legacy: caller's problem.
+        ParallelFault f;
+        f.kind = "workerError";
+        f.generation = gen;
+        f.batchIterations = iterations;
+        f.detectedAfterMs = elapsedMs();
+        f.pendingWorkers.push_back(static_cast<int>(&w - workers_.data()));
+        try {
+            std::rethrow_exception(e);
+        } catch (const std::exception& ex) {
+            f.message = ex.what();
+        } catch (...) {
+            f.message = "non-standard exception";
+        }
+        return f;
+    }
+    return std::nullopt;
+}
+
+void
+ParallelRunner::degradeToSerial(ParallelFault fault,
+                                std::int64_t target_iters)
+{
+    // 1. Stop the pool. Workers blocked inside a ring wait (their
+    // peer died mid-batch) cannot see stop_; aborting the waits makes
+    // them panic out promptly, the batch loop catches it, and they
+    // park like any other finished worker.
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& r : rings_) {
+        if (r)
+            r->abortWaits();
+    }
+    // 2. Grace wait for all workers to exit, then join them. A worker
+    // that is still wedged past the grace period (stalled in user code
+    // the abort cannot reach) is detached: it holds only references
+    // into this runner, which stays alive, and it can no longer pass a
+    // barrier since stop_ is set.
+    const auto grace = std::chrono::milliseconds(
+        std::max<std::int64_t>(10 * opt_.watchdogMs, 2000));
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        fault.cleanShutdown = cv_.wait_for(lk, grace, [&] {
+            return exitedCount_ == static_cast<int>(workers_.size());
         });
     }
     for (auto& w : workers_) {
-        if (w->error) {
-            std::exception_ptr e = w->error;
-            w->error = nullptr;
-            std::rethrow_exception(e);
-        }
+        if (!w->thread.joinable())
+            continue;
+        if (fault.cleanShutdown || w->exited)
+            w->thread.join();
+        else
+            w->thread.detach();
     }
+    // 3. Snapshot the parallel run's captures for verification. The
+    // sink worker appends in serial order even mid-batch, so whatever
+    // is there is a prefix of the serial stream — but only a clean
+    // shutdown guarantees nobody is still appending.
+    std::vector<Value> prefix;
+    if (fault.cleanShutdown)
+        prefix = runner_.captured();
+
+    // 4. Fresh serial runner over the same graph/schedule/configs;
+    // replay the entire steady history from scratch. Its cost sink
+    // starts empty so the merged totals are the exact serial ones.
+    if (cost_)
+        fallbackCost_ =
+            std::make_unique<machine::CostSink>(cost_->machine());
+    fallback_ = std::make_unique<Runner>(*graph_, *sched_,
+                                         fallbackCost_.get(), engine_);
+    for (const auto& [id, cfg] : actorConfigs_)
+        fallback_->setActorConfig(id, cfg);
+    fallback_->enableCapture(captureEnabled_);
+    fallback_->runInit();
+    if (target_iters > 0)
+        fallback_->runSteady(static_cast<int>(target_iters));
+    fault.fallbackUsed = true;
+
+    // 5. Prefix verification: every element the parallel run captured
+    // must be bitwise identical to the serial replay.
+    if (fault.cleanShutdown) {
+        const std::vector<Value>& serial = fallback_->captured();
+        bool ok = prefix.size() <= serial.size();
+        for (std::size_t i = 0; ok && i < prefix.size(); ++i)
+            ok = prefix[i] == serial[i];
+        fault.fallbackVerified = ok;
+        fault.verifiedElements =
+            static_cast<std::int64_t>(prefix.size());
+    }
+    if (cost_) {
+        std::vector<const machine::CostSink*> parts{
+            fallbackCost_.get()};
+        cost_->assignDisjointUnion(parts);
+    }
+
+    if (trace_ && trace_->enabled()) {
+        json::Value payload = json::Value::object();
+        payload["kind"] = fault.kind;
+        payload["generation"] = fault.generation;
+        payload["cleanShutdown"] = fault.cleanShutdown;
+        payload["fallbackVerified"] = fault.fallbackVerified;
+        payload["targetIterations"] = target_iters;
+        trace_->event("interp", "parallelFault", std::move(payload));
+    }
+    faults_.push_back(std::move(fault));
 }
 
 void
 ParallelRunner::runSteady(int iterations)
 {
+    if (fallback_) {
+        // Already degraded: the pool is gone, the serial runner is
+        // the runner.
+        fallback_->runSteady(iterations);
+        completedIters_ += iterations;
+        steadyIterations_ += iterations;
+        if (cost_) {
+            std::vector<const machine::CostSink*> parts{
+                fallbackCost_.get()};
+            cost_->assignDisjointUnion(parts);
+        }
+        return;
+    }
     if (!runner_.initDone())
         runInit();
     const auto t0 = std::chrono::steady_clock::now();
     int remaining = iterations;
     while (remaining > 0) {
         const int b = std::min(remaining, opt_.batchIterations);
-        dispatchBatch(b);
+        if (auto fault = dispatchBatch(b)) {
+            // The caller asked for `iterations`; the fallback replays
+            // everything completed so far plus all of the rest, so
+            // post-conditions match a healthy run exactly.
+            degradeToSerial(std::move(*fault),
+                            completedIters_ + remaining);
+            completedIters_ += remaining;
+            steadyIterations_ += remaining;
+            steadyWallMicros_ +=
+                std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            return;
+        }
+        completedIters_ += b;
         remaining -= b;
     }
     steadyWallMicros_ += std::chrono::duration<double, std::micro>(
@@ -285,11 +462,35 @@ ParallelRunner::totalCycles() const
 json::Value
 ParallelRunner::statsToJson() const
 {
-    json::Value root = runner_.statsToJson();
+    // After degradation the fallback runner holds the authoritative
+    // per-actor stats (the parallel ones stop at the faulted batch).
+    json::Value root =
+        fallback_ ? fallback_->statsToJson() : runner_.statsToJson();
 
     json::Value par = json::Value::object();
     par["threads"] = part_.cores;
     par["batchIterations"] = opt_.batchIterations;
+    par["watchdogMs"] = opt_.watchdogMs;
+    par["degradedToSerial"] = (fallback_ != nullptr);
+    json::Value faults = json::Value::array();
+    for (const ParallelFault& f : faults_) {
+        json::Value jf = json::Value::object();
+        jf["kind"] = f.kind;
+        jf["generation"] = f.generation;
+        jf["batchIterations"] = f.batchIterations;
+        jf["detectedAfterMs"] = f.detectedAfterMs;
+        json::Value pending = json::Value::array();
+        for (int w : f.pendingWorkers)
+            pending.push(w);
+        jf["pendingWorkers"] = std::move(pending);
+        jf["message"] = f.message;
+        jf["cleanShutdown"] = f.cleanShutdown;
+        jf["fallbackUsed"] = f.fallbackUsed;
+        jf["fallbackVerified"] = f.fallbackVerified;
+        jf["verifiedElements"] = f.verifiedElements;
+        faults.push(std::move(jf));
+    }
+    par["faults"] = std::move(faults);
     json::Value coreOf = json::Value::array();
     for (int c : part_.coreOf)
         coreOf.push(c);

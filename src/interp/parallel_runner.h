@@ -30,7 +30,10 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "interp/runner.h"
@@ -52,6 +55,49 @@ struct ParallelOptions {
     std::int64_t minRingSlots = 64;
     /** Pin worker k to CPU k when the host has enough CPUs. */
     bool pinThreads = true;
+    /**
+     * Watchdog timeout per dispatched batch, in milliseconds. 0
+     * disables the watchdog: batch waits block indefinitely and a
+     * worker exception is rethrown on the calling thread (the legacy
+     * behavior). When positive, a batch that does not complete in time
+     * — a stalled, deadlocked, or crashed worker — is detected, the
+     * pool is shut down cleanly, and the run degrades to the serial
+     * Runner, which replays the whole steady history so the caller
+     * still observes bit-identical output and modeled cycles. Size it
+     * to a generous multiple of the expected batch wall time.
+     */
+    std::int64_t watchdogMs = 0;
+};
+
+/**
+ * One detected parallel-runtime fault: what the watchdog saw, and what
+ * the recovery achieved. Reported under run.stats.parallel.faults.
+ */
+struct ParallelFault {
+    /** "workerStall" (batch timeout) or "workerError" (exception). */
+    std::string kind;
+    /** Batch generation that faulted. */
+    std::int64_t generation = 0;
+    /** Iterations the faulted batch was dispatched with. */
+    int batchIterations = 0;
+    /** Wall-clock from dispatch to detection. */
+    double detectedAfterMs = 0.0;
+    /** Workers that had not finished the batch at detection. */
+    std::vector<int> pendingWorkers;
+    /** Human-readable diagnostic (exception text for workerError). */
+    std::string message;
+    /** All workers parked within the grace period (no detach). */
+    bool cleanShutdown = false;
+    /** Serial fallback was run. */
+    bool fallbackUsed = false;
+    /**
+     * The parallel run's captured prefix was bitwise re-verified
+     * against the serial fallback (only attempted after a clean
+     * shutdown; a detached worker could still be appending).
+     */
+    bool fallbackVerified = false;
+    /** Elements the prefix verification covered. */
+    std::int64_t verifiedElements = 0;
 };
 
 /** Executes a partitioned stream graph on worker threads. */
@@ -82,7 +128,11 @@ class ParallelRunner {
     void setActorConfig(int actor_id, ActorExecConfig cfg);
 
     /** Record every element the sink consumes. On by default. */
-    void enableCapture(bool on) { runner_.enableCapture(on); }
+    void enableCapture(bool on)
+    {
+        captureEnabled_ = on;
+        runner_.enableCapture(on);
+    }
 
     /** Run all init bodies and warm-up firings, single-threaded. */
     void runInit();
@@ -98,8 +148,14 @@ class ParallelRunner {
 
     const std::vector<Value>& captured() const
     {
-        return runner_.captured();
+        return fallback_ ? fallback_->captured() : runner_.captured();
     }
+
+    /** Faults detected so far (empty on a healthy run). */
+    const std::vector<ParallelFault>& faults() const { return faults_; }
+
+    /** True once a fault degraded this runner to the serial path. */
+    bool degradedToSerial() const { return fallback_ != nullptr; }
 
     /** Merged modeled cycles so far (0 without a sink). */
     double totalCycles() const;
@@ -149,16 +205,31 @@ class ParallelRunner {
         std::vector<Tape*> consumedRings;
         std::thread thread;
         std::exception_ptr error;
+        /** Last generation this worker finished (under mu_). */
+        std::int64_t doneGen = 0;
+        /** workerLoop returned; the thread is joinable fast. */
+        bool exited = false;
     };
 
     void workerLoop(int worker_id);
-    void runBatch(Worker& w, int iterations);
-    void dispatchBatch(int iterations);
+    void runBatch(int worker_id, Worker& w, int iterations);
+    /** Returns the detected fault, or nullopt when the batch ran. */
+    std::optional<ParallelFault> dispatchBatch(int iterations);
+    /**
+     * Watchdog recovery: stop the pool, abort ring waits so blocked
+     * workers park, join (or, past the grace period, detach) them,
+     * then build a fresh serial Runner, replay @p target_iters steady
+     * iterations from scratch, verify the parallel captured prefix
+     * bitwise against it, and merge its exact serial cost into cost_.
+     * Afterwards all reads route through the fallback runner.
+     */
+    void degradeToSerial(ParallelFault fault, std::int64_t target_iters);
 
     const graph::FlatGraph* graph_;
     const schedule::Schedule* sched_;
     multicore::Partition part_;
     machine::CostSink* cost_;
+    ExecEngine engine_;
     Options opt_;
     support::Trace* trace_ = nullptr;
 
@@ -167,6 +238,15 @@ class ParallelRunner {
                                                     ///< (null when
                                                     ///< intra-core).
     std::vector<std::unique_ptr<Worker>> workers_;
+
+    /** Replayed onto the fallback runner (setActorConfig history). */
+    std::vector<std::pair<int, ActorExecConfig>> actorConfigs_;
+    bool captureEnabled_ = true;
+
+    /** Fault records + the serial fallback state after degradation. */
+    std::vector<ParallelFault> faults_;
+    std::unique_ptr<machine::CostSink> fallbackCost_;
+    std::unique_ptr<Runner> fallback_;
 
     /** Generation-counted batch barrier: the main thread bumps
      *  generation_ to release workers, each worker reports into
@@ -178,11 +258,14 @@ class ParallelRunner {
     std::int64_t generation_ = 0;
     int batchIters_ = 0;
     int doneCount_ = 0;
+    int exitedCount_ = 0;
     bool stop_ = false;
 
     double steadyWallMicros_ = 0.0;
     double baselineWallMicros_ = 0.0;
     std::int64_t steadyIterations_ = 0;
+    /** Steady iterations completed without fault (fallback target). */
+    std::int64_t completedIters_ = 0;
 };
 
 } // namespace macross::interp

@@ -6,6 +6,7 @@
 
 #include <chrono>
 
+#include "interp/verify.h"
 #include "ir/analysis.h"
 #include "support/diagnostics.h"
 
@@ -114,6 +115,18 @@ Runner::ensureCompiled(const Actor& a)
     auto t0 = std::chrono::steady_clock::now();
     slot = std::make_unique<bytecode::CompiledActor>(
         bytecode::compileActor(*a.def, opts));
+    // Verify once, pre-execution: the VM itself runs no per-operand
+    // bounds checks, so nothing unverified may reach it.
+    auto verifyErrs = bytecode::verifyActor(*slot, *a.def);
+    if (!verifyErrs.empty()) {
+        std::string detail;
+        for (const auto& e : verifyErrs) {
+            detail += "\n  ";
+            detail += bytecode::toString(e);
+        }
+        panic("bytecode verifier rejected actor '", a.name, "' (",
+              verifyErrs.size(), " error(s)):", detail);
+    }
     double micros = std::chrono::duration<double, std::micro>(
                         std::chrono::steady_clock::now() - t0)
                         .count();

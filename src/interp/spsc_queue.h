@@ -26,17 +26,32 @@
  * Waits spin briefly then yield (the repo's tests run on small
  * machines, where a worker that spins without yielding starves the
  * very producer it waits on), and panic after a long timeout instead
- * of hanging CI on a mis-scheduled graph.
+ * of hanging CI on a mis-scheduled graph. abortWaits() cuts both
+ * timeouts short: the watchdog uses it to free workers blocked on a
+ * ring whose peer has died, so they panic out promptly and park
+ * instead of spinning toward the 120 s limit on a detached thread.
+ *
+ * Index publication is guarded by always-on invariant checks (define
+ * MACROSS_NO_SPSC_CHECKS to compile them out): a published index may
+ * never retreat, the producer may never publish past everything the
+ * consumer is known to have released plus the capacity, and the
+ * consumer may never release past what the producer published. Each
+ * violation panics with the ring state instead of silently wrapping
+ * onto live data. The checks live on the publication edge — already a
+ * release store — not on the per-element fast path, so they cost a
+ * couple of predictable branches per publish, nothing per element.
  */
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "support/diagnostics.h"
+#include "support/fault.h"
 
 namespace macross::interp {
 
@@ -113,6 +128,7 @@ class SpscRing {
         std::int64_t v =
             tailBlock_ == 1 ? wp : wp - wp % tailBlock_;
         if (v != lastTailPub_) {
+            checkTail(v);
             lastTailPub_ = v;
             tail_.store(v, std::memory_order_release);
         }
@@ -121,7 +137,9 @@ class SpscRing {
     /** Publish the exact tail, partial block included (barriers). */
     void publishTailExact(std::int64_t wp)
     {
+        support::FaultInjector::fire("spsc.publishTailExact", &wp);
         if (wp != lastTailPub_) {
+            checkTail(wp);
             lastTailPub_ = wp;
             tail_.store(wp, std::memory_order_release);
         }
@@ -161,6 +179,7 @@ class SpscRing {
         std::int64_t v =
             headBlock_ == 1 ? rp : rp - rp % headBlock_;
         if (v != lastHeadPub_) {
+            checkHead(v);
             lastHeadPub_ = v;
             head_.store(v, std::memory_order_release);
         }
@@ -169,14 +188,94 @@ class SpscRing {
     /** Release the exact head, partial block included (barriers). */
     void publishHeadExact(std::int64_t rp)
     {
+        support::FaultInjector::fire("spsc.publishHeadExact", &rp);
         if (rp != lastHeadPub_) {
+            checkHead(rp);
             lastHeadPub_ = rp;
             head_.store(rp, std::memory_order_release);
         }
     }
     /** @} */
 
+    /** @name Shutdown / diagnostics (any thread).
+     *  @{
+     */
+
+    /**
+     * Make every current and future waitWritable/waitReadable panic
+     * promptly instead of spinning toward the 120 s timeout. Used by
+     * the watchdog to release workers whose peer died; the worker's
+     * batch loop catches the panic and parks.
+     */
+    void abortWaits() { aborted_.store(true, std::memory_order_release); }
+
+    /** Last tail the producer published (diagnostics; racy by nature). */
+    std::int64_t publishedTail() const
+    {
+        return tail_.load(std::memory_order_acquire);
+    }
+    /** Last head the consumer released (diagnostics; racy by nature). */
+    std::int64_t releasedHead() const
+    {
+        return head_.load(std::memory_order_acquire);
+    }
+    /** @} */
+
   private:
+    /** Producer publication invariants; panics with ring state. */
+    void checkTail(std::int64_t v)
+    {
+#ifndef MACROSS_NO_SPSC_CHECKS
+        panicIf(v < lastTailPub_,
+                "SPSC tail retreated: publishing ", v,
+                " after ", lastTailPub_, ringState());
+        // cachedHead_ is a lower bound on true consumption that
+        // waitWritable refreshed before any slot past it was written,
+        // so a well-behaved producer can never trip this even when the
+        // cache is stale.
+        panicIf(v - cachedHead_ > capacity(),
+                "SPSC producer overran the consumer: publishing ", v,
+                " past released head ", cachedHead_, " + capacity",
+                ringState());
+#else
+        (void)v;
+#endif
+    }
+
+    /** Consumer release invariants; panics with ring state. */
+    void checkHead(std::int64_t v)
+    {
+#ifndef MACROSS_NO_SPSC_CHECKS
+        panicIf(v < lastHeadPub_,
+                "SPSC head retreated: releasing ", v, " after ",
+                lastHeadPub_, ringState());
+        // cachedTail_ was refreshed by waitReadable before any element
+        // behind it was read; releasing past it releases data the
+        // consumer cannot have consumed.
+        panicIf(v > cachedTail_,
+                "SPSC consumer released unpublished data: releasing ",
+                v, " past published tail ", cachedTail_, ringState());
+#else
+        (void)v;
+#endif
+    }
+
+    std::string ringState() const
+    {
+        std::string s = " (capacity ";
+        s += std::to_string(capacity());
+        s += ", headBlock ";
+        s += std::to_string(headBlock_);
+        s += ", tailBlock ";
+        s += std::to_string(tailBlock_);
+        s += ", tail ";
+        s += std::to_string(tail_.load(std::memory_order_relaxed));
+        s += ", head ";
+        s += std::to_string(head_.load(std::memory_order_relaxed));
+        s += ")";
+        return s;
+    }
+
     template <typename Ready>
     void waitSlow(Ready ready, const char* who)
     {
@@ -195,6 +294,8 @@ class SpscRing {
                     return;
                 std::this_thread::yield();
             }
+            panicIf(aborted_.load(std::memory_order_acquire),
+                    "SPSC wait aborted during shutdown: ", who);
             auto waited = std::chrono::steady_clock::now() - start;
             panicIf(waited > std::chrono::seconds(120), who);
         }
@@ -213,6 +314,9 @@ class SpscRing {
     alignas(64) std::atomic<std::int64_t> head_{0};
     std::int64_t cachedTail_ = 0;
     std::int64_t lastHeadPub_ = 0;
+
+    /** Set once at shutdown; read on the cold wait path only. */
+    std::atomic<bool> aborted_{false};
 };
 
 } // namespace macross::interp

@@ -1,0 +1,792 @@
+/**
+ * @file
+ * Bytecode verifier implementation.
+ *
+ * Two passes. The flat pass bounds-checks every operand of every
+ * instruction in isolation. The structural pass then re-walks the
+ * stream as the nested regions the compiler emits — loop bodies
+ * strictly inside LoopEnter..LoopNext, if/else arms between
+ * BranchIfZero and its join — while recounting tape traffic with an
+ * abstract constant propagation over integer registers that mirrors
+ * ir::tryConstFold, so loop trip counts fold exactly the way the
+ * graph validator folded them and declared rates can be compared
+ * without false positives.
+ */
+#include "interp/verify.h"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+
+#include "support/diagnostics.h"
+
+namespace macross::interp::bytecode {
+
+namespace {
+
+using Kind = VerifyError::Kind;
+
+constexpr int kLastOp = static_cast<int>(Op::LoadElemS);
+
+/** Ops that read the input tape / write the output tape. */
+bool
+usesInput(Op op)
+{
+    switch (op) {
+      case Op::Pop: case Op::Peek: case Op::VPop: case Op::VPeek:
+      case Op::AdvanceIn: case Op::PeekS:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+usesOutput(Op op)
+{
+    switch (op) {
+      case Op::Push: case Op::RPush: case Op::VPush: case Op::VRPush:
+      case Op::AdvanceOut:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Does @p op write a result register through Instr::dst? */
+bool
+writesDst(Op op)
+{
+    switch (op) {
+      case Op::Const: case Op::LoadSlot: case Op::LoadElem:
+      case Op::Unary: case Op::Binary: case Op::Call1: case Op::Call2:
+      case Op::LaneRead: case Op::Splat: case Op::Pop: case Op::Peek:
+      case Op::VPop: case Op::VPeek: case Op::PeekS: case Op::LoadElemS:
+        return true;
+      default:
+        return false;
+    }
+}
+
+class Verifier {
+  public:
+    Verifier(const Code& code, const VerifySpec& spec)
+        : code_(code), spec_(spec),
+          size_(static_cast<std::int64_t>(code.instrs.size()))
+    {
+    }
+
+    std::vector<VerifyError> run()
+    {
+        if (size_ == 0) {
+            err(Kind::Truncated, -1, "empty code stream");
+            return std::move(errs_);
+        }
+        if (code_.instrs.back().op != Op::Halt)
+            err(Kind::Truncated, size_ - 1,
+                "stream does not end in Halt");
+
+        flatPass();
+
+        // The structural pass dereferences branch targets and walks
+        // opcode-dependent regions; only safe once those are known
+        // sound.
+        if (!structureUnsafe_)
+            structuralPass();
+        return std::move(errs_);
+    }
+
+  private:
+    // --- error plumbing ---
+    template <typename... Args>
+    void err(Kind k, std::int64_t pc, Args&&... parts)
+    {
+        std::ostringstream ss;
+        (ss << ... << parts);
+        errs_.push_back(VerifyError{k, pc, ss.str()});
+        if (k == Kind::BadOpcode || k == Kind::BadBranch ||
+            k == Kind::Truncated)
+            structureUnsafe_ = true;
+    }
+
+    // --- operand checks ---
+    void reg(std::int64_t pc, int r, const char* role)
+    {
+        if (r >= code_.numRegs)
+            err(Kind::BadRegister, pc, role, " register ", r,
+                " out of bounds (file size ", code_.numRegs, ")");
+    }
+    void slot(std::int64_t pc, int s, const char* role)
+    {
+        if (s >= spec_.numSlots)
+            err(Kind::BadSlot, pc, role, " slot ", s,
+                " out of bounds (frame has ", spec_.numSlots, ")");
+    }
+    void array(std::int64_t pc, int a)
+    {
+        if (a >= spec_.numArrays)
+            err(Kind::BadArray, pc, "array id ", a,
+                " out of bounds (frame has ", spec_.numArrays, ")");
+    }
+    void lane(std::int64_t pc, int l)
+    {
+        if (l < 0 || l >= kMaxLanes)
+            err(Kind::BadLane, pc, "lane ", l, " outside [0, ",
+                kMaxLanes, ")");
+    }
+    void vlanes(std::int64_t pc, const Instr& I)
+    {
+        if (I.type.lanes < 1 || I.type.lanes > kMaxLanes)
+            err(Kind::BadLane, pc, "vector op with ", I.type.lanes,
+                " lanes");
+    }
+    void branch(std::int64_t pc, std::int64_t target)
+    {
+        if (target < 0 || target >= size_)
+            err(Kind::BadBranch, pc, "branch target ", target,
+                " outside the stream (size ", size_, ")");
+    }
+    void charges(std::int64_t pc, const Instr& I)
+    {
+        const auto pool =
+            static_cast<std::int64_t>(code_.chargePool.size());
+        std::int64_t need = I.nCharges;
+        // The VM reads one conditional charge past the static window
+        // for unaligned vector accesses.
+        if (I.op == Op::VPeek || I.op == Op::VRPush)
+            need += 1;
+        if (I.nCharges > kMaxCharges ||
+            static_cast<std::int64_t>(I.chargeBase) + need > pool) {
+            err(Kind::BadCharge, pc, "charge window [", I.chargeBase,
+                ", ", I.chargeBase + need,
+                ") out of bounds (pool size ", pool, ")");
+        }
+        // LoopEnter reads pool[chargeBase] (LoopOverhead) on every
+        // non-empty loop, regardless of costing.
+        if (I.op == Op::LoopEnter && I.nCharges < 1)
+            err(Kind::BadCharge, pc,
+                "LoopEnter carries no LoopOverhead charge");
+    }
+    void tapeSide(std::int64_t pc, Op op)
+    {
+        if (usesInput(op)) {
+            if (!spec_.allowTapeOps)
+                err(Kind::RateMismatch, pc, toString(op),
+                    " in a tape-free body");
+            else if (spec_.pop == 0 && spec_.peek == 0)
+                err(Kind::RateMismatch, pc, toString(op),
+                    " but the actor declares no input rate");
+        }
+        if (usesOutput(op)) {
+            if (!spec_.allowTapeOps)
+                err(Kind::RateMismatch, pc, toString(op),
+                    " in a tape-free body");
+            else if (spec_.push == 0)
+                err(Kind::RateMismatch, pc, toString(op),
+                    " but the actor declares no output rate");
+        }
+    }
+
+    void flatPass()
+    {
+        if (code_.numRegs < 0 || code_.numRegs > 65536) {
+            err(Kind::BadRegister, -1, "implausible register file of ",
+                code_.numRegs);
+            return;
+        }
+        for (std::int64_t pc = 0; pc < size_; ++pc) {
+            const Instr& I = code_.instrs[pc];
+            if (static_cast<int>(I.op) > kLastOp) {
+                err(Kind::BadOpcode, pc, "opcode byte ",
+                    static_cast<int>(I.op), " is not an Op");
+                continue;
+            }
+            charges(pc, I);
+            tapeSide(pc, I.op);
+            switch (I.op) {
+              case Op::Const:
+                reg(pc, I.dst, "result");
+                if (I.imm < 0 ||
+                    I.imm >=
+                        static_cast<std::int64_t>(code_.consts.size()))
+                    err(Kind::BadConst, pc, "constant index ", I.imm,
+                        " out of bounds (pool size ",
+                        code_.consts.size(), ")");
+                break;
+              case Op::LoadSlot:
+                reg(pc, I.dst, "result");
+                slot(pc, I.a, "source");
+                break;
+              case Op::StoreSlot:
+                slot(pc, I.a, "target");
+                reg(pc, I.b, "source");
+                break;
+              case Op::StoreSlotLane:
+                slot(pc, I.a, "target");
+                reg(pc, I.b, "source");
+                lane(pc, I.lane);
+                break;
+              case Op::LoadElem:
+                reg(pc, I.dst, "result");
+                array(pc, I.a);
+                reg(pc, I.b, "index");
+                break;
+              case Op::StoreElem:
+                reg(pc, I.dst, "source");
+                array(pc, I.a);
+                reg(pc, I.b, "index");
+                break;
+              case Op::StoreElemLane:
+                reg(pc, I.dst, "source");
+                array(pc, I.a);
+                reg(pc, I.b, "index");
+                lane(pc, I.lane);
+                break;
+              case Op::Unary:
+              case Op::Call1:
+              case Op::Splat:
+                reg(pc, I.dst, "result");
+                reg(pc, I.a, "operand");
+                break;
+              case Op::Binary:
+              case Op::Call2:
+                reg(pc, I.dst, "result");
+                reg(pc, I.a, "left");
+                reg(pc, I.b, "right");
+                break;
+              case Op::LaneRead:
+                reg(pc, I.dst, "result");
+                reg(pc, I.a, "operand");
+                lane(pc, I.lane);
+                break;
+              case Op::Pop:
+                reg(pc, I.dst, "result");
+                break;
+              case Op::Peek:
+                reg(pc, I.dst, "result");
+                reg(pc, I.a, "offset");
+                break;
+              case Op::VPop:
+                reg(pc, I.dst, "result");
+                vlanes(pc, I);
+                break;
+              case Op::VPeek:
+                reg(pc, I.dst, "result");
+                reg(pc, I.a, "offset");
+                vlanes(pc, I);
+                break;
+              case Op::Push:
+                reg(pc, I.a, "source");
+                break;
+              case Op::RPush:
+                reg(pc, I.a, "source");
+                reg(pc, I.b, "offset");
+                break;
+              case Op::VPush:
+                reg(pc, I.a, "source");
+                vlanes(pc, I);
+                break;
+              case Op::VRPush:
+                reg(pc, I.a, "source");
+                reg(pc, I.b, "offset");
+                vlanes(pc, I);
+                break;
+              case Op::AdvanceIn:
+              case Op::AdvanceOut:
+                if (I.imm < 0)
+                    err(Kind::RateMismatch, pc,
+                        "negative advance amount ", I.imm);
+                break;
+              case Op::Jump:
+                branch(pc, I.imm);
+                break;
+              case Op::BranchIfZero:
+                reg(pc, I.a, "condition");
+                branch(pc, I.imm);
+                break;
+              case Op::LoopEnter:
+                slot(pc, I.dst, "induction-variable");
+                reg(pc, I.a, "lower-bound");
+                reg(pc, I.b, "upper-bound");
+                branch(pc, I.imm);
+                break;
+              case Op::LoopNext:
+                branch(pc, I.imm);
+                break;
+              case Op::Halt:
+                if (pc != size_ - 1)
+                    err(Kind::Truncated, pc,
+                        "Halt before the end of the stream");
+                break;
+              case Op::PeekS:
+                reg(pc, I.dst, "result");
+                slot(pc, I.a, "offset");
+                break;
+              case Op::LoadElemS:
+                reg(pc, I.dst, "result");
+                array(pc, I.a);
+                slot(pc, I.b, "index");
+                break;
+            }
+        }
+    }
+
+    // --- structural pass ---
+
+    struct Counts {
+        std::int64_t pops = 0;
+        std::int64_t pushes = 0;
+        std::int64_t peeks = 0;
+        bool exact = true;
+        bool empty() const
+        {
+            return pops == 0 && pushes == 0 && peeks == 0;
+        }
+    };
+
+    void structuralPass()
+    {
+        regConst_.assign(static_cast<std::size_t>(
+                             std::max(code_.numRegs, 0)),
+                         std::nullopt);
+        // The final Halt closes the top-level region.
+        auto counts = scanRegion(0, size_ - 1, 0);
+        if (!counts || !spec_.allowTapeOps)
+            return;
+        if (!counts->exact) {
+            err(Kind::RateMismatch, -1,
+                "tape-access counts are not statically determinable");
+            return;
+        }
+        if (counts->pops != spec_.pop)
+            err(Kind::RateMismatch, -1, "stream consumes ",
+                counts->pops, " elements but the actor declares pop ",
+                spec_.pop);
+        if (counts->pushes != spec_.push)
+            err(Kind::RateMismatch, -1, "stream produces ",
+                counts->pushes, " elements but the actor declares push ",
+                spec_.push);
+    }
+
+    /**
+     * Walk the structured region [begin, end), accumulating tape
+     * counts exactly as ir::countTapeAccesses does over the source
+     * statements. Returns nullopt after a structural error (the
+     * region cannot be trusted further).
+     */
+    std::optional<Counts> scanRegion(std::int64_t begin,
+                                     std::int64_t end, int depth)
+    {
+        if (depth > 256) {
+            err(Kind::BadLoop, begin, "structure nested too deeply");
+            return std::nullopt;
+        }
+        Counts c;
+        std::int64_t pc = begin;
+        while (pc < end) {
+            const Instr& I = code_.instrs[pc];
+            switch (I.op) {
+              case Op::Halt:
+                err(Kind::Truncated, pc,
+                    "Halt inside a structured region");
+                return std::nullopt;
+              case Op::Jump:
+                err(Kind::BadLoop, pc,
+                    "stray Jump outside an if/else join");
+                return std::nullopt;
+              case Op::LoopNext:
+                err(Kind::BadLoop, pc,
+                    "LoopNext without an enclosing LoopEnter");
+                return std::nullopt;
+              case Op::LoopEnter: {
+                const std::int64_t exit = I.imm;
+                // Smallest legal loop: enter, latch, exit.
+                if (exit < pc + 2 || exit > end) {
+                    err(Kind::BadLoop, pc, "loop exit ", exit,
+                        " outside its region (", pc + 2, "..", end,
+                        ")");
+                    return std::nullopt;
+                }
+                const std::int64_t latch = exit - 1;
+                if (code_.instrs[latch].op != Op::LoopNext) {
+                    err(Kind::BadLoop, pc,
+                        "loop exit not preceded by a LoopNext latch");
+                    return std::nullopt;
+                }
+                if (code_.instrs[latch].imm != pc + 1) {
+                    err(Kind::BadLoop, latch,
+                        "loop latch does not branch to the body");
+                    return std::nullopt;
+                }
+                const auto lo = knownConst(I.a);
+                const auto hi = knownConst(I.b);
+                const std::size_t mark = writeLog_.size();
+                auto body = scanRegion(pc + 1, latch, depth + 1);
+                if (!body)
+                    return std::nullopt;
+                invalidateFrom(mark);
+                // Mirror countTapeAccesses: a tape-free body makes
+                // the loop irrelevant; otherwise unknown trips make
+                // the stream inexact.
+                if (!body->empty() || !body->exact) {
+                    if (lo && hi) {
+                        const std::int64_t trips =
+                            std::max<std::int64_t>(0, *hi - *lo);
+                        c.pops += body->pops * trips;
+                        c.pushes += body->pushes * trips;
+                        c.peeks += body->peeks * trips;
+                        c.exact = c.exact && body->exact;
+                    } else {
+                        c.exact = false;
+                    }
+                }
+                pc = exit;
+                break;
+              }
+              case Op::BranchIfZero: {
+                const std::int64_t join = I.imm;
+                if (join < pc + 1 || join > end) {
+                    err(Kind::BadBranch, pc, "if join ", join,
+                        " outside its region");
+                    return std::nullopt;
+                }
+                // An if/else compiles to [br, then.., jmp, else..]
+                // with br.imm just past the jmp; a then-only body
+                // never ends in a Jump (only the if/else form emits
+                // one), so the shape is unambiguous.
+                Counts thenC, elseC;
+                std::int64_t cont = join;
+                const std::size_t mark = writeLog_.size();
+                if (join >= pc + 2 &&
+                    code_.instrs[join - 1].op == Op::Jump) {
+                    const std::int64_t k = code_.instrs[join - 1].imm;
+                    if (k < join || k > end) {
+                        err(Kind::BadBranch, join - 1,
+                            "else join ", k, " outside its region");
+                        return std::nullopt;
+                    }
+                    auto t = scanRegion(pc + 1, join - 1, depth + 1);
+                    if (!t)
+                        return std::nullopt;
+                    auto e = scanRegion(join, k, depth + 1);
+                    if (!e)
+                        return std::nullopt;
+                    thenC = *t;
+                    elseC = *e;
+                    cont = k;
+                } else {
+                    auto t = scanRegion(pc + 1, join, depth + 1);
+                    if (!t)
+                        return std::nullopt;
+                    thenC = *t;
+                }
+                invalidateFrom(mark);
+                if (thenC.pops != elseC.pops ||
+                    thenC.pushes != elseC.pushes)
+                    c.exact = false;
+                c.pops += thenC.pops;
+                c.pushes += thenC.pushes;
+                c.peeks += std::max(thenC.peeks, elseC.peeks);
+                c.exact = c.exact && thenC.exact && elseC.exact;
+                pc = cont;
+                break;
+              }
+              default:
+                straightLine(pc, I, c);
+                ++pc;
+                break;
+            }
+        }
+        return c;
+    }
+
+    /** Counts + constant propagation for one non-control instruction. */
+    void straightLine(std::int64_t pc, const Instr& I, Counts& c)
+    {
+        (void)pc;
+        switch (I.op) {
+          case Op::Pop: c.pops += 1; break;
+          case Op::VPop: c.pops += I.type.lanes; break;
+          case Op::AdvanceIn: c.pops += I.imm; break;
+          case Op::Peek: case Op::PeekS: c.peeks += 1; break;
+          case Op::VPeek: c.peeks += I.type.lanes; break;
+          case Op::Push: c.pushes += 1; break;
+          case Op::VPush: c.pushes += I.type.lanes; break;
+          case Op::AdvanceOut: c.pushes += I.imm; break;
+          // RPush/VRPush write at an offset without advancing; the
+          // matching AdvanceOut publishes (countTapeAccesses counts
+          // them as zero the same way).
+          default: break;
+        }
+
+        if (!writesDst(I.op) || I.dst >= regConst_.size())
+            return;
+        std::optional<std::int64_t> v;
+        switch (I.op) {
+          case Op::Const: {
+            // The flat pass may have flagged this index without
+            // aborting the structural pass; don't dereference it.
+            if (I.imm >= 0 &&
+                I.imm < static_cast<std::int64_t>(code_.consts.size())) {
+                const Value& cv = code_.consts[I.imm];
+                if (cv.type().isInt() && cv.type().lanes == 1)
+                    v = cv.i(0);
+            }
+            break;
+          }
+          case Op::Unary: {
+            // Mirror ir::tryConstFold's unary coverage.
+            if (auto a = knownConst(I.a)) {
+                switch (I.uop) {
+                  case ir::UnaryOp::Neg: v = -*a; break;
+                  case ir::UnaryOp::Not: v = *a == 0 ? 1 : 0; break;
+                  case ir::UnaryOp::BitNot: v = ~*a; break;
+                }
+            }
+            break;
+          }
+          case Op::Binary: {
+            // Mirror ir::tryConstFold's binary coverage (comparisons
+            // stay unknown there too).
+            auto a = knownConst(I.a);
+            auto b = knownConst(I.b);
+            if (a && b) {
+                using ir::BinaryOp;
+                switch (I.bop) {
+                  case BinaryOp::Add: v = *a + *b; break;
+                  case BinaryOp::Sub: v = *a - *b; break;
+                  case BinaryOp::Mul: v = *a * *b; break;
+                  case BinaryOp::Div:
+                    if (*b != 0) v = *a / *b;
+                    break;
+                  case BinaryOp::Mod:
+                    if (*b != 0) v = *a % *b;
+                    break;
+                  case BinaryOp::Min: v = std::min(*a, *b); break;
+                  case BinaryOp::Max: v = std::max(*a, *b); break;
+                  case BinaryOp::Shl: v = *a << *b; break;
+                  case BinaryOp::Shr: v = *a >> *b; break;
+                  case BinaryOp::And: v = *a & *b; break;
+                  case BinaryOp::Or: v = *a | *b; break;
+                  case BinaryOp::Xor: v = *a ^ *b; break;
+                  default: break;
+                }
+            }
+            break;
+          }
+          default:
+            break;
+        }
+        regConst_[I.dst] = v;
+        writeLog_.push_back(I.dst);
+    }
+
+    std::optional<std::int64_t> knownConst(int r) const
+    {
+        return r < static_cast<int>(regConst_.size())
+                   ? regConst_[r]
+                   : std::nullopt;
+    }
+
+    /** Forget constants assigned inside a conditional/iterated
+     *  sub-region: their program-order value need not be the runtime
+     *  one at the join. */
+    void invalidateFrom(std::size_t mark)
+    {
+        for (std::size_t i = mark; i < writeLog_.size(); ++i)
+            regConst_[writeLog_[i]] = std::nullopt;
+        writeLog_.resize(mark);
+    }
+
+    const Code& code_;
+    const VerifySpec& spec_;
+    const std::int64_t size_;
+    std::vector<VerifyError> errs_;
+    bool structureUnsafe_ = false;
+    std::vector<std::optional<std::int64_t>> regConst_;
+    std::vector<std::uint16_t> writeLog_;
+};
+
+} // namespace
+
+std::string
+toString(VerifyError::Kind k)
+{
+    switch (k) {
+      case Kind::BadOpcode: return "bad-opcode";
+      case Kind::BadRegister: return "bad-register";
+      case Kind::BadSlot: return "bad-slot";
+      case Kind::BadArray: return "bad-array";
+      case Kind::BadConst: return "bad-const";
+      case Kind::BadCharge: return "bad-charge";
+      case Kind::BadBranch: return "bad-branch";
+      case Kind::BadLoop: return "bad-loop-nesting";
+      case Kind::Truncated: return "truncated-stream";
+      case Kind::RateMismatch: return "rate-mismatch";
+      case Kind::BadLane: return "bad-lane";
+    }
+    return "unknown";
+}
+
+std::string
+toString(const VerifyError& e)
+{
+    std::ostringstream ss;
+    if (e.pc >= 0)
+        ss << "pc " << e.pc << ": ";
+    ss << toString(e.kind) << ": " << e.message;
+    return ss.str();
+}
+
+std::vector<VerifyError>
+verifyCode(const Code& code, const VerifySpec& spec)
+{
+    return Verifier(code, spec).run();
+}
+
+std::vector<VerifyError>
+verifyActor(const CompiledActor& ca, const graph::FilterDef& def)
+{
+    std::vector<VerifyError> out;
+    if (ca.numSlots !=
+        static_cast<int>(ca.slotInit.size())) {
+        out.push_back(VerifyError{
+            Kind::BadSlot, -1,
+            "frame declares " + std::to_string(ca.numSlots) +
+                " slots but carries " +
+                std::to_string(ca.slotInit.size()) +
+                " slot templates"});
+        return out;
+    }
+
+    VerifySpec spec;
+    spec.numSlots = ca.numSlots;
+    spec.numArrays = static_cast<int>(ca.arrays.size());
+
+    spec.allowTapeOps = false;
+    for (VerifyError& e : verifyCode(ca.init, spec)) {
+        e.message = "init: " + e.message;
+        out.push_back(std::move(e));
+    }
+
+    spec.allowTapeOps = true;
+    spec.peek = def.peek;
+    spec.pop = def.pop;
+    spec.push = def.push;
+    for (VerifyError& e : verifyCode(ca.work, spec)) {
+        e.message = "work: " + e.message;
+        out.push_back(std::move(e));
+    }
+    return out;
+}
+
+std::string
+injectCorruption(Code& code, Corruption kind, std::uint64_t seed)
+{
+    // Deterministic pick: seed indexes the candidate list modulo its
+    // size, so tests can sweep seeds to hit every eligible site.
+    auto pick = [&](auto&& eligible) -> std::int64_t {
+        std::vector<std::int64_t> cands;
+        for (std::int64_t i = 0;
+             i < static_cast<std::int64_t>(code.instrs.size()); ++i) {
+            if (eligible(code.instrs[i]))
+                cands.push_back(i);
+        }
+        if (cands.empty())
+            return -1;
+        return cands[seed % cands.size()];
+    };
+    auto describe = [](const char* what, std::int64_t pc) {
+        return std::string(what) + " at pc " + std::to_string(pc);
+    };
+
+    switch (kind) {
+      case Corruption::BadRegister: {
+        std::int64_t pc =
+            pick([](const Instr& I) { return writesDst(I.op); });
+        if (pc < 0)
+            return "";
+        code.instrs[pc].dst = static_cast<std::uint16_t>(
+            std::min(code.numRegs + 9, 65535));
+        return describe("result register pushed past the file", pc);
+      }
+      case Corruption::BadSlot: {
+        std::int64_t pc = pick([](const Instr& I) {
+            return I.op == Op::LoadSlot || I.op == Op::StoreSlot ||
+                   I.op == Op::StoreSlotLane || I.op == Op::PeekS;
+        });
+        if (pc < 0)
+            return "";
+        code.instrs[pc].a = 40000;
+        return describe("slot operand pushed past the frame", pc);
+      }
+      case Corruption::BadArray: {
+        std::int64_t pc = pick([](const Instr& I) {
+            return I.op == Op::LoadElem || I.op == Op::StoreElem ||
+                   I.op == Op::StoreElemLane || I.op == Op::LoadElemS;
+        });
+        if (pc < 0)
+            return "";
+        code.instrs[pc].a = 40000;
+        return describe("array id pushed past the frame", pc);
+      }
+      case Corruption::BadConst: {
+        std::int64_t pc =
+            pick([](const Instr& I) { return I.op == Op::Const; });
+        if (pc < 0)
+            return "";
+        code.instrs[pc].imm =
+            static_cast<std::int64_t>(code.consts.size()) + 3;
+        return describe("constant index pushed past the pool", pc);
+      }
+      case Corruption::BadCharge: {
+        std::int64_t pc =
+            pick([](const Instr& I) { return I.nCharges > 0; });
+        if (pc < 0)
+            return "";
+        code.instrs[pc].chargeBase = static_cast<std::uint32_t>(
+            code.chargePool.size() + 1);
+        return describe("charge window pushed past the pool", pc);
+      }
+      case Corruption::BadBranch: {
+        std::int64_t pc = pick([](const Instr& I) {
+            return I.op == Op::Jump || I.op == Op::BranchIfZero ||
+                   I.op == Op::LoopEnter || I.op == Op::LoopNext;
+        });
+        if (pc < 0)
+            return "";
+        code.instrs[pc].imm =
+            static_cast<std::int64_t>(code.instrs.size()) + 7;
+        return describe("branch target pushed past the stream", pc);
+      }
+      case Corruption::BadLoop: {
+        std::int64_t pc =
+            pick([](const Instr& I) { return I.op == Op::LoopEnter; });
+        if (pc < 0)
+            return "";
+        // In range, but inside the loop's own header: the region scan
+        // must reject it as mis-nested rather than mis-targeted.
+        code.instrs[pc].imm = pc;
+        return describe("loop exit folded into its own header", pc);
+      }
+      case Corruption::Truncated: {
+        if (code.instrs.empty())
+            return "";
+        code.instrs.pop_back();
+        return "final Halt removed";
+      }
+      case Corruption::RateMismatch: {
+        if (code.instrs.empty() ||
+            code.instrs.back().op != Op::Halt)
+            return "";
+        Instr extra;
+        extra.op = Op::AdvanceIn;
+        extra.imm = 1;
+        code.instrs.insert(code.instrs.end() - 1, extra);
+        return "extra input advance appended before Halt";
+      }
+    }
+    return "";
+}
+
+} // namespace macross::interp::bytecode

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Bytecode verifier: static validation of compiled instruction
+ * streams before the VM executes them.
+ *
+ * The VM (interp/vm.h) is built for throughput — computed-goto
+ * dispatch, no per-operand bounds checks on registers, env slots,
+ * constants, or charge-pool entries. That is safe only because every
+ * stream it runs comes from compileActor; a corrupted or hand-built
+ * stream would index out of bounds or jump into the middle of a loop
+ * with no frame. The verifier restores the safety argument without
+ * touching the hot path: it runs once per actor, right after
+ * compilation (Runner::ensureCompiled panics on any error), and the VM
+ * then executes with zero added per-instruction cost.
+ *
+ * Checked per stream:
+ *  - every opcode byte is a valid Op (computed-goto would jump wild);
+ *  - register / env-slot / array-id / constant-index operands are in
+ *    bounds for the frame shape assignSlots produced;
+ *  - charge-pool windows (chargeBase .. chargeBase + nCharges, plus
+ *    the conditional entry VPeek/VRPush read past the end) fit the
+ *    pool, and LoopEnter carries the LoopOverhead charge the VM reads
+ *    unconditionally;
+ *  - branch targets land inside the stream, and LoopEnter/LoopNext/
+ *    BranchIfZero/Jump form the well-nested structured regions the
+ *    compiler emits (the VM's loop stack assumes this);
+ *  - lane indexes stay below Value::kMaxLanes and vector ops carry a
+ *    plausible lane count;
+ *  - tape ops are consistent with the actor's declared rates: an
+ *    abstract interpretation over constant registers (mirroring
+ *    ir::countTapeAccesses + ir::tryConstFold) recounts pops/pushes
+ *    and compares against the FilterDef, and init bodies must not
+ *    touch tapes at all.
+ *
+ * injectCorruption is the bytecode arm of the fault-injection harness
+ * (support/fault.h covers runtime faults): it deterministically breaks
+ * a well-formed stream in one of the catalogued ways so tests can
+ * prove each detector fires.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/filter.h"
+#include "interp/bytecode.h"
+
+namespace macross::interp::bytecode {
+
+/** One verifier finding. */
+struct VerifyError {
+    enum class Kind {
+        BadOpcode,    ///< Opcode byte outside the Op enum.
+        BadRegister,  ///< Register operand >= numRegs.
+        BadSlot,      ///< Env-slot operand out of frame bounds.
+        BadArray,     ///< Array id out of frame bounds.
+        BadConst,     ///< Constant-pool index out of bounds.
+        BadCharge,    ///< Charge-pool window out of bounds.
+        BadBranch,    ///< Branch target outside the stream/region.
+        BadLoop,      ///< Loop structure not well-nested.
+        Truncated,    ///< Stream empty / missing or misplaced Halt.
+        RateMismatch, ///< Tape ops inconsistent with declared rates.
+        BadLane,      ///< Lane index/count outside Value::kMaxLanes.
+    };
+    Kind kind = Kind::BadOpcode;
+    std::int64_t pc = -1;  ///< Offending instruction (-1: stream-wide).
+    std::string message;
+};
+
+std::string toString(VerifyError::Kind k);
+/** "pc 12: bad-register: ..." one-liner for diagnostics. */
+std::string toString(const VerifyError& e);
+
+/** Static facts one code stream is checked against. */
+struct VerifySpec {
+    int numSlots = 0;
+    int numArrays = 0;
+    /** Declared per-firing rates (scalar elements). */
+    int peek = 0;
+    int pop = 0;
+    int push = 0;
+    /** False for init bodies: any tape op is an error. */
+    bool allowTapeOps = true;
+};
+
+/** Verify one instruction stream. Empty result = valid. */
+std::vector<VerifyError> verifyCode(const Code& code,
+                                    const VerifySpec& spec);
+
+/**
+ * Verify a compiled actor against its definition: frame shape
+ * consistency, the init stream (tape ops forbidden), and the work
+ * stream (tape traffic must match the declared rates). Messages are
+ * prefixed "init: " / "work: ".
+ */
+std::vector<VerifyError> verifyActor(const CompiledActor& ca,
+                                     const graph::FilterDef& def);
+
+/** Catalogued ways injectCorruption can break a stream. */
+enum class Corruption {
+    BadRegister,   ///< Register operand past the register file.
+    BadSlot,       ///< Env-slot operand past the frame.
+    BadArray,      ///< Array id past the frame.
+    BadConst,      ///< Constant index past the pool.
+    BadCharge,     ///< Charge window past the pool.
+    BadBranch,     ///< Branch target past the stream.
+    BadLoop,       ///< Loop exit pointing inside its own header.
+    Truncated,     ///< Final Halt removed.
+    RateMismatch,  ///< Extra tape advance appended before Halt.
+};
+
+/**
+ * Deterministically corrupt @p code in the given way; @p seed picks
+ * among candidate instructions. Returns a description of what was
+ * changed, or "" when the stream has no instruction the corruption
+ * applies to (e.g. BadLoop on a loop-free body).
+ */
+std::string injectCorruption(Code& code, Corruption kind,
+                             std::uint64_t seed = 0);
+
+} // namespace macross::interp::bytecode

@@ -61,5 +61,74 @@ TEST(Lexer, EndTokenAlwaysPresent)
     EXPECT_EQ(toks[0].kind, Tok::End);
 }
 
+TEST(Lexer, CaretSnippetGolden)
+{
+    // Golden rendering: line number gutter, source line, and the
+    // caret aligned under the reported column.
+    const std::string src = "first line\nint x = oops;\nlast";
+    EXPECT_EQ(caretSnippet(src, 2, 9),
+              "\n  2 | int x = oops;"
+              "\n    |         ^");
+}
+
+TEST(Lexer, CaretSnippetPreservesTabsForAlignment)
+{
+    const std::string src = "\tint x;";
+    EXPECT_EQ(caretSnippet(src, 1, 2),
+              "\n  1 | \tint x;"
+              "\n    | \t^");
+}
+
+TEST(Lexer, CaretSnippetOutOfRangeIsEmpty)
+{
+    EXPECT_EQ(caretSnippet("one line", 5, 1), "");
+    EXPECT_EQ(caretSnippet("one line", 0, 1), "");
+    EXPECT_EQ(caretSnippet("one line", 1, 0), "");
+}
+
+TEST(Lexer, BadCharacterDiagnosticCarriesCaretSnippet)
+{
+    try {
+        tokenize("int a;\nint $ b;\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("\n  2 | int $ b;"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("\n    |     ^"), std::string::npos) << msg;
+    }
+}
+
+TEST(Lexer, UnterminatedCommentDiagnosticPointsAtItsStart)
+{
+    try {
+        tokenize("int a;\n  /* never closed\nint b;");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("unterminated"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("\n  2 |   /* never closed"),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("\n    |   ^"), std::string::npos) << msg;
+    }
+}
+
+TEST(Lexer, OutOfRangeNumericLiteralIsFatalNotStdException)
+{
+    // Without the range guard this would escape as std::out_of_range
+    // from std::stoll — the frontend fuzz target's original finding
+    // class.
+    try {
+        tokenize("x = 99999999999999999999999999;");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("out of range"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("^"), std::string::npos) << msg;
+    }
+}
+
 } // namespace
 } // namespace macross::frontend

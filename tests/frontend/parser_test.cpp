@@ -231,6 +231,64 @@ void->void pipeline Main() { add F(pop()); }
                  FatalError);
 }
 
+TEST(Parser, ParseErrorCarriesCaretSnippetGolden)
+{
+    // Line 2 is malformed at the '}' (column 27): the diagnostic must
+    // quote the source line and point a caret at that column.
+    try {
+        parseProgram("void->float filter F() {\n"
+                     "    work push 1 { push( }\n"
+                     "}\n"
+                     "void->void pipeline Main() { add F(); }");
+        FAIL() << "expected parse error";
+    } catch (const FatalError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("parse error at line 2"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("\n  2 |     work push 1 { push( }"),
+                  std::string::npos)
+            << msg;
+        // The caret must be aligned under the reported column.
+        const std::size_t colAt = msg.find("column ");
+        ASSERT_NE(colAt, std::string::npos) << msg;
+        const int col = std::stoi(msg.substr(colAt + 7));
+        const std::string caretLine =
+            "\n    | " + std::string(static_cast<std::size_t>(col - 1),
+                                     ' ') +
+            "^";
+        EXPECT_NE(msg.find(caretLine), std::string::npos) << msg;
+    }
+}
+
+TEST(Parser, DeeplyNestedExpressionIsRejectedNotOverflowed)
+{
+    // 5000 parens would overflow recursive descent without the depth
+    // guard; with it, the parser must reject the input with fatal().
+    std::string deep = "void->float filter F() { work push 1 { push(";
+    deep.append(5000, '(');
+    deep += "1.0";
+    deep.append(5000, ')');
+    deep += "); } }\nvoid->void pipeline Main() { add F(); }";
+    try {
+        parseProgram(deep);
+        FAIL() << "expected parse error";
+    } catch (const FatalError& e) {
+        EXPECT_NE(std::string(e.what()).find("nested too deeply"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Parser, DeeplyNestedStatementsAreRejectedNotOverflowed)
+{
+    std::string deep = "void->float filter F() { work push 1 { ";
+    deep.append(3000, '{');
+    deep += "push(1.0);";
+    deep.append(3000, '}');
+    deep += " } }\nvoid->void pipeline Main() { add F(); }";
+    EXPECT_THROW(parseProgram(deep), FatalError);
+}
+
 TEST(Parser, IntFiltersAndBitOps)
 {
     const char* src = R"(

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Frontend fuzz target: arbitrary bytes through the lexer + parser +
+ * elaborator.
+ *
+ * The contract under test is the diagnostics discipline: malformed
+ * input of any shape must be rejected with fatal() (a FatalError with
+ * line/column and a caret snippet) — never a crash, never an escaping
+ * PanicError (that class is reserved for internal bugs), never an
+ * escaping standard-library exception (e.g. std::out_of_range from a
+ * numeric literal the lexer forgot to range-check), and never a stack
+ * overflow from unbounded recursive descent.
+ *
+ * Built two ways by tests/fuzz/CMakeLists.txt: as a libFuzzer+ASan
+ * binary (clang, CI fuzz job) and as a deterministic smoke test
+ * driven by driver_main.cpp (any toolchain, runs in ctest).
+ */
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "frontend/parser.h"
+#include "support/diagnostics.h"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size)
+{
+    std::string source(reinterpret_cast<const char*>(data), size);
+    try {
+        macross::frontend::parseProgram(source);
+    } catch (const macross::FatalError&) {
+        // The one sanctioned rejection path.
+    }
+    // Anything else propagates out of this function and the harness
+    // reports it as a finding.
+    return 0;
+}

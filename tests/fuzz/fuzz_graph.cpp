@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Structured graph fuzz target: random but type-correct stream graphs
+ * through the full compile + execute pipeline, with engine-differential
+ * checking on every input.
+ *
+ * The input bytes parameterize (not constitute) the program: a seed
+ * and option bits select a generated graph (benchmarks/random_graph.h
+ * only emits well-typed, rate-consistent programs) and a compilation
+ * config — scalar or macro-SIMDized at width 2/4/8, with or without
+ * the SAGU tape layout. Each generated program then runs under BOTH
+ * engines, and the run aborts unless the bytecode VM reproduces the
+ * tree-walking oracle bit-for-bit: identical captured output lanes and
+ * identical modeled cycle totals. The bytecode verifier sits on this
+ * path too (Runner::ensureCompiled), so every fuzz input also checks
+ * that verification never rejects legitimately compiled code.
+ *
+ * FatalError is the sanctioned rejection for configs the cost model or
+ * vectorizer refuses; anything else escaping is a finding.
+ */
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "benchmarks/random_graph.h"
+#include "interp/runner.h"
+#include "machine/cost_sink.h"
+#include "support/diagnostics.h"
+#include "vectorizer/pipeline.h"
+
+namespace {
+
+/** Sequential byte decoder (zeros once exhausted). */
+class ByteReader {
+  public:
+    ByteReader(const std::uint8_t* data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+    std::uint8_t u8() { return pos_ < size_ ? data_[pos_++] : 0; }
+    std::uint64_t u64()
+    {
+        std::uint64_t v = 0;
+        for (int k = 0; k < 8; ++k)
+            v = (v << 8) | u8();
+        return v;
+    }
+    bool bit() { return (u8() & 1) != 0; }
+
+  private:
+    const std::uint8_t* data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+struct EngineRun {
+    std::vector<macross::interp::Value> out;
+    double cycles = 0.0;
+};
+
+EngineRun
+runWith(const macross::vectorizer::CompiledProgram& p,
+        const macross::machine::MachineDesc& m,
+        macross::interp::ExecEngine engine, std::int64_t n)
+{
+    macross::machine::CostSink cost(m);
+    macross::interp::Runner r(p.graph, p.schedule, &cost, engine);
+    r.runUntilCaptured(n, 2000);
+    EngineRun run;
+    run.out.assign(r.captured().begin(), r.captured().begin() + n);
+    run.cycles = cost.totalCycles();
+    return run;
+}
+
+[[noreturn]] void
+finding(const char* what, std::uint64_t seed)
+{
+    std::fprintf(stderr,
+                 "fuzz_graph: engine differential FAILED (%s) for "
+                 "seed %llu\n",
+                 what, static_cast<unsigned long long>(seed));
+    std::abort();
+}
+
+} // namespace
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size)
+{
+    using namespace macross;
+    ByteReader in(data, size);
+
+    const std::uint64_t seed = in.u64();
+    benchmarks::RandomGraphOptions gopt;
+    gopt.maxPipelineLength = 2 + in.u8() % 5;
+    gopt.maxRate = 1 + in.u8() % 5;
+    gopt.allowStateful = in.bit();
+    gopt.allowPeeking = in.bit();
+    gopt.allowSplitJoin = in.bit();
+    gopt.splitJoinLanes = in.bit() ? 4 : 2;
+
+    const bool simdize = in.bit();
+    const bool sagu = simdize && in.bit();
+    const int widths[3] = {2, 4, 8};
+    const int width = widths[in.u8() % 3];
+    const std::int64_t n = 16 + in.u8() % 17;
+
+    try {
+        graph::StreamPtr program = benchmarks::randomProgram(seed, gopt);
+
+        machine::MachineDesc m =
+            sagu ? machine::coreI7WithSagu() : machine::coreI7();
+        m.simdWidth = width;
+
+        vectorizer::CompiledProgram compiled;
+        if (simdize) {
+            vectorizer::SimdizeOptions opts;
+            opts.machine = m;
+            opts.enableSagu = sagu;
+            opts.forceSimdize = true;
+            compiled = vectorizer::macroSimdize(program, opts);
+        } else {
+            compiled = vectorizer::compileScalar(program);
+        }
+
+        const EngineRun tree =
+            runWith(compiled, m, interp::ExecEngine::Tree, n);
+        const EngineRun vm =
+            runWith(compiled, m, interp::ExecEngine::Bytecode, n);
+
+        if (tree.out.size() != vm.out.size())
+            finding("element count", seed);
+        for (std::size_t i = 0; i < tree.out.size(); ++i) {
+            if (!(tree.out[i] == vm.out[i]))
+                finding("output bits", seed);
+        }
+        if (tree.cycles != vm.cycles)
+            finding("modeled cycles", seed);
+    } catch (const FatalError&) {
+        // Over-constrained config (e.g. the vectorizer refusing a
+        // graph shape): a sanctioned rejection, not a finding.
+    }
+    return 0;
+}

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Negative-path tests for graph and filter validation: one test per
+ * fatalIf site in graph/validate.cpp and validateFilter
+ * (graph/filter.cpp), each asserting the diagnostic names the
+ * offending tape or actor so a failing compile points at the culprit.
+ */
+#include "graph/flat_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "benchmarks/common.h"
+#include "ir/builder.h"
+#include "support/diagnostics.h"
+
+namespace macross::graph {
+namespace {
+
+using benchmarks::floatSink;
+using benchmarks::floatSource;
+using benchmarks::identity;
+using benchmarks::intSource;
+
+/** Assert @p fn throws FatalError whose text contains @p needle. */
+template <typename Fn>
+void
+expectFatal(Fn&& fn, const std::string& needle)
+{
+    try {
+        fn();
+        FAIL() << "expected FatalError containing '" << needle << "'";
+    } catch (const FatalError& e) {
+        EXPECT_NE(std::string(e.what()).find(needle),
+                  std::string::npos)
+            << "diagnostic was: " << e.what();
+    }
+}
+
+int
+addFilter(FlatGraph& g, FilterDefPtr def)
+{
+    Actor a;
+    a.name = def->name;
+    a.kind = ActorKind::Filter;
+    a.def = std::move(def);
+    return g.addActor(std::move(a));
+}
+
+/** A minimal valid source -> sink graph to mutate. */
+FlatGraph
+sourceSinkGraph()
+{
+    FlatGraph g;
+    int src = addFilter(g, floatSource("src", 1));
+    int snk = addFilter(g, floatSink("snk", 1));
+    g.addTape(src, snk, ir::kFloat32);
+    return g;
+}
+
+// --- validate.cpp: tape checks ---
+
+TEST(ValidateNegative, UnconnectedTapeNamesTheTape)
+{
+    FlatGraph g = sourceSinkGraph();
+    g.tapes[0].dst = -1;
+    expectFatal([&] { validate(g); }, "tape 0 is unconnected");
+}
+
+TEST(ValidateNegative, SourcePortInconsistencyNamesTheTape)
+{
+    FlatGraph g = sourceSinkGraph();
+    g.actors[0].outputs[0] = 99;  // Port list no longer holds tape 0.
+    expectFatal([&] { validate(g); },
+                "tape 0 source port inconsistency");
+}
+
+TEST(ValidateNegative, DestinationPortInconsistencyNamesTheTape)
+{
+    FlatGraph g = sourceSinkGraph();
+    g.actors[1].inputs[0] = 99;
+    expectFatal([&] { validate(g); },
+                "tape 0 destination port inconsistency");
+}
+
+// --- validate.cpp: filter actor checks ---
+
+TEST(ValidateNegative, FilterWithoutDefinitionNamesTheActor)
+{
+    FlatGraph g = sourceSinkGraph();
+    g.actors[1].def = nullptr;
+    expectFatal([&] { validate(g); },
+                "filter actor snk has no definition");
+}
+
+TEST(ValidateNegative, FilterWithTwoInputsNamesTheActor)
+{
+    FlatGraph g;
+    // The offending filter is actor 0 so its check runs before the
+    // producers' own (deliberately unvalidated) shapes are reached.
+    int f = addFilter(g, identity("twoIn"));
+    int a = addFilter(g, floatSource("a", 1));
+    int b = addFilter(g, floatSource("b", 1));
+    g.addTape(a, f, ir::kFloat32);
+    g.addTape(b, f, ir::kFloat32);
+    expectFatal([&] { validate(g); },
+                "filter twoIn must have at most one input");
+}
+
+TEST(ValidateNegative, PoppingFilterWithoutInputNamesTheActor)
+{
+    FlatGraph g;
+    addFilter(g, floatSink("orphanSink", 1));  // pop 1, no tape.
+    expectFatal([&] { validate(g); },
+                "filter orphanSink pops but has no input tape");
+}
+
+TEST(ValidateNegative, PushingFilterWithoutOutputNamesTheActor)
+{
+    FlatGraph g;
+    addFilter(g, floatSource("orphanSrc", 1));  // push 1, no tape.
+    expectFatal([&] { validate(g); },
+                "filter orphanSrc pushes but has no output tape");
+}
+
+TEST(ValidateNegative, InputElementTypeMismatchNamesTheActor)
+{
+    FlatGraph g;
+    int src = addFilter(g, intSource("isrc", 1));
+    int f = addFilter(g, identity("mismatched"));  // Expects float.
+    int snk = addFilter(g, floatSink("snk", 1));
+    g.addTape(src, f, ir::kInt32);
+    g.addTape(f, snk, ir::kFloat32);
+    expectFatal([&] { validate(g); },
+                "filter mismatched input element-type mismatch");
+}
+
+TEST(ValidateNegative, OutputElementTypeMismatchNamesTheActor)
+{
+    FlatGraph g;
+    int src = addFilter(g, floatSource("fsrc", 1));
+    int snk = addFilter(g, floatSink("snk", 1));
+    g.addTape(src, snk, ir::kInt32);  // Tape carries the wrong type.
+    expectFatal([&] { validate(g); },
+                "filter fsrc output element-type mismatch");
+}
+
+// --- validate.cpp: splitter / joiner checks ---
+
+TEST(ValidateNegative, SplitterWithoutInputNamesTheActor)
+{
+    FlatGraph g;
+    Actor s;
+    s.name = "spl";
+    s.kind = ActorKind::Splitter;
+    s.weights = {1, 1};
+    g.addActor(std::move(s));
+    expectFatal([&] { validate(g); },
+                "splitter spl must have exactly one input");
+}
+
+TEST(ValidateNegative, SplitterOutputCountMismatchNamesTheActor)
+{
+    FlatGraph g;
+    Actor s;
+    s.name = "spl";
+    s.kind = ActorKind::Splitter;
+    s.weights = {1, 1};  // Two branches declared...
+    int spl = g.addActor(std::move(s));
+    int src = addFilter(g, floatSource("src", 1));
+    int snk = addFilter(g, floatSink("snk", 1));
+    g.addTape(src, spl, ir::kFloat32);
+    g.addTape(spl, snk, ir::kFloat32);  // ...but only one connected.
+    expectFatal([&] { validate(g); },
+                "splitter spl output count does not match weights");
+}
+
+TEST(ValidateNegative, JoinerWithoutOutputNamesTheActor)
+{
+    FlatGraph g;
+    Actor j;
+    j.name = "join";
+    j.kind = ActorKind::Joiner;
+    j.weights = {1, 1};
+    g.addActor(std::move(j));
+    expectFatal([&] { validate(g); },
+                "joiner join must have exactly one output");
+}
+
+TEST(ValidateNegative, JoinerInputCountMismatchNamesTheActor)
+{
+    FlatGraph g;
+    Actor j;
+    j.name = "join";
+    j.kind = ActorKind::Joiner;
+    j.weights = {1, 1};  // Two branches declared, none connected.
+    int join = g.addActor(std::move(j));
+    int snk = addFilter(g, floatSink("snk", 1));
+    g.addTape(join, snk, ir::kFloat32);
+    expectFatal([&] { validate(g); },
+                "joiner join input count does not match weights");
+}
+
+// --- filter.cpp: validateFilter checks ---
+
+TEST(ValidateNegative, PeekBelowPopNamesTheFilter)
+{
+    FilterDef def;
+    def.name = "shortPeek";
+    def.peek = 1;
+    def.pop = 2;
+    expectFatal([&] { validateFilter(def); },
+                "filter shortPeek: peek rate below pop rate");
+}
+
+TEST(ValidateNegative, InitTouchingTapesNamesTheFilter)
+{
+    FilterDef def;
+    def.name = "eagerInit";
+    ir::BlockBuilder init;
+    init.push(ir::floatImm(1.0f));
+    def.init = init.take();
+    expectFatal([&] { validateFilter(def); },
+                "filter eagerInit: init body accesses tapes");
+}
+
+TEST(ValidateNegative, NonStaticRatesNameTheFilter)
+{
+    FilterDef def;
+    def.name = "dataDependent";
+    def.peek = 1;
+    def.pop = 1;
+    auto x = std::make_shared<ir::Var>();
+    x->name = "x";
+    x->type = ir::kFloat32;
+    x->kind = ir::VarKind::Local;
+    ir::BlockBuilder work;
+    // The two arms consume different amounts: no static SDF rate.
+    work.ifElse(ir::intImm(1) > ir::intImm(0),
+                [&](ir::BlockBuilder& b) {
+                    b.assign(x, ir::popExpr(ir::kFloat32));
+                },
+                [](ir::BlockBuilder&) {});
+    def.work = work.take();
+    expectFatal([&] { validateFilter(def); },
+                "filter dataDependent: tape access counts are not "
+                "static");
+}
+
+TEST(ValidateNegative, PopCountMismatchNamesTheFilter)
+{
+    FilterDef def;
+    def.name = "underPopper";
+    def.peek = 2;
+    def.pop = 2;
+    auto x = std::make_shared<ir::Var>();
+    x->name = "x";
+    x->type = ir::kFloat32;
+    x->kind = ir::VarKind::Local;
+    ir::BlockBuilder work;
+    work.assign(x, ir::popExpr(ir::kFloat32));  // 1 pop, declares 2.
+    def.work = work.take();
+    expectFatal([&] { validateFilter(def); },
+                "filter underPopper: work body consumes 1 elements "
+                "but declares pop rate 2");
+}
+
+TEST(ValidateNegative, PushCountMismatchNamesTheFilter)
+{
+    FilterDef def;
+    def.name = "underPusher";
+    def.push = 2;
+    ir::BlockBuilder work;
+    work.push(ir::floatImm(1.0f));  // 1 push, declares 2.
+    def.work = work.take();
+    expectFatal([&] { validateFilter(def); },
+                "filter underPusher: work body produces 1 elements "
+                "but declares push rate 2");
+}
+
+} // namespace
+} // namespace macross::graph

@@ -1,16 +1,20 @@
 /**
  * @file
  * Unit tests for the lock-free SPSC ring backing cross-core tapes:
- * capacity rounding, publication granularity, and actual two-thread
- * transfer through both the raw ring and a ring-backed Tape.
+ * capacity rounding, publication granularity, actual two-thread
+ * transfer through both the raw ring and a ring-backed Tape, and the
+ * publication invariants (driven through fault injection, so the
+ * production fire() sites are what corrupts the indexes).
  */
 #include "interp/spsc_queue.h"
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <thread>
 
 #include "interp/tape.h"
+#include "support/fault.h"
 
 namespace macross::interp {
 namespace {
@@ -132,6 +136,111 @@ TEST(SpscRing, SetRingAfterTrafficPanics)
     Tape t(ir::kInt32);
     t.push(Value::makeInt(1));
     EXPECT_THROW(t.setRing(&ring), PanicError);
+}
+
+/** Fixture that always leaves the global fault registry clean. */
+class SpscInvariants : public ::testing::Test {
+  protected:
+    void SetUp() override { support::FaultInjector::instance().reset(); }
+    void TearDown() override
+    {
+        support::FaultInjector::instance().reset();
+    }
+
+    /** Run @p fn, assert it panics, and return the panic text. */
+    template <typename Fn>
+    std::string panicText(Fn&& fn)
+    {
+        try {
+            fn();
+        } catch (const PanicError& e) {
+            return e.what();
+        }
+        ADD_FAILURE() << "expected a PanicError";
+        return "";
+    }
+};
+
+TEST_F(SpscInvariants, TailRetreatPanicsWithRingState)
+{
+    SpscRing r(8);
+    for (std::int64_t i = 0; i < 4; ++i)
+        r.slot(i) = static_cast<std::uint32_t>(i);
+    r.publishTail(4);
+    // The injected fault rolls the published index backwards — the
+    // corruption a miscompiled flush or memory stomp would produce.
+    support::FaultInjector::instance().arm(
+        "spsc.publishTailExact", [](std::int64_t* v) { *v -= 3; });
+    std::string msg = panicText([&] { r.publishTailExact(4); });
+    EXPECT_NE(msg.find("tail retreated"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("capacity 8"), std::string::npos) << msg;
+    EXPECT_EQ(support::FaultInjector::instance().fireCount(
+                  "spsc.publishTailExact"),
+              1);
+}
+
+TEST_F(SpscInvariants, ProducerOverrunPanicsWithRingState)
+{
+    SpscRing r(8);
+    support::FaultInjector::instance().arm(
+        "spsc.publishTailExact",
+        [&r](std::int64_t* v) { *v += r.capacity() + 5; });
+    std::string msg = panicText([&] { r.publishTailExact(1); });
+    EXPECT_NE(msg.find("overran the consumer"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("capacity 8"), std::string::npos) << msg;
+}
+
+TEST_F(SpscInvariants, HeadRetreatPanicsWithRingState)
+{
+    SpscRing r(8);
+    for (std::int64_t i = 0; i < 6; ++i)
+        r.slot(i) = 0;
+    r.publishTail(6);
+    r.waitReadable(5);  // Refresh the consumer's cached tail.
+    r.publishHead(4);
+    support::FaultInjector::instance().arm(
+        "spsc.publishHeadExact", [](std::int64_t* v) { *v = 1; });
+    std::string msg = panicText([&] { r.publishHeadExact(4); });
+    EXPECT_NE(msg.find("head retreated"), std::string::npos) << msg;
+}
+
+TEST_F(SpscInvariants, OverReleasePanicsWithRingState)
+{
+    SpscRing r(8);
+    // Nothing published: releasing element 1 releases data the
+    // producer never made visible.
+    support::FaultInjector::instance().arm(
+        "spsc.publishHeadExact", [](std::int64_t* v) { *v += 1; });
+    std::string msg = panicText([&] { r.publishHeadExact(0); });
+    EXPECT_NE(msg.find("released unpublished data"), std::string::npos)
+        << msg;
+}
+
+TEST_F(SpscInvariants, CleanPublicationDoesNotTripTheChecks)
+{
+    // The invariant checks must be invisible on a healthy ring, fault
+    // sites armed or not.
+    SpscRing r(8);
+    for (std::int64_t i = 0; i < 100; ++i) {
+        r.waitWritable(i);
+        r.slot(i) = static_cast<std::uint32_t>(i);
+        r.publishTailExact(i + 1);
+        r.waitReadable(i);
+        r.publishHeadExact(i + 1);
+    }
+    SUCCEED();
+}
+
+TEST_F(SpscInvariants, AbortWaitsTurnsBlockedWaitIntoPromptPanic)
+{
+    SpscRing r(8);
+    r.abortWaits();
+    // Nothing published: without the abort this wait would spin
+    // toward the 120 s timeout; with it, it must panic promptly.
+    std::string msg = panicText([&] { r.waitReadable(0); });
+    EXPECT_NE(msg.find("aborted during shutdown"), std::string::npos)
+        << msg;
 }
 
 } // namespace

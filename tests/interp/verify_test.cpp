@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Unit tests for the bytecode verifier: clean compiled actors verify
+ * empty, every catalogued corruption class is detected with the
+ * matching error kind, and hand-built degenerate streams (bad opcode
+ * bytes, lane overflow, frame mismatch) are rejected too.
+ */
+#include "interp/verify.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "benchmarks/common.h"
+#include "interp/compile_actor.h"
+#include "machine/machine_desc.h"
+
+namespace macross::interp::bytecode {
+namespace {
+
+/** A compiled actor with loops, peeks, arrays, state, and charges. */
+CompiledActor
+compiledFir(graph::FilterDefPtr* def_out = nullptr)
+{
+    static graph::FilterDefPtr def =
+        benchmarks::firFilter("fir", 8, 1, 0.3f);
+    if (def_out)
+        *def_out = def;
+    static machine::MachineDesc m = machine::coreI7();
+    CompileOptions opts;
+    opts.machine = &m;
+    return compileActor(*def, opts);
+}
+
+bool
+hasKind(const std::vector<VerifyError>& errs, VerifyError::Kind k)
+{
+    for (const auto& e : errs) {
+        if (e.kind == k)
+            return true;
+    }
+    return false;
+}
+
+std::string
+dump(const std::vector<VerifyError>& errs)
+{
+    std::string s;
+    for (const auto& e : errs) {
+        s += toString(e);
+        s += "\n";
+    }
+    return s;
+}
+
+TEST(Verify, CleanCompiledActorHasNoFindings)
+{
+    graph::FilterDefPtr def;
+    CompiledActor ca = compiledFir(&def);
+    auto errs = verifyActor(ca, *def);
+    EXPECT_TRUE(errs.empty()) << dump(errs);
+}
+
+/** One test per catalogued corruption: the injector must find a site
+ *  in the FIR work body and the verifier must flag the matching kind. */
+struct CorruptionCase {
+    Corruption corruption;
+    VerifyError::Kind expected;
+};
+
+class VerifyCorruption
+    : public ::testing::TestWithParam<CorruptionCase> {};
+
+TEST_P(VerifyCorruption, InjectedFaultIsDetected)
+{
+    graph::FilterDefPtr def;
+    CompiledActor ca = compiledFir(&def);
+    std::string what =
+        injectCorruption(ca.work, GetParam().corruption);
+    ASSERT_FALSE(what.empty())
+        << "no injection site for this corruption in the FIR body";
+    auto errs = verifyActor(ca, *def);
+    ASSERT_FALSE(errs.empty()) << "corruption not detected: " << what;
+    EXPECT_TRUE(hasKind(errs, GetParam().expected))
+        << "after '" << what << "' expected "
+        << toString(GetParam().expected) << ", got:\n"
+        << dump(errs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClasses, VerifyCorruption,
+    ::testing::Values(
+        CorruptionCase{Corruption::BadRegister,
+                       VerifyError::Kind::BadRegister},
+        CorruptionCase{Corruption::BadSlot, VerifyError::Kind::BadSlot},
+        CorruptionCase{Corruption::BadArray,
+                       VerifyError::Kind::BadArray},
+        CorruptionCase{Corruption::BadConst,
+                       VerifyError::Kind::BadConst},
+        CorruptionCase{Corruption::BadCharge,
+                       VerifyError::Kind::BadCharge},
+        CorruptionCase{Corruption::BadBranch,
+                       VerifyError::Kind::BadBranch},
+        CorruptionCase{Corruption::BadLoop, VerifyError::Kind::BadLoop},
+        CorruptionCase{Corruption::Truncated,
+                       VerifyError::Kind::Truncated},
+        CorruptionCase{Corruption::RateMismatch,
+                       VerifyError::Kind::RateMismatch}),
+    [](const ::testing::TestParamInfo<CorruptionCase>& info) {
+        // Kebab-case kind name -> CamelCase test suffix.
+        std::string out;
+        bool up = true;
+        for (char c : toString(info.param.expected)) {
+            if (c == '-') {
+                up = true;
+                continue;
+            }
+            out += up ? static_cast<char>(std::toupper(
+                            static_cast<unsigned char>(c)))
+                      : c;
+            up = false;
+        }
+        return out;
+    });
+
+TEST(Verify, SweepingSeedsHitsEverySiteWithoutFalseNegatives)
+{
+    // Each seed picks a different candidate instruction; every pick
+    // must still be detected.
+    for (std::uint64_t seed = 0; seed < 12; ++seed) {
+        graph::FilterDefPtr def;
+        CompiledActor ca = compiledFir(&def);
+        std::string what =
+            injectCorruption(ca.work, Corruption::BadRegister, seed);
+        ASSERT_FALSE(what.empty());
+        EXPECT_TRUE(hasKind(verifyActor(ca, *def),
+                            VerifyError::Kind::BadRegister))
+            << what;
+    }
+}
+
+TEST(Verify, EmptyStreamIsTruncated)
+{
+    Code code;
+    code.numRegs = 1;
+    auto errs = verifyCode(code, VerifySpec{});
+    ASSERT_FALSE(errs.empty());
+    EXPECT_EQ(errs[0].kind, VerifyError::Kind::Truncated);
+}
+
+TEST(Verify, UnknownOpcodeByteIsRejected)
+{
+    Code code;
+    code.numRegs = 1;
+    Instr bad;
+    bad.op = static_cast<Op>(200);
+    code.instrs.push_back(bad);
+    code.instrs.push_back(Instr{});  // Halt.
+    auto errs = verifyCode(code, VerifySpec{});
+    EXPECT_TRUE(hasKind(errs, VerifyError::Kind::BadOpcode))
+        << dump(errs);
+}
+
+TEST(Verify, LaneIndexPastMaxLanesIsRejected)
+{
+    Code code;
+    code.numRegs = 2;
+    Instr lr;
+    lr.op = Op::LaneRead;
+    lr.dst = 0;
+    lr.a = 1;
+    lr.lane = kMaxLanes + 4;
+    code.instrs.push_back(lr);
+    code.instrs.push_back(Instr{});  // Halt.
+    auto errs = verifyCode(code, VerifySpec{});
+    EXPECT_TRUE(hasKind(errs, VerifyError::Kind::BadLane))
+        << dump(errs);
+}
+
+TEST(Verify, FrameSlotTemplateMismatchIsRejected)
+{
+    graph::FilterDefPtr def;
+    CompiledActor ca = compiledFir(&def);
+    ca.numSlots += 1;  // Claim a slot the template list doesn't back.
+    auto errs = verifyActor(ca, *def);
+    ASSERT_FALSE(errs.empty());
+    EXPECT_EQ(errs[0].kind, VerifyError::Kind::BadSlot);
+}
+
+TEST(Verify, InitBodyMustNotTouchTapes)
+{
+    graph::FilterDefPtr def;
+    CompiledActor ca = compiledFir(&def);
+    // Splice a Pop into the init stream: init bodies are verified
+    // with allowTapeOps = false.
+    Instr pop;
+    pop.op = Op::Pop;
+    pop.dst = 0;
+    pop.type = ir::kFloat32;
+    ASSERT_FALSE(ca.init.instrs.empty());
+    ca.init.instrs.insert(ca.init.instrs.end() - 1, pop);
+    if (ca.init.numRegs < 1)
+        ca.init.numRegs = 1;
+    auto errs = verifyActor(ca, *def);
+    ASSERT_FALSE(errs.empty());
+    EXPECT_TRUE(hasKind(errs, VerifyError::Kind::RateMismatch))
+        << dump(errs);
+    EXPECT_NE(errs[0].message.find("init: "), std::string::npos);
+}
+
+TEST(Verify, ErrorToStringMentionsPcAndKind)
+{
+    VerifyError e;
+    e.kind = VerifyError::Kind::BadRegister;
+    e.pc = 12;
+    e.message = "result register 99 out of bounds";
+    std::string s = toString(e);
+    EXPECT_NE(s.find("pc 12"), std::string::npos);
+    EXPECT_NE(s.find("bad-register"), std::string::npos);
+}
+
+} // namespace
+} // namespace macross::interp::bytecode

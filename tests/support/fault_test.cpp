@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Unit tests for the fault-injection registry: arm/fire/disarm/reset
+ * semantics, bounded fire counts, and value mutation through the hook.
+ */
+#include "support/fault.h"
+
+#include <gtest/gtest.h>
+
+namespace macross::support {
+namespace {
+
+class FaultInjectorTest : public ::testing::Test {
+  protected:
+    void SetUp() override { FaultInjector::instance().reset(); }
+    void TearDown() override { FaultInjector::instance().reset(); }
+};
+
+TEST_F(FaultInjectorTest, DisarmedSiteNeverFires)
+{
+    std::int64_t v = 7;
+    EXPECT_FALSE(FaultInjector::fire("test.site", &v));
+    EXPECT_EQ(v, 7);
+    EXPECT_EQ(FaultInjector::instance().fireCount("test.site"), 0);
+}
+
+TEST_F(FaultInjectorTest, ArmedSiteMutatesThePayload)
+{
+    FaultInjector::instance().arm(
+        "test.site", [](std::int64_t* v) { *v += 100; });
+    std::int64_t v = 7;
+    EXPECT_TRUE(FaultInjector::fire("test.site", &v));
+    EXPECT_EQ(v, 107);
+    EXPECT_EQ(FaultInjector::instance().fireCount("test.site"), 1);
+    // Other sites stay disarmed.
+    EXPECT_FALSE(FaultInjector::fire("test.other", &v));
+}
+
+TEST_F(FaultInjectorTest, MaxFiresBoundsTheTriggerCount)
+{
+    int hits = 0;
+    FaultInjector::instance().arm(
+        "test.site", [&hits](std::int64_t*) { ++hits; },
+        /*max_fires=*/2);
+    for (int i = 0; i < 5; ++i)
+        FaultInjector::fire("test.site");
+    EXPECT_EQ(hits, 2);
+    EXPECT_EQ(FaultInjector::instance().fireCount("test.site"), 2);
+}
+
+TEST_F(FaultInjectorTest, DisarmStopsFutureFiresButKeepsTheCount)
+{
+    FaultInjector::instance().arm("test.site", [](std::int64_t*) {});
+    FaultInjector::fire("test.site");
+    FaultInjector::instance().disarm("test.site");
+    EXPECT_FALSE(FaultInjector::fire("test.site"));
+    EXPECT_EQ(FaultInjector::instance().fireCount("test.site"), 1);
+}
+
+TEST_F(FaultInjectorTest, RearmingReplacesTheAction)
+{
+    std::int64_t v = 0;
+    FaultInjector::instance().arm("test.site",
+                                  [](std::int64_t* p) { *p = 1; });
+    FaultInjector::instance().arm("test.site",
+                                  [](std::int64_t* p) { *p = 2; });
+    FaultInjector::fire("test.site", &v);
+    EXPECT_EQ(v, 2);
+}
+
+TEST_F(FaultInjectorTest, ResetClearsActionsAndCounts)
+{
+    FaultInjector::instance().arm("test.site", [](std::int64_t*) {});
+    FaultInjector::fire("test.site");
+    FaultInjector::instance().reset();
+    EXPECT_EQ(FaultInjector::instance().fireCount("test.site"), 0);
+    EXPECT_FALSE(FaultInjector::fire("test.site"));
+}
+
+TEST_F(FaultInjectorTest, NullPayloadSitesAreAllowed)
+{
+    bool saw_null = false;
+    FaultInjector::instance().arm(
+        "test.site",
+        [&saw_null](std::int64_t* v) { saw_null = (v == nullptr); });
+    EXPECT_TRUE(FaultInjector::fire("test.site"));
+    EXPECT_TRUE(saw_null);
+}
+
+} // namespace
+} // namespace macross::support

@@ -13,6 +13,10 @@
 #include <sstream>
 #include <string>
 
+#ifndef _WIN32
+#include <sys/wait.h>
+#endif
+
 #include <gtest/gtest.h>
 
 #include "support/json.h"
@@ -36,6 +40,18 @@ runCli(const std::string& args)
     std::string cmd = std::string(MACROSS_CLI_PATH) + " " + args +
                       " > /dev/null 2>&1";
     return std::system(cmd.c_str());
+}
+
+/** Like runCli, but decodes the child's actual exit status. */
+int
+runCliExitCode(const std::string& args)
+{
+    int raw = runCli(args);
+#ifndef _WIN32
+    return WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+#else
+    return raw;
+#endif
 }
 
 TEST(CliReport, FmRadioJsonReportIsCompleteAndValid)
@@ -221,6 +237,70 @@ TEST(CliReport, HelpExitsCleanly)
 TEST(CliReport, UnknownOptionFails)
 {
     EXPECT_NE(runCli("--bench FMRadio --no-such-flag"), 0);
+}
+
+TEST(CliReport, UserErrorsExitOneInternalErrorsExitTwo)
+{
+    // A malformed source program is a user error: FatalError, exit 1.
+    const std::string bad = "cli_exit_code_bad.str";
+    {
+        std::ofstream out(bad);
+        out << "void->float filter F() { work push 1 { push( } }\n";
+    }
+    EXPECT_EQ(runCliExitCode(bad), 1);
+    std::remove(bad.c_str());
+
+    // An internal invariant violation is a PanicError: exit 2.
+    EXPECT_EQ(
+        runCliExitCode("--bench FMRadio --inject-fault panic"), 2);
+
+    // Healthy runs still exit 0.
+    EXPECT_EQ(runCliExitCode("--bench FMRadio --run 2"), 0);
+}
+
+TEST(CliReport, WatchdogSurvivesInjectedStallAndReportsFault)
+{
+    const std::string out = "cli_report_watchdog_out.json";
+    const std::string serialOut = "cli_report_watchdog_serial.json";
+    std::remove(out.c_str());
+    std::remove(serialOut.c_str());
+    ASSERT_EQ(runCliExitCode("--bench FMRadio --simd --run 20 "
+                             "--json-report " + serialOut),
+              0);
+    // The injected stall (400 ms) dwarfs the watchdog (50 ms): the
+    // run must degrade to the serial fallback and still exit 0.
+    ASSERT_EQ(runCliExitCode(
+                  "--bench FMRadio --simd --run 20 --threads 2 "
+                  "--watchdog-ms 50 --inject-fault worker-stall:400 "
+                  "--json-report " + out),
+              0);
+
+    json::Value serial = json::parse(readFile(serialOut));
+    json::Value par = json::parse(readFile(out));
+    const json::Value* p =
+        par.find("run")->find("stats")->find("parallel");
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->find("watchdogMs")->asInt(), 50);
+    EXPECT_TRUE(p->find("degradedToSerial")->asBool());
+    ASSERT_GE(p->find("faults")->size(), 1u);
+    const json::Value& f = p->find("faults")->at(0);
+    EXPECT_EQ(f.find("kind")->asString(), "workerStall");
+    EXPECT_TRUE(f.find("fallbackUsed")->asBool());
+    EXPECT_TRUE(f.find("fallbackVerified")->asBool());
+    EXPECT_GT(f.find("detectedAfterMs")->asDouble(), 0.0);
+
+    // Degraded or not, the run reports the exact serial cycles.
+    EXPECT_DOUBLE_EQ(
+        serial.find("run")->find("totalCycles")->asDouble(),
+        par.find("run")->find("totalCycles")->asDouble());
+
+    // Unknown fault kinds are user errors.
+    EXPECT_EQ(runCliExitCode(
+                  "--bench FMRadio --inject-fault no-such-fault"),
+              1);
+
+    std::remove(out.c_str());
+    std::remove(serialOut.c_str());
 }
 
 } // namespace

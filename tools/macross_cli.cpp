@@ -21,6 +21,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -35,6 +36,7 @@
 #include "lowering/lowered.h"
 #include "multicore/partition.h"
 #include "support/diagnostics.h"
+#include "support/fault.h"
 #include "support/json.h"
 #include "support/trace.h"
 #include "vectorizer/pipeline.h"
@@ -65,6 +67,8 @@ struct CliConfig {
     int width = 4;
     int iters = 10;
     int threads = 1;
+    int watchdogMs = 0;
+    std::string injectFault;
 };
 
 /** One entry of the declarative option table. */
@@ -146,6 +150,15 @@ optionTable()
          "execute the steady state on N worker threads over a greedy "
          "multicore partition (default 1)",
          integer(&CliConfig::threads)},
+        {"--watchdog-ms", "MS",
+         "parallel-run watchdog: detect a batch stalled for MS ms, "
+         "shut the pool down, and fall back to the verified serial "
+         "runner (default 0 = off)",
+         integer(&CliConfig::watchdogMs)},
+        {"--inject-fault", "KIND",
+         "deliberately fault for testing: 'panic' (internal-bug "
+         "path), or 'worker-stall[:MS]' (stall one parallel worker)",
+         string(&CliConfig::injectFault)},
         {"--report", nullptr,
          "print per-op-class and per-actor cycle breakdowns",
          flag(&CliConfig::report, true)},
@@ -258,6 +271,30 @@ main(int argc, char** argv)
     }
 
     try {
+        // --inject-fault: deliberate failures for exercising the
+        // CLI's error paths and the parallel watchdog end to end.
+        if (!cfg.injectFault.empty()) {
+            if (cfg.injectFault == "panic") {
+                panic("deliberate panic requested via --inject-fault");
+            } else if (cfg.injectFault.rfind("worker-stall", 0) == 0) {
+                long stallMs = 200;
+                auto colon = cfg.injectFault.find(':');
+                if (colon != std::string::npos)
+                    stallMs =
+                        std::stol(cfg.injectFault.substr(colon + 1));
+                support::FaultInjector::instance().arm(
+                    "parallel.worker.batch",
+                    [stallMs](std::int64_t*) {
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(stallMs));
+                    },
+                    1);
+            } else {
+                fatal("unknown --inject-fault kind '", cfg.injectFault,
+                      "' (want panic or worker-stall[:MS])");
+            }
+        }
+
         graph::StreamPtr program =
             !cfg.sourceFile.empty()
                 ? frontend::parseProgramFile(cfg.sourceFile)
@@ -360,9 +397,11 @@ main(int argc, char** argv)
 
             parCost =
                 std::make_unique<machine::CostSink>(opts.machine);
+            interp::ParallelOptions popt;
+            popt.watchdogMs = cfg.watchdogMs;
             par = std::make_unique<interp::ParallelRunner>(
                 compiled.graph, compiled.schedule, part,
-                parCost.get(), engine);
+                parCost.get(), engine, popt);
             for (auto& [id, c] : actorConfigs)
                 par->setActorConfig(id, c);
             par->runInit();
@@ -391,6 +430,17 @@ main(int argc, char** argv)
                             ? serialWallMicros /
                                   par->steadyWallMicros()
                             : 0.0);
+            for (const auto& f : par->faults()) {
+                std::printf("  FAULT %s (generation %lld): %s — "
+                            "serial fallback %s\n",
+                            f.kind.c_str(),
+                            static_cast<long long>(f.generation),
+                            f.message.c_str(),
+                            f.fallbackVerified
+                                ? "verified bit-identical"
+                                : (f.fallbackUsed ? "used (unverified)"
+                                                  : "not run"));
+            }
         }
 
         if (cfg.report) {
@@ -473,8 +523,17 @@ main(int argc, char** argv)
                         cfg.jsonReportFile.c_str());
         }
         return 0;
-    } catch (const std::exception& e) {
+    } catch (const FatalError& e) {
+        // User-facing input error: bad program, bad option value.
         std::fprintf(stderr, "%s\n", e.what());
         return 1;
+    } catch (const PanicError& e) {
+        // Internal invariant violation — a bug in this tool, not in
+        // the user's input.
+        std::fprintf(stderr, "internal error: %s\n", e.what());
+        return 2;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "unexpected error: %s\n", e.what());
+        return 3;
     }
 }
