@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Native-engine throughput: real wall-clock nanoseconds per sink
+ * element for the bytecode VM versus emitted C++ compiled by the host
+ * compiler (-O3 -march=native), scalar and macro-SIMDized.
+ *
+ * Unlike the figure benches, these numbers are measured, not modeled:
+ * they answer "what does the interpreter overhead cost on this host,
+ * and does macro-SIMDization still win once real machine code runs?"
+ * Host-compile time and cache state are recorded alongside so the
+ * one-time build cost is visible next to the steady-state rate.
+ */
+#include <chrono>
+
+#include "harness.h"
+#include "native/native_engine.h"
+
+using namespace macross;
+using namespace macross::bench;
+
+namespace {
+
+constexpr int kIters = 600;
+
+/** Wall-clock nanoseconds per sink element on the bytecode VM. */
+double
+vmNanosPerElement(const vectorizer::CompiledProgram& p)
+{
+    interp::Runner r(p.graph, p.schedule);
+    r.runInit();
+    std::size_t before = r.captured().size();
+    auto t0 = std::chrono::steady_clock::now();
+    r.runSteady(kIters);
+    auto t1 = std::chrono::steady_clock::now();
+    std::size_t produced = r.captured().size() - before;
+    double nanos = std::chrono::duration<double, std::nano>(t1 - t0)
+                       .count();
+    return produced ? nanos / static_cast<double>(produced) : 0.0;
+}
+
+/** Wall-clock ns/element natively, plus the build stats. */
+double
+nativeNanosPerElement(const vectorizer::CompiledProgram& p,
+                      native::NativeStats* statsOut)
+{
+    native::NativeProgram np(p.graph, p.schedule);
+    np.init();
+    std::size_t before = np.capturedSize();
+    np.runSteady(kIters);
+    std::size_t produced = np.capturedSize() - before;
+    *statsOut = np.stats();
+    return produced ? statsOut->steadyWallMicros * 1000.0 /
+                          static_cast<double>(produced)
+                    : 0.0;
+}
+
+void
+record(const std::string& bench, const std::string& config,
+       double vmNs, double nativeNs, const native::NativeStats& ns)
+{
+    if (!benchJsonPath())
+        return;
+    armBenchArchive();
+    json::Value rec = json::Value::object();
+    rec["benchmark"] = bench;
+    rec["config"] = config;
+    rec["iterations"] = kIters;
+    rec["vmNanosPerElement"] = vmNs;
+    rec["nativeNanosPerElement"] = nativeNs;
+    rec["nativeSpeedupOverVm"] = nativeNs > 0 ? vmNs / nativeNs : 0.0;
+    json::Value nat = json::Value::object();
+    nat["compiler"] = ns.compiler;
+    nat["flags"] = ns.flags;
+    nat["cacheHit"] = ns.cacheHit;
+    nat["compileMillis"] = ns.compileMillis;
+    rec["native"] = std::move(nat);
+    benchArchive()["runs"].push(std::move(rec));
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::pair<const char*, graph::StreamPtr> programs[] = {
+        {"FMRadio", benchmarks::makeFmRadio()},
+        {"FilterBank", benchmarks::makeFilterBank()},
+        {"DCT", benchmarks::makeDct()},
+    };
+    vectorizer::SimdizeOptions opts;
+    opts.machine = machine::coreI7();
+
+    std::vector<std::pair<std::string, std::vector<double>>> rows;
+    for (const auto& [name, program] : programs) {
+        std::vector<double> vals;
+        for (bool macro : {false, true}) {
+            auto p = compileConfig(program, macro, opts);
+            double vmNs = vmNanosPerElement(p);
+            native::NativeStats ns;
+            double natNs = nativeNanosPerElement(p, &ns);
+            std::printf("%-12s %-7s vm %8.1f ns/elem, native %7.1f "
+                        "ns/elem (%s, compile %.0f ms)\n",
+                        name, macro ? "macro" : "scalar", vmNs, natNs,
+                        ns.cacheHit ? "cache hit" : "cache miss",
+                        ns.compileMillis);
+            record(name, macro ? "macro" : "scalar", vmNs, natNs, ns);
+            vals.push_back(natNs > 0 ? vmNs / natNs : 0.0);
+        }
+        rows.push_back({name, vals});
+    }
+    printTable("Native engine: measured wall-clock speedup over the "
+               "bytecode VM",
+               {"scalar", "macro-simd"}, rows);
+    return 0;
+}

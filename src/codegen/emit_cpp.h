@@ -8,11 +8,22 @@
  * place of target intrinsics (each of its operations corresponds 1:1
  * to an SSE/AltiVec/NEON instruction, including extract_even/odd and
  * unpack), tape FIFOs with the SAGU transposed addressing where
- * annotated, one struct per actor, and a main() that runs the init
- * phase plus N steady iterations and prints the first K sink outputs
- * and a checksum. The emitted program must produce exactly the same
- * output stream as the interpreter (enforced by an end-to-end test
- * that compiles it with the host compiler).
+ * annotated, one struct per actor, and all runtime state (tapes,
+ * actor instances, firing functions) gathered into one `Program`
+ * struct. Two output shapes share that core:
+ *
+ *  - Standalone: a main() that runs the init phase plus N steady
+ *    iterations and prints the first K sink outputs and an
+ *    order-independent 64-bit checksum over the raw lane bits.
+ *  - Library: a stable `extern "C"` ABI (create/destroy/init/
+ *    run-steady/capture export) for the native execution engine,
+ *    which compiles the TU with the host compiler and dlopen()s it.
+ *    Program instances are heap-allocated through the ABI, so one
+ *    loaded shared object serves any number of independent runs.
+ *
+ * Both shapes must produce exactly the same output stream as the
+ * interpreter (enforced by end-to-end tests and the native engine's
+ * differential suite).
  */
 #pragma once
 
@@ -23,10 +34,20 @@
 
 namespace macross::codegen {
 
+/** Shape of the emitted translation unit. */
+enum class EmitMode {
+    Standalone,  ///< Self-contained program with a main().
+    Library,     ///< Shared-object ABI for the native engine.
+};
+
+/** Version of the emitted `extern "C"` ABI (Library mode). */
+inline constexpr int kNativeAbiVersion = 1;
+
 /** Code-generation options. */
 struct EmitOptions {
     int steadyIterations = 4;  ///< Default for the emitted main().
     int printFirst = 32;       ///< Sink elements echoed by main().
+    EmitMode mode = EmitMode::Standalone;
 };
 
 /** Emit the full translation unit. */

@@ -26,6 +26,9 @@ ParallelRunner::ParallelRunner(const graph::FlatGraph& g,
     : graph_(&g), sched_(&s), part_(part), cost_(cost),
       engine_(engine), opt_(opt), runner_(g, s, cost, engine)
 {
+    fatalIf(engine == ExecEngine::Native,
+            "the native engine is whole-program and serial; it cannot "
+            "run on a multicore partition (use tree or bytecode)");
     fatalIf(part_.cores < 1, "parallel run over zero cores");
     fatalIf(part_.coreOf.size() != g.actors.size(),
             "partition does not cover the graph");

@@ -19,7 +19,12 @@ using machine::OpClass;
 std::string
 toString(ExecEngine e)
 {
-    return e == ExecEngine::Tree ? "tree" : "bytecode";
+    switch (e) {
+      case ExecEngine::Tree: return "tree";
+      case ExecEngine::Bytecode: return "bytecode";
+      case ExecEngine::Native: return "native";
+    }
+    return "unknown";
 }
 
 Runner::Runner(const graph::FlatGraph& g, const schedule::Schedule& s,
@@ -206,6 +211,18 @@ Runner::statsToJson() const
         root["bytecodeCompileMicros"] = compileMicros_;
     if (cost_)
         root["totalCycles"] = cost_->totalCycles();
+    if (native_) {
+        const native::NativeStats& st = native_->stats();
+        json::Value nat = json::Value::object();
+        nat["compiler"] = st.compiler;
+        nat["flags"] = st.flags;
+        nat["soPath"] = st.soPath;
+        nat["sourceHash"] = static_cast<std::int64_t>(st.sourceHash);
+        nat["cacheHit"] = st.cacheHit;
+        nat["compileMillis"] = st.compileMillis;
+        nat["steadyWallMicros"] = st.steadyWallMicros;
+        root["native"] = std::move(nat);
+    }
     return root;
 }
 
@@ -226,6 +243,10 @@ Runner::fireFilter(const Actor& a, Vm& vm, machine::CostSink* cost)
     if (charging && cost)
         cost->charge(OpClass::FiringOverhead);
 
+    panicIf(engineFor(a.id) == ExecEngine::Native,
+            "ExecEngine::Native is whole-program: it cannot fire "
+            "actor '", a.name, "' individually (per-actor overrides "
+            "must be tree or bytecode)");
     if (engineFor(a.id) == ExecEngine::Bytecode) {
         const bytecode::CompiledActor& ca = ensureCompiled(a);
         vm.run(ca.work, frames_[a.id], in, out, cost,
@@ -433,6 +454,29 @@ Runner::runInit()
     panicIf(initDone_, "runInit called twice");
     initDone_ = true;
 
+    // Native engine: the emitted shared object owns the whole
+    // schedule. Build (or cache-load) it, run its init phase, and
+    // mirror the capture so captured() keeps its meaning. Modeled
+    // cycles are not accumulated — the native numbers are measured.
+    if (engine_ == ExecEngine::Native) {
+        native_ = std::make_unique<native::NativeProgram>(
+            *graph_, *sched_, nativeOptions_);
+        native_->init();
+        captured_ = native_->captured();
+        if (trace_ && trace_->enabled()) {
+            const native::NativeStats& st = native_->stats();
+            json::Value payload = json::Value::object();
+            payload["engine"] = toString(engine_);
+            payload["compiler"] = st.compiler;
+            payload["cacheHit"] = st.cacheHit;
+            payload["compileMillis"] = st.compileMillis;
+            payload["soPath"] = st.soPath;
+            trace_->event("native", "compileProgram",
+                          std::move(payload));
+        }
+        return;
+    }
+
     // Compile every bytecode-engine filter up front (timed, traced),
     // then run init bodies. Init bodies and warm-up firings are
     // one-time costs the paper's steady-state measurements exclude;
@@ -478,6 +522,19 @@ Runner::runSteady(int iterations)
 {
     if (!initDone_)
         runInit();
+    if (native_) {
+        native_->runSteady(iterations);
+        captured_ = native_->captured();
+        if (trace_ && trace_->enabled()) {
+            trace_->count("interp.steadyIterations", iterations);
+            json::Value payload = json::Value::object();
+            payload["iterations"] = iterations;
+            payload["steadyWallMicros"] =
+                native_->stats().steadyWallMicros;
+            trace_->event("native", "runSteady", std::move(payload));
+        }
+        return;
+    }
     const double cyclesBefore = totalCycles();
     std::int64_t firings = 0;
     for (int it = 0; it < iterations; ++it) {

@@ -3,14 +3,18 @@
  * Program runner: executes a flat stream graph under its schedule,
  * capturing sink output and (optionally) accumulating modeled cycles.
  *
- * The runner drives a two-engine execution stack. Filter bodies run
- * either on the tree-walking Executor (the reference oracle) or, by
- * default, on the bytecode VM: each actor's init/work IR is compiled
- * once (interp/compile_actor.h) into a register instruction stream
- * with pre-resolved cost charges, then fired through the dispatch
- * loop in interp/vm.h. Both engines produce bit-identical output and
- * bit-identical modeled cycle totals; the engine is selectable
- * globally (setEngine / constructor) and per actor (ActorExecConfig).
+ * The runner drives a three-engine execution stack. Filter bodies
+ * run either on the tree-walking Executor (the reference oracle) or,
+ * by default, on the bytecode VM: each actor's init/work IR is
+ * compiled once (interp/compile_actor.h) into a register instruction
+ * stream with pre-resolved cost charges, then fired through the
+ * dispatch loop in interp/vm.h. Both interpreting engines produce
+ * bit-identical output and bit-identical modeled cycle totals; the
+ * engine is selectable globally (setEngine / constructor) and per
+ * actor (ActorExecConfig). The third engine, ExecEngine::Native,
+ * hands the whole schedule to emitted C++ compiled by the host
+ * compiler (native/native_engine.h): output is still bit-identical,
+ * but cycles are measured (wall clock), not modeled.
  *
  * The runner implements splitter/joiner data movement natively
  * (including the horizontal HSplitter/HJoiner pack/unpack of Section
@@ -30,6 +34,7 @@
 #include "interp/compile_actor.h"
 #include "interp/executor.h"
 #include "interp/vm.h"
+#include "native/native_engine.h"
 #include "schedule/steady_state.h"
 #include "support/json.h"
 #include "support/trace.h"
@@ -40,9 +45,17 @@ namespace macross::interp {
 enum class ExecEngine {
     Tree,      ///< Tree-walking Executor (reference oracle).
     Bytecode,  ///< Compiled register bytecode on the VM (default).
+    /**
+     * Emitted C++ compiled by the host compiler and dlopen()ed
+     * (native/native_engine.h). Whole-program only: the shared object
+     * runs the entire schedule, so Native cannot be a per-actor
+     * override, modeled cycles are not accumulated, and wall-clock /
+     * compile-time numbers land in statsToJson()["native"] instead.
+     */
+    Native,
 };
 
-/** Engine name for reports ("tree" / "bytecode"). */
+/** Engine name for reports ("tree" / "bytecode" / "native"). */
 std::string toString(ExecEngine e);
 
 /** Per-actor execution/costing configuration (set by autovec models). */
@@ -79,6 +92,22 @@ class Runner {
     /** Set the default engine (call before the first firing). */
     void setEngine(ExecEngine e) { engine_ = e; }
     ExecEngine engine() const { return engine_; }
+
+    /**
+     * Host-compilation options for ExecEngine::Native (compiler,
+     * flags, cache directory). Call before runInit(); ignored by the
+     * interpreting engines.
+     */
+    void setNativeOptions(native::NativeOptions opts)
+    {
+        nativeOptions_ = std::move(opts);
+    }
+
+    /** Native build/run stats (null unless running Native). */
+    const native::NativeStats* nativeStats() const
+    {
+        return native_ ? &native_->stats() : nullptr;
+    }
 
     /** Record every element the sink consumes. On by default. */
     void enableCapture(bool on);
@@ -185,6 +214,9 @@ class Runner {
     std::vector<std::unique_ptr<bytecode::CompiledActor>> compiled_;
     std::vector<ActorFrame> frames_;
     Vm vm_;
+    /** Whole-program native backend (ExecEngine::Native only). */
+    native::NativeOptions nativeOptions_;
+    std::unique_ptr<native::NativeProgram> native_;
     double compileMicros_ = 0.0;
     std::vector<Tape*> sinkTapes_;
     std::vector<Value> captured_;

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Native engine implementation: emit → host compile → cache → dlopen.
+ */
+#include "native/native_engine.h"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "codegen/emit_cpp.h"
+#include "support/diagnostics.h"
+
+namespace macross::native {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/** Single-quote @p s for POSIX sh (paths may contain spaces). */
+std::string
+shellQuote(const std::string& s)
+{
+    std::string out = "'";
+    for (char c : s) {
+        if (c == '\'')
+            out += "'\\''";
+        else
+            out += c;
+    }
+    out += "'";
+    return out;
+}
+
+bool
+commandExists(const std::string& cmd)
+{
+    if (cmd.empty())
+        return false;
+    std::string probe =
+        "command -v " + shellQuote(cmd) + " > /dev/null 2>&1";
+    return std::system(probe.c_str()) == 0;
+}
+
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** Unique suffix for temp files: pid + per-process counter. */
+std::string
+uniqueSuffix()
+{
+    static std::atomic<unsigned> counter{0};
+    return "." + std::to_string(static_cast<long>(::getpid())) + "." +
+           std::to_string(counter.fetch_add(1));
+}
+
+std::string
+readFileOr(const std::string& path, const std::string& fallback)
+{
+    std::ifstream in(path);
+    if (!in)
+        return fallback;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Write atomically: unique temp in the same directory, then rename. */
+void
+writeFileAtomic(const std::string& path, const std::string& data)
+{
+    const std::string tmp = path + uniqueSuffix();
+    {
+        std::ofstream out(tmp, std::ios::binary);
+        fatalIf(!out, "native engine: cannot write ", tmp);
+        out << data;
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    fatalIf(static_cast<bool>(ec), "native engine: cannot rename ",
+            tmp, " to ", path, ": ", ec.message());
+}
+
+} // namespace
+
+std::uint64_t
+fnv1a64(const std::string& data)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : data) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::string
+detectHostCompiler(const std::string& preferred)
+{
+    if (!preferred.empty()) {
+        fatalIf(!commandExists(preferred),
+                "native engine: host compiler '", preferred,
+                "' not found on PATH");
+        return preferred;
+    }
+    // MACROSS_NATIVE_CXX is an explicit pin, not a hint: if it names
+    // a missing compiler, fail rather than silently measuring with a
+    // different toolchain (the CI matrix relies on this).
+    if (const char* env = std::getenv("MACROSS_NATIVE_CXX")) {
+        if (*env) {
+            fatalIf(!commandExists(env),
+                    "native engine: $MACROSS_NATIVE_CXX compiler '",
+                    env, "' not found on PATH");
+            return env;
+        }
+    }
+    std::vector<std::string> candidates;
+    if (const char* env = std::getenv("CXX"))
+        candidates.push_back(env);
+    candidates.push_back("c++");
+    candidates.push_back("g++");
+    candidates.push_back("clang++");
+    for (const auto& c : candidates) {
+        if (commandExists(c))
+            return c;
+    }
+    fatal("native engine: no host C++ compiler found (tried $CXX, "
+          "c++, g++, clang++); install one or point "
+          "MACROSS_NATIVE_CXX at it");
+}
+
+std::string
+resolveCacheDir(const NativeOptions& opts)
+{
+    std::string dir = opts.cacheDir;
+    if (dir.empty()) {
+        if (const char* env = std::getenv("MACROSS_CACHE_DIR"))
+            dir = env;
+    }
+    if (dir.empty()) {
+        const char* tmp = std::getenv("TMPDIR");
+        dir = std::string(tmp && *tmp ? tmp : "/tmp") +
+              "/macross-native-cache-" +
+              std::to_string(static_cast<long>(::geteuid()));
+    }
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    fatalIf(static_cast<bool>(ec),
+            "native engine: cannot create cache directory ", dir, ": ",
+            ec.message());
+    return dir;
+}
+
+NativeProgram::NativeProgram(const graph::FlatGraph& g,
+                             const schedule::Schedule& s,
+                             const NativeOptions& opts)
+{
+    for (const auto& a : g.actors) {
+        if (a.isFilter() && a.outputs.empty() && !a.inputs.empty()) {
+            hasSink_ = true;
+            sinkElem_ = g.tape(a.inputs[0]).elem;
+        }
+    }
+    codegen::EmitOptions eo;
+    eo.mode = codegen::EmitMode::Library;
+    compileAndLoad(opts, codegen::emitCpp(g, s, eo));
+}
+
+NativeProgram::~NativeProgram()
+{
+    unload();
+}
+
+void
+NativeProgram::unload()
+{
+    if (ctx_ && destroy_)
+        destroy_(ctx_);
+    ctx_ = nullptr;
+    if (handle_)
+        ::dlclose(handle_);
+    handle_ = nullptr;
+    create_ = nullptr;
+    destroy_ = nullptr;
+    init_ = nullptr;
+    runSteady_ = nullptr;
+    captureSize_ = nullptr;
+    captureData_ = nullptr;
+}
+
+bool
+NativeProgram::tryBind(const std::string& so_path)
+{
+    unload();
+    handle_ = ::dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (!handle_)
+        return false;
+    auto sym = [&](const char* name) {
+        return ::dlsym(handle_, name);
+    };
+    auto* abi = reinterpret_cast<int (*)()>(sym("macross_abi_version"));
+    create_ = reinterpret_cast<void* (*)()>(sym("macross_create"));
+    destroy_ = reinterpret_cast<void (*)(void*)>(sym("macross_destroy"));
+    init_ = reinterpret_cast<void (*)(void*)>(sym("macross_init"));
+    runSteady_ = reinterpret_cast<void (*)(void*, int)>(
+        sym("macross_run_steady"));
+    captureSize_ = reinterpret_cast<unsigned long long (*)(void*)>(
+        sym("macross_capture_size"));
+    captureData_ = reinterpret_cast<const unsigned int* (*)(void*)>(
+        sym("macross_capture_data"));
+    if (!abi || abi() != codegen::kNativeAbiVersion || !create_ ||
+        !destroy_ || !init_ || !runSteady_ || !captureSize_ ||
+        !captureData_) {
+        unload();
+        return false;
+    }
+    ctx_ = create_();
+    if (!ctx_) {
+        unload();
+        return false;
+    }
+    return true;
+}
+
+void
+NativeProgram::compileAndLoad(const NativeOptions& opts,
+                              const std::string& source)
+{
+    stats_.compiler = detectHostCompiler(opts.compiler);
+    stats_.flags = opts.flags;
+    stats_.sourceHash =
+        fnv1a64(stats_.compiler + '\n' + stats_.flags + '\n' + source);
+
+    const std::string dir = resolveCacheDir(opts);
+    const std::string base =
+        dir + "/macross_" + hex64(stats_.sourceHash);
+    const std::string soPath = base + ".so";
+    stats_.soPath = soPath;
+
+    // Cache hit: an existing object that loads and passes the ABI
+    // check. Anything else (missing, truncated, wrong ABI) falls
+    // through to a fresh compile.
+    std::error_code ec;
+    if (fs::exists(soPath, ec) && tryBind(soPath)) {
+        stats_.cacheHit = true;
+        return;
+    }
+    fs::remove(soPath, ec);
+
+    const std::string cppPath = base + ".cpp";
+    writeFileAtomic(cppPath, source);
+
+    const std::string soTmp = soPath + uniqueSuffix();
+    const std::string logPath = soPath + uniqueSuffix() + ".log";
+    const std::string cmd = stats_.compiler + " -std=c++17 " +
+                            stats_.flags + " -shared -fPIC -o " +
+                            shellQuote(soTmp) + " " +
+                            shellQuote(cppPath) + " 2> " +
+                            shellQuote(logPath);
+    auto t0 = std::chrono::steady_clock::now();
+    int rc = std::system(cmd.c_str());
+    stats_.compileMillis = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+    if (rc != 0) {
+        std::string log =
+            readFileOr(logPath, "(no compiler output captured)");
+        fs::remove(soTmp, ec);
+        fs::remove(logPath, ec);
+        fatal("native engine: host compile failed (", cmd, "):\n",
+              log);
+    }
+    fs::remove(logPath, ec);
+    fs::rename(soTmp, soPath, ec);
+    fatalIf(static_cast<bool>(ec),
+            "native engine: cannot install compiled object ", soPath,
+            ": ", ec.message());
+
+    fatalIf(!tryBind(soPath),
+            "native engine: freshly built object failed to load: ",
+            soPath, " (", ::dlerror() ? ::dlerror() : "unknown error",
+            ")");
+    stats_.cacheHit = false;
+}
+
+void
+NativeProgram::init()
+{
+    panicIf(initDone_, "NativeProgram::init called twice");
+    initDone_ = true;
+    init_(ctx_);
+}
+
+void
+NativeProgram::runSteady(int iterations)
+{
+    if (!initDone_)
+        init();
+    auto t0 = std::chrono::steady_clock::now();
+    runSteady_(ctx_, iterations);
+    stats_.steadyWallMicros +=
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+}
+
+std::size_t
+NativeProgram::capturedSize() const
+{
+    return static_cast<std::size_t>(captureSize_(ctx_));
+}
+
+std::vector<interp::Value>
+NativeProgram::captured() const
+{
+    std::vector<interp::Value> out;
+    if (!hasSink_)
+        return out;
+    const std::size_t n = capturedSize();
+    const unsigned int* data = captureData_(ctx_);
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        interp::Value v = interp::Value::zero(sinkElem_);
+        v.setRawBits(0, data[i]);
+        out.push_back(v);
+    }
+    return out;
+}
+
+} // namespace macross::native

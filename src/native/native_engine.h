@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Native execution engine: run MacroSS-emitted C++ through the host
+ * compiler as a real machine-code backend.
+ *
+ * The paper's evaluation compiles MacroSS output with ICC and runs it
+ * on real hardware; this engine closes the same loop for the
+ * reproduction. A NativeProgram takes a compiled (possibly SIMDized)
+ * flat graph plus its schedule, emits the library-shaped translation
+ * unit (codegen::EmitMode::Library), invokes the host C++ compiler
+ * (`-O3 -march=native` by default, so the portable Vec type
+ * autovectorizes to the host's SSE/AVX/NEON), dlopen()s the resulting
+ * shared object, and drives the steady state natively through a
+ * stable C ABI:
+ *
+ *     int          macross_abi_version();
+ *     void*        macross_create();                 // heap Program
+ *     void         macross_destroy(void*);
+ *     void         macross_init(void*);              // init + warm-up
+ *     void         macross_run_steady(void*, int);   // N iterations
+ *     u64          macross_capture_size(void*);      // sink elements
+ *     const u32*   macross_capture_data(void*);      // raw lane bits
+ *
+ * Shared objects are cached by a 64-bit content hash of the emitted
+ * source, the compiler, and the flags, in a directory resolved from
+ * MACROSS_CACHE_DIR (default: a per-user directory under the system
+ * temp dir). A cache hit skips the compile entirely; a corrupted
+ * entry (unloadable object, missing symbol, ABI version mismatch) is
+ * deleted and recompiled once. Compiles go through a unique temp file
+ * plus an atomic rename, so concurrent processes sharing one cache
+ * directory race benignly.
+ *
+ * The captured sink stream is exported as raw 32-bit lanes and boxed
+ * back into interp::Value with the sink tape's element type, so the
+ * comparison against the bytecode VM and the tree executor is
+ * bit-exact, not approximate.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/flat_graph.h"
+#include "interp/value.h"
+#include "schedule/steady_state.h"
+
+namespace macross::native {
+
+/** Host-compilation options. */
+struct NativeOptions {
+    /**
+     * Host C++ compiler command. Empty auto-detects:
+     * $MACROSS_NATIVE_CXX if set (authoritative — fatal if it names a
+     * missing compiler, so CI pins can't silently degrade), else the
+     * first of $CXX, c++, g++, clang++ that resolves on PATH. A
+     * non-empty value here is used as-is and is fatal if missing.
+     */
+    std::string compiler;
+    /**
+     * Optimization/codegen flags (one shell word list). Two of these
+     * are load-bearing for bit-identity against the interpreter:
+     * -ffp-contract=off, because -march=native exposes FMA and the
+     * compiler would otherwise contract a*b+c into one fused rounding
+     * (the interpreter rounds the multiply and the add separately);
+     * and -frounding-math, because after full unrolling the compiler
+     * constant-folds libm calls on constant arguments (e.g. the IMDCT
+     * cosine bank) with its own correctly-rounded MPFR evaluation,
+     * which can differ by 1 ULP from the runtime libm the interpreter
+     * calls.
+     */
+    std::string flags =
+        "-O3 -march=native -ffp-contract=off -frounding-math";
+    /**
+     * Object-cache directory. Empty resolves $MACROSS_CACHE_DIR, then
+     * a per-user default under the system temp directory.
+     */
+    std::string cacheDir;
+};
+
+/** Everything a report wants to know about one native build/run. */
+struct NativeStats {
+    std::string compiler;       ///< Resolved compiler command.
+    std::string flags;          ///< Flags the object was built with.
+    std::string soPath;         ///< Cached shared object path.
+    std::uint64_t sourceHash = 0;  ///< Content hash (source+compiler+flags).
+    bool cacheHit = false;      ///< Loaded without recompiling.
+    double compileMillis = 0.0; ///< Host-compiler wall time (0 on hit).
+    double steadyWallMicros = 0.0;  ///< Accumulated native steady time.
+};
+
+/**
+ * Resolve the host compiler for @p preferred (see
+ * NativeOptions::compiler). Fatal (FatalError) if no candidate
+ * resolves — the native engine cannot degrade gracefully without a
+ * compiler, and silently falling back to an interpreter would
+ * misreport measured numbers.
+ */
+std::string detectHostCompiler(const std::string& preferred = {});
+
+/** Resolve (and create) the object-cache directory for @p opts. */
+std::string resolveCacheDir(const NativeOptions& opts);
+
+/** FNV-1a 64-bit hash used for cache keys (exposed for tests). */
+std::uint64_t fnv1a64(const std::string& data);
+
+/** One emitted program, compiled to machine code and loaded. */
+class NativeProgram {
+  public:
+    /**
+     * Emit, compile (or cache-load), and bind @p g under @p s. Fatal
+     * on a missing compiler or a failed host compile (with the
+     * compiler's diagnostics in the message).
+     */
+    NativeProgram(const graph::FlatGraph& g,
+                  const schedule::Schedule& s,
+                  const NativeOptions& opts = {});
+    ~NativeProgram();
+
+    NativeProgram(const NativeProgram&) = delete;
+    NativeProgram& operator=(const NativeProgram&) = delete;
+
+    /** Run the init phase (actor init bodies + warm-up firings). */
+    void init();
+
+    /** Run @p iterations steady-state iterations natively. */
+    void runSteady(int iterations);
+
+    /** Sink elements captured so far (init phase included). */
+    std::size_t capturedSize() const;
+
+    /**
+     * The captured sink stream, boxed as interp::Value with the sink
+     * tape's element type (bit-exact against the interpreter).
+     */
+    std::vector<interp::Value> captured() const;
+
+    const NativeStats& stats() const { return stats_; }
+
+  private:
+    void compileAndLoad(const NativeOptions& opts,
+                        const std::string& source);
+    bool tryBind(const std::string& so_path);
+    void unload();
+
+    void* handle_ = nullptr;  ///< dlopen handle.
+    void* ctx_ = nullptr;     ///< Opaque Program* from macross_create.
+
+    // Bound ABI entry points.
+    void* (*create_)() = nullptr;
+    void (*destroy_)(void*) = nullptr;
+    void (*init_)(void*) = nullptr;
+    void (*runSteady_)(void*, int) = nullptr;
+    unsigned long long (*captureSize_)(void*) = nullptr;
+    const unsigned int* (*captureData_)(void*) = nullptr;
+
+    ir::Type sinkElem_{ir::Scalar::Int32, 1};
+    bool hasSink_ = false;
+    bool initDone_ = false;
+    NativeStats stats_;
+};
+
+} // namespace macross::native

@@ -45,6 +45,39 @@ TEST(Codegen, EmitsScalarGraphWithoutVectors)
     EXPECT_NE(src.find("struct Actor0"), std::string::npos);
 }
 
+TEST(Codegen, EmitOptionsControlMainDefaults)
+{
+    auto compiled =
+        vectorizer::compileScalar(benchmarks::makeRunningExample());
+    EmitOptions opts;
+    opts.steadyIterations = 77;
+    opts.printFirst = 9;
+    std::string src =
+        emitCpp(compiled.graph, compiled.schedule, opts);
+    // The CLI's --run N / --emit-print K land verbatim in main().
+    EXPECT_NE(src.find("std::atoi(argv[1]) : 77"), std::string::npos);
+    EXPECT_NE(src.find("i < rec.size() && i < 9"), std::string::npos);
+}
+
+TEST(Codegen, LibraryModeEmitsAbiInsteadOfMain)
+{
+    auto compiled =
+        vectorizer::compileScalar(benchmarks::makeRunningExample());
+    EmitOptions opts;
+    opts.mode = EmitMode::Library;
+    std::string src =
+        emitCpp(compiled.graph, compiled.schedule, opts);
+    EXPECT_EQ(src.find("int main"), std::string::npos);
+    EXPECT_NE(src.find("extern \"C\""), std::string::npos);
+    for (const char* sym :
+         {"macross_abi_version", "macross_create", "macross_destroy",
+          "macross_init", "macross_run_steady",
+          "macross_capture_size", "macross_capture_data"}) {
+        EXPECT_NE(src.find(sym), std::string::npos)
+            << "missing ABI symbol " << sym;
+    }
+}
+
 /** Compile @p source with the host compiler and run it. */
 std::string
 compileAndRun(const std::string& source, const std::string& tag,
@@ -96,17 +129,18 @@ expectEmittedMatchesInterpreter(const graph::StreamPtr& program,
         emitCpp(compiled.graph, compiled.schedule), tag, iters);
     ASSERT_FALSE(output.empty());
 
-    // Interpreter reference.
+    // Interpreter reference: same order-independent sum of raw lane
+    // bits the emitted main() prints.
     interp::Runner r(compiled.graph, compiled.schedule);
     r.runInit();
     r.runSteady(iters);
-    double checksum = 0;
+    unsigned long long checksum = 0;
     for (const auto& v : r.captured())
-        checksum += v.type().isInt() ? v.i() : v.f();
+        checksum += v.rawBits(0);
 
     char expected[128];
     std::snprintf(expected, sizeof(expected),
-                  "elements %zu checksum %.6f",
+                  "elements %zu checksum %016llx",
                   r.captured().size(), checksum);
     EXPECT_EQ(output.substr(0, output.find('\n')),
               std::string(expected));
@@ -172,12 +206,12 @@ TEST(Codegen, EmittedSaguTransposedTapesMatch)
     interp::Runner r(compiled.graph, compiled.schedule);
     r.runInit();
     r.runSteady(iters);
-    double checksum = 0;
+    unsigned long long checksum = 0;
     for (const auto& v : r.captured())
-        checksum += v.type().isInt() ? v.i() : v.f();
+        checksum += v.rawBits(0);
     char expected[128];
     std::snprintf(expected, sizeof(expected),
-                  "elements %zu checksum %.6f", r.captured().size(),
+                  "elements %zu checksum %016llx", r.captured().size(),
                   checksum);
     EXPECT_EQ(output.substr(0, output.find('\n')),
               std::string(expected));

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Differential tests of the native execution engine, mirroring
+ * tests/interp/engine_diff_test.cpp: emitted C++ compiled by the host
+ * compiler (-O3 -march=native, so the portable Vec type really
+ * autovectorizes) must reproduce the interpreting engines exactly —
+ * bit-identical captured output on every suite benchmark and a
+ * battery of random programs, under scalar, macro-SIMDized, and
+ * SAGU-transposed configurations.
+ *
+ * Modeled cycles are deliberately NOT compared here: the native
+ * engine measures wall clock instead of accumulating the machine
+ * model (see DESIGN.md §12).
+ */
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "benchmarks/random_graph.h"
+#include "benchmarks/suite.h"
+
+namespace macross::interp {
+namespace {
+
+std::vector<Value>
+capturedWith(const vectorizer::CompiledProgram& p, ExecEngine engine,
+             std::int64_t n)
+{
+    Runner r(p.graph, p.schedule, nullptr, engine);
+    r.runUntilCaptured(n);
+    return {r.captured().begin(), r.captured().begin() + n};
+}
+
+/** Native output must match both interpreting engines bit for bit. */
+void
+expectNativeMatchesInterpreters(const vectorizer::CompiledProgram& p,
+                                std::int64_t n)
+{
+    std::vector<Value> native =
+        capturedWith(p, ExecEngine::Native, n);
+    testutil::expectSameStream(capturedWith(p, ExecEngine::Bytecode, n),
+                               native);
+    testutil::expectSameStream(capturedWith(p, ExecEngine::Tree, n),
+                               native);
+}
+
+struct Config {
+    const char* name;
+    bool simdize;
+    bool sagu;
+};
+
+const Config kConfigs[] = {
+    {"scalar", false, false},
+    {"macro", true, false},
+    {"macro+sagu", true, true},
+};
+
+void
+expectNativeMatchesUnder(const graph::StreamPtr& program,
+                         const Config& cfg, std::int64_t n)
+{
+    if (!cfg.simdize) {
+        expectNativeMatchesInterpreters(
+            vectorizer::compileScalar(program), n);
+        return;
+    }
+    vectorizer::SimdizeOptions opts;
+    opts.forceSimdize = true;
+    opts.enableSagu = cfg.sagu;
+    opts.machine =
+        cfg.sagu ? machine::coreI7WithSagu() : machine::coreI7();
+    expectNativeMatchesInterpreters(
+        vectorizer::macroSimdize(program, opts), n);
+}
+
+class SuiteNativeDiff
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SuiteNativeDiff, NativeMatchesInterpreters)
+{
+    auto [benchIdx, cfgIdx] = GetParam();
+    auto suite = benchmarks::standardSuite();
+    ASSERT_LT(static_cast<std::size_t>(benchIdx), suite.size());
+    const auto& bench = suite[benchIdx];
+    const Config& cfg = kConfigs[cfgIdx];
+    SCOPED_TRACE(bench.name + std::string(" / ") + cfg.name);
+    expectNativeMatchesUnder(bench.program, cfg, 200);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarksAllConfigs, SuiteNativeDiff,
+    ::testing::Combine(::testing::Range(0, 12),
+                       ::testing::Range(0, 3)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+        auto suite = benchmarks::standardSuite();
+        std::string n = suite[std::get<0>(info.param)].name +
+                        std::string("_") +
+                        kConfigs[std::get<1>(info.param)].name;
+        for (auto& ch : n) {
+            if (ch == '-' || ch == '+')
+                ch = '_';
+        }
+        return n;
+    });
+
+class RandomNativeDiff
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RandomNativeDiff, NativeMatchesInterpreters)
+{
+    auto [seedIdx, cfgIdx] = GetParam();
+    std::uint64_t seed = 7100 + seedIdx;
+    const Config& cfg = kConfigs[cfgIdx];
+    SCOPED_TRACE("seed " + std::to_string(seed) + " / " + cfg.name);
+    expectNativeMatchesUnder(benchmarks::randomProgram(seed), cfg,
+                             120);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomNativeDiff,
+                         ::testing::Combine(::testing::Range(0, 8),
+                                            ::testing::Range(0, 3)));
+
+} // namespace
+} // namespace macross::interp

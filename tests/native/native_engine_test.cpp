@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Unit tests for the native engine's driver machinery: host-compiler
+ * detection, the content-hashed object cache (hit, miss, corrupted
+ * entry), the hermetic cache-directory resolution, and the Runner
+ * integration (stats JSON, whole-program restriction).
+ */
+#include "native/native_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "../test_util.h"
+#include "benchmarks/suite.h"
+#include "interp/runner.h"
+#include "support/diagnostics.h"
+#include "vectorizer/pipeline.h"
+
+namespace macross::native {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Fresh, empty cache dir under the test temp root. */
+std::string
+freshCacheDir(const std::string& tag)
+{
+    std::string dir =
+        ::testing::TempDir() + "macross_native_cache_" + tag;
+    fs::remove_all(dir);
+    return dir;
+}
+
+vectorizer::CompiledProgram
+smallProgram()
+{
+    return vectorizer::compileScalar(
+        benchmarks::makeRunningExample());
+}
+
+TEST(NativeEngine, DetectsSomeHostCompiler)
+{
+    // The toolchain that built this test is on PATH, so detection
+    // must succeed and name a runnable command.
+    std::string cxx = detectHostCompiler();
+    EXPECT_FALSE(cxx.empty());
+}
+
+TEST(NativeEngine, MissingCompilerIsFatal)
+{
+    NativeOptions opts;
+    opts.compiler = "/nonexistent/macross-no-such-compiler";
+    opts.cacheDir = freshCacheDir("missing_compiler");
+    auto p = smallProgram();
+    EXPECT_THROW(NativeProgram(p.graph, p.schedule, opts),
+                 FatalError);
+}
+
+TEST(NativeEngine, EnvCompilerPinIsAuthoritative)
+{
+    // A MACROSS_NATIVE_CXX pointing at a missing compiler must fail,
+    // not silently fall back to a different toolchain.
+    const char* saved = std::getenv("MACROSS_NATIVE_CXX");
+    std::string savedCopy = saved ? saved : "";
+    ::setenv("MACROSS_NATIVE_CXX",
+             "/nonexistent/macross-no-such-compiler", 1);
+    EXPECT_THROW(detectHostCompiler(), FatalError);
+    if (saved)
+        ::setenv("MACROSS_NATIVE_CXX", savedCopy.c_str(), 1);
+    else
+        ::unsetenv("MACROSS_NATIVE_CXX");
+}
+
+TEST(NativeEngine, CacheMissThenHit)
+{
+    NativeOptions opts;
+    opts.cacheDir = freshCacheDir("miss_then_hit");
+    auto p = smallProgram();
+
+    NativeProgram first(p.graph, p.schedule, opts);
+    EXPECT_FALSE(first.stats().cacheHit);
+    EXPECT_GT(first.stats().compileMillis, 0.0);
+    EXPECT_TRUE(fs::exists(first.stats().soPath));
+
+    NativeProgram second(p.graph, p.schedule, opts);
+    EXPECT_TRUE(second.stats().cacheHit);
+    EXPECT_EQ(second.stats().soPath, first.stats().soPath);
+    EXPECT_EQ(second.stats().sourceHash, first.stats().sourceHash);
+
+    // Both instances are independent heap programs off one loaded
+    // object: running them back to back must give identical streams.
+    first.init();
+    first.runSteady(3);
+    second.init();
+    second.runSteady(3);
+    ASSERT_GT(first.capturedSize(), 0u);
+    testutil::expectSameStream(first.captured(), second.captured());
+}
+
+TEST(NativeEngine, FlagsParticipateInCacheKey)
+{
+    std::string dir = freshCacheDir("flags_key");
+    auto p = smallProgram();
+    NativeOptions o1;
+    o1.cacheDir = dir;
+    o1.flags = "-O1 -ffp-contract=off";
+    NativeOptions o2 = o1;
+    o2.flags = "-O2 -ffp-contract=off";
+
+    NativeProgram a(p.graph, p.schedule, o1);
+    NativeProgram b(p.graph, p.schedule, o2);
+    EXPECT_FALSE(a.stats().cacheHit);
+    EXPECT_FALSE(b.stats().cacheHit);
+    EXPECT_NE(a.stats().sourceHash, b.stats().sourceHash);
+    EXPECT_NE(a.stats().soPath, b.stats().soPath);
+}
+
+TEST(NativeEngine, CorruptedCacheEntryIsRecompiled)
+{
+    NativeOptions opts;
+    opts.cacheDir = freshCacheDir("corrupt");
+    auto p = smallProgram();
+
+    std::string soPath;
+    std::vector<interp::Value> reference;
+    {
+        NativeProgram first(p.graph, p.schedule, opts);
+        first.init();
+        first.runSteady(3);
+        soPath = first.stats().soPath;
+        reference = first.captured();
+    }
+    // Smash the cached object — unlink first so any lingering mapping
+    // of the old inode stays intact. The next load must notice
+    // (dlopen failure), recompile from source, and still run
+    // correctly.
+    fs::remove(soPath);
+    {
+        std::ofstream out(soPath, std::ios::binary);
+        out << "this is not a shared object";
+    }
+    NativeProgram second(p.graph, p.schedule, opts);
+    EXPECT_FALSE(second.stats().cacheHit);
+    EXPECT_GT(second.stats().compileMillis, 0.0);
+    second.init();
+    second.runSteady(3);
+    testutil::expectSameStream(reference, second.captured());
+
+    // And the repaired entry serves hits again.
+    NativeProgram third(p.graph, p.schedule, opts);
+    EXPECT_TRUE(third.stats().cacheHit);
+}
+
+TEST(NativeEngine, CacheDirRespectsEnvironment)
+{
+    const char* saved = std::getenv("MACROSS_CACHE_DIR");
+    std::string savedCopy = saved ? saved : "";
+    std::string dir = freshCacheDir("env_dir");
+    ::setenv("MACROSS_CACHE_DIR", dir.c_str(), 1);
+    std::string resolved = resolveCacheDir(NativeOptions{});
+    if (saved)
+        ::setenv("MACROSS_CACHE_DIR", savedCopy.c_str(), 1);
+    else
+        ::unsetenv("MACROSS_CACHE_DIR");
+    EXPECT_EQ(resolved, dir);
+    EXPECT_TRUE(fs::is_directory(dir));
+
+    // An explicit option still beats the environment.
+    NativeOptions opts;
+    opts.cacheDir = freshCacheDir("explicit_dir");
+    EXPECT_EQ(resolveCacheDir(opts), opts.cacheDir);
+}
+
+TEST(NativeEngine, RunnerReportsNativeStatsJson)
+{
+    auto p = smallProgram();
+    interp::Runner r(p.graph, p.schedule, nullptr,
+                     interp::ExecEngine::Native);
+    NativeOptions opts;
+    opts.cacheDir = freshCacheDir("runner_stats");
+    r.setNativeOptions(opts);
+    r.runInit();
+    r.runSteady(5);
+    ASSERT_NE(r.nativeStats(), nullptr);
+
+    json::Value stats = r.statsToJson();
+    EXPECT_EQ(stats.find("engine")->asString(), "native");
+    const json::Value* nat = stats.find("native");
+    ASSERT_NE(nat, nullptr);
+    EXPECT_FALSE(nat->find("compiler")->asString().empty());
+    EXPECT_FALSE(nat->find("soPath")->asString().empty());
+    EXPECT_FALSE(nat->find("cacheHit")->asBool());
+    EXPECT_GT(nat->find("compileMillis")->asDouble(), 0.0);
+    EXPECT_GE(nat->find("steadyWallMicros")->asDouble(), 0.0);
+
+    // The runner mirrors the native capture stream.
+    interp::Runner vm(p.graph, p.schedule, nullptr,
+                      interp::ExecEngine::Bytecode);
+    vm.runInit();
+    vm.runSteady(5);
+    testutil::expectSameStream(vm.captured(), r.captured());
+}
+
+TEST(NativeEngine, PerActorNativeOverrideIsRejected)
+{
+    auto p = smallProgram();
+    interp::Runner r(p.graph, p.schedule, nullptr,
+                     interp::ExecEngine::Bytecode);
+    for (const auto& a : p.graph.actors) {
+        if (a.isFilter()) {
+            interp::ActorExecConfig cfg;
+            cfg.engine = interp::ExecEngine::Native;
+            r.setActorConfig(a.id, cfg);
+            break;
+        }
+    }
+    EXPECT_THROW(r.runUntilCaptured(10), PanicError);
+}
+
+} // namespace
+} // namespace macross::native

@@ -229,6 +229,63 @@ TEST(CliReport, ThreadsFlagReportsParallelSectionWithSameCycles)
     std::remove(parOut.c_str());
 }
 
+TEST(CliReport, EmitHonorsRunCountAndPrintLimit)
+{
+    // Regression: --emit used to ignore --run N and always bake the
+    // default iteration count into the emitted main().
+    const std::string out = "cli_emit_plumbing_out.cpp";
+    std::remove(out.c_str());
+    ASSERT_EQ(runCli("--bench FMRadio --simd --emit " + out +
+                     " --run 13 --emit-print 5"),
+              0);
+    std::string src = readFile(out);
+    EXPECT_NE(src.find("std::atoi(argv[1]) : 13"), std::string::npos)
+        << "--run N not plumbed into the emitted main()";
+    EXPECT_NE(src.find("i < rec.size() && i < 5"), std::string::npos)
+        << "--emit-print K not plumbed into the emitted main()";
+    std::remove(out.c_str());
+
+    EXPECT_NE(runCli("--bench FMRadio --emit-print banana"), 0);
+}
+
+TEST(CliReport, NativeEngineReportsStatsAndMatchesSinkCount)
+{
+    const std::string natOut = "cli_report_native_out.json";
+    const std::string vmOut = "cli_report_native_vm_out.json";
+    std::remove(natOut.c_str());
+    std::remove(vmOut.c_str());
+    ASSERT_EQ(runCli("--bench FMRadio --simd --run 10 "
+                     "--engine native --json-report " + natOut),
+              0);
+    ASSERT_EQ(runCli("--bench FMRadio --simd --run 10 "
+                     "--engine bytecode --json-report " + vmOut),
+              0);
+
+    json::Value nat = json::parse(readFile(natOut));
+    json::Value vm = json::parse(readFile(vmOut));
+    const json::Value* stats = nat.find("run")->find("stats");
+    EXPECT_EQ(stats->find("engine")->asString(), "native");
+    const json::Value* n = stats->find("native");
+    ASSERT_NE(n, nullptr);
+    EXPECT_FALSE(n->find("compiler")->asString().empty());
+    EXPECT_FALSE(n->find("soPath")->asString().empty());
+    ASSERT_NE(n->find("cacheHit"), nullptr);
+    ASSERT_NE(n->find("compileMillis"), nullptr);
+    EXPECT_GT(n->find("steadyWallMicros")->asDouble(), 0.0);
+
+    // Same schedule, same iterations: the native run must consume
+    // exactly as many sink elements as the bytecode run.
+    EXPECT_EQ(nat.find("run")->find("sinkElements")->asInt(),
+              vm.find("run")->find("sinkElements")->asInt());
+
+    // The native engine is whole-program and serial.
+    EXPECT_NE(runCli("--bench FMRadio --engine native --threads 2"),
+              0);
+
+    std::remove(natOut.c_str());
+    std::remove(vmOut.c_str());
+}
+
 TEST(CliReport, HelpExitsCleanly)
 {
     EXPECT_EQ(runCli("--help"), 0);

@@ -66,6 +66,7 @@ struct CliConfig {
     bool permute = true;
     int width = 4;
     int iters = 10;
+    int emitPrint = 32;
     int threads = 1;
     int watchdogMs = 0;
     std::string injectFault;
@@ -136,10 +137,11 @@ optionTable()
         {"--autovec", "gcc|icc",
          "apply a modeled auto-vectorizer (scalar code)",
          string(&CliConfig::autovecName)},
-        {"--engine", "tree|bytecode",
-         "execution engine for actor bodies (default bytecode)",
+        {"--engine", "tree|bytecode|native",
+         "execution engine (default bytecode); native compiles the "
+         "emitted C++ with the host compiler and runs it",
          [](CliConfig& c, const std::string& v) {
-             if (v != "tree" && v != "bytecode")
+             if (v != "tree" && v != "bytecode" && v != "native")
                  return false;
              c.engineName = v;
              return true;
@@ -169,8 +171,13 @@ optionTable()
          "write compilation decisions, cost breakdowns, and run "
          "stats as JSON",
          string(&CliConfig::jsonReportFile)},
-        {"--emit", "FILE", "write generated C++ to FILE",
+        {"--emit", "FILE",
+         "write generated C++ to FILE (its main() defaults to the "
+         "--run iteration count)",
          string(&CliConfig::emitFile)},
+        {"--emit-print", "K",
+         "sink elements echoed by the emitted main() (default 32)",
+         integer(&CliConfig::emitPrint)},
         {"--dot", "FILE", "write a Graphviz rendering to FILE",
          string(&CliConfig::dotFile)},
     };
@@ -269,6 +276,12 @@ main(int argc, char** argv)
         std::fprintf(stderr, "--threads wants a positive count\n");
         return usage(argv[0]);
     }
+    if (cfg.engineName == "native" && cfg.threads > 1) {
+        std::fprintf(stderr, "--engine native is whole-program and "
+                             "serial; it cannot combine with "
+                             "--threads\n");
+        return usage(argv[0]);
+    }
 
     try {
         // --inject-fault: deliberate failures for exercising the
@@ -325,8 +338,14 @@ main(int argc, char** argv)
         }
 
         if (!cfg.emitFile.empty()) {
+            // The emitted main() mirrors this run: same default
+            // iteration count, caller-chosen echo length.
+            codegen::EmitOptions eo;
+            eo.steadyIterations = cfg.iters;
+            eo.printFirst = cfg.emitPrint;
             std::ofstream out(cfg.emitFile);
-            out << codegen::emitCpp(compiled.graph, compiled.schedule);
+            out << codegen::emitCpp(compiled.graph, compiled.schedule,
+                                    eo);
             std::printf("wrote generated C++ to %s\n",
                         cfg.emitFile.c_str());
         }
@@ -338,9 +357,10 @@ main(int argc, char** argv)
         }
 
         machine::CostSink cost(opts.machine);
-        interp::ExecEngine engine = cfg.engineName == "tree"
-                                        ? interp::ExecEngine::Tree
-                                        : interp::ExecEngine::Bytecode;
+        interp::ExecEngine engine =
+            cfg.engineName == "tree"     ? interp::ExecEngine::Tree
+            : cfg.engineName == "native" ? interp::ExecEngine::Native
+                                         : interp::ExecEngine::Bytecode;
         interp::Runner r(compiled.graph, compiled.schedule, &cost,
                          engine);
         if (wantTrace)
@@ -376,10 +396,26 @@ main(int argc, char** argv)
                     cfg.iters, opts.machine.name.c_str(), cfg.width,
                     cfg.simd ? ", macro-SIMDized" : ", scalar",
                     toString(engine).c_str());
-        std::printf("sink elements: %zu, modeled cycles: %.0f "
-                    "(%.2f cycles/element)\n",
-                    produced, cost.totalCycles(),
-                    produced ? cost.totalCycles() / produced : 0.0);
+        if (const native::NativeStats* ns = r.nativeStats()) {
+            std::printf("sink elements: %zu, native wall: %.0f us "
+                        "(%.1f ns/element)\n",
+                        produced, ns->steadyWallMicros,
+                        produced ? 1e3 * ns->steadyWallMicros /
+                                       produced
+                                 : 0.0);
+            std::printf("native build: %s %s, %s (%s, compile "
+                        "%.0f ms)\n",
+                        ns->compiler.c_str(), ns->flags.c_str(),
+                        ns->soPath.c_str(),
+                        ns->cacheHit ? "cache hit" : "cache miss",
+                        ns->compileMillis);
+        } else {
+            std::printf("sink elements: %zu, modeled cycles: %.0f "
+                        "(%.2f cycles/element)\n",
+                        produced, cost.totalCycles(),
+                        produced ? cost.totalCycles() / produced
+                                 : 0.0);
+        }
 
         // --threads N: repeat the same steady iterations on a worker
         // pool over a greedy partition, with the serial run above as

@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# Record the benchmark baselines checked into the repo root.
+#
+# Builds the benches in Release and reruns the figure reproductions
+# (plus the native-engine throughput bench) with MACROSS_BENCH_JSON
+# set, writing one machine-readable archive per figure:
+#
+#     BENCH_fig10a.json   modeled speedups, GCC-like host compiler
+#     BENCH_fig12.json    SAGU tape-layout speedups
+#     BENCH_fig13.json    multicore scaling
+#     BENCH_native.json   measured native vs bytecode-VM wall clock
+#
+# Usage: tools/record_bench.sh [build-dir]   (default: build-release)
+#
+# Modeled numbers (fig10a/fig12/fig13) are deterministic; only
+# BENCH_native.json depends on the host machine, and its archive
+# records the compiler and flags used so runs stay comparable.
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-"$repo/build-release"}
+
+cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build" -j \
+    --target fig10a_gcc fig12_sagu fig13_multicore native_throughput
+
+run_bench() {
+    bench=$1
+    out=$2
+    echo "== $bench -> $out"
+    MACROSS_BENCH_JSON="$repo/$out" "$build/bench/$bench"
+}
+
+run_bench fig10a_gcc BENCH_fig10a.json
+run_bench fig12_sagu BENCH_fig12.json
+run_bench fig13_multicore BENCH_fig13.json
+run_bench native_throughput BENCH_native.json
+
+echo "wrote BENCH_fig10a.json BENCH_fig12.json BENCH_fig13.json" \
+     "BENCH_native.json to $repo"
