@@ -38,7 +38,7 @@ BM_SteadyStateInterpretation(benchmark::State& state,
 {
     auto compiled = vectorizer::compileScalar(make());
     interp::Runner r(compiled.graph, compiled.schedule, nullptr,
-                     engine);
+                     interp::EngineConfig(engine));
     r.enableCapture(false);
     r.runInit();
     for (auto _ : state)
@@ -65,7 +65,7 @@ BM_SimdizedInterpretation(benchmark::State& state,
     auto compiled =
         vectorizer::macroSimdize(benchmarks::makeFmRadio(), opts);
     interp::Runner r(compiled.graph, compiled.schedule, nullptr,
-                     engine);
+                     interp::EngineConfig(engine));
     r.enableCapture(false);
     r.runInit();
     for (auto _ : state)

@@ -1,19 +1,30 @@
 /**
  * @file
- * Native-engine throughput: real wall-clock nanoseconds per sink
- * element for the bytecode VM versus emitted C++ compiled by the host
- * compiler (-O3 -march=native), scalar and macro-SIMDized.
+ * Native-engine throughput across the full 12-benchmark suite: real
+ * wall-clock nanoseconds per sink element for the bytecode VM versus
+ * emitted C++ compiled by the host compiler, with the emitted code's
+ * SIMD lowering swept over SimdSpec lane widths — W=1 (the scalar
+ * fallback layer) against W=4 (the true-SIMD vector layer).
  *
- * Unlike the figure benches, these numbers are measured, not modeled:
- * they answer "what does the interpreter overhead cost on this host,
- * and does macro-SIMDization still win once real machine code runs?"
- * Host-compile time and cache state are recorded alongside so the
- * one-time build cost is visible next to the steady-state rate.
+ * This is the measured, real-hardware counterpart of fig10a: the
+ * figure benches report *modeled* macro-SIMDization speedups, and
+ * the W4-over-W1 column here answers whether the vector layer the
+ * emitter now generates actually beats the scalar-emitted build of
+ * the same macro-SIMDized graph on this host. Every number is
+ * best-of-N wall clock after a warm-up run, so one-time compile cost
+ * and cache effects stay out of the steady-state rate (compile time
+ * is recorded separately in the archive).
+ *
+ * With MACROSS_BENCH_JSON set (see tools/record_bench.sh, which
+ * writes BENCH_native_simd.json), each configuration's rate, build
+ * stats, and SIMD lowering land in the machine-readable archive.
  */
 #include <chrono>
+#include <cstdio>
 
 #include "harness.h"
 #include "native/native_engine.h"
+#include "native/simd_probe.h"
 
 using namespace macross;
 using namespace macross::bench;
@@ -21,6 +32,7 @@ using namespace macross::bench;
 namespace {
 
 constexpr int kIters = 600;
+constexpr int kReps = 3;  ///< Best-of reps, after one warm-up.
 
 /** Wall-clock nanoseconds per sink element on the bytecode VM. */
 double
@@ -28,30 +40,50 @@ vmNanosPerElement(const vectorizer::CompiledProgram& p)
 {
     interp::Runner r(p.graph, p.schedule);
     r.runInit();
-    std::size_t before = r.captured().size();
-    auto t0 = std::chrono::steady_clock::now();
-    r.runSteady(kIters);
-    auto t1 = std::chrono::steady_clock::now();
-    std::size_t produced = r.captured().size() - before;
-    double nanos = std::chrono::duration<double, std::nano>(t1 - t0)
-                       .count();
-    return produced ? nanos / static_cast<double>(produced) : 0.0;
+    double best = 0.0;
+    for (int rep = 0; rep <= kReps; ++rep) {
+        std::size_t before = r.captured().size();
+        auto t0 = std::chrono::steady_clock::now();
+        r.runSteady(kIters);
+        auto t1 = std::chrono::steady_clock::now();
+        std::size_t produced = r.captured().size() - before;
+        if (!produced)
+            return 0.0;
+        double ns = std::chrono::duration<double, std::nano>(t1 - t0)
+                        .count() /
+                    static_cast<double>(produced);
+        if (rep > 0 && (best == 0.0 || ns < best))
+            best = ns;
+    }
+    return best;
 }
 
-/** Wall-clock ns/element natively, plus the build stats. */
+/** Wall-clock ns/element natively at @p laneWidth, plus build stats. */
 double
 nativeNanosPerElement(const vectorizer::CompiledProgram& p,
-                      native::NativeStats* statsOut)
+                      int laneWidth, native::NativeStats* statsOut)
 {
-    native::NativeProgram np(p.graph, p.schedule);
+    codegen::SimdSpec spec;
+    spec.laneWidth = laneWidth;
+    native::NativeProgram np(p.graph, p.schedule, {}, spec);
     np.init();
-    std::size_t before = np.capturedSize();
-    np.runSteady(kIters);
-    std::size_t produced = np.capturedSize() - before;
+    double best = 0.0;
+    for (int rep = 0; rep <= kReps; ++rep) {
+        std::size_t before = np.capturedSize();
+        auto t0 = std::chrono::steady_clock::now();
+        np.runSteady(kIters);
+        auto t1 = std::chrono::steady_clock::now();
+        std::size_t produced = np.capturedSize() - before;
+        if (!produced)
+            return 0.0;
+        double ns = std::chrono::duration<double, std::nano>(t1 - t0)
+                        .count() /
+                    static_cast<double>(produced);
+        if (rep > 0 && (best == 0.0 || ns < best))
+            best = ns;
+    }
     *statsOut = np.stats();
-    return produced ? statsOut->steadyWallMicros * 1000.0 /
-                          static_cast<double>(produced)
-                    : 0.0;
+    return best;
 }
 
 void
@@ -73,6 +105,12 @@ record(const std::string& bench, const std::string& config,
     nat["flags"] = ns.flags;
     nat["cacheHit"] = ns.cacheHit;
     nat["compileMillis"] = ns.compileMillis;
+    nat["abiVersion"] = ns.abiVersion;
+    json::Value simd = json::Value::object();
+    simd["laneWidth"] = ns.simdLanes;
+    simd["isa"] = ns.simdIsa;
+    simd["fallback"] = ns.simdFallback;
+    nat["simd"] = std::move(simd);
     rec["native"] = std::move(nat);
     benchArchive()["runs"].push(std::move(rec));
 }
@@ -82,34 +120,56 @@ record(const std::string& bench, const std::string& config,
 int
 main()
 {
-    const std::pair<const char*, graph::StreamPtr> programs[] = {
-        {"FMRadio", benchmarks::makeFmRadio()},
-        {"FilterBank", benchmarks::makeFilterBank()},
-        {"DCT", benchmarks::makeDct()},
-    };
     vectorizer::SimdizeOptions opts;
     opts.machine = machine::coreI7();
+    opts.forceSimdize = true;
 
+    std::printf("host: max executable lane width %d (%s)\n\n",
+                native::probeMaxLaneWidth(),
+                native::probeIsaName().c_str());
+
+    int simdWins = 0, total = 0;
     std::vector<std::pair<std::string, std::vector<double>>> rows;
-    for (const auto& [name, program] : programs) {
-        std::vector<double> vals;
-        for (bool macro : {false, true}) {
-            auto p = compileConfig(program, macro, opts);
-            double vmNs = vmNanosPerElement(p);
-            native::NativeStats ns;
-            double natNs = nativeNanosPerElement(p, &ns);
-            std::printf("%-12s %-7s vm %8.1f ns/elem, native %7.1f "
-                        "ns/elem (%s, compile %.0f ms)\n",
-                        name, macro ? "macro" : "scalar", vmNs, natNs,
-                        ns.cacheHit ? "cache hit" : "cache miss",
-                        ns.compileMillis);
-            record(name, macro ? "macro" : "scalar", vmNs, natNs, ns);
-            vals.push_back(natNs > 0 ? vmNs / natNs : 0.0);
-        }
-        rows.push_back({name, vals});
+    for (const auto& bench : benchmarks::standardSuite()) {
+        auto p = compileConfig(bench.program, true, opts);
+        double vmNs = vmNanosPerElement(p);
+
+        native::NativeStats w1Stats, w4Stats;
+        double w1Ns = nativeNanosPerElement(p, 1, &w1Stats);
+        double w4Ns = nativeNanosPerElement(p, 4, &w4Stats);
+        std::printf("%-14s vm %8.1f ns/elem, native W1 %7.1f, "
+                    "native W4 %7.1f (W4/W1 %.2fx%s)\n",
+                    bench.name.c_str(), vmNs, w1Ns, w4Ns,
+                    w4Ns > 0 ? w1Ns / w4Ns : 0.0,
+                    w4Stats.cacheHit ? ", cache hit" : "");
+        record(bench.name, "native-w1", vmNs, w1Ns, w1Stats);
+        record(bench.name, "native-w4", vmNs, w4Ns, w4Stats);
+
+        ++total;
+        if (w4Ns > 0 && w1Ns > w4Ns)
+            ++simdWins;
+        rows.push_back({bench.name,
+                        {w1Ns > 0 ? vmNs / w1Ns : 0.0,
+                         w4Ns > 0 ? vmNs / w4Ns : 0.0,
+                         w4Ns > 0 ? w1Ns / w4Ns : 0.0}});
     }
-    printTable("Native engine: measured wall-clock speedup over the "
-               "bytecode VM",
-               {"scalar", "macro-simd"}, rows);
+
+    printTable("Native engine: measured wall-clock speedups "
+               "(macro-SIMDized graphs; W1 = scalar-emitted, "
+               "W4 = SIMD-emitted)",
+               {"W1 vs VM", "W4 vs VM", "W4 vs W1"}, rows);
+    std::printf("\nSIMD-emitted (W4) beats scalar-emitted (W1) on "
+                "%d of %d benchmarks\n",
+                simdWins, total);
+
+    if (benchJsonPath()) {
+        armBenchArchive();
+        json::Value summary = json::Value::object();
+        summary["simdWins"] = simdWins;
+        summary["benchmarks"] = total;
+        summary["hostMaxLaneWidth"] = native::probeMaxLaneWidth();
+        summary["hostIsa"] = native::probeIsaName();
+        benchArchive()["summary"] = std::move(summary);
+    }
     return 0;
 }

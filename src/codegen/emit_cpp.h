@@ -4,13 +4,16 @@
  * Algorithm 1.
  *
  * Emits one self-contained C++17 translation unit for a compiled
- * (possibly SIMDized) program: a portable fixed-width vector type in
- * place of target intrinsics (each of its operations corresponds 1:1
- * to an SSE/AltiVec/NEON instruction, including extract_even/odd and
- * unpack), tape FIFOs with the SAGU transposed addressing where
- * annotated, one struct per actor, and all runtime state (tapes,
- * actor instances, firing functions) gathered into one `Program`
- * struct. Two output shapes share that core:
+ * (possibly SIMDized) program: a portable fixed-width vector type
+ * whose operations correspond 1:1 to SSE/AltiVec/NEON instructions
+ * (including extract_even/odd and unpack) and — at SimdSpec lane
+ * widths > 1 — are lowered onto real GCC/Clang extension vectors
+ * (`ext_vector_type` on Clang, `vector_size` on GCC) rather than
+ * scalar per-lane loops, tape FIFOs with the SAGU transposed
+ * addressing where annotated (and contiguous vector copies on
+ * untransposed vector endpoints), one struct per actor, and all
+ * runtime state (tapes, actor instances, firing functions) gathered
+ * into one `Program` struct. Two output shapes share that core:
  *
  *  - Standalone: a main() that runs the init phase plus N steady
  *    iterations and prints the first K sink outputs and an
@@ -23,12 +26,15 @@
  *
  * Both shapes must produce exactly the same output stream as the
  * interpreter (enforced by end-to-end tests and the native engine's
- * differential suite).
+ * differential suite) unless the SimdSpec explicitly opts into
+ * ULP-bounded divergence (see simd_spec.h for the exactness
+ * taxonomy).
  */
 #pragma once
 
 #include <string>
 
+#include "codegen/simd_spec.h"
 #include "graph/flat_graph.h"
 #include "schedule/steady_state.h"
 
@@ -40,14 +46,26 @@ enum class EmitMode {
     Library,     ///< Shared-object ABI for the native engine.
 };
 
-/** Version of the emitted `extern "C"` ABI (Library mode). */
-inline constexpr int kNativeAbiVersion = 1;
+/**
+ * Version of the emitted `extern "C"` ABI (Library mode).
+ *
+ * v1 (PR 5): abi_version / create / destroy / init / run_steady /
+ *            capture_size / capture_data.
+ * v2 (this PR): everything in v1, plus the SIMD lowering the object
+ *            was built with — macross_simd_lanes() (lane width),
+ *            macross_simd_isa() (ISA selector string), and
+ *            macross_exact() (1 = bit-identical contract, 0 =
+ *            ULP-bounded). The native engine refuses any other
+ *            version with a FatalError naming both.
+ */
+inline constexpr int kNativeAbiVersion = 2;
 
 /** Code-generation options. */
 struct EmitOptions {
     int steadyIterations = 4;  ///< Default for the emitted main().
     int printFirst = 32;       ///< Sink elements echoed by main().
     EmitMode mode = EmitMode::Standalone;
+    SimdSpec simd;             ///< Vector lowering (see simd_spec.h).
 };
 
 /** Emit the full translation unit. */

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * SimdSpec: the one configuration object that decides how the C++
+ * emitter lowers vector IR onto the target.
+ *
+ * MacroSS's transforms produce lane-explicit vector IR; what PR 5's
+ * emitter did with it — scalar per-lane loops, hoping the host
+ * compiler's autovectorizer reconstructs the SIMD the paper's cost
+ * model promised — is exactly what the paper argues against. SimdSpec
+ * makes the lowering explicit and pluggable:
+ *
+ *  - laneWidth W = 1 emits the scalar-fallback layer (PR 5's code
+ *    shape, kept alive for differential testing so the fallback path
+ *    never rots);
+ *  - W in {2, 4, 8, 16} emits a true vector layer built on GCC/Clang
+ *    vector extensions (`__attribute__((ext_vector_type(W)))` on
+ *    Clang, `vector_size` on GCC): every Vec operation is a native
+ *    vector op, N-lane values wider than W are processed in W-lane
+ *    chunks, and vector tape accesses become bounds-checked-once
+ *    contiguous vector copies instead of per-lane FIFO walks.
+ *
+ * The spec travels with the emitted object through the v2 native ABI
+ * (lane width, ISA string, exactness flag are exported as symbols),
+ * keys the native engine's .so cache, and is surfaced in run stats.
+ */
+#pragma once
+
+#include <string>
+
+#include "support/diagnostics.h"
+
+namespace macross::codegen {
+
+/** How the emitter lowers vector IR (see file comment). */
+struct SimdSpec {
+    /**
+     * Hardware lanes per emitted vector op: 1 (scalar fallback) or a
+     * power of two up to 16. IR values with more lanes than this are
+     * chunked; values with fewer get exactly-sized vectors.
+     */
+    int laneWidth = 4;
+    /**
+     * Target ISA selector. "auto" inherits the compile flags
+     * (-march=native by default); anything else is passed to the host
+     * compiler as -march=<isa> (e.g. "x86-64-v3", "skylake-avx512"),
+     * appended after the base flags so it wins.
+     */
+    std::string isa = "auto";
+    /**
+     * Exactness contract. false (default): the emitted code must be
+     * bit-identical to the interpreters — per-lane libm calls, no
+     * reassociation, FP contraction off. true: the build is allowed
+     * to diverge by a bounded number of ULPs (e.g. when the caller
+     * supplies -ffp-contract=fast flags); the emitted object reports
+     * itself as non-exact through macross_exact() and differential
+     * harnesses must switch to ULP comparison.
+     */
+    bool allowUlpDivergence = false;
+
+    bool operator==(const SimdSpec& o) const
+    {
+        return laneWidth == o.laneWidth && isa == o.isa &&
+               allowUlpDivergence == o.allowUlpDivergence;
+    }
+    bool operator!=(const SimdSpec& o) const { return !(*this == o); }
+};
+
+/** True iff @p w is a lane width the emitter can lower. */
+inline bool
+isValidLaneWidth(int w)
+{
+    return w == 1 || w == 2 || w == 4 || w == 8 || w == 16;
+}
+
+/** Panic on a spec the emitter cannot honor (internal misuse). */
+inline void
+validateSimdSpec(const SimdSpec& spec)
+{
+    panicIf(!isValidLaneWidth(spec.laneWidth),
+            "SimdSpec.laneWidth must be 1, 2, 4, 8, or 16 (got ",
+            spec.laneWidth, ")");
+    panicIf(spec.isa.empty(),
+            "SimdSpec.isa must be non-empty ('auto' for host default)");
+    // The ISA selector is interpolated into a -march= compiler flag;
+    // keep it to the character set real -march values use so it can
+    // never smuggle extra shell or compiler arguments.
+    for (char c : spec.isa) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                  c == '.';
+        panicIf(!ok, "SimdSpec.isa contains invalid character '", c,
+                "' (expected an -march style name like 'x86-64-v3')");
+    }
+}
+
+/** Stable one-line form: cache keys, trace events, stats. */
+inline std::string
+toString(const SimdSpec& spec)
+{
+    return "w" + std::to_string(spec.laneWidth) + ":" + spec.isa +
+           (spec.allowUlpDivergence ? ":ulp" : ":exact");
+}
+
+} // namespace macross::codegen

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * EngineConfig: the one typed object that says how a Runner executes.
+ *
+ * Before this existed, engine selection was spread over four
+ * accreted surfaces — a constructor `engine` parameter, a
+ * `setEngine()` mutator, a `setNativeOptions()` mutator, and a
+ * per-actor `ActorExecConfig::engine` override — none of which knew
+ * about the others' invariants (e.g. that native options are
+ * meaningless after the native program is built). EngineConfig
+ * collapses them: engine kind, the native host-compilation options,
+ * the SIMD lowering spec, and per-actor interpreting-engine
+ * overrides, passed at construction or through one `configure()`
+ * call that panics once `runInit()` has frozen the execution plan.
+ * The old surfaces remain as thin deprecated shims for one PR.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "codegen/simd_spec.h"
+#include "native/native_engine.h"
+
+namespace macross::interp {
+
+/** Which engine executes a filter's IR bodies. */
+enum class ExecEngine {
+    Tree,      ///< Tree-walking Executor (reference oracle).
+    Bytecode,  ///< Compiled register bytecode on the VM (default).
+    /**
+     * Emitted C++ compiled by the host compiler and dlopen()ed
+     * (native/native_engine.h). Whole-program only: the shared object
+     * runs the entire schedule, so Native cannot be a per-actor
+     * override, modeled cycles are not accumulated, and wall-clock /
+     * compile-time numbers land in statsToJson()["native"] instead.
+     */
+    Native,
+};
+
+/** Engine name for reports ("tree" / "bytecode" / "native"). */
+std::string toString(ExecEngine e);
+
+/** Complete execution-engine configuration for a Runner. */
+struct EngineConfig {
+    EngineConfig() = default;
+    /** Engine kind with all other settings at defaults (implicit, so
+     *  `Runner(g, s, cost, ExecEngine::Tree)`-style call sites read
+     *  the same after migrating to the EngineConfig overload). */
+    EngineConfig(ExecEngine e) : engine(e) {}
+
+    /** Default engine for all filter actors. */
+    ExecEngine engine = ExecEngine::Bytecode;
+    /**
+     * Host-compilation options for ExecEngine::Native (compiler,
+     * flags, cache dir, probe override). Ignored by the interpreting
+     * engines.
+     */
+    native::NativeOptions native;
+    /**
+     * SIMD lowering for the native engine's emitted code (lane width,
+     * ISA, exactness contract — see codegen/simd_spec.h). Ignored by
+     * the interpreting engines.
+     */
+    codegen::SimdSpec simd;
+    /**
+     * Per-actor engine overrides (actor id → engine). Interpreting
+     * engines only: ExecEngine::Native is whole-program and is
+     * rejected here at first firing.
+     */
+    std::map<int, ExecEngine> actorEngines;
+};
+
+} // namespace macross::interp

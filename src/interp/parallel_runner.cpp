@@ -22,11 +22,12 @@ ParallelRunner::ParallelRunner(const graph::FlatGraph& g,
                                const schedule::Schedule& s,
                                const multicore::Partition& part,
                                machine::CostSink* cost,
-                               ExecEngine engine, Options opt)
+                               EngineConfig config, Options opt)
     : graph_(&g), sched_(&s), part_(part), cost_(cost),
-      engine_(engine), opt_(opt), runner_(g, s, cost, engine)
+      config_(std::move(config)), opt_(opt),
+      runner_(g, s, cost, config_)
 {
-    fatalIf(engine == ExecEngine::Native,
+    fatalIf(config_.engine == ExecEngine::Native,
             "the native engine is whole-program and serial; it cannot "
             "run on a multicore partition (use tree or bytecode)");
     fatalIf(part_.cores < 1, "parallel run over zero cores");
@@ -99,6 +100,19 @@ ParallelRunner::ParallelRunner(const graph::FlatGraph& g,
         workers_[c]->thread =
             std::thread(&ParallelRunner::workerLoop, this, c);
 }
+
+// One-PR deprecated shim; the attribute fires at call sites, not here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+ParallelRunner::ParallelRunner(const graph::FlatGraph& g,
+                               const schedule::Schedule& s,
+                               const multicore::Partition& part,
+                               machine::CostSink* cost,
+                               ExecEngine engine, Options opt)
+    : ParallelRunner(g, s, part, cost, EngineConfig(engine), opt)
+{
+}
+#pragma GCC diagnostic pop
 
 ParallelRunner::~ParallelRunner()
 {
@@ -331,7 +345,7 @@ ParallelRunner::degradeToSerial(ParallelFault fault,
         fallbackCost_ =
             std::make_unique<machine::CostSink>(cost_->machine());
     fallback_ = std::make_unique<Runner>(*graph_, *sched_,
-                                         fallbackCost_.get(), engine_);
+                                         fallbackCost_.get(), config_);
     for (const auto& [id, cfg] : actorConfigs_)
         fallback_->setActorConfig(id, cfg);
     fallback_->enableCapture(captureEnabled_);

@@ -111,13 +111,25 @@ class ParallelRunner {
      * @param part   Core assignment from partitionGreedy (cores >= 1).
      * @param cost   Cycle sink, or null to run without costing. Merged
      *               deterministically at the end of every runSteady.
-     * @param engine Default engine for all filter actors.
+     * @param config Engine configuration (ExecEngine::Native is
+     *               whole-program and serial, so it is rejected here).
      */
     ParallelRunner(const graph::FlatGraph& g,
                    const schedule::Schedule& s,
                    const multicore::Partition& part,
                    machine::CostSink* cost = nullptr,
-                   ExecEngine engine = ExecEngine::Bytecode,
+                   EngineConfig config = {},
+                   Options opt = {});
+
+    /**
+     * @deprecated One-PR shim for the old engine-kind constructor;
+     * use the EngineConfig constructor.
+     */
+    [[deprecated("pass an EngineConfig instead")]]
+    ParallelRunner(const graph::FlatGraph& g,
+                   const schedule::Schedule& s,
+                   const multicore::Partition& part,
+                   machine::CostSink* cost, ExecEngine engine,
                    Options opt = {});
     ~ParallelRunner();
 
@@ -229,7 +241,7 @@ class ParallelRunner {
     const schedule::Schedule* sched_;
     multicore::Partition part_;
     machine::CostSink* cost_;
-    ExecEngine engine_;
+    EngineConfig config_;
     Options opt_;
     support::Trace* trace_ = nullptr;
 

@@ -28,10 +28,12 @@ toString(ExecEngine e)
 }
 
 Runner::Runner(const graph::FlatGraph& g, const schedule::Schedule& s,
-               machine::CostSink* cost, ExecEngine engine)
+               machine::CostSink* cost, EngineConfig config)
     : graph_(&g), sched_(&s), cost_(cost),
-      machine_(cost ? &cost->machine() : nullptr), engine_(engine)
+      machine_(cost ? &cost->machine() : nullptr),
+      config_(std::move(config))
 {
+    codegen::validateSimdSpec(config_.simd);
     tapes_.reserve(g.tapes.size());
     for (const auto& td : g.tapes) {
         auto tape = std::make_unique<Tape>(td.elem);
@@ -69,6 +71,47 @@ Runner::Runner(const graph::FlatGraph& g, const schedule::Schedule& s,
         t->setCaptureBuffer(&captured_);
 }
 
+// Definitions of the one-PR deprecated shims (and the legacy
+// constructor they share a fate with); the attribute fires at call
+// sites, not here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+Runner::Runner(const graph::FlatGraph& g, const schedule::Schedule& s,
+               machine::CostSink* cost, ExecEngine engine)
+    : Runner(g, s, cost, EngineConfig(engine))
+{
+}
+
+void
+Runner::setEngine(ExecEngine e)
+{
+    panicIf(initDone_,
+            "Runner::setEngine called after runInit(): the execution "
+            "plan is frozen");
+    config_.engine = e;
+}
+
+void
+Runner::setNativeOptions(native::NativeOptions opts)
+{
+    panicIf(initDone_,
+            "Runner::setNativeOptions called after runInit(): the "
+            "native program is already built");
+    config_.native = std::move(opts);
+}
+#pragma GCC diagnostic pop
+
+void
+Runner::configure(EngineConfig config)
+{
+    panicIf(initDone_,
+            "Runner::configure called after runInit(): bytecode "
+            "actors are compiled and the native program (if any) is "
+            "built, so a new engine configuration cannot take effect");
+    codegen::validateSimdSpec(config.simd);
+    config_ = std::move(config);
+}
+
 void
 Runner::setActorConfig(int actor_id, ActorExecConfig cfg)
 {
@@ -92,7 +135,10 @@ Runner::tapeFor(int tape_id)
 ExecEngine
 Runner::engineFor(int actor_id) const
 {
-    return configs_[actor_id].engine.value_or(engine_);
+    auto it = config_.actorEngines.find(actor_id);
+    if (it != config_.actorEngines.end())
+        return it->second;
+    return configs_[actor_id].engine.value_or(config_.engine);
 }
 
 double
@@ -168,7 +214,7 @@ Runner::statsToJson() const
     };
 
     json::Value root = json::Value::object();
-    root["engine"] = toString(engine_);
+    root["engine"] = toString(config_.engine);
     root["vmDispatcher"] = vmDispatcherName();
     json::Value actors = json::Value::array();
     for (const Actor& a : graph_->actors) {
@@ -221,6 +267,13 @@ Runner::statsToJson() const
         nat["cacheHit"] = st.cacheHit;
         nat["compileMillis"] = st.compileMillis;
         nat["steadyWallMicros"] = st.steadyWallMicros;
+        nat["abiVersion"] = st.abiVersion;
+        nat["exact"] = st.exact;
+        json::Value simd = json::Value::object();
+        simd["laneWidth"] = st.simdLanes;
+        simd["isa"] = st.simdIsa;
+        simd["fallback"] = st.simdFallback;
+        nat["simd"] = std::move(simd);
         root["native"] = std::move(nat);
     }
     return root;
@@ -458,15 +511,15 @@ Runner::runInit()
     // schedule. Build (or cache-load) it, run its init phase, and
     // mirror the capture so captured() keeps its meaning. Modeled
     // cycles are not accumulated — the native numbers are measured.
-    if (engine_ == ExecEngine::Native) {
+    if (config_.engine == ExecEngine::Native) {
         native_ = std::make_unique<native::NativeProgram>(
-            *graph_, *sched_, nativeOptions_);
+            *graph_, *sched_, config_.native, config_.simd);
         native_->init();
         captured_ = native_->captured();
         if (trace_ && trace_->enabled()) {
             const native::NativeStats& st = native_->stats();
             json::Value payload = json::Value::object();
-            payload["engine"] = toString(engine_);
+            payload["engine"] = toString(config_.engine);
             payload["compiler"] = st.compiler;
             payload["cacheHit"] = st.cacheHit;
             payload["compileMillis"] = st.compileMillis;
@@ -511,7 +564,7 @@ Runner::runInit()
             warmups += n;
         json::Value payload = json::Value::object();
         payload["warmupFirings"] = warmups;
-        payload["engine"] = toString(engine_);
+        payload["engine"] = toString(config_.engine);
         payload["bytecodeCompileMicros"] = compileMicros_;
         trace_->event("interp", "runInit", std::move(payload));
     }

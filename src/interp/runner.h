@@ -10,11 +10,14 @@
  * stream with pre-resolved cost charges, then fired through the
  * dispatch loop in interp/vm.h. Both interpreting engines produce
  * bit-identical output and bit-identical modeled cycle totals; the
- * engine is selectable globally (setEngine / constructor) and per
- * actor (ActorExecConfig). The third engine, ExecEngine::Native,
+ * engine — globally and per actor — is selected by one typed
+ * EngineConfig (interp/engine_config.h) given at construction or via
+ * configure() before runInit(). The third engine, ExecEngine::Native,
  * hands the whole schedule to emitted C++ compiled by the host
- * compiler (native/native_engine.h): output is still bit-identical,
- * but cycles are measured (wall clock), not modeled.
+ * compiler (native/native_engine.h) with the EngineConfig's SimdSpec
+ * lowering: output is still bit-identical (or ULP-bounded when the
+ * spec opts into that), but cycles are measured (wall clock), not
+ * modeled.
  *
  * The runner implements splitter/joiner data movement natively
  * (including the horizontal HSplitter/HJoiner pack/unpack of Section
@@ -32,6 +35,7 @@
 
 #include "graph/flat_graph.h"
 #include "interp/compile_actor.h"
+#include "interp/engine_config.h"
 #include "interp/executor.h"
 #include "interp/vm.h"
 #include "native/native_engine.h"
@@ -40,23 +44,6 @@
 #include "support/trace.h"
 
 namespace macross::interp {
-
-/** Which engine executes a filter's IR bodies. */
-enum class ExecEngine {
-    Tree,      ///< Tree-walking Executor (reference oracle).
-    Bytecode,  ///< Compiled register bytecode on the VM (default).
-    /**
-     * Emitted C++ compiled by the host compiler and dlopen()ed
-     * (native/native_engine.h). Whole-program only: the shared object
-     * runs the entire schedule, so Native cannot be a per-actor
-     * override, modeled cycles are not accumulated, and wall-clock /
-     * compile-time numbers land in statsToJson()["native"] instead.
-     */
-    Native,
-};
-
-/** Engine name for reports ("tree" / "bytecode" / "native"). */
-std::string toString(ExecEngine e);
 
 /** Per-actor execution/costing configuration (set by autovec models). */
 struct ActorExecConfig {
@@ -69,7 +56,11 @@ struct ActorExecConfig {
     bool outerVectorized = false;
     int outerWidth = 4;
     double outerExtraPerGroup = 0.0;
-    /** Per-actor engine override; unset uses the runner's engine. */
+    /**
+     * Per-actor engine override; unset uses the runner's engine.
+     * @deprecated Use EngineConfig::actorEngines instead; removed
+     * after one PR.
+     */
     std::optional<ExecEngine> engine;
 };
 
@@ -80,28 +71,48 @@ class Runner {
      * @param g Graph to run (must outlive the runner).
      * @param s Schedule for @p g.
      * @param cost Cycle sink, or null to run without costing.
-     * @param engine Default engine for all filter actors.
+     * @param config Complete engine configuration (engine kind,
+     *     native options, SIMD spec, per-actor overrides).
      */
     Runner(const graph::FlatGraph& g, const schedule::Schedule& s,
            machine::CostSink* cost = nullptr,
-           ExecEngine engine = ExecEngine::Bytecode);
+           EngineConfig config = {});
+
+    /**
+     * @deprecated One-PR shim for the old engine-kind constructor;
+     * use the EngineConfig constructor.
+     */
+    [[deprecated("pass an EngineConfig instead")]]
+    Runner(const graph::FlatGraph& g, const schedule::Schedule& s,
+           machine::CostSink* cost, ExecEngine engine);
+
+    /**
+     * Replace the entire engine configuration. Panics once runInit()
+     * has run: by then bytecode actors are compiled and the native
+     * program (if any) is built, so a new config could not take
+     * effect and silently lying about it would be worse than dying.
+     */
+    void configure(EngineConfig config);
+
+    /** The active engine configuration. */
+    const EngineConfig& engineConfig() const { return config_; }
 
     /** Install an execution config for one actor. */
     void setActorConfig(int actor_id, ActorExecConfig cfg);
 
-    /** Set the default engine (call before the first firing). */
-    void setEngine(ExecEngine e) { engine_ = e; }
-    ExecEngine engine() const { return engine_; }
+    /**
+     * @deprecated One-PR shim; use configure(EngineConfig).
+     */
+    [[deprecated("use configure(EngineConfig)")]]
+    void setEngine(ExecEngine e);
+
+    ExecEngine engine() const { return config_.engine; }
 
     /**
-     * Host-compilation options for ExecEngine::Native (compiler,
-     * flags, cache directory). Call before runInit(); ignored by the
-     * interpreting engines.
+     * @deprecated One-PR shim; use configure(EngineConfig).
      */
-    void setNativeOptions(native::NativeOptions opts)
-    {
-        nativeOptions_ = std::move(opts);
-    }
+    [[deprecated("use configure(EngineConfig)")]]
+    void setNativeOptions(native::NativeOptions opts);
 
     /** Native build/run stats (null unless running Native). */
     const native::NativeStats* nativeStats() const
@@ -202,7 +213,7 @@ class Runner {
      *  sink at construction (stable across runInit's cost nulling). */
     const machine::MachineDesc* machine_;
     support::Trace* trace_ = nullptr;
-    ExecEngine engine_;
+    EngineConfig config_;
 
     std::vector<std::unique_ptr<Tape>> tapes_;
     std::vector<Env> locals_;
@@ -215,7 +226,6 @@ class Runner {
     std::vector<ActorFrame> frames_;
     Vm vm_;
     /** Whole-program native backend (ExecEngine::Native only). */
-    native::NativeOptions nativeOptions_;
     std::unique_ptr<native::NativeProgram> native_;
     double compileMicros_ = 0.0;
     std::vector<Tape*> sinkTapes_;

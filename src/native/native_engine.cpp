@@ -15,6 +15,7 @@
 #include <sstream>
 
 #include "codegen/emit_cpp.h"
+#include "native/simd_probe.h"
 #include "support/diagnostics.h"
 
 namespace macross::native {
@@ -165,7 +166,8 @@ resolveCacheDir(const NativeOptions& opts)
 
 NativeProgram::NativeProgram(const graph::FlatGraph& g,
                              const schedule::Schedule& s,
-                             const NativeOptions& opts)
+                             const NativeOptions& opts,
+                             const codegen::SimdSpec& spec)
 {
     for (const auto& a : g.actors) {
         if (a.isFilter() && a.outputs.empty() && !a.inputs.empty()) {
@@ -173,8 +175,26 @@ NativeProgram::NativeProgram(const graph::FlatGraph& g,
             sinkElem_ = g.tape(a.inputs[0]).elem;
         }
     }
+
+    // Runtime ISA dispatch: refuse a width the host cannot execute
+    // and fall back to the scalar layer, visibly (stats), not with a
+    // SIGILL three calls later.
+    codegen::validateSimdSpec(spec);
+    spec_ = spec;
+    const int hostMax = opts.maxLaneWidthOverride > 0
+                            ? opts.maxLaneWidthOverride
+                            : probeMaxLaneWidth();
+    if (spec_.laneWidth > hostMax) {
+        spec_.laneWidth = 1;
+        stats_.simdFallback = true;
+    }
+    stats_.simdLanes = spec_.laneWidth;
+    stats_.simdIsa = spec_.isa;
+    stats_.exact = !spec_.allowUlpDivergence;
+
     codegen::EmitOptions eo;
     eo.mode = codegen::EmitMode::Library;
+    eo.simd = spec_;
     compileAndLoad(opts, codegen::emitCpp(g, s, eo));
 }
 
@@ -200,17 +220,38 @@ NativeProgram::unload()
     captureData_ = nullptr;
 }
 
-bool
-NativeProgram::tryBind(const std::string& so_path)
+NativeProgram::BindStatus
+NativeProgram::tryBind(const std::string& so_path, int* found_abi)
 {
     unload();
+    if (found_abi)
+        *found_abi = 0;
     handle_ = ::dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
     if (!handle_)
-        return false;
+        return BindStatus::LoadFailed;
     auto sym = [&](const char* name) {
         return ::dlsym(handle_, name);
     };
     auto* abi = reinterpret_cast<int (*)()>(sym("macross_abi_version"));
+    if (!abi) {
+        unload();
+        return BindStatus::LoadFailed;
+    }
+    const int version = abi();
+    if (found_abi)
+        *found_abi = version;
+    if (version != codegen::kNativeAbiVersion) {
+        // An object that loads but speaks a different ABI version is
+        // reported upward, not recompiled over: the cache key covers
+        // the emitted source, so this is version skew, not staleness.
+        unload();
+        return BindStatus::AbiMismatch;
+    }
+    auto* simdLanes = reinterpret_cast<int (*)()>(
+        sym("macross_simd_lanes"));
+    auto* simdIsa = reinterpret_cast<const char* (*)()>(
+        sym("macross_simd_isa"));
+    auto* exact = reinterpret_cast<int (*)()>(sym("macross_exact"));
     create_ = reinterpret_cast<void* (*)()>(sym("macross_create"));
     destroy_ = reinterpret_cast<void (*)(void*)>(sym("macross_destroy"));
     init_ = reinterpret_cast<void (*)(void*)>(sym("macross_init"));
@@ -220,18 +261,23 @@ NativeProgram::tryBind(const std::string& so_path)
         sym("macross_capture_size"));
     captureData_ = reinterpret_cast<const unsigned int* (*)(void*)>(
         sym("macross_capture_data"));
-    if (!abi || abi() != codegen::kNativeAbiVersion || !create_ ||
-        !destroy_ || !init_ || !runSteady_ || !captureSize_ ||
-        !captureData_) {
+    if (!simdLanes || !simdIsa || !exact || !create_ || !destroy_ ||
+        !init_ || !runSteady_ || !captureSize_ || !captureData_) {
         unload();
-        return false;
+        return BindStatus::LoadFailed;
     }
     ctx_ = create_();
     if (!ctx_) {
         unload();
-        return false;
+        return BindStatus::LoadFailed;
     }
-    return true;
+    // Record the lowering the object itself reports — the loaded .so,
+    // not the request, is the ground truth for stats.
+    stats_.abiVersion = version;
+    stats_.simdLanes = simdLanes();
+    stats_.simdIsa = simdIsa();
+    stats_.exact = exact() != 0;
+    return BindStatus::Ok;
 }
 
 void
@@ -240,8 +286,11 @@ NativeProgram::compileAndLoad(const NativeOptions& opts,
 {
     stats_.compiler = detectHostCompiler(opts.compiler);
     stats_.flags = opts.flags;
+    if (spec_.isa != "auto")
+        stats_.flags += " -march=" + spec_.isa;
     stats_.sourceHash =
-        fnv1a64(stats_.compiler + '\n' + stats_.flags + '\n' + source);
+        fnv1a64(stats_.compiler + '\n' + stats_.flags + '\n' +
+                codegen::toString(spec_) + '\n' + source);
 
     const std::string dir = resolveCacheDir(opts);
     const std::string base =
@@ -250,12 +299,26 @@ NativeProgram::compileAndLoad(const NativeOptions& opts,
     stats_.soPath = soPath;
 
     // Cache hit: an existing object that loads and passes the ABI
-    // check. Anything else (missing, truncated, wrong ABI) falls
-    // through to a fresh compile.
+    // check. A missing/truncated/symbol-incomplete entry falls
+    // through to a fresh compile; a loadable entry with a foreign ABI
+    // version is fatal (see tryBind).
     std::error_code ec;
-    if (fs::exists(soPath, ec) && tryBind(soPath)) {
-        stats_.cacheHit = true;
-        return;
+    if (fs::exists(soPath, ec)) {
+        int foundAbi = 0;
+        switch (tryBind(soPath, &foundAbi)) {
+          case BindStatus::Ok:
+            stats_.cacheHit = true;
+            return;
+          case BindStatus::AbiMismatch:
+            fatal("native engine: cached object ", soPath,
+                  " reports ABI version ", foundAbi,
+                  " but this engine requires version ",
+                  codegen::kNativeAbiVersion,
+                  "; refusing to run it (remove the cache entry or "
+                  "rebuild with a matching toolchain)");
+          case BindStatus::LoadFailed:
+            break;
+        }
     }
     fs::remove(soPath, ec);
 
@@ -288,7 +351,15 @@ NativeProgram::compileAndLoad(const NativeOptions& opts,
             "native engine: cannot install compiled object ", soPath,
             ": ", ec.message());
 
-    fatalIf(!tryBind(soPath),
+    int freshAbi = 0;
+    const BindStatus fresh = tryBind(soPath, &freshAbi);
+    fatalIf(fresh == BindStatus::AbiMismatch,
+            "native engine: freshly built object ", soPath,
+            " reports ABI version ", freshAbi,
+            " but this engine requires version ",
+            codegen::kNativeAbiVersion,
+            " (emitter/engine version skew)");
+    fatalIf(fresh != BindStatus::Ok,
             "native engine: freshly built object failed to load: ",
             soPath, " (", ::dlerror() ? ::dlerror() : "unknown error",
             ")");

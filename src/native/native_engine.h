@@ -6,14 +6,17 @@
  * The paper's evaluation compiles MacroSS output with ICC and runs it
  * on real hardware; this engine closes the same loop for the
  * reproduction. A NativeProgram takes a compiled (possibly SIMDized)
- * flat graph plus its schedule, emits the library-shaped translation
- * unit (codegen::EmitMode::Library), invokes the host C++ compiler
- * (`-O3 -march=native` by default, so the portable Vec type
- * autovectorizes to the host's SSE/AVX/NEON), dlopen()s the resulting
- * shared object, and drives the steady state natively through a
- * stable C ABI:
+ * flat graph plus its schedule and a codegen::SimdSpec, emits the
+ * library-shaped translation unit (codegen::EmitMode::Library) with
+ * the spec's true-SIMD vector layer, invokes the host C++ compiler
+ * (`-O3 -march=native` by default; SimdSpec.isa != "auto" appends an
+ * explicit -march), dlopen()s the resulting shared object, and drives
+ * the steady state natively through a stable C ABI (v2):
  *
- *     int          macross_abi_version();
+ *     int          macross_abi_version();            // == 2
+ *     int          macross_simd_lanes();             // emitted width
+ *     const char*  macross_simd_isa();               // ISA selector
+ *     int          macross_exact();                  // 1 = bit-exact
  *     void*        macross_create();                 // heap Program
  *     void         macross_destroy(void*);
  *     void         macross_init(void*);              // init + warm-up
@@ -21,14 +24,22 @@
  *     u64          macross_capture_size(void*);      // sink elements
  *     const u32*   macross_capture_data(void*);      // raw lane bits
  *
+ * Runtime ISA dispatch: before emitting, the engine probes the host
+ * (simd_probe.h) and, if the requested lane width exceeds what the
+ * CPU can execute, falls back to the scalar W=1 layer — recorded as
+ * NativeStats.simdFallback, never silent, never a SIGILL.
+ *
  * Shared objects are cached by a 64-bit content hash of the emitted
- * source, the compiler, and the flags, in a directory resolved from
- * MACROSS_CACHE_DIR (default: a per-user directory under the system
- * temp dir). A cache hit skips the compile entirely; a corrupted
- * entry (unloadable object, missing symbol, ABI version mismatch) is
- * deleted and recompiled once. Compiles go through a unique temp file
- * plus an atomic rename, so concurrent processes sharing one cache
- * directory race benignly.
+ * source, the compiler, the flags, and the effective SimdSpec, in a
+ * directory resolved from MACROSS_CACHE_DIR (default: a per-user
+ * directory under the system temp dir). A cache hit skips the compile
+ * entirely; an unloadable or symbol-incomplete entry is deleted and
+ * recompiled once, but an entry that loads and then reports a foreign
+ * ABI version is a FatalError naming both versions — the cache key
+ * covers the emitted source, so version skew at the expected path
+ * means toolchain or cache tampering, not staleness. Compiles go
+ * through a unique temp file plus an atomic rename, so concurrent
+ * processes sharing one cache directory race benignly.
  *
  * The captured sink stream is exported as raw 32-bit lanes and boxed
  * back into interp::Value with the sink tape's element type, so the
@@ -41,6 +52,7 @@
 #include <string>
 #include <vector>
 
+#include "codegen/simd_spec.h"
 #include "graph/flat_graph.h"
 #include "interp/value.h"
 #include "schedule/steady_state.h"
@@ -76,6 +88,12 @@ struct NativeOptions {
      * a per-user default under the system temp directory.
      */
     std::string cacheDir;
+    /**
+     * Test hook: pretend the host supports at most this many lanes
+     * (0 = use the real probe). Lets the refuse-and-fallback path be
+     * exercised on machines that support every width.
+     */
+    int maxLaneWidthOverride = 0;
 };
 
 /** Everything a report wants to know about one native build/run. */
@@ -87,6 +105,11 @@ struct NativeStats {
     bool cacheHit = false;      ///< Loaded without recompiling.
     double compileMillis = 0.0; ///< Host-compiler wall time (0 on hit).
     double steadyWallMicros = 0.0;  ///< Accumulated native steady time.
+    int abiVersion = 0;         ///< ABI version the loaded .so reports.
+    int simdLanes = 0;          ///< Lane width the .so was built with.
+    std::string simdIsa;        ///< ISA selector the .so was built with.
+    bool simdFallback = false;  ///< Requested width refused; W=1 used.
+    bool exact = true;          ///< Bit-identical contract (see SimdSpec).
 };
 
 /**
@@ -108,13 +131,16 @@ std::uint64_t fnv1a64(const std::string& data);
 class NativeProgram {
   public:
     /**
-     * Emit, compile (or cache-load), and bind @p g under @p s. Fatal
-     * on a missing compiler or a failed host compile (with the
-     * compiler's diagnostics in the message).
+     * Emit with @p spec (after probe-based fallback, see file
+     * comment), compile (or cache-load), and bind @p g under @p s.
+     * Fatal on a missing compiler, a failed host compile (with the
+     * compiler's diagnostics in the message), or an ABI-version
+     * mismatch in the loaded object.
      */
     NativeProgram(const graph::FlatGraph& g,
                   const schedule::Schedule& s,
-                  const NativeOptions& opts = {});
+                  const NativeOptions& opts = {},
+                  const codegen::SimdSpec& spec = {});
     ~NativeProgram();
 
     NativeProgram(const NativeProgram&) = delete;
@@ -137,10 +163,15 @@ class NativeProgram {
 
     const NativeStats& stats() const { return stats_; }
 
+    /** The spec actually emitted (after probe fallback). */
+    const codegen::SimdSpec& effectiveSpec() const { return spec_; }
+
   private:
+    enum class BindStatus { Ok, LoadFailed, AbiMismatch };
+
     void compileAndLoad(const NativeOptions& opts,
                         const std::string& source);
-    bool tryBind(const std::string& so_path);
+    BindStatus tryBind(const std::string& so_path, int* found_abi);
     void unload();
 
     void* handle_ = nullptr;  ///< dlopen handle.
@@ -157,6 +188,7 @@ class NativeProgram {
     ir::Type sinkElem_{ir::Scalar::Int32, 1};
     bool hasSink_ = false;
     bool initDone_ = false;
+    codegen::SimdSpec spec_;
     NativeStats stats_;
 };
 

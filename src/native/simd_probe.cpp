@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Host SIMD capability probe implementation.
+ */
+#include "native/simd_probe.h"
+
+namespace macross::native {
+
+int
+probeMaxLaneWidth()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    if (__builtin_cpu_supports("avx512f"))
+        return 16;
+    if (__builtin_cpu_supports("avx2"))
+        return 8;
+    return 4;  // SSE2 is part of the x86-64 baseline.
+#elif defined(__aarch64__)
+    return 4;  // NEON (128-bit) is part of the AArch64 baseline.
+#else
+    return 1;
+#endif
+}
+
+std::string
+probeIsaName()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    if (__builtin_cpu_supports("avx512f"))
+        return "avx512";
+    if (__builtin_cpu_supports("avx2"))
+        return "avx2";
+    return "sse2";
+#elif defined(__aarch64__)
+    return "neon";
+#else
+    return "scalar";
+#endif
+}
+
+} // namespace macross::native

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Host SIMD capability probe for the native engine's runtime ISA
+ * dispatch.
+ *
+ * The emitter will happily lower any requested lane width; whether
+ * the host can *execute* the result is a runtime question (an AVX-512
+ * build SIGILLs on an AVX2 machine). The probe answers it once, at
+ * run time, with the compiler builtins (`__builtin_cpu_supports` on
+ * x86), and the engine uses the answer to refuse-and-fallback: a
+ * requested width the host lacks degrades to the scalar W=1 layer and
+ * is reported as a fallback in NativeStats rather than crashing or
+ * silently emitting unverifiable code.
+ */
+#pragma once
+
+#include <string>
+
+namespace macross::native {
+
+/**
+ * Widest 32-bit-element lane count the host CPU can execute: 16
+ * (AVX-512), 8 (AVX2), 4 (SSE2 baseline on x86-64, NEON on AArch64),
+ * or 1 on architectures the probe does not know.
+ */
+int probeMaxLaneWidth();
+
+/**
+ * Short name of the widest ISA level the probe found ("avx512",
+ * "avx2", "sse2", "neon", "scalar") — for stats and error messages,
+ * not for -march (SimdSpec.isa carries that).
+ */
+std::string probeIsaName();
+
+} // namespace macross::native

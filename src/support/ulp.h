@@ -1,0 +1,71 @@
+/**
+ * @file
+ * ULP (units in the last place) distance between floats.
+ *
+ * The native engine's default contract is bit-identity with the
+ * interpreters, but a SimdSpec may opt into ULP-bounded divergence
+ * (e.g. builds with -ffp-contract=fast, where the compiler fuses
+ * a*b+c into one rounding). Differential harnesses then need a
+ * comparison that is tolerant by a *bounded, countable* amount rather
+ * than an epsilon: ULP distance is exact integer arithmetic on the
+ * float's bit pattern, so "within 2 ULPs" means the same thing at
+ * 1e-30 as at 1e+30.
+ *
+ * The mapping: reinterpret the float's bits, then fold the
+ * sign-magnitude encoding into a single monotone integer line (
+ * negative floats run backwards in raw bit order). Adjacent
+ * representable floats land on adjacent integers, +0.0 and -0.0 land
+ * on the same integer (distance 0 — the sign of zero is not a
+ * numerical divergence), and the distance between any two finite
+ * floats is the count of representable floats between them.
+ */
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+namespace macross::support {
+
+/**
+ * Monotone integer key of @p f: adjacent representable floats map to
+ * adjacent keys, ordered like the reals, with both zeros sharing one
+ * key. (Not meaningful for NaN; see ulpDistance.)
+ */
+inline std::int64_t
+ulpKey(float f)
+{
+    std::uint32_t u;
+    std::memcpy(&u, &f, sizeof u);
+    const std::int64_t mag = static_cast<std::int64_t>(u & 0x7fffffffu);
+    return (u & 0x80000000u) ? -mag : mag;
+}
+
+/**
+ * ULP distance between @p a and @p b: the number of representable
+ * floats you must step through to get from one to the other. 0 for
+ * bitwise-equal values and for +0.0 vs -0.0. NaNs compare equal to
+ * NaNs (any payload — a divergent payload is not a numerical
+ * divergence) and maximally distant from every non-NaN.
+ */
+inline std::int64_t
+ulpDistance(float a, float b)
+{
+    const bool na = std::isnan(a);
+    const bool nb = std::isnan(b);
+    if (na || nb)
+        return (na && nb) ? 0
+                          : std::numeric_limits<std::int64_t>::max();
+    const std::int64_t d = ulpKey(a) - ulpKey(b);
+    return d < 0 ? -d : d;
+}
+
+/** True iff @p a and @p b are within @p tol ULPs (see ulpDistance). */
+inline bool
+withinUlp(float a, float b, std::int64_t tol)
+{
+    return ulpDistance(a, b) <= tol;
+}
+
+} // namespace macross::support

@@ -34,6 +34,56 @@ TEST(Codegen, EmitsVectorIntrinsicsForSimdizedGraph)
     EXPECT_NE(src.find("int main"), std::string::npos);
 }
 
+TEST(Codegen, SimdSpecSelectsTheVectorLayer)
+{
+    vectorizer::SimdizeOptions vopts;
+    vopts.forceSimdize = true;
+    auto compiled = vectorizer::macroSimdize(
+        benchmarks::makeRunningExample(), vopts);
+
+    // Default spec (W=4): the true-SIMD layer, built on the
+    // compiler's vector extensions, chunked at kLaneWidth.
+    EmitOptions w4;
+    ASSERT_EQ(w4.simd.laneWidth, 4);
+    std::string simd =
+        emitCpp(compiled.graph, compiled.schedule, w4);
+    EXPECT_NE(simd.find("SIMD lowering: w4:auto:exact"),
+              std::string::npos);
+    EXPECT_NE(simd.find("kLaneWidth = 4"), std::string::npos);
+    EXPECT_NE(simd.find("ext_vector_type"), std::string::npos);
+    EXPECT_NE(simd.find("vector_size"), std::string::npos);
+
+    // W=1: the scalar fallback layer — no vector extensions at all,
+    // same Vec/Tape interface.
+    EmitOptions w1;
+    w1.simd.laneWidth = 1;
+    std::string scalar =
+        emitCpp(compiled.graph, compiled.schedule, w1);
+    EXPECT_NE(scalar.find("SIMD lowering: w1:auto:exact"),
+              std::string::npos);
+    EXPECT_EQ(scalar.find("ext_vector_type"), std::string::npos);
+    EXPECT_EQ(scalar.find("vector_size"), std::string::npos);
+    EXPECT_NE(scalar.find("Vec<float, 4>"), std::string::npos);
+
+    // The actor bodies are lowering-independent: only the preamble's
+    // Vec/Tape layer changes between specs.
+    EXPECT_NE(simd, scalar);
+}
+
+TEST(Codegen, InvalidSimdSpecIsRejected)
+{
+    auto compiled =
+        vectorizer::compileScalar(benchmarks::makeRunningExample());
+    EmitOptions opts;
+    opts.simd.laneWidth = 3;
+    EXPECT_THROW(emitCpp(compiled.graph, compiled.schedule, opts),
+                 PanicError);
+    opts.simd.laneWidth = 4;
+    opts.simd.isa = "native; rm -rf /";
+    EXPECT_THROW(emitCpp(compiled.graph, compiled.schedule, opts),
+                 PanicError);
+}
+
 TEST(Codegen, EmitsScalarGraphWithoutVectors)
 {
     auto compiled =
@@ -70,12 +120,29 @@ TEST(Codegen, LibraryModeEmitsAbiInsteadOfMain)
     EXPECT_EQ(src.find("int main"), std::string::npos);
     EXPECT_NE(src.find("extern \"C\""), std::string::npos);
     for (const char* sym :
-         {"macross_abi_version", "macross_create", "macross_destroy",
-          "macross_init", "macross_run_steady",
+         {"macross_abi_version", "macross_simd_lanes",
+          "macross_simd_isa", "macross_exact", "macross_create",
+          "macross_destroy", "macross_init", "macross_run_steady",
           "macross_capture_size", "macross_capture_data"}) {
         EXPECT_NE(src.find(sym), std::string::npos)
             << "missing ABI symbol " << sym;
     }
+    // The v2 introspection symbols report the spec this object was
+    // emitted under.
+    EXPECT_NE(src.find("int macross_abi_version() { return 2; }"),
+              std::string::npos);
+    EXPECT_NE(src.find("int macross_simd_lanes() { return 4; }"),
+              std::string::npos);
+    EXPECT_NE(src.find("return \"auto\""), std::string::npos);
+    EXPECT_NE(src.find("int macross_exact() { return 1; }"),
+              std::string::npos);
+
+    EmitOptions ulp = opts;
+    ulp.simd.allowUlpDivergence = true;
+    std::string inexact =
+        emitCpp(compiled.graph, compiled.schedule, ulp);
+    EXPECT_NE(inexact.find("int macross_exact() { return 0; }"),
+              std::string::npos);
 }
 
 /** Compile @p source with the host compiler and run it. */
@@ -201,6 +268,36 @@ TEST(Codegen, EmittedSaguTransposedTapesMatch)
     const int iters = 3;
     std::string output = compileAndRun(
         emitCpp(compiled.graph, compiled.schedule), "sagu", iters);
+    ASSERT_FALSE(output.empty());
+
+    interp::Runner r(compiled.graph, compiled.schedule);
+    r.runInit();
+    r.runSteady(iters);
+    unsigned long long checksum = 0;
+    for (const auto& v : r.captured())
+        checksum += v.rawBits(0);
+    char expected[128];
+    std::snprintf(expected, sizeof(expected),
+                  "elements %zu checksum %016llx", r.captured().size(),
+                  checksum);
+    EXPECT_EQ(output.substr(0, output.find('\n')),
+              std::string(expected));
+}
+
+TEST(Codegen, ScalarFallbackLayerMatchesInterpreter)
+{
+    // W=1 standalone build of a SIMDized program with permuted tapes:
+    // the scalar fallback layer must stay bit-identical to the
+    // interpreter even when the default lowering is the vector layer.
+    vectorizer::SimdizeOptions vopts;
+    vopts.forceSimdize = true;
+    auto compiled =
+        vectorizer::macroSimdize(benchmarks::makeDct(), vopts);
+    EmitOptions opts;
+    opts.simd.laneWidth = 1;
+    const int iters = 3;
+    std::string output = compileAndRun(
+        emitCpp(compiled.graph, compiled.schedule, opts), "w1", iters);
     ASSERT_FALSE(output.empty());
 
     interp::Runner r(compiled.graph, compiled.schedule);

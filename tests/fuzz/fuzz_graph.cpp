@@ -66,7 +66,8 @@ runWith(const macross::vectorizer::CompiledProgram& p,
         macross::interp::ExecEngine engine, std::int64_t n)
 {
     macross::machine::CostSink cost(m);
-    macross::interp::Runner r(p.graph, p.schedule, &cost, engine);
+    macross::interp::Runner r(p.graph, p.schedule, &cost,
+                              macross::interp::EngineConfig(engine));
     r.runUntilCaptured(n, 2000);
     EngineRun run;
     run.out.assign(r.captured().begin(), r.captured().begin() + n);

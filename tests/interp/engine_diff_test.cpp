@@ -32,7 +32,7 @@ runWith(const vectorizer::CompiledProgram& p,
         std::int64_t n, Autovec av = Autovec::None)
 {
     machine::CostSink cost(m);
-    Runner r(p.graph, p.schedule, &cost, engine);
+    Runner r(p.graph, p.schedule, &cost, EngineConfig(engine));
     if (av != Autovec::None) {
         lowering::LoweredProgram lp =
             lowering::lower(p.graph, p.schedule);
@@ -157,14 +157,12 @@ TEST(EngineDiff, PerActorEngineOverrideMixesCleanly)
     EngineRun pure = runWith(p, m, ExecEngine::Bytecode, 200);
 
     machine::CostSink cost(m);
-    Runner r(p.graph, p.schedule, &cost, ExecEngine::Bytecode);
+    EngineConfig config(ExecEngine::Bytecode);
     for (const auto& a : p.graph.actors) {
-        if (a.isFilter() && a.id % 2 == 0) {
-            ActorExecConfig cfg;
-            cfg.engine = ExecEngine::Tree;
-            r.setActorConfig(a.id, cfg);
-        }
+        if (a.isFilter() && a.id % 2 == 0)
+            config.actorEngines[a.id] = ExecEngine::Tree;
     }
+    Runner r(p.graph, p.schedule, &cost, config);
     r.runUntilCaptured(200);
     std::vector<Value> mixed(r.captured().begin(),
                              r.captured().begin() + 200);

@@ -32,7 +32,8 @@ runSerial(const vectorizer::CompiledProgram& p,
           const machine::MachineDesc& m)
 {
     machine::CostSink cost(m);
-    Runner r(p.graph, p.schedule, &cost, ExecEngine::Bytecode);
+    Runner r(p.graph, p.schedule, &cost,
+             EngineConfig(ExecEngine::Bytecode));
     r.runInit();
     r.runSteady(kIters);
     SerialRun run;
@@ -57,7 +58,7 @@ expectParallelMatchesSerial(const vectorizer::CompiledProgram& p,
         ParallelRunner::Options opt;
         opt.batchIterations = 4;  // 10 iters -> batches of 4, 4, 2.
         ParallelRunner pr(p.graph, p.schedule, part, &cost,
-                          ExecEngine::Bytecode, opt);
+                          EngineConfig(ExecEngine::Bytecode), opt);
         pr.runInit();
         pr.runSteady(kIters);
 

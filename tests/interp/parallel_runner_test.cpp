@@ -102,7 +102,7 @@ TEST(ParallelRunner, MatchesSerialOutputOnTwoThreads)
     ParallelRunner::Options opt;
     opt.batchIterations = 5;  // Exercise batch barriers: 5 + 5 + 2.
     ParallelRunner pr(p.graph, p.schedule, part, &parCost,
-                      ExecEngine::Bytecode, opt);
+                      EngineConfig(ExecEngine::Bytecode), opt);
     pr.runInit();
     pr.runSteady(12);
 

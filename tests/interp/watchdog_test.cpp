@@ -84,7 +84,7 @@ runStallScenario(int threads)
     // non-empty captured prefix to verify against.
     armStallOnPassage(threads + 1, 800);
     ParallelRunner pr(p.graph, p.schedule, part, &parCost,
-                      ExecEngine::Bytecode, opt);
+                      EngineConfig(ExecEngine::Bytecode), opt);
     pr.runInit();
     pr.runSteady(12);
 
@@ -162,7 +162,7 @@ TEST_F(WatchdogTest, WorkerExceptionBecomesStructuredFault)
         });
     machine::CostSink parCost(m);
     ParallelRunner pr(p.graph, p.schedule, part, &parCost,
-                      ExecEngine::Bytecode, opt);
+                      EngineConfig(ExecEngine::Bytecode), opt);
     pr.runInit();
     pr.runSteady(6);
 
@@ -209,7 +209,7 @@ TEST_F(WatchdogTest, HealthyRunReportsNoFaults)
     ParallelRunner::Options opt;
     opt.watchdogMs = 5000;  // Generous: must never fire.
     ParallelRunner pr(p.graph, p.schedule, part, nullptr,
-                      ExecEngine::Bytecode, opt);
+                      EngineConfig(ExecEngine::Bytecode), opt);
     pr.runInit();
     pr.runSteady(8);
     EXPECT_TRUE(pr.faults().empty());

@@ -2,8 +2,10 @@
  * @file
  * Unit tests for the native engine's driver machinery: host-compiler
  * detection, the content-hashed object cache (hit, miss, corrupted
- * entry), the hermetic cache-directory resolution, and the Runner
- * integration (stats JSON, whole-program restriction).
+ * entry, SimdSpec keying), ABI v2 verification (stale-stub rejection),
+ * the SIMD probe and refuse-and-fallback path, the hermetic
+ * cache-directory resolution, and the Runner integration (EngineConfig,
+ * stats JSON, whole-program restriction).
  */
 #include "native/native_engine.h"
 
@@ -15,7 +17,9 @@
 
 #include "../test_util.h"
 #include "benchmarks/suite.h"
+#include "codegen/emit_cpp.h"
 #include "interp/runner.h"
+#include "native/simd_probe.h"
 #include "support/diagnostics.h"
 #include "vectorizer/pipeline.h"
 
@@ -154,6 +158,134 @@ TEST(NativeEngine, CorruptedCacheEntryIsRecompiled)
     EXPECT_TRUE(third.stats().cacheHit);
 }
 
+TEST(NativeEngine, SimdSpecParticipatesInCacheKey)
+{
+    std::string dir = freshCacheDir("simd_key");
+    auto p = smallProgram();
+    NativeOptions opts;
+    opts.cacheDir = dir;
+
+    codegen::SimdSpec scalar;
+    scalar.laneWidth = 1;
+    codegen::SimdSpec vec4;
+    vec4.laneWidth = 4;
+
+    NativeProgram a(p.graph, p.schedule, opts, scalar);
+    NativeProgram b(p.graph, p.schedule, opts, vec4);
+    EXPECT_FALSE(a.stats().cacheHit);
+    EXPECT_FALSE(b.stats().cacheHit);
+    EXPECT_NE(a.stats().sourceHash, b.stats().sourceHash);
+    EXPECT_NE(a.stats().soPath, b.stats().soPath);
+    EXPECT_EQ(a.stats().simdLanes, 1);
+    EXPECT_EQ(b.stats().simdLanes, 4);
+
+    // Same spec again: a hit on the spec-specific entry.
+    NativeProgram c(p.graph, p.schedule, opts, vec4);
+    EXPECT_TRUE(c.stats().cacheHit);
+    EXPECT_EQ(c.stats().soPath, b.stats().soPath);
+}
+
+TEST(NativeEngine, LoadedObjectReportsAbiV2Lowering)
+{
+    NativeOptions opts;
+    opts.cacheDir = freshCacheDir("abi_v2");
+    auto p = smallProgram();
+    codegen::SimdSpec spec;
+    spec.laneWidth = 4;
+
+    NativeProgram prog(p.graph, p.schedule, opts, spec);
+    EXPECT_EQ(prog.stats().abiVersion, codegen::kNativeAbiVersion);
+    EXPECT_EQ(prog.stats().simdLanes, 4);
+    EXPECT_EQ(prog.stats().simdIsa, "auto");
+    EXPECT_TRUE(prog.stats().exact);
+    EXPECT_FALSE(prog.stats().simdFallback);
+}
+
+TEST(NativeEngine, StaleAbiVersionIsFatal)
+{
+    NativeOptions opts;
+    opts.cacheDir = freshCacheDir("stale_abi");
+    auto p = smallProgram();
+
+    std::string soPath;
+    {
+        NativeProgram first(p.graph, p.schedule, opts);
+        soPath = first.stats().soPath;
+    }
+    // Replace the cached entry with a deliberately stale stub: a
+    // perfectly loadable shared object that reports ABI v1. Unlike a
+    // corrupted entry, this must NOT be silently recompiled — the
+    // cache key covers the source, so version skew at this path means
+    // the toolchain and the engine disagree about the contract.
+    const std::string stubCpp = opts.cacheDir + "/stale_stub.cpp";
+    {
+        std::ofstream out(stubCpp);
+        out << "extern \"C\" int macross_abi_version() { return 1; }\n";
+    }
+    fs::remove(soPath);
+    const std::string cmd = detectHostCompiler() +
+                            " -shared -fPIC -o '" + soPath + "' '" +
+                            stubCpp + "'";
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+
+    try {
+        NativeProgram second(p.graph, p.schedule, opts);
+        FAIL() << "stale ABI stub was accepted";
+    } catch (const FatalError& e) {
+        const std::string msg = e.what();
+        // The error must name both versions.
+        EXPECT_NE(msg.find("ABI version 1"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("version 2"), std::string::npos) << msg;
+    }
+}
+
+TEST(NativeEngine, ProbeReportsExecutableWidth)
+{
+    const int w = probeMaxLaneWidth();
+    EXPECT_TRUE(w == 1 || w == 4 || w == 8 || w == 16) << w;
+    EXPECT_FALSE(probeIsaName().empty());
+}
+
+TEST(NativeEngine, UnsupportedWidthFallsBackToScalar)
+{
+    // Pretend the host tops out at 4 lanes and ask for 8: the engine
+    // must refuse the width and emit the scalar layer, visibly.
+    NativeOptions opts;
+    opts.cacheDir = freshCacheDir("fallback");
+    opts.maxLaneWidthOverride = 4;
+    auto p = smallProgram();
+    codegen::SimdSpec spec;
+    spec.laneWidth = 8;
+
+    NativeProgram prog(p.graph, p.schedule, opts, spec);
+    EXPECT_TRUE(prog.stats().simdFallback);
+    EXPECT_EQ(prog.stats().simdLanes, 1);
+    EXPECT_EQ(prog.effectiveSpec().laneWidth, 1);
+
+    // The fallback still runs and still matches the interpreter.
+    prog.init();
+    prog.runSteady(3);
+    interp::Runner vm(p.graph, p.schedule);
+    vm.runInit();
+    vm.runSteady(3);
+    ASSERT_GT(prog.capturedSize(), 0u);
+    testutil::expectSameStream(vm.captured(), prog.captured());
+}
+
+TEST(NativeEngine, SupportedWidthIsNotRefused)
+{
+    NativeOptions opts;
+    opts.cacheDir = freshCacheDir("no_fallback");
+    opts.maxLaneWidthOverride = 8;
+    auto p = smallProgram();
+    codegen::SimdSpec spec;
+    spec.laneWidth = 8;
+
+    NativeProgram prog(p.graph, p.schedule, opts, spec);
+    EXPECT_FALSE(prog.stats().simdFallback);
+    EXPECT_EQ(prog.stats().simdLanes, 8);
+}
+
 TEST(NativeEngine, CacheDirRespectsEnvironment)
 {
     const char* saved = std::getenv("MACROSS_CACHE_DIR");
@@ -177,11 +309,9 @@ TEST(NativeEngine, CacheDirRespectsEnvironment)
 TEST(NativeEngine, RunnerReportsNativeStatsJson)
 {
     auto p = smallProgram();
-    interp::Runner r(p.graph, p.schedule, nullptr,
-                     interp::ExecEngine::Native);
-    NativeOptions opts;
-    opts.cacheDir = freshCacheDir("runner_stats");
-    r.setNativeOptions(opts);
+    interp::EngineConfig config(interp::ExecEngine::Native);
+    config.native.cacheDir = freshCacheDir("runner_stats");
+    interp::Runner r(p.graph, p.schedule, nullptr, config);
     r.runInit();
     r.runSteady(5);
     ASSERT_NE(r.nativeStats(), nullptr);
@@ -195,28 +325,64 @@ TEST(NativeEngine, RunnerReportsNativeStatsJson)
     EXPECT_FALSE(nat->find("cacheHit")->asBool());
     EXPECT_GT(nat->find("compileMillis")->asDouble(), 0.0);
     EXPECT_GE(nat->find("steadyWallMicros")->asDouble(), 0.0);
+    EXPECT_EQ(nat->find("abiVersion")->asInt(), 2);
+    EXPECT_TRUE(nat->find("exact")->asBool());
+    const json::Value* simd = nat->find("simd");
+    ASSERT_NE(simd, nullptr);
+    EXPECT_EQ(simd->find("laneWidth")->asInt(), 4);
+    EXPECT_EQ(simd->find("isa")->asString(), "auto");
+    EXPECT_FALSE(simd->find("fallback")->asBool());
 
     // The runner mirrors the native capture stream.
     interp::Runner vm(p.graph, p.schedule, nullptr,
-                      interp::ExecEngine::Bytecode);
+                      interp::EngineConfig(
+                          interp::ExecEngine::Bytecode));
     vm.runInit();
     vm.runSteady(5);
     testutil::expectSameStream(vm.captured(), r.captured());
 }
 
-TEST(NativeEngine, PerActorNativeOverrideIsRejected)
+TEST(NativeEngine, ConfigureAfterInitPanics)
+{
+    auto p = smallProgram();
+    interp::Runner r(p.graph, p.schedule);
+    r.runInit();
+    EXPECT_THROW(
+        r.configure(interp::EngineConfig(interp::ExecEngine::Tree)),
+        PanicError);
+}
+
+// The one-PR deprecated shims must keep behaving until removal.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(NativeEngine, DeprecatedShimsStillConfigure)
 {
     auto p = smallProgram();
     interp::Runner r(p.graph, p.schedule, nullptr,
                      interp::ExecEngine::Bytecode);
+    EXPECT_EQ(r.engine(), interp::ExecEngine::Bytecode);
+    r.setEngine(interp::ExecEngine::Native);
+    EXPECT_EQ(r.engine(), interp::ExecEngine::Native);
+    NativeOptions opts;
+    opts.cacheDir = freshCacheDir("shims");
+    r.setNativeOptions(opts);
+    EXPECT_EQ(r.engineConfig().native.cacheDir, opts.cacheDir);
+    r.runInit();
+    EXPECT_THROW(r.setEngine(interp::ExecEngine::Tree), PanicError);
+}
+#pragma GCC diagnostic pop
+
+TEST(NativeEngine, PerActorNativeOverrideIsRejected)
+{
+    auto p = smallProgram();
+    interp::EngineConfig config(interp::ExecEngine::Bytecode);
     for (const auto& a : p.graph.actors) {
         if (a.isFilter()) {
-            interp::ActorExecConfig cfg;
-            cfg.engine = interp::ExecEngine::Native;
-            r.setActorConfig(a.id, cfg);
+            config.actorEngines[a.id] = interp::ExecEngine::Native;
             break;
         }
     }
+    interp::Runner r(p.graph, p.schedule, nullptr, config);
     EXPECT_THROW(r.runUntilCaptured(10), PanicError);
 }
 

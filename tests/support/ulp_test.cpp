@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for the ULP-distance helper that backs the native
+ * engine's ULP-tolerance comparison mode (support/ulp.h). The helper
+ * is the arbiter of "close enough" for every allowUlpDivergence
+ * differential run, so its corner cases — sign of zero, NaN,
+ * denormals, the subnormal/normal boundary — get pinned here.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "support/ulp.h"
+
+namespace macross::support {
+namespace {
+
+float
+nextAfterF(float x, float toward)
+{
+    return std::nextafterf(x, toward);
+}
+
+TEST(Ulp, ExactValuesAreZeroApart)
+{
+    EXPECT_EQ(ulpDistance(1.0f, 1.0f), 0);
+    EXPECT_EQ(ulpDistance(0.0f, 0.0f), 0);
+    EXPECT_EQ(ulpDistance(-3.5f, -3.5f), 0);
+    EXPECT_EQ(ulpDistance(1e30f, 1e30f), 0);
+    EXPECT_TRUE(withinUlp(2.25f, 2.25f, 0));
+}
+
+TEST(Ulp, AdjacentFloatsAreOneApart)
+{
+    const float one_up = nextAfterF(1.0f, 2.0f);
+    const float one_dn = nextAfterF(1.0f, 0.0f);
+    EXPECT_EQ(ulpDistance(1.0f, one_up), 1);
+    EXPECT_EQ(ulpDistance(one_up, 1.0f), 1);
+    EXPECT_EQ(ulpDistance(1.0f, one_dn), 1);
+    EXPECT_EQ(ulpDistance(one_dn, one_up), 2);
+
+    EXPECT_TRUE(withinUlp(1.0f, one_up, 1));
+    EXPECT_FALSE(withinUlp(1.0f, one_up, 0));
+    EXPECT_FALSE(withinUlp(one_dn, one_up, 1));
+
+    // Adjacency holds at any magnitude — the distance is a count of
+    // representable floats, not an epsilon.
+    const float big = 1e30f;
+    EXPECT_EQ(ulpDistance(big, nextAfterF(big, 2e30f)), 1);
+    const float neg = -7.0f;
+    EXPECT_EQ(ulpDistance(neg, nextAfterF(neg, -8.0f)), 1);
+}
+
+TEST(Ulp, SignOfZeroIsNotADivergence)
+{
+    EXPECT_EQ(ulpDistance(0.0f, -0.0f), 0);
+    EXPECT_EQ(ulpDistance(-0.0f, 0.0f), 0);
+    EXPECT_TRUE(withinUlp(0.0f, -0.0f, 0));
+
+    // The integer line is continuous through zero: the smallest
+    // positive and smallest negative subnormals straddle zero at
+    // distance 1 each, distance 2 from each other.
+    const float tiny = std::numeric_limits<float>::denorm_min();
+    EXPECT_EQ(ulpDistance(0.0f, tiny), 1);
+    EXPECT_EQ(ulpDistance(-0.0f, tiny), 1);
+    EXPECT_EQ(ulpDistance(0.0f, -tiny), 1);
+    EXPECT_EQ(ulpDistance(-tiny, tiny), 2);
+}
+
+TEST(Ulp, NansCompareEqualToNansAndMaximallyFarFromNumbers)
+{
+    const float qnan = std::numeric_limits<float>::quiet_NaN();
+    const float other_nan = -qnan; // different payload/sign bit
+    EXPECT_EQ(ulpDistance(qnan, qnan), 0);
+    EXPECT_EQ(ulpDistance(qnan, other_nan), 0);
+    EXPECT_TRUE(withinUlp(qnan, other_nan, 0));
+
+    const auto kMax = std::numeric_limits<std::int64_t>::max();
+    EXPECT_EQ(ulpDistance(qnan, 1.0f), kMax);
+    EXPECT_EQ(ulpDistance(0.0f, qnan), kMax);
+    EXPECT_FALSE(withinUlp(qnan, 0.0f, 1000000));
+}
+
+TEST(Ulp, InfinityIsOrdinaryOnTheIntegerLine)
+{
+    const float inf = std::numeric_limits<float>::infinity();
+    const float fmax = std::numeric_limits<float>::max();
+    EXPECT_EQ(ulpDistance(inf, inf), 0);
+    EXPECT_EQ(ulpDistance(inf, fmax), 1);
+    EXPECT_EQ(ulpDistance(-inf, -fmax), 1);
+    // Opposite infinities span the entire finite line.
+    EXPECT_GT(ulpDistance(inf, -inf), ulpDistance(inf, 0.0f));
+}
+
+TEST(Ulp, KeyIsMonotoneAcrossSignAndMagnitude)
+{
+    const float samples[] = {-1e30f, -2.0f, -1.0f, -1e-30f, -0.0f,
+                             0.0f,   1e-30f, 1.0f, 2.0f,    1e30f};
+    for (std::size_t i = 1; i < std::size(samples); ++i)
+        EXPECT_LE(ulpKey(samples[i - 1]), ulpKey(samples[i]))
+            << samples[i - 1] << " vs " << samples[i];
+}
+
+} // namespace
+} // namespace macross::support

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "interp/runner.h"
+#include "support/ulp.h"
 #include "vectorizer/pipeline.h"
 
 namespace macross::testutil {
@@ -32,6 +33,39 @@ expectSameStream(const std::vector<interp::Value>& a,
         ASSERT_EQ(a[i], b[i])
             << "streams diverge at element " << i << ": " << a[i].str()
             << " vs " << b[i].str();
+    }
+}
+
+/**
+ * Assert two captured streams agree within @p tol ULPs on float
+ * elements and bit-exactly on integer elements. This is the
+ * comparison for SimdSpec.allowUlpDivergence builds; everything else
+ * should use expectSameStream (bit-identity is the default contract).
+ */
+inline void
+expectStreamsWithinUlp(const std::vector<interp::Value>& a,
+                       const std::vector<interp::Value>& b,
+                       std::int64_t tol)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_TRUE(a[i].type() == b[i].type())
+            << "streams diverge in type at element " << i << ": "
+            << a[i].str() << " vs " << b[i].str();
+        for (int l = 0; l < a[i].lanes(); ++l) {
+            if (a[i].type().isFloat()) {
+                ASSERT_TRUE(
+                    support::withinUlp(a[i].f(l), b[i].f(l), tol))
+                    << "streams diverge at element " << i << " lane "
+                    << l << ": " << a[i].str() << " vs " << b[i].str()
+                    << " (" << support::ulpDistance(a[i].f(l), b[i].f(l))
+                    << " ULPs apart, tolerance " << tol << ")";
+            } else {
+                ASSERT_EQ(a[i].rawBits(l), b[i].rawBits(l))
+                    << "streams diverge at element " << i << " lane "
+                    << l << ": " << a[i].str() << " vs " << b[i].str();
+            }
+        }
     }
 }
 

@@ -16,9 +16,11 @@
  */
 #include <charconv>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -35,10 +37,12 @@
 #include "interp/runner.h"
 #include "lowering/lowered.h"
 #include "multicore/partition.h"
+#include "native/simd_probe.h"
 #include "support/diagnostics.h"
 #include "support/fault.h"
 #include "support/json.h"
 #include "support/trace.h"
+#include "support/ulp.h"
 #include "vectorizer/pipeline.h"
 
 using namespace macross;
@@ -69,6 +73,8 @@ struct CliConfig {
     int emitPrint = 32;
     int threads = 1;
     int watchdogMs = 0;
+    int nativeSimd = 0;  ///< 0 = SimdSpec default.
+    int ulpTol = -1;     ///< -1 = no cross-check.
     std::string injectFault;
 };
 
@@ -146,6 +152,26 @@ optionTable()
              c.engineName = v;
              return true;
          }},
+        {"--native-simd", "W",
+         "native engine: emitted SIMD lane width — 1 is the scalar "
+         "fallback layer, 4/8/16 the vector layer (default 4; "
+         "validated against what this host can execute)",
+         integer(&CliConfig::nativeSimd)},
+        {"--ulp-tol", "N",
+         "native engine: cross-check the captured stream against the "
+         "bytecode VM within N ULPs after the run; N > 0 also opts "
+         "the emitted object into ULP-bounded divergence (0 demands "
+         "bit-identity)",
+         [](CliConfig& c, const std::string& v) {
+             int n = 0;
+             auto [p, ec] =
+                 std::from_chars(v.data(), v.data() + v.size(), n);
+             if (ec != std::errc() ||
+                 p != v.data() + v.size() || n < 0)
+                 return false;
+             c.ulpTol = n;
+             return true;
+         }},
         {"--run", "N", "steady-state iterations (default 10)",
          integer(&CliConfig::iters)},
         {"--threads", "N",
@@ -219,6 +245,17 @@ parseArgs(int argc, char** argv, CliConfig& cfg)
 {
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
+        // Both "--flag VALUE" and "--flag=VALUE" are accepted.
+        std::string inlineValue;
+        bool hasInline = false;
+        if (a.rfind("--", 0) == 0) {
+            auto eq = a.find('=');
+            if (eq != std::string::npos) {
+                inlineValue = a.substr(eq + 1);
+                a = a.substr(0, eq);
+                hasInline = true;
+            }
+        }
         const OptSpec* spec = nullptr;
         for (const auto& opt : optionTable()) {
             if (a == opt.flag) {
@@ -229,12 +266,19 @@ parseArgs(int argc, char** argv, CliConfig& cfg)
         if (spec) {
             std::string value;
             if (spec->operand) {
-                if (i + 1 >= argc) {
+                if (hasInline) {
+                    value = inlineValue;
+                } else if (i + 1 >= argc) {
                     std::fprintf(stderr, "%s needs a value (%s)\n",
                                  a.c_str(), spec->operand);
                     return false;
+                } else {
+                    value = argv[++i];
                 }
-                value = argv[++i];
+            } else if (hasInline) {
+                std::fprintf(stderr, "%s does not take a value\n",
+                             a.c_str());
+                return false;
             }
             if (!spec->apply(cfg, value)) {
                 std::fprintf(stderr,
@@ -280,6 +324,34 @@ main(int argc, char** argv)
         std::fprintf(stderr, "--engine native is whole-program and "
                              "serial; it cannot combine with "
                              "--threads\n");
+        return usage(argv[0]);
+    }
+    if (cfg.nativeSimd != 0) {
+        // Plain-prose validation against the host probe: what was
+        // asked, what the host supports, what to ask instead.
+        if (!codegen::isValidLaneWidth(cfg.nativeSimd)) {
+            std::fprintf(stderr,
+                         "--native-simd %d: lane width must be 1, 2, "
+                         "4, 8, or 16\n",
+                         cfg.nativeSimd);
+            return usage(argv[0]);
+        }
+        const int hostMax = native::probeMaxLaneWidth();
+        if (cfg.nativeSimd > hostMax) {
+            std::fprintf(stderr,
+                         "--native-simd %d: this host (%s) can "
+                         "execute at most %d lanes; pass %d or lower\n",
+                         cfg.nativeSimd,
+                         native::probeIsaName().c_str(), hostMax,
+                         hostMax);
+            return usage(argv[0]);
+        }
+    }
+    if ((cfg.nativeSimd != 0 || cfg.ulpTol >= 0) &&
+        cfg.engineName != "native") {
+        std::fprintf(stderr, "%s only applies to --engine native\n",
+                     cfg.nativeSimd != 0 ? "--native-simd"
+                                         : "--ulp-tol");
         return usage(argv[0]);
     }
 
@@ -361,8 +433,12 @@ main(int argc, char** argv)
             cfg.engineName == "tree"     ? interp::ExecEngine::Tree
             : cfg.engineName == "native" ? interp::ExecEngine::Native
                                          : interp::ExecEngine::Bytecode;
+        interp::EngineConfig econfig(engine);
+        if (cfg.nativeSimd != 0)
+            econfig.simd.laneWidth = cfg.nativeSimd;
+        econfig.simd.allowUlpDivergence = cfg.ulpTol > 0;
         interp::Runner r(compiled.graph, compiled.schedule, &cost,
-                         engine);
+                         econfig);
         if (wantTrace)
             r.setTrace(&trace);
         std::vector<std::pair<int, interp::ActorExecConfig>>
@@ -409,12 +485,61 @@ main(int argc, char** argv)
                         ns->soPath.c_str(),
                         ns->cacheHit ? "cache hit" : "cache miss",
                         ns->compileMillis);
+            std::printf("native simd: W=%d isa=%s%s%s (ABI v%d)\n",
+                        ns->simdLanes, ns->simdIsa.c_str(),
+                        ns->simdFallback ? ", scalar fallback" : "",
+                        ns->exact ? "" : ", ULP-bounded",
+                        ns->abiVersion);
         } else {
             std::printf("sink elements: %zu, modeled cycles: %.0f "
                         "(%.2f cycles/element)\n",
                         produced, cost.totalCycles(),
                         produced ? cost.totalCycles() / produced
                                  : 0.0);
+        }
+
+        // --ulp-tol N: differential cross-check of the native run
+        // against the bytecode VM, tolerance counted in ULPs (N=0
+        // demands bit-identity). The check is the CLI-level version
+        // of the native differential test suite.
+        if (cfg.ulpTol >= 0) {
+            interp::Runner ref(
+                compiled.graph, compiled.schedule, nullptr,
+                interp::EngineConfig(interp::ExecEngine::Bytecode));
+            ref.runInit();
+            ref.runSteady(cfg.iters);
+            const auto& got = r.captured();
+            const auto& want = ref.captured();
+            fatalIf(got.size() != want.size(),
+                    "ULP cross-check: native captured ", got.size(),
+                    " elements but the bytecode VM captured ",
+                    want.size());
+            std::int64_t worst = 0;
+            for (std::size_t i = 0; i < got.size(); ++i) {
+                for (int l = 0; l < got[i].lanes(); ++l) {
+                    std::int64_t d =
+                        got[i].type().isFloat()
+                            ? support::ulpDistance(got[i].f(l),
+                                                   want[i].f(l))
+                            : (got[i].rawBits(l) != want[i].rawBits(l)
+                                   ? std::numeric_limits<
+                                         std::int64_t>::max()
+                                   : 0);
+                    if (d > worst)
+                        worst = d;
+                    fatalIf(d > cfg.ulpTol,
+                            "ULP cross-check FAILED at element ", i,
+                            " lane ", l, ": native ", got[i].str(),
+                            " vs VM ", want[i].str(), " (", d,
+                            " ULPs apart, tolerance ", cfg.ulpTol,
+                            ")");
+                }
+            }
+            std::printf("ULP cross-check vs bytecode VM: %zu "
+                        "elements, worst distance %lld (tolerance "
+                        "%d): OK\n",
+                        got.size(), static_cast<long long>(worst),
+                        cfg.ulpTol);
         }
 
         // --threads N: repeat the same steady iterations on a worker
@@ -437,7 +562,7 @@ main(int argc, char** argv)
             popt.watchdogMs = cfg.watchdogMs;
             par = std::make_unique<interp::ParallelRunner>(
                 compiled.graph, compiled.schedule, part,
-                parCost.get(), engine, popt);
+                parCost.get(), econfig, popt);
             for (auto& [id, c] : actorConfigs)
                 par->setActorConfig(id, c);
             par->runInit();

@@ -5,16 +5,18 @@
 # (plus the native-engine throughput bench) with MACROSS_BENCH_JSON
 # set, writing one machine-readable archive per figure:
 #
-#     BENCH_fig10a.json   modeled speedups, GCC-like host compiler
-#     BENCH_fig12.json    SAGU tape-layout speedups
-#     BENCH_fig13.json    multicore scaling
-#     BENCH_native.json   measured native vs bytecode-VM wall clock
+#     BENCH_fig10a.json       modeled speedups, GCC-like host compiler
+#     BENCH_fig12.json        SAGU tape-layout speedups
+#     BENCH_fig13.json        multicore scaling
+#     BENCH_native_simd.json  measured wall clock: bytecode VM vs
+#                             native at lane widths W=1 and W=4
 #
 # Usage: tools/record_bench.sh [build-dir]   (default: build-release)
 #
 # Modeled numbers (fig10a/fig12/fig13) are deterministic; only
-# BENCH_native.json depends on the host machine, and its archive
-# records the compiler and flags used so runs stay comparable.
+# BENCH_native_simd.json depends on the host machine, and its archive
+# records the compiler, flags, and SIMD lowering used so runs stay
+# comparable.
 set -eu
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -34,7 +36,7 @@ run_bench() {
 run_bench fig10a_gcc BENCH_fig10a.json
 run_bench fig12_sagu BENCH_fig12.json
 run_bench fig13_multicore BENCH_fig13.json
-run_bench native_throughput BENCH_native.json
+run_bench native_throughput BENCH_native_simd.json
 
 echo "wrote BENCH_fig10a.json BENCH_fig12.json BENCH_fig13.json" \
-     "BENCH_native.json to $repo"
+     "BENCH_native_simd.json to $repo"
