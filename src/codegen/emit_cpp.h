@@ -23,16 +23,30 @@
  *    which compiles the TU with the host compiler and dlopen()s it.
  *    Program instances are heap-allocated through the ABI, so one
  *    loaded shared object serves any number of independent runs.
+ *  - PartitionedLibrary: the same core split along a multicore
+ *    partition — one `struct Partition<k>` per core, each owning its
+ *    core's actors, its intra-core tapes, and a ring-bindable Tape
+ *    endpoint for every cross-core tape. The host creates one
+ *    partition instance per core through the ABI, binds each crossing
+ *    tape to an in-process SPSC ring (interp/spsc_queue.h) via the
+ *    `MacrossRing` binding struct, runs the warm-up single-threaded
+ *    through `macross_init_all`, and then drives each partition's
+ *    steady slice from its own worker thread. Ring traffic follows
+ *    the interpreter's protocol exactly: monotonic 64-bit logical
+ *    indexes, acquire/release index publication, block-granular
+ *    publication on SAGU-transposed endpoints, and an exact flush at
+ *    batch barriers.
  *
- * Both shapes must produce exactly the same output stream as the
+ * All shapes must produce exactly the same output stream as the
  * interpreter (enforced by end-to-end tests and the native engine's
- * differential suite) unless the SimdSpec explicitly opts into
+ * differential suites) unless the SimdSpec explicitly opts into
  * ULP-bounded divergence (see simd_spec.h for the exactness
  * taxonomy).
  */
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "codegen/simd_spec.h"
 #include "graph/flat_graph.h"
@@ -44,21 +58,36 @@ namespace macross::codegen {
 enum class EmitMode {
     Standalone,  ///< Self-contained program with a main().
     Library,     ///< Shared-object ABI for the native engine.
+    /** Per-core sub-programs over extern SPSC ring endpoints, for the
+     *  parallel native runtime (one `struct Partition<k>` per core). */
+    PartitionedLibrary,
 };
 
 /**
- * Version of the emitted `extern "C"` ABI (Library mode).
+ * Version of the emitted `extern "C"` ABI (Library and
+ * PartitionedLibrary modes).
  *
  * v1 (PR 5): abi_version / create / destroy / init / run_steady /
  *            capture_size / capture_data.
- * v2 (this PR): everything in v1, plus the SIMD lowering the object
- *            was built with — macross_simd_lanes() (lane width),
+ * v2 (PR 6): everything in v1, plus the SIMD lowering the object was
+ *            built with — macross_simd_lanes() (lane width),
  *            macross_simd_isa() (ISA selector string), and
  *            macross_exact() (1 = bit-identical contract, 0 =
- *            ULP-bounded). The native engine refuses any other
- *            version with a FatalError naming both.
+ *            ULP-bounded).
+ * v3 (this PR): adds the partitioned surface. A Library-shaped object
+ *            keeps exactly the v2 symbol set; a PartitionedLibrary
+ *            object replaces the whole-program entry points with
+ *            macross_num_partitions / macross_create_partition /
+ *            macross_destroy_partition / macross_ring_bind /
+ *            macross_init_all / macross_run_steady_partition /
+ *            macross_flush_partition / macross_sink_partition, and
+ *            its capture exports take the sink partition handle. Both
+ *            shapes report version 3; the engine knows which shape it
+ *            emitted (the object cache is keyed by the full source).
+ *            Any other version is refused with a FatalError naming
+ *            both.
  */
-inline constexpr int kNativeAbiVersion = 2;
+inline constexpr int kNativeAbiVersion = 3;
 
 /** Code-generation options. */
 struct EmitOptions {
@@ -66,6 +95,12 @@ struct EmitOptions {
     int printFirst = 32;       ///< Sink elements echoed by main().
     EmitMode mode = EmitMode::Standalone;
     SimdSpec simd;             ///< Vector lowering (see simd_spec.h).
+    /** PartitionedLibrary only: number of cores (>= 1). */
+    int partitionCores = 0;
+    /** PartitionedLibrary only: core of each actor id (the greedy
+     *  partition's coreOf; size must equal the actor count). Kept as
+     *  plain values so codegen does not depend on multicore/. */
+    std::vector<int> partitionCoreOf;
 };
 
 /** Emit the full translation unit. */

@@ -12,7 +12,8 @@
  * the SIMD lowering spec, and per-actor interpreting-engine
  * overrides, passed at construction or through one `configure()`
  * call that panics once `runInit()` has frozen the execution plan.
- * The old surfaces remain as thin deprecated shims for one PR.
+ * The old surfaces lived on as deprecated shims for one PR and are
+ * now gone.
  */
 #pragma once
 
@@ -29,11 +30,14 @@ enum class ExecEngine {
     Tree,      ///< Tree-walking Executor (reference oracle).
     Bytecode,  ///< Compiled register bytecode on the VM (default).
     /**
-     * Emitted C++ compiled by the host compiler and dlopen()ed
-     * (native/native_engine.h). Whole-program only: the shared object
-     * runs the entire schedule, so Native cannot be a per-actor
-     * override, modeled cycles are not accumulated, and wall-clock /
-     * compile-time numbers land in statsToJson()["native"] instead.
+     * Emitted C++ compiled by the host compiler and dlopen()ed.
+     * Serial runners use the whole-program Library shape
+     * (native/native_engine.h); ParallelRunner uses the per-core
+     * PartitionedLibrary shape (native/native_partitioned.h). Either
+     * way the shared object runs whole schedules, so Native cannot be
+     * a per-actor override, modeled cycles are not accumulated, and
+     * wall-clock / compile-time numbers land in
+     * statsToJson()["native"] instead.
      */
     Native,
 };

@@ -18,6 +18,24 @@
 
 namespace macross::interp {
 
+namespace {
+
+/**
+ * Under ExecEngine::Native the member Runner must never build the
+ * whole-program shared object (the partitioned one replaces it), so
+ * it is constructed with the engine downgraded; config_ keeps Native
+ * as the source of truth (and the serial fallback uses it verbatim).
+ */
+EngineConfig
+interpEngineConfig(EngineConfig c)
+{
+    if (c.engine == ExecEngine::Native)
+        c.engine = ExecEngine::Bytecode;
+    return c;
+}
+
+} // namespace
+
 ParallelRunner::ParallelRunner(const graph::FlatGraph& g,
                                const schedule::Schedule& s,
                                const multicore::Partition& part,
@@ -25,11 +43,9 @@ ParallelRunner::ParallelRunner(const graph::FlatGraph& g,
                                EngineConfig config, Options opt)
     : graph_(&g), sched_(&s), part_(part), cost_(cost),
       config_(std::move(config)), opt_(opt),
-      runner_(g, s, cost, config_)
+      runner_(g, s, cost, interpEngineConfig(config_))
 {
-    fatalIf(config_.engine == ExecEngine::Native,
-            "the native engine is whole-program and serial; it cannot "
-            "run on a multicore partition (use tree or bytecode)");
+    const bool native = config_.engine == ExecEngine::Native;
     fatalIf(part_.cores < 1, "parallel run over zero cores");
     fatalIf(part_.coreOf.size() != g.actors.size(),
             "partition does not cover the graph");
@@ -67,8 +83,24 @@ ParallelRunner::ParallelRunner(const graph::FlatGraph& g,
                  slack});
         rings_[i] =
             std::make_unique<SpscRing>(slots, headBlock, tailBlock);
-        runner_.mutableTape(static_cast<int>(i))
-            .setRing(rings_[i].get());
+        if (!native)
+            runner_.mutableTape(static_cast<int>(i))
+                .setRing(rings_[i].get());
+    }
+
+    // Native: compile the partitioned library once and bind both
+    // emitted endpoints of every crossing tape to its ring. The
+    // interpreting tapes stay ring-free — nothing fires through
+    // runner_ in this mode.
+    if (native) {
+        native_ = std::make_unique<native::NativePartitionedProgram>(
+            g, s, part_.cores, part_.coreOf, config_.native,
+            config_.simd);
+        for (std::size_t i = 0; i < rings_.size(); ++i) {
+            if (rings_[i])
+                native_->bindRing(static_cast<int>(i),
+                                  rings_[i].get());
+        }
     }
 
     // One worker per core: its slice is the schedule restricted to the
@@ -82,10 +114,10 @@ ParallelRunner::ParallelRunner(const graph::FlatGraph& g,
             if (part_.coreOf[id] == c && s.reps[id] > 0)
                 w->slice.push_back(SliceEntry{id, s.reps[id]});
         }
-        if (cost_)
+        if (cost_ && !native)
             w->sink = std::make_unique<machine::CostSink>(
                 cost_->machine());
-        for (std::size_t i = 0; i < g.tapes.size(); ++i) {
+        for (std::size_t i = 0; !native && i < g.tapes.size(); ++i) {
             if (!rings_[i])
                 continue;
             Tape& t = runner_.mutableTape(static_cast<int>(i));
@@ -100,19 +132,6 @@ ParallelRunner::ParallelRunner(const graph::FlatGraph& g,
         workers_[c]->thread =
             std::thread(&ParallelRunner::workerLoop, this, c);
 }
-
-// One-PR deprecated shim; the attribute fires at call sites, not here.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-ParallelRunner::ParallelRunner(const graph::FlatGraph& g,
-                               const schedule::Schedule& s,
-                               const multicore::Partition& part,
-                               machine::CostSink* cost,
-                               ExecEngine engine, Options opt)
-    : ParallelRunner(g, s, part, cost, EngineConfig(engine), opt)
-{
-}
-#pragma GCC diagnostic pop
 
 ParallelRunner::~ParallelRunner()
 {
@@ -130,7 +149,7 @@ ParallelRunner::~ParallelRunner()
 void
 ParallelRunner::setActorConfig(int actor_id, ActorExecConfig cfg)
 {
-    panicIf(runner_.initDone(),
+    panicIf(initDone(),
             "setActorConfig after runInit on a parallel runner");
     // Keep a copy: the serial fallback must run the same per-actor
     // configuration to reproduce the exact output and cycles.
@@ -146,7 +165,15 @@ ParallelRunner::runInit()
     // concurrency, and the batch barrier's mutex orders these writes
     // before any worker's first firing. runInit also precompiles every
     // bytecode actor, so ensureCompiled is a read-only lookup by the
-    // time workers share it.
+    // time workers share it. Native init runs the same schedule-order
+    // warm-up through the emitted partitions (block-floored ring
+    // publication makes whole blocks visible, which is all the SDF
+    // init schedule ever consumes, so one thread suffices).
+    if (native_) {
+        native_->initAll();
+        nativeCaptured_ = native_->captured();
+        return;
+    }
     runner_.runInit();
 }
 
@@ -203,6 +230,12 @@ ParallelRunner::runBatch(int worker_id, Worker& w, int iterations)
 {
     std::int64_t wid = worker_id;
     support::FaultInjector::fire("parallel.worker.batch", &wid);
+    if (native_) {
+        // The emitted run_steady ends with an exact ring flush, so
+        // there is nothing to flush host-side at batch end.
+        native_->runSteadyPartition(worker_id, iterations);
+        return;
+    }
     for (int it = 0; it < iterations; ++it) {
         for (const SliceEntry& e : w.slice) {
             for (std::int64_t k = 0; k < e.reps; ++k)
@@ -336,11 +369,15 @@ ParallelRunner::degradeToSerial(ParallelFault fault,
     // shutdown guarantees nobody is still appending.
     std::vector<Value> prefix;
     if (fault.cleanShutdown)
-        prefix = runner_.captured();
+        prefix = native_ ? native_->captured() : runner_.captured();
 
     // 4. Fresh serial runner over the same graph/schedule/configs;
     // replay the entire steady history from scratch. Its cost sink
     // starts empty so the merged totals are the exact serial ones.
+    // config_ is passed verbatim, so a native parallel run falls back
+    // to the whole-program serial native engine (Library shape — a
+    // separate cached .so; native_ itself is never unloaded here,
+    // because a detached worker could still be inside its code).
     if (cost_)
         fallbackCost_ =
             std::make_unique<machine::CostSink>(cost_->machine());
@@ -399,7 +436,7 @@ ParallelRunner::runSteady(int iterations)
         }
         return;
     }
-    if (!runner_.initDone())
+    if (!initDone())
         runInit();
     const auto t0 = std::chrono::steady_clock::now();
     int remaining = iterations;
@@ -427,7 +464,12 @@ ParallelRunner::runSteady(int iterations)
                              .count();
     steadyIterations_ += iterations;
 
-    if (cost_) {
+    // Batch barrier: workers are parked, so the emitted sink buffer is
+    // quiescent and can be snapshotted for captured().
+    if (native_)
+        nativeCaptured_ = native_->captured();
+
+    if (cost_ && !native_) {
         // Per-thread sinks are cumulative, so the merge rebuilds the
         // shared sink from scratch each time — per-actor cells are the
         // bit-exact serial sequences, aggregates recomputed in
@@ -455,7 +497,7 @@ ParallelRunner::runSteady(int iterations)
 void
 ParallelRunner::runUntilCaptured(std::int64_t n, int max_iters)
 {
-    if (!runner_.initDone())
+    if (!initDone())
         runInit();
     int iters = 0;
     while (static_cast<std::int64_t>(captured().size()) < n) {
@@ -483,6 +525,28 @@ ParallelRunner::statsToJson() const
     // per-actor stats (the parallel ones stop at the faulted batch).
     json::Value root =
         fallback_ ? fallback_->statsToJson() : runner_.statsToJson();
+
+    // Under native the member runner_ is a downgraded bystander: the
+    // engine and build stats come from the partitioned program.
+    if (native_ && !fallback_) {
+        root["engine"] = toString(ExecEngine::Native);
+        const native::NativeStats& st = native_->stats();
+        json::Value nat = json::Value::object();
+        nat["compiler"] = st.compiler;
+        nat["flags"] = st.flags;
+        nat["soPath"] = st.soPath;
+        nat["sourceHash"] = static_cast<std::int64_t>(st.sourceHash);
+        nat["cacheHit"] = st.cacheHit;
+        nat["compileMillis"] = st.compileMillis;
+        nat["abiVersion"] = st.abiVersion;
+        nat["exact"] = st.exact;
+        json::Value simd = json::Value::object();
+        simd["laneWidth"] = st.simdLanes;
+        simd["isa"] = st.simdIsa;
+        simd["fallback"] = st.simdFallback;
+        nat["simd"] = std::move(simd);
+        root["native"] = std::move(nat);
+    }
 
     json::Value par = json::Value::object();
     par["threads"] = part_.cores;
@@ -529,6 +593,18 @@ ParallelRunner::statsToJson() const
         rings.push(std::move(r));
     }
     par["rings"] = std::move(rings);
+
+    // run.stats.parallel.native: what the compiled partitions did
+    // (per-partition accumulated wall time inside run_steady).
+    if (native_) {
+        json::Value nat = json::Value::object();
+        nat["partitions"] = native_->partitions();
+        json::Value wall = json::Value::array();
+        for (int c = 0; c < part_.cores; ++c)
+            wall.push(native_->steadyWallMicros(c));
+        nat["partitionWallMicros"] = std::move(wall);
+        par["native"] = std::move(nat);
+    }
 
     par["steadyIterations"] = steadyIterations_;
     par["steadyWallMicros"] = steadyWallMicros_;

@@ -14,6 +14,17 @@
  * consumers wait, and on an acyclic graph that makes deadlock
  * impossible by topological induction.
  *
+ * Engines: the interpreting engines (tree, bytecode) fire through a
+ * shared Runner with per-worker VM state. ExecEngine::Native instead
+ * compiles ONE partitioned shared object (codegen
+ * EmitMode::PartitionedLibrary via native::NativePartitionedProgram):
+ * each worker drives its core's emitted sub-program, and the same
+ * SPSC rings back the cross-core tapes — emitted code follows the
+ * interpreter's ring protocol instruction for instruction, so the
+ * watchdog, fault injection, and serial-fallback machinery below work
+ * unchanged (the fallback replays through the whole-program serial
+ * native engine and is verified bitwise against the parallel prefix).
+ *
  * Determinism: output bytes and modeled per-actor cycles are
  * bit-identical to the single-threaded Runner at any thread count.
  * Each actor fires on exactly one thread, so its tape traffic and its
@@ -39,6 +50,7 @@
 #include "interp/runner.h"
 #include "interp/spsc_queue.h"
 #include "multicore/partition.h"
+#include "native/native_partitioned.h"
 
 namespace macross::interp {
 
@@ -111,25 +123,19 @@ class ParallelRunner {
      * @param part   Core assignment from partitionGreedy (cores >= 1).
      * @param cost   Cycle sink, or null to run without costing. Merged
      *               deterministically at the end of every runSteady.
-     * @param config Engine configuration (ExecEngine::Native is
-     *               whole-program and serial, so it is rejected here).
+     *               Native runs measure wall clock instead of modeling
+     *               cycles, so the sink is left untouched there.
+     * @param config Engine configuration. ExecEngine::Native compiles
+     *               one partitioned shared object
+     *               (native::NativePartitionedProgram) whose per-core
+     *               sub-programs the workers drive over the same SPSC
+     *               rings the interpreting engines use.
      */
     ParallelRunner(const graph::FlatGraph& g,
                    const schedule::Schedule& s,
                    const multicore::Partition& part,
                    machine::CostSink* cost = nullptr,
                    EngineConfig config = {},
-                   Options opt = {});
-
-    /**
-     * @deprecated One-PR shim for the old engine-kind constructor;
-     * use the EngineConfig constructor.
-     */
-    [[deprecated("pass an EngineConfig instead")]]
-    ParallelRunner(const graph::FlatGraph& g,
-                   const schedule::Schedule& s,
-                   const multicore::Partition& part,
-                   machine::CostSink* cost, ExecEngine engine,
                    Options opt = {});
     ~ParallelRunner();
 
@@ -160,7 +166,17 @@ class ParallelRunner {
 
     const std::vector<Value>& captured() const
     {
-        return fallback_ ? fallback_->captured() : runner_.captured();
+        if (fallback_)
+            return fallback_->captured();
+        return native_ ? nativeCaptured_ : runner_.captured();
+    }
+
+    /** Native build/run stats (null unless running Native). After
+     *  degradation this is the partitioned build; the serial replay's
+     *  stats live in statsToJson()["native"] via the fallback. */
+    const native::NativeStats* nativeStats() const
+    {
+        return native_ ? &native_->stats() : nullptr;
     }
 
     /** Faults detected so far (empty on a healthy run). */
@@ -225,6 +241,10 @@ class ParallelRunner {
 
     void workerLoop(int worker_id);
     void runBatch(int worker_id, Worker& w, int iterations);
+    bool initDone() const
+    {
+        return native_ ? native_->initDone() : runner_.initDone();
+    }
     /** Returns the detected fault, or nullopt when the batch ran. */
     std::optional<ParallelFault> dispatchBatch(int iterations);
     /**
@@ -245,11 +265,21 @@ class ParallelRunner {
     Options opt_;
     support::Trace* trace_ = nullptr;
 
+    /** Interpreting execution state. Under ExecEngine::Native the
+     *  runner is constructed with the engine downgraded to Bytecode
+     *  and never fired — it only provides the shared stats/config
+     *  plumbing — while native_ owns the compiled partitions. */
     Runner runner_;
     std::vector<std::unique_ptr<SpscRing>> rings_;  ///< By tape id
                                                     ///< (null when
                                                     ///< intra-core).
     std::vector<std::unique_ptr<Worker>> workers_;
+
+    /** Compiled per-core sub-programs (ExecEngine::Native only). */
+    std::unique_ptr<native::NativePartitionedProgram> native_;
+    /** Sink snapshot from native_, refreshed at batch barriers so
+     *  captured() can hand out a stable reference. */
+    std::vector<Value> nativeCaptured_;
 
     /** Replayed onto the fallback runner (setActorConfig history). */
     std::vector<std::pair<int, ActorExecConfig>> actorConfigs_;

@@ -71,36 +71,6 @@ Runner::Runner(const graph::FlatGraph& g, const schedule::Schedule& s,
         t->setCaptureBuffer(&captured_);
 }
 
-// Definitions of the one-PR deprecated shims (and the legacy
-// constructor they share a fate with); the attribute fires at call
-// sites, not here.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-Runner::Runner(const graph::FlatGraph& g, const schedule::Schedule& s,
-               machine::CostSink* cost, ExecEngine engine)
-    : Runner(g, s, cost, EngineConfig(engine))
-{
-}
-
-void
-Runner::setEngine(ExecEngine e)
-{
-    panicIf(initDone_,
-            "Runner::setEngine called after runInit(): the execution "
-            "plan is frozen");
-    config_.engine = e;
-}
-
-void
-Runner::setNativeOptions(native::NativeOptions opts)
-{
-    panicIf(initDone_,
-            "Runner::setNativeOptions called after runInit(): the "
-            "native program is already built");
-    config_.native = std::move(opts);
-}
-#pragma GCC diagnostic pop
-
 void
 Runner::configure(EngineConfig config)
 {
@@ -138,7 +108,7 @@ Runner::engineFor(int actor_id) const
     auto it = config_.actorEngines.find(actor_id);
     if (it != config_.actorEngines.end())
         return it->second;
-    return configs_[actor_id].engine.value_or(config_.engine);
+    return config_.engine;
 }
 
 double

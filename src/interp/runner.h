@@ -56,12 +56,6 @@ struct ActorExecConfig {
     bool outerVectorized = false;
     int outerWidth = 4;
     double outerExtraPerGroup = 0.0;
-    /**
-     * Per-actor engine override; unset uses the runner's engine.
-     * @deprecated Use EngineConfig::actorEngines instead; removed
-     * after one PR.
-     */
-    std::optional<ExecEngine> engine;
 };
 
 /** Executes a scheduled stream graph. */
@@ -79,14 +73,6 @@ class Runner {
            EngineConfig config = {});
 
     /**
-     * @deprecated One-PR shim for the old engine-kind constructor;
-     * use the EngineConfig constructor.
-     */
-    [[deprecated("pass an EngineConfig instead")]]
-    Runner(const graph::FlatGraph& g, const schedule::Schedule& s,
-           machine::CostSink* cost, ExecEngine engine);
-
-    /**
      * Replace the entire engine configuration. Panics once runInit()
      * has run: by then bytecode actors are compiled and the native
      * program (if any) is built, so a new config could not take
@@ -100,19 +86,7 @@ class Runner {
     /** Install an execution config for one actor. */
     void setActorConfig(int actor_id, ActorExecConfig cfg);
 
-    /**
-     * @deprecated One-PR shim; use configure(EngineConfig).
-     */
-    [[deprecated("use configure(EngineConfig)")]]
-    void setEngine(ExecEngine e);
-
     ExecEngine engine() const { return config_.engine; }
-
-    /**
-     * @deprecated One-PR shim; use configure(EngineConfig).
-     */
-    [[deprecated("use configure(EngineConfig)")]]
-    void setNativeOptions(native::NativeOptions opts);
 
     /** Native build/run stats (null unless running Native). */
     const native::NativeStats* nativeStats() const

@@ -209,6 +209,26 @@ class SpscRing {
      */
     void abortWaits() { aborted_.store(true, std::memory_order_release); }
 
+    /** @name Raw binding surface (parallel native runtime).
+     *
+     * Emitted partitioned code operates this ring directly through the
+     * ABI v3 `MacrossRing` binding struct: raw pointers at the slot
+     * array, the two index atomics, and the aborted flag. The emitted
+     * side keeps its own cached peer indexes and last-published values
+     * per endpoint (this object's cachedHead_/cachedTail_/lastPub
+     * fields stay untouched for a bound endpoint) and follows exactly
+     * the publication protocol above. The static_asserts below pin the
+     * layout assumptions the emitted __atomic builtins rely on.
+     *  @{ */
+    std::uint32_t* slotsData() { return buf_.data(); }
+    std::int64_t mask() const { return mask_; }
+    std::int64_t headBlock() const { return headBlock_; }
+    std::int64_t tailBlock() const { return tailBlock_; }
+    std::atomic<std::int64_t>* tailAtomic() { return &tail_; }
+    std::atomic<std::int64_t>* headAtomic() { return &head_; }
+    std::atomic<bool>* abortedFlag() { return &aborted_; }
+    /** @} */
+
     /** Last tail the producer published (diagnostics; racy by nature). */
     std::int64_t publishedTail() const
     {
@@ -318,5 +338,15 @@ class SpscRing {
     /** Set once at shutdown; read on the cold wait path only. */
     std::atomic<bool> aborted_{false};
 };
+
+// The ABI v3 ring binding hands emitted code raw pointers into the
+// atomics above and accesses them with __atomic builtins on plain
+// 64-bit (index) / 1-byte (aborted) storage; these pin the layout and
+// lock-freedom that makes that sound.
+static_assert(sizeof(std::atomic<std::int64_t>) ==
+              sizeof(std::int64_t));
+static_assert(std::atomic<std::int64_t>::is_always_lock_free);
+static_assert(sizeof(std::atomic<bool>) == 1);
+static_assert(std::atomic<bool>::is_always_lock_free);
 
 } // namespace macross::interp

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Shared native-engine compile/cache flow (see native_cache.h).
+ */
+#include "native/native_cache.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "codegen/emit_cpp.h"
+#include "support/diagnostics.h"
+
+namespace macross::native::detail {
+
+namespace fs = std::filesystem;
+
+std::string
+shellQuote(const std::string& s)
+{
+    std::string out = "'";
+    for (char c : s) {
+        if (c == '\'')
+            out += "'\\''";
+        else
+            out += c;
+    }
+    out += "'";
+    return out;
+}
+
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::string
+uniqueSuffix()
+{
+    static std::atomic<unsigned> counter{0};
+    return "." + std::to_string(static_cast<long>(::getpid())) + "." +
+           std::to_string(counter.fetch_add(1));
+}
+
+std::string
+readFileOr(const std::string& path, const std::string& fallback)
+{
+    std::ifstream in(path);
+    if (!in)
+        return fallback;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+void
+writeFileAtomic(const std::string& path, const std::string& data)
+{
+    const std::string tmp = path + uniqueSuffix();
+    {
+        std::ofstream out(tmp, std::ios::binary);
+        fatalIf(!out, "native engine: cannot write ", tmp);
+        out << data;
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    fatalIf(static_cast<bool>(ec), "native engine: cannot rename ",
+            tmp, " to ", path, ": ", ec.message());
+}
+
+std::string
+extraCompileFlags()
+{
+    const char* env = std::getenv("MACROSS_NATIVE_EXTRA_FLAGS");
+    return env && *env ? env : "";
+}
+
+void
+compileOrLoadCached(
+    const NativeOptions& opts, const codegen::SimdSpec& spec,
+    const std::string& source, NativeStats* stats,
+    const std::function<BindStatus(const std::string&, int*)>&
+        try_bind)
+{
+    stats->compiler = detectHostCompiler(opts.compiler);
+    stats->flags = opts.flags;
+    if (spec.isa != "auto")
+        stats->flags += " -march=" + spec.isa;
+    const std::string extra = extraCompileFlags();
+    if (!extra.empty())
+        stats->flags += " " + extra;
+    stats->sourceHash =
+        fnv1a64(stats->compiler + '\n' + stats->flags + '\n' +
+                codegen::toString(spec) + '\n' + source);
+
+    const std::string dir = resolveCacheDir(opts);
+    const std::string base =
+        dir + "/macross_" + hex64(stats->sourceHash);
+    const std::string soPath = base + ".so";
+    stats->soPath = soPath;
+
+    // Cache hit: an existing object that loads and passes the ABI
+    // check. A missing/truncated/symbol-incomplete entry falls
+    // through to a fresh compile; a loadable entry with a foreign ABI
+    // version is fatal.
+    std::error_code ec;
+    if (fs::exists(soPath, ec)) {
+        int foundAbi = 0;
+        switch (try_bind(soPath, &foundAbi)) {
+          case BindStatus::Ok:
+            stats->cacheHit = true;
+            return;
+          case BindStatus::AbiMismatch:
+            fatal("native engine: cached object ", soPath,
+                  " reports ABI version ", foundAbi,
+                  " but this engine requires version ",
+                  codegen::kNativeAbiVersion,
+                  "; refusing to run it (remove the cache entry or "
+                  "rebuild with a matching toolchain)");
+          case BindStatus::LoadFailed:
+            break;
+        }
+    }
+    fs::remove(soPath, ec);
+
+    const std::string cppPath = base + ".cpp";
+    writeFileAtomic(cppPath, source);
+
+    const std::string soTmp = soPath + uniqueSuffix();
+    const std::string logPath = soPath + uniqueSuffix() + ".log";
+    const std::string cmd = stats->compiler + " -std=c++17 " +
+                            stats->flags + " -shared -fPIC -o " +
+                            shellQuote(soTmp) + " " +
+                            shellQuote(cppPath) + " 2> " +
+                            shellQuote(logPath);
+    auto t0 = std::chrono::steady_clock::now();
+    int rc = std::system(cmd.c_str());
+    stats->compileMillis = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+    if (rc != 0) {
+        std::string log =
+            readFileOr(logPath, "(no compiler output captured)");
+        fs::remove(soTmp, ec);
+        fs::remove(logPath, ec);
+        fatal("native engine: host compile failed (", cmd, "):\n",
+              log);
+    }
+    fs::remove(logPath, ec);
+    fs::rename(soTmp, soPath, ec);
+    fatalIf(static_cast<bool>(ec),
+            "native engine: cannot install compiled object ", soPath,
+            ": ", ec.message());
+
+    int freshAbi = 0;
+    const BindStatus fresh = try_bind(soPath, &freshAbi);
+    fatalIf(fresh == BindStatus::AbiMismatch,
+            "native engine: freshly built object ", soPath,
+            " reports ABI version ", freshAbi,
+            " but this engine requires version ",
+            codegen::kNativeAbiVersion,
+            " (emitter/engine version skew)");
+    fatalIf(fresh != BindStatus::Ok,
+            "native engine: freshly built object failed to load: ",
+            soPath);
+    stats->cacheHit = false;
+}
+
+} // namespace macross::native::detail

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Internals shared by the native-engine program loaders: the
+ * compile-or-cache-load flow (content-hashed .so cache, atomic
+ * install, foreign-ABI refusal) plus the small file/shell helpers it
+ * is built from.
+ *
+ * NativeProgram (whole-program Library shape) and
+ * NativePartitionedProgram (per-core PartitionedLibrary shape) differ
+ * only in the symbol set they bind — both shapes share one cache
+ * directory, one hashing scheme, and one install discipline, so the
+ * flow lives here once and takes the shape-specific binding as a
+ * callback.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "codegen/simd_spec.h"
+#include "native/native_engine.h"
+
+namespace macross::native::detail {
+
+/** Single-quote @p s for POSIX sh (paths may contain spaces). */
+std::string shellQuote(const std::string& s);
+
+std::string hex64(std::uint64_t v);
+
+/** Unique suffix for temp files: pid + per-process counter. */
+std::string uniqueSuffix();
+
+std::string readFileOr(const std::string& path,
+                       const std::string& fallback);
+
+/** Write atomically: unique temp in the same directory, then rename. */
+void writeFileAtomic(const std::string& path, const std::string& data);
+
+/**
+ * Extra host-compiler flags from $MACROSS_NATIVE_EXTRA_FLAGS (empty
+ * when unset). Appended after NativeOptions::flags and any -march
+ * derived from the SimdSpec, and included in the cache key — this is
+ * how CI compiles emitted code with -fsanitize=thread for the TSan
+ * job without a special engine mode.
+ */
+std::string extraCompileFlags();
+
+/** What a shape-specific bind attempt reports back. */
+enum class BindStatus {
+    Ok,           ///< Loaded, ABI version matched, all symbols bound.
+    LoadFailed,   ///< Missing/truncated/symbol-incomplete — recompile.
+    AbiMismatch,  ///< Loads but speaks a foreign ABI version — fatal.
+};
+
+/**
+ * The shared compile-or-cache-load flow. Resolves the compiler and
+ * final flag string, hashes (compiler, flags, spec, source) into the
+ * cache key, and then: try to bind an existing cache entry; on
+ * LoadFailed remove it, write the source, run the host compiler
+ * through a unique temp + atomic rename, and bind the fresh object.
+ * A loadable object reporting a foreign ABI version is fatal at
+ * either point (the cache key covers the source, so skew means
+ * toolchain or cache tampering, not staleness).
+ *
+ * @p try_bind receives the .so path and an out-param for the ABI
+ * version the object reports; it must fully unbind on failure.
+ * Fills stats: compiler, flags, sourceHash, soPath, cacheHit,
+ * compileMillis.
+ */
+void compileOrLoadCached(
+    const NativeOptions& opts, const codegen::SimdSpec& spec,
+    const std::string& source, NativeStats* stats,
+    const std::function<BindStatus(const std::string&, int*)>&
+        try_bind);
+
+} // namespace macross::native::detail

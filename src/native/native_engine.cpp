@@ -15,6 +15,7 @@
 #include <sstream>
 
 #include "codegen/emit_cpp.h"
+#include "native/native_cache.h"
 #include "native/simd_probe.h"
 #include "support/diagnostics.h"
 
@@ -24,74 +25,14 @@ namespace fs = std::filesystem;
 
 namespace {
 
-/** Single-quote @p s for POSIX sh (paths may contain spaces). */
-std::string
-shellQuote(const std::string& s)
-{
-    std::string out = "'";
-    for (char c : s) {
-        if (c == '\'')
-            out += "'\\''";
-        else
-            out += c;
-    }
-    out += "'";
-    return out;
-}
-
 bool
 commandExists(const std::string& cmd)
 {
     if (cmd.empty())
         return false;
     std::string probe =
-        "command -v " + shellQuote(cmd) + " > /dev/null 2>&1";
+        "command -v " + detail::shellQuote(cmd) + " > /dev/null 2>&1";
     return std::system(probe.c_str()) == 0;
-}
-
-std::string
-hex64(std::uint64_t v)
-{
-    char buf[17];
-    std::snprintf(buf, sizeof buf, "%016llx",
-                  static_cast<unsigned long long>(v));
-    return buf;
-}
-
-/** Unique suffix for temp files: pid + per-process counter. */
-std::string
-uniqueSuffix()
-{
-    static std::atomic<unsigned> counter{0};
-    return "." + std::to_string(static_cast<long>(::getpid())) + "." +
-           std::to_string(counter.fetch_add(1));
-}
-
-std::string
-readFileOr(const std::string& path, const std::string& fallback)
-{
-    std::ifstream in(path);
-    if (!in)
-        return fallback;
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    return ss.str();
-}
-
-/** Write atomically: unique temp in the same directory, then rename. */
-void
-writeFileAtomic(const std::string& path, const std::string& data)
-{
-    const std::string tmp = path + uniqueSuffix();
-    {
-        std::ofstream out(tmp, std::ios::binary);
-        fatalIf(!out, "native engine: cannot write ", tmp);
-        out << data;
-    }
-    std::error_code ec;
-    fs::rename(tmp, path, ec);
-    fatalIf(static_cast<bool>(ec), "native engine: cannot rename ",
-            tmp, " to ", path, ": ", ec.message());
 }
 
 } // namespace
@@ -284,86 +225,19 @@ void
 NativeProgram::compileAndLoad(const NativeOptions& opts,
                               const std::string& source)
 {
-    stats_.compiler = detectHostCompiler(opts.compiler);
-    stats_.flags = opts.flags;
-    if (spec_.isa != "auto")
-        stats_.flags += " -march=" + spec_.isa;
-    stats_.sourceHash =
-        fnv1a64(stats_.compiler + '\n' + stats_.flags + '\n' +
-                codegen::toString(spec_) + '\n' + source);
-
-    const std::string dir = resolveCacheDir(opts);
-    const std::string base =
-        dir + "/macross_" + hex64(stats_.sourceHash);
-    const std::string soPath = base + ".so";
-    stats_.soPath = soPath;
-
-    // Cache hit: an existing object that loads and passes the ABI
-    // check. A missing/truncated/symbol-incomplete entry falls
-    // through to a fresh compile; a loadable entry with a foreign ABI
-    // version is fatal (see tryBind).
-    std::error_code ec;
-    if (fs::exists(soPath, ec)) {
-        int foundAbi = 0;
-        switch (tryBind(soPath, &foundAbi)) {
-          case BindStatus::Ok:
-            stats_.cacheHit = true;
-            return;
-          case BindStatus::AbiMismatch:
-            fatal("native engine: cached object ", soPath,
-                  " reports ABI version ", foundAbi,
-                  " but this engine requires version ",
-                  codegen::kNativeAbiVersion,
-                  "; refusing to run it (remove the cache entry or "
-                  "rebuild with a matching toolchain)");
-          case BindStatus::LoadFailed:
-            break;
-        }
-    }
-    fs::remove(soPath, ec);
-
-    const std::string cppPath = base + ".cpp";
-    writeFileAtomic(cppPath, source);
-
-    const std::string soTmp = soPath + uniqueSuffix();
-    const std::string logPath = soPath + uniqueSuffix() + ".log";
-    const std::string cmd = stats_.compiler + " -std=c++17 " +
-                            stats_.flags + " -shared -fPIC -o " +
-                            shellQuote(soTmp) + " " +
-                            shellQuote(cppPath) + " 2> " +
-                            shellQuote(logPath);
-    auto t0 = std::chrono::steady_clock::now();
-    int rc = std::system(cmd.c_str());
-    stats_.compileMillis = std::chrono::duration<double, std::milli>(
-                               std::chrono::steady_clock::now() - t0)
-                               .count();
-    if (rc != 0) {
-        std::string log =
-            readFileOr(logPath, "(no compiler output captured)");
-        fs::remove(soTmp, ec);
-        fs::remove(logPath, ec);
-        fatal("native engine: host compile failed (", cmd, "):\n",
-              log);
-    }
-    fs::remove(logPath, ec);
-    fs::rename(soTmp, soPath, ec);
-    fatalIf(static_cast<bool>(ec),
-            "native engine: cannot install compiled object ", soPath,
-            ": ", ec.message());
-
-    int freshAbi = 0;
-    const BindStatus fresh = tryBind(soPath, &freshAbi);
-    fatalIf(fresh == BindStatus::AbiMismatch,
-            "native engine: freshly built object ", soPath,
-            " reports ABI version ", freshAbi,
-            " but this engine requires version ",
-            codegen::kNativeAbiVersion,
-            " (emitter/engine version skew)");
-    fatalIf(fresh != BindStatus::Ok,
-            "native engine: freshly built object failed to load: ",
-            soPath, " (", ::dlerror() ? ::dlerror() : "unknown error",
-            ")");
-    stats_.cacheHit = false;
+    detail::compileOrLoadCached(
+        opts, spec_, source, &stats_,
+        [this](const std::string& so, int* abi) {
+            switch (tryBind(so, abi)) {
+              case BindStatus::Ok:
+                return detail::BindStatus::Ok;
+              case BindStatus::AbiMismatch:
+                return detail::BindStatus::AbiMismatch;
+              case BindStatus::LoadFailed:
+                break;
+            }
+            return detail::BindStatus::LoadFailed;
+        });
 }
 
 void

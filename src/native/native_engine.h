@@ -11,9 +11,10 @@
  * the spec's true-SIMD vector layer, invokes the host C++ compiler
  * (`-O3 -march=native` by default; SimdSpec.isa != "auto" appends an
  * explicit -march), dlopen()s the resulting shared object, and drives
- * the steady state natively through a stable C ABI (v2):
+ * the steady state natively through a stable C ABI (v3, Library
+ * shape; the partitioned shape lives in native_partitioned.h):
  *
- *     int          macross_abi_version();            // == 2
+ *     int          macross_abi_version();            // == 3
  *     int          macross_simd_lanes();             // emitted width
  *     const char*  macross_simd_isa();               // ISA selector
  *     int          macross_exact();                  // 1 = bit-exact

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Partitioned native program implementation.
+ */
+#include "native/native_partitioned.h"
+
+#include <dlfcn.h>
+
+#include <chrono>
+#include <cstdint>
+
+#include "codegen/emit_cpp.h"
+#include "native/native_cache.h"
+#include "native/simd_probe.h"
+#include "support/diagnostics.h"
+
+namespace macross::native {
+
+namespace {
+
+/**
+ * The fail() callback emitted wait loops call when a ring wait is
+ * aborted (watchdog shutdown) or times out. ctx carries the tape id.
+ * PanicError unwinds through the emitted frames into the worker's
+ * batch loop, which parks the worker — the same path an interp
+ * worker takes out of SpscRing::waitSlow.
+ */
+[[noreturn]] void
+ringFail(void* ctx, const char* msg)
+{
+    panic("native partition ring (tape ",
+          static_cast<long long>(reinterpret_cast<std::intptr_t>(ctx)),
+          "): ", msg);
+}
+
+} // namespace
+
+NativePartitionedProgram::NativePartitionedProgram(
+    const graph::FlatGraph& g, const schedule::Schedule& s, int cores,
+    const std::vector<int>& core_of, const NativeOptions& opts,
+    const codegen::SimdSpec& spec)
+    : cores_(cores)
+{
+    fatalIf(cores_ < 1, "partitioned native: cores must be >= 1");
+    for (const auto& a : g.actors) {
+        if (a.isFilter() && a.outputs.empty() && !a.inputs.empty()) {
+            hasSink_ = true;
+            sinkElem_ = g.tape(a.inputs[0]).elem;
+        }
+    }
+
+    // Same probe-based refuse-and-fallback as the serial engine.
+    codegen::validateSimdSpec(spec);
+    spec_ = spec;
+    const int hostMax = opts.maxLaneWidthOverride > 0
+                            ? opts.maxLaneWidthOverride
+                            : probeMaxLaneWidth();
+    if (spec_.laneWidth > hostMax) {
+        spec_.laneWidth = 1;
+        stats_.simdFallback = true;
+    }
+    stats_.simdLanes = spec_.laneWidth;
+    stats_.simdIsa = spec_.isa;
+    stats_.exact = !spec_.allowUlpDivergence;
+
+    codegen::EmitOptions eo;
+    eo.mode = codegen::EmitMode::PartitionedLibrary;
+    eo.simd = spec_;
+    eo.partitionCores = cores_;
+    eo.partitionCoreOf = core_of;
+    const std::string source = codegen::emitCpp(g, s, eo);
+
+    detail::compileOrLoadCached(
+        opts, spec_, source, &stats_,
+        [this](const std::string& so, int* abi) {
+            return tryBind(so, abi) ? detail::BindStatus::Ok
+                   : handle_        ? detail::BindStatus::AbiMismatch
+                                    : detail::BindStatus::LoadFailed;
+        });
+
+    fatalIf(numPartitions_() != cores_,
+            "partitioned native: object reports ", numPartitions_(),
+            " partitions, expected ", cores_);
+    parts_.resize(static_cast<std::size_t>(cores_), nullptr);
+    for (int k = 0; k < cores_; ++k) {
+        parts_[static_cast<std::size_t>(k)] = createPartition_(k);
+        fatalIf(!parts_[static_cast<std::size_t>(k)],
+                "partitioned native: create_partition(", k,
+                ") returned null");
+    }
+    wallMicros_.assign(static_cast<std::size_t>(cores_), 0.0);
+}
+
+NativePartitionedProgram::~NativePartitionedProgram()
+{
+    unload();
+}
+
+void
+NativePartitionedProgram::unload()
+{
+    if (destroyPartition_) {
+        for (void* p : parts_) {
+            if (p)
+                destroyPartition_(p);
+        }
+    }
+    parts_.clear();
+    if (handle_)
+        ::dlclose(handle_);
+    handle_ = nullptr;
+    numPartitions_ = nullptr;
+    createPartition_ = nullptr;
+    destroyPartition_ = nullptr;
+    ringBind_ = nullptr;
+    initAll_ = nullptr;
+    runSteadyPartition_ = nullptr;
+    flushPartition_ = nullptr;
+    sinkPartition_ = nullptr;
+    captureSize_ = nullptr;
+    captureData_ = nullptr;
+}
+
+/**
+ * Returns true on a complete ABI v3 partition bind. On failure the
+ * object is fully unloaded — except for the AbiMismatch case, where
+ * handle_ is left set purely as a signal to the caller's status
+ * mapping (which then unloads via the next tryBind or destruction).
+ */
+bool
+NativePartitionedProgram::tryBind(const std::string& so_path,
+                                  int* found_abi)
+{
+    unload();
+    if (found_abi)
+        *found_abi = 0;
+    handle_ = ::dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (!handle_)
+        return false;
+    auto sym = [&](const char* name) {
+        return ::dlsym(handle_, name);
+    };
+    auto* abi =
+        reinterpret_cast<int (*)()>(sym("macross_abi_version"));
+    if (!abi) {
+        unload();
+        return false;
+    }
+    const int version = abi();
+    if (found_abi)
+        *found_abi = version;
+    if (version != codegen::kNativeAbiVersion) {
+        // Leave handle_ set: the caller maps this to AbiMismatch.
+        return false;
+    }
+    auto* simdLanes =
+        reinterpret_cast<int (*)()>(sym("macross_simd_lanes"));
+    auto* simdIsa = reinterpret_cast<const char* (*)()>(
+        sym("macross_simd_isa"));
+    auto* exact = reinterpret_cast<int (*)()>(sym("macross_exact"));
+    numPartitions_ =
+        reinterpret_cast<int (*)()>(sym("macross_num_partitions"));
+    createPartition_ = reinterpret_cast<void* (*)(int)>(
+        sym("macross_create_partition"));
+    destroyPartition_ = reinterpret_cast<void (*)(void*)>(
+        sym("macross_destroy_partition"));
+    ringBind_ = reinterpret_cast<int (*)(void*, int, void*)>(
+        sym("macross_ring_bind"));
+    initAll_ = reinterpret_cast<void (*)(void**, int)>(
+        sym("macross_init_all"));
+    runSteadyPartition_ = reinterpret_cast<void (*)(void*, int)>(
+        sym("macross_run_steady_partition"));
+    flushPartition_ = reinterpret_cast<void (*)(void*)>(
+        sym("macross_flush_partition"));
+    sinkPartition_ =
+        reinterpret_cast<int (*)()>(sym("macross_sink_partition"));
+    captureSize_ = reinterpret_cast<unsigned long long (*)(void*)>(
+        sym("macross_capture_size"));
+    captureData_ = reinterpret_cast<const unsigned int* (*)(void*)>(
+        sym("macross_capture_data"));
+    if (!simdLanes || !simdIsa || !exact || !numPartitions_ ||
+        !createPartition_ || !destroyPartition_ || !ringBind_ ||
+        !initAll_ || !runSteadyPartition_ || !flushPartition_ ||
+        !sinkPartition_ || !captureSize_ || !captureData_) {
+        unload();
+        return false;
+    }
+    stats_.abiVersion = version;
+    stats_.simdLanes = simdLanes();
+    stats_.simdIsa = simdIsa();
+    stats_.exact = exact() != 0;
+    return true;
+}
+
+void
+NativePartitionedProgram::bindRing(int tape_id,
+                                   interp::SpscRing* ring)
+{
+    panicIf(initDone_,
+            "partitioned native: bindRing after initAll");
+    bindings_.push_back(RingBinding{
+        ring->slotsData(),
+        static_cast<long long>(ring->mask()),
+        // atomic<int64_t> is layout-transparent plain 64-bit storage
+        // (static_asserts in spsc_queue.h); emitted code accesses it
+        // with __atomic builtins at the same acquire/release orders
+        // the interpreter uses.
+        reinterpret_cast<long long*>(ring->tailAtomic()),
+        reinterpret_cast<long long*>(ring->headAtomic()),
+        static_cast<long long>(ring->headBlock()),
+        static_cast<long long>(ring->tailBlock()),
+        reinterpret_cast<unsigned char*>(ring->abortedFlag()),
+        reinterpret_cast<void*>(static_cast<std::intptr_t>(tape_id)),
+        &ringFail,
+    });
+    int bound = 0;
+    for (void* p : parts_)
+        bound += ringBind_(p, tape_id, &bindings_.back());
+    panicIf(bound != 2, "partitioned native: tape ", tape_id,
+            " bound by ", bound,
+            " partitions (expected producer + consumer)");
+}
+
+void
+NativePartitionedProgram::initAll()
+{
+    panicIf(initDone_,
+            "NativePartitionedProgram::initAll called twice");
+    initDone_ = true;
+    initAll_(parts_.data(), cores_);
+}
+
+void
+NativePartitionedProgram::runSteadyPartition(int core, int iterations)
+{
+    panicIf(!initDone_,
+            "partitioned native: runSteadyPartition before initAll");
+    auto t0 = std::chrono::steady_clock::now();
+    runSteadyPartition_(parts_[static_cast<std::size_t>(core)],
+                        iterations);
+    wallMicros_[static_cast<std::size_t>(core)] +=
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+}
+
+std::size_t
+NativePartitionedProgram::capturedSize() const
+{
+    if (!hasSink_)
+        return 0;
+    const int sinkCore = sinkPartition_();
+    if (sinkCore < 0)
+        return 0;
+    return static_cast<std::size_t>(captureSize_(
+        parts_[static_cast<std::size_t>(sinkCore)]));
+}
+
+std::vector<interp::Value>
+NativePartitionedProgram::captured() const
+{
+    std::vector<interp::Value> out;
+    if (!hasSink_)
+        return out;
+    const int sinkCore = sinkPartition_();
+    if (sinkCore < 0)
+        return out;
+    void* sink = parts_[static_cast<std::size_t>(sinkCore)];
+    const std::size_t n =
+        static_cast<std::size_t>(captureSize_(sink));
+    const unsigned int* data = captureData_(sink);
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        interp::Value v = interp::Value::zero(sinkElem_);
+        v.setRawBits(0, data[i]);
+        out.push_back(v);
+    }
+    return out;
+}
+
+} // namespace macross::native

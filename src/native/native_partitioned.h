@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Partitioned native program: the compiled-code side of the parallel
+ * native runtime.
+ *
+ * A NativePartitionedProgram emits the PartitionedLibrary shape (one
+ * `struct Partition<k>` per core of a multicore partition), compiles
+ * it once through the shared content-hashed .so cache (the partition
+ * is part of the emitted source, so the cache key covers it), and
+ * binds the ABI v3 partition surface:
+ *
+ *     int   macross_abi_version();                  // == 3
+ *     int   macross_simd_lanes() / _simd_isa() / _exact();
+ *     int   macross_num_partitions();
+ *     void* macross_create_partition(int core);     // PartitionBase*
+ *     void  macross_destroy_partition(void*);
+ *     int   macross_ring_bind(void*, int tape, void* ring);
+ *     void  macross_init_all(void** handles, int n);
+ *     void  macross_run_steady_partition(void*, int iters);
+ *     void  macross_flush_partition(void*);
+ *     int   macross_sink_partition();               // -1 = no sink
+ *     u64   macross_capture_size(void* sink_handle);
+ *     const u32* macross_capture_data(void* sink_handle);
+ *
+ * The host (ParallelRunner) creates one partition instance per core,
+ * binds every cross-core tape to an in-process interp::SpscRing via
+ * bindRing() — which materializes the ABI's MacrossRing binding
+ * struct from the ring's raw accessors — runs the warm-up
+ * single-threaded via initAll(), and then calls runSteadyPartition()
+ * for each core from that core's worker thread. Emitted code follows
+ * the interpreter's ring protocol exactly, so the two sides of a ring
+ * can be any mix of compiled and interpreted code in principle, and
+ * the output stream is bit-identical to every serial engine.
+ *
+ * Shutdown: SpscRing::abortWaits() makes emitted wait loops call the
+ * binding's fail() callback, which panics host-side; the PanicError
+ * unwinds through the emitted frames (compiled with exceptions
+ * enabled) into the worker's batch loop, exactly like an interp
+ * worker parked by the watchdog.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "codegen/simd_spec.h"
+#include "graph/flat_graph.h"
+#include "interp/spsc_queue.h"
+#include "interp/value.h"
+#include "native/native_engine.h"
+#include "schedule/steady_state.h"
+
+namespace macross::native {
+
+/** One partitioned program, compiled to machine code and loaded. */
+class NativePartitionedProgram {
+  public:
+    /**
+     * Emit the PartitionedLibrary shape for @p core_of over @p cores
+     * (after the same probe-based SIMD fallback as NativeProgram),
+     * compile or cache-load it, and create one partition instance per
+     * core. Fatal on a missing compiler, failed host compile, or ABI
+     * version skew.
+     */
+    NativePartitionedProgram(const graph::FlatGraph& g,
+                             const schedule::Schedule& s, int cores,
+                             const std::vector<int>& core_of,
+                             const NativeOptions& opts = {},
+                             const codegen::SimdSpec& spec = {});
+    ~NativePartitionedProgram();
+
+    NativePartitionedProgram(const NativePartitionedProgram&) = delete;
+    NativePartitionedProgram&
+    operator=(const NativePartitionedProgram&) = delete;
+
+    int partitions() const { return cores_; }
+
+    /**
+     * Bind cross-core tape @p tape_id to @p ring on every partition
+     * that touches it (producer and consumer side each hold their own
+     * emitted endpoint). Must happen before initAll(); panics if the
+     * emitted object does not know the tape as a crossing tape.
+     */
+    void bindRing(int tape_id, interp::SpscRing* ring);
+
+    /**
+     * Run setup + the single-threaded warm-up (init-phase firings in
+     * schedule order across all partitions). Panics if called twice.
+     */
+    void initAll();
+
+    bool initDone() const { return initDone_; }
+
+    /**
+     * Run @p iterations steady iterations of core @p core's slice
+     * (ends with an exact ring flush). Called from that core's worker
+     * thread; different cores may run concurrently, the same core may
+     * not.
+     */
+    void runSteadyPartition(int core, int iterations);
+
+    /** Sink elements captured so far. Safe only at batch barriers. */
+    std::size_t capturedSize() const;
+
+    /**
+     * The captured sink stream, boxed as interp::Value (bit-exact
+     * against every serial engine). Safe only at batch barriers.
+     */
+    std::vector<interp::Value> captured() const;
+
+    const NativeStats& stats() const { return stats_; }
+
+    /** The spec actually emitted (after probe fallback). */
+    const codegen::SimdSpec& effectiveSpec() const { return spec_; }
+
+    /** Accumulated native steady wall time of @p core's partition. */
+    double steadyWallMicros(int core) const
+    {
+        return wallMicros_[static_cast<std::size_t>(core)];
+    }
+
+  private:
+    /** Host mirror of the emitted MacrossRing (layout-matched). */
+    struct RingBinding {
+        std::uint32_t* slots;
+        long long mask;
+        long long* tail;
+        long long* head;
+        long long head_block;
+        long long tail_block;
+        unsigned char* aborted;
+        void* ctx;
+        void (*fail)(void* ctx, const char* msg);
+    };
+
+    bool tryBind(const std::string& so_path, int* found_abi);
+    void unload();
+
+    void* handle_ = nullptr;  ///< dlopen handle.
+    std::vector<void*> parts_;  ///< One PartitionBase* per core.
+
+    // Bound ABI entry points.
+    int (*numPartitions_)() = nullptr;
+    void* (*createPartition_)(int) = nullptr;
+    void (*destroyPartition_)(void*) = nullptr;
+    int (*ringBind_)(void*, int, void*) = nullptr;
+    void (*initAll_)(void**, int) = nullptr;
+    void (*runSteadyPartition_)(void*, int) = nullptr;
+    void (*flushPartition_)(void*) = nullptr;
+    int (*sinkPartition_)() = nullptr;
+    unsigned long long (*captureSize_)(void*) = nullptr;
+    const unsigned int* (*captureData_)(void*) = nullptr;
+
+    /** Binding structs live here: the emitted side keeps the pointer
+     *  for the program's lifetime, so storage must never move. */
+    std::deque<RingBinding> bindings_;
+
+    std::vector<double> wallMicros_;  ///< Per-core steady wall time.
+    int cores_ = 0;
+    ir::Type sinkElem_{ir::Scalar::Int32, 1};
+    bool hasSink_ = false;
+    bool initDone_ = false;
+    codegen::SimdSpec spec_;
+    NativeStats stats_;
+};
+
+} // namespace macross::native

@@ -127,9 +127,9 @@ TEST(Codegen, LibraryModeEmitsAbiInsteadOfMain)
         EXPECT_NE(src.find(sym), std::string::npos)
             << "missing ABI symbol " << sym;
     }
-    // The v2 introspection symbols report the spec this object was
+    // The introspection symbols report the spec this object was
     // emitted under.
-    EXPECT_NE(src.find("int macross_abi_version() { return 2; }"),
+    EXPECT_NE(src.find("int macross_abi_version() { return 3; }"),
               std::string::npos);
     EXPECT_NE(src.find("int macross_simd_lanes() { return 4; }"),
               std::string::npos);

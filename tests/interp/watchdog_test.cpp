@@ -199,6 +199,82 @@ TEST_F(WatchdogTest, NoWatchdogRethrowsWorkerException)
     EXPECT_THROW(pr.runSteady(6), std::runtime_error);
 }
 
+/**
+ * The watchdog and serial fallback must work identically when the
+ * workers drive emitted native partitions instead of the bytecode VM:
+ * a stalled worker's peers block inside emitted ring waits, the
+ * abort flag makes those waits panic out through the emitted frames,
+ * and the run replays through the whole-program serial native engine
+ * with a bit-identical stream and a rebuilt cost sink (native runs
+ * model no cycles, so both sinks agree on the zero profile).
+ */
+void
+runNativeStallScenario(int threads)
+{
+    vectorizer::SimdizeOptions sopts;
+    sopts.forceSimdize = true;
+    sopts.machine = machine::coreI7();
+    auto p = vectorizer::macroSimdize(benchmarks::makeFmRadio(), sopts);
+    machine::MachineDesc m = machine::coreI7();
+
+    EngineConfig config(ExecEngine::Native);
+    config.simd.laneWidth = 4;
+
+    machine::CostSink serialCost(m);
+    Runner serial(p.graph, p.schedule, &serialCost, config);
+    serial.runInit();
+    serial.runSteady(12);
+
+    auto cycles = profileActorCycles(p, m);
+    multicore::Partition part = multicore::partitionGreedy(
+        p.graph, p.schedule, cycles, threads);
+    machine::CostSink parCost(m);
+    ParallelRunner::Options opt;
+    opt.batchIterations = 4;  // 12 iterations = 3 batches.
+    opt.watchdogMs = 75;
+    armStallOnPassage(threads + 1, 800);
+    ParallelRunner pr(p.graph, p.schedule, part, &parCost, config,
+                      opt);
+    pr.runInit();
+    pr.runSteady(12);
+
+    ASSERT_EQ(pr.faults().size(), 1u);
+    const ParallelFault& f = pr.faults()[0];
+    EXPECT_EQ(f.kind, "workerStall");
+    EXPECT_EQ(f.generation, 2);
+    EXPECT_TRUE(f.cleanShutdown) << f.message;
+    EXPECT_TRUE(f.fallbackUsed);
+    EXPECT_TRUE(f.fallbackVerified) << f.message;
+    EXPECT_GT(f.verifiedElements, 0);
+    EXPECT_TRUE(pr.degradedToSerial());
+
+    testutil::expectSameStream(serial.captured(), pr.captured());
+    EXPECT_DOUBLE_EQ(serialCost.totalCycles(), parCost.totalCycles());
+
+    // Continuing after degradation stays serial-native and agrees.
+    serial.runSteady(5);
+    pr.runSteady(5);
+    testutil::expectSameStream(serial.captured(), pr.captured());
+
+    json::Value stats = pr.statsToJson();
+    EXPECT_EQ(stats.find("engine")->asString(), "native");
+    const json::Value& par = *stats.find("parallel");
+    EXPECT_TRUE(par.find("degradedToSerial")->asBool());
+    ASSERT_EQ(par.find("faults")->size(), 1u);
+    EXPECT_TRUE(
+        par.find("faults")->at(0).find("fallbackVerified")->asBool());
+}
+
+TEST_F(WatchdogTest, NativeStallFallsBackIdenticalTwoThreads)
+{
+    runNativeStallScenario(2);
+}
+
+TEST_F(WatchdogTest, NativeStallFallsBackIdenticalFourThreads)
+{
+    runNativeStallScenario(4);
+}
+
 TEST_F(WatchdogTest, HealthyRunReportsNoFaults)
 {
     auto p = vectorizer::compileScalar(benchmarks::makeFmRadio());

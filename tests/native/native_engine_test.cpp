@@ -235,7 +235,7 @@ TEST(NativeEngine, StaleAbiVersionIsFatal)
         const std::string msg = e.what();
         // The error must name both versions.
         EXPECT_NE(msg.find("ABI version 1"), std::string::npos) << msg;
-        EXPECT_NE(msg.find("version 2"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("version 3"), std::string::npos) << msg;
     }
 }
 
@@ -325,7 +325,7 @@ TEST(NativeEngine, RunnerReportsNativeStatsJson)
     EXPECT_FALSE(nat->find("cacheHit")->asBool());
     EXPECT_GT(nat->find("compileMillis")->asDouble(), 0.0);
     EXPECT_GE(nat->find("steadyWallMicros")->asDouble(), 0.0);
-    EXPECT_EQ(nat->find("abiVersion")->asInt(), 2);
+    EXPECT_EQ(nat->find("abiVersion")->asInt(), 3);
     EXPECT_TRUE(nat->find("exact")->asBool());
     const json::Value* simd = nat->find("simd");
     ASSERT_NE(simd, nullptr);
@@ -351,26 +351,6 @@ TEST(NativeEngine, ConfigureAfterInitPanics)
         r.configure(interp::EngineConfig(interp::ExecEngine::Tree)),
         PanicError);
 }
-
-// The one-PR deprecated shims must keep behaving until removal.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(NativeEngine, DeprecatedShimsStillConfigure)
-{
-    auto p = smallProgram();
-    interp::Runner r(p.graph, p.schedule, nullptr,
-                     interp::ExecEngine::Bytecode);
-    EXPECT_EQ(r.engine(), interp::ExecEngine::Bytecode);
-    r.setEngine(interp::ExecEngine::Native);
-    EXPECT_EQ(r.engine(), interp::ExecEngine::Native);
-    NativeOptions opts;
-    opts.cacheDir = freshCacheDir("shims");
-    r.setNativeOptions(opts);
-    EXPECT_EQ(r.engineConfig().native.cacheDir, opts.cacheDir);
-    r.runInit();
-    EXPECT_THROW(r.setEngine(interp::ExecEngine::Tree), PanicError);
-}
-#pragma GCC diagnostic pop
 
 TEST(NativeEngine, PerActorNativeOverrideIsRejected)
 {

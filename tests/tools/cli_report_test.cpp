@@ -278,9 +278,46 @@ TEST(CliReport, NativeEngineReportsStatsAndMatchesSinkCount)
     EXPECT_EQ(nat.find("run")->find("sinkElements")->asInt(),
               vm.find("run")->find("sinkElements")->asInt());
 
-    // The native engine is whole-program and serial.
-    EXPECT_NE(runCli("--bench FMRadio --engine native --threads 2"),
+    std::remove(natOut.c_str());
+    std::remove(vmOut.c_str());
+}
+
+TEST(CliReport, NativeParallelRunReportsPartitionedStats)
+{
+    const std::string natOut = "cli_report_native_par_out.json";
+    const std::string vmOut = "cli_report_native_par_vm_out.json";
+    std::remove(natOut.c_str());
+    std::remove(vmOut.c_str());
+    ASSERT_EQ(runCli("--bench FMRadio --simd --run 10 "
+                     "--engine native --threads 2 --json-report " +
+                     natOut),
               0);
+    ASSERT_EQ(runCli("--bench FMRadio --simd --run 10 "
+                     "--engine bytecode --json-report " + vmOut),
+              0);
+
+    json::Value nat = json::parse(readFile(natOut));
+    json::Value vm = json::parse(readFile(vmOut));
+    const json::Value* stats = nat.find("run")->find("stats");
+    EXPECT_EQ(stats->find("engine")->asString(), "native");
+    ASSERT_NE(stats->find("native"), nullptr);
+    EXPECT_EQ(stats->find("native")->find("abiVersion")->asInt(), 3);
+    const json::Value* p = stats->find("parallel");
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->find("threads")->asInt(), 2);
+    EXPECT_FALSE(p->find("degradedToSerial")->asBool());
+    const json::Value* pn = p->find("native");
+    ASSERT_NE(pn, nullptr);
+    EXPECT_EQ(pn->find("partitions")->asInt(), 2);
+    EXPECT_EQ(pn->find("partitionWallMicros")->size(), 2u);
+    // The partition weights come from a modeled profiling pass, so
+    // the greedy partition actually spreads load over both cores.
+    ASSERT_EQ(p->find("coreLoad")->size(), 2u);
+    EXPECT_GT(p->find("coreLoad")->at(0).asDouble(), 0.0);
+
+    // Same schedule, same iterations as the bytecode reference.
+    EXPECT_EQ(nat.find("run")->find("sinkElements")->asInt(),
+              vm.find("run")->find("sinkElements")->asInt());
 
     std::remove(natOut.c_str());
     std::remove(vmOut.c_str());

@@ -176,7 +176,8 @@ optionTable()
          integer(&CliConfig::iters)},
         {"--threads", "N",
          "execute the steady state on N worker threads over a greedy "
-         "multicore partition (default 1)",
+         "multicore partition (default 1); with --engine native each "
+         "worker runs its core's emitted sub-program over SPSC rings",
          integer(&CliConfig::threads)},
         {"--watchdog-ms", "MS",
          "parallel-run watchdog: detect a batch stalled for MS ms, "
@@ -318,12 +319,6 @@ main(int argc, char** argv)
         return usage(argv[0]);
     if (cfg.threads < 1) {
         std::fprintf(stderr, "--threads wants a positive count\n");
-        return usage(argv[0]);
-    }
-    if (cfg.engineName == "native" && cfg.threads > 1) {
-        std::fprintf(stderr, "--engine native is whole-program and "
-                             "serial; it cannot combine with "
-                             "--threads\n");
         return usage(argv[0]);
     }
     if (cfg.nativeSimd != 0) {
@@ -550,8 +545,26 @@ main(int argc, char** argv)
         if (cfg.threads > 1) {
             std::vector<double> actorCycles(
                 compiled.graph.actors.size(), 0.0);
-            for (const auto& a : compiled.graph.actors)
-                actorCycles[a.id] = cost.actorCycles(a.id);
+            if (engine == interp::ExecEngine::Native) {
+                // The native run measures wall clock and charges no
+                // modeled cycles, so profile a few bytecode
+                // iterations to give partitionGreedy real weights.
+                machine::CostSink prof(opts.machine);
+                interp::Runner profiler(
+                    compiled.graph, compiled.schedule, &prof,
+                    interp::EngineConfig(
+                        interp::ExecEngine::Bytecode));
+                for (auto& [id, c] : actorConfigs)
+                    profiler.setActorConfig(id, c);
+                profiler.enableCapture(false);
+                profiler.runInit();
+                profiler.runSteady(std::min(cfg.iters, 8));
+                for (const auto& a : compiled.graph.actors)
+                    actorCycles[a.id] = prof.actorCycles(a.id);
+            } else {
+                for (const auto& a : compiled.graph.actors)
+                    actorCycles[a.id] = cost.actorCycles(a.id);
+            }
             multicore::Partition part = multicore::partitionGreedy(
                 compiled.graph, compiled.schedule, actorCycles,
                 cfg.threads);

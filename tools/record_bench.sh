@@ -7,16 +7,19 @@
 #
 #     BENCH_fig10a.json       modeled speedups, GCC-like host compiler
 #     BENCH_fig12.json        SAGU tape-layout speedups
-#     BENCH_fig13.json        multicore scaling
+#     BENCH_fig13.json        multicore scaling: modeled table plus
+#                             measured interpreter and native×threads
+#                             wall-clock tables
 #     BENCH_native_simd.json  measured wall clock: bytecode VM vs
 #                             native at lane widths W=1 and W=4
 #
 # Usage: tools/record_bench.sh [build-dir]   (default: build-release)
 #
-# Modeled numbers (fig10a/fig12/fig13) are deterministic; only
-# BENCH_native_simd.json depends on the host machine, and its archive
-# records the compiler, flags, and SIMD lowering used so runs stay
-# comparable.
+# Modeled numbers (fig10a/fig12 and fig13's first table) are
+# deterministic; the measured tables in BENCH_fig13.json and all of
+# BENCH_native_simd.json depend on the host machine, and the archives
+# record the hardware thread count, compiler, flags, and SIMD
+# lowering used so runs stay comparable.
 set -eu
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
