@@ -28,6 +28,7 @@
 #include "benchmarks/suite.h"
 #include "interp/runner.h"
 #include "lowering/lowered.h"
+#include "native/host_fingerprint.h"
 #include "support/json.h"
 #include "vectorizer/pipeline.h"
 
@@ -51,12 +52,16 @@ toString(HostVectorizer h)
     return "unknown";
 }
 
-/** JSON archive accumulated across the whole bench process. */
+/** JSON archive accumulated across the whole bench process. Every
+ *  archive is stamped with the measuring host's fingerprint (CPU
+ *  model, core count, probed SIMD ISA) so numbers from different
+ *  machines are never silently compared. */
 inline json::Value&
 benchArchive()
 {
     static json::Value root = [] {
         json::Value v = json::Value::object();
+        v["host"] = native::hostFingerprint().toJson();
         v["runs"] = json::Value::array();
         v["tables"] = json::Value::array();
         return v;

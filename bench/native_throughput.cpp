@@ -58,13 +58,12 @@ vmNanosPerElement(const vectorizer::CompiledProgram& p)
     return best;
 }
 
-/** Wall-clock ns/element natively at @p laneWidth, plus build stats. */
+/** Wall-clock ns/element natively under @p spec, plus build stats. */
 double
 nativeNanosPerElement(const vectorizer::CompiledProgram& p,
-                      int laneWidth, native::NativeStats* statsOut)
+                      const codegen::SimdSpec& spec,
+                      native::NativeStats* statsOut)
 {
-    codegen::SimdSpec spec;
-    spec.laneWidth = laneWidth;
     native::NativeProgram np(p.graph, p.schedule, {}, spec);
     np.init();
     double best = 0.0;
@@ -84,6 +83,29 @@ nativeNanosPerElement(const vectorizer::CompiledProgram& p,
     }
     *statsOut = np.stats();
     return best;
+}
+
+double
+nativeNanosPerElement(const vectorizer::CompiledProgram& p,
+                      int laneWidth, native::NativeStats* statsOut)
+{
+    codegen::SimdSpec spec;
+    spec.laneWidth = laneWidth;
+    return nativeNanosPerElement(p, spec, statsOut);
+}
+
+/** Explicit -march levels worth sweeping under the probed ISA. */
+std::vector<std::string>
+isaLevels()
+{
+    const std::string probed = native::probeIsaName();
+    if (probed == "avx512")
+        return {"x86-64-v3", "x86-64-v4"};
+    if (probed == "avx2")
+        return {"x86-64-v2", "x86-64-v3"};
+    if (probed == "sse2")
+        return {"x86-64-v2"};
+    return {};
 }
 
 void
@@ -130,6 +152,11 @@ main()
 
     int simdWins = 0, total = 0;
     std::vector<std::pair<std::string, std::vector<double>>> rows;
+    // Kept for the wide-machine and ISA sections below: the nehalem
+    // compile, its VM baseline, and its W4 native rate per benchmark.
+    std::vector<std::pair<std::string, vectorizer::CompiledProgram>>
+        compiled;
+    std::vector<double> vmBaseline, w4Baseline;
     for (const auto& bench : benchmarks::standardSuite()) {
         auto p = compileConfig(bench.program, true, opts);
         double vmNs = vmNanosPerElement(p);
@@ -152,6 +179,9 @@ main()
                         {w1Ns > 0 ? vmNs / w1Ns : 0.0,
                          w4Ns > 0 ? vmNs / w4Ns : 0.0,
                          w4Ns > 0 ? w1Ns / w4Ns : 0.0}});
+        compiled.push_back({bench.name, std::move(p)});
+        vmBaseline.push_back(vmNs);
+        w4Baseline.push_back(w4Ns);
     }
 
     printTable("Native engine: measured wall-clock speedups "
@@ -161,6 +191,87 @@ main()
     std::printf("\nSIMD-emitted (W4) beats scalar-emitted (W1) on "
                 "%d of %d benchmarks\n",
                 simdWins, total);
+
+    // Wide machine descriptions paired with matching emitted widths:
+    // recompile under wide8/wide16 (SW=8/16 drives the vectorizer's
+    // segment formation) and execute at W=8/16. Gated on what this
+    // host can actually run.
+    const int hostMax = native::probeMaxLaneWidth();
+    std::vector<std::pair<const char*, int>> wideMachines;
+    if (hostMax >= 8)
+        wideMachines.push_back({"wide8", 8});
+    if (hostMax >= 16)
+        wideMachines.push_back({"wide16", 16});
+    if (!wideMachines.empty()) {
+        std::vector<std::pair<std::string, std::vector<double>>>
+            wideRows;
+        for (std::size_t i = 0; i < compiled.size(); ++i) {
+            const auto& [name, base] = compiled[i];
+            std::vector<double> vals;
+            for (const auto& [mname, w] : wideMachines) {
+                vectorizer::SimdizeOptions wopts;
+                wopts.machine = machine::machineByName(mname);
+                wopts.forceSimdize = true;
+                auto wp = compileConfig(
+                    benchmarks::benchmarkByName(name), true, wopts);
+                codegen::SimdSpec spec;
+                spec.laneWidth = w;
+                native::NativeStats st;
+                double ns = nativeNanosPerElement(wp, spec, &st);
+                record(name,
+                       std::string(mname) + "-w" + std::to_string(w),
+                       vmBaseline[i], ns, st);
+                // vs the nehalem-SW4/W4 build of the same program.
+                vals.push_back(ns > 0 ? w4Baseline[i] / ns : 0.0);
+            }
+            wideRows.push_back({name, std::move(vals)});
+        }
+        std::vector<std::string> cols;
+        for (const auto& [mname, w] : wideMachines)
+            cols.push_back(std::string(mname) + "/W" +
+                           std::to_string(w));
+        printTable("Wide machine descriptions vs nehalem/W4 "
+                   "(measured wall clock, same program)",
+                   cols, wideRows);
+    }
+
+    // Explicit -march levels against the -march=native default, at
+    // the nehalem/W4 configuration. A level the host compiler lacks
+    // is reported and skipped, never fatal.
+    const std::vector<std::string> levels = isaLevels();
+    if (!levels.empty()) {
+        std::vector<std::pair<std::string, std::vector<double>>>
+            isaRows;
+        for (std::size_t i = 0; i < compiled.size(); ++i) {
+            const auto& [name, p] = compiled[i];
+            std::vector<double> vals;
+            for (const std::string& level : levels) {
+                codegen::SimdSpec spec;
+                spec.laneWidth = 4;
+                spec.isa = level;
+                double ns = 0.0;
+                try {
+                    native::NativeStats st;
+                    ns = nativeNanosPerElement(p, spec, &st);
+                    record(name, "w4-" + level, vmBaseline[i], ns,
+                           st);
+                } catch (const FatalError& e) {
+                    std::printf("%-14s -march=%s unsupported here: "
+                                "%s\n",
+                                name.c_str(), level.c_str(),
+                                e.what());
+                }
+                vals.push_back(ns > 0 ? w4Baseline[i] / ns : 0.0);
+            }
+            isaRows.push_back({name, std::move(vals)});
+        }
+        std::vector<std::string> cols;
+        for (const std::string& level : levels)
+            cols.push_back(level);
+        printTable("Explicit -march levels vs -march=native "
+                   "(nehalem/W4, measured wall clock)",
+                   cols, isaRows);
+    }
 
     if (benchJsonPath()) {
         armBenchArchive();

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Auto-tuner study across the full 12-benchmark suite: for every
+ * program, run the measurement-driven tuner (src/tuner/) and report
+ * the tuned configuration's measured wall clock against the default
+ * native configuration — the end-to-end answer to "does searching the
+ * transform space buy anything over the cost model's one choice?".
+ *
+ * Each row shows the winning TuneConfig key, both rates, and the
+ * tuned/default ratio (>= 1 by construction: the default is always
+ * among the measured candidates). With MACROSS_BENCH_JSON set, the
+ * whole TuneResult per benchmark — every measured candidate with its
+ * model score and measured rate — lands in the archive
+ * (tools/record_bench.sh writes BENCH_tuner.json).
+ *
+ * The tuning cache is honored, so a second run reproduces the table
+ * from cache hits in milliseconds; point MACROSS_TUNE_CACHE_DIR at a
+ * fresh directory for a from-scratch search.
+ */
+#include <cstdio>
+
+#include "harness.h"
+#include "tuner/tuner.h"
+
+using namespace macross;
+using namespace macross::bench;
+
+int
+main()
+{
+    std::printf("host: %s, %d hardware threads, isa %s (max W=%d)\n\n",
+                native::hostFingerprint().cpuModel.c_str(),
+                native::hostFingerprint().hardwareThreads,
+                native::hostFingerprint().isa.c_str(),
+                native::hostFingerprint().maxLaneWidth);
+
+    std::vector<std::pair<std::string, std::vector<double>>> rows;
+    for (const auto& bench : benchmarks::standardSuite()) {
+        tuner::Tuner t(bench.program, bench.name);
+        tuner::TuneResult res = t.tune();
+        std::printf("%-14s %-34s %8.4f us/elem (default %8.4f, "
+                    "%.2fx)%s\n",
+                    bench.name.c_str(), res.best.key().c_str(),
+                    res.bestMicrosPerElement,
+                    res.defaultMicrosPerElement,
+                    res.speedupOverDefault(),
+                    res.cacheHit ? "  [cache]" : "");
+        rows.push_back({bench.name, {res.speedupOverDefault()}});
+
+        if (benchJsonPath()) {
+            armBenchArchive();
+            json::Value rec = json::Value::object();
+            rec["benchmark"] = bench.name;
+            rec["tuner"] = res.toJson();
+            benchArchive()["runs"].push(std::move(rec));
+        }
+    }
+
+    printTable("Auto-tuned vs default native configuration "
+               "(measured wall clock)",
+               {"tuned/default"}, rows);
+    return 0;
+}

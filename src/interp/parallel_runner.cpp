@@ -49,6 +49,17 @@ ParallelRunner::ParallelRunner(const graph::FlatGraph& g,
     fatalIf(part_.cores < 1, "parallel run over zero cores");
     fatalIf(part_.coreOf.size() != g.actors.size(),
             "partition does not cover the graph");
+    // EngineConfig carries the user/tuner-visible parallel knobs; a
+    // set value overrides the ParallelOptions default so one config
+    // object fully determines the run (the auto-tuner relies on it).
+    fatalIf(config_.batchIterations < 0,
+            "EngineConfig.batchIterations must be >= 0 (0 = default)");
+    fatalIf(config_.ringCapacity < 0,
+            "EngineConfig.ringCapacity must be >= 0 (0 = default)");
+    if (config_.batchIterations > 0)
+        opt_.batchIterations = config_.batchIterations;
+    if (config_.ringCapacity > 0)
+        opt_.minRingSlots = config_.ringCapacity;
     fatalIf(opt_.batchIterations < 1, "batch of zero iterations");
 
     // Re-back every cross-core tape with an SPSC ring, sized so the
@@ -551,6 +562,7 @@ ParallelRunner::statsToJson() const
     json::Value par = json::Value::object();
     par["threads"] = part_.cores;
     par["batchIterations"] = opt_.batchIterations;
+    par["minRingSlots"] = opt_.minRingSlots;
     par["watchdogMs"] = opt_.watchdogMs;
     par["degradedToSerial"] = (fallback_ != nullptr);
     json::Value faults = json::Value::array();

@@ -120,4 +120,38 @@ wide16()
     return m;
 }
 
+const std::vector<std::string>&
+machineNames()
+{
+    static const std::vector<std::string> names = {"nehalem", "wide8",
+                                                   "wide16"};
+    return names;
+}
+
+MachineDesc
+machineByName(const std::string& name, bool sagu)
+{
+    MachineDesc m;
+    if (name == "nehalem" || name == "core-i7") {
+        m = coreI7();
+    } else if (name == "wide8") {
+        m = wide8();
+    } else if (name == "wide16") {
+        m = wide16();
+    } else {
+        std::string valid;
+        for (const auto& n : machineNames())
+            valid += (valid.empty() ? "" : ", ") + n;
+        fatal("unknown machine '", name, "' (valid: ", valid, ")");
+    }
+    if (sagu) {
+        m.name += "+sagu";
+        m.hasSagu = true;
+        // Same calibration coreI7WithSagu applies: the SAGU
+        // addressing mode makes the walk free (Section 3.4).
+        m.setCost(OpClass::SaguWalk, 0.0);
+    }
+    return m;
+}
+
 } // namespace macross::machine

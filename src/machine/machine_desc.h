@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace macross::machine {
 
@@ -83,5 +84,17 @@ MachineDesc wide8();
 
 /** A hypothetical 16-wide (Larrabee-class) variant for ablations. */
 MachineDesc wide16();
+
+/**
+ * Lookup by stable short name: "nehalem" (alias "core-i7", the
+ * default table), "wide8", or "wide16". @p sagu additionally enables
+ * the SAGU extension on the returned description (free address
+ * walks, hasSagu set), which composes with any base machine. Fatal
+ * on unknown names, listing the valid ones.
+ */
+MachineDesc machineByName(const std::string& name, bool sagu = false);
+
+/** The names machineByName accepts (for --help and usage errors). */
+const std::vector<std::string>& machineNames();
 
 } // namespace macross::machine

@@ -1,0 +1,82 @@
+#include "native/host_fingerprint.h"
+
+#include <fstream>
+#include <thread>
+
+#include "native/simd_probe.h"
+
+namespace macross::native {
+
+namespace {
+
+/** First "model name" line of /proc/cpuinfo, or "unknown". */
+std::string
+detectCpuModel()
+{
+    std::ifstream in("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind("model name", 0) != 0)
+            continue;
+        auto colon = line.find(':');
+        if (colon == std::string::npos)
+            break;
+        std::size_t start = line.find_first_not_of(" \t", colon + 1);
+        if (start == std::string::npos)
+            break;
+        return line.substr(start);
+    }
+    return "unknown";
+}
+
+} // namespace
+
+std::string
+HostFingerprint::key() const
+{
+    return cpuModel + "|t" + std::to_string(hardwareThreads) + "|" +
+           isa + "|w" + std::to_string(maxLaneWidth);
+}
+
+json::Value
+HostFingerprint::toJson() const
+{
+    json::Value v = json::Value::object();
+    v["cpuModel"] = cpuModel;
+    v["hardwareThreads"] = hardwareThreads;
+    v["isa"] = isa;
+    v["maxLaneWidth"] = maxLaneWidth;
+    return v;
+}
+
+HostFingerprint
+HostFingerprint::fromJson(const json::Value& v)
+{
+    HostFingerprint fp;
+    if (const json::Value* m = v.find("cpuModel"))
+        fp.cpuModel = m->asString();
+    if (const json::Value* t = v.find("hardwareThreads"))
+        fp.hardwareThreads = static_cast<int>(t->asInt());
+    if (const json::Value* i = v.find("isa"))
+        fp.isa = i->asString();
+    if (const json::Value* w = v.find("maxLaneWidth"))
+        fp.maxLaneWidth = static_cast<int>(w->asInt());
+    return fp;
+}
+
+const HostFingerprint&
+hostFingerprint()
+{
+    static const HostFingerprint fp = [] {
+        HostFingerprint f;
+        f.cpuModel = detectCpuModel();
+        unsigned hw = std::thread::hardware_concurrency();
+        f.hardwareThreads = hw ? static_cast<int>(hw) : 1;
+        f.isa = probeIsaName();
+        f.maxLaneWidth = probeMaxLaneWidth();
+        return f;
+    }();
+    return fp;
+}
+
+} // namespace macross::native

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Host fingerprint: a small, stable description of the machine a
+ * measurement was taken on — CPU model string, hardware thread count,
+ * and the widest SIMD ISA level the probe found.
+ *
+ * Two consumers need it. The benchmark harness stamps every
+ * BENCH_*.json archive with it so single-host artifacts are
+ * self-describing (a "speedup < 1x at 4 threads" table reads very
+ * differently once the archive itself says the host had one hardware
+ * thread). The tuning cache (tuner/tune_cache.h) keys persisted
+ * winners by it, because a configuration measured fastest on an
+ * AVX-512 16-thread host is exactly the thing that must NOT be
+ * silently replayed on a 1-thread SSE2 box.
+ */
+#pragma once
+
+#include <string>
+
+#include "support/json.h"
+
+namespace macross::native {
+
+/** What one measurement host looks like. */
+struct HostFingerprint {
+    /** CPU model string (from /proc/cpuinfo; "unknown" elsewhere). */
+    std::string cpuModel;
+    /** std::thread::hardware_concurrency() (>= 1). */
+    int hardwareThreads = 1;
+    /** Probed widest ISA level ("avx512"/"avx2"/"sse2"/"neon"/...). */
+    std::string isa;
+    /** Widest executable 32-bit lane count (simd_probe.h). */
+    int maxLaneWidth = 1;
+
+    /**
+     * Stable identity string, e.g.
+     * "Intel(R) Xeon(R) ...|t1|avx512|w16". Equality of keys is the
+     * cache's notion of "same host".
+     */
+    std::string key() const;
+
+    /** {"cpuModel":…,"hardwareThreads":…,"isa":…,"maxLaneWidth":…} */
+    json::Value toJson() const;
+
+    /** Inverse of toJson; missing fields keep their defaults. */
+    static HostFingerprint fromJson(const json::Value& v);
+
+    bool operator==(const HostFingerprint& o) const
+    {
+        return key() == o.key();
+    }
+    bool operator!=(const HostFingerprint& o) const
+    {
+        return !(*this == o);
+    }
+};
+
+/** Probe this machine (cached after the first call). */
+const HostFingerprint& hostFingerprint();
+
+} // namespace macross::native

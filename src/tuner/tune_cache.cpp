@@ -1,0 +1,162 @@
+#include "tuner/tune_cache.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "native/native_engine.h"
+#include "support/diagnostics.h"
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace macross::tuner {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string
+hex16(std::uint64_t h)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+std::string
+resolveDir(const std::string& requested)
+{
+    std::string dir = requested;
+    if (dir.empty()) {
+        if (const char* env = std::getenv("MACROSS_TUNE_CACHE_DIR"))
+            dir = env;
+    }
+    if (dir.empty()) {
+        const char* tmp = std::getenv("TMPDIR");
+        std::string base = tmp && *tmp ? tmp : "/tmp";
+#ifndef _WIN32
+        dir = base + "/macross-tune-" +
+              std::to_string(static_cast<long>(::geteuid()));
+#else
+        dir = base + "/macross-tune";
+#endif
+    }
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    fatalIf(static_cast<bool>(ec), "tuning cache: cannot create ", dir,
+            ": ", ec.message());
+    return dir;
+}
+
+} // namespace
+
+json::Value
+TuneCacheEntry::toJson() const
+{
+    json::Value v = json::Value::object();
+    v["schemaVersion"] = kTuneCacheSchemaVersion;
+    v["program"] = program;
+    v["programHash"] = hex16(programHash);
+    v["host"] = host.toJson();
+    v["config"] = config.toJson();
+    v["tunedMicrosPerElement"] = tunedMicrosPerElement;
+    v["defaultMicrosPerElement"] = defaultMicrosPerElement;
+    v["candidatesMeasured"] = candidatesMeasured;
+    return v;
+}
+
+TuneCache::TuneCache(const std::string& dir) : dir_(resolveDir(dir)) {}
+
+std::string
+TuneCache::pathFor(std::uint64_t program_hash,
+                   const native::HostFingerprint& host) const
+{
+    // The host half of the filename is a hash of the full fingerprint
+    // key; the fingerprint inside the file is re-verified on load so
+    // a copied cache directory cannot leak a foreign host's winner.
+    return dir_ + "/tune-" + hex16(program_hash) + "-" +
+           hex16(native::fnv1a64(host.key())) + ".json";
+}
+
+std::optional<TuneCacheEntry>
+TuneCache::load(std::uint64_t program_hash,
+                const native::HostFingerprint& host) const
+{
+    const std::string path = pathFor(program_hash, host);
+    std::ifstream in(path);
+    if (!in.good())
+        return std::nullopt;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    try {
+        json::Value v = json::parse(ss.str());
+        if (v.kind() != json::Value::Kind::Object)
+            return std::nullopt;
+        const json::Value* ver = v.find("schemaVersion");
+        if (!ver || !ver->isNumber() ||
+            ver->asInt() != kTuneCacheSchemaVersion)
+            return std::nullopt;
+        const json::Value* ph = v.find("programHash");
+        if (!ph || ph->asString() != hex16(program_hash))
+            return std::nullopt;
+        const json::Value* h = v.find("host");
+        if (!h)
+            return std::nullopt;
+        TuneCacheEntry entry;
+        entry.host = native::HostFingerprint::fromJson(*h);
+        // Stale-host check: the filename hash narrows, the embedded
+        // fingerprint decides.
+        if (entry.host != host)
+            return std::nullopt;
+        entry.programHash = program_hash;
+        if (const json::Value* p = v.find("program"))
+            entry.program = p->asString();
+        const json::Value* cfg = v.find("config");
+        if (!cfg)
+            return std::nullopt;
+        entry.config = TuneConfig::fromJson(*cfg);
+        if (const json::Value* d = v.find("tunedMicrosPerElement"))
+            entry.tunedMicrosPerElement = d->asDouble();
+        if (const json::Value* d = v.find("defaultMicrosPerElement"))
+            entry.defaultMicrosPerElement = d->asDouble();
+        if (const json::Value* d = v.find("candidatesMeasured"))
+            entry.candidatesMeasured =
+                static_cast<int>(d->asInt());
+        return entry;
+    } catch (const FatalError&) {
+        // Corrupt or hand-edited file: a miss, not an error.
+        return std::nullopt;
+    } catch (const PanicError&) {
+        return std::nullopt;
+    }
+}
+
+void
+TuneCache::store(const TuneCacheEntry& entry) const
+{
+    const std::string path = pathFor(entry.programHash, entry.host);
+    const std::string tmp =
+        path + ".tmp." + std::to_string(
+#ifndef _WIN32
+                             static_cast<long>(::getpid())
+#else
+                             0L
+#endif
+        );
+    {
+        std::ofstream out(tmp);
+        fatalIf(!out, "tuning cache: cannot write ", tmp);
+        out << entry.toJson().dump(2) << "\n";
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    fatalIf(static_cast<bool>(ec), "tuning cache: cannot rename ", tmp,
+            " to ", path, ": ", ec.message());
+}
+
+} // namespace macross::tuner

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Persistent tuning cache: winners of past auto-tuning runs, keyed by
+ * (program content hash, host fingerprint), stored as one JSON file
+ * per key so later runs (`--tuned`) skip the search entirely.
+ *
+ * Layout: <dir>/tune-<programHash16>-<hostHash16>.json, where <dir>
+ * resolves from MACROSS_TUNE_CACHE_DIR, else a per-user directory
+ * under the system temp dir (mirroring the native .so cache's
+ * resolution, and hermetic in CI the same way). Each file carries a
+ * schema version, the full host fingerprint, the winning TuneConfig,
+ * and the measured numbers that justified it.
+ *
+ * Trust model: cache files are advisory measurement artifacts, not
+ * code — but their contents flow into compiler flags (isa) and
+ * allocation sizes (ringCapacity), so load() re-validates everything
+ * through TuneConfig::fromJson and treats ANY defect (unreadable,
+ * unparseable, wrong schema version, hash mismatch, stale host
+ * fingerprint, invalid config) as a miss, never an error: the caller
+ * falls back to tuning or defaults. Writes go through a unique temp
+ * file plus atomic rename, so concurrent tuners sharing a directory
+ * race benignly.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "native/host_fingerprint.h"
+#include "tuner/tune_config.h"
+
+namespace macross::tuner {
+
+/** Current on-disk schema version (bumped on breaking changes). */
+inline constexpr int kTuneCacheSchemaVersion = 1;
+
+/** One persisted tuning result. */
+struct TuneCacheEntry {
+    /** Program name (human context only; not part of the key). */
+    std::string program;
+    /** CompileService::programHash() of the tuned program. */
+    std::uint64_t programHash = 0;
+    /** Host the measurement was taken on. */
+    native::HostFingerprint host;
+    /** The winning configuration. */
+    TuneConfig config;
+    /** Measured steady-state microseconds per sink element. */
+    double tunedMicrosPerElement = 0.0;
+    /** Same metric for the cost-model default configuration. */
+    double defaultMicrosPerElement = 0.0;
+    /** Candidates measured by the run that produced this entry. */
+    int candidatesMeasured = 0;
+
+    json::Value toJson() const;
+};
+
+/** File-per-key persistent cache (see file comment). */
+class TuneCache {
+  public:
+    /**
+     * @param dir Cache directory; "" resolves MACROSS_TUNE_CACHE_DIR,
+     *     then a per-user default under the system temp directory.
+     *     Created (with parents) if missing.
+     */
+    explicit TuneCache(const std::string& dir = "");
+
+    const std::string& dir() const { return dir_; }
+
+    /** Path the entry for (@p program_hash, @p host) lives at. */
+    std::string pathFor(std::uint64_t program_hash,
+                        const native::HostFingerprint& host) const;
+
+    /**
+     * Load the entry for (@p program_hash, @p host). nullopt on a
+     * missing file or on any validation failure (corrupt JSON, schema
+     * skew, hash/fingerprint mismatch, invalid config) — misses, not
+     * errors.
+     */
+    std::optional<TuneCacheEntry>
+    load(std::uint64_t program_hash,
+         const native::HostFingerprint& host) const;
+
+    /** Persist @p entry (atomic temp-file + rename). */
+    void store(const TuneCacheEntry& entry) const;
+
+  private:
+    std::string dir_;
+};
+
+} // namespace macross::tuner

@@ -1,0 +1,121 @@
+#include "tuner/tune_config.h"
+
+#include "support/diagnostics.h"
+
+namespace macross::tuner {
+
+vectorizer::SimdizeOptions
+TuneConfig::simdizeOptions() const
+{
+    vectorizer::SimdizeOptions opts;
+    opts.machine = machine::machineByName(machine, sagu);
+    opts.enableSagu = sagu;
+    opts.enableVertical = vertical;
+    opts.enableHorizontal = horizontal;
+    opts.enablePermutedTapes = permute;
+    return opts;
+}
+
+interp::EngineConfig
+TuneConfig::engineConfig() const
+{
+    interp::EngineConfig ec(interp::ExecEngine::Native);
+    ec.simd.laneWidth = laneWidth;
+    ec.simd.isa = isa;
+    ec.batchIterations = batchIterations;
+    ec.ringCapacity = ringCapacity;
+    return ec;
+}
+
+std::string
+TuneConfig::key() const
+{
+    std::string k = machine;
+    k += simd ? ":simd" : ":scalar";
+    if (simd) {
+        k += sagu ? ":sagu" : "";
+        k += vertical ? ":v" : "";
+        k += horizontal ? ":h" : "";
+        k += permute ? ":p" : "";
+    }
+    k += ":w" + std::to_string(laneWidth);
+    k += ":" + isa;
+    k += ":t" + std::to_string(threads);
+    if (threads > 1) {
+        if (batchIterations > 0)
+            k += ":b" + std::to_string(batchIterations);
+        if (ringCapacity > 0)
+            k += ":r" + std::to_string(ringCapacity);
+    }
+    return k;
+}
+
+json::Value
+TuneConfig::toJson() const
+{
+    json::Value v = json::Value::object();
+    v["machine"] = machine;
+    v["simd"] = simd;
+    v["sagu"] = sagu;
+    v["vertical"] = vertical;
+    v["horizontal"] = horizontal;
+    v["permute"] = permute;
+    v["laneWidth"] = laneWidth;
+    v["isa"] = isa;
+    v["threads"] = threads;
+    v["batchIterations"] = batchIterations;
+    v["ringCapacity"] = ringCapacity;
+    return v;
+}
+
+TuneConfig
+TuneConfig::fromJson(const json::Value& v)
+{
+    fatalIf(v.kind() != json::Value::Kind::Object,
+            "TuneConfig JSON must be an object");
+    TuneConfig c;
+    if (const json::Value* m = v.find("machine"))
+        c.machine = m->asString();
+    if (const json::Value* b = v.find("simd"))
+        c.simd = b->asBool();
+    if (const json::Value* b = v.find("sagu"))
+        c.sagu = b->asBool();
+    if (const json::Value* b = v.find("vertical"))
+        c.vertical = b->asBool();
+    if (const json::Value* b = v.find("horizontal"))
+        c.horizontal = b->asBool();
+    if (const json::Value* b = v.find("permute"))
+        c.permute = b->asBool();
+    if (const json::Value* n = v.find("laneWidth"))
+        c.laneWidth = static_cast<int>(n->asInt());
+    if (const json::Value* s = v.find("isa"))
+        c.isa = s->asString();
+    if (const json::Value* n = v.find("threads"))
+        c.threads = static_cast<int>(n->asInt());
+    if (const json::Value* n = v.find("batchIterations"))
+        c.batchIterations = static_cast<int>(n->asInt());
+    if (const json::Value* n = v.find("ringCapacity"))
+        c.ringCapacity = n->asInt();
+    // Reject values a crafted or corrupted cache file could smuggle
+    // into compiler flags or allocation sizes downstream.
+    fatalIf(!codegen::isValidLaneWidth(c.laneWidth),
+            "TuneConfig.laneWidth ", c.laneWidth, " is not a valid "
+            "lane width");
+    fatalIf(c.threads < 1, "TuneConfig.threads must be >= 1");
+    fatalIf(c.batchIterations < 0 || c.ringCapacity < 0,
+            "TuneConfig parallel knobs must be >= 0");
+    fatalIf(c.isa.empty(), "TuneConfig.isa must be non-empty");
+    for (char ch : c.isa) {
+        bool ok = (ch >= 'a' && ch <= 'z') ||
+                  (ch >= 'A' && ch <= 'Z') ||
+                  (ch >= '0' && ch <= '9') || ch == '-' || ch == '_' ||
+                  ch == '.';
+        fatalIf(!ok, "TuneConfig.isa contains invalid character '", ch,
+                "' (expected an -march style name)");
+    }
+    // machineByName is itself fatal on unknown names.
+    machine::machineByName(c.machine, c.sagu);
+    return c;
+}
+
+} // namespace macross::tuner

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Measurement-driven auto-tuner (the ROADMAP's "close the loop" item;
+ * PAPERS.md's Arslan et al. study is the motivation: no single
+ * scheduling heuristic wins across SIMD pipelines, so search over
+ * configurations and measure).
+ *
+ * The tuner runs a three-stage funnel over the transform/execution
+ * space described by tuner::TuneConfig:
+ *
+ *  1. ENUMERATE — candidate configurations over the knobs the repo
+ *     already exposes: machine description (SW 4/8/16 via
+ *     nehalem/wide8/wide16), vertical/horizontal segment formation,
+ *     permuted-tape and SAGU tape strategies, emitted lane width
+ *     W ∈ {1,4,8,16} clipped to what this host can execute, explicit
+ *     -march ISA levels for the probed ISA, thread counts up to the
+ *     hardware, and parallel batch/ring sizing. The cost-model
+ *     default configuration is always candidate #0.
+ *
+ *  2. PRUNE — rank candidates by the execution-driven cost model: a
+ *     short profiling run on the bytecode VM charges the machine
+ *     description's cycle table (the same model the pass pipeline
+ *     trusts today), and multi-threaded variants are scored through
+ *     multicore::partitionGreedy + multicore::estimateMulticore on
+ *     the profiled weights. Only the top measureBudget candidates
+ *     (plus the default, unconditionally) graduate to measurement —
+ *     the model proposes, the measurement disposes.
+ *
+ *  3. MEASURE — each survivor runs on the native engine (the cached,
+ *     content-hashed .so backend): compile once, warm up, then take
+ *     the best of R timed windows of steady-state iterations
+ *     (best-of-R is the standard noise rejection for short timed
+ *     runs; the winner must beat the default on the SAME protocol).
+ *     A candidate whose native build fails (e.g. an -march level the
+ *     host compiler lacks) is recorded as failed and skipped, never
+ *     fatal to the search.
+ *
+ * The winner is persisted in the TuneCache keyed by (program content
+ * hash, host fingerprint); because the default is always measured,
+ * the tuned configuration is never worse than the default under the
+ * measurement protocol. Measurement is pluggable (Measurer) so tests
+ * drive the whole search deterministically without a host compiler.
+ */
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/trace.h"
+#include "tuner/tune_cache.h"
+#include "tuner/tune_config.h"
+#include "vectorizer/compile_service.h"
+
+namespace macross::tuner {
+
+/** Search + measurement-protocol knobs. */
+struct TunerOptions {
+    /** Max configurations measured natively (>= 1; the default
+     *  configuration is always among them). */
+    int measureBudget = 8;
+    /** Steady iterations run before any timed window. */
+    int warmupIterations = 4;
+    /** Steady iterations per timed window. */
+    int measureIterations = 24;
+    /** Timed windows per candidate; the best (min) is kept. */
+    int repetitions = 3;
+    /** Ceiling on thread counts to explore (2,4,…). Overrides the
+     *  probed hardware thread count when set; 0 = probe (so a
+     *  single-core host explores no parallel candidates). */
+    int maxThreads = 0;
+    /** Explore explicit -march ISA levels for the probed ISA. */
+    bool exploreIsa = true;
+    /** Consult/update the persistent cache around the search. */
+    bool useCache = true;
+    /** Cache directory ("" = MACROSS_TUNE_CACHE_DIR, then tmp). */
+    std::string cacheDir;
+    /** Test hook: pretend the host executes at most this many lanes
+     *  (0 = real probe); mirrors NativeOptions.maxLaneWidthOverride. */
+    int maxLaneWidthOverride = 0;
+    /** Optional sink for tuner phase events (may be null). */
+    support::Trace* trace = nullptr;
+};
+
+/** A pruned candidate: configuration plus its model score. */
+struct Candidate {
+    TuneConfig config;
+    /** Modeled steady cycles per sink element (lower is better). */
+    double modeledCyclesPerElement = 0.0;
+    bool isDefault = false;
+};
+
+/** One measured candidate. */
+struct Measurement {
+    TuneConfig config;
+    double modeledCyclesPerElement = 0.0;
+    /** Best-of-R measured micros per sink element (0 when failed). */
+    double microsPerElement = 0.0;
+    bool isDefault = false;
+    bool failed = false;
+    std::string error;  ///< Failure diagnostic (empty otherwise).
+
+    json::Value toJson() const;
+};
+
+/** Everything one tuning run decided and why. */
+struct TuneResult {
+    TuneConfig best;
+    TuneConfig defaultConfig;
+    double bestMicrosPerElement = 0.0;
+    double defaultMicrosPerElement = 0.0;
+    int candidatesEnumerated = 0;
+    int candidatesMeasured = 0;
+    /** Result came from the persistent cache; no search ran. */
+    bool cacheHit = false;
+    std::string cachePath;
+    std::vector<Measurement> measurements;  ///< Empty on a cache hit.
+
+    /** tuned-over-default speedup (>= 1 by construction). */
+    double speedupOverDefault() const
+    {
+        return bestMicrosPerElement > 0.0
+                   ? defaultMicrosPerElement / bestMicrosPerElement
+                   : 1.0;
+    }
+    /** The run.stats.tuner{...} schema. */
+    json::Value toJson() const;
+};
+
+/** Measurement strategy (pluggable for deterministic tests). */
+class Measurer {
+  public:
+    virtual ~Measurer() = default;
+    /**
+     * Measured steady-state microseconds per sink element of
+     * @p config over @p service's program. Throw FatalError for an
+     * unmeasurable configuration (recorded as failed and skipped).
+     */
+    virtual double measure(vectorizer::CompileService& service,
+                           const TuneConfig& config) = 0;
+};
+
+/**
+ * The real measurer: native engine, warmup + best-of-R timed
+ * windows (serial Runner at threads == 1, ParallelRunner above).
+ */
+class NativeMeasurer : public Measurer {
+  public:
+    NativeMeasurer(int warmup_iters, int measure_iters,
+                   int repetitions);
+    double measure(vectorizer::CompileService& service,
+                   const TuneConfig& config) override;
+
+  private:
+    int warmupIters_;
+    int measureIters_;
+    int repetitions_;
+};
+
+/** The search driver (see file comment). */
+class Tuner {
+  public:
+    /**
+     * @param program  Source program to tune.
+     * @param name     Human-readable program name (cache metadata).
+     * @param opt      Search/protocol options.
+     * @param measurer Measurement strategy; null uses NativeMeasurer
+     *     under opt's protocol (requires a host compiler).
+     */
+    Tuner(graph::StreamPtr program, std::string name,
+          TunerOptions opt = {}, Measurer* measurer = nullptr);
+
+    /** The cost-model default configuration on this host. */
+    TuneConfig defaultConfig() const;
+
+    /** Stage 1: the full deterministic candidate list. */
+    std::vector<TuneConfig> enumerate() const;
+
+    /**
+     * Stage 2: score @p candidates with the cost model and keep the
+     * top measureBudget (default always first, survivors by
+     * ascending modeled cycles).
+     */
+    std::vector<Candidate> prune(const std::vector<TuneConfig>& cs);
+
+    /**
+     * The full loop: cache lookup (useCache), enumerate, prune,
+     * measure, persist the winner. Never returns a best config that
+     * measured slower than the default.
+     */
+    TuneResult tune();
+
+    /** The compile service (shared with the caller's later runs). */
+    vectorizer::CompileService& service() { return service_; }
+
+  private:
+    /** Bytecode-profiled stats of one distinct vectorizer output
+     *  (shared by configs differing only in execution knobs). */
+    struct ModelProfile {
+        std::vector<double> actorCyclesPerIter;
+        double cyclesPerElement = 0.0;
+        double elementsPerIter = 0.0;
+    };
+
+    double modeledScore(const TuneConfig& config);
+    const ModelProfile& profileFor(const TuneConfig& config);
+
+    graph::StreamPtr program_;
+    std::string name_;
+    TunerOptions opt_;
+    Measurer* measurer_;
+    std::unique_ptr<Measurer> ownedMeasurer_;
+    vectorizer::CompileService service_;
+    std::map<std::string, ModelProfile> profiles_;
+    int hostMaxLanes_;
+    int hostThreads_;
+};
+
+/**
+ * `--tuned` support: the persisted winner for @p service's program on
+ * this host, or nullopt (missing/corrupt/stale entries are misses).
+ */
+std::optional<TuneCacheEntry>
+loadTunedConfig(vectorizer::CompileService& service,
+                const std::string& cache_dir = "");
+
+} // namespace macross::tuner

@@ -1,0 +1,68 @@
+#include "vectorizer/compile_service.h"
+
+#include "codegen/emit_cpp.h"
+#include "native/native_engine.h"
+#include "support/diagnostics.h"
+
+namespace macross::vectorizer {
+
+CompileService::CompileService(graph::StreamPtr program)
+    : program_(std::move(program))
+{
+    panicIf(!program_, "CompileService over a null program");
+}
+
+std::string
+CompileService::optionsKey(const SimdizeOptions& opts, bool simd)
+{
+    if (!simd)
+        return "scalar";
+    std::string key = opts.machine.name;
+    key += ":w" + std::to_string(opts.machine.simdWidth);
+    key += opts.machine.hasSagu ? ":sagu" : "";
+    key += opts.enableSingleActor ? ":sa" : "";
+    key += opts.enableVertical ? ":v" : "";
+    key += opts.enableHorizontal ? ":h" : "";
+    key += opts.enablePermutedTapes ? ":p" : "";
+    key += opts.enableSagu ? ":st" : "";
+    key += opts.forceSimdize ? ":f" : "";
+    return key;
+}
+
+const CompiledProgram&
+CompileService::compile(const SimdizeOptions& opts, bool simd)
+{
+    const std::string key = optionsKey(opts, simd);
+    auto it = cache_.find(key);
+    if (it != cache_.end())
+        return *it->second;
+    auto compiled = std::make_unique<CompiledProgram>(
+        simd ? macroSimdize(program_, opts)
+             : compileScalar(program_));
+    const CompiledProgram& ref = *compiled;
+    cache_.emplace(key, std::move(compiled));
+    return ref;
+}
+
+const CompiledProgram&
+CompileService::scalar()
+{
+    return compile(SimdizeOptions{}, false);
+}
+
+std::uint64_t
+CompileService::programHash()
+{
+    if (!hashDone_) {
+        const CompiledProgram& base = scalar();
+        // The emitted C++ is a complete, deterministic serialization
+        // of graph + schedule + IR; reuse it as the canonical form
+        // rather than inventing a second one.
+        programHash_ = native::fnv1a64(
+            codegen::emitCpp(base.graph, base.schedule, {}));
+        hashDone_ = true;
+    }
+    return programHash_;
+}
+
+} // namespace macross::vectorizer

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * CompileService: the vectorizer pipeline as a queryable service.
+ *
+ * macroSimdize()/compileScalar() are one-shot passes: every caller
+ * that wants to compare transform configurations (the auto-tuner, the
+ * benches, eventually the compile-and-run daemon and parameterized
+ * dataflow from the ROADMAP) must rebuild the whole pipeline output
+ * for each configuration, even when two configurations differ only in
+ * knobs the vectorizer never sees (native lane width, thread count,
+ * ring capacity). CompileService wraps one source program and
+ * memoizes compilations keyed by the SimdizeOptions that shape the
+ * transform space, so a search over N configurations pays for only
+ * the distinct vectorizer outputs among them.
+ *
+ * The service also owns the program's stable identity: programHash()
+ * is a content hash of the emitted C++ for the scalar compile —
+ * actor topology, rates, and every filter's IR all feed it — which is
+ * what the persistent tuning cache keys winners by.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "vectorizer/pipeline.h"
+
+namespace macross::vectorizer {
+
+/** Compiles one stream program under many configurations. */
+class CompileService {
+  public:
+    /** @param program Source program (shared; never mutated). */
+    explicit CompileService(graph::StreamPtr program);
+
+    /**
+     * Compile under @p opts (macro-SIMDized when @p simd, scalar
+     * otherwise), or return the cached result of an equal earlier
+     * request. The reference stays valid for the service's lifetime.
+     */
+    const CompiledProgram& compile(const SimdizeOptions& opts,
+                                   bool simd = true);
+
+    /** The scalar baseline (shorthand for compile(default, false)). */
+    const CompiledProgram& scalar();
+
+    /**
+     * Stable content hash of this program: FNV-1a over the emitted
+     * C++ of the scalar compile, so topology, rates, schedules, and
+     * filter IR bodies all contribute. Computed once, lazily.
+     */
+    std::uint64_t programHash();
+
+    /** Distinct compilations currently cached. */
+    std::size_t cachedCompilations() const { return cache_.size(); }
+
+    /**
+     * Memoization key for @p opts: machine name + width + the enable
+     * flags. Deliberately excludes the trace pointer and the cost
+     * table values (the tables are fixed per machine name).
+     */
+    static std::string optionsKey(const SimdizeOptions& opts,
+                                  bool simd);
+
+    const graph::StreamPtr& program() const { return program_; }
+
+  private:
+    graph::StreamPtr program_;
+    std::map<std::string, std::unique_ptr<CompiledProgram>> cache_;
+    std::uint64_t programHash_ = 0;
+    bool hashDone_ = false;
+};
+
+} // namespace macross::vectorizer

@@ -7,8 +7,10 @@
  * estimates, and per-actor/per-op-class steady-state cycle
  * breakdowns all present.
  */
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -19,6 +21,7 @@
 
 #include <gtest/gtest.h>
 
+#include "native/simd_probe.h"
 #include "support/json.h"
 
 namespace macross {
@@ -321,6 +324,152 @@ TEST(CliReport, NativeParallelRunReportsPartitionedStats)
 
     std::remove(natOut.c_str());
     std::remove(vmOut.c_str());
+}
+
+TEST(CliTuner, KnobUsageErrorsExitAsUsage)
+{
+    // Each rejection is a plain-prose usage error (exit 2), never an
+    // assert or a stack trace.
+    EXPECT_EQ(runCliExitCode("--bench FMRadio --machine pdp11"), 2);
+    EXPECT_EQ(runCliExitCode("--bench FMRadio --batch-iters 8"), 2);
+    EXPECT_EQ(runCliExitCode("--bench FMRadio --ring-cap 128"), 2);
+    EXPECT_EQ(runCliExitCode("--bench FMRadio --threads 2 "
+                             "--batch-iters 0"),
+              2);
+    EXPECT_EQ(runCliExitCode("--bench FMRadio --threads 2 "
+                             "--ring-cap banana"),
+              2);
+    EXPECT_EQ(runCliExitCode("--bench FMRadio --autotune"), 2);
+    EXPECT_EQ(runCliExitCode("--bench FMRadio --tuned"), 2);
+    EXPECT_EQ(runCliExitCode("--bench FMRadio --engine native "
+                             "--tune-budget 3"),
+              2);
+    EXPECT_EQ(runCliExitCode("--bench FMRadio --native-isa "
+                             "x86-64-v3"),
+              2);
+    EXPECT_EQ(runCliExitCode("--bench FMRadio --engine native "
+                             "--native-isa bad,flags"),
+              2);
+}
+
+TEST(CliTuner, MachineFlagSelectsWideMachine)
+{
+    const std::string out = "cli_tuner_machine_out.json";
+    std::remove(out.c_str());
+    ASSERT_EQ(runCliExitCode("--bench FMRadio --simd --machine wide8 "
+                             "--json-report " + out),
+              0);
+    json::Value root = json::parse(readFile(out));
+    EXPECT_EQ(root.find("machine")->find("name")->asString(),
+              "wide-8");
+    // --machine sets the default SW; --width still overrides it.
+    EXPECT_EQ(root.find("machine")->find("simdWidth")->asInt(), 8);
+    std::remove(out.c_str());
+
+    ASSERT_EQ(runCliExitCode("--bench FMRadio --simd --machine wide8 "
+                             "--width 4 --json-report " + out),
+              0);
+    root = json::parse(readFile(out));
+    EXPECT_EQ(root.find("machine")->find("simdWidth")->asInt(), 4);
+    std::remove(out.c_str());
+
+    // Without --native-simd the emitted lane width follows the
+    // machine's planned width, clipped to the host probe.
+    ASSERT_EQ(runCliExitCode("--bench DCT --simd --machine wide8 "
+                             "--engine native --run 4 --json-report " +
+                             out),
+              0);
+    root = json::parse(readFile(out));
+    const int expected =
+        std::min(8, macross::native::probeMaxLaneWidth());
+    EXPECT_EQ(root.find("run")
+                  ->find("stats")
+                  ->find("native")
+                  ->find("simd")
+                  ->find("laneWidth")
+                  ->asInt(),
+              expected);
+    std::remove(out.c_str());
+}
+
+TEST(CliTuner, BatchAndRingKnobsReachTheParallelRunner)
+{
+    const std::string out = "cli_tuner_knobs_out.json";
+    std::remove(out.c_str());
+    ASSERT_EQ(runCliExitCode("--bench FMRadio --simd --run 20 "
+                             "--threads 2 --batch-iters 4 "
+                             "--ring-cap 256 --json-report " + out),
+              0);
+    json::Value root = json::parse(readFile(out));
+    const json::Value* p =
+        root.find("run")->find("stats")->find("parallel");
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->find("batchIterations")->asInt(), 4);
+    EXPECT_EQ(p->find("minRingSlots")->asInt(), 256);
+    for (const json::Value& r : p->find("rings")->items())
+        EXPECT_GE(r.find("capacity")->asInt(), 256);
+    std::remove(out.c_str());
+}
+
+TEST(CliTuner, AutotuneSearchesPersistsAndHitsCache)
+{
+    namespace fs = std::filesystem;
+    const std::string cacheDir =
+        (fs::current_path() / "cli_tuner_cache_dir").string();
+    fs::remove_all(cacheDir);
+    ASSERT_EQ(setenv("MACROSS_TUNE_CACHE_DIR", cacheDir.c_str(), 1),
+              0);
+
+    const std::string out1 = "cli_tuner_autotune_1.json";
+    const std::string out2 = "cli_tuner_autotune_2.json";
+    const std::string out3 = "cli_tuner_tuned.json";
+    std::remove(out1.c_str());
+    std::remove(out2.c_str());
+    std::remove(out3.c_str());
+
+    const std::string args = "--bench RunningExample --engine native "
+                             "--autotune --tune-budget 2 --run 4 "
+                             "--json-report ";
+    ASSERT_EQ(runCliExitCode(args + out1), 0);
+    json::Value first = json::parse(readFile(out1));
+    const json::Value* t1 =
+        first.find("run")->find("stats")->find("tuner");
+    ASSERT_NE(t1, nullptr);
+    EXPECT_FALSE(t1->find("cacheHit")->asBool());
+    EXPECT_EQ(t1->find("candidatesMeasured")->asInt(), 2);
+    EXPECT_GT(t1->find("bestMicrosPerElement")->asDouble(), 0.0);
+    // Measured winner is never worse than the measured default.
+    EXPECT_LE(t1->find("bestMicrosPerElement")->asDouble(),
+              t1->find("defaultMicrosPerElement")->asDouble());
+
+    // Second run: the persisted winner is reused, no new search.
+    ASSERT_EQ(runCliExitCode(args + out2), 0);
+    json::Value second = json::parse(readFile(out2));
+    const json::Value* t2 =
+        second.find("run")->find("stats")->find("tuner");
+    ASSERT_NE(t2, nullptr);
+    EXPECT_TRUE(t2->find("cacheHit")->asBool());
+    EXPECT_EQ(t2->find("bestKey")->asString(),
+              t1->find("bestKey")->asString());
+    EXPECT_EQ(t2->find("measurements")->size(), 0u);
+
+    // --tuned consumes the same entry without searching.
+    ASSERT_EQ(runCliExitCode("--bench RunningExample --engine native "
+                             "--tuned --run 4 --json-report " + out3),
+              0);
+    json::Value tuned = json::parse(readFile(out3));
+    const json::Value* t3 =
+        tuned.find("run")->find("stats")->find("tuner");
+    ASSERT_NE(t3, nullptr);
+    EXPECT_TRUE(t3->find("cacheHit")->asBool());
+    EXPECT_EQ(t3->find("bestKey")->asString(),
+              t1->find("bestKey")->asString());
+
+    unsetenv("MACROSS_TUNE_CACHE_DIR");
+    std::remove(out1.c_str());
+    std::remove(out2.c_str());
+    std::remove(out3.c_str());
+    fs::remove_all(cacheDir);
 }
 
 TEST(CliReport, HelpExitsCleanly)

@@ -1,0 +1,449 @@
+/**
+ * @file
+ * Auto-tuner tests: deterministic enumeration, stub-driven search
+ * (no host compiler needed), the never-worse-than-default guarantee,
+ * persistent-cache round trips including corruption and stale-host
+ * handling, CompileService memoization, and a differential check
+ * that every configuration the tuner explores preserves the
+ * program's output stream.
+ */
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#ifndef _WIN32
+#include <stdlib.h>
+#endif
+
+#include "../test_util.h"
+#include "benchmarks/suite.h"
+#include "native/host_fingerprint.h"
+#include "support/diagnostics.h"
+#include "tuner/tuner.h"
+
+namespace macross::tuner {
+namespace {
+
+/** Fresh empty directory for a test-local tuning cache. */
+std::string
+makeTempDir()
+{
+    char buf[] = "/tmp/macross-tuner-test-XXXXXX";
+    const char* dir = ::mkdtemp(buf);
+    EXPECT_NE(dir, nullptr);
+    return dir ? dir : "";
+}
+
+/**
+ * Deterministic measurement stub: the score is a pure function of
+ * the configuration, and every call is counted. No compiler, no
+ * clock, no noise.
+ */
+class StubMeasurer : public Measurer {
+  public:
+    explicit StubMeasurer(std::function<double(const TuneConfig&)> f)
+        : f_(std::move(f))
+    {
+    }
+    double measure(vectorizer::CompileService&,
+                   const TuneConfig& config) override
+    {
+        ++calls;
+        return f_(config);
+    }
+    int calls = 0;
+
+  private:
+    std::function<double(const TuneConfig&)> f_;
+};
+
+/** Options that make the search host-independent: fixed lane-width
+ *  and thread ceilings, no ISA probe, generous budget. */
+TunerOptions
+deterministicOptions(const std::string& cache_dir)
+{
+    TunerOptions opt;
+    opt.maxLaneWidthOverride = 16;
+    opt.maxThreads = 4;
+    opt.exploreIsa = false;
+    opt.measureBudget = 100;
+    opt.cacheDir = cache_dir;
+    return opt;
+}
+
+graph::StreamPtr
+testProgram()
+{
+    return benchmarks::makeRunningExample();
+}
+
+TEST(TunerEnumerate, DeterministicUniqueAndDefaultFirst)
+{
+    TunerOptions opt = deterministicOptions(makeTempDir());
+    Tuner a(testProgram(), "t", opt);
+    Tuner b(testProgram(), "t", opt);
+
+    const auto ca = a.enumerate();
+    const auto cb = b.enumerate();
+    ASSERT_EQ(ca.size(), cb.size());
+    for (std::size_t i = 0; i < ca.size(); ++i)
+        EXPECT_EQ(ca[i].key(), cb[i].key());
+
+    ASSERT_FALSE(ca.empty());
+    EXPECT_EQ(ca[0].key(), a.defaultConfig().key());
+
+    std::set<std::string> keys;
+    bool sawScalar = false, sawSagu = false, sawWide8 = false,
+         sawWide16 = false, sawThreads = false;
+    for (const TuneConfig& c : ca) {
+        EXPECT_TRUE(keys.insert(c.key()).second)
+            << "duplicate candidate " << c.key();
+        sawScalar |= !c.simd;
+        sawSagu |= c.sagu;
+        sawWide8 |= c.machine == "wide8";
+        sawWide16 |= c.machine == "wide16";
+        sawThreads |= c.threads > 1;
+    }
+    EXPECT_TRUE(sawScalar);
+    EXPECT_TRUE(sawSagu);
+    EXPECT_TRUE(sawWide8);
+    EXPECT_TRUE(sawWide16);
+    EXPECT_TRUE(sawThreads);
+}
+
+TEST(TunerEnumerate, ClipsToHostCapabilities)
+{
+    TunerOptions opt = deterministicOptions(makeTempDir());
+    opt.maxLaneWidthOverride = 1;  // scalar-only host
+    opt.maxThreads = 1;
+    Tuner t(testProgram(), "t", opt);
+    for (const TuneConfig& c : t.enumerate()) {
+        EXPECT_EQ(c.laneWidth, 1) << c.key();
+        EXPECT_EQ(c.threads, 1) << c.key();
+    }
+}
+
+TEST(TunerSearch, StubSearchFindsWinnerAndCachesIt)
+{
+    const std::string dir = makeTempDir();
+    TunerOptions opt = deterministicOptions(dir);
+    // SAGU configurations are "fastest" under this stub.
+    StubMeasurer stub([](const TuneConfig& c) {
+        if (c.sagu)
+            return 2.0;
+        return c.threads > 1 ? 50.0 : 10.0;
+    });
+
+    Tuner t(testProgram(), "t", opt, &stub);
+    TuneResult res = t.tune();
+    EXPECT_FALSE(res.cacheHit);
+    EXPECT_TRUE(res.best.sagu) << res.best.key();
+    EXPECT_DOUBLE_EQ(res.bestMicrosPerElement, 2.0);
+    EXPECT_DOUBLE_EQ(res.defaultMicrosPerElement, 10.0);
+    EXPECT_DOUBLE_EQ(res.speedupOverDefault(), 5.0);
+    EXPECT_GT(res.candidatesEnumerated, 5);
+    EXPECT_EQ(res.candidatesMeasured,
+              static_cast<int>(res.measurements.size()));
+    EXPECT_GT(stub.calls, 0);
+    // The default is always among the measurements.
+    bool sawDefault = false;
+    for (const Measurement& m : res.measurements)
+        sawDefault |= m.isDefault;
+    EXPECT_TRUE(sawDefault);
+
+    // Second tuner, same cache dir: pure cache hit, stub never runs.
+    const int callsAfterSearch = stub.calls;
+    Tuner t2(testProgram(), "t", opt, &stub);
+    TuneResult res2 = t2.tune();
+    EXPECT_TRUE(res2.cacheHit);
+    EXPECT_EQ(res2.best.key(), res.best.key());
+    EXPECT_DOUBLE_EQ(res2.bestMicrosPerElement, 2.0);
+    EXPECT_TRUE(res2.measurements.empty());
+    EXPECT_EQ(stub.calls, callsAfterSearch);
+}
+
+TEST(TunerSearch, NeverWorseThanDefault)
+{
+    TunerOptions opt = deterministicOptions(makeTempDir());
+    opt.useCache = false;
+    // The default configuration is the global minimum.
+    StubMeasurer stub([&opt](const TuneConfig& c) {
+        Tuner probe(testProgram(), "probe", opt);
+        return c.key() == probe.defaultConfig().key() ? 1.0 : 5.0;
+    });
+    Tuner t(testProgram(), "t", opt, &stub);
+    TuneResult res = t.tune();
+    EXPECT_EQ(res.best.key(), t.defaultConfig().key());
+    EXPECT_LE(res.bestMicrosPerElement,
+              res.defaultMicrosPerElement);
+    EXPECT_DOUBLE_EQ(res.speedupOverDefault(), 1.0);
+}
+
+TEST(TunerSearch, FailedCandidatesAreSkippedNotFatal)
+{
+    TunerOptions opt = deterministicOptions(makeTempDir());
+    opt.useCache = false;
+    StubMeasurer stub([&opt](const TuneConfig& c) -> double {
+        Tuner probe(testProgram(), "probe", opt);
+        if (c.key() != probe.defaultConfig().key())
+            fatal("candidate cannot be built");
+        return 3.0;
+    });
+    Tuner t(testProgram(), "t", opt, &stub);
+    TuneResult res = t.tune();
+    EXPECT_EQ(res.best.key(), t.defaultConfig().key());
+    int failed = 0;
+    for (const Measurement& m : res.measurements) {
+        if (m.failed) {
+            ++failed;
+            EXPECT_FALSE(m.error.empty());
+            EXPECT_FALSE(m.isDefault);
+        }
+    }
+    EXPECT_GT(failed, 0);
+}
+
+TEST(TunerSearch, BudgetBoundsMeasurements)
+{
+    TunerOptions opt = deterministicOptions(makeTempDir());
+    opt.useCache = false;
+    opt.measureBudget = 3;
+    StubMeasurer stub([](const TuneConfig&) { return 1.0; });
+    Tuner t(testProgram(), "t", opt, &stub);
+    TuneResult res = t.tune();
+    EXPECT_EQ(res.candidatesMeasured, 3);
+    EXPECT_EQ(stub.calls, 3);
+    EXPECT_TRUE(res.measurements[0].isDefault);
+    EXPECT_GT(res.candidatesEnumerated, 3);
+}
+
+TEST(TuneCacheTest, RoundTrip)
+{
+    TuneCache cache(makeTempDir());
+    TuneCacheEntry entry;
+    entry.program = "RoundTrip";
+    entry.programHash = 0x1234abcd5678ef00ull;
+    entry.host = native::hostFingerprint();
+    entry.config.machine = "wide8";
+    entry.config.laneWidth = 8;
+    entry.config.sagu = true;
+    entry.tunedMicrosPerElement = 0.5;
+    entry.defaultMicrosPerElement = 1.5;
+    entry.candidatesMeasured = 7;
+    cache.store(entry);
+
+    auto loaded = cache.load(entry.programHash, entry.host);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->program, "RoundTrip");
+    EXPECT_EQ(loaded->config.key(), entry.config.key());
+    EXPECT_DOUBLE_EQ(loaded->tunedMicrosPerElement, 0.5);
+    EXPECT_DOUBLE_EQ(loaded->defaultMicrosPerElement, 1.5);
+    EXPECT_EQ(loaded->candidatesMeasured, 7);
+
+    // A different program hash is a miss, not a collision.
+    EXPECT_FALSE(
+        cache.load(entry.programHash + 1, entry.host).has_value());
+}
+
+TEST(TuneCacheTest, CorruptFilesAreMissesNeverErrors)
+{
+    TuneCache cache(makeTempDir());
+    const std::uint64_t hash = 42;
+    const native::HostFingerprint& host = native::hostFingerprint();
+    const std::string path = cache.pathFor(hash, host);
+
+    auto writeFile = [&](const std::string& text) {
+        std::ofstream out(path);
+        out << text;
+    };
+
+    writeFile("this is not json {{{");
+    EXPECT_FALSE(cache.load(hash, host).has_value());
+
+    writeFile("[1, 2, 3]");
+    EXPECT_FALSE(cache.load(hash, host).has_value());
+
+    // Wrong schema version.
+    TuneCacheEntry entry;
+    entry.programHash = hash;
+    entry.host = host;
+    json::Value v = entry.toJson();
+    v["schemaVersion"] = kTuneCacheSchemaVersion + 1;
+    writeFile(v.dump(2));
+    EXPECT_FALSE(cache.load(hash, host).has_value());
+
+    // A config smuggling an invalid lane width must not load.
+    v = entry.toJson();
+    v["config"]["laneWidth"] = 5;
+    writeFile(v.dump(2));
+    EXPECT_FALSE(cache.load(hash, host).has_value());
+
+    // An isa value that could inject compiler flags must not load.
+    v = entry.toJson();
+    v["config"]["isa"] = "native -wl,-rpath,/evil";
+    writeFile(v.dump(2));
+    EXPECT_FALSE(cache.load(hash, host).has_value());
+
+    // The intact entry still loads (the miss logic is per-defect).
+    writeFile(entry.toJson().dump(2));
+    EXPECT_TRUE(cache.load(hash, host).has_value());
+}
+
+TEST(TuneCacheTest, StaleHostFingerprintIsAMiss)
+{
+    TuneCache cache(makeTempDir());
+    const std::uint64_t hash = 7;
+    const native::HostFingerprint& host = native::hostFingerprint();
+
+    // A foreign host's entry sitting at this host's path (e.g. a
+    // copied cache directory): the embedded fingerprint decides.
+    TuneCacheEntry entry;
+    entry.programHash = hash;
+    entry.host = host;
+    entry.host.cpuModel = "Some Other CPU";
+    {
+        std::ofstream out(cache.pathFor(hash, host));
+        out << entry.toJson().dump(2);
+    }
+    EXPECT_FALSE(cache.load(hash, host).has_value());
+}
+
+TEST(TuneCacheTest, LoadTunedConfigMatchesStore)
+{
+    const std::string dir = makeTempDir();
+    vectorizer::CompileService svc(testProgram());
+
+    EXPECT_FALSE(loadTunedConfig(svc, dir).has_value());
+
+    TuneCache cache(dir);
+    TuneCacheEntry entry;
+    entry.program = "t";
+    entry.programHash = svc.programHash();
+    entry.host = native::hostFingerprint();
+    entry.config.sagu = true;
+    cache.store(entry);
+
+    auto loaded = loadTunedConfig(svc, dir);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_TRUE(loaded->config.sagu);
+}
+
+TEST(TuneConfigTest, KeyAndJsonRoundTrip)
+{
+    TuneConfig c;
+    c.machine = "wide16";
+    c.sagu = true;
+    c.vertical = false;
+    c.laneWidth = 16;
+    c.isa = "x86-64-v4";
+    c.threads = 2;
+    c.batchIterations = 64;
+    c.ringCapacity = 512;
+
+    TuneConfig back = TuneConfig::fromJson(c.toJson());
+    EXPECT_EQ(back.key(), c.key());
+    EXPECT_TRUE(back == c);
+
+    TuneConfig other = c;
+    other.laneWidth = 8;
+    EXPECT_TRUE(other != c);
+
+    // fromJson rejects hostile values outright.
+    json::Value bad = c.toJson();
+    bad["laneWidth"] = 3;
+    EXPECT_THROW(TuneConfig::fromJson(bad), FatalError);
+    bad = c.toJson();
+    bad["machine"] = "pdp11";
+    EXPECT_THROW(TuneConfig::fromJson(bad), FatalError);
+    bad = c.toJson();
+    bad["threads"] = 0;
+    EXPECT_THROW(TuneConfig::fromJson(bad), FatalError);
+}
+
+TEST(CompileServiceTest, MemoizesByOptionsKey)
+{
+    vectorizer::CompileService svc(testProgram());
+    vectorizer::SimdizeOptions opts;
+    opts.machine = machine::machineByName("nehalem");
+
+    const auto& a = svc.compile(opts, true);
+    const auto& b = svc.compile(opts, true);
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(svc.cachedCompilations(), 1u);
+
+    vectorizer::SimdizeOptions wide;
+    wide.machine = machine::machineByName("wide8");
+    const auto& c = svc.compile(wide, true);
+    EXPECT_NE(&a, &c);
+    EXPECT_EQ(svc.cachedCompilations(), 2u);
+
+    const auto& s1 = svc.scalar();
+    const auto& s2 = svc.compile(opts, false);
+    EXPECT_EQ(&s1, &s2);
+    EXPECT_EQ(svc.cachedCompilations(), 3u);
+}
+
+TEST(CompileServiceTest, ProgramHashIsStableAndContentSensitive)
+{
+    vectorizer::CompileService a(testProgram());
+    vectorizer::CompileService b(testProgram());
+    EXPECT_EQ(a.programHash(), b.programHash());
+    EXPECT_NE(a.programHash(), 0u);
+
+    vectorizer::CompileService other(
+        benchmarks::benchmarkByName("DCT"));
+    EXPECT_NE(a.programHash(), other.programHash());
+}
+
+TEST(HostFingerprintTest, JsonRoundTripAndKey)
+{
+    const native::HostFingerprint& host = native::hostFingerprint();
+    EXPECT_FALSE(host.key().empty());
+    EXPECT_GE(host.hardwareThreads, 1);
+    EXPECT_GE(host.maxLaneWidth, 1);
+
+    native::HostFingerprint back =
+        native::HostFingerprint::fromJson(host.toJson());
+    EXPECT_TRUE(back == host);
+
+    native::HostFingerprint changed = back;
+    changed.isa = "different";
+    EXPECT_TRUE(changed != host);
+    EXPECT_NE(changed.key(), host.key());
+}
+
+/**
+ * The differential battery: every configuration the tuner can
+ * explore must preserve the program's output stream bit-exactly on
+ * the bytecode VM. (The native engine's own equivalence is covered
+ * by the native differential tests; this pins the transform side of
+ * the search space.)
+ */
+TEST(TunerDifferential, EveryExploredConfigPreservesOutput)
+{
+    TunerOptions opt = deterministicOptions(makeTempDir());
+    Tuner t(testProgram(), "t", opt);
+
+    auto scalar = vectorizer::compileScalar(testProgram());
+    auto want = testutil::capture(scalar, 192);
+
+    std::set<std::string> tested;
+    for (const TuneConfig& c : t.enumerate()) {
+        // Distinct vectorizer outputs only: execution knobs (W,
+        // threads, rings) don't change the transformed graph.
+        const std::string key = vectorizer::CompileService::optionsKey(
+            c.simdizeOptions(), c.simd);
+        if (!tested.insert(key).second)
+            continue;
+        SCOPED_TRACE(c.key());
+        const auto& p = t.service().compile(c.simdizeOptions(), c.simd);
+        testutil::expectSameStream(want, testutil::capture(p, 192));
+    }
+    EXPECT_GT(tested.size(), 3u);
+}
+
+} // namespace
+} // namespace macross::tuner

@@ -14,6 +14,7 @@
  * Run `macross --help` for the full option list (the table below is
  * the single source of truth).
  */
+#include <algorithm>
 #include <charconv>
 #include <chrono>
 #include <cstdint>
@@ -36,6 +37,7 @@
 #include "interp/parallel_runner.h"
 #include "interp/runner.h"
 #include "lowering/lowered.h"
+#include "machine/machine_desc.h"
 #include "multicore/partition.h"
 #include "native/simd_probe.h"
 #include "support/diagnostics.h"
@@ -43,6 +45,8 @@
 #include "support/json.h"
 #include "support/trace.h"
 #include "support/ulp.h"
+#include "tuner/tuner.h"
+#include "vectorizer/compile_service.h"
 #include "vectorizer/pipeline.h"
 
 using namespace macross;
@@ -69,6 +73,7 @@ struct CliConfig {
     bool horizontal = true;
     bool permute = true;
     int width = 4;
+    bool widthSet = false;  ///< --width given (else machine default).
     int iters = 10;
     int emitPrint = 32;
     int threads = 1;
@@ -76,6 +81,13 @@ struct CliConfig {
     int nativeSimd = 0;  ///< 0 = SimdSpec default.
     int ulpTol = -1;     ///< -1 = no cross-check.
     std::string injectFault;
+    std::string machineName = "nehalem";
+    std::string nativeIsa;  ///< Empty = SimdSpec default (native).
+    int batchIters = 0;     ///< 0 = ParallelOptions default.
+    int ringCap = 0;        ///< 0 = ParallelOptions default.
+    bool autotune = false;
+    bool tuned = false;
+    int tuneBudget = 0;     ///< 0 = TunerOptions default.
 };
 
 /** One entry of the declarative option table. */
@@ -125,8 +137,32 @@ optionTable()
          flag(&CliConfig::simd, true)},
         {"--scalar", nullptr, "compile scalar (no SIMDization)",
          flag(&CliConfig::simd, false)},
-        {"--width", "N", "SIMD lanes (default 4)",
-         integer(&CliConfig::width)},
+        {"--width", "N",
+         "SIMD lanes SW for the vectorizer (default: the machine's "
+         "natural width)",
+         [](CliConfig& c, const std::string& v) {
+             int n = 0;
+             auto [p, ec] =
+                 std::from_chars(v.data(), v.data() + v.size(), n);
+             if (ec != std::errc() || p != v.data() + v.size() ||
+                 n <= 0)
+                 return false;
+             c.width = n;
+             c.widthSet = true;
+             return true;
+         }},
+        {"--machine", "nehalem|wide8|wide16",
+         "machine description: cycle tables and natural SIMD width "
+         "SW (default nehalem, SW=4; wide8/wide16 model the paper's "
+         "hypothetical wider units)",
+         [](CliConfig& c, const std::string& v) {
+             const auto& names = machine::machineNames();
+             if (std::find(names.begin(), names.end(), v) ==
+                 names.end())
+                 return false;
+             c.machineName = v;
+             return true;
+         }},
         {"--sagu", nullptr,
          "enable the SAGU tape layout (implies the unit)",
          flag(&CliConfig::sagu, true)},
@@ -157,6 +193,23 @@ optionTable()
          "fallback layer, 4/8/16 the vector layer (default 4; "
          "validated against what this host can execute)",
          integer(&CliConfig::nativeSimd)},
+        {"--native-isa", "NAME",
+         "native engine: explicit -march level (e.g. x86-64-v3) "
+         "instead of the default -march=native",
+         [](CliConfig& c, const std::string& v) {
+             if (v.empty())
+                 return false;
+             for (char ch : v) {
+                 bool ok = (ch >= 'a' && ch <= 'z') ||
+                           (ch >= 'A' && ch <= 'Z') ||
+                           (ch >= '0' && ch <= '9') || ch == '-' ||
+                           ch == '_' || ch == '.';
+                 if (!ok)
+                     return false;
+             }
+             c.nativeIsa = v;
+             return true;
+         }},
         {"--ulp-tol", "N",
          "native engine: cross-check the captured stream against the "
          "bytecode VM within N ULPs after the run; N > 0 also opts "
@@ -179,6 +232,29 @@ optionTable()
          "multicore partition (default 1); with --engine native each "
          "worker runs its core's emitted sub-program over SPSC rings",
          integer(&CliConfig::threads)},
+        {"--batch-iters", "N",
+         "parallel runs: steady iterations per worker handoff "
+         "(default engine-chosen; requires --threads > 1)",
+         integer(&CliConfig::batchIters)},
+        {"--ring-cap", "N",
+         "parallel runs: lower bound on SPSC ring slots per crossing "
+         "tape (default engine-chosen; requires --threads > 1)",
+         integer(&CliConfig::ringCap)},
+        {"--autotune", nullptr,
+         "search transform/execution configurations, measure the "
+         "survivors on the native engine, run the winner, and persist "
+         "it in the tuning cache (requires --engine native; overrides "
+         "the transform flags above)",
+         flag(&CliConfig::autotune, true)},
+        {"--tuned", nullptr,
+         "use the persisted --autotune winner for this program and "
+         "host if one is cached; fall back to defaults otherwise "
+         "(requires --engine native)",
+         flag(&CliConfig::tuned, true)},
+        {"--tune-budget", "N",
+         "max configurations the tuner measures natively (default 8; "
+         "requires --autotune)",
+         integer(&CliConfig::tuneBudget)},
         {"--watchdog-ms", "MS",
          "parallel-run watchdog: detect a batch stalled for MS ms, "
          "shut the pool down, and fall back to the verified serial "
@@ -349,6 +425,32 @@ main(int argc, char** argv)
                                          : "--ulp-tol");
         return usage(argv[0]);
     }
+    if (!cfg.nativeIsa.empty() && cfg.engineName != "native") {
+        std::fprintf(stderr,
+                     "--native-isa only applies to --engine native\n");
+        return usage(argv[0]);
+    }
+    if ((cfg.batchIters != 0 || cfg.ringCap != 0) &&
+        cfg.threads <= 1) {
+        std::fprintf(stderr,
+                     "%s shapes the parallel runner; add --threads N "
+                     "with N > 1\n",
+                     cfg.batchIters != 0 ? "--batch-iters"
+                                         : "--ring-cap");
+        return usage(argv[0]);
+    }
+    if ((cfg.autotune || cfg.tuned) && cfg.engineName != "native") {
+        std::fprintf(stderr,
+                     "%s measures and runs the native engine; add "
+                     "--engine native\n",
+                     cfg.autotune ? "--autotune" : "--tuned");
+        return usage(argv[0]);
+    }
+    if (cfg.tuneBudget != 0 && !cfg.autotune) {
+        std::fprintf(stderr,
+                     "--tune-budget only applies with --autotune\n");
+        return usage(argv[0]);
+    }
 
     try {
         // --inject-fault: deliberate failures for exercising the
@@ -382,11 +484,78 @@ main(int argc, char** argv)
 
         support::Trace trace;
         const bool wantTrace = cfg.trace || !cfg.jsonReportFile.empty();
+        const std::string programName = !cfg.benchName.empty()
+                                            ? cfg.benchName
+                                            : cfg.sourceFile;
+
+        // --autotune / --tuned: let the measurement-driven tuner (or
+        // its persisted winner) choose the configuration; the
+        // transform/width/thread flags above are overridden.
+        tuner::TuneResult tuneResult;
+        bool haveTune = false;
+        if (cfg.autotune) {
+            tuner::TunerOptions topt;
+            if (cfg.tuneBudget > 0)
+                topt.measureBudget = cfg.tuneBudget;
+            if (wantTrace)
+                topt.trace = &trace;
+            tuner::Tuner t(program, programName, topt);
+            tuneResult = t.tune();
+            haveTune = true;
+        } else if (cfg.tuned) {
+            vectorizer::CompileService svc(program);
+            if (auto entry = tuner::loadTunedConfig(svc)) {
+                tuneResult.best = entry->config;
+                tuneResult.bestMicrosPerElement =
+                    entry->tunedMicrosPerElement;
+                tuneResult.defaultMicrosPerElement =
+                    entry->defaultMicrosPerElement;
+                tuneResult.candidatesMeasured =
+                    entry->candidatesMeasured;
+                tuneResult.cacheHit = true;
+                tuneResult.cachePath = tuner::TuneCache().pathFor(
+                    svc.programHash(), native::hostFingerprint());
+                haveTune = true;
+            } else {
+                std::printf("no tuned configuration cached for this "
+                            "program on this host; running defaults "
+                            "(use --autotune to search)\n");
+            }
+        }
+        if (haveTune) {
+            const tuner::TuneConfig& best = tuneResult.best;
+            std::printf("auto-tune: %s (%s), %.3f us/element vs "
+                        "default %.3f (%.2fx), %d candidate%s "
+                        "measured%s\n",
+                        best.key().c_str(),
+                        tuneResult.cacheHit ? "cached" : "searched",
+                        tuneResult.bestMicrosPerElement,
+                        tuneResult.defaultMicrosPerElement,
+                        tuneResult.speedupOverDefault(),
+                        tuneResult.candidatesMeasured,
+                        tuneResult.candidatesMeasured == 1 ? "" : "s",
+                        tuneResult.cacheHit ? "" : " (cache updated)");
+            cfg.simd = best.simd;
+            cfg.sagu = best.sagu;
+            cfg.vertical = best.vertical;
+            cfg.horizontal = best.horizontal;
+            cfg.permute = best.permute;
+            cfg.machineName = best.machine;
+            cfg.widthSet = false;
+            cfg.threads = best.threads;
+            cfg.nativeSimd = best.laneWidth;
+            cfg.nativeIsa = best.isa == "auto" ? "" : best.isa;
+            cfg.batchIters = best.batchIterations;
+            cfg.ringCap = static_cast<int>(best.ringCapacity);
+        }
 
         vectorizer::SimdizeOptions opts;
-        opts.machine = cfg.sagu ? machine::coreI7WithSagu()
-                                : machine::coreI7();
-        opts.machine.simdWidth = cfg.width;
+        opts.machine =
+            machine::machineByName(cfg.machineName, cfg.sagu);
+        if (cfg.widthSet)
+            opts.machine.simdWidth = cfg.width;
+        else
+            cfg.width = opts.machine.simdWidth;
         opts.enableSagu = cfg.sagu;
         opts.enableVertical = cfg.vertical;
         opts.enableHorizontal = cfg.horizontal;
@@ -429,9 +598,25 @@ main(int argc, char** argv)
             : cfg.engineName == "native" ? interp::ExecEngine::Native
                                          : interp::ExecEngine::Bytecode;
         interp::EngineConfig econfig(engine);
-        if (cfg.nativeSimd != 0)
+        if (cfg.nativeSimd != 0) {
             econfig.simd.laneWidth = cfg.nativeSimd;
+        } else if (engine == interp::ExecEngine::Native && cfg.simd) {
+            // The emitted lane width follows the machine the
+            // vectorizer planned against (wide8 plans 8-lane
+            // segments, so emit 8 lanes), clipped to what this host
+            // can execute rather than tripping the W=1 fallback. An
+            // exotic --width the emitter has no lane type for keeps
+            // the SimdSpec default.
+            const int planned = std::min(
+                opts.machine.simdWidth, native::probeMaxLaneWidth());
+            if (codegen::isValidLaneWidth(planned))
+                econfig.simd.laneWidth = planned;
+        }
+        if (!cfg.nativeIsa.empty())
+            econfig.simd.isa = cfg.nativeIsa;
         econfig.simd.allowUlpDivergence = cfg.ulpTol > 0;
+        econfig.batchIterations = cfg.batchIters;
+        econfig.ringCapacity = cfg.ringCap;
         interp::Runner r(compiled.graph, compiled.schedule, &cost,
                          econfig);
         if (wantTrace)
@@ -684,7 +869,11 @@ main(int argc, char** argv)
             // With --threads the parallel runner's stats subsume the
             // serial ones and add the "parallel" section (partition,
             // rings, measured speedup).
-            run["stats"] = par ? par->statsToJson() : r.statsToJson();
+            json::Value stats =
+                par ? par->statsToJson() : r.statsToJson();
+            if (haveTune)
+                stats["tuner"] = tuneResult.toJson();
+            run["stats"] = std::move(stats);
             root["run"] = std::move(run);
 
             root["trace"] = trace.toJson();

@@ -11,7 +11,12 @@
 #                             measured interpreter and native×threads
 #                             wall-clock tables
 #     BENCH_native_simd.json  measured wall clock: bytecode VM vs
-#                             native at lane widths W=1 and W=4
+#                             native at lane widths W=1 and W=4, the
+#                             wide8/wide16 machine matrix, and the
+#                             explicit -march sweep
+#     BENCH_tuner.json        auto-tuner study: tuned vs default
+#                             native configuration per benchmark,
+#                             with every measured candidate
 #
 # Usage: tools/record_bench.sh [build-dir]   (default: build-release)
 #
@@ -27,7 +32,8 @@ build=${1:-"$repo/build-release"}
 
 cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build" -j \
-    --target fig10a_gcc fig12_sagu fig13_multicore native_throughput
+    --target fig10a_gcc fig12_sagu fig13_multicore native_throughput \
+             tuner_bench
 
 run_bench() {
     bench=$1
@@ -41,5 +47,15 @@ run_bench fig12_sagu BENCH_fig12.json
 run_bench fig13_multicore BENCH_fig13.json
 run_bench native_throughput BENCH_native_simd.json
 
+# The tuner searches from scratch in a hermetic cache directory so
+# the recorded numbers never depend on stale cached winners.
+tunecache=$(mktemp -d "${TMPDIR:-/tmp}/macross-tune-record.XXXXXX")
+(
+    MACROSS_TUNE_CACHE_DIR="$tunecache"
+    export MACROSS_TUNE_CACHE_DIR
+    run_bench tuner_bench BENCH_tuner.json
+)
+rm -rf "$tunecache"
+
 echo "wrote BENCH_fig10a.json BENCH_fig12.json BENCH_fig13.json" \
-     "BENCH_native_simd.json to $repo"
+     "BENCH_native_simd.json BENCH_tuner.json to $repo"
