@@ -46,6 +46,42 @@ enum class ExecEngine {
 /** Engine name for reports ("tree" / "bytecode" / "native"). */
 std::string toString(ExecEngine e);
 
+/**
+ * What a Runner does when the native engine faults (host compile
+ * failure, unloadable object, or a crash in emitted code surfaced by
+ * the signal guards as a NativeFaultError).
+ *
+ * The ladder is: parallel native → serial native → bytecode VM. A
+ * ParallelRunner passes its EngineConfig verbatim to its serial
+ * fallback, so a parallel-native crash lands on a serial Runner that
+ * still has engine = Native and this policy — if that faults too, the
+ * serial runner takes the final step down to the bytecode VM.
+ * Every step replays the completed work on the lower engine and, under
+ * the exact SimdSpec contract, verifies the already-captured prefix
+ * bitwise against the replay before continuing.
+ */
+enum class DegradeMode {
+    /**
+     * No degradation: the structured NativeFaultError propagates to
+     * the caller. The default — an engine asked for explicitly should
+     * not silently become a different engine.
+     */
+    Off,
+    /** Degrade on fault (replay + prefix verification, then continue
+     *  on the lower engine; recorded in stats, never silent). */
+    Auto,
+    /**
+     * Degrade on fault, and additionally run the bytecode shadow in
+     * lockstep with a healthy native engine, verifying the captured
+     * stream bitwise after every steady batch (exact contract only).
+     * The belt-and-suspenders mode for chaos/CI runs.
+     */
+    Always,
+};
+
+/** Policy name for reports ("off" / "auto" / "always"). */
+std::string toString(DegradeMode m);
+
 /** Complete execution-engine configuration for a Runner. */
 struct EngineConfig {
     EngineConfig() = default;
@@ -74,6 +110,11 @@ struct EngineConfig {
      * rejected here at first firing.
      */
     std::map<int, ExecEngine> actorEngines;
+    /**
+     * Fault-degradation policy for ExecEngine::Native (see
+     * DegradeMode). Ignored by the interpreting engines.
+     */
+    DegradeMode degrade = DegradeMode::Off;
     /**
      * Steady iterations per parallel dispatch batch. 0 keeps the
      * runtime default (ParallelOptions::batchIterations, 32).

@@ -7,6 +7,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "native/native_fault.h"
+#include "native/quarantine.h"
 #include "schedule/buffers.h"
 #include "support/diagnostics.h"
 #include "support/fault.h"
@@ -230,6 +232,8 @@ ParallelRunner::workerLoop(int worker_id)
         {
             std::lock_guard<std::mutex> lk(mu_);
             ++doneCount_;
+            if (w.error)
+                ++erroredCount_;
             w.doneGen = seenGen;
         }
         cv_.notify_all();
@@ -271,6 +275,7 @@ ParallelRunner::dispatchBatch(int iterations)
         std::lock_guard<std::mutex> lk(mu_);
         batchIters_ = iterations;
         doneCount_ = 0;
+        erroredCount_ = 0;
         gen = ++generation_;
     }
     cv_.notify_all();
@@ -283,15 +288,21 @@ ParallelRunner::dispatchBatch(int iterations)
     bool finished = true;
     {
         std::unique_lock<std::mutex> lk(mu_);
-        auto allDone = [&] {
-            return doneCount_ == static_cast<int>(workers_.size());
+        // Native batches additionally wake on the first worker error:
+        // a crashed partition never flushes its rings, so its siblings
+        // would block in emitted ring waits and allDone would never
+        // hold. Interp batches keep the plain barrier — an interp
+        // worker's exception cannot wedge its peers past batch end.
+        auto done = [&] {
+            return doneCount_ == static_cast<int>(workers_.size()) ||
+                   (native_ && erroredCount_ > 0);
         };
         if (opt_.watchdogMs > 0)
             finished = cv_.wait_for(
                 lk, std::chrono::milliseconds(opt_.watchdogMs),
-                allDone);
+                done);
         else
-            cv_.wait(lk, allDone);
+            cv_.wait(lk, done);
         if (!finished) {
             ParallelFault f;
             f.kind = "workerStall";
@@ -316,8 +327,6 @@ ParallelRunner::dispatchBatch(int iterations)
             continue;
         std::exception_ptr e = w->error;
         w->error = nullptr;
-        if (opt_.watchdogMs <= 0)
-            std::rethrow_exception(e);  // Legacy: caller's problem.
         ParallelFault f;
         f.kind = "workerError";
         f.generation = gen;
@@ -326,9 +335,29 @@ ParallelRunner::dispatchBatch(int iterations)
         f.pendingWorkers.push_back(static_cast<int>(&w - workers_.data()));
         try {
             std::rethrow_exception(e);
+        } catch (const native::NativeFaultError& ex) {
+            // A crash in emitted code: typed, and policy-governed
+            // regardless of the watchdog setting (the fault is
+            // already contained; nothing needs a timeout to detect).
+            f.kind = "nativeFault";
+            f.message = ex.what();
+            nativeFaults_.push_back(ex.record());
+            if (config_.degrade == DegradeMode::Off) {
+                // No ladder below by policy: park the pool so no
+                // worker is left running emitted code, record what
+                // happened, and let the typed fault propagate.
+                f.cleanShutdown = shutdownPool();
+                faults_.push_back(std::move(f));
+                throw;
+            }
+            return f;
         } catch (const std::exception& ex) {
+            if (opt_.watchdogMs <= 0)
+                std::rethrow_exception(e);  // Legacy: caller's problem.
             f.message = ex.what();
         } catch (...) {
+            if (opt_.watchdogMs <= 0)
+                std::rethrow_exception(e);  // Legacy: caller's problem.
             f.message = "non-standard exception";
         }
         return f;
@@ -336,14 +365,13 @@ ParallelRunner::dispatchBatch(int iterations)
     return std::nullopt;
 }
 
-void
-ParallelRunner::degradeToSerial(ParallelFault fault,
-                                std::int64_t target_iters)
+bool
+ParallelRunner::shutdownPool()
 {
-    // 1. Stop the pool. Workers blocked inside a ring wait (their
-    // peer died mid-batch) cannot see stop_; aborting the waits makes
-    // them panic out promptly, the batch loop catches it, and they
-    // park like any other finished worker.
+    // Stop the pool. Workers blocked inside a ring wait (their peer
+    // died mid-batch) cannot see stop_; aborting the waits makes them
+    // panic out promptly, the batch loop catches it, and they park
+    // like any other finished worker.
     {
         std::lock_guard<std::mutex> lk(mu_);
         stop_ = true;
@@ -353,27 +381,38 @@ ParallelRunner::degradeToSerial(ParallelFault fault,
         if (r)
             r->abortWaits();
     }
-    // 2. Grace wait for all workers to exit, then join them. A worker
+    // Grace wait for all workers to exit, then join them. A worker
     // that is still wedged past the grace period (stalled in user code
     // the abort cannot reach) is detached: it holds only references
     // into this runner, which stays alive, and it can no longer pass a
     // barrier since stop_ is set.
     const auto grace = std::chrono::milliseconds(
         std::max<std::int64_t>(10 * opt_.watchdogMs, 2000));
+    bool clean = false;
     {
         std::unique_lock<std::mutex> lk(mu_);
-        fault.cleanShutdown = cv_.wait_for(lk, grace, [&] {
+        clean = cv_.wait_for(lk, grace, [&] {
             return exitedCount_ == static_cast<int>(workers_.size());
         });
     }
     for (auto& w : workers_) {
         if (!w->thread.joinable())
             continue;
-        if (fault.cleanShutdown || w->exited)
+        if (clean || w->exited)
             w->thread.join();
         else
             w->thread.detach();
     }
+    return clean;
+}
+
+void
+ParallelRunner::degradeToSerial(ParallelFault fault,
+                                std::int64_t target_iters)
+{
+    // 1-2. Park the pool (stop flag, ring-wait aborts, grace
+    // join/detach).
+    fault.cleanShutdown = shutdownPool();
     // 3. Snapshot the parallel run's captures for verification. The
     // sink worker appends in serial order even mid-batch, so whatever
     // is there is a prefix of the serial stream — but only a clean
@@ -477,8 +516,17 @@ ParallelRunner::runSteady(int iterations)
 
     // Batch barrier: workers are parked, so the emitted sink buffer is
     // quiescent and can be snapshotted for captured().
-    if (native_)
+    if (native_) {
         nativeCaptured_ = native_->captured();
+        // The recompiled-fresh entry survived real steady batches on
+        // every partition: lift the quarantine so future runs
+        // cache-hit again.
+        if (!quarCleared_ &&
+            native_->stats().quarantineFailures > 0) {
+            native::quarantine::clear(native_->stats().soPath);
+            quarCleared_ = true;
+        }
+    }
 
     if (cost_ && !native_) {
         // Per-thread sinks are cumulative, so the merge rebuilds the
@@ -549,6 +597,7 @@ ParallelRunner::statsToJson() const
         nat["sourceHash"] = static_cast<std::int64_t>(st.sourceHash);
         nat["cacheHit"] = st.cacheHit;
         nat["compileMillis"] = st.compileMillis;
+        nat["compileAttempts"] = st.compileAttempts;
         nat["abiVersion"] = st.abiVersion;
         nat["exact"] = st.exact;
         json::Value simd = json::Value::object();
@@ -556,6 +605,31 @@ ParallelRunner::statsToJson() const
         simd["isa"] = st.simdIsa;
         simd["fallback"] = st.simdFallback;
         nat["simd"] = std::move(simd);
+        if (st.quarantineFailures > 0) {
+            json::Value q = json::Value::object();
+            q["failures"] = st.quarantineFailures;
+            q["reason"] = st.quarantineReason;
+            nat["quarantine"] = std::move(q);
+        }
+        nat["degradeMode"] = toString(config_.degrade);
+        root["native"] = std::move(nat);
+    }
+
+    // Merge the partitioned program's own fault records into
+    // run.stats.native.faults, ahead of whatever the serial fallback
+    // recorded (oldest first: the parallel crash caused the fallback).
+    if (!nativeFaults_.empty()) {
+        json::Value nat = json::Value::object();
+        if (const json::Value* existing = root.find("native"))
+            nat = *existing;
+        json::Value merged = json::Value::array();
+        for (const native::NativeFaultRecord& rec : nativeFaults_)
+            merged.push(rec.toJson());
+        if (const json::Value* f = nat.find("faults")) {
+            for (const json::Value& item : f->items())
+                merged.push(item);
+        }
+        nat["faults"] = std::move(merged);
         root["native"] = std::move(nat);
     }
 

@@ -182,8 +182,24 @@ class ParallelRunner {
     /** Faults detected so far (empty on a healthy run). */
     const std::vector<ParallelFault>& faults() const { return faults_; }
 
+    /**
+     * Native faults surfaced by the partitioned program's workers
+     * (signal-guard crashes, keyed by partition), oldest first. The
+     * serial fallback's own faults, if it also degrades, live in its
+     * Runner::nativeFaults().
+     */
+    const std::vector<native::NativeFaultRecord>& nativeFaults() const
+    {
+        return nativeFaults_;
+    }
+
     /** True once a fault degraded this runner to the serial path. */
     bool degradedToSerial() const { return fallback_ != nullptr; }
+
+    /** The serial fallback runner after degradation (null before).
+     *  Lets callers see whether the fallback itself degraded further
+     *  down the ladder and whether that step verified. */
+    const Runner* fallbackRunner() const { return fallback_.get(); }
 
     /** Merged modeled cycles so far (0 without a sink). */
     double totalCycles() const;
@@ -248,6 +264,12 @@ class ParallelRunner {
     /** Returns the detected fault, or nullopt when the batch ran. */
     std::optional<ParallelFault> dispatchBatch(int iterations);
     /**
+     * Stop the pool, abort ring waits so blocked workers park, then
+     * join them (or, past the grace period, detach the wedged ones).
+     * Returns true when every worker exited within the grace period.
+     */
+    bool shutdownPool();
+    /**
      * Watchdog recovery: stop the pool, abort ring waits so blocked
      * workers park, join (or, past the grace period, detach) them,
      * then build a fresh serial Runner, replay @p target_iters steady
@@ -287,6 +309,10 @@ class ParallelRunner {
 
     /** Fault records + the serial fallback state after degradation. */
     std::vector<ParallelFault> faults_;
+    /** Structured native faults from the partitioned program. */
+    std::vector<native::NativeFaultRecord> nativeFaults_;
+    /** Quarantine sidecar cleared after the first clean batch. */
+    bool quarCleared_ = false;
     std::unique_ptr<machine::CostSink> fallbackCost_;
     std::unique_ptr<Runner> fallback_;
 
@@ -300,6 +326,11 @@ class ParallelRunner {
     std::int64_t generation_ = 0;
     int batchIters_ = 0;
     int doneCount_ = 0;
+    /** Workers that finished the current batch with an exception
+     *  (under mu_). Native dispatch waits on this too: a crashed
+     *  partition's siblings block in emitted ring waits forever, so
+     *  the main thread must wake on the first error, not on allDone. */
+    int erroredCount_ = 0;
     int exitedCount_ = 0;
     bool stop_ = false;
 

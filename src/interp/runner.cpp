@@ -27,6 +27,35 @@ toString(ExecEngine e)
     return "unknown";
 }
 
+std::string
+toString(DegradeMode m)
+{
+    switch (m) {
+      case DegradeMode::Off: return "off";
+      case DegradeMode::Auto: return "auto";
+      case DegradeMode::Always: return "always";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/** Bitwise-compare @p prefix against the leading elements of @p full. */
+bool
+isBitwisePrefix(const std::vector<Value>& prefix,
+                const std::vector<Value>& full)
+{
+    if (prefix.size() > full.size())
+        return false;
+    for (std::size_t i = 0; i < prefix.size(); ++i) {
+        if (!(prefix[i] == full[i]))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
 Runner::Runner(const graph::FlatGraph& g, const schedule::Schedule& s,
                machine::CostSink* cost, EngineConfig config)
     : graph_(&g), sched_(&s), cost_(cost),
@@ -171,9 +200,77 @@ Runner::ensureCompiled(const Actor& a)
     return *slot;
 }
 
+void
+Runner::buildLadder()
+{
+    EngineConfig cfg = config_;
+    cfg.engine = ExecEngine::Bytecode;
+    cfg.degrade = DegradeMode::Off;
+    // No cost sink: the native engine is measured, not modeled, and a
+    // degraded run keeps that contract rather than abruptly growing
+    // modeled cycles mid-stream (the Always shadow would also pollute
+    // a healthy run's totals otherwise).
+    ladder_ = std::make_unique<Runner>(*graph_, *sched_, nullptr, cfg);
+    for (std::size_t i = 0; i < configs_.size(); ++i)
+        ladder_->setActorConfig(static_cast<int>(i), configs_[i]);
+    ladder_->enableCapture(captureEnabled_);
+    if (trace_)
+        ladder_->setTrace(trace_);
+}
+
+void
+Runner::degradeFromNative(std::int64_t completed_iters)
+{
+    // The last successful batch boundary: runSteady mirrors
+    // native_->captured() only after a healthy batch, and the crashed
+    // one never updated it, so this is a clean prefix of the serial
+    // stream even though the emitted program's own state is garbage.
+    std::vector<Value> prefix = std::move(captured_);
+    captured_.clear();
+    if (!ladder_)
+        buildLadder();
+    if (!ladder_->initDone())
+        ladder_->runInit();
+    // Replay what the native engine completed; a warm Always shadow
+    // is already there and skips this.
+    if (completed_iters > ladderIters_) {
+        ladder_->runSteady(
+            static_cast<int>(completed_iters - ladderIters_));
+        ladderIters_ = completed_iters;
+    }
+    degraded_ = true;
+    degradeVerified_ =
+        prefix.empty() ||
+        (!config_.simd.allowUlpDivergence &&
+         isBitwisePrefix(prefix, ladder_->captured()));
+    verifiedElements_ = degradeVerified_
+                            ? static_cast<std::int64_t>(prefix.size())
+                            : 0;
+    if (trace_ && trace_->enabled()) {
+        json::Value payload = json::Value::object();
+        payload["completedIterations"] = completed_iters;
+        payload["degradeVerified"] = degradeVerified_;
+        payload["verifiedElements"] = verifiedElements_;
+        if (!nativeFaults_.empty()) {
+            payload["kind"] =
+                native::toString(nativeFaults_.back().kind);
+        }
+        trace_->event("native", "degrade", std::move(payload));
+    }
+}
+
 json::Value
 Runner::statsToJson() const
 {
+    // After degradation the ladder runner holds the authoritative
+    // per-actor/tape stats; re-label the engine (the run was asked to
+    // be native and the native block below says what happened to it).
+    if (degraded_) {
+        json::Value root = ladder_->statsToJson();
+        root["engine"] = toString(ExecEngine::Native);
+        appendNativeStats(root);
+        return root;
+    }
     auto kindName = [](ActorKind k) {
         switch (k) {
           case ActorKind::Filter: return "filter";
@@ -227,15 +324,25 @@ Runner::statsToJson() const
         root["bytecodeCompileMicros"] = compileMicros_;
     if (cost_)
         root["totalCycles"] = cost_->totalCycles();
+    appendNativeStats(root);
+    return root;
+}
+
+void
+Runner::appendNativeStats(json::Value& root) const
+{
+    if (!native_ && nativeFaults_.empty() && !degraded_)
+        return;
+    json::Value nat = json::Value::object();
     if (native_) {
         const native::NativeStats& st = native_->stats();
-        json::Value nat = json::Value::object();
         nat["compiler"] = st.compiler;
         nat["flags"] = st.flags;
         nat["soPath"] = st.soPath;
         nat["sourceHash"] = static_cast<std::int64_t>(st.sourceHash);
         nat["cacheHit"] = st.cacheHit;
         nat["compileMillis"] = st.compileMillis;
+        nat["compileAttempts"] = st.compileAttempts;
         nat["steadyWallMicros"] = st.steadyWallMicros;
         nat["abiVersion"] = st.abiVersion;
         nat["exact"] = st.exact;
@@ -244,9 +351,26 @@ Runner::statsToJson() const
         simd["isa"] = st.simdIsa;
         simd["fallback"] = st.simdFallback;
         nat["simd"] = std::move(simd);
-        root["native"] = std::move(nat);
+        if (st.quarantineFailures > 0) {
+            json::Value q = json::Value::object();
+            q["failures"] = st.quarantineFailures;
+            q["reason"] = st.quarantineReason;
+            nat["quarantine"] = std::move(q);
+        }
     }
-    return root;
+    if (config_.engine == ExecEngine::Native)
+        nat["degradeMode"] = toString(config_.degrade);
+    json::Value faults = json::Value::array();
+    for (const native::NativeFaultRecord& rec : nativeFaults_)
+        faults.push(rec.toJson());
+    nat["faults"] = std::move(faults);
+    nat["degraded"] = degraded_;
+    if (degraded_) {
+        nat["degradedTo"] = "bytecode";
+        nat["degradeVerified"] = degradeVerified_;
+        nat["verifiedElements"] = verifiedElements_;
+    }
+    root["native"] = std::move(nat);
 }
 
 void
@@ -481,10 +605,21 @@ Runner::runInit()
     // schedule. Build (or cache-load) it, run its init phase, and
     // mirror the capture so captured() keeps its meaning. Modeled
     // cycles are not accumulated — the native numbers are measured.
+    // Any typed native fault (compile, load, quarantine, or a crash
+    // caught by the signal guards) either propagates (DegradeMode::Off)
+    // or drops this runner one rung down the ladder.
     if (config_.engine == ExecEngine::Native) {
-        native_ = std::make_unique<native::NativeProgram>(
-            *graph_, *sched_, config_.native, config_.simd);
-        native_->init();
+        try {
+            native_ = std::make_unique<native::NativeProgram>(
+                *graph_, *sched_, config_.native, config_.simd);
+            native_->init();
+        } catch (const native::NativeFaultError& e) {
+            nativeFaults_.push_back(e.record());
+            if (config_.degrade == DegradeMode::Off)
+                throw;
+            degradeFromNative(0);
+            return;
+        }
         captured_ = native_->captured();
         if (trace_ && trace_->enabled()) {
             const native::NativeStats& st = native_->stats();
@@ -496,6 +631,22 @@ Runner::runInit()
             payload["soPath"] = st.soPath;
             trace_->event("native", "compileProgram",
                           std::move(payload));
+        }
+        if (config_.degrade == DegradeMode::Always) {
+            // Lockstep shadow: keep the next rung warm and verify the
+            // init-phase capture immediately.
+            buildLadder();
+            ladder_->runInit();
+            if (!config_.simd.allowUlpDivergence) {
+                fatalIf(captured_.size() !=
+                                ladder_->captured().size() ||
+                            !isBitwisePrefix(captured_,
+                                             ladder_->captured()),
+                        "degrade=always: native init capture diverged "
+                        "from the bytecode shadow (", captured_.size(),
+                        " native vs ", ladder_->captured().size(),
+                        " shadow elements)");
+            }
         }
         return;
     }
@@ -545,8 +696,26 @@ Runner::runSteady(int iterations)
 {
     if (!initDone_)
         runInit();
+    if (degraded_) {
+        ladder_->runSteady(iterations);
+        ladderIters_ += iterations;
+        return;
+    }
     if (native_) {
-        native_->runSteady(iterations);
+        try {
+            native_->runSteady(iterations);
+        } catch (const native::NativeFaultError& e) {
+            nativeFaults_.push_back(e.record());
+            if (config_.degrade == DegradeMode::Off)
+                throw;
+            // Replay the completed history, verify the pre-crash
+            // prefix, then run the batch that crashed on the ladder.
+            degradeFromNative(steadyIters_);
+            ladder_->runSteady(iterations);
+            ladderIters_ += iterations;
+            return;
+        }
+        steadyIters_ += iterations;
         captured_ = native_->captured();
         if (trace_ && trace_->enabled()) {
             trace_->count("interp.steadyIterations", iterations);
@@ -555,6 +724,22 @@ Runner::runSteady(int iterations)
             payload["steadyWallMicros"] =
                 native_->stats().steadyWallMicros;
             trace_->event("native", "runSteady", std::move(payload));
+        }
+        if (config_.degrade == DegradeMode::Always) {
+            ladder_->runSteady(iterations);
+            ladderIters_ += iterations;
+            if (!config_.simd.allowUlpDivergence) {
+                fatalIf(captured_.size() !=
+                                ladder_->captured().size() ||
+                            !isBitwisePrefix(captured_,
+                                             ladder_->captured()),
+                        "degrade=always: native captured stream "
+                        "diverged from the bytecode shadow after ",
+                        steadyIters_, " steady iterations (",
+                        captured_.size(), " native vs ",
+                        ladder_->captured().size(),
+                        " shadow elements)");
+            }
         }
         return;
     }
@@ -585,10 +770,10 @@ Runner::runUntilCaptured(std::int64_t n, int max_iters)
     if (!initDone_)
         runInit();
     int iters = 0;
-    while (static_cast<std::int64_t>(captured_.size()) < n) {
+    while (static_cast<std::int64_t>(captured().size()) < n) {
         fatalIf(iters++ >= max_iters,
                 "runUntilCaptured: sink produced only ",
-                captured_.size(), " of ", n, " elements after ",
+                captured().size(), " of ", n, " elements after ",
                 max_iters, " iterations");
         runSteady(1);
     }

@@ -39,6 +39,7 @@
 #include "interp/executor.h"
 #include "interp/vm.h"
 #include "native/native_engine.h"
+#include "native/native_fault.h"
 #include "schedule/steady_state.h"
 #include "support/json.h"
 #include "support/trace.h"
@@ -109,7 +110,34 @@ class Runner {
      */
     void runUntilCaptured(std::int64_t n, int max_iters = 100000);
 
-    const std::vector<Value>& captured() const { return captured_; }
+    const std::vector<Value>& captured() const
+    {
+        return degraded_ ? ladder_->captured() : captured_;
+    }
+
+    /**
+     * Native faults this runner absorbed (or rethrew, under
+     * DegradeMode::Off). Empty on a healthy run.
+     */
+    const std::vector<native::NativeFaultRecord>& nativeFaults() const
+    {
+        return nativeFaults_;
+    }
+
+    /** True once a native fault degraded this runner to the bytecode
+     *  VM (DegradeMode::Auto/Always). */
+    bool degradedFromNative() const { return degraded_; }
+
+    /**
+     * True when the degraded run's pre-fault captured prefix was
+     * bitwise verified against the bytecode replay (possible only
+     * under the exact SimdSpec contract, or trivially for an empty
+     * prefix). False on a healthy or non-degraded run.
+     */
+    bool degradeVerified() const { return degradeVerified_; }
+
+    /** Elements the degrade prefix verification covered. */
+    std::int64_t verifiedElements() const { return verifiedElements_; }
 
     /** Fire one actor once (also used internally). */
     void fire(int actor_id);
@@ -172,6 +200,22 @@ class Runner {
     json::Value statsToJson() const;
 
   private:
+    /** Emit the "native" stats block (build stats, fault records,
+     *  degradation outcome) into @p root when there is one. */
+    void appendNativeStats(json::Value& root) const;
+    /** Build the bytecode ladder runner (same graph/schedule/actor
+     *  configs, engine forced to Bytecode, degrade off, no cost
+     *  sink — native runs are measured, not modeled). */
+    void buildLadder();
+    /**
+     * Absorb a native fault under DegradeMode::Auto/Always: replay
+     * @p completed_iters steady iterations on the ladder runner (a
+     * warm Always shadow skips the replay), verify the pre-fault
+     * captured prefix bitwise against it (exact contract only), and
+     * route all further execution through the ladder.
+     */
+    void degradeFromNative(std::int64_t completed_iters);
+
     void fireFilter(const graph::Actor& a, Vm& vm,
                     machine::CostSink* cost);
     void fireSplitter(const graph::Actor& a, machine::CostSink* cost);
@@ -201,6 +245,22 @@ class Runner {
     Vm vm_;
     /** Whole-program native backend (ExecEngine::Native only). */
     std::unique_ptr<native::NativeProgram> native_;
+    /**
+     * The next rung down: a bytecode Runner over the same graph and
+     * schedule. Built lazily on the first fault (DegradeMode::Auto) or
+     * up front as the lockstep shadow (DegradeMode::Always); after
+     * degradation it is the authoritative execution state.
+     */
+    std::unique_ptr<Runner> ladder_;
+    /** Native faults absorbed or rethrown by this runner. */
+    std::vector<native::NativeFaultRecord> nativeFaults_;
+    bool degraded_ = false;
+    bool degradeVerified_ = false;
+    std::int64_t verifiedElements_ = 0;
+    /** Successful native steady iterations (the replay target). */
+    std::int64_t steadyIters_ = 0;
+    /** Steady iterations the ladder runner has executed. */
+    std::int64_t ladderIters_ = 0;
     double compileMicros_ = 0.0;
     std::vector<Tape*> sinkTapes_;
     std::vector<Value> captured_;

@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Hardened fork/exec implementation (see compile_exec.h).
+ */
+#include "native/compile_exec.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace macross::native {
+
+namespace {
+
+/** Cap on captured child output: enough for any real diagnostic,
+ *  bounded so a compiler spewing gigabytes cannot OOM the parent. */
+constexpr std::size_t kMaxCapturedBytes = 256 * 1024;
+
+constexpr std::int64_t kDefaultWallMs = 120000;
+constexpr std::int64_t kDefaultAsBytes =
+    8ll * 1024 * 1024 * 1024;  // 8 GiB
+
+std::int64_t
+envInt64(const char* name)
+{
+    const char* env = std::getenv(name);
+    if (!env || !*env)
+        return 0;
+    return std::strtoll(env, nullptr, 10);
+}
+
+std::int64_t
+resolveAsBytes(const SpawnLimits& limits)
+{
+    if (limits.asBytes != 0)
+        return limits.asBytes;  // -1 disables, positive caps.
+    const std::int64_t mb = envInt64("MACROSS_COMPILE_MAX_RSS_MB");
+    if (mb < 0)
+        return -1;
+    if (mb > 0)
+        return mb * 1024 * 1024;
+    return kDefaultAsBytes;
+}
+
+/** Child-side setup between fork and exec: async-signal-safe only. */
+void
+childSetup(int out_fd, const SpawnLimits& limits,
+           std::int64_t wall_ms)
+{
+    // Own process group: the parent's timeout kill takes out the
+    // whole compiler pipeline (driver + cc1plus + as), not just the
+    // driver.
+    ::setpgid(0, 0);
+    ::dup2(out_fd, STDOUT_FILENO);
+    ::dup2(out_fd, STDERR_FILENO);
+    // Belt under the wall-clock watchdog's suspenders: if the parent
+    // dies first, the kernel still bounds the orphan.
+    std::int64_t cpuSec = limits.cpuSeconds;
+    if (cpuSec <= 0)
+        cpuSec = wall_ms / 1000 + 5;
+    struct rlimit rl;
+    rl.rlim_cur = rl.rlim_max = static_cast<rlim_t>(cpuSec);
+    (void)::setrlimit(RLIMIT_CPU, &rl);
+    const std::int64_t asBytes = resolveAsBytes(limits);
+    if (asBytes > 0) {
+        rl.rlim_cur = rl.rlim_max = static_cast<rlim_t>(asBytes);
+        (void)::setrlimit(RLIMIT_AS, &rl);
+    }
+}
+
+struct AttemptResult {
+    ExecResult res;
+    bool transient = false;  ///< Worth retrying.
+};
+
+AttemptResult
+runOnce(const std::vector<std::string>& argv,
+        const SpawnLimits& limits, std::int64_t wall_ms)
+{
+    AttemptResult out;
+    ExecResult& r = out.res;
+
+    int outPipe[2];
+    int statusPipe[2];
+    if (::pipe(outPipe) != 0) {
+        r.status = ExecStatus::SpawnError;
+        r.spawnError = std::strerror(errno);
+        out.transient = true;
+        return out;
+    }
+    if (::pipe(statusPipe) != 0) {
+        r.status = ExecStatus::SpawnError;
+        r.spawnError = std::strerror(errno);
+        ::close(outPipe[0]);
+        ::close(outPipe[1]);
+        out.transient = true;
+        return out;
+    }
+    // The status pipe closes on a successful exec; surviving a write
+    // means exec itself failed and the payload is the child's errno.
+    ::fcntl(statusPipe[1], F_SETFD, FD_CLOEXEC);
+
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string& a : argv)
+        cargv.push_back(const_cast<char*>(a.c_str()));
+    cargv.push_back(nullptr);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        r.status = ExecStatus::SpawnError;
+        r.spawnError = std::strerror(errno);
+        ::close(outPipe[0]);
+        ::close(outPipe[1]);
+        ::close(statusPipe[0]);
+        ::close(statusPipe[1]);
+        out.transient = true;
+        return out;
+    }
+    if (pid == 0) {
+        ::close(outPipe[0]);
+        ::close(statusPipe[0]);
+        childSetup(outPipe[1], limits, wall_ms);
+        ::execvp(cargv[0], cargv.data());
+        const int err = errno;
+        (void)!::write(statusPipe[1], &err, sizeof err);
+        ::_exit(127);
+    }
+
+    // Parent. Mirror the child's setpgid so the group exists before
+    // any kill, whichever side the scheduler ran first.
+    (void)::setpgid(pid, pid);
+    ::close(outPipe[1]);
+    ::close(statusPipe[1]);
+
+    const auto deadline =
+        t0 + std::chrono::milliseconds(wall_ms);
+    bool timedOut = false;
+    bool truncated = false;
+    char buf[4096];
+    for (;;) {
+        const auto now = std::chrono::steady_clock::now();
+        std::int64_t leftMs =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - now)
+                .count();
+        if (leftMs <= 0 && !timedOut) {
+            timedOut = true;
+            ::kill(-pid, SIGKILL);
+            leftMs = 1000;  // Drain whatever the pipe still holds.
+        }
+        struct pollfd pfd;
+        pfd.fd = outPipe[0];
+        pfd.events = POLLIN;
+        const int pr = ::poll(
+            &pfd, 1,
+            static_cast<int>(std::min<std::int64_t>(leftMs, 200)));
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (pr == 0)
+            continue;  // Re-check the deadline.
+        const ssize_t n = ::read(outPipe[0], buf, sizeof buf);
+        if (n <= 0)
+            break;  // EOF (child exited and pipe drained) or error.
+        if (r.output.size() < kMaxCapturedBytes) {
+            const std::size_t room =
+                kMaxCapturedBytes - r.output.size();
+            r.output.append(buf,
+                            std::min<std::size_t>(
+                                static_cast<std::size_t>(n), room));
+            if (static_cast<std::size_t>(n) > room)
+                truncated = true;
+        } else {
+            truncated = true;
+        }
+    }
+    ::close(outPipe[0]);
+    if (truncated)
+        r.output += "\n... (output truncated)";
+
+    int execErrno = 0;
+    const ssize_t sn =
+        ::read(statusPipe[0], &execErrno, sizeof execErrno);
+    ::close(statusPipe[0]);
+
+    int wstatus = 0;
+    while (::waitpid(pid, &wstatus, 0) < 0 && errno == EINTR) {
+    }
+    r.wallMs = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+
+    if (sn == static_cast<ssize_t>(sizeof execErrno)) {
+        r.status = ExecStatus::SpawnError;
+        r.spawnError = std::string(argv.empty() ? "?" : argv[0]) +
+                       ": " + std::strerror(execErrno);
+        // ENOENT ("no such compiler") is a configuration error, not a
+        // transient hiccup; everything else may clear up on retry.
+        out.transient = execErrno != ENOENT && execErrno != EACCES;
+        return out;
+    }
+    if (timedOut) {
+        r.status = ExecStatus::Timeout;
+        r.termSignal = SIGKILL;
+        return out;
+    }
+    if (WIFSIGNALED(wstatus)) {
+        r.status = ExecStatus::Signaled;
+        r.termSignal = WTERMSIG(wstatus);
+        // SIGKILL from outside (the OOM killer, a container limit) is
+        // the classic transient compile failure.
+        out.transient = r.termSignal == SIGKILL;
+        return out;
+    }
+    const int code = WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1;
+    if (code == 0) {
+        r.status = ExecStatus::Ok;
+        return out;
+    }
+    r.status = ExecStatus::NonZeroExit;
+    r.exitCode = code;
+    return out;
+}
+
+} // namespace
+
+std::string
+toString(ExecStatus status)
+{
+    switch (status) {
+      case ExecStatus::Ok: return "ok";
+      case ExecStatus::NonZeroExit: return "nonZeroExit";
+      case ExecStatus::Signaled: return "signaled";
+      case ExecStatus::Timeout: return "timeout";
+      case ExecStatus::SpawnError: return "spawnError";
+    }
+    return "unknown";
+}
+
+std::int64_t
+resolveWallBudgetMs(const SpawnLimits& limits)
+{
+    if (limits.wallMs > 0)
+        return limits.wallMs;
+    const std::int64_t env = envInt64("MACROSS_COMPILE_TIMEOUT_MS");
+    return env > 0 ? env : kDefaultWallMs;
+}
+
+ExecResult
+runCommand(const std::vector<std::string>& argv,
+           const SpawnLimits& limits)
+{
+    ExecResult last;
+    if (argv.empty()) {
+        last.spawnError = "empty argv";
+        return last;
+    }
+    const std::int64_t wallMs = resolveWallBudgetMs(limits);
+    const int attempts = std::max(1, limits.maxAttempts);
+    std::int64_t backoff = std::max<std::int64_t>(1, limits.backoffMs);
+    for (int k = 0; k < attempts; ++k) {
+        AttemptResult a = runOnce(argv, limits, wallMs);
+        a.res.attempts = k + 1;
+        last = std::move(a.res);
+        if (!a.transient || k + 1 == attempts)
+            return last;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(backoff));
+        backoff *= 2;
+    }
+    return last;
+}
+
+std::vector<std::string>
+splitArgs(const std::string& flags)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : flags) {
+        if (c == ' ' || c == '\t' || c == '\n') {
+            if (!cur.empty()) {
+                out.push_back(cur);
+                cur.clear();
+            }
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+std::string
+excerptLines(const std::string& text, const std::string& tag,
+             std::size_t max_lines)
+{
+    std::string out;
+    std::size_t lines = 0;
+    std::size_t pos = 0;
+    while (pos < text.size() && lines < max_lines) {
+        std::size_t end = text.find('\n', pos);
+        if (end == std::string::npos)
+            end = text.size();
+        out += tag + ": " + text.substr(pos, end - pos) + "\n";
+        pos = end + 1;
+        ++lines;
+    }
+    std::size_t more = 0;
+    while (pos < text.size()) {
+        std::size_t end = text.find('\n', pos);
+        if (end == std::string::npos)
+            end = text.size();
+        if (end > pos)
+            ++more;
+        pos = end + 1;
+    }
+    if (more > 0)
+        out += tag + ": ... (" + std::to_string(more) +
+               " more lines)\n";
+    return out;
+}
+
+} // namespace macross::native

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Hardened subprocess execution for the native engine's host-compiler
+ * shell-outs.
+ *
+ * The previous implementation ran the compiler through std::system():
+ * no timeout (a wedged cc1plus hangs the run forever), no resource
+ * caps (a pathological translation unit can OOM the host), stderr
+ * routed through a temp file, and an exit status that conflates
+ * "compiler failed" with "shell failed". runCommand() replaces that
+ * with fork/exec under real containment:
+ *
+ *   - the child runs in its own process group, so a timeout kill
+ *     reaps the whole compiler pipeline (driver + cc1plus + as);
+ *   - RLIMIT_CPU / RLIMIT_AS caps bound runaway children even if the
+ *     parent dies before the wall-clock deadline fires;
+ *   - stdout+stderr are captured through a pipe into memory (no temp
+ *     files, no interleaving with the parent's streams);
+ *   - exec failure is reported distinctly from "command exited 127"
+ *     via a CLOEXEC status pipe carrying the child's errno;
+ *   - transient failures (spawn errors, SIGKILL from the OOM killer)
+ *     are retried with exponential backoff up to a small bound.
+ *
+ * The result is a typed ExecResult the callers map onto the
+ * NativeFaultKind compile taxonomy; nothing here throws.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace macross::native {
+
+/** Containment limits for one spawned command. */
+struct SpawnLimits {
+    /**
+     * Wall-clock budget in milliseconds; past it the child's whole
+     * process group is SIGKILLed and the result is Timeout. 0 resolves
+     * $MACROSS_COMPILE_TIMEOUT_MS, then the 120000 default — generous
+     * for a real compile, small enough that a wedged compiler cannot
+     * stall a service indefinitely.
+     */
+    std::int64_t wallMs = 0;
+    /**
+     * RLIMIT_CPU in seconds (0 = derived from the wall budget: the
+     * ceiling of wallMs in seconds plus a little slack, so a child
+     * that out-runs a dead parent still dies).
+     */
+    std::int64_t cpuSeconds = 0;
+    /**
+     * RLIMIT_AS in bytes. 0 resolves $MACROSS_COMPILE_MAX_RSS_MB
+     * (megabytes), then an 8 GiB default; -1 disables the cap
+     * entirely (sanitizer builds reserve tens of terabytes of shadow
+     * address space and must not trip it).
+     */
+    std::int64_t asBytes = 0;
+    /** Spawn attempts for transient failures (>= 1). */
+    int maxAttempts = 3;
+    /** Backoff before retry k (doubles each time), in milliseconds. */
+    std::int64_t backoffMs = 50;
+};
+
+/** How a spawned command concluded. */
+enum class ExecStatus {
+    Ok,           ///< Exited zero.
+    NonZeroExit,  ///< Exited with a nonzero code.
+    Signaled,     ///< Terminated by a signal (not our timeout kill).
+    Timeout,      ///< Killed by the wall-clock watchdog.
+    SpawnError,   ///< fork/exec itself failed on every attempt.
+};
+
+/** Outcome of runCommand(). */
+struct ExecResult {
+    ExecStatus status = ExecStatus::SpawnError;
+    int exitCode = 0;    ///< Valid for NonZeroExit.
+    int termSignal = 0;  ///< Valid for Signaled (and Timeout: SIGKILL).
+    double wallMs = 0.0; ///< Wall clock of the final attempt.
+    int attempts = 0;    ///< Spawn attempts made.
+    /** Captured child stdout+stderr (possibly truncated). */
+    std::string output;
+    /** errno text for SpawnError. */
+    std::string spawnError;
+
+    bool ok() const { return status == ExecStatus::Ok; }
+};
+
+/** Report-stable name ("ok" / "nonZeroExit" / "timeout" / ...). */
+std::string toString(ExecStatus status);
+
+/**
+ * Run @p argv (argv[0] is resolved through PATH) under @p limits and
+ * capture its combined stdout+stderr. Never throws; every failure
+ * mode is a typed ExecResult.
+ */
+ExecResult runCommand(const std::vector<std::string>& argv,
+                      const SpawnLimits& limits = {});
+
+/** The resolved wall-clock budget @p limits implies (for messages). */
+std::int64_t resolveWallBudgetMs(const SpawnLimits& limits);
+
+/** Split a flag string into whitespace-separated argv words. */
+std::vector<std::string> splitArgs(const std::string& flags);
+
+/**
+ * The first @p max_lines lines of @p text, each prefixed with
+ * "<tag>: ", plus a trailing "... (<n> more lines)" marker when
+ * truncated — the shape compile diagnostics embed compiler stderr in.
+ */
+std::string excerptLines(const std::string& text,
+                         const std::string& tag,
+                         std::size_t max_lines = 40);
+
+} // namespace macross::native

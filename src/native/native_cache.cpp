@@ -7,7 +7,6 @@
 #include <unistd.h>
 
 #include <atomic>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -15,7 +14,12 @@
 #include <sstream>
 
 #include "codegen/emit_cpp.h"
+#include "native/compile_exec.h"
+#include "native/native_fault.h"
+#include "native/quarantine.h"
+#include "native/signal_guard.h"
 #include "support/diagnostics.h"
+#include "support/fault.h"
 
 namespace macross::native::detail {
 
@@ -109,12 +113,45 @@ compileOrLoadCached(
     const std::string soPath = base + ".so";
     stats->soPath = soPath;
 
+    // Quarantine consult: an entry whose code has crashed is never
+    // blindly re-run. One recorded crash distrusts the cached object
+    // (skip the hit path, recompile fresh — the one retry); two mean
+    // even a fresh compile of this source crashed, so the entry is
+    // permanently skipped with a structured fault instead of being
+    // allowed to crash-loop.
+    quarantine::Status quar = quarantine::status(soPath);
+    {
+        std::int64_t failures = quar.failures;
+        if (support::FaultInjector::fire("native.cache.quarantine",
+                                         &failures) &&
+            failures != quar.failures) {
+            quar.failures = failures;
+            if (quar.reason.empty())
+                quar.reason = "injected quarantine";
+        }
+    }
+    stats->quarantineFailures = quar.failures;
+    stats->quarantineReason = quar.reason;
+    if (quar.quarantined()) {
+        NativeFaultRecord rec;
+        rec.kind = NativeFaultKind::Quarantined;
+        rec.phase = "cache";
+        rec.message =
+            "cache entry " + soPath + " permanently quarantined after " +
+            std::to_string(quar.failures) + " recorded crash(es): " +
+            (quar.reason.empty() ? "(no reason recorded)"
+                                 : quar.reason) +
+            "; reset MACROSS_CACHE_DIR or remove " +
+            quarantine::sidecarPath(soPath) + " to retry";
+        throwNativeFault(std::move(rec));
+    }
+
     // Cache hit: an existing object that loads and passes the ABI
-    // check. A missing/truncated/symbol-incomplete entry falls
-    // through to a fresh compile; a loadable entry with a foreign ABI
-    // version is fatal.
+    // check — unless the quarantine distrusts it. A missing/truncated/
+    // symbol-incomplete entry falls through to a fresh compile; a
+    // loadable entry with a foreign ABI version is fatal.
     std::error_code ec;
-    if (fs::exists(soPath, ec)) {
+    if (!quar.distrusted() && fs::exists(soPath, ec)) {
         int foundAbi = 0;
         switch (try_bind(soPath, &foundAbi)) {
           case BindStatus::Ok:
@@ -137,26 +174,88 @@ compileOrLoadCached(
     writeFileAtomic(cppPath, source);
 
     const std::string soTmp = soPath + uniqueSuffix();
-    const std::string logPath = soPath + uniqueSuffix() + ".log";
-    const std::string cmd = stats->compiler + " -std=c++17 " +
-                            stats->flags + " -shared -fPIC -o " +
-                            shellQuote(soTmp) + " " +
-                            shellQuote(cppPath) + " 2> " +
-                            shellQuote(logPath);
-    auto t0 = std::chrono::steady_clock::now();
-    int rc = std::system(cmd.c_str());
-    stats->compileMillis = std::chrono::duration<double, std::milli>(
-                               std::chrono::steady_clock::now() - t0)
-                               .count();
-    if (rc != 0) {
-        std::string log =
-            readFileOr(logPath, "(no compiler output captured)");
-        fs::remove(soTmp, ec);
-        fs::remove(logPath, ec);
-        fatal("native engine: host compile failed (", cmd, "):\n",
-              log);
+    SpawnLimits limits;
+    limits.wallMs = opts.compileTimeoutMs;
+    std::vector<std::string> argv;
+    argv.push_back(stats->compiler);
+    argv.push_back("-std=c++17");
+    for (std::string& f : splitArgs(stats->flags))
+        argv.push_back(std::move(f));
+    argv.push_back("-shared");
+    argv.push_back("-fPIC");
+    argv.push_back("-o");
+    argv.push_back(soTmp);
+    argv.push_back(cppPath);
+    std::string cmdline;
+    for (const std::string& a : argv)
+        cmdline += (cmdline.empty() ? "" : " ") + a;
+
+    // Chaos hook: an armed site wedges the compile (a sleep that
+    // outlives the budget) so the timeout/kill machinery runs for
+    // real. The payload overrides the budget in ms so tests finish
+    // fast.
+    {
+        std::int64_t wedgeBudgetMs = 0;
+        if (support::FaultInjector::fire("native.compile.timeout",
+                                         &wedgeBudgetMs)) {
+            if (wedgeBudgetMs <= 0)
+                wedgeBudgetMs = 1500;
+            limits.wallMs = wedgeBudgetMs;
+            const std::int64_t sleepSec = wedgeBudgetMs / 1000 + 5;
+            argv = {"sh", "-c",
+                    "sleep " + std::to_string(sleepSec)};
+        }
     }
-    fs::remove(logPath, ec);
+
+    const ExecResult res = runCommand(argv, limits);
+    stats->compileMillis = res.wallMs;
+    stats->compileAttempts = res.attempts;
+    if (!res.ok()) {
+        fs::remove(soTmp, ec);
+        NativeFaultRecord rec;
+        rec.phase = "compile";
+        rec.wallMs = res.wallMs;
+        rec.attempts = res.attempts;
+        switch (res.status) {
+          case ExecStatus::Timeout:
+            rec.kind = NativeFaultKind::CompileTimeout;
+            rec.message = "host compile timed out after " +
+                          std::to_string(static_cast<std::int64_t>(
+                              res.wallMs)) +
+                          " ms (budget " +
+                          std::to_string(resolveWallBudgetMs(limits)) +
+                          " ms): " + cmdline;
+            break;
+          case ExecStatus::NonZeroExit:
+            rec.kind = NativeFaultKind::CompileExit;
+            rec.exitCode = res.exitCode;
+            rec.message =
+                "host compile failed (exit " +
+                std::to_string(res.exitCode) + "): " + cmdline + "\n" +
+                (res.output.empty()
+                     ? cppPath + ": (no compiler output captured)\n"
+                     : excerptLines(res.output, cppPath));
+            break;
+          case ExecStatus::Signaled:
+            rec.kind = NativeFaultKind::CompileSignal;
+            rec.signal = res.termSignal;
+            rec.signalName = signalName(res.termSignal);
+            rec.message = "host compiler killed by " + rec.signalName +
+                          ": " + cmdline +
+                          (res.output.empty()
+                               ? ""
+                               : "\n" + excerptLines(res.output,
+                                                     cppPath));
+            break;
+          default:
+            rec.kind = NativeFaultKind::CompileSpawn;
+            rec.message = "cannot spawn host compiler: " +
+                          (res.spawnError.empty() ? cmdline
+                                                  : res.spawnError);
+            break;
+        }
+        throwNativeFault(std::move(rec));
+    }
     fs::rename(soTmp, soPath, ec);
     fatalIf(static_cast<bool>(ec),
             "native engine: cannot install compiled object ", soPath,
@@ -170,10 +269,45 @@ compileOrLoadCached(
             " but this engine requires version ",
             codegen::kNativeAbiVersion,
             " (emitter/engine version skew)");
-    fatalIf(fresh != BindStatus::Ok,
-            "native engine: freshly built object failed to load: ",
-            soPath);
+    if (fresh != BindStatus::Ok) {
+        NativeFaultRecord rec;
+        rec.kind = NativeFaultKind::LoadFailed;
+        rec.phase = "load";
+        rec.message =
+            "freshly built object failed to load or bind: " + soPath;
+        throwNativeFault(std::move(rec));
+    }
     stats->cacheHit = false;
+}
+
+void
+runEmittedGuarded(const char* phase, int partition,
+                  std::int64_t batch_index, const std::string& so_path,
+                  const std::function<void()>& body)
+{
+    const std::optional<CrashInfo> crash =
+        signal_guard::run([&] { body(); });
+    if (!crash)
+        return;
+    NativeFaultRecord rec;
+    rec.kind = NativeFaultKind::Crash;
+    rec.phase = phase;
+    rec.signal = crash->signal;
+    rec.signalName = signalName(crash->signal);
+    rec.partition = partition;
+    rec.batchIndex = batch_index;
+    rec.message = "emitted code crashed with " + rec.signalName +
+                  " in phase " + phase +
+                  (partition >= 0 ? " (partition " +
+                                        std::to_string(partition) + ")"
+                                  : std::string()) +
+                  (batch_index >= 0
+                       ? " at batch " + std::to_string(batch_index)
+                       : std::string()) +
+                  "; object " + so_path;
+    if (!so_path.empty())
+        quarantine::recordFailure(so_path, rec.message);
+    throwNativeFault(std::move(rec));
 }
 
 } // namespace macross::native::detail

@@ -56,22 +56,41 @@ enum class BindStatus {
 /**
  * The shared compile-or-cache-load flow. Resolves the compiler and
  * final flag string, hashes (compiler, flags, spec, source) into the
- * cache key, and then: try to bind an existing cache entry; on
+ * cache key, consults the crash quarantine for that entry
+ * (native/quarantine.h: a distrusted entry skips the cache and
+ * recompiles fresh, a quarantined one is refused with a structured
+ * fault), and then: try to bind an existing cache entry; on
  * LoadFailed remove it, write the source, run the host compiler
- * through a unique temp + atomic rename, and bind the fresh object.
- * A loadable object reporting a foreign ABI version is fatal at
- * either point (the cache key covers the source, so skew means
- * toolchain or cache tampering, not staleness).
+ * through the hardened fork/exec pipeline (compile_exec.h: process
+ * group, rlimits, wall-clock timeout, captured stderr) with a unique
+ * temp + atomic rename, and bind the fresh object. A loadable object
+ * reporting a foreign ABI version is fatal at either point (the cache
+ * key covers the source, so skew means toolchain or cache tampering,
+ * not staleness); every compiler failure mode throws a
+ * NativeFaultError carrying the typed compile fault and a
+ * path-prefixed excerpt of the compiler's stderr.
  *
  * @p try_bind receives the .so path and an out-param for the ABI
  * version the object reports; it must fully unbind on failure.
  * Fills stats: compiler, flags, sourceHash, soPath, cacheHit,
- * compileMillis.
+ * compileMillis, compileAttempts, quarantineFailures/Reason.
  */
 void compileOrLoadCached(
     const NativeOptions& opts, const codegen::SimdSpec& spec,
     const std::string& source, NativeStats* stats,
     const std::function<BindStatus(const std::string&, int*)>&
         try_bind);
+
+/**
+ * Run @p body (a call into emitted code) under this thread's signal
+ * guard. A crash is recorded against @p so_path's quarantine sidecar
+ * and rethrown as a structured NativeFaultError with
+ * kind = Crash, the given @p phase ("init" / "steady"), the faulting
+ * @p partition (-1 for the whole-program shape), and @p batch_index.
+ */
+void runEmittedGuarded(const char* phase, int partition,
+                       std::int64_t batch_index,
+                       const std::string& so_path,
+                       const std::function<void()>& body);
 
 } // namespace macross::native::detail

@@ -15,9 +15,14 @@
 #include <sstream>
 
 #include "codegen/emit_cpp.h"
+#include "native/compile_exec.h"
 #include "native/native_cache.h"
+#include "native/native_fault.h"
+#include "native/quarantine.h"
+#include "native/signal_guard.h"
 #include "native/simd_probe.h"
 #include "support/diagnostics.h"
+#include "support/fault.h"
 
 namespace macross::native {
 
@@ -25,14 +30,22 @@ namespace fs = std::filesystem;
 
 namespace {
 
+/**
+ * Probe for a working compiler through the same hardened spawn the
+ * compile itself uses: no inherited stdout/stderr (std::system's
+ * `command -v` probe leaked both), a real timeout so a wedged
+ * toolchain wrapper cannot hang engine construction, and one retry
+ * for transient spawn failures.
+ */
 bool
 commandExists(const std::string& cmd)
 {
     if (cmd.empty())
         return false;
-    std::string probe =
-        "command -v " + detail::shellQuote(cmd) + " > /dev/null 2>&1";
-    return std::system(probe.c_str()) == 0;
+    SpawnLimits limits;
+    limits.wallMs = 15000;
+    limits.maxAttempts = 2;
+    return runCommand({cmd, "--version"}, limits).ok();
 }
 
 } // namespace
@@ -147,8 +160,11 @@ NativeProgram::~NativeProgram()
 void
 NativeProgram::unload()
 {
-    if (ctx_ && destroy_)
-        destroy_(ctx_);
+    if (ctx_ && destroy_) {
+        // A program that already crashed may crash again in its
+        // destructor; swallow it — the state is abandoned either way.
+        (void)signal_guard::run([&] { destroy_(ctx_); });
+    }
     ctx_ = nullptr;
     if (handle_)
         ::dlclose(handle_);
@@ -167,6 +183,10 @@ NativeProgram::tryBind(const std::string& so_path, int* found_abi)
     unload();
     if (found_abi)
         *found_abi = 0;
+    // Chaos hook: a failed dlopen is indistinguishable from a
+    // truncated cache entry — the recompile path must absorb it.
+    if (support::FaultInjector::fire("native.dlopen.fail"))
+        return BindStatus::LoadFailed;
     handle_ = ::dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
     if (!handle_)
         return BindStatus::LoadFailed;
@@ -207,8 +227,11 @@ NativeProgram::tryBind(const std::string& so_path, int* found_abi)
         unload();
         return BindStatus::LoadFailed;
     }
-    ctx_ = create_();
-    if (!ctx_) {
+    // create_() is the first entry into the object's code; a crash
+    // here (corrupted object, hostile static data) maps to a plain
+    // load failure so the recompile-once path absorbs it.
+    const auto crash = signal_guard::run([&] { ctx_ = create_(); });
+    if (crash || !ctx_) {
         unload();
         return BindStatus::LoadFailed;
     }
@@ -245,7 +268,9 @@ NativeProgram::init()
 {
     panicIf(initDone_, "NativeProgram::init called twice");
     initDone_ = true;
-    init_(ctx_);
+    detail::runEmittedGuarded("init", /*partition=*/-1,
+                              /*batch_index=*/-1, stats_.soPath,
+                              [&] { init_(ctx_); });
 }
 
 void
@@ -254,11 +279,29 @@ NativeProgram::runSteady(int iterations)
     if (!initDone_)
         init();
     auto t0 = std::chrono::steady_clock::now();
-    runSteady_(ctx_, iterations);
+    detail::runEmittedGuarded(
+        "steady", /*partition=*/-1, steadyBatches_, stats_.soPath,
+        [&] {
+            // Chaos hook: the armed action crashes this thread inside
+            // the guarded region (payload = partition, -1 = serial),
+            // before emitted state mutates — the captured prefix
+            // stays a clean batch boundary.
+            std::int64_t part = -1;
+            support::FaultInjector::fire("native.steady.crash",
+                                         &part);
+            runSteady_(ctx_, iterations);
+        });
+    ++steadyBatches_;
     stats_.steadyWallMicros +=
         std::chrono::duration<double, std::micro>(
             std::chrono::steady_clock::now() - t0)
             .count();
+    // The recompiled-fresh entry ran a steady batch cleanly: lift the
+    // quarantine so future runs cache-hit again.
+    if (!quarantineCleared_ && stats_.quarantineFailures > 0) {
+        quarantine::clear(stats_.soPath);
+        quarantineCleared_ = true;
+    }
 }
 
 std::size_t

@@ -95,6 +95,14 @@ struct NativeOptions {
      * exercised on machines that support every width.
      */
     int maxLaneWidthOverride = 0;
+    /**
+     * Wall-clock budget for one host-compiler invocation, in
+     * milliseconds. 0 resolves $MACROSS_COMPILE_TIMEOUT_MS, then the
+     * 120 s default (compile_exec.h). Past the budget the compiler's
+     * process group is killed and the build surfaces as a
+     * NativeFaultKind::CompileTimeout fault.
+     */
+    std::int64_t compileTimeoutMs = 0;
 };
 
 /** Everything a report wants to know about one native build/run. */
@@ -105,12 +113,17 @@ struct NativeStats {
     std::uint64_t sourceHash = 0;  ///< Content hash (source+compiler+flags).
     bool cacheHit = false;      ///< Loaded without recompiling.
     double compileMillis = 0.0; ///< Host-compiler wall time (0 on hit).
+    int compileAttempts = 0;    ///< Spawn attempts (retries included).
     double steadyWallMicros = 0.0;  ///< Accumulated native steady time.
     int abiVersion = 0;         ///< ABI version the loaded .so reports.
     int simdLanes = 0;          ///< Lane width the .so was built with.
     std::string simdIsa;        ///< ISA selector the .so was built with.
     bool simdFallback = false;  ///< Requested width refused; W=1 used.
     bool exact = true;          ///< Bit-identical contract (see SimdSpec).
+    /** Quarantine failures recorded against this cache entry when it
+     *  was consulted (1 = recompiled fresh on the retry path). */
+    std::int64_t quarantineFailures = 0;
+    std::string quarantineReason;  ///< Last recorded crash diagnostic.
 };
 
 /**
@@ -189,6 +202,10 @@ class NativeProgram {
     ir::Type sinkElem_{ir::Scalar::Int32, 1};
     bool hasSink_ = false;
     bool initDone_ = false;
+    /** runSteady calls completed (the batch index a crash reports). */
+    std::int64_t steadyBatches_ = 0;
+    /** Quarantine sidecar cleared after the first clean steady run. */
+    bool quarantineCleared_ = false;
     codegen::SimdSpec spec_;
     NativeStats stats_;
 };

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Native fault taxonomy implementation.
+ */
+#include "native/native_fault.h"
+
+#include <csignal>
+
+namespace macross::native {
+
+std::string
+toString(NativeFaultKind kind)
+{
+    switch (kind) {
+      case NativeFaultKind::CompileTimeout: return "compileTimeout";
+      case NativeFaultKind::CompileExit: return "compileExit";
+      case NativeFaultKind::CompileSignal: return "compileSignal";
+      case NativeFaultKind::CompileSpawn: return "compileSpawn";
+      case NativeFaultKind::LoadFailed: return "loadFailed";
+      case NativeFaultKind::Crash: return "crash";
+      case NativeFaultKind::Quarantined: return "quarantined";
+    }
+    return "unknown";
+}
+
+std::string
+signalName(int sig)
+{
+    switch (sig) {
+      case SIGSEGV: return "SIGSEGV";
+      case SIGBUS: return "SIGBUS";
+      case SIGFPE: return "SIGFPE";
+      case SIGILL: return "SIGILL";
+      case SIGABRT: return "SIGABRT";
+      case SIGKILL: return "SIGKILL";
+      case SIGTERM: return "SIGTERM";
+      case SIGXCPU: return "SIGXCPU";
+      default: return "signal " + std::to_string(sig);
+    }
+}
+
+json::Value
+NativeFaultRecord::toJson() const
+{
+    json::Value v = json::Value::object();
+    v["kind"] = toString(kind);
+    v["phase"] = phase;
+    if (signal != 0) {
+        v["signal"] = signal;
+        v["signalName"] = signalName;
+    }
+    v["partition"] = partition;
+    v["batchIndex"] = batchIndex;
+    if (exitCode != 0)
+        v["exitCode"] = exitCode;
+    if (wallMs > 0.0)
+        v["wallMs"] = wallMs;
+    if (attempts > 0)
+        v["attempts"] = attempts;
+    v["message"] = message;
+    return v;
+}
+
+namespace {
+
+std::string
+describe(const NativeFaultRecord& r)
+{
+    std::string msg =
+        "fatal: native fault (" + toString(r.kind) + ")";
+    if (!r.phase.empty())
+        msg += " in phase " + r.phase;
+    if (r.signal != 0)
+        msg += " [" + r.signalName + "]";
+    if (r.partition >= 0)
+        msg += " [partition " + std::to_string(r.partition) + "]";
+    msg += ": " + r.message;
+    return msg;
+}
+
+} // namespace
+
+NativeFaultError::NativeFaultError(NativeFaultRecord record)
+    : FatalError(describe(record)), record_(std::move(record))
+{
+}
+
+void
+throwNativeFault(NativeFaultRecord record)
+{
+    if (record.signal != 0 && record.signalName.empty())
+        record.signalName = signalName(record.signal);
+    throw NativeFaultError(std::move(record));
+}
+
+} // namespace macross::native

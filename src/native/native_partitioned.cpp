@@ -11,8 +11,10 @@
 
 #include "codegen/emit_cpp.h"
 #include "native/native_cache.h"
+#include "native/signal_guard.h"
 #include "native/simd_probe.h"
 #include "support/diagnostics.h"
+#include "support/fault.h"
 
 namespace macross::native {
 
@@ -83,12 +85,17 @@ NativePartitionedProgram::NativePartitionedProgram(
             " partitions, expected ", cores_);
     parts_.resize(static_cast<std::size_t>(cores_), nullptr);
     for (int k = 0; k < cores_; ++k) {
-        parts_[static_cast<std::size_t>(k)] = createPartition_(k);
+        detail::runEmittedGuarded(
+            "init", k, /*batch_index=*/-1, stats_.soPath, [&] {
+                parts_[static_cast<std::size_t>(k)] =
+                    createPartition_(k);
+            });
         fatalIf(!parts_[static_cast<std::size_t>(k)],
                 "partitioned native: create_partition(", k,
                 ") returned null");
     }
     wallMicros_.assign(static_cast<std::size_t>(cores_), 0.0);
+    batches_.assign(static_cast<std::size_t>(cores_), 0);
 }
 
 NativePartitionedProgram::~NativePartitionedProgram()
@@ -101,8 +108,11 @@ NativePartitionedProgram::unload()
 {
     if (destroyPartition_) {
         for (void* p : parts_) {
+            // A partition that already crashed may crash again in its
+            // destructor; swallow it — the state is abandoned anyway.
             if (p)
-                destroyPartition_(p);
+                (void)signal_guard::run(
+                    [&] { destroyPartition_(p); });
         }
     }
     parts_.clear();
@@ -134,6 +144,10 @@ NativePartitionedProgram::tryBind(const std::string& so_path,
     unload();
     if (found_abi)
         *found_abi = 0;
+    // Chaos hook: a failed dlopen is indistinguishable from a
+    // truncated cache entry — the recompile path must absorb it.
+    if (support::FaultInjector::fire("native.dlopen.fail"))
+        return false;
     handle_ = ::dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
     if (!handle_)
         return false;
@@ -227,7 +241,9 @@ NativePartitionedProgram::initAll()
     panicIf(initDone_,
             "NativePartitionedProgram::initAll called twice");
     initDone_ = true;
-    initAll_(parts_.data(), cores_);
+    detail::runEmittedGuarded(
+        "init", /*partition=*/-1, /*batch_index=*/-1, stats_.soPath,
+        [&] { initAll_(parts_.data(), cores_); });
 }
 
 void
@@ -236,8 +252,19 @@ NativePartitionedProgram::runSteadyPartition(int core, int iterations)
     panicIf(!initDone_,
             "partitioned native: runSteadyPartition before initAll");
     auto t0 = std::chrono::steady_clock::now();
-    runSteadyPartition_(parts_[static_cast<std::size_t>(core)],
-                        iterations);
+    detail::runEmittedGuarded(
+        "steady", core, batches_[static_cast<std::size_t>(core)],
+        stats_.soPath, [&] {
+            // Chaos hook: the armed action crashes this worker thread
+            // inside the guarded region; the payload carries the core
+            // id so a test can target one partition of many.
+            std::int64_t part = core;
+            support::FaultInjector::fire("native.steady.crash",
+                                         &part);
+            runSteadyPartition_(parts_[static_cast<std::size_t>(core)],
+                                iterations);
+        });
+    ++batches_[static_cast<std::size_t>(core)];
     wallMicros_[static_cast<std::size_t>(core)] +=
         std::chrono::duration<double, std::micro>(
             std::chrono::steady_clock::now() - t0)

@@ -158,6 +158,9 @@ class NativePartitionedProgram {
     std::deque<RingBinding> bindings_;
 
     std::vector<double> wallMicros_;  ///< Per-core steady wall time.
+    /** Per-core runSteadyPartition calls completed (the batch index a
+     *  crash on that core reports). */
+    std::vector<std::int64_t> batches_;
     int cores_ = 0;
     ir::Type sinkElem_{ir::Scalar::Int32, 1};
     bool hasSink_ = false;

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Quarantine sidecar implementation (see quarantine.h).
+ */
+#include "native/quarantine.h"
+
+#include <filesystem>
+
+#include "native/native_cache.h"
+#include "support/json.h"
+
+namespace macross::native::quarantine {
+
+namespace fs = std::filesystem;
+
+std::string
+sidecarPath(const std::string& so_path)
+{
+    return so_path + ".quarantine";
+}
+
+Status
+status(const std::string& so_path)
+{
+    Status st;
+    const std::string text =
+        detail::readFileOr(sidecarPath(so_path), "");
+    if (text.empty())
+        return st;
+    // A torn or hand-mangled sidecar must never take the cache down;
+    // treat it as "one recorded failure" so the entry is distrusted
+    // but recoverable.
+    try {
+        json::Value v = json::parse(text);
+        if (const json::Value* f = v.find("failures"))
+            st.failures = f->asInt();
+        if (const json::Value* r = v.find("reason"))
+            st.reason = r->asString();
+    } catch (const std::exception&) {
+        st.failures = 1;
+        st.reason = "unreadable quarantine sidecar";
+    }
+    return st;
+}
+
+void
+recordFailure(const std::string& so_path, const std::string& reason)
+{
+    Status st = status(so_path);
+    ++st.failures;
+    st.reason = reason;
+    json::Value v = json::Value::object();
+    v["schemaVersion"] = 1;
+    v["failures"] = st.failures;
+    v["reason"] = st.reason;
+    detail::writeFileAtomic(sidecarPath(so_path), v.dump(2) + "\n");
+}
+
+void
+clear(const std::string& so_path)
+{
+    std::error_code ec;
+    fs::remove(sidecarPath(so_path), ec);
+}
+
+} // namespace macross::native::quarantine

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Negative cache for crashing shared objects.
+ *
+ * The content-hashed .so cache makes a poisoned entry sticky: a cache
+ * hit on an object that crashes would crash again on every run with
+ * the same source — a crash-loop, the worst failure mode for a
+ * long-lived compile-and-run service. The quarantine breaks the loop
+ * with a JSON sidecar (`<soPath>.quarantine`) recording how many
+ * times the entry's code has crashed and why:
+ *
+ *   failures == 1  →  the cached object is distrusted: the cache
+ *                     entry is skipped and the source recompiled
+ *                     fresh (the one recompile retry — covers a
+ *                     truncated or bit-rotted object file);
+ *   failures >= 2  →  the *source* is judged poisoned (it crashed
+ *                     even when freshly compiled): permanently
+ *                     skipped with a NativeFaultKind::Quarantined
+ *                     fault naming the recorded reason. Resetting
+ *                     MACROSS_CACHE_DIR (or deleting the sidecar)
+ *                     lifts the quarantine.
+ *
+ * A successful steady run through a program whose entry carried
+ * failures == 1 clears the sidecar (the recompile fixed it), so a
+ * one-off corruption does not force a recompile forever.
+ *
+ * Sidecar writes go through the same unique-temp + atomic-rename
+ * discipline as the cache itself, so concurrent processes race
+ * benignly.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace macross::native::quarantine {
+
+/** Crash bookkeeping for one cache entry. */
+struct Status {
+    std::int64_t failures = 0;  ///< Recorded crashes for this entry.
+    std::string reason;         ///< Last recorded diagnostic.
+
+    bool quarantined() const { return failures >= 2; }
+    bool distrusted() const { return failures >= 1; }
+};
+
+/** Sidecar path for @p so_path. */
+std::string sidecarPath(const std::string& so_path);
+
+/** Read the sidecar (zero Status when absent or unreadable). */
+Status status(const std::string& so_path);
+
+/** Record one crash of @p so_path's code with @p reason. */
+void recordFailure(const std::string& so_path,
+                   const std::string& reason);
+
+/** Drop the sidecar (entry proved healthy, or cache reset). */
+void clear(const std::string& so_path);
+
+} // namespace macross::native::quarantine

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Signal guard implementation (see signal_guard.h).
+ */
+#include "native/signal_guard.h"
+
+#include <csetjmp>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+namespace macross::native::signal_guard {
+
+namespace {
+
+/** The four signals emitted code can realistically die from. */
+constexpr int kGuarded[] = {SIGSEGV, SIGBUS, SIGFPE, SIGILL};
+
+struct ThreadGuardState {
+    sigjmp_buf* env = nullptr;  ///< Innermost active guard, if any.
+    CrashInfo info;             ///< Filled by the handler before jumping.
+};
+
+thread_local ThreadGuardState tls;
+
+bool handlersUp = false;
+
+extern "C" void
+guardHandler(int sig, siginfo_t* si, void*)
+{
+    if (tls.env) {
+        tls.info.signal = sig;
+        tls.info.faultAddr = si ? si->si_addr : nullptr;
+        sigjmp_buf* env = tls.env;
+        // Disarm before jumping: a second fault on the way out must
+        // fall through to the default disposition, not loop.
+        tls.env = nullptr;
+        ::siglongjmp(*env, 1);
+    }
+    // Not a guarded thread: die exactly as an unguarded process would.
+    ::signal(sig, SIG_DFL);
+    ::raise(sig);
+}
+
+void
+installOnce()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        struct sigaction sa;
+        std::memset(&sa, 0, sizeof sa);
+        sa.sa_sigaction = &guardHandler;
+        sigemptyset(&sa.sa_mask);
+        sa.sa_flags = SA_SIGINFO | SA_ONSTACK;
+        for (int sig : kGuarded)
+            (void)::sigaction(sig, &sa, nullptr);
+        handlersUp = true;
+    });
+}
+
+/**
+ * Per-thread alternate signal stack, so even a stack overflow inside
+ * emitted code leaves the handler room to run. Registered lazily on
+ * first guarded call, deregistered when the thread exits.
+ */
+struct AltStack {
+    std::vector<unsigned char> mem;
+    bool active = false;
+
+    AltStack()
+    {
+        mem.resize(
+            std::max<std::size_t>(static_cast<std::size_t>(SIGSTKSZ),
+                                  64 * 1024));
+        stack_t ss;
+        std::memset(&ss, 0, sizeof ss);
+        ss.ss_sp = mem.data();
+        ss.ss_size = mem.size();
+        active = ::sigaltstack(&ss, nullptr) == 0;
+    }
+
+    ~AltStack()
+    {
+        if (!active)
+            return;
+        stack_t ss;
+        std::memset(&ss, 0, sizeof ss);
+        ss.ss_flags = SS_DISABLE;
+        (void)::sigaltstack(&ss, nullptr);
+    }
+};
+
+void
+ensureAltStack()
+{
+    thread_local AltStack alt;
+    (void)alt;
+}
+
+/** Restores the previous (outer) guard on every exit path, including
+ *  exceptions thrown by the guarded function. */
+struct GuardScope {
+    sigjmp_buf* prev;
+    explicit GuardScope(sigjmp_buf* p) : prev(p) {}
+    ~GuardScope() { tls.env = prev; }
+};
+
+} // namespace
+
+bool
+disabled()
+{
+    static const bool off = [] {
+        const char* env = std::getenv("MACROSS_NO_SIGNAL_GUARD");
+        return env && *env && *env != '0';
+    }();
+    return off;
+}
+
+bool
+handlersInstalled()
+{
+    return handlersUp;
+}
+
+std::optional<CrashInfo>
+run(void (*fn)(void*), void* arg)
+{
+    if (disabled()) {
+        fn(arg);
+        return std::nullopt;
+    }
+    installOnce();
+    ensureAltStack();
+    sigjmp_buf env;
+    GuardScope scope(tls.env);
+    // savemask=1: siglongjmp restores the pre-fault signal mask, so
+    // the guarded signal is unblocked again after recovery.
+    if (sigsetjmp(env, 1) != 0)
+        return tls.info;
+    tls.env = &env;
+    fn(arg);
+    return std::nullopt;
+}
+
+} // namespace macross::native::signal_guard

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Per-thread signal guards around entry into emitted code.
+ *
+ * dlopen()ed host-compiled code is a trust boundary: a miscompiled or
+ * cache-corrupted shared object can dereference garbage (SIGSEGV /
+ * SIGBUS), divide by zero (SIGFPE), or land on a non-instruction
+ * (SIGILL). Without a guard any of those kills the whole process —
+ * the one thing a multi-tenant compile-and-run service must never let
+ * a tenant's program do.
+ *
+ * SignalGuard::run(fn) executes fn with process-wide handlers for
+ * those four signals installed (once, idempotently, SA_ONSTACK on a
+ * per-thread sigaltstack so even a stack overflow can be caught) and
+ * a thread-local sigsetjmp context armed. A signal raised while this
+ * thread is inside fn longjmps back out and surfaces as a CrashInfo
+ * return value; the caller turns it into a structured NativeFault. A
+ * signal on a thread with no guard armed is re-raised with the
+ * default disposition — behavior outside guarded regions is exactly
+ * as before.
+ *
+ * Honesty about the mechanism: siglongjmp out of the faulting frame
+ * skips destructors between the handler and the guard, and resumes
+ * from an async context. That is the same pragmatic contract
+ * LLVM's CrashRecoveryContext ships with — acceptable because the
+ * guarded region is emitted code whose state is abandoned wholesale
+ * after a crash (the degradation ladder replays on a lower engine and
+ * the crashed program is quarantined, never resumed; see
+ * interp/runner.cpp and native/quarantine.h).
+ *
+ * Sanitizer interplay: ASan installs its own SEGV handlers first and
+ * would otherwise report the guarded crash as a fatal error. CI runs
+ * guarded suites with
+ * ASAN_OPTIONS=handle_segv=0:handle_sigbus=0:handle_sigfpe=0:handle_sigill=0:allow_user_segv_handler=1.
+ * Setting MACROSS_NO_SIGNAL_GUARD=1 disables guarding entirely
+ * (crashes kill the process, the pre-containment behavior).
+ */
+#pragma once
+
+#include <optional>
+
+namespace macross::native {
+
+/** What a guard caught. */
+struct CrashInfo {
+    int signal = 0;        ///< SIGSEGV / SIGBUS / SIGFPE / SIGILL.
+    void* faultAddr = nullptr;  ///< si_addr when the kernel knows it.
+};
+
+namespace signal_guard {
+
+/**
+ * Run @p fn under this thread's signal guard. Returns std::nullopt
+ * when fn returned normally, or the CrashInfo when a guarded signal
+ * fired inside it. Exceptions thrown by fn propagate unchanged.
+ * Guards nest (the innermost wins).
+ */
+std::optional<CrashInfo> run(void (*fn)(void*), void* arg);
+
+/** Convenience overload for callables (lambdas with captures). */
+template <typename Fn>
+std::optional<CrashInfo>
+run(Fn&& fn)
+{
+    auto thunk = [](void* p) { (*static_cast<Fn*>(p))(); };
+    return run(+thunk, &fn);
+}
+
+/** True when guarding is disabled via MACROSS_NO_SIGNAL_GUARD. */
+bool disabled();
+
+/** Handlers installed at least once in this process (tests). */
+bool handlersInstalled();
+
+} // namespace signal_guard
+
+} // namespace macross::native

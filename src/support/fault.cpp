@@ -15,13 +15,14 @@ FaultInjector::instance()
 
 void
 FaultInjector::arm(const std::string& site, Action action,
-                   std::int64_t max_fires)
+                   std::int64_t max_fires, std::int64_t skip_fires)
 {
     std::lock_guard<std::mutex> lk(mu_);
     Site& s = sites_[site];
     const bool wasLive = s.action && s.remaining != 0;
     s.action = std::move(action);
     s.remaining = max_fires;
+    s.skip = skip_fires;
     const bool isLive = s.action && s.remaining != 0;
     if (isLive && !wasLive)
         armed_.fetch_add(1, std::memory_order_relaxed);
@@ -70,6 +71,10 @@ FaultInjector::fireSlow(const char* site, std::int64_t* value)
         Site& s = it->second;
         if (!s.action || s.remaining == 0)
             return false;
+        if (s.skip > 0) {
+            --s.skip;
+            return false;
+        }
         ++s.fires;
         if (s.remaining > 0 && --s.remaining == 0)
             armed_.fetch_sub(1, std::memory_order_relaxed);

@@ -44,10 +44,13 @@ class FaultInjector {
     /**
      * Arm @p site: the next @p max_fires passages trigger @p action
      * (-1 = every passage until disarm). Re-arming replaces the
-     * previous action.
+     * previous action. @p skip_fires passages are let through
+     * untriggered first — this is how chaos runs wedge e.g. the
+     * second host compile of a run (the tuner's first non-default
+     * candidate) while leaving the first one healthy.
      */
     void arm(const std::string& site, Action action,
-             std::int64_t max_fires = -1);
+             std::int64_t max_fires = -1, std::int64_t skip_fires = 0);
 
     /** Disarm one site (no-op when not armed). */
     void disarm(const std::string& site);
@@ -75,6 +78,7 @@ class FaultInjector {
     struct Site {
         Action action;
         std::int64_t remaining = -1;  ///< Fires left (-1 = unlimited).
+        std::int64_t skip = 0;        ///< Passages to let through first.
         std::int64_t fires = 0;
     };
 

@@ -8,6 +8,7 @@
 #include "interp/runner.h"
 #include "machine/cost_sink.h"
 #include "multicore/partition.h"
+#include "native/native_fault.h"
 #include "native/simd_probe.h"
 #include "support/diagnostics.h"
 
@@ -432,6 +433,18 @@ Tuner::tune()
             try {
                 m.microsPerElement =
                     measurer_->measure(service_, cand.config);
+            } catch (const native::NativeFaultError& e) {
+                // A typed native fault (compile timeout, crash under
+                // the signal guards, quarantined cache entry) is a
+                // property of this candidate's configuration, not of
+                // the host: mark it failed, keep searching. The
+                // default still must measure — see below.
+                if (cand.isDefault)
+                    throw;
+                m.failed = true;
+                m.error = "native fault (" +
+                          native::toString(e.record().kind) +
+                          "): " + e.record().message;
             } catch (const FatalError& e) {
                 // The default must measure: without the baseline
                 // there is nothing sound to compare against (and its

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit tests for the hardened subprocess layer the native engine
+ * shells out through: typed exit classification (ok / nonzero /
+ * signaled / timeout / spawn error), wall-clock containment of a
+ * wedged child, output capture, bounded spawn retries, and the
+ * small string helpers (splitArgs, excerptLines) the compile
+ * diagnostics are built from.
+ */
+#include "native/compile_exec.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+
+namespace macross::native {
+namespace {
+
+TEST(CompileExec, CleanExitIsOk)
+{
+    ExecResult r = runCommand({"true"});
+    EXPECT_EQ(r.status, ExecStatus::Ok);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.exitCode, 0);
+    EXPECT_EQ(r.attempts, 1);
+}
+
+TEST(CompileExec, NonZeroExitCarriesTheCode)
+{
+    ExecResult r = runCommand({"sh", "-c", "exit 7"});
+    EXPECT_EQ(r.status, ExecStatus::NonZeroExit);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.exitCode, 7);
+}
+
+TEST(CompileExec, CapturesStdoutAndStderrInterleaved)
+{
+    ExecResult r =
+        runCommand({"sh", "-c", "echo out; echo err 1>&2"});
+    EXPECT_TRUE(r.ok());
+    EXPECT_NE(r.output.find("out"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("err"), std::string::npos) << r.output;
+}
+
+TEST(CompileExec, WedgedChildIsKilledAtTheWallDeadline)
+{
+    SpawnLimits limits;
+    limits.wallMs = 250;
+    limits.maxAttempts = 1;
+    const auto t0 = std::chrono::steady_clock::now();
+    ExecResult r = runCommand({"sleep", "30"}, limits);
+    const double elapsedMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_EQ(r.status, ExecStatus::Timeout);
+    EXPECT_EQ(r.termSignal, SIGKILL);
+    // Contained well under the child's own 30 s runtime: the
+    // deadline plus generous scheduling slack.
+    EXPECT_LT(elapsedMs, 5000.0);
+    EXPECT_GE(r.wallMs, 200.0);
+}
+
+TEST(CompileExec, TimeoutReapsTheWholeProcessGroup)
+{
+    // The shell forks a grandchild; the group kill must take both
+    // down rather than orphaning the sleeper.
+    SpawnLimits limits;
+    limits.wallMs = 250;
+    limits.maxAttempts = 1;
+    ExecResult r =
+        runCommand({"sh", "-c", "sleep 30 & wait"}, limits);
+    EXPECT_EQ(r.status, ExecStatus::Timeout);
+}
+
+TEST(CompileExec, SignaledChildIsClassified)
+{
+    ExecResult r = runCommand({"sh", "-c", "kill -TERM $$"});
+    EXPECT_EQ(r.status, ExecStatus::Signaled);
+    EXPECT_EQ(r.termSignal, SIGTERM);
+}
+
+TEST(CompileExec, UnspawnableCommandReportsSpawnErrorWithoutRetry)
+{
+    // ENOENT is a configuration error, not a transient hiccup: the
+    // retry loop must NOT burn attempts on a binary that will never
+    // appear.
+    SpawnLimits limits;
+    limits.maxAttempts = 3;
+    limits.backoffMs = 1;
+    ExecResult r = runCommand(
+        {"/nonexistent/macross-no-such-binary"}, limits);
+    EXPECT_EQ(r.status, ExecStatus::SpawnError);
+    EXPECT_EQ(r.attempts, 1);
+    EXPECT_NE(r.spawnError.find("macross-no-such-binary"),
+              std::string::npos)
+        << r.spawnError;
+}
+
+TEST(CompileExec, StatusNamesAreReportStable)
+{
+    EXPECT_EQ(toString(ExecStatus::Ok), "ok");
+    EXPECT_EQ(toString(ExecStatus::NonZeroExit), "nonZeroExit");
+    EXPECT_EQ(toString(ExecStatus::Signaled), "signaled");
+    EXPECT_EQ(toString(ExecStatus::Timeout), "timeout");
+    EXPECT_EQ(toString(ExecStatus::SpawnError), "spawnError");
+}
+
+TEST(CompileExec, WallBudgetResolvesEnvThenDefault)
+{
+    const char* saved = std::getenv("MACROSS_COMPILE_TIMEOUT_MS");
+    std::string savedCopy = saved ? saved : "";
+
+    ::unsetenv("MACROSS_COMPILE_TIMEOUT_MS");
+    SpawnLimits limits;
+    EXPECT_EQ(resolveWallBudgetMs(limits), 120000);
+
+    ::setenv("MACROSS_COMPILE_TIMEOUT_MS", "4500", 1);
+    EXPECT_EQ(resolveWallBudgetMs(limits), 4500);
+
+    // An explicit limit beats the environment.
+    limits.wallMs = 777;
+    EXPECT_EQ(resolveWallBudgetMs(limits), 777);
+
+    if (saved)
+        ::setenv("MACROSS_COMPILE_TIMEOUT_MS", savedCopy.c_str(), 1);
+    else
+        ::unsetenv("MACROSS_COMPILE_TIMEOUT_MS");
+}
+
+TEST(CompileExec, SplitArgsHandlesWhitespaceRuns)
+{
+    EXPECT_EQ(splitArgs("-O2  -g\t-shared"),
+              (std::vector<std::string>{"-O2", "-g", "-shared"}));
+    EXPECT_TRUE(splitArgs("").empty());
+    EXPECT_TRUE(splitArgs("   ").empty());
+}
+
+TEST(CompileExec, ExcerptPrefixesAndTruncates)
+{
+    std::string text;
+    for (int i = 0; i < 50; ++i)
+        text += "line" + std::to_string(i) + "\n";
+    std::string ex = excerptLines(text, "cc", 40);
+    EXPECT_NE(ex.find("cc: line0"), std::string::npos) << ex;
+    EXPECT_NE(ex.find("cc: line39"), std::string::npos) << ex;
+    EXPECT_EQ(ex.find("line40"), std::string::npos) << ex;
+    EXPECT_NE(ex.find("more line"), std::string::npos) << ex;
+
+    // Short text passes through untruncated, still tagged.
+    std::string shortEx = excerptLines("only\n", "cc", 40);
+    EXPECT_NE(shortEx.find("cc: only"), std::string::npos);
+    EXPECT_EQ(shortEx.find("more line"), std::string::npos);
+}
+
+} // namespace
+} // namespace macross::native

@@ -1,0 +1,379 @@
+/**
+ * @file
+ * Integration tests for the native engine's crash containment: the
+ * quarantine negative-cache (one recompile retry, then permanent
+ * skip, cleared by a healthy run or a cache reset), the degradation
+ * ladder (an injected SIGSEGV inside emitted code degrades the
+ * serial Runner — and the ParallelRunner — to the bytecode VM with
+ * bit-identical output), the --degrade off policy (the typed
+ * NativeFaultError propagates), and the typed compile faults
+ * (wedged-compiler timeout, compiler stderr surfaced in the
+ * diagnostic).
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <csignal>
+#include <filesystem>
+#include <memory>
+
+#include "../test_util.h"
+#include "benchmarks/suite.h"
+#include "interp/parallel_runner.h"
+#include "interp/runner.h"
+#include "multicore/partition.h"
+#include "native/native_engine.h"
+#include "native/native_fault.h"
+#include "native/quarantine.h"
+#include "support/fault.h"
+#include "vectorizer/pipeline.h"
+
+namespace macross::native {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+freshCacheDir(const std::string& tag)
+{
+    std::string dir =
+        ::testing::TempDir() + "macross_crash_cache_" + tag;
+    fs::remove_all(dir);
+    return dir;
+}
+
+vectorizer::CompiledProgram
+smallProgram()
+{
+    return vectorizer::compileScalar(
+        benchmarks::makeRunningExample());
+}
+
+class CrashContainment : public ::testing::Test {
+  protected:
+    void SetUp() override
+    {
+        support::FaultInjector::instance().reset();
+    }
+    void TearDown() override
+    {
+        support::FaultInjector::instance().reset();
+    }
+
+    /**
+     * Arm the steady-crash site: raise a real SIGSEGV (caught by the
+     * signal guard) on the first fire whose partition payload
+     * matches — once only, like the CLI's native-crash injection.
+     * @p want_partition -1 matches the serial whole-program path;
+     * >= 0 a specific parallel partition; kAnyPartition everything.
+     */
+    static constexpr long kAnyPartition = -2;
+    void armSteadyCrash(long want_partition)
+    {
+        auto fired = std::make_shared<std::atomic<bool>>(false);
+        support::FaultInjector::instance().arm(
+            "native.steady.crash",
+            [want_partition, fired](std::int64_t* value) {
+                if (want_partition != kAnyPartition &&
+                    (!value || *value != want_partition))
+                    return;
+                if (fired->exchange(true))
+                    return;
+                raise(SIGSEGV);
+            });
+    }
+};
+
+TEST_F(CrashContainment, QuarantineSidecarRoundtrip)
+{
+    std::string dir = freshCacheDir("sidecar");
+    fs::create_directories(dir);
+    const std::string so = dir + "/entry.so";
+
+    quarantine::Status s = quarantine::status(so);
+    EXPECT_EQ(s.failures, 0);
+    EXPECT_FALSE(s.distrusted());
+
+    quarantine::recordFailure(so, "first crash");
+    s = quarantine::status(so);
+    EXPECT_EQ(s.failures, 1);
+    EXPECT_TRUE(s.distrusted());
+    EXPECT_FALSE(s.quarantined());
+    EXPECT_EQ(s.reason, "first crash");
+
+    quarantine::recordFailure(so, "second crash");
+    s = quarantine::status(so);
+    EXPECT_EQ(s.failures, 2);
+    EXPECT_TRUE(s.quarantined());
+    EXPECT_EQ(s.reason, "second crash");
+
+    quarantine::clear(so);
+    EXPECT_EQ(quarantine::status(so).failures, 0);
+    EXPECT_FALSE(fs::exists(quarantine::sidecarPath(so)));
+}
+
+TEST_F(CrashContainment, CrashedEntryGetsOneRecompileThenQuarantine)
+{
+    NativeOptions opts;
+    opts.cacheDir = freshCacheDir("retry_then_skip");
+    auto p = smallProgram();
+
+    std::string soPath;
+    {
+        NativeProgram first(p.graph, p.schedule, opts);
+        soPath = first.stats().soPath;
+    }
+
+    // One recorded crash: the cached object is distrusted. The next
+    // construction must skip the hit and recompile — that recompile
+    // IS the one retry.
+    quarantine::recordFailure(soPath, "recorded test crash");
+    {
+        NativeProgram second(p.graph, p.schedule, opts);
+        EXPECT_FALSE(second.stats().cacheHit);
+        EXPECT_EQ(second.stats().quarantineFailures, 1);
+        EXPECT_EQ(second.stats().quarantineReason,
+                  "recorded test crash");
+
+        // A clean steady batch through the recompiled object clears
+        // the sidecar: a one-off corruption does not force a
+        // recompile forever.
+        second.init();
+        second.runSteady(2);
+        EXPECT_EQ(quarantine::status(soPath).failures, 0);
+    }
+
+    // Two recorded crashes: the source itself is judged poisoned and
+    // the entry is permanently skipped with a typed fault.
+    quarantine::recordFailure(soPath, "crash one");
+    quarantine::recordFailure(soPath, "crash two");
+    try {
+        NativeProgram third(p.graph, p.schedule, opts);
+        FAIL() << "quarantined entry was loaded";
+    } catch (const NativeFaultError& e) {
+        EXPECT_EQ(e.record().kind, NativeFaultKind::Quarantined);
+        EXPECT_EQ(e.record().phase, "cache");
+        EXPECT_NE(std::string(e.what()).find("quarantined"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(e.record().message.find("crash two"),
+                  std::string::npos)
+            << e.record().message;
+    }
+
+    // Resetting the cache dir lifts the quarantine: a clean build in
+    // a fresh dir runs normally.
+    NativeOptions fresh;
+    fresh.cacheDir = freshCacheDir("retry_then_skip_reset");
+    NativeProgram fourth(p.graph, p.schedule, fresh);
+    fourth.init();
+    fourth.runSteady(2);
+    EXPECT_GT(fourth.capturedSize(), 0u);
+}
+
+TEST_F(CrashContainment, InjectedCrashDegradesSerialRunnerBitIdentical)
+{
+    auto p = smallProgram();
+
+    interp::Runner vm(p.graph, p.schedule, nullptr,
+                      interp::EngineConfig(
+                          interp::ExecEngine::Bytecode));
+    vm.runInit();
+    vm.runSteady(5);
+
+    armSteadyCrash(/*want_partition=*/-1);
+    interp::EngineConfig config(interp::ExecEngine::Native);
+    config.native.cacheDir = freshCacheDir("serial_degrade");
+    config.degrade = interp::DegradeMode::Auto;
+    interp::Runner r(p.graph, p.schedule, nullptr, config);
+    r.runInit();
+    r.runSteady(5);
+
+    EXPECT_TRUE(r.degradedFromNative());
+    EXPECT_TRUE(r.degradeVerified());
+    ASSERT_EQ(r.nativeFaults().size(), 1u);
+    const NativeFaultRecord& rec = r.nativeFaults()[0];
+    EXPECT_EQ(rec.kind, NativeFaultKind::Crash);
+    EXPECT_EQ(rec.signal, SIGSEGV);
+    EXPECT_EQ(rec.signalName, "SIGSEGV");
+    EXPECT_EQ(rec.phase, "steady");
+    EXPECT_EQ(rec.partition, -1);
+
+    // The degraded run is the bytecode run, bit for bit.
+    testutil::expectSameStream(vm.captured(), r.captured());
+
+    // And the stats tell the whole story.
+    json::Value stats = r.statsToJson();
+    EXPECT_EQ(stats.find("engine")->asString(), "native");
+    const json::Value* nat = stats.find("native");
+    ASSERT_NE(nat, nullptr);
+    EXPECT_TRUE(nat->find("degraded")->asBool());
+    EXPECT_EQ(nat->find("degradedTo")->asString(), "bytecode");
+    EXPECT_TRUE(nat->find("degradeVerified")->asBool());
+    const json::Value* faults = nat->find("faults");
+    ASSERT_NE(faults, nullptr);
+    ASSERT_EQ(faults->size(), 1u);
+    EXPECT_EQ(faults->at(0).find("kind")->asString(), "crash");
+    EXPECT_EQ(faults->at(0).find("signalName")->asString(),
+              "SIGSEGV");
+}
+
+TEST_F(CrashContainment, InjectedCrashWithDegradeOffThrowsTyped)
+{
+    auto p = smallProgram();
+    armSteadyCrash(/*want_partition=*/-1);
+    interp::EngineConfig config(interp::ExecEngine::Native);
+    config.native.cacheDir = freshCacheDir("serial_off");
+    // DegradeMode::Off is the default: faults propagate.
+    interp::Runner r(p.graph, p.schedule, nullptr, config);
+    r.runInit();
+    try {
+        r.runSteady(3);
+        FAIL() << "crash was swallowed under DegradeMode::Off";
+    } catch (const NativeFaultError& e) {
+        EXPECT_EQ(e.record().kind, NativeFaultKind::Crash);
+        EXPECT_EQ(e.record().signal, SIGSEGV);
+        EXPECT_EQ(e.record().batchIndex, 0);
+    }
+    EXPECT_FALSE(r.degradedFromNative());
+    ASSERT_EQ(r.nativeFaults().size(), 1u);
+
+    // The crash was recorded against the cache entry.
+    EXPECT_GE(
+        quarantine::status(r.nativeStats()->soPath).failures, 1);
+}
+
+TEST_F(CrashContainment, ParallelCrashFallsBackToSerialAndMatches)
+{
+    auto p = smallProgram();
+
+    machine::CostSink cost(machine::coreI7());
+    interp::Runner vm(p.graph, p.schedule, &cost,
+                      interp::EngineConfig(
+                          interp::ExecEngine::Bytecode));
+    vm.runInit();
+    vm.runSteady(6);
+    std::vector<double> weights(p.graph.actors.size());
+    for (const auto& a : p.graph.actors)
+        weights[a.id] = cost.actorCycles(a.id);
+    multicore::Partition part = multicore::partitionGreedy(
+        p.graph, p.schedule, weights, 2);
+
+    // Crash whichever partition probes the site first (payload >= 0
+    // excludes the serial fallback's whole-program replay, which
+    // passes -1 — the fallback must stay healthy).
+    auto fired = std::make_shared<std::atomic<bool>>(false);
+    support::FaultInjector::instance().arm(
+        "native.steady.crash",
+        [fired](std::int64_t* value) {
+            if (!value || *value < 0)
+                return;
+            if (fired->exchange(true))
+                return;
+            raise(SIGSEGV);
+        });
+
+    interp::EngineConfig config(interp::ExecEngine::Native);
+    config.native.cacheDir = freshCacheDir("parallel_degrade");
+    config.degrade = interp::DegradeMode::Auto;
+    interp::ParallelRunner pr(p.graph, p.schedule, part, nullptr,
+                              config);
+    pr.runInit();
+    pr.runSteady(6);
+
+    EXPECT_TRUE(pr.degradedToSerial());
+    ASSERT_GE(pr.nativeFaults().size(), 1u);
+    const NativeFaultRecord& rec = pr.nativeFaults()[0];
+    EXPECT_EQ(rec.kind, NativeFaultKind::Crash);
+    EXPECT_EQ(rec.signal, SIGSEGV);
+    EXPECT_GE(rec.partition, 0);
+    EXPECT_EQ(rec.phase, "steady");
+
+    ASSERT_GE(pr.faults().size(), 1u);
+    EXPECT_EQ(pr.faults()[0].kind, "nativeFault");
+    EXPECT_TRUE(pr.faults()[0].fallbackUsed);
+
+    testutil::expectSameStream(vm.captured(), pr.captured());
+
+    // The merged stats carry the structured record under
+    // native.faults[].
+    json::Value stats = pr.statsToJson();
+    const json::Value* nat = stats.find("native");
+    ASSERT_NE(nat, nullptr);
+    const json::Value* faults = nat->find("faults");
+    ASSERT_NE(faults, nullptr);
+    ASSERT_GE(faults->size(), 1u);
+    EXPECT_EQ(faults->at(0).find("kind")->asString(), "crash");
+    EXPECT_GE(faults->at(0).find("partition")->asInt(), 0);
+}
+
+TEST_F(CrashContainment, WedgedCompilerTimesOutWithTypedFault)
+{
+    // The injection wedges the host compile (replacing it with a
+    // sleep) and shrinks the wall budget, so the whole test is
+    // bounded by the budget, not by a 30 s sleep.
+    support::FaultInjector::instance().arm(
+        "native.compile.timeout",
+        [](std::int64_t* value) {
+            if (value)
+                *value = 250;
+        },
+        /*max_fires=*/1);
+
+    NativeOptions opts;
+    opts.cacheDir = freshCacheDir("wedged_compile");
+    auto p = smallProgram();
+    try {
+        NativeProgram prog(p.graph, p.schedule, opts);
+        FAIL() << "wedged compile did not fault";
+    } catch (const NativeFaultError& e) {
+        EXPECT_EQ(e.record().kind, NativeFaultKind::CompileTimeout);
+        EXPECT_EQ(e.record().phase, "compile");
+        EXPECT_GE(e.record().wallMs, 200.0);
+        EXPECT_NE(e.record().message.find("timed out"),
+                  std::string::npos)
+            << e.record().message;
+    }
+}
+
+TEST_F(CrashContainment, CompileErrorSurfacesCompilerStderr)
+{
+    NativeOptions opts;
+    opts.cacheDir = freshCacheDir("bad_flags");
+    opts.flags = "-O1 -fno-such-flag-macross-xyz";
+    auto p = smallProgram();
+    try {
+        NativeProgram prog(p.graph, p.schedule, opts);
+        FAIL() << "bad compiler flag did not fault";
+    } catch (const NativeFaultError& e) {
+        EXPECT_EQ(e.record().kind, NativeFaultKind::CompileExit);
+        EXPECT_NE(e.record().exitCode, 0);
+        // The diagnostic embeds the compiler's own stderr, each line
+        // prefixed with the source path.
+        EXPECT_NE(e.record().message.find("no-such-flag-macross-xyz"),
+                  std::string::npos)
+            << e.record().message;
+        EXPECT_NE(e.record().message.find(".cpp:"), std::string::npos)
+            << e.record().message;
+    }
+}
+
+TEST_F(CrashContainment, InjectedDlopenFailureIsALoadFault)
+{
+    support::FaultInjector::instance().arm(
+        "native.dlopen.fail", [](std::int64_t*) {},
+        /*max_fires=*/1);
+    NativeOptions opts;
+    opts.cacheDir = freshCacheDir("dlopen_fail");
+    auto p = smallProgram();
+    try {
+        NativeProgram prog(p.graph, p.schedule, opts);
+        FAIL() << "injected dlopen failure did not fault";
+    } catch (const NativeFaultError& e) {
+        EXPECT_EQ(e.record().kind, NativeFaultKind::LoadFailed);
+        EXPECT_EQ(e.record().phase, "load");
+    }
+}
+
+} // namespace
+} // namespace macross::native

@@ -77,6 +77,22 @@ TEST_F(FaultInjectorTest, ResetClearsActionsAndCounts)
     EXPECT_FALSE(FaultInjector::fire("test.site"));
 }
 
+TEST_F(FaultInjectorTest, SkipFiresDelaysTheFirstTrigger)
+{
+    int hits = 0;
+    FaultInjector::instance().arm(
+        "test.site", [&hits](std::int64_t*) { ++hits; },
+        /*max_fires=*/1, /*skip_fires=*/2);
+    // The first two probes pass through untriggered, the third
+    // fires, and the max_fires budget then exhausts the site.
+    EXPECT_FALSE(FaultInjector::fire("test.site"));
+    EXPECT_FALSE(FaultInjector::fire("test.site"));
+    EXPECT_TRUE(FaultInjector::fire("test.site"));
+    EXPECT_FALSE(FaultInjector::fire("test.site"));
+    EXPECT_EQ(hits, 1);
+    EXPECT_EQ(FaultInjector::instance().fireCount("test.site"), 1);
+}
+
 TEST_F(FaultInjectorTest, NullPayloadSitesAreAllowed)
 {
     bool saw_null = false;

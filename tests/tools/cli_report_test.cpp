@@ -546,5 +546,98 @@ TEST(CliReport, WatchdogSurvivesInjectedStallAndReportsFault)
     std::remove(serialOut.c_str());
 }
 
+TEST(CliReport, DegradeOptionIsValidatedAgainstTheEngine)
+{
+    // --degrade is the native engine's fault policy: anywhere else it
+    // is a usage error, as is a value outside off|auto|always.
+    EXPECT_EQ(runCliExitCode("--bench FMRadio --degrade auto"), 2);
+    EXPECT_EQ(runCliExitCode("--bench FMRadio --engine native "
+                             "--degrade sideways"),
+              2);
+}
+
+TEST(CliReport, NativeCrashFaultTaxonomyAndQuarantineLifecycle)
+{
+    // One cache dir across the whole lifecycle: the injected crash
+    // poisons the entry, the degraded rerun crashes the recompiled
+    // object too (second strike), and the follow-up run then trips
+    // the permanent quarantine — all visible as CLI exit codes.
+    namespace fs = std::filesystem;
+    const std::string dir =
+        ::testing::TempDir() + "macross_cli_crash_cache";
+    fs::remove_all(dir);
+    ::setenv("MACROSS_CACHE_DIR", dir.c_str(), 1);
+    const std::string out = "cli_crash_report.json";
+    std::remove(out.c_str());
+
+    // Strike one, --degrade off (the default): structured fault,
+    // exit 4.
+    EXPECT_EQ(runCliExitCode("--bench FMRadio --simd --run 4 "
+                             "--engine native "
+                             "--inject-fault native-crash"),
+              4);
+
+    // Strike two, --degrade auto: the entry is distrusted so this
+    // run recompiles (the one retry), crashes again, degrades to the
+    // bytecode VM, verifies bit-identity against it, and exits 0 —
+    // with the typed fault in the JSON report.
+    EXPECT_EQ(runCliExitCode("--bench FMRadio --simd --run 4 "
+                             "--engine native --degrade auto "
+                             "--ulp-tol 0 "
+                             "--inject-fault native-crash "
+                             "--json-report " + out),
+              0);
+    json::Value root = json::parse(readFile(out));
+    const json::Value* stats = root.find("run")->find("stats");
+    ASSERT_NE(stats, nullptr);
+    EXPECT_EQ(stats->find("engine")->asString(), "native");
+    const json::Value* nat = stats->find("native");
+    ASSERT_NE(nat, nullptr);
+    EXPECT_TRUE(nat->find("degraded")->asBool());
+    EXPECT_EQ(nat->find("degradedTo")->asString(), "bytecode");
+    EXPECT_TRUE(nat->find("degradeVerified")->asBool());
+    const json::Value* faults = nat->find("faults");
+    ASSERT_NE(faults, nullptr);
+    ASSERT_GE(faults->size(), 1u);
+    EXPECT_EQ(faults->at(0).find("kind")->asString(), "crash");
+    EXPECT_EQ(faults->at(0).find("signalName")->asString(),
+              "SIGSEGV");
+    EXPECT_EQ(faults->at(0).find("phase")->asString(), "steady");
+
+    // Two recorded crashes: the entry is now permanently
+    // quarantined. No injection needed — the sidecar does the work.
+    EXPECT_EQ(runCliExitCode("--bench FMRadio --simd --run 4 "
+                             "--engine native"),
+              4);
+
+    // Resetting the cache dir lifts the quarantine.
+    const std::string dir2 = dir + "_reset";
+    fs::remove_all(dir2);
+    ::setenv("MACROSS_CACHE_DIR", dir2.c_str(), 1);
+    EXPECT_EQ(runCliExitCode("--bench FMRadio --simd --run 4 "
+                             "--engine native --ulp-tol 0"),
+              0);
+
+    ::unsetenv("MACROSS_CACHE_DIR");
+    std::remove(out.c_str());
+    fs::remove_all(dir);
+    fs::remove_all(dir2);
+}
+
+TEST(CliReport, WedgedCompileTimesOutWithExitFour)
+{
+    namespace fs = std::filesystem;
+    const std::string dir =
+        ::testing::TempDir() + "macross_cli_wedge_cache";
+    fs::remove_all(dir);
+    ::setenv("MACROSS_CACHE_DIR", dir.c_str(), 1);
+    EXPECT_EQ(runCliExitCode("--bench FMRadio --simd --run 4 "
+                             "--engine native "
+                             "--inject-fault compile-timeout"),
+              4);
+    ::unsetenv("MACROSS_CACHE_DIR");
+    fs::remove_all(dir);
+}
+
 } // namespace
 } // namespace macross

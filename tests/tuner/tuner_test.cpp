@@ -21,6 +21,7 @@
 #include "../test_util.h"
 #include "benchmarks/suite.h"
 #include "native/host_fingerprint.h"
+#include "native/native_fault.h"
 #include "support/diagnostics.h"
 #include "tuner/tuner.h"
 
@@ -204,6 +205,60 @@ TEST(TunerSearch, FailedCandidatesAreSkippedNotFatal)
         }
     }
     EXPECT_GT(failed, 0);
+}
+
+TEST(TunerSearch, CrashingCandidatesAreMarkedFailedWithTheFaultKind)
+{
+    // A candidate whose emitted code crashes (or whose compile wedges)
+    // surfaces as a typed NativeFaultError. The tuner must mark the
+    // candidate failed — naming the fault kind — and finish the
+    // search, not die mid-tune.
+    TunerOptions opt = deterministicOptions(makeTempDir());
+    opt.useCache = false;
+    StubMeasurer stub([&opt](const TuneConfig& c) -> double {
+        Tuner probe(testProgram(), "probe", opt);
+        if (c.key() != probe.defaultConfig().key()) {
+            native::NativeFaultRecord rec;
+            rec.kind = native::NativeFaultKind::Crash;
+            rec.phase = "steady";
+            rec.signal = 11;
+            rec.signalName = "SIGSEGV";
+            rec.message = "emitted code crashed in candidate";
+            native::throwNativeFault(std::move(rec));
+        }
+        return 3.0;
+    });
+    Tuner t(testProgram(), "t", opt, &stub);
+    TuneResult res = t.tune();
+    EXPECT_EQ(res.best.key(), t.defaultConfig().key());
+    int failed = 0;
+    for (const Measurement& m : res.measurements) {
+        if (!m.failed)
+            continue;
+        ++failed;
+        EXPECT_NE(m.error.find("native fault (crash)"),
+                  std::string::npos)
+            << m.error;
+    }
+    EXPECT_GT(failed, 0);
+}
+
+TEST(TunerSearch, CrashingDefaultCandidateIsFatal)
+{
+    // The default configuration is the correctness baseline: if even
+    // it faults, the tune is meaningless and must propagate the
+    // typed error.
+    TunerOptions opt = deterministicOptions(makeTempDir());
+    opt.useCache = false;
+    StubMeasurer stub([](const TuneConfig&) -> double {
+        native::NativeFaultRecord rec;
+        rec.kind = native::NativeFaultKind::CompileTimeout;
+        rec.phase = "compile";
+        rec.message = "host compile timed out";
+        native::throwNativeFault(std::move(rec));
+    });
+    Tuner t(testProgram(), "t", opt, &stub);
+    EXPECT_THROW(t.tune(), native::NativeFaultError);
 }
 
 TEST(TunerSearch, BudgetBoundsMeasurements)

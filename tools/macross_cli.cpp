@@ -15,8 +15,10 @@
  * the single source of truth).
  */
 #include <algorithm>
+#include <atomic>
 #include <charconv>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -39,6 +41,7 @@
 #include "lowering/lowered.h"
 #include "machine/machine_desc.h"
 #include "multicore/partition.h"
+#include "native/native_fault.h"
 #include "native/simd_probe.h"
 #include "support/diagnostics.h"
 #include "support/fault.h"
@@ -61,6 +64,7 @@ struct CliConfig {
     std::string dotFile;
     std::string autovecName;
     std::string engineName = "bytecode";
+    std::string degradeName = "off";
     std::string jsonReportFile;
     bool list = false;
     bool help = false;
@@ -188,6 +192,18 @@ optionTable()
              c.engineName = v;
              return true;
          }},
+        {"--degrade", "off|auto|always",
+         "native-engine fault policy: off propagates the typed fault "
+         "(exit 4), auto replays on the next engine down with bitwise "
+         "prefix verification and continues, always additionally "
+         "shadows healthy batches with the bytecode VM (default off; "
+         "requires --engine native)",
+         [](CliConfig& c, const std::string& v) {
+             if (v != "off" && v != "auto" && v != "always")
+                 return false;
+             c.degradeName = v;
+             return true;
+         }},
         {"--native-simd", "W",
          "native engine: emitted SIMD lane width — 1 is the scalar "
          "fallback layer, 4/8/16 the vector layer (default 4; "
@@ -262,7 +278,12 @@ optionTable()
          integer(&CliConfig::watchdogMs)},
         {"--inject-fault", "KIND",
          "deliberately fault for testing: 'panic' (internal-bug "
-         "path), or 'worker-stall[:MS]' (stall one parallel worker)",
+         "path), 'worker-stall[:MS]' (stall one parallel worker), "
+         "'native-crash[:PART]' (SIGSEGV inside emitted code, "
+         "optionally only on partition PART), 'compile-timeout[:SKIP]' "
+         "(wedge the host compile after SKIP healthy compiles), "
+         "'dlopen-fail[:N]' (fail the next N cache loads), or "
+         "'cache-quarantine' (treat the cache entry as twice-crashed)",
          string(&CliConfig::injectFault)},
         {"--report", nullptr,
          "print per-op-class and per-actor cycle breakdowns",
@@ -430,6 +451,12 @@ main(int argc, char** argv)
                      "--native-isa only applies to --engine native\n");
         return usage(argv[0]);
     }
+    if (cfg.degradeName != "off" && cfg.engineName != "native") {
+        std::fprintf(stderr,
+                     "--degrade governs the native engine's fault "
+                     "policy; add --engine native\n");
+        return usage(argv[0]);
+    }
     if ((cfg.batchIters != 0 || cfg.ringCap != 0) &&
         cfg.threads <= 1) {
         std::fprintf(stderr,
@@ -471,9 +498,66 @@ main(int argc, char** argv)
                             std::chrono::milliseconds(stallMs));
                     },
                     1);
+            } else if (cfg.injectFault.rfind("native-crash", 0) == 0) {
+                long part = -1;
+                auto colon = cfg.injectFault.find(':');
+                if (colon != std::string::npos)
+                    part =
+                        std::stol(cfg.injectFault.substr(colon + 1));
+                // Armed with unlimited fires so the site can be probed
+                // by every partition/batch, but self-limited to one
+                // real crash: the payload carries the partition id
+                // (-1 for the serial whole-program path) and only a
+                // matching fire raises. raise() delivers the SIGSEGV
+                // on the firing thread, inside the signal guard.
+                auto fired =
+                    std::make_shared<std::atomic<bool>>(false);
+                support::FaultInjector::instance().arm(
+                    "native.steady.crash",
+                    [part, fired](std::int64_t* value) {
+                        if (part >= 0 && (!value || *value != part))
+                            return;
+                        if (fired->exchange(true))
+                            return;
+                        raise(SIGSEGV);
+                    });
+            } else if (cfg.injectFault.rfind("compile-timeout", 0) ==
+                       0) {
+                long skip = 0;
+                auto colon = cfg.injectFault.find(':');
+                if (colon != std::string::npos)
+                    skip =
+                        std::stol(cfg.injectFault.substr(colon + 1));
+                // Wedge one host compile (after SKIP healthy ones)
+                // and shrink its wall budget so the run fails fast.
+                support::FaultInjector::instance().arm(
+                    "native.compile.timeout",
+                    [](std::int64_t* value) {
+                        if (value)
+                            *value = 300;
+                    },
+                    1, skip);
+            } else if (cfg.injectFault.rfind("dlopen-fail", 0) == 0) {
+                long n = 1;
+                auto colon = cfg.injectFault.find(':');
+                if (colon != std::string::npos)
+                    n = std::stol(cfg.injectFault.substr(colon + 1));
+                support::FaultInjector::instance().arm(
+                    "native.dlopen.fail", [](std::int64_t*) {},
+                    static_cast<int>(n));
+            } else if (cfg.injectFault == "cache-quarantine") {
+                support::FaultInjector::instance().arm(
+                    "native.cache.quarantine",
+                    [](std::int64_t* value) {
+                        if (value)
+                            *value = 2;
+                    },
+                    1);
             } else {
                 fatal("unknown --inject-fault kind '", cfg.injectFault,
-                      "' (want panic or worker-stall[:MS])");
+                      "' (want panic, worker-stall[:MS], "
+                      "native-crash[:PART], compile-timeout[:SKIP], "
+                      "dlopen-fail[:N], or cache-quarantine)");
             }
         }
 
@@ -617,6 +701,11 @@ main(int argc, char** argv)
         econfig.simd.allowUlpDivergence = cfg.ulpTol > 0;
         econfig.batchIterations = cfg.batchIters;
         econfig.ringCapacity = cfg.ringCap;
+        econfig.degrade =
+            cfg.degradeName == "auto" ? interp::DegradeMode::Auto
+            : cfg.degradeName == "always"
+                ? interp::DegradeMode::Always
+                : interp::DegradeMode::Off;
         interp::Runner r(compiled.graph, compiled.schedule, &cost,
                          econfig);
         if (wantTrace)
@@ -677,6 +766,20 @@ main(int argc, char** argv)
                         produced ? cost.totalCycles() / produced
                                  : 0.0);
         }
+        for (const native::NativeFaultRecord& rec : r.nativeFaults())
+            std::printf("native FAULT: %s in phase %s%s: %s\n",
+                        toString(rec.kind).c_str(),
+                        rec.phase.c_str(),
+                        rec.signal ? (", " + rec.signalName).c_str()
+                                   : "",
+                        rec.message.c_str());
+        if (r.degradedFromNative())
+            std::printf("degraded to bytecode VM: prefix %s "
+                        "(%lld elements verified)\n",
+                        r.degradeVerified() ? "verified"
+                                            : "UNVERIFIED",
+                        static_cast<long long>(
+                            r.verifiedElements()));
 
         // --ulp-tol N: differential cross-check of the native run
         // against the bytecode VM, tolerance counted in ULPs (N=0
@@ -800,6 +903,16 @@ main(int argc, char** argv)
                                 : (f.fallbackUsed ? "used (unverified)"
                                                   : "not run"));
             }
+            for (const native::NativeFaultRecord& rec :
+                 par->nativeFaults())
+                std::printf("  native FAULT: %s in phase %s "
+                            "(partition %d, batch %lld)%s%s: %s\n",
+                            toString(rec.kind).c_str(),
+                            rec.phase.c_str(), rec.partition,
+                            static_cast<long long>(rec.batchIndex),
+                            rec.signal ? ", " : "",
+                            rec.signal ? rec.signalName.c_str() : "",
+                            rec.message.c_str());
         }
 
         if (cfg.report) {
@@ -885,7 +998,46 @@ main(int argc, char** argv)
             std::printf("wrote JSON report to %s\n",
                         cfg.jsonReportFile.c_str());
         }
+        // Exit 5: the run finished, but only by degrading down the
+        // ladder without being able to verify the pre-fault output
+        // prefix (non-exact SimdSpec, or the fallback never ran to a
+        // comparable point). The output is complete but from a lower
+        // rung, and its prefix is unvouched-for.
+        bool degradedUnverified =
+            r.degradedFromNative() && !r.degradeVerified();
+        if (par) {
+            for (const auto& f : par->faults())
+                if (f.fallbackUsed && !f.fallbackVerified)
+                    degradedUnverified = true;
+            if (const interp::Runner* fb = par->fallbackRunner())
+                if (fb->degradedFromNative() &&
+                    !fb->degradeVerified())
+                    degradedUnverified = true;
+        }
+        if (degradedUnverified) {
+            std::fprintf(stderr,
+                         "run completed degraded without prefix "
+                         "verification\n");
+            return 5;
+        }
         return 0;
+    } catch (const native::NativeFaultError& e) {
+        // Structured native fault under --degrade off: the typed
+        // record names exactly what died and where.
+        const native::NativeFaultRecord& rec = e.record();
+        std::fprintf(stderr, "native fault: %s\n",
+                     toString(rec.kind).c_str());
+        std::fprintf(stderr, "  phase:     %s\n", rec.phase.c_str());
+        if (rec.signal)
+            std::fprintf(stderr, "  signal:    %d (%s)\n", rec.signal,
+                         rec.signalName.c_str());
+        std::fprintf(stderr, "  partition: %d\n", rec.partition);
+        std::fprintf(stderr, "  batch:     %lld\n",
+                     static_cast<long long>(rec.batchIndex));
+        if (rec.exitCode)
+            std::fprintf(stderr, "  exit code: %d\n", rec.exitCode);
+        std::fprintf(stderr, "  %s\n", rec.message.c_str());
+        return 4;
     } catch (const FatalError& e) {
         // User-facing input error: bad program, bad option value.
         std::fprintf(stderr, "%s\n", e.what());
