@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Closed-loop load generator for macrossd.
+ *
+ * Starts the daemon in-process on a temp socket with a fresh cache
+ * directory, then drives it the way a fleet of tenants would: C
+ * concurrent clients, each a closed loop (send a run request, wait
+ * for the result, repeat) over its own benchmark and tenant key.
+ * Every request's wire-to-wire latency is recorded; the report is
+ * throughput (requests/s, steady elements/s) and the p50/p95/p99
+ * latency quantiles per phase, written to BENCH_service.json when
+ * MACROSS_BENCH_JSON is set (the CI job pins it).
+ *
+ * Two phases per scenario:
+ *   - cold: first requests, including the one host compile the
+ *     single-flight cache allows (measures admission under a compile
+ *     storm);
+ *   - warm: every artifact cached and every tenant context live
+ *     (measures the steady-state serving path the daemon exists
+ *     for).
+ *
+ * Flags: --clients N --seconds S --iters I --benches CSV.
+ */
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness.h"
+#include "service/client.h"
+#include "service/daemon.h"
+#include "support/json.h"
+#include "tuner/tune_config.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using macross::service::Client;
+using macross::service::Daemon;
+using macross::service::DaemonOptions;
+using macross::service::Request;
+using macross::service::RequestOp;
+
+struct Quantiles {
+    double p50 = 0, p95 = 0, p99 = 0, mean = 0, max = 0;
+};
+
+Quantiles quantiles(std::vector<double> micros)
+{
+    Quantiles q;
+    if (micros.empty())
+        return q;
+    std::sort(micros.begin(), micros.end());
+    auto at = [&](double p) {
+        std::size_t i = static_cast<std::size_t>(
+            p * static_cast<double>(micros.size() - 1));
+        return micros[i];
+    };
+    q.p50 = at(0.50);
+    q.p95 = at(0.95);
+    q.p99 = at(0.99);
+    q.max = micros.back();
+    double sum = 0;
+    for (double m : micros)
+        sum += m;
+    q.mean = sum / static_cast<double>(micros.size());
+    return q;
+}
+
+macross::json::Value toJson(const Quantiles& q)
+{
+    macross::json::Value v = macross::json::Value::object();
+    v["p50Micros"] = q.p50;
+    v["p95Micros"] = q.p95;
+    v["p99Micros"] = q.p99;
+    v["meanMicros"] = q.mean;
+    v["maxMicros"] = q.max;
+    return v;
+}
+
+struct PhaseResult {
+    std::vector<double> latencies;  ///< Per-request micros.
+    std::int64_t requests = 0;
+    std::int64_t elements = 0;
+    std::int64_t errors = 0;
+    double wallSeconds = 0;
+};
+
+/** C clients in closed loops against @p socket for @p seconds. */
+PhaseResult drive(const std::string& socket,
+                  const std::vector<std::string>& benches,
+                  int clients, double seconds, int iters)
+{
+    PhaseResult total;
+    std::vector<PhaseResult> per(clients);
+    std::vector<std::thread> threads;
+    Clock::time_point t0 = Clock::now();
+    Clock::time_point deadline =
+        t0 + std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<double>(seconds));
+    for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            Client client(socket);
+            Request req;
+            req.op = RequestOp::Run;
+            req.bench = benches[c % benches.size()];
+            req.iters = iters;
+            req.tenant = "bench-" + std::to_string(c);
+            req.config = macross::tuner::TuneConfig{};
+            std::int64_t n = 0;
+            while (Clock::now() < deadline) {
+                req.id = "c" + std::to_string(c) + "-" +
+                         std::to_string(n++);
+                Clock::time_point s = Clock::now();
+                macross::json::Value resp = client.call(req);
+                double micros =
+                    std::chrono::duration<double, std::micro>(
+                        Clock::now() - s)
+                        .count();
+                per[c].latencies.push_back(micros);
+                ++per[c].requests;
+                const macross::json::Value* ok = resp.find("ok");
+                if (ok && ok->kind() ==
+                              macross::json::Value::Kind::Bool &&
+                    ok->asBool()) {
+                    if (const macross::json::Value* e =
+                            resp.find("elements"))
+                        per[c].elements += e->asInt();
+                } else {
+                    ++per[c].errors;
+                }
+            }
+        });
+    }
+    for (std::thread& t : threads)
+        t.join();
+    total.wallSeconds = std::chrono::duration<double>(Clock::now() -
+                                                      t0)
+                            .count();
+    for (PhaseResult& p : per) {
+        total.requests += p.requests;
+        total.elements += p.elements;
+        total.errors += p.errors;
+        total.latencies.insert(total.latencies.end(),
+                               p.latencies.begin(),
+                               p.latencies.end());
+    }
+    return total;
+}
+
+macross::json::Value phaseJson(const char* name,
+                               const PhaseResult& r)
+{
+    macross::json::Value v = macross::json::Value::object();
+    v["phase"] = name;
+    v["requests"] = r.requests;
+    v["errors"] = r.errors;
+    v["elements"] = r.elements;
+    v["wallSeconds"] = r.wallSeconds;
+    v["requestsPerSecond"] =
+        r.wallSeconds > 0
+            ? static_cast<double>(r.requests) / r.wallSeconds
+            : 0.0;
+    v["elementsPerSecond"] =
+        r.wallSeconds > 0
+            ? static_cast<double>(r.elements) / r.wallSeconds
+            : 0.0;
+    v["latency"] = toJson(quantiles(r.latencies));
+    return v;
+}
+
+void printPhase(const char* name, const PhaseResult& r)
+{
+    Quantiles q = quantiles(r.latencies);
+    std::printf(
+        "%-6s  %6lld req  %8.1f req/s  p50 %8.0fus  p95 %8.0fus  "
+        "p99 %8.0fus  errors %lld\n",
+        name, static_cast<long long>(r.requests),
+        r.wallSeconds > 0
+            ? static_cast<double>(r.requests) / r.wallSeconds
+            : 0.0,
+        q.p50, q.p95, q.p99, static_cast<long long>(r.errors));
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    int clients = 4;
+    double seconds = 2.0;
+    int iters = 2;
+    std::vector<std::string> benches = {"FMRadio", "BeamFormer",
+                                        "DCT"};
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char* {
+            return i + 1 < argc ? argv[++i] : "";
+        };
+        if (arg == "--clients") {
+            clients = std::max(1, std::atoi(value()));
+        } else if (arg == "--seconds") {
+            seconds = std::max(0.1, std::atof(value()));
+        } else if (arg == "--iters") {
+            iters = std::max(1, std::atoi(value()));
+        } else if (arg == "--benches") {
+            benches.clear();
+            std::string csv = value();
+            std::size_t start = 0;
+            while (start <= csv.size()) {
+                std::size_t comma = csv.find(',', start);
+                if (comma == std::string::npos)
+                    comma = csv.size();
+                if (comma > start)
+                    benches.push_back(
+                        csv.substr(start, comma - start));
+                start = comma + 1;
+            }
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--clients N] [--seconds S] "
+                         "[--iters I] [--benches A,B,C]\n",
+                         argv[0]);
+            return 1;
+        }
+    }
+    if (benches.empty())
+        benches = {"FMRadio"};
+
+    macross::bench::armBenchArchive();
+
+    std::string tag = std::to_string(::getpid());
+    DaemonOptions opts;
+    opts.socketPath = "/tmp/macross_service_bench_" + tag + ".sock";
+    opts.native.cacheDir =
+        "/tmp/macross_service_bench_cache_" + tag;
+    opts.workers = std::max(2, clients);
+    opts.runQueueCap = clients * 4;
+    opts.compileQueueCap = clients * 4;
+    Daemon daemon(std::move(opts));
+    daemon.start();
+    const std::string socket = daemon.options().socketPath;
+
+    std::printf("service_bench: %d clients, %zu benchmark(s), "
+                "iters=%d, %.1fs per phase\n",
+                clients, benches.size(), iters, seconds);
+
+    // Cold phase: nothing compiled, nothing warm. The burst of
+    // identical artifacts exercises the compile queue + coalescing.
+    PhaseResult cold =
+        drive(socket, benches, clients, seconds, iters);
+    printPhase("cold", cold);
+
+    // Warm phase: every artifact cached, every tenant context live.
+    PhaseResult warm =
+        drive(socket, benches, clients, seconds, iters);
+    printPhase("warm", warm);
+
+    Client statsClient(socket);
+    macross::json::Value stats = statsClient.stats();
+    std::printf("daemon: %s\n", stats.dump().c_str());
+
+    daemon.requestShutdown();
+    daemon.wait();
+
+    macross::json::Value run = macross::json::Value::object();
+    run["bench"] = "service_bench";
+    run["clients"] = clients;
+    run["itersPerRequest"] = iters;
+    macross::json::Value bs = macross::json::Value::array();
+    for (const std::string& b : benches)
+        bs.push(b);
+    run["benches"] = std::move(bs);
+    macross::json::Value phases = macross::json::Value::array();
+    phases.push(phaseJson("cold", cold));
+    phases.push(phaseJson("warm", warm));
+    run["phases"] = std::move(phases);
+    run["daemonStats"] = std::move(stats);
+    macross::bench::benchArchive()["runs"].push(std::move(run));
+
+    // Failures surface as a nonzero exit so CI can gate on them: the
+    // warm phase has no excuse for errors.
+    return warm.errors == 0 && warm.requests > 0 ? 0 : 1;
+}

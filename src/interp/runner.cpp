@@ -341,6 +341,7 @@ Runner::appendNativeStats(json::Value& root) const
         nat["soPath"] = st.soPath;
         nat["sourceHash"] = static_cast<std::int64_t>(st.sourceHash);
         nat["cacheHit"] = st.cacheHit;
+        nat["coalesced"] = st.coalesced;
         nat["compileMillis"] = st.compileMillis;
         nat["compileAttempts"] = st.compileAttempts;
         nat["steadyWallMicros"] = st.steadyWallMicros;

@@ -17,6 +17,8 @@
 #include <cstring>
 #include <thread>
 
+#include "support/env.h"
+
 namespace macross::native {
 
 namespace {
@@ -30,20 +32,16 @@ constexpr std::int64_t kDefaultAsBytes =
     8ll * 1024 * 1024 * 1024;  // 8 GiB
 
 std::int64_t
-envInt64(const char* name)
-{
-    const char* env = std::getenv(name);
-    if (!env || !*env)
-        return 0;
-    return std::strtoll(env, nullptr, 10);
-}
-
-std::int64_t
 resolveAsBytes(const SpawnLimits& limits)
 {
     if (limits.asBytes != 0)
         return limits.asBytes;  // -1 disables, positive caps.
-    const std::int64_t mb = envInt64("MACROSS_COMPILE_MAX_RSS_MB");
+    // -1 disables the cap (sanitizer builds); positive values cap in
+    // MiB, bounded so the bytes conversion cannot overflow rlim_t.
+    const std::int64_t mb =
+        support::envInt64("MACROSS_COMPILE_MAX_RSS_MB", -1,
+                          INT64_MAX / (1024 * 1024))
+            .value_or(0);
     if (mb < 0)
         return -1;
     if (mb > 0)
@@ -255,8 +253,11 @@ resolveWallBudgetMs(const SpawnLimits& limits)
 {
     if (limits.wallMs > 0)
         return limits.wallMs;
-    const std::int64_t env = envInt64("MACROSS_COMPILE_TIMEOUT_MS");
-    return env > 0 ? env : kDefaultWallMs;
+    // Positive milliseconds only; a malformed or non-positive
+    // override warns (naming the variable and value) and keeps the
+    // default rather than silently becoming "no budget".
+    return support::envInt64("MACROSS_COMPILE_TIMEOUT_MS")
+        .value_or(kDefaultWallMs);
 }
 
 ExecResult

@@ -4,13 +4,19 @@
  */
 #include "native/native_cache.h"
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <sstream>
 
 #include "codegen/emit_cpp.h"
@@ -24,6 +30,81 @@
 namespace macross::native::detail {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+/**
+ * Single-flight guard for one cache entry: serializes the
+ * miss-compile-install section so concurrent identical requests
+ * coalesce onto one sandboxed compile instead of racing duplicate
+ * compilers and last-writer-wins renames (which also tear quarantine
+ * sidecars written against the losing object).
+ *
+ * Two layers, acquired in a fixed order so they cannot deadlock:
+ *  - in-process: a per-soPath mutex from a process-wide registry
+ *    (daemon worker threads missing on the same hash);
+ *  - cross-process: a blocking advisory flock on `<soPath>.lock`
+ *    (CLI runs and daemons sharing one cache directory). The kernel
+ *    releases the flock when the holder dies, so a crashed compiler
+ *    cannot wedge the cache.
+ *
+ * waited() reports whether either layer blocked — i.e. another
+ * compile of this entry was in flight — which is the signal to
+ * re-check the cache before compiling.
+ */
+class SingleFlightLock {
+  public:
+    explicit SingleFlightLock(const std::string& so_path)
+    {
+        {
+            static std::mutex registryMu;
+            static std::map<std::string,
+                            std::shared_ptr<std::mutex>>
+                registry;
+            std::lock_guard<std::mutex> lock(registryMu);
+            auto& slot = registry[so_path];
+            if (!slot)
+                slot = std::make_shared<std::mutex>();
+            mu_ = slot;
+        }
+        if (!mu_->try_lock()) {
+            waited_ = true;
+            mu_->lock();
+        }
+        // O_CLOEXEC: the host-compiler child must not inherit (and
+        // thereby extend) the lock.
+        fd_ = ::open((so_path + ".lock").c_str(),
+                     O_CREAT | O_RDWR | O_CLOEXEC, 0600);
+        if (fd_ >= 0 && ::flock(fd_, LOCK_EX | LOCK_NB) != 0) {
+            waited_ = true;
+            while (::flock(fd_, LOCK_EX) != 0 && errno == EINTR) {
+            }
+        }
+        // A failed open degrades to in-process-only serialization:
+        // the pre-lock behavior, still correct (atomic rename),
+        // merely wasteful across processes.
+    }
+
+    ~SingleFlightLock()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);  // Releases the flock.
+        mu_->unlock();
+    }
+
+    SingleFlightLock(const SingleFlightLock&) = delete;
+    SingleFlightLock& operator=(const SingleFlightLock&) = delete;
+
+    /** Another compile of this entry was in flight when we arrived. */
+    bool waited() const { return waited_; }
+
+  private:
+    std::shared_ptr<std::mutex> mu_;
+    int fd_ = -1;
+    bool waited_ = false;
+};
+
+} // namespace
 
 std::string
 shellQuote(const std::string& s)
@@ -150,13 +231,15 @@ compileOrLoadCached(
     // check — unless the quarantine distrusts it. A missing/truncated/
     // symbol-incomplete entry falls through to a fresh compile; a
     // loadable entry with a foreign ABI version is fatal.
-    std::error_code ec;
-    if (!quar.distrusted() && fs::exists(soPath, ec)) {
+    auto tryCacheHit = [&]() -> bool {
+        std::error_code hitEc;
+        if (quar.distrusted() || !fs::exists(soPath, hitEc))
+            return false;
         int foundAbi = 0;
         switch (try_bind(soPath, &foundAbi)) {
           case BindStatus::Ok:
             stats->cacheHit = true;
-            return;
+            return true;
           case BindStatus::AbiMismatch:
             fatal("native engine: cached object ", soPath,
                   " reports ABI version ", foundAbi,
@@ -167,7 +250,22 @@ compileOrLoadCached(
           case BindStatus::LoadFailed:
             break;
         }
+        return false;
+    };
+    if (tryCacheHit())
+        return;
+
+    // Miss: serialize the compile-install section per cache entry.
+    // If acquiring blocked, another thread or process was compiling
+    // this very hash — re-check the cache before compiling, so N
+    // concurrent identical requests cost one compile and N-1 binds.
+    SingleFlightLock flight(soPath);
+    if (flight.waited() && tryCacheHit()) {
+        stats->coalesced = true;
+        return;
     }
+
+    std::error_code ec;
     fs::remove(soPath, ec);
 
     const std::string cppPath = base + ".cpp";

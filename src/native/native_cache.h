@@ -63,7 +63,16 @@ enum class BindStatus {
  * LoadFailed remove it, write the source, run the host compiler
  * through the hardened fork/exec pipeline (compile_exec.h: process
  * group, rlimits, wall-clock timeout, captured stderr) with a unique
- * temp + atomic rename, and bind the fresh object. A loadable object
+ * temp + atomic rename, and bind the fresh object.
+ *
+ * The miss path is single-flight: an in-process per-entry mutex plus
+ * a cross-process advisory flock on `<soPath>.lock` serialize the
+ * compile-install section, and an arrival that had to wait re-checks
+ * the cache before compiling. N concurrent identical requests
+ * (daemon tenants, parallel CLI runs sharing one cache directory)
+ * therefore cost one sandboxed compile and N-1 binds — the waiters
+ * report stats->cacheHit with stats->coalesced set — instead of N
+ * duplicate compiles racing fs::rename. A loadable object
  * reporting a foreign ABI version is fatal at either point (the cache
  * key covers the source, so skew means toolchain or cache tampering,
  * not staleness); every compiler failure mode throws a

@@ -22,6 +22,7 @@
 #include "native/signal_guard.h"
 #include "native/simd_probe.h"
 #include "support/diagnostics.h"
+#include "support/env.h"
 #include "support/fault.h"
 
 namespace macross::native {
@@ -105,10 +106,17 @@ resolveCacheDir(const NativeOptions& opts)
             dir = env;
     }
     if (dir.empty()) {
+        // The predictable per-euid default is the path a hostile
+        // local user could pre-create or symlink; the .so cache is
+        // worse than the tuning cache (we dlopen and *execute* what
+        // we find there), so it gets the same 0700 +
+        // ownership/symlink verification with mkdtemp fallback.
+        // Explicitly configured directories are taken as given.
         const char* tmp = std::getenv("TMPDIR");
         dir = std::string(tmp && *tmp ? tmp : "/tmp") +
               "/macross-native-cache-" +
               std::to_string(static_cast<long>(::geteuid()));
+        return support::ensurePrivateDir(dir, "native object cache");
     }
     std::error_code ec;
     fs::create_directories(dir, ec);

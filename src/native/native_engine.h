@@ -112,6 +112,10 @@ struct NativeStats {
     std::string soPath;         ///< Cached shared object path.
     std::uint64_t sourceHash = 0;  ///< Content hash (source+compiler+flags).
     bool cacheHit = false;      ///< Loaded without recompiling.
+    /** Cache hit after waiting on another thread's or process's
+     *  in-flight compile of the same hash (single-flight coalescing:
+     *  this request paid a wait, not a compile). */
+    bool coalesced = false;
     double compileMillis = 0.0; ///< Host-compiler wall time (0 on hit).
     int compileAttempts = 0;    ///< Spawn attempts (retries included).
     double steadyWallMicros = 0.0;  ///< Accumulated native steady time.

@@ -1,0 +1,119 @@
+#include "service/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/diagnostics.h"
+
+namespace macross::service {
+
+namespace {
+
+bool sendAll(int fd, const std::string& data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+Client::Client(const std::string& socket_path)
+    : socketPath_(socket_path)
+{
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    fatalIf(fd_ < 0, "socket(AF_UNIX): ", std::strerror(errno));
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    fatalIf(socket_path.size() >= sizeof(addr.sun_path),
+            "socket path too long: ", socket_path);
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        int err = errno;
+        ::close(fd_);
+        fd_ = -1;
+        fatal("connect(", socket_path, "): ", std::strerror(err),
+              " (is macrossd running?)");
+    }
+}
+
+Client::~Client()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+std::string
+Client::readLine()
+{
+    for (;;) {
+        std::size_t nl = buf_.find('\n');
+        if (nl != std::string::npos) {
+            std::string line = buf_.substr(0, nl);
+            buf_.erase(0, nl + 1);
+            return line;
+        }
+        char chunk[4096];
+        ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n < 0 && errno == EINTR)
+            continue;
+        fatalIf(n <= 0, "macrossd connection to ", socketPath_,
+                " closed mid-response");
+        buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+json::Value
+Client::call(const json::Value& request)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::string line = request.dump() + "\n";
+    fatalIf(!sendAll(fd_, line), "write to macrossd at ",
+            socketPath_, " failed: ", std::strerror(errno));
+    return json::parse(readLine());
+}
+
+json::Value
+Client::stats()
+{
+    Request r;
+    r.op = RequestOp::Stats;
+    r.id = "stats-" + std::to_string(++nextId_);
+    return call(r);
+}
+
+json::Value
+Client::ping()
+{
+    Request r;
+    r.op = RequestOp::Ping;
+    r.id = "ping-" + std::to_string(++nextId_);
+    return call(r);
+}
+
+json::Value
+Client::shutdown()
+{
+    Request r;
+    r.op = RequestOp::Shutdown;
+    r.id = "shutdown-" + std::to_string(++nextId_);
+    return call(r);
+}
+
+} // namespace macross::service

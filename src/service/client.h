@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Thin synchronous client for macrossd (service/daemon.h).
+ *
+ * One Client owns one connected Unix-domain socket. call() writes a
+ * request line and blocks for the matching response line; it is
+ * thread-safe (a mutex serializes the write+read pair), so a load
+ * generator can share one connection across threads or open one
+ * Client per thread — the daemon supports both. Helpers wrap the
+ * common run/stats/ping/shutdown shapes.
+ *
+ * The client never interprets errors beyond transport framing: a
+ * typed "error" response is returned to the caller as parsed JSON
+ * (check `ok` / `kind`); only a broken connection or a malformed
+ * response line throws FatalError.
+ */
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+
+#include "service/protocol.h"
+#include "support/json.h"
+
+namespace macross::service {
+
+/** One connection to a macrossd socket. */
+class Client {
+  public:
+    /** Connect to @p socket_path (FatalError if refused). */
+    explicit Client(const std::string& socket_path);
+    ~Client();
+
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+
+    /** Send @p request, return the next response line, parsed. */
+    json::Value call(const json::Value& request);
+
+    /** call() for a typed request. */
+    json::Value call(const Request& request)
+    {
+        return call(request.toJson());
+    }
+
+    /** Shorthand: run @p req and return the response. */
+    json::Value run(const Request& req) { return call(req); }
+
+    json::Value stats();
+    json::Value ping();
+    /** Ask the daemon to shut down (response may race the close). */
+    json::Value shutdown();
+
+  private:
+    std::string readLine();
+
+    int fd_ = -1;
+    std::string socketPath_;
+    std::string buf_;  ///< Partial-line carry between reads.
+    std::mutex mu_;
+    std::atomic<std::int64_t> nextId_{0};
+};
+
+} // namespace macross::service

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * macrossd: the multi-tenant compile-and-run daemon.
+ *
+ * One daemon process owns one Unix-domain listening socket, one
+ * shared native object cache, and one pool of worker threads. Many
+ * clients connect concurrently; each line-delimited JSON request
+ * (service/protocol.h) names a program, an iteration count, and a
+ * TuneConfig-shaped configuration. The daemon compiles each distinct
+ * (program, configuration) artifact once — through the existing
+ * sandboxed compile_exec pipeline and the shared, single-flight
+ * native_cache — and serves many steady-state runs from per-tenant
+ * execution contexts scheduled over the worker pool.
+ *
+ * Threading model:
+ *
+ *   - one accept thread; one reader thread per connection (bounded by
+ *     maxConnections — excess connections get one "overloaded" error
+ *     and are closed);
+ *   - reader threads answer stats/ping/shutdown inline (observability
+ *     must not queue behind work) and route run requests into one of
+ *     two bounded admission queues: the COMPILE queue for artifacts
+ *     never completed before (first request pays the host compile)
+ *     and the RUN queue for warm artifacts. A full queue is an
+ *     immediate typed "overloaded" response — explicit backpressure,
+ *     never unbounded buffering;
+ *   - workers drain both queues (run queue first — steady-state
+ *     traffic is never starved by compile storms) in admission
+ *     batches of up to admitBatch jobs per wakeup, amortizing the
+ *     queue lock under load.
+ *
+ * Tenancy: each tenant key (the request's `tenant`, defaulting to
+ * the connection) owns a TenantContext holding a persistent
+ * interp::Runner. Repeat requests for the same (program, config)
+ * reuse the warm runner — the native .so stays loaded, steady state
+ * continues where the last request left off, and the response carries
+ * only the delta elements. A tenant switching configs rebuilds its
+ * runner; the .so it needs is usually a cache hit.
+ *
+ * Trust boundary: before any program reaches the native engine, every
+ * filter is compiled to bytecode and run through the verifier
+ * (interp/verify.h) with the same SAGU flags the Runner itself would
+ * use; findings become a typed "verify-rejected" response and the
+ * (program, options) pair is remembered as poisoned.
+ *
+ * Fault containment: runners execute with DegradeMode::Off and the
+ * per-thread signal guards of PR 9. A native fault (host-compile
+ * failure, unloadable object, crash in emitted code) is caught on the
+ * worker, serialized as a structured "fault" response carrying the
+ * NativeFaultRecord, and the faulting tenant's context is discarded;
+ * the crashed cache entry is quarantined by the native layer.
+ * Co-resident tenants, the worker pool, and the daemon itself keep
+ * running.
+ */
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "native/native_engine.h"
+#include "service/protocol.h"
+#include "support/json.h"
+
+namespace macross::service {
+
+/** Daemon configuration (all policy knobs in one place). */
+struct DaemonOptions {
+    /** Unix-domain socket path (required; unlinked on shutdown). */
+    std::string socketPath;
+    /** Worker threads executing compile/run jobs. */
+    int workers = 4;
+    /** Bounded admission queue for warm-artifact runs. */
+    int runQueueCap = 64;
+    /** Bounded admission queue for first-time compiles. */
+    int compileQueueCap = 8;
+    /** Max jobs one worker admits per queue-lock acquisition. */
+    int admitBatch = 4;
+    /** Concurrent connections; excess are refused with "overloaded". */
+    int maxConnections = 64;
+    /** Per-request iteration ceiling (policy, not correctness). */
+    int maxIters = 1 << 20;
+    /** Per-line request size ceiling in bytes. */
+    std::size_t maxRequestBytes = 1 << 20;
+    /** Host-compilation options shared by every tenant (cacheDir is
+     *  the shared object cache; empty resolves the default). */
+    native::NativeOptions native;
+    /** Accept run requests carrying `injectFault` (tests/chaos only —
+     *  never enable on a shared socket). */
+    bool allowFaultInjection = false;
+    /** Log one line per connection and request to stderr. */
+    bool verbose = false;
+};
+
+/** Daemon counters, surfaced by the `stats` request (all monotonic
+ *  except the gauges named *Depth / *InFlight / tenants). */
+struct DaemonStats {
+    std::atomic<std::int64_t> requests{0};
+    std::atomic<std::int64_t> runRequests{0};
+    std::atomic<std::int64_t> runsCompleted{0};
+    std::atomic<std::int64_t> elementsProduced{0};
+    std::atomic<std::int64_t> badRequests{0};
+    std::atomic<std::int64_t> verifyRejected{0};
+    std::atomic<std::int64_t> overloaded{0};
+    std::atomic<std::int64_t> faults{0};
+    std::atomic<std::int64_t> degradations{0};
+    std::atomic<std::int64_t> compiles{0};       ///< Native compiles paid.
+    std::atomic<std::int64_t> cacheHits{0};      ///< .so loaded warm.
+    std::atomic<std::int64_t> coalesced{0};      ///< Single-flight waits.
+    std::atomic<std::int64_t> compilesInFlight{0};
+    std::atomic<std::int64_t> batchesAdmitted{0};
+    std::atomic<std::int64_t> jobsAdmitted{0};
+    std::atomic<std::int64_t> connectionsAccepted{0};
+    std::atomic<std::int64_t> connectionsRefused{0};
+};
+
+/** The daemon (see file comment). One instance per process/socket. */
+class Daemon {
+  public:
+    explicit Daemon(DaemonOptions opts);
+    ~Daemon();
+
+    Daemon(const Daemon&) = delete;
+    Daemon& operator=(const Daemon&) = delete;
+
+    /**
+     * Bind the socket, spawn accept + worker threads, return. Fatal
+     * if the socket path cannot be bound (stale socket files from a
+     * dead daemon are detected and replaced; a live daemon on the
+     * same path is refused).
+     */
+    void start();
+
+    /** Block until a shutdown request (or requestShutdown) drains the
+     *  daemon, then join all threads. */
+    void wait();
+
+    /** Begin shutdown: stop accepting, drain queues with
+     *  "shutting-down" errors, wake wait(). Safe from any thread and
+     *  from signal-notified contexts. */
+    void requestShutdown();
+
+    /** start() + wait(). */
+    void run();
+
+    const DaemonOptions& options() const { return opts_; }
+    const DaemonStats& stats() const { return stats_; }
+
+    /** The stats snapshot the `stats` request returns. */
+    json::Value statsJson() const;
+
+  private:
+    struct Connection;
+    struct Job;
+    struct ProgramEntry;
+    struct TenantContext;
+
+    void acceptLoop();
+    void readerLoop(std::shared_ptr<Connection> conn);
+    void workerLoop();
+    void handleLine(const std::shared_ptr<Connection>& conn,
+                    const std::string& line);
+    void enqueueRun(const std::shared_ptr<Connection>& conn,
+                    Request req);
+    json::Value processRun(Job& job);
+    json::Value verifyCompiled(ProgramEntry& entry,
+                               const std::string& optionsKey,
+                               const Request& req);
+    static void sendLine(const std::shared_ptr<Connection>& conn,
+                         const json::Value& v);
+    void closeAllConnections();
+
+    DaemonOptions opts_;
+    DaemonStats stats_;
+
+    int listenFd_ = -1;
+    std::atomic<bool> stop_{false};
+    std::atomic<bool> started_{false};
+
+    std::thread acceptThread_;
+    std::vector<std::thread> workers_;
+
+    std::mutex connMu_;
+    std::int64_t nextConnId_ = 0;
+    std::map<std::int64_t, std::shared_ptr<Connection>> conns_;
+    std::vector<std::thread> readers_;  ///< Joined at shutdown.
+
+    mutable std::mutex queueMu_;
+    std::condition_variable queueCv_;
+    std::deque<std::unique_ptr<Job>> runQueue_;
+    std::deque<std::unique_ptr<Job>> compileQueue_;
+
+    mutable std::mutex stateMu_;
+    /** sourceKey → parsed program + memoized vectorizer compiles. */
+    std::map<std::string, std::shared_ptr<ProgramEntry>> programs_;
+    /** tenant key → persistent execution context. */
+    std::map<std::string, std::shared_ptr<TenantContext>> tenants_;
+    /** (sourceKey|configKey) artifacts that completed at least one
+     *  run — requests for these take the RUN queue. */
+    std::set<std::string> warmArtifacts_;
+
+    std::mutex waitMu_;
+    std::condition_variable waitCv_;
+    bool done_ = false;
+};
+
+} // namespace macross::service

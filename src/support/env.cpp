@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Validated env lookups and private-directory hygiene (see env.h).
+ */
+#include "support/env.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <set>
+
+#ifndef _WIN32
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace macross::support {
+
+namespace {
+
+/** True the first time @p key is seen (per-variable warning gate). */
+bool
+firstWarning(const std::string& key)
+{
+    static std::mutex mu;
+    static std::set<std::string> warned;
+    std::lock_guard<std::mutex> lock(mu);
+    return warned.insert(key).second;
+}
+
+void
+warnOnce(const std::string& key, const std::string& message)
+{
+    if (firstWarning(key))
+        std::fprintf(stderr, "macross: warning: %s\n",
+                     message.c_str());
+}
+
+} // namespace
+
+std::optional<std::int64_t>
+envInt64(const char* name, std::int64_t min, std::int64_t max)
+{
+    const char* env = std::getenv(name);
+    if (!env || !*env)
+        return std::nullopt;
+    errno = 0;
+    char* end = nullptr;
+    const long long parsed = std::strtoll(env, &end, 10);
+    if (errno == ERANGE || end == env || *end != '\0') {
+        warnOnce(name, std::string(name) + "='" + env +
+                           "' is not a valid integer; using the "
+                           "default");
+        return std::nullopt;
+    }
+    const auto v = static_cast<std::int64_t>(parsed);
+    if (v < min || v > max) {
+        warnOnce(name, std::string(name) + "=" + env +
+                           " is out of range [" + std::to_string(min) +
+                           ", " + std::to_string(max) +
+                           "]; using the default");
+        return std::nullopt;
+    }
+    return v;
+}
+
+std::string
+ensurePrivateDir(const std::string& dir, const char* what)
+{
+#ifdef _WIN32
+    return dir;
+#else
+    auto fallback = [&](const char* why) {
+        warnOnce(std::string("dir:") + dir,
+                 std::string(what) + " directory " + dir + " " + why +
+                     "; using a fresh private directory instead");
+        const char* tmp = std::getenv("TMPDIR");
+        std::string tmpl = std::string(tmp && *tmp ? tmp : "/tmp") +
+                           "/macross-private-XXXXXX";
+        std::string buf = tmpl;
+        if (char* made = ::mkdtemp(buf.data()))
+            return std::string(made);
+        // Out of options: hand back the original path — callers treat
+        // an unusable directory as a cache miss, never as trusted
+        // input, and the earlier warning names the problem.
+        return dir;
+    };
+
+    if (::mkdir(dir.c_str(), 0700) == 0)
+        return dir;
+    if (errno != EEXIST)
+        return fallback("cannot be created");
+
+    struct stat st;
+    // lstat, not stat: a symlink planted at the predictable path must
+    // be seen as a symlink, not as whatever it points to.
+    if (::lstat(dir.c_str(), &st) != 0)
+        return fallback("cannot be examined");
+    if (S_ISLNK(st.st_mode))
+        return fallback("is a symlink (possible tmp-race attack)");
+    if (!S_ISDIR(st.st_mode))
+        return fallback("is not a directory");
+    if (st.st_uid != ::geteuid())
+        return fallback("is owned by another user");
+    if ((st.st_mode & 0077) != 0 &&
+        ::chmod(dir.c_str(), 0700) != 0)
+        return fallback("is group/other-accessible and cannot be "
+                        "tightened");
+    return dir;
+#endif
+}
+
+} // namespace macross::support

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Validated environment lookups and private-directory hygiene.
+ *
+ * Two classes of latent bugs motivated this header:
+ *
+ *  1. Numeric environment overrides (MACROSS_COMPILE_TIMEOUT_MS and
+ *     friends) were parsed with bare strtoll(env, nullptr, 10):
+ *     "abc" silently became 0 (falling through to the default with no
+ *     hint the override was ignored), "123abc" silently became 123,
+ *     and overflow went unreported. envInt64() parses with full
+ *     errno/end-pointer checking and rejects out-of-range values with
+ *     a one-line warning naming the variable and the value, so a
+ *     mistyped override is visible instead of silently absorbed.
+ *
+ *  2. Per-euid default directories under $TMPDIR//tmp (the tuning
+ *     cache, the native .so cache) were created with
+ *     fs::create_directories at a predictable path and then trusted:
+ *     another local user could pre-create the path (or plant a
+ *     symlink) and read or poison cached artifacts. ensurePrivateDir()
+ *     creates with mode 0700 and verifies — real directory (lstat, so
+ *     a symlink is never followed), owned by this euid, no
+ *     group/other access — before handing the path back; any
+ *     violation falls back to a fresh mkdtemp directory with a
+ *     warning instead of using the hostile path.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace macross::support {
+
+/**
+ * Read integer environment variable @p name. Returns nullopt when the
+ * variable is unset or empty. A set-but-invalid value — non-numeric,
+ * trailing junk, overflow, or outside [@p min, @p max] — also returns
+ * nullopt (the caller's default applies) after printing a one-line
+ * stderr warning naming the variable and the rejected value, once per
+ * process per variable.
+ */
+std::optional<std::int64_t> envInt64(
+    const char* name, std::int64_t min = 1,
+    std::int64_t max = INT64_MAX);
+
+/**
+ * Ensure @p dir exists as a private directory: created with mode 0700
+ * when absent; when present it must be a real directory (not a
+ * symlink), owned by this euid, and is tightened to 0700. Returns
+ * @p dir when those hold. On any violation — foreign owner, symlink,
+ * non-directory, failed create — prints a one-line warning naming
+ * @p what and falls back to a fresh private mkdtemp directory under
+ * the system temp dir (unique per process: safe, but not shared
+ * across runs). Use for *default* per-user paths under /tmp;
+ * explicitly configured directories are the caller's responsibility.
+ */
+std::string ensurePrivateDir(const std::string& dir, const char* what);
+
+} // namespace macross::support

@@ -8,6 +8,7 @@
 
 #include "native/native_engine.h"
 #include "support/diagnostics.h"
+#include "support/env.h"
 
 #ifndef _WIN32
 #include <unistd.h>
@@ -37,6 +38,11 @@ resolveDir(const std::string& requested)
             dir = env;
     }
     if (dir.empty()) {
+        // The predictable per-euid default under /tmp is the one path
+        // another local user could pre-create (or symlink) to read or
+        // poison tuning data: create 0700 and verify ownership, with
+        // an mkdtemp fallback on any violation. An explicitly
+        // requested directory is taken as configured.
         const char* tmp = std::getenv("TMPDIR");
         std::string base = tmp && *tmp ? tmp : "/tmp";
 #ifndef _WIN32
@@ -45,6 +51,7 @@ resolveDir(const std::string& requested)
 #else
         dir = base + "/macross-tune";
 #endif
+        return support::ensurePrivateDir(dir, "tuning cache");
     }
     std::error_code ec;
     fs::create_directories(dir, ec);

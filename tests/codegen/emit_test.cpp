@@ -104,8 +104,13 @@ TEST(Codegen, EmitOptionsControlMainDefaults)
     opts.printFirst = 9;
     std::string src =
         emitCpp(compiled.graph, compiled.schedule, opts);
-    // The CLI's --run N / --emit-print K land verbatim in main().
-    EXPECT_NE(src.find("std::atoi(argv[1]) : 77"), std::string::npos);
+    // The CLI's --run N / --emit-print K land verbatim in main(),
+    // argv[1] overriding the baked default via validated strtol
+    // (junk counts exit with a usage message, never atoi-to-0).
+    EXPECT_NE(src.find("long iters = 77;"), std::string::npos);
+    EXPECT_NE(src.find("std::strtol(argv[1]"), std::string::npos);
+    EXPECT_NE(src.find("usage: %s [ITERATIONS]"), std::string::npos);
+    EXPECT_EQ(src.find("std::atoi"), std::string::npos);
     EXPECT_NE(src.find("i < rec.size() && i < 9"), std::string::npos);
 }
 

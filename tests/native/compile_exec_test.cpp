@@ -124,6 +124,18 @@ TEST(CompileExec, WallBudgetResolvesEnvThenDefault)
     limits.wallMs = 777;
     EXPECT_EQ(resolveWallBudgetMs(limits), 777);
 
+    // Invalid overrides fall back to the default (with a warning)
+    // instead of silently becoming 0 through a bare strtoll.
+    limits.wallMs = 0;
+    ::setenv("MACROSS_COMPILE_TIMEOUT_MS", "abc", 1);
+    EXPECT_EQ(resolveWallBudgetMs(limits), 120000);
+    ::setenv("MACROSS_COMPILE_TIMEOUT_MS", "4500garbage", 1);
+    EXPECT_EQ(resolveWallBudgetMs(limits), 120000);
+    ::setenv("MACROSS_COMPILE_TIMEOUT_MS", "0", 1);
+    EXPECT_EQ(resolveWallBudgetMs(limits), 120000);
+    ::setenv("MACROSS_COMPILE_TIMEOUT_MS", "-200", 1);
+    EXPECT_EQ(resolveWallBudgetMs(limits), 120000);
+
     if (saved)
         ::setenv("MACROSS_COMPILE_TIMEOUT_MS", savedCopy.c_str(), 1);
     else

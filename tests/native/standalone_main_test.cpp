@@ -1,0 +1,102 @@
+/**
+ * @file
+ * End-to-end test for the emitted standalone main()'s argv handling:
+ * the iteration-count argument is strtol-validated, junk and
+ * non-positive counts exit nonzero with a usage message, and valid
+ * counts (or no argument) run and print the elements/checksum line.
+ */
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "benchmarks/suite.h"
+#include "codegen/emit_cpp.h"
+#include "native/compile_exec.h"
+#include "native/native_engine.h"
+#include "vectorizer/pipeline.h"
+
+namespace macross::native {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Emit + host-compile the running example once per process. */
+const std::string& standaloneBinary()
+{
+    static std::string path = [] {
+        std::string dir = ::testing::TempDir() +
+                          "macross_standalone_main_" +
+                          std::to_string(::getpid());
+        fs::remove_all(dir);
+        fs::create_directories(dir);
+        vectorizer::CompiledProgram p = vectorizer::compileScalar(
+            benchmarks::makeRunningExample());
+        codegen::EmitOptions eo;
+        eo.mode = codegen::EmitMode::Standalone;
+        eo.steadyIterations = 4;
+        std::string src = dir + "/prog.cpp";
+        {
+            std::ofstream out(src);
+            out << codegen::emitCpp(p.graph, p.schedule, eo);
+        }
+        std::string bin = dir + "/prog";
+        ExecResult r = runCommand(
+            {detectHostCompiler(), "-O0", "-std=c++17", src, "-o",
+             bin});
+        if (!r.ok())
+            return std::string();
+        return bin;
+    }();
+    return path;
+}
+
+ExecResult runProg()
+{
+    return runCommand({standaloneBinary()});
+}
+
+ExecResult runProg(const std::string& arg)
+{
+    return runCommand({standaloneBinary(), arg});
+}
+
+TEST(StandaloneMain, NoArgumentUsesEmittedDefault)
+{
+    ASSERT_FALSE(standaloneBinary().empty())
+        << "host compile of the emitted standalone program failed";
+    ExecResult r = runProg();
+    EXPECT_TRUE(r.ok()) << r.output;
+    EXPECT_NE(r.output.find("elements"), std::string::npos);
+    EXPECT_NE(r.output.find("checksum"), std::string::npos);
+}
+
+TEST(StandaloneMain, ValidCountRuns)
+{
+    ASSERT_FALSE(standaloneBinary().empty());
+    ExecResult r = runProg("6");
+    EXPECT_TRUE(r.ok()) << r.output;
+    EXPECT_NE(r.output.find("elements"), std::string::npos);
+}
+
+TEST(StandaloneMain, RejectsJunkCounts)
+{
+    ASSERT_FALSE(standaloneBinary().empty());
+    // The old emitted main() passed argv[1] through std::atoi:
+    // "abc" silently became 0 iterations and "12xyz" became 12.
+    // Every malformed count must now exit nonzero with usage text.
+    for (const char* bad :
+         {"abc", "12xyz", "", " ", "0", "-3", "99999999999999999999",
+          "2147483648"}) {
+        ExecResult r = runProg(bad);
+        EXPECT_EQ(r.status, ExecStatus::NonZeroExit)
+            << "argv[1]='" << bad << "' must be rejected";
+        EXPECT_EQ(r.exitCode, 2) << "argv[1]='" << bad << "'";
+        EXPECT_NE(r.output.find("usage"), std::string::npos)
+            << "argv[1]='" << bad << "' output: " << r.output;
+    }
+}
+
+} // namespace
+} // namespace macross::native

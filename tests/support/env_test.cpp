@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for validated env parsing (envInt64) and private-directory
+ * hygiene (ensurePrivateDir): the hardening behind every numeric
+ * MACROSS_* override and every default per-user cache path.
+ */
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "support/env.h"
+
+namespace macross::support {
+namespace {
+
+namespace fs = std::filesystem;
+
+class EnvGuard {
+  public:
+    explicit EnvGuard(const char* name) : name_(name) {}
+    ~EnvGuard() { ::unsetenv(name_); }
+    void set(const char* v) { ::setenv(name_, v, 1); }
+
+  private:
+    const char* name_;
+};
+
+TEST(EnvInt64, UnsetAndEmptyAreNullopt)
+{
+    EnvGuard g("MACROSS_TEST_ENV_INT");
+    EXPECT_FALSE(envInt64("MACROSS_TEST_ENV_INT").has_value());
+    g.set("");
+    EXPECT_FALSE(envInt64("MACROSS_TEST_ENV_INT").has_value());
+}
+
+TEST(EnvInt64, ParsesValidValues)
+{
+    EnvGuard g("MACROSS_TEST_ENV_INT");
+    g.set("12345");
+    EXPECT_EQ(envInt64("MACROSS_TEST_ENV_INT").value_or(-1), 12345);
+    g.set("1");
+    EXPECT_EQ(envInt64("MACROSS_TEST_ENV_INT").value_or(-1), 1);
+    g.set("-5");
+    EXPECT_EQ(
+        envInt64("MACROSS_TEST_ENV_INT", -10).value_or(-99), -5);
+}
+
+TEST(EnvInt64, RejectsGarbageTrailingJunkAndOverflow)
+{
+    EnvGuard g("MACROSS_TEST_ENV_INT");
+    // The old bare-strtoll parse turned "abc" into 0 and "123abc"
+    // into 123 silently; both must now be rejected (caller default).
+    g.set("abc");
+    EXPECT_FALSE(envInt64("MACROSS_TEST_ENV_INT").has_value());
+    g.set("123abc");
+    EXPECT_FALSE(envInt64("MACROSS_TEST_ENV_INT").has_value());
+    g.set("12.5");
+    EXPECT_FALSE(envInt64("MACROSS_TEST_ENV_INT").has_value());
+    g.set("99999999999999999999999999");  // > INT64_MAX
+    EXPECT_FALSE(envInt64("MACROSS_TEST_ENV_INT").has_value());
+    g.set(" 42");  // Leading whitespace is strtoll-legal; allow it.
+    EXPECT_EQ(envInt64("MACROSS_TEST_ENV_INT").value_or(-1), 42);
+}
+
+TEST(EnvInt64, EnforcesRange)
+{
+    EnvGuard g("MACROSS_TEST_ENV_INT");
+    g.set("0");
+    // Default min is 1: non-positive rejected.
+    EXPECT_FALSE(envInt64("MACROSS_TEST_ENV_INT").has_value());
+    g.set("-1");
+    EXPECT_FALSE(envInt64("MACROSS_TEST_ENV_INT").has_value());
+    // Widened range admits the same value.
+    g.set("-1");
+    EXPECT_EQ(envInt64("MACROSS_TEST_ENV_INT", -1).value_or(-99),
+              -1);
+    g.set("1000");
+    EXPECT_FALSE(
+        envInt64("MACROSS_TEST_ENV_INT", 1, 999).has_value());
+}
+
+std::string freshPath(const std::string& tag)
+{
+    std::string p = ::testing::TempDir() + "macross_envdir_" + tag +
+                    "_" + std::to_string(::getpid());
+    fs::remove_all(p);
+    return p;
+}
+
+TEST(EnsurePrivateDir, CreatesWithMode0700)
+{
+    std::string dir = freshPath("create");
+    std::string got = ensurePrivateDir(dir, "test cache");
+    EXPECT_EQ(got, dir);
+    struct stat st{};
+    ASSERT_EQ(::lstat(dir.c_str(), &st), 0);
+    ASSERT_TRUE(S_ISDIR(st.st_mode));
+    EXPECT_EQ(st.st_mode & 0777, 0700u);
+    EXPECT_EQ(st.st_uid, ::geteuid());
+    fs::remove_all(dir);
+}
+
+TEST(EnsurePrivateDir, TightensLoosePermissions)
+{
+    std::string dir = freshPath("tighten");
+    ASSERT_EQ(::mkdir(dir.c_str(), 0777), 0);
+    ::chmod(dir.c_str(), 0777);  // mkdir is umask-filtered; force it.
+    std::string got = ensurePrivateDir(dir, "test cache");
+    EXPECT_EQ(got, dir);
+    struct stat st{};
+    ASSERT_EQ(::lstat(dir.c_str(), &st), 0);
+    EXPECT_EQ(st.st_mode & 0077, 0u)
+        << "group/other bits must be stripped";
+    fs::remove_all(dir);
+}
+
+TEST(EnsurePrivateDir, RefusesSymlinkAndFallsBack)
+{
+    // The classic /tmp race: another user plants a symlink at the
+    // predictable path. The hardened resolver must not follow it.
+    std::string target = freshPath("symlink_target");
+    ASSERT_EQ(::mkdir(target.c_str(), 0700), 0);
+    std::string link = freshPath("symlink");
+    ASSERT_EQ(::symlink(target.c_str(), link.c_str()), 0);
+
+    std::string got = ensurePrivateDir(link, "test cache");
+    EXPECT_NE(got, link) << "symlinked path must not be used";
+    struct stat st{};
+    ASSERT_EQ(::lstat(got.c_str(), &st), 0);
+    EXPECT_TRUE(S_ISDIR(st.st_mode));
+    EXPECT_EQ(st.st_mode & 0777, 0700u);
+
+    fs::remove_all(got);
+    ::unlink(link.c_str());
+    fs::remove_all(target);
+}
+
+TEST(EnsurePrivateDir, RefusesPlainFileAndFallsBack)
+{
+    std::string path = freshPath("file");
+    {
+        FILE* f = ::fopen(path.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        ::fclose(f);
+    }
+    std::string got = ensurePrivateDir(path, "test cache");
+    EXPECT_NE(got, path);
+    struct stat st{};
+    ASSERT_EQ(::lstat(got.c_str(), &st), 0);
+    EXPECT_TRUE(S_ISDIR(st.st_mode));
+    fs::remove_all(got);
+    ::unlink(path.c_str());
+}
+
+} // namespace
+} // namespace macross::support

@@ -242,7 +242,7 @@ TEST(CliReport, EmitHonorsRunCountAndPrintLimit)
                      " --run 13 --emit-print 5"),
               0);
     std::string src = readFile(out);
-    EXPECT_NE(src.find("std::atoi(argv[1]) : 13"), std::string::npos)
+    EXPECT_NE(src.find("long iters = 13;"), std::string::npos)
         << "--run N not plumbed into the emitted main()";
     EXPECT_NE(src.find("i < rec.size() && i < 5"), std::string::npos)
         << "--emit-print K not plumbed into the emitted main()";

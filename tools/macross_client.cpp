@@ -1,0 +1,170 @@
+/**
+ * @file
+ * macross_client — thin command-line client for macrossd.
+ *
+ * Submits one request per invocation and prints the daemon's JSON
+ * response to stdout. The interesting exit codes mirror the CLI
+ * taxonomy so scripts and CI can branch on outcome:
+ *
+ *   0  ok (result / stats / pong / shutdown acknowledged)
+ *   1  usage error (bad flags)
+ *   2  transport or daemon-fatal error
+ *   3  typed "overloaded" (backpressure — retry later)
+ *   4  typed "fault" (native fault contained to this request)
+ *   5  any other typed error (bad-request, verify-rejected, ...)
+ */
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "service/client.h"
+#include "support/diagnostics.h"
+
+namespace {
+
+int usage(const char* argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --socket PATH [request]\n"
+        "\n"
+        "request (default --ping):\n"
+        "  --bench NAME         run a built-in benchmark\n"
+        "  --file F.str | -     run .str source from a file or stdin\n"
+        "  --iters N            steady iterations (default 1)\n"
+        "  --tenant NAME        named tenant (persists across connections)\n"
+        "  --output             include raw output lanes in the result\n"
+        "  --config JSON        TuneConfig-shaped config object\n"
+        "  --inject-fault KIND  test hook (daemon must allow it)\n"
+        "  --stats              fetch the daemon counters\n"
+        "  --ping               liveness probe\n"
+        "  --shutdown           ask the daemon to exit\n",
+        argv0);
+    return 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    using namespace macross;
+
+    std::string socketPath;
+    service::Request req;
+    req.op = service::RequestOp::Ping;
+    std::string file;
+    std::string configJson;
+    bool haveRun = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s needs a value\n",
+                             argv[0], arg.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            socketPath = value();
+        } else if (arg == "--bench") {
+            req.bench = value();
+            haveRun = true;
+        } else if (arg == "--file") {
+            file = value();
+            haveRun = true;
+        } else if (arg == "--iters") {
+            errno = 0;
+            char* end = nullptr;
+            const char* s = value();
+            long v = std::strtol(s, &end, 10);
+            if (errno != 0 || end == s || *end != '\0' || v < 1 ||
+                v > INT32_MAX) {
+                std::fprintf(stderr,
+                             "%s: --iters wants a positive integer, "
+                             "got '%s'\n",
+                             argv[0], s);
+                return 1;
+            }
+            req.iters = static_cast<int>(v);
+        } else if (arg == "--tenant") {
+            req.tenant = value();
+        } else if (arg == "--output") {
+            req.wantOutput = true;
+        } else if (arg == "--config") {
+            configJson = value();
+        } else if (arg == "--inject-fault") {
+            req.injectFault = value();
+        } else if (arg == "--stats") {
+            req.op = service::RequestOp::Stats;
+        } else if (arg == "--ping") {
+            req.op = service::RequestOp::Ping;
+        } else if (arg == "--shutdown") {
+            req.op = service::RequestOp::Shutdown;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "%s: unknown option '%s'\n",
+                         argv[0], arg.c_str());
+            return usage(argv[0]);
+        }
+    }
+    if (socketPath.empty())
+        return usage(argv[0]);
+    if (haveRun)
+        req.op = service::RequestOp::Run;
+
+    try {
+        if (!file.empty()) {
+            if (file == "-") {
+                std::ostringstream ss;
+                ss << std::cin.rdbuf();
+                req.source = ss.str();
+            } else {
+                std::ifstream in(file);
+                if (!in) {
+                    std::fprintf(stderr, "%s: cannot read %s\n",
+                                 argv[0], file.c_str());
+                    return 2;
+                }
+                std::ostringstream ss;
+                ss << in.rdbuf();
+                req.source = ss.str();
+            }
+        }
+        if (!configJson.empty())
+            req.config =
+                tuner::TuneConfig::fromJson(json::parse(configJson));
+        if (req.id.empty())
+            req.id = "cli-1";
+
+        service::Client client(socketPath);
+        json::Value resp = client.call(req);
+        std::printf("%s\n", resp.dump().c_str());
+
+        const json::Value* ok = resp.find("ok");
+        if (ok && ok->kind() == json::Value::Kind::Bool &&
+            ok->asBool())
+            return 0;
+        const json::Value* kind = resp.find("kind");
+        std::string k =
+            kind && kind->kind() == json::Value::Kind::String
+                ? kind->asString()
+                : "";
+        if (k == service::kind::kOverloaded)
+            return 3;
+        if (k == service::kind::kFault)
+            return 4;
+        return 5;
+    } catch (const FatalError& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
+}

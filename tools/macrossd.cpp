@@ -1,0 +1,163 @@
+/**
+ * @file
+ * macrossd — the multi-tenant compile-and-run daemon's entry point.
+ *
+ * Serves the line-delimited JSON protocol of service/protocol.h on a
+ * Unix-domain socket until a `shutdown` request or SIGINT/SIGTERM.
+ * All policy lives in DaemonOptions; this file only parses flags,
+ * installs signal handlers, and prints the final stats snapshot.
+ *
+ * Exit codes follow the CLI taxonomy: 0 clean shutdown, 1 usage
+ * error, 2 fatal (bad socket path, bind failure).
+ */
+#include <signal.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "service/daemon.h"
+#include "support/diagnostics.h"
+
+namespace {
+
+int usage(const char* argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --socket PATH [options]\n"
+        "\n"
+        "  --socket PATH        Unix-domain socket to serve (required)\n"
+        "  --workers N          worker threads (default 4)\n"
+        "  --run-queue N        run admission queue capacity (default 64)\n"
+        "  --compile-queue N    compile admission queue capacity (default 8)\n"
+        "  --admit-batch N      jobs admitted per worker wakeup (default 4)\n"
+        "  --max-connections N  concurrent connections (default 64)\n"
+        "  --max-iters N        per-request iteration ceiling\n"
+        "  --cache-dir DIR      shared native object cache directory\n"
+        "  --compiler CMD       host C++ compiler for emitted code\n"
+        "  --compile-timeout-ms N  per-compile wall budget\n"
+        "  --allow-fault-injection accept injectFault requests (tests)\n"
+        "  --verbose            log connections and shutdown\n",
+        argv0);
+    return 1;
+}
+
+bool parseInt(const char* s, long long* out)
+{
+    errno = 0;
+    char* end = nullptr;
+    long long v = std::strtoll(s, &end, 10);
+    if (errno != 0 || end == s || *end != '\0' || v <= 0)
+        return false;
+    *out = v;
+    return true;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    using macross::service::Daemon;
+    using macross::service::DaemonOptions;
+
+    DaemonOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s needs a value\n",
+                             argv[0], arg.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        auto intValue = [&](int* slot) {
+            long long v = 0;
+            const char* s = value();
+            if (!parseInt(s, &v) || v > INT32_MAX) {
+                std::fprintf(stderr,
+                             "%s: %s wants a positive integer, got "
+                             "'%s'\n",
+                             argv[0], arg.c_str(), s);
+                std::exit(1);
+            }
+            *slot = static_cast<int>(v);
+        };
+        if (arg == "--socket") {
+            opts.socketPath = value();
+        } else if (arg == "--workers") {
+            intValue(&opts.workers);
+        } else if (arg == "--run-queue") {
+            intValue(&opts.runQueueCap);
+        } else if (arg == "--compile-queue") {
+            intValue(&opts.compileQueueCap);
+        } else if (arg == "--admit-batch") {
+            intValue(&opts.admitBatch);
+        } else if (arg == "--max-connections") {
+            intValue(&opts.maxConnections);
+        } else if (arg == "--max-iters") {
+            intValue(&opts.maxIters);
+        } else if (arg == "--cache-dir") {
+            opts.native.cacheDir = value();
+        } else if (arg == "--compiler") {
+            opts.native.compiler = value();
+        } else if (arg == "--compile-timeout-ms") {
+            long long v = 0;
+            const char* s = value();
+            if (!parseInt(s, &v)) {
+                std::fprintf(stderr,
+                             "%s: --compile-timeout-ms wants a "
+                             "positive integer, got '%s'\n",
+                             argv[0], s);
+                return 1;
+            }
+            opts.native.compileTimeoutMs = v;
+        } else if (arg == "--allow-fault-injection") {
+            opts.allowFaultInjection = true;
+        } else if (arg == "--verbose") {
+            opts.verbose = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "%s: unknown option '%s'\n",
+                         argv[0], arg.c_str());
+            return usage(argv[0]);
+        }
+    }
+    if (opts.socketPath.empty())
+        return usage(argv[0]);
+
+    try {
+        // Route SIGINT/SIGTERM through a dedicated sigwait thread:
+        // requestShutdown takes locks and notifies condition
+        // variables, none of which is legal inside an async signal
+        // handler. The mask is installed before the daemon spawns
+        // its threads, so every thread inherits it.
+        sigset_t sigs;
+        sigemptyset(&sigs);
+        sigaddset(&sigs, SIGINT);
+        sigaddset(&sigs, SIGTERM);
+        pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+        Daemon daemon(std::move(opts));
+        std::thread([&daemon, sigs]() mutable {
+            int sig = 0;
+            if (sigwait(&sigs, &sig) == 0)
+                daemon.requestShutdown();
+        }).detach();
+
+        daemon.run();
+
+        std::fprintf(stdout, "%s\n",
+                     daemon.statsJson().dump().c_str());
+        return 0;
+    } catch (const macross::FatalError& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
+}
